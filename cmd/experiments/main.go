@@ -1,0 +1,138 @@
+// Command experiments regenerates the paper's evaluation (Figures 4-8): for
+// every x-axis point it builds the workload, runs IPO Tree, IPO Tree-K,
+// SFS-A and SFS-D, and prints the four panels — preprocessing time, query
+// time, storage, and the percentage metrics.
+//
+// Usage:
+//
+//	experiments [-figure all|4|5|6|7|8] [-scale 0.02] [-n 10000]
+//	            [-queries 20] [-card 20] [-order 3] [-topk 10]
+//	            [-mode zipf|uniform|topk] [-seed 1] [-parallelism 0]
+//
+// The default sizes are the paper's Table 4 scaled to laptop scale
+// (500K tuples → 10K); -scale applies to the Figure 4 sweep, and the other
+// flags override the Table 4 defaults. Expect the full suite to take a few
+// minutes at defaults; the paper's own preprocessing ran for up to 10⁵ s.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"prefsky/internal/bench"
+	"prefsky/internal/gen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		figure   = fs.String("figure", "all", "which figure to run: all, 4, 5, 6, 7, 8 or kinds")
+		scale    = fs.Float64("scale", 0.02, "Figure 4 database-size multiplier (1 = paper size)")
+		n        = fs.Int("n", 10000, "tuples for figures 5-7")
+		queries  = fs.Int("queries", 20, "random queries per measurement (paper: 100)")
+		card     = fs.Int("card", 20, "nominal cardinality (figures 4, 5, 7)")
+		orderX   = fs.Int("order", 3, "implicit preference order (figures 4-6)")
+		topK     = fs.Int("topk", 10, "K for IPO Tree-K")
+		mode     = fs.String("mode", "zipf", "query value mode: zipf, uniform or topk")
+		seed     = fs.Int64("seed", 1, "random seed")
+		parallel = fs.Int("parallelism", 0, "build workers (0 = GOMAXPROCS)")
+		csvPath  = fs.String("csv", "", "also write results to this CSV file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := bench.Default()
+	base.N = *n
+	base.Queries = *queries
+	base.Cardinality = *card
+	base.Order = *orderX
+	base.TopK = *topK
+	base.Seed = *seed
+	base.Parallelism = *parallel
+	switch *mode {
+	case "zipf":
+		base.Mode = gen.Zipfian
+	case "uniform":
+		base.Mode = gen.Uniform
+	case "topk":
+		base.Mode = gen.TopK
+	default:
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+
+	type runner struct {
+		id  string
+		run func() (bench.Figure, error)
+	}
+	runners := []runner{
+		{"4", func() (bench.Figure, error) { return bench.Figure4(base, *scale) }},
+		{"5", func() (bench.Figure, error) { return bench.Figure5(base) }},
+		{"6", func() (bench.Figure, error) { return bench.Figure6(base) }},
+		{"7", func() (bench.Figure, error) { return bench.Figure7(base) }},
+		{"8", func() (bench.Figure, error) { return bench.Figure8(base) }},
+		// "kinds" reproduces the §5.1 remark comparing the three data set
+		// correlations; it is not one of the paper's figures, so it only
+		// runs when requested explicitly.
+		{"kinds", func() (bench.Figure, error) { return bench.KindSweep(base) }},
+	}
+
+	want := strings.Split(*figure, ",")
+	selected := runners[:0:0]
+	for _, r := range runners {
+		if *figure == "all" {
+			if r.id != "kinds" {
+				selected = append(selected, r)
+			}
+			continue
+		}
+		for _, w := range want {
+			if strings.TrimSpace(w) == r.id {
+				selected = append(selected, r)
+			}
+		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("no figure matches %q", *figure)
+	}
+
+	fmt.Fprintf(out, "prefsky experiments — %d CPU, defaults scaled from Table 4 (N=%d, queries=%d)\n\n",
+		runtime.NumCPU(), base.N, base.Queries)
+	var figures []bench.Figure
+	for _, r := range selected {
+		start := time.Now()
+		fig, err := r.run()
+		if err != nil {
+			return err
+		}
+		if err := fig.Print(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "[figure %s completed in %v]\n\n", r.id, time.Since(start).Round(time.Millisecond))
+		figures = append(figures, fig)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := bench.WriteCSV(f, figures...); err != nil {
+			return fmt.Errorf("writing %s: %w", *csvPath, err)
+		}
+		fmt.Fprintf(out, "results written to %s\n", *csvPath)
+	}
+	return nil
+}

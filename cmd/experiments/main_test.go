@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFigure8Small(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-figure", "8", "-queries", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Figure 8", "IPO Tree", "SFS-A", "SFS-D", "order 0", "order 3", "|SKY(R)|/|D|"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSyntheticTiny(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-figure", "7", "-n", "200", "-queries", "2", "-card", "5", "-topk", "3",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 7") {
+		t.Error("figure 7 missing from output")
+	}
+	if !strings.Contains(out.String(), "IPO Tree-3") {
+		t.Error("top-K engine missing from output")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-figure", "99"},
+		{"-mode", "bogus"},
+		{"-badflag"},
+	}
+	for i, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d (%v): no error", i, args)
+		}
+	}
+}
+
+func TestRunFigureSelection(t *testing.T) {
+	var out bytes.Buffer
+	// Comma-separated selection.
+	err := run([]string{"-figure", "8,8", "-queries", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), "Figure 8") < 2 {
+		t.Error("comma selection did not run both entries")
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prefsky"
+)
+
+func TestGenerateAndReload(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "d.csv")
+	schemaOut := filepath.Join(dir, "s.json")
+	err := run([]string{
+		"-n", "150", "-numdims", "2", "-nomdims", "1", "-card", "4",
+		"-kind", "independent", "-seed", "3",
+		"-out", out, "-schema-out", schemaOut,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := os.Open(schemaOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	schema, err := prefsky.ReadSchemaJSON(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer df.Close()
+	ds, err := prefsky.ReadCSV(df, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 150 {
+		t.Errorf("reloaded %d tuples, want 150", ds.N())
+	}
+	if ds.Schema().NumDims() != 2 || ds.Schema().NomDims() != 1 {
+		t.Error("schema shape wrong after round trip")
+	}
+}
+
+func TestGenerateNursery(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "n.csv")
+	schemaOut := filepath.Join(dir, "n.json")
+	if err := run([]string{"-nursery", "-out", out, "-schema-out", schemaOut}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(raw), "\n")
+	if lines != 12961 { // header + 12960 rows
+		t.Errorf("nursery CSV has %d lines, want 12961", lines)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		{"-kind", "bogus", "-out", filepath.Join(dir, "a.csv"), "-schema-out", filepath.Join(dir, "a.json")},
+		{"-n", "-5", "-out", filepath.Join(dir, "b.csv"), "-schema-out", filepath.Join(dir, "b.json")},
+		{"-out", "/nonexistent-dir/x.csv", "-schema-out", filepath.Join(dir, "c.json")},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): no error", i, args)
+		}
+	}
+}

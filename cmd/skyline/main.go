@@ -1,0 +1,162 @@
+// Command skyline answers implicit-preference skyline queries over a CSV
+// dataset.
+//
+// Usage:
+//
+//	skyline -data packages.csv -schema schema.json \
+//	        -pref "Hotel-group: T<M<*; Airline: G<*" \
+//	        [-template "Hotel-group: T<*"] [-algo ipo|sfsa|sfsd|hybrid] [-topk 10]
+//
+// The schema file is JSON: {"numeric":[{"name":"Price"},...],
+// "nominal":[{"name":"Hotel-group","values":["T","H","M"]},...]}. The matching
+// rows are written to stdout as CSV (with the original header).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"prefsky"
+	"prefsky/internal/data"
+	"prefsky/internal/ipotree"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "skyline:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("skyline", flag.ContinueOnError)
+	var (
+		dataPath   = fs.String("data", "", "CSV dataset path (required)")
+		schemaPath = fs.String("schema", "", "JSON schema path (required)")
+		prefSpec   = fs.String("pref", "", "implicit preference, e.g. \"Hotel-group: T<M<*\"")
+		tmplSpec   = fs.String("template", "", "template preference shared by all users")
+		algo       = fs.String("algo", "sfsd", "engine: ipo, sfsa, sfsd or hybrid")
+		topK       = fs.Int("topk", 0, "materialize only the K most frequent values (ipo/hybrid)")
+		saveIndex  = fs.String("save-index", "", "build an IPO-tree index and save it to this path")
+		loadIndex  = fs.String("index", "", "load a previously saved IPO-tree index (implies -algo ipo)")
+		verbose    = fs.Bool("v", false, "print engine and timing details to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" || *schemaPath == "" {
+		return fmt.Errorf("-data and -schema are required")
+	}
+
+	schemaFile, err := os.Open(*schemaPath)
+	if err != nil {
+		return err
+	}
+	defer schemaFile.Close()
+	schema, err := prefsky.ReadSchemaJSON(schemaFile)
+	if err != nil {
+		return err
+	}
+	dataFile, err := os.Open(*dataPath)
+	if err != nil {
+		return err
+	}
+	defer dataFile.Close()
+	ds, err := prefsky.ReadCSV(dataFile, schema)
+	if err != nil {
+		return err
+	}
+
+	tmpl, err := prefsky.ParsePreference(schema, *tmplSpec)
+	if err != nil {
+		return fmt.Errorf("parsing template: %w", err)
+	}
+	pref, err := prefsky.ParsePreference(schema, *prefSpec)
+	if err != nil {
+		return fmt.Errorf("parsing preference: %w", err)
+	}
+
+	if *loadIndex != "" {
+		*algo = "ipo"
+	}
+	var engine prefsky.Engine
+	switch *algo {
+	case "ipo":
+		engine, err = ipoEngine(ds, tmpl, *topK, *saveIndex, *loadIndex)
+	case "sfsa":
+		engine, err = prefsky.NewAdaptiveSFS(ds, tmpl)
+	case "sfsd":
+		engine, err = prefsky.NewSFSD(ds)
+	case "hybrid":
+		engine, err = prefsky.NewHybrid(ds, tmpl, prefsky.TreeOptions{TopK: *topK})
+	default:
+		return fmt.Errorf("unknown -algo %q (want ipo, sfsa, sfsd or hybrid)", *algo)
+	}
+	if err != nil {
+		return fmt.Errorf("building %s engine: %w", *algo, err)
+	}
+
+	ids, err := engine.Skyline(pref)
+	if err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "engine=%s points=%d skyline=%d storage=%dB\n",
+			engine.Name(), ds.N(), len(ids), engine.SizeBytes())
+	}
+	points := make([]prefsky.Point, len(ids))
+	for i, id := range ids {
+		points[i] = ds.Point(id)
+	}
+	result, err := ds.WithPoints(points)
+	if err != nil {
+		return err
+	}
+	return data.WriteCSV(out, result)
+}
+
+// ipoEngine builds (or loads) the IPO-tree engine, optionally persisting the
+// index so later invocations skip the preprocessing.
+func ipoEngine(ds *prefsky.Dataset, tmpl *prefsky.Preference, topK int, savePath, loadPath string) (prefsky.Engine, error) {
+	if loadPath != "" {
+		f, err := os.Open(loadPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tree, err := ipotree.Load(f)
+		if err != nil {
+			return nil, err
+		}
+		return treeEngine{tree}, nil
+	}
+	tree, err := ipotree.Build(ds, tmpl, ipotree.Options{TopK: topK})
+	if err != nil {
+		return nil, err
+	}
+	if savePath != "" {
+		f, err := os.Create(savePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := tree.Save(f); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "skyline: saved index to %s\n", savePath)
+	}
+	return treeEngine{tree}, nil
+}
+
+// treeEngine adapts a raw *ipotree.Tree to the Engine interface.
+type treeEngine struct {
+	tree *ipotree.Tree
+}
+
+func (t treeEngine) Name() string { return "IPO Tree" }
+func (t treeEngine) Skyline(pref *prefsky.Preference) ([]prefsky.PointID, error) {
+	return t.tree.Query(pref)
+}
+func (t treeEngine) SizeBytes() int { return t.tree.SizeBytes() }

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testSchema = `{
+  "numeric": [{"name": "Price"}, {"name": "Hotel-class", "higherIsBetter": true}],
+  "nominal": [{"name": "Hotel-group", "values": ["T", "H", "M"]}]
+}`
+
+const testCSV = `Price,Hotel-class,Hotel-group
+1600,4,T
+2400,1,T
+3000,5,H
+3600,4,H
+2400,2,M
+3000,3,M
+`
+
+func writeFixture(t *testing.T) (dataPath, schemaPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	dataPath = filepath.Join(dir, "data.csv")
+	schemaPath = filepath.Join(dir, "schema.json")
+	if err := os.WriteFile(dataPath, []byte(testCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(schemaPath, []byte(testSchema), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dataPath, schemaPath
+}
+
+func TestRunAllEngines(t *testing.T) {
+	dataPath, schemaPath := writeFixture(t)
+	for _, algo := range []string{"ipo", "sfsa", "sfsd", "hybrid"} {
+		var out bytes.Buffer
+		err := run([]string{
+			"-data", dataPath, "-schema", schemaPath,
+			"-pref", "Hotel-group: T<M<*", "-algo", algo,
+		}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+		// Alice's skyline is {a, c}: header + 2 rows.
+		if len(lines) != 3 {
+			t.Errorf("%s: output has %d lines, want 3:\n%s", algo, len(lines), out.String())
+		}
+		if !strings.Contains(lines[1], "1600") || !strings.Contains(lines[2], "3000") {
+			t.Errorf("%s: unexpected rows:\n%s", algo, out.String())
+		}
+	}
+}
+
+func TestRunIndexSaveLoad(t *testing.T) {
+	dataPath, schemaPath := writeFixture(t)
+	idxPath := filepath.Join(t.TempDir(), "tree.idx")
+	var out bytes.Buffer
+	if err := run([]string{
+		"-data", dataPath, "-schema", schemaPath,
+		"-pref", "Hotel-group: H<M<*", "-algo", "ipo", "-save-index", idxPath,
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	first := out.String()
+	out.Reset()
+	if err := run([]string{
+		"-data", dataPath, "-schema", schemaPath,
+		"-pref", "Hotel-group: H<M<*", "-index", idxPath,
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != first {
+		t.Errorf("loaded index answered differently:\n%s\nvs\n%s", out.String(), first)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dataPath, schemaPath := writeFixture(t)
+	cases := [][]string{
+		{},                  // missing required flags
+		{"-data", dataPath}, // missing schema
+		{"-data", "/nope", "-schema", schemaPath}, // bad data path
+		{"-data", dataPath, "-schema", schemaPath, "-algo", "bogus"},
+		{"-data", dataPath, "-schema", schemaPath, "-pref", "Hotel-group: X<*"},
+		{"-data", dataPath, "-schema", schemaPath, "-pref", "nonsense"},
+		{"-data", dataPath, "-schema", schemaPath, "-index", "/nope"},
+	}
+	for i, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d (%v): no error", i, args)
+		}
+	}
+}
+
+func TestRunTemplateValidation(t *testing.T) {
+	dataPath, schemaPath := writeFixture(t)
+	var out bytes.Buffer
+	// Query conflicts with template → engines must reject.
+	err := run([]string{
+		"-data", dataPath, "-schema", schemaPath,
+		"-template", "Hotel-group: T<*",
+		"-pref", "Hotel-group: M<*", "-algo", "ipo",
+	}, &out)
+	if err == nil {
+		t.Error("conflicting query accepted")
+	}
+	// A refining query works.
+	out.Reset()
+	if err := run([]string{
+		"-data", dataPath, "-schema", schemaPath,
+		"-template", "Hotel-group: T<*",
+		"-pref", "Hotel-group: T<M<*", "-algo", "ipo",
+	}, &out); err != nil {
+		t.Errorf("refining query failed: %v", err)
+	}
+}

@@ -1,0 +1,123 @@
+package prefsky_test
+
+import (
+	"fmt"
+
+	"prefsky"
+)
+
+// Example reproduces the paper's running example: Alice prefers Tulips, then
+// Mozilla, then anything; her skyline over Table 1 is {a, c}.
+func Example() {
+	ds := prefsky.Table1()
+	engine, err := prefsky.NewIPOTree(ds, ds.Schema().EmptyPreference(), prefsky.TreeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	pref, err := prefsky.ParsePreference(ds.Schema(), "Hotel-group: T<M<*")
+	if err != nil {
+		panic(err)
+	}
+	ids, err := engine.Skyline(pref)
+	if err != nil {
+		panic(err)
+	}
+	for _, id := range ids {
+		fmt.Printf("package %c\n", 'a'+id)
+	}
+	// Output:
+	// package a
+	// package c
+}
+
+// ExampleParsePreference shows the textual preference syntax: per-attribute
+// ordered favorites with a trailing * for "everything else".
+func ExampleParsePreference() {
+	ds := prefsky.Table3()
+	pref, err := prefsky.ParsePreference(ds.Schema(), "Hotel-group: M<H<*; Airline: G<R<*")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(prefsky.FormatPreference(ds.Schema(), pref))
+	fmt.Println("order:", pref.Order())
+	// Output:
+	// Hotel-group: M<H<*; Airline: G<R<*
+	// order: 2
+}
+
+// ExampleNewMaintainable demonstrates progressive iteration: Adaptive SFS
+// yields each skyline point as soon as it is confirmed (§4.3).
+func ExampleNewMaintainable() {
+	ds := prefsky.Table1()
+	engine, err := prefsky.NewMaintainable(ds, ds.Schema().EmptyPreference())
+	if err != nil {
+		panic(err)
+	}
+	pref, err := prefsky.ParsePreference(ds.Schema(), "Hotel-group: H<M<*")
+	if err != nil {
+		panic(err)
+	}
+	it, err := engine.QueryIter(pref)
+	if err != nil {
+		panic(err)
+	}
+	for {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("package %c (price %.0f)\n", 'a'+p.ID, p.Num[0])
+	}
+	// Output:
+	// package a (price 1600)
+	// package e (price 2400)
+	// package c (price 3000)
+}
+
+// ExampleNewHybrid shows the §5.3 engine: a top-K tree answers popular
+// values, everything else falls back to Adaptive SFS — same results.
+func ExampleNewHybrid() {
+	ds := prefsky.Table3()
+	engine, err := prefsky.NewHybrid(ds, ds.Schema().EmptyPreference(), prefsky.TreeOptions{TopK: 2})
+	if err != nil {
+		panic(err)
+	}
+	pref, err := prefsky.ParsePreference(ds.Schema(), "Airline: W<*")
+	if err != nil {
+		panic(err)
+	}
+	ids, err := engine.Skyline(pref)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("skyline size:", len(ids))
+	// Output:
+	// skyline size: 5
+}
+
+// ExampleNewTreeAdvisor drives workload-aware materialization (§3.1): after
+// observing queries, the advisor recommends which values deserve tree nodes.
+func ExampleNewTreeAdvisor() {
+	ds := prefsky.Table3()
+	adv := prefsky.NewTreeAdvisor(ds.Schema().Cardinalities())
+	for _, spec := range []string{
+		"Hotel-group: T<*", "Hotel-group: T<M<*", "Hotel-group: T<*; Airline: G<*",
+	} {
+		pref, err := prefsky.ParsePreference(ds.Schema(), spec)
+		if err != nil {
+			panic(err)
+		}
+		adv.Observe(pref)
+	}
+	rec := adv.Recommend(0.5)
+	fmt.Println("materialize Hotel-group values:", rec[0])
+	engine, err := prefsky.NewIPOTree(ds, ds.Schema().EmptyPreference(),
+		prefsky.TreeOptions{Values: rec})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("engine:", engine.Name())
+	// Output:
+	// materialize Hotel-group values: [0]
+	// engine: IPO Tree
+}

@@ -1,0 +1,111 @@
+// Flights: flight booking with nominal airline and transit-airport
+// attributes, exercising Adaptive SFS's two distinctive features —
+// progressive result streaming (§4.3) and incremental maintenance as flights
+// are added and sold out.
+//
+// Run with: go run ./examples/flights
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"prefsky"
+)
+
+func main() {
+	airlines, err := prefsky.NewDomain("Airline", []string{"Gonna", "Redish", "Wings", "Polar", "Atlas"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	transits, err := prefsky.NewDomain("Transit", []string{"FRA", "AMS", "IST", "DXB", "KEF", "JFK"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema, err := prefsky.NewSchema(
+		[]prefsky.NumericAttr{{Name: "Fare"}, {Name: "Hours"}, {Name: "Stops"}},
+		[]*prefsky.Domain{airlines, transits},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	mkFlight := func() prefsky.Point {
+		stops := float64(rng.Intn(3))
+		return prefsky.Point{
+			Num: []float64{
+				180 + 1200*rng.Float64(),
+				8 + 20*rng.Float64() + 4*stops,
+				stops,
+			},
+			Nom: []prefsky.Value{
+				prefsky.Value(rng.Intn(airlines.Cardinality())),
+				prefsky.Value(rng.Intn(transits.Cardinality())),
+			},
+		}
+	}
+	points := make([]prefsky.Point, 3000)
+	for i := range points {
+		points[i] = mkFlight()
+	}
+	ds, err := prefsky.NewDataset(schema, points)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The maintainable engine exposes QueryIter and Insert/Delete.
+	engine, err := prefsky.NewMaintainable(ds, schema.EmptyPreference())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d flights, skyline under template: %d\n\n", engine.N(), engine.SkylineSize())
+
+	pref, err := prefsky.ParsePreference(schema, "Airline: Gonna<Polar<*; Transit: AMS<FRA<*")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Progressive: show the first few results as they stream, best-score
+	// first — an interactive UI can render these before the scan finishes.
+	it, err := engine.QueryIter(pref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("first skyline flights, streamed progressively:")
+	total := 0
+	for {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		if total < 4 {
+			fmt.Printf("  $%-6.0f %4.1fh  %d stops  %-6s via %s\n",
+				p.Num[0], p.Num[1], int(p.Num[2]),
+				airlines.ValueName(p.Nom[0]), transits.ValueName(p.Nom[1]))
+		}
+		total++
+	}
+	fmt.Printf("  … %d flights in SKY(R̃′) overall\n\n", total)
+
+	// Maintenance: a cheap nonstop appears; a batch of flights sells out.
+	newID, err := engine.Insert([]float64{240, 9.5, 0}, []prefsky.Value{0, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted promo flight %d (Gonna via AMS, $240 nonstop)\n", newID)
+	for id := prefsky.PointID(0); id < 150; id++ {
+		if err := engine.Delete(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("deleted 150 sold-out flights; %d remain, skyline now %d\n",
+		engine.N(), engine.SkylineSize())
+
+	ids, err := engine.Query(pref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same query after maintenance: %d skyline flights\n", len(ids))
+}

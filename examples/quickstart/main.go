@@ -1,0 +1,91 @@
+// Quickstart: the paper's running example (Tables 1 and 2).
+//
+// Six vacation packages have two numeric attributes (price, hotel class) and
+// one nominal attribute (hotel group). Six customers each bring their own
+// implicit preference on hotel groups, and each gets a different skyline.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prefsky"
+)
+
+func main() {
+	// Build the schema: price (lower better), hotel class (higher better),
+	// and the nominal hotel group {Tulips, Horizon, Mozilla}.
+	hotels, err := prefsky.NewDomain("Hotel-group", []string{"T", "H", "M"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema, err := prefsky.NewSchema(
+		[]prefsky.NumericAttr{
+			{Name: "Price"},
+			{Name: "Hotel-class", HigherIsBetter: true},
+		},
+		[]*prefsky.Domain{hotels},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Table 1. HigherIsBetter attributes are stored negated, so class 4 is -4.
+	type row struct {
+		name  string
+		price float64
+		class float64
+		hotel string
+	}
+	rows := []row{
+		{"a", 1600, 4, "T"}, {"b", 2400, 1, "T"}, {"c", 3000, 5, "H"},
+		{"d", 3600, 4, "H"}, {"e", 2400, 2, "M"}, {"f", 3000, 3, "M"},
+	}
+	points := make([]prefsky.Point, len(rows))
+	for i, r := range rows {
+		v, _ := hotels.Lookup(r.hotel)
+		points[i] = prefsky.Point{Num: []float64{r.price, -r.class}, Nom: []prefsky.Value{v}}
+	}
+	ds, err := prefsky.NewDataset(schema, points)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Preprocess once against the empty template (no shared nominal orders),
+	// then answer every customer's query online.
+	engine, err := prefsky.NewIPOTree(ds, schema.EmptyPreference(), prefsky.TreeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	customers := []struct{ name, pref string }{
+		{"Alice", "Hotel-group: T<M<*"},
+		{"Bob", ""},
+		{"Chris", "Hotel-group: H<M<*"},
+		{"David", "Hotel-group: H<M<T"},
+		{"Emily", "Hotel-group: H<T<*"},
+		{"Fred", "Hotel-group: M<*"},
+	}
+	fmt.Println("Customer  Preference            Skyline")
+	for _, c := range customers {
+		pref, err := prefsky.ParsePreference(schema, c.pref)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids, err := engine.Skyline(pref)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names := make([]string, len(ids))
+		for i, id := range ids {
+			names[i] = rows[id].name
+		}
+		label := c.pref
+		if label == "" {
+			label = "(no special preference)"
+		}
+		fmt.Printf("%-9s %-21s %v\n", c.name, label, names)
+	}
+}

@@ -1,0 +1,96 @@
+// Vacation: a walkthrough of the IPO-tree machinery on the two-nominal-
+// attribute data of Table 3 — the root skyline, the disqualifying sets of
+// Figure 2, and the four queries of Example 1 evaluated with the merging
+// property (Theorem 2).
+//
+// Run with: go run ./examples/vacation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prefsky"
+	"prefsky/internal/data"
+	"prefsky/internal/ipotree"
+)
+
+func pkgNames(ids []prefsky.PointID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = data.PackageName(id)
+	}
+	return out
+}
+
+func main() {
+	ds := prefsky.Table3()
+	schema := ds.Schema()
+
+	// Build the tree against the empty template (Figure 2's setting).
+	tree, err := ipotree.Build(ds, schema.EmptyPreference(), ipotree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := tree.Stats()
+	fmt.Printf("IPO-tree over Table 3: %d nodes, root skyline %v\n",
+		stats.Nodes, pkgNames(tree.RootSkyline()))
+
+	// The disqualifying sets along the first-order combinations (Figure 2).
+	fmt.Println("\nDisqualifying sets A (φ = no preference on that attribute):")
+	hotelVals := []string{"T", "H", "M", "φ"}
+	airlineVals := []string{"G", "R", "W", "φ"}
+	for hi, h := range hotelVals {
+		for ai, a := range airlineVals {
+			labels := []prefsky.Value{prefsky.Value(hi), prefsky.Value(ai)}
+			if h == "φ" {
+				labels[0] = -1
+			}
+			if a == "φ" {
+				labels[1] = -1
+			}
+			set, err := tree.Inspect(labels)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(set) > 0 {
+				show := func(v string) string {
+					if v == "φ" {
+						return "φ  "
+					}
+					return v + "≺*"
+				}
+				fmt.Printf("  %s, %s  disqualifies %v\n", show(h), show(a), pkgNames(set))
+			}
+		}
+	}
+
+	// Example 1: QA..QD, each answered by combining first-order nodes.
+	fmt.Println("\nExample 1 queries:")
+	for _, q := range []struct{ name, pref string }{
+		{"QA", "Hotel-group: M<*"},
+		{"QB", "Hotel-group: M<*; Airline: G<*"},
+		{"QC", "Hotel-group: M<H<*; Airline: G<*"},
+		{"QD", "Hotel-group: M<H<*; Airline: G<R<*"},
+	} {
+		pref, err := prefsky.ParsePreference(schema, q.pref)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids, err := tree.Query(pref)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s  %-42s -> %v\n", q.name, q.pref, pkgNames(ids))
+	}
+
+	// The merging property by hand: SKY(M≺H≺*) from SKY(M≺*) and SKY(H≺*).
+	mPref, _ := prefsky.ParsePreference(schema, "Hotel-group: M<*")
+	hPref, _ := prefsky.ParsePreference(schema, "Hotel-group: H<*")
+	mhPref, _ := prefsky.ParsePreference(schema, "Hotel-group: M<H<*")
+	sky1, _ := tree.Query(mPref)
+	sky2, _ := tree.Query(hPref)
+	sky3, _ := tree.Query(mhPref)
+	fmt.Printf("\nTheorem 2: SKY(M≺*)=%v, SKY(H≺*)=%v\n", pkgNames(sky1), pkgNames(sky2))
+	fmt.Printf("           SKY(M≺H≺*) = (SKY1 ∩ SKY2) ∪ PSKY1 = %v\n", pkgNames(sky3))
+}

@@ -1,0 +1,47 @@
+package prefsky_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end and sanity-checks
+// its output. Skipped with -short (each `go run` costs a compile).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example execution in -short mode")
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		want []string
+	}{
+		{"quickstart", []string{"Alice", "[a c]", "Fred", "[a c e f]"}},
+		{"vacation", []string{"21 nodes", "QD", "[a c e f]"}},
+		{"realty", []string{"indexed 5000 listings", "non-dominated listings"}},
+		{"flights", []string{"streamed progressively", "after maintenance"}},
+		{"nursery", []string{"12960 instances", "SFS-D"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", c.name))
+			cmd.Dir = root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run failed: %v\n%s", err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,116 @@
+package prefsky_test
+
+import (
+	"reflect"
+	"testing"
+
+	"prefsky"
+	"prefsky/internal/dominance"
+	"prefsky/internal/skyline"
+)
+
+// enumerateImplicit lists every implicit preference over a domain of
+// cardinality k (all ordered selections of every length).
+func enumerateImplicit(k int) []*prefsky.Implicit {
+	var out []*prefsky.Implicit
+	var rec func(entries []prefsky.Value)
+	rec = func(entries []prefsky.Value) {
+		ip, err := prefsky.NewImplicit(k, entries...)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, ip)
+		used := make(map[prefsky.Value]bool, len(entries))
+		for _, v := range entries {
+			used[v] = true
+		}
+		for v := prefsky.Value(0); int(v) < k; v++ {
+			if !used[v] {
+				rec(append(append([]prefsky.Value(nil), entries...), v))
+			}
+		}
+	}
+	rec(nil)
+	return out
+}
+
+// TestExhaustiveAllPreferencesTable3 validates the IPO-tree and Adaptive SFS
+// against the naive reference on *every* implicit preference over Table 3 —
+// 16 × 16 = 256 preference combinations, no randomness. This is the complete
+// space Table 2 samples from.
+func TestExhaustiveAllPreferencesTable3(t *testing.T) {
+	ds := prefsky.Table3()
+	schema := ds.Schema()
+	tmpl := schema.EmptyPreference()
+	tree, err := prefsky.NewIPOTree(ds, tmpl, prefsky.TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfsa, err := prefsky.NewAdaptiveSFS(ds, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotel := enumerateImplicit(3)
+	airline := enumerateImplicit(3)
+	checked := 0
+	for _, h := range hotel {
+		for _, a := range airline {
+			pref, err := prefsky.NewPreference(h, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmp, err := dominance.NewComparator(schema, pref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := skyline.Naive(ds.Points(), cmp)
+			gotTree, err := tree.Skyline(pref)
+			if err != nil {
+				t.Fatalf("%v: tree: %v", pref, err)
+			}
+			if !reflect.DeepEqual(gotTree, want) {
+				t.Fatalf("%v: tree = %v, naive = %v", pref, gotTree, want)
+			}
+			gotSFSA, err := sfsa.Skyline(pref)
+			if err != nil {
+				t.Fatalf("%v: SFS-A: %v", pref, err)
+			}
+			if !reflect.DeepEqual(gotSFSA, want) {
+				t.Fatalf("%v: SFS-A = %v, naive = %v", pref, gotSFSA, want)
+			}
+			checked++
+		}
+	}
+	if checked != 256 {
+		t.Errorf("checked %d preference combinations, want 256", checked)
+	}
+}
+
+// TestExhaustiveSkylineAlwaysNonEmpty: every preference over a non-empty
+// dataset has a non-empty skyline (a minimal element always exists in a
+// finite strict partial order).
+func TestExhaustiveSkylineAlwaysNonEmpty(t *testing.T) {
+	ds := prefsky.Table3()
+	tmpl := ds.Schema().EmptyPreference()
+	tree, err := prefsky.NewIPOTree(ds, tmpl, prefsky.TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range enumerateImplicit(3) {
+		for _, a := range enumerateImplicit(3) {
+			pref, _ := prefsky.NewPreference(h, a)
+			got, err := tree.Skyline(pref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) == 0 {
+				t.Fatalf("empty skyline under %v", pref)
+			}
+			// Package a (cheapest, best class among T) is never dominated:
+			// nothing is strictly better on price.
+			if got[0] != 0 {
+				t.Fatalf("package a missing from skyline under %v: %v", pref, got)
+			}
+		}
+	}
+}

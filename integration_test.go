@@ -1,0 +1,133 @@
+package prefsky_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"prefsky"
+	"prefsky/internal/gen"
+)
+
+// TestMediumScaleCrossValidation runs the Table 4 configuration at reduced
+// size and validates every engine against SFS-D over a full random workload —
+// the closest thing to replaying the paper's experiment as a correctness
+// test. Skipped with -short.
+func TestMediumScaleCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping medium-scale cross-validation in -short mode")
+	}
+	ds, err := prefsky.GenerateDataset(prefsky.GenConfig{
+		N: 3000, NumDims: 3, NomDims: 2, Cardinality: 20,
+		Theta: 1, Kind: prefsky.AntiCorrelated, Seed: 20080813,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl, err := prefsky.FrequentTemplate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := prefsky.GenerateQueries(ds.Schema().Cardinalities(), tmpl, prefsky.QueryConfig{
+		Order: 3, Count: 30, Mode: prefsky.ZipfianValues, Theta: 1, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ipo, err := prefsky.NewIPOTree(ds, tmpl, prefsky.TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitmap, err := prefsky.NewIPOTree(ds, tmpl, prefsky.TreeOptions{UseBitmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfsa, err := prefsky.NewAdaptiveSFS(ds, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := prefsky.NewHybrid(ds, tmpl, prefsky.TreeOptions{TopK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfsd, err := prefsky.NewSFSD(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engines := []prefsky.Engine{ipo, bitmap, sfsa, hyb}
+	for qi, q := range queries {
+		want, err := sfsd.Skyline(q)
+		if err != nil {
+			t.Fatalf("query %d: SFS-D: %v", qi, err)
+		}
+		if len(want) == 0 {
+			t.Fatalf("query %d: empty skyline (workload degenerate)", qi)
+		}
+		for _, e := range engines {
+			got, err := e.Skyline(q)
+			if err != nil {
+				t.Fatalf("query %d: %s: %v", qi, e.Name(), err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("query %d: %s returned %d points, SFS-D %d",
+					qi, e.Name(), len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestWorkloadReplayRoundTrip saves a workload, reloads it, and checks that a
+// rebuilt engine answers it identically — the reproducibility path the
+// harness relies on.
+func TestWorkloadReplayRoundTrip(t *testing.T) {
+	ds, err := prefsky.GenerateDataset(prefsky.GenConfig{
+		N: 400, NumDims: 2, NomDims: 2, Cardinality: 8,
+		Theta: 1, Kind: prefsky.Independent, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := ds.Schema().EmptyPreference()
+	queries, err := prefsky.GenerateQueries(ds.Schema().Cardinalities(), tmpl, prefsky.QueryConfig{
+		Order: 2, Count: 10, Mode: prefsky.UniformValues, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfsa, err := prefsky.NewAdaptiveSFS(ds, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstRun := make([][]prefsky.PointID, len(queries))
+	for i, q := range queries {
+		firstRun[i], err = sfsa.Skyline(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Serialize and replay through gen's workload format.
+	var buf bytes.Buffer
+	if err := gen.WriteQueries(&buf, queries); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := gen.ReadQueries(&buf, ds.Schema().Cardinalities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := prefsky.NewAdaptiveSFS(ds, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range replayed {
+		got, err := fresh.Skyline(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, firstRun[i]) {
+			t.Fatalf("replayed query %d answered differently", i)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Package adaptive implements Adaptive SFS (§4), the paper's second engine:
+// the skyline under the template, SKY(R̃), is presorted by the monotone
+// preference function f into an ordered list; a query that refines the
+// template only re-ranks the l points carrying re-ranked values (O(l log n))
+// and re-runs the skyline extraction over the resulting order. The engine is
+// progressive (results stream in f order) and supports incremental
+// maintenance under point insertions and deletions (§4.3).
+package adaptive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/order"
+	"prefsky/internal/skiplist"
+	"prefsky/internal/skyline"
+)
+
+// ErrNotRefinement is returned for queries that do not refine the template.
+var ErrNotRefinement = errors.New("adaptive: preference does not refine the template")
+
+// Stats reports preprocessing measurements.
+type Stats struct {
+	SkylineSize int
+	Preprocess  time.Duration
+}
+
+// Engine answers implicit-preference skyline queries over one dataset.
+type Engine struct {
+	schema   *data.Schema
+	template *order.Preference
+	baseCmp  *dominance.Comparator
+
+	points    []data.Point // all points ever seen, indexed by id
+	alive     []bool
+	member    []bool    // current SKY(R̃) membership
+	baseScore []float64 // template score per point
+
+	list  *skiplist.List                // SKY(R̃) ordered by (template score, id)
+	inv   [][]map[data.PointID]struct{} // [dim][value] → skyline members carrying it
+	stats Stats
+}
+
+// New builds the engine: computes SKY(R̃), presorts it (Algorithm 3) and
+// builds the per-dimension inverted index used to locate affected points.
+func New(ds *data.Dataset, template *order.Preference) (*Engine, error) {
+	if ds == nil || template == nil {
+		return nil, fmt.Errorf("adaptive: nil dataset or template")
+	}
+	baseCmp, err := dominance.NewComparator(ds.Schema(), template)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	e := &Engine{
+		schema:   ds.Schema(),
+		template: template.Clone(),
+		baseCmp:  baseCmp,
+		points:   append([]data.Point(nil), ds.Points()...),
+		list:     skiplist.New(),
+	}
+	e.alive = make([]bool, len(e.points))
+	e.member = make([]bool, len(e.points))
+	e.baseScore = make([]float64, len(e.points))
+	for i := range e.points {
+		e.alive[i] = true
+		e.baseScore[i] = baseCmp.Score(&e.points[i])
+	}
+	e.inv = make([][]map[data.PointID]struct{}, e.schema.NomDims())
+	for d, card := range e.schema.Cardinalities() {
+		e.inv[d] = make([]map[data.PointID]struct{}, card)
+		for v := range e.inv[d] {
+			e.inv[d][v] = make(map[data.PointID]struct{})
+		}
+	}
+	for _, id := range skyline.SFS(e.points, baseCmp) {
+		e.addMember(id)
+	}
+	e.stats.Preprocess = time.Since(start)
+	e.stats.SkylineSize = e.list.Len()
+	return e, nil
+}
+
+func (e *Engine) addMember(id data.PointID) {
+	e.member[id] = true
+	e.list.Insert(skiplist.Key{Score: e.baseScore[id], ID: id})
+	for d, v := range e.points[id].Nom {
+		e.inv[d][v][id] = struct{}{}
+	}
+}
+
+func (e *Engine) dropMember(id data.PointID) {
+	e.member[id] = false
+	e.list.Delete(skiplist.Key{Score: e.baseScore[id], ID: id})
+	for d, v := range e.points[id].Nom {
+		delete(e.inv[d][v], id)
+	}
+}
+
+// Template returns the engine's template.
+func (e *Engine) Template() *order.Preference { return e.template }
+
+// Stats returns preprocessing measurements.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// SkylineSize returns |SKY(R̃)| under the current data.
+func (e *Engine) SkylineSize() int { return e.list.Len() }
+
+// Skyline returns the current SKY(R̃) in ascending id order.
+func (e *Engine) Skyline() []data.PointID {
+	out := make([]data.PointID, 0, e.list.Len())
+	for id, m := range e.member {
+		if m {
+			out = append(out, data.PointID(id))
+		}
+	}
+	return out
+}
+
+// SizeBytes estimates the extra storage the engine keeps beyond the dataset
+// itself: the sorted list, the inverted index and the score table (the
+// paper's SFS-A storage metric).
+func (e *Engine) SizeBytes() int {
+	size := e.list.SizeBytes()
+	size += len(e.baseScore) * 8
+	size += len(e.member) + len(e.alive)
+	for _, dim := range e.inv {
+		for _, m := range dim {
+			size += 48 + len(m)*12
+		}
+	}
+	return size
+}
+
+func (e *Engine) validate(pref *order.Preference) error {
+	if pref == nil {
+		return fmt.Errorf("adaptive: nil preference")
+	}
+	if pref.NomDims() != e.schema.NomDims() {
+		return fmt.Errorf("adaptive: preference has %d nominal dimensions, schema has %d",
+			pref.NomDims(), e.schema.NomDims())
+	}
+	for d, card := range e.schema.Cardinalities() {
+		if pref.Dim(d).Cardinality() != card {
+			return fmt.Errorf("adaptive: dimension %d cardinality %d, schema has %d",
+				d, pref.Dim(d).Cardinality(), card)
+		}
+	}
+	if !pref.Refines(e.template) {
+		return fmt.Errorf("%w: query %v vs template %v", ErrNotRefinement, pref, e.template)
+	}
+	return nil
+}
+
+// changedValues lists, per dimension, the values whose rank differs between
+// template and query. Only points carrying one of these need re-sorting; the
+// scores and pairwise relations of all other points are unchanged (see
+// DESIGN.md).
+func (e *Engine) changedValues(pref *order.Preference) [][]order.Value {
+	out := make([][]order.Value, pref.NomDims())
+	for d := 0; d < pref.NomDims(); d++ {
+		tmplDim, queryDim := e.template.Dim(d), pref.Dim(d)
+		for _, v := range queryDim.Entries() {
+			if queryDim.Rank(v) != tmplDim.Rank(v) {
+				out[d] = append(out[d], v)
+			}
+		}
+	}
+	return out
+}
+
+// affectedPoints returns the skyline members carrying a re-ranked value,
+// sorted by (query score, id).
+func (e *Engine) affectedPoints(pref *order.Preference, cmp *dominance.Comparator) []data.PointID {
+	seen := make(map[data.PointID]struct{})
+	var affected []data.PointID
+	for d, vals := range e.changedValues(pref) {
+		for _, v := range vals {
+			for id := range e.inv[d][v] {
+				if _, dup := seen[id]; !dup {
+					seen[id] = struct{}{}
+					affected = append(affected, id)
+				}
+			}
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool {
+		si := cmp.Score(&e.points[affected[i]])
+		sj := cmp.Score(&e.points[affected[j]])
+		if si != sj {
+			return si < sj
+		}
+		return affected[i] < affected[j]
+	})
+	return affected
+}
+
+// CountAffected reports |AFFECT(R)| under the paper's literal definition: the
+// skyline points of SKY(R̃) carrying any value listed in R̃′ (measurement 5 of
+// §5). The engine itself re-sorts only the usually-smaller re-ranked subset.
+func (e *Engine) CountAffected(pref *order.Preference) int {
+	seen := make(map[data.PointID]struct{})
+	for d := 0; d < pref.NomDims() && d < len(e.inv); d++ {
+		for _, v := range pref.Dim(d).Entries() {
+			if int(v) < len(e.inv[d]) {
+				for id := range e.inv[d][v] {
+					seen[id] = struct{}{}
+				}
+			}
+		}
+	}
+	return len(seen)
+}
+
+// Query computes SKY(R̃′) for a refinement of the template (Algorithm 4).
+// Results are point ids in ascending order.
+func (e *Engine) Query(pref *order.Preference) ([]data.PointID, error) {
+	it, err := e.QueryIter(pref)
+	if err != nil {
+		return nil, err
+	}
+	var out []data.PointID
+	for {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, p.ID)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Iter streams the query result progressively in ascending f order: every
+// point returned by Next is guaranteed to be in SKY(R̃′) (§4.3).
+type Iter struct {
+	e   *Engine
+	cmp *dominance.Comparator
+
+	cursor   *skiplist.Cursor
+	baseKey  skiplist.Key
+	baseOK   bool
+	affected []data.PointID
+	affScore []float64
+	affIdx   int
+	isAff    map[data.PointID]struct{}
+
+	acceptedAll []*data.Point // every accepted point
+	acceptedAff []*data.Point // accepted points that were re-ranked
+}
+
+// QueryIter validates the preference and prepares a progressive scan.
+func (e *Engine) QueryIter(pref *order.Preference) (*Iter, error) {
+	if err := e.validate(pref); err != nil {
+		return nil, err
+	}
+	cmp, err := dominance.NewComparator(e.schema, pref)
+	if err != nil {
+		return nil, err
+	}
+	it := &Iter{e: e, cmp: cmp, cursor: e.list.Front()}
+	it.affected = e.affectedPoints(pref, cmp)
+	it.affScore = make([]float64, len(it.affected))
+	it.isAff = make(map[data.PointID]struct{}, len(it.affected))
+	for i, id := range it.affected {
+		it.affScore[i] = cmp.Score(&e.points[id])
+		it.isAff[id] = struct{}{}
+	}
+	it.advanceBase()
+	return it, nil
+}
+
+// advanceBase moves the base cursor to the next unaffected skyline member.
+func (it *Iter) advanceBase() {
+	for {
+		k, ok := it.cursor.Next()
+		if !ok {
+			it.baseOK = false
+			return
+		}
+		if _, aff := it.isAff[k.ID]; !aff {
+			it.baseKey, it.baseOK = k, true
+			return
+		}
+	}
+}
+
+// pick selects the next candidate from the two merged streams: the
+// unaffected suffix of the presorted template list (whose scores are
+// unchanged) and the re-scored affected points.
+func (it *Iter) pick() (p *data.Point, reranked, ok bool) {
+	affOK := it.affIdx < len(it.affected)
+	switch {
+	case !it.baseOK && !affOK:
+		return nil, false, false
+	case !affOK:
+		p = &it.e.points[it.baseKey.ID]
+		it.advanceBase()
+		return p, false, true
+	case !it.baseOK:
+		p = &it.e.points[it.affected[it.affIdx]]
+		it.affIdx++
+		return p, true, true
+	default:
+		affKey := skiplist.Key{Score: it.affScore[it.affIdx], ID: it.affected[it.affIdx]}
+		if affKey.Less(it.baseKey) {
+			p = &it.e.points[affKey.ID]
+			it.affIdx++
+			return p, true, true
+		}
+		p = &it.e.points[it.baseKey.ID]
+		it.advanceBase()
+		return p, false, true
+	}
+}
+
+// Next returns the next skyline point in ascending query-score order.
+//
+// Unaffected candidates only need dominance checks against accepted
+// re-ranked points — two unaffected points kept their template relations and
+// were both template-skyline — while re-ranked candidates check everything.
+func (it *Iter) Next() (data.Point, bool) {
+	for {
+		p, reranked, ok := it.pick()
+		if !ok {
+			return data.Point{}, false
+		}
+		against := it.acceptedAff
+		if reranked {
+			against = it.acceptedAll
+		}
+		dominated := false
+		for _, s := range against {
+			if it.cmp.Dominates(s, p) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		it.acceptedAll = append(it.acceptedAll, p)
+		if reranked {
+			it.acceptedAff = append(it.acceptedAff, p)
+		}
+		return *p, true
+	}
+}

@@ -1,0 +1,414 @@
+package adaptive
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/order"
+	"prefsky/internal/skyline"
+)
+
+func ids(letters string) []data.PointID {
+	out := make([]data.PointID, len(letters))
+	for i, r := range letters {
+		out[i] = data.PointID(r - 'a')
+	}
+	return out
+}
+
+func newTable1Engine(t *testing.T) *Engine {
+	t.Helper()
+	ds := data.Table1()
+	e, err := New(ds, ds.Schema().EmptyPreference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestTable2Queries(t *testing.T) {
+	e := newTable1Engine(t)
+	cases := []struct {
+		customer, pref, want string
+	}{
+		{"Alice", "Hotel-group: T<M<*", "ac"},
+		{"Bob", "", "acef"},
+		{"Chris", "Hotel-group: H<M<*", "ace"},
+		{"David", "Hotel-group: H<M<T", "ace"},
+		{"Emily", "Hotel-group: H<T<*", "ac"},
+		{"Fred", "Hotel-group: M<*", "acef"},
+	}
+	schema := data.Table1().Schema()
+	for _, c := range cases {
+		pref, err := data.ParsePreference(schema, c.pref)
+		if err != nil {
+			t.Fatalf("%s: %v", c.customer, err)
+		}
+		got, err := e.Query(pref)
+		if err != nil {
+			t.Fatalf("%s: %v", c.customer, err)
+		}
+		if !reflect.DeepEqual(got, ids(c.want)) {
+			t.Errorf("%s: Query = %v, want %v", c.customer, got, ids(c.want))
+		}
+		resort, err := e.QueryResort(pref)
+		if err != nil {
+			t.Fatalf("%s: resort: %v", c.customer, err)
+		}
+		if !reflect.DeepEqual(resort, ids(c.want)) {
+			t.Errorf("%s: QueryResort = %v, want %v", c.customer, resort, ids(c.want))
+		}
+	}
+}
+
+func TestPreprocessingStats(t *testing.T) {
+	e := newTable1Engine(t)
+	if e.Stats().SkylineSize != 4 {
+		t.Errorf("SkylineSize = %d, want 4 (SKY(∅) of Table 1)", e.Stats().SkylineSize)
+	}
+	if got := e.Skyline(); !reflect.DeepEqual(got, ids("acef")) {
+		t.Errorf("Skyline = %v, want %v", got, ids("acef"))
+	}
+	if e.SizeBytes() <= 0 {
+		t.Error("SizeBytes not positive")
+	}
+	if e.Template().NomDims() != 1 {
+		t.Error("Template accessor wrong")
+	}
+	if e.N() != 6 {
+		t.Errorf("N = %d, want 6", e.N())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ds := data.Table1()
+	tmpl, _ := data.ParsePreference(ds.Schema(), "Hotel-group: T<*")
+	e, err := New(ds, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(nil); err == nil {
+		t.Error("nil preference accepted")
+	}
+	conflicting, _ := data.ParsePreference(ds.Schema(), "Hotel-group: M<*")
+	if _, err := e.Query(conflicting); !errors.Is(err, ErrNotRefinement) {
+		t.Errorf("non-refinement error = %v, want ErrNotRefinement", err)
+	}
+	wrongDims := order.MustPreference(order.MustImplicit(3), order.MustImplicit(3))
+	if _, err := e.Query(wrongDims); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil dataset accepted")
+	}
+}
+
+func TestQueryResortRestoresList(t *testing.T) {
+	e := newTable1Engine(t)
+	schema := data.Table1().Schema()
+	pref, _ := data.ParsePreference(schema, "Hotel-group: H<M<*")
+	before := e.list.Keys()
+	if _, err := e.QueryResort(pref); err != nil {
+		t.Fatal(err)
+	}
+	after := e.list.Keys()
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("list changed by QueryResort: %v vs %v", before, after)
+	}
+	// And a later plain Query must still be correct.
+	got, err := e.Query(pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids("ace")) {
+		t.Errorf("Query after resort = %v, want ace", got)
+	}
+}
+
+func TestProgressiveIterator(t *testing.T) {
+	e := newTable1Engine(t)
+	schema := data.Table1().Schema()
+	pref, _ := data.ParsePreference(schema, "Hotel-group: H<M<*")
+	cmp := dominance.MustComparator(schema, pref)
+	it, err := e.QueryIter(pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var yielded []data.PointID
+	last := -1e18
+	for {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		s := cmp.Score(&p)
+		if s < last {
+			t.Error("iterator out of score order")
+		}
+		last = s
+		yielded = append(yielded, p.ID)
+	}
+	if len(yielded) != 3 {
+		t.Fatalf("yielded %d points, want 3", len(yielded))
+	}
+}
+
+func TestCountAffected(t *testing.T) {
+	e := newTable1Engine(t)
+	schema := data.Table1().Schema()
+	// SKY(∅) = {a,c,e,f}; preference on M touches e and f.
+	pref, _ := data.ParsePreference(schema, "Hotel-group: M<*")
+	if got := e.CountAffected(pref); got != 2 {
+		t.Errorf("CountAffected(M<*) = %d, want 2", got)
+	}
+	// T<M<* touches a (T), e and f (M).
+	pref2, _ := data.ParsePreference(schema, "Hotel-group: T<M<*")
+	if got := e.CountAffected(pref2); got != 3 {
+		t.Errorf("CountAffected(T<M<*) = %d, want 3", got)
+	}
+	empty, _ := data.ParsePreference(schema, "")
+	if got := e.CountAffected(empty); got != 0 {
+		t.Errorf("CountAffected(∅) = %d, want 0", got)
+	}
+}
+
+// --- randomized cross-validation ---
+
+type fixture struct {
+	ds   *data.Dataset
+	tmpl *order.Preference
+	rng  *rand.Rand
+}
+
+func randomFixture(seed int64) fixture {
+	rng := rand.New(rand.NewSource(seed))
+	numDims := 1 + rng.Intn(2)
+	nomDims := 1 + rng.Intn(3)
+	numeric := make([]data.NumericAttr, numDims)
+	for i := range numeric {
+		numeric[i] = data.NumericAttr{Name: string(rune('A' + i))}
+	}
+	nominal := make([]*order.Domain, nomDims)
+	cards := make([]int, nomDims)
+	for i := range nominal {
+		cards[i] = 2 + rng.Intn(4)
+		d, _ := order.NewAnonymousDomain(string(rune('N'+i)), cards[i])
+		nominal[i] = d
+	}
+	schema, _ := data.NewSchema(numeric, nominal)
+	n := 8 + rng.Intn(60)
+	pts := make([]data.Point, n)
+	for i := range pts {
+		num := make([]float64, numDims)
+		for d := range num {
+			num[d] = float64(rng.Intn(6))
+		}
+		nom := make([]order.Value, nomDims)
+		for d := range nom {
+			nom[d] = order.Value(rng.Intn(cards[d]))
+		}
+		pts[i] = data.Point{Num: num, Nom: nom}
+	}
+	ds, _ := data.New(schema, pts)
+	dims := make([]*order.Implicit, nomDims)
+	for i := range dims {
+		if rng.Intn(2) == 0 {
+			dims[i] = order.MustImplicit(cards[i])
+		} else {
+			dims[i] = order.MustImplicit(cards[i], order.Value(rng.Intn(cards[i])))
+		}
+	}
+	return fixture{ds: ds, tmpl: order.MustPreference(dims...), rng: rng}
+}
+
+func (f fixture) randomRefinement() *order.Preference {
+	dims := make([]*order.Implicit, f.tmpl.NomDims())
+	for i := 0; i < f.tmpl.NomDims(); i++ {
+		base := f.tmpl.Dim(i)
+		card := base.Cardinality()
+		entries := base.Entries()
+		rest := make([]order.Value, 0, card)
+		for v := order.Value(0); int(v) < card; v++ {
+			if !base.Contains(v) {
+				rest = append(rest, v)
+			}
+		}
+		f.rng.Shuffle(len(rest), func(a, b int) { rest[a], rest[b] = rest[b], rest[a] })
+		entries = append(entries, rest[:f.rng.Intn(len(rest)+1)]...)
+		dims[i] = order.MustImplicit(card, entries...)
+	}
+	return order.MustPreference(dims...)
+}
+
+// TestQueryMatchesSFSDProperty: Adaptive SFS must return exactly SFS over the
+// full dataset for random data, templates, and refining queries — via both
+// the merge scan and the paper-faithful resort.
+func TestQueryMatchesSFSDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		fx := randomFixture(seed)
+		e, err := New(fx.ds, fx.tmpl)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 6; trial++ {
+			pref := fx.randomRefinement()
+			cmp, err := dominance.NewComparator(fx.ds.Schema(), pref)
+			if err != nil {
+				return false
+			}
+			want := skyline.SFS(fx.ds.Points(), cmp)
+			got, err := e.Query(pref)
+			if err != nil || !reflect.DeepEqual(got, want) {
+				return false
+			}
+			resort, err := e.QueryResort(pref)
+			if err != nil || !reflect.DeepEqual(resort, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaintenanceMatchesRebuildProperty: after a random mix of inserts and
+// deletes, the maintained skyline and query answers must equal those of an
+// engine rebuilt from scratch on the surviving points.
+func TestMaintenanceMatchesRebuildProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		fx := randomFixture(seed)
+		e, err := New(fx.ds, fx.tmpl)
+		if err != nil {
+			return false
+		}
+		rng := fx.rng
+		cards := fx.ds.Schema().Cardinalities()
+		for op := 0; op < 25; op++ {
+			if rng.Intn(2) == 0 {
+				num := make([]float64, fx.ds.Schema().NumDims())
+				for d := range num {
+					num[d] = float64(rng.Intn(6))
+				}
+				nom := make([]order.Value, fx.ds.Schema().NomDims())
+				for d := range nom {
+					nom[d] = order.Value(rng.Intn(cards[d]))
+				}
+				if _, err := e.Insert(num, nom); err != nil {
+					return false
+				}
+			} else {
+				// Delete a random live point.
+				live := []data.PointID{}
+				for id, a := range e.alive {
+					if a {
+						live = append(live, data.PointID(id))
+					}
+				}
+				if len(live) == 0 {
+					continue
+				}
+				if err := e.Delete(live[rng.Intn(len(live))]); err != nil {
+					return false
+				}
+			}
+		}
+		// Rebuild from the surviving points and compare skylines by value
+		// (ids differ, so compare point contents).
+		cmp := dominance.MustComparator(fx.ds.Schema(), fx.tmpl)
+		want := skyline.BNL(e.livePoints(), cmp)
+		got := e.Skyline()
+		if len(got) != len(want) {
+			return false
+		}
+		wantSet := make(map[data.PointID]bool, len(want))
+		for _, id := range want {
+			wantSet[id] = true
+		}
+		for _, id := range got {
+			if !wantSet[id] {
+				return false
+			}
+		}
+		// A query over the maintained engine must match SFS over live points.
+		pref := fx.randomRefinement()
+		qcmp := dominance.MustComparator(fx.ds.Schema(), pref)
+		wantQ := skyline.SFS(e.livePoints(), qcmp)
+		gotQ, err := e.Query(pref)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(gotQ, wantQ)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertDeleteErrors(t *testing.T) {
+	e := newTable1Engine(t)
+	if _, err := e.Insert([]float64{1}, []order.Value{0}); err == nil {
+		t.Error("wrong numeric arity accepted")
+	}
+	if _, err := e.Insert([]float64{1, 2}, nil); err == nil {
+		t.Error("wrong nominal arity accepted")
+	}
+	if _, err := e.Insert([]float64{1, 2}, []order.Value{9}); err == nil {
+		t.Error("out-of-domain value accepted")
+	}
+	if err := e.Delete(99); err == nil {
+		t.Error("deleting unknown id accepted")
+	}
+	if err := e.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete(0); err == nil {
+		t.Error("double delete accepted")
+	}
+}
+
+func TestInsertDominatingPointEvicts(t *testing.T) {
+	e := newTable1Engine(t)
+	// A package that dominates everything: free, class 5, Tulips.
+	id, err := e.Insert([]float64{0, -5}, []order.Value{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sky := e.Skyline()
+	// Skyline keeps incomparable hotels: c (H, class 5) is price-worse but a
+	// different nominal value, still dominated? a=(0,-5,T) vs c=(3000,-5,H):
+	// nominal incomparable under the empty template → c survives; e and f (M)
+	// likewise survive on hotel-group, but a,b (T) are dominated.
+	want := map[data.PointID]bool{id: true, 2: true, 4: true, 5: true}
+	if len(sky) != len(want) {
+		t.Fatalf("skyline after insert = %v", sky)
+	}
+	for _, s := range sky {
+		if !want[s] {
+			t.Errorf("unexpected skyline member %d", s)
+		}
+	}
+}
+
+func TestDeletePromotesShieldedPoint(t *testing.T) {
+	e := newTable1Engine(t)
+	// b is dominated only by a; deleting a must promote b.
+	if err := e.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range e.Skyline() {
+		if id == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("b not promoted after deleting a: %v", e.Skyline())
+	}
+}

@@ -1,0 +1,188 @@
+package adaptive
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"prefsky/internal/data"
+	"prefsky/internal/order"
+)
+
+func TestEmptyDataset(t *testing.T) {
+	dom, _ := order.NewAnonymousDomain("N", 3)
+	schema, _ := data.NewSchema([]data.NumericAttr{{Name: "A"}}, []*order.Domain{dom})
+	ds, err := data.New(schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(ds, schema.EmptyPreference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SkylineSize() != 0 {
+		t.Error("empty dataset has skyline")
+	}
+	pref := order.MustPreference(order.MustImplicit(3, 0))
+	got, err := e.Query(pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("query over empty dataset = %v", got)
+	}
+	// Maintenance from empty: first insert becomes the skyline.
+	id, err := e.Insert([]float64{1}, []order.Value{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SkylineSize() != 1 || e.Skyline()[0] != id {
+		t.Error("insert into empty engine failed")
+	}
+}
+
+func TestNoNominalDimensions(t *testing.T) {
+	schema, _ := data.NewSchema([]data.NumericAttr{{Name: "A"}, {Name: "B"}}, nil)
+	pts := []data.Point{
+		{Num: []float64{1, 4}}, {Num: []float64{2, 2}}, {Num: []float64{4, 1}},
+		{Num: []float64{3, 3}},
+	}
+	ds, err := data.New(schema, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := schema.EmptyPreference()
+	e, err := New(ds, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Query(tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []data.PointID{0, 1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("numeric-only query = %v, want %v", got, want)
+	}
+	if e.CountAffected(tmpl) != 0 {
+		t.Error("affected count nonzero without nominal dimensions")
+	}
+}
+
+func TestQueryAtMaxOrder(t *testing.T) {
+	// Queries listing every value of every dimension.
+	ds := data.Table3()
+	e, err := New(ds, ds.Schema().EmptyPreference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pref, err := data.ParsePreference(ds.Schema(), "Hotel-group: M<H<T; Airline: W<R<G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Query(pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resort, err := e.QueryResort(pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, resort) {
+		t.Errorf("max-order query variants disagree: %v vs %v", got, resort)
+	}
+}
+
+func TestTemplateOfOrderTwo(t *testing.T) {
+	// A second-order template: refinements must extend the two-value prefix.
+	ds := data.Table1()
+	tmpl, _ := data.ParsePreference(ds.Schema(), "Hotel-group: H<M<*")
+	e, err := New(ds, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := data.ParsePreference(ds.Schema(), "Hotel-group: H<M<T")
+	got, err := e.Query(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids("ace")) {
+		t.Errorf("query = %v, want ace", got)
+	}
+	// Swapping the prefix is rejected.
+	swapped, _ := data.ParsePreference(ds.Schema(), "Hotel-group: M<H<*")
+	if _, err := e.Query(swapped); err == nil {
+		t.Error("prefix-swapped query accepted")
+	}
+}
+
+func TestIterStopsEarlySafely(t *testing.T) {
+	// Abandoning an iterator mid-scan must not corrupt the engine.
+	ds := data.Table1()
+	e, err := New(ds, ds.Schema().EmptyPreference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pref, _ := data.ParsePreference(ds.Schema(), "Hotel-group: T<M<*")
+	it, err := e.QueryIter(pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.Next(); !ok {
+		t.Fatal("no first result")
+	}
+	// Abandon it; then run a fresh full query.
+	got, err := e.Query(pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids("ac")) {
+		t.Errorf("query after abandoned iterator = %v", got)
+	}
+}
+
+// TestConcurrentQueries documents that Query (not QueryResort, which
+// temporarily mutates the list, and not Insert/Delete) is safe for
+// concurrent readers.
+func TestConcurrentQueries(t *testing.T) {
+	fx := randomFixture(2718)
+	e, err := New(fx.ds, fx.tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefs := make([]*order.Preference, 6)
+	wants := make([][]data.PointID, len(prefs))
+	for i := range prefs {
+		prefs[i] = fx.randomRefinement()
+		w, err := e.Query(prefs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+	var wg sync.WaitGroup
+	fail := make(chan string, 64)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 15; rep++ {
+				i := (g + rep) % len(prefs)
+				got, err := e.Query(prefs[i])
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				if !reflect.DeepEqual(got, wants[i]) {
+					fail <- "concurrent query mismatch"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Fatal(msg)
+	}
+}

@@ -1,0 +1,122 @@
+package adaptive
+
+import (
+	"fmt"
+
+	"prefsky/internal/data"
+	"prefsky/internal/order"
+	"prefsky/internal/skyline"
+)
+
+// Incremental maintenance (§4.3): SKY(R̃) is kept current under point
+// insertions and deletions; the sorted list and inverted index are updated in
+// place, so queries immediately reflect the new data without rebuilding.
+
+// Insert adds a point to the dataset and updates SKY(R̃). The assigned id is
+// returned. Skyline members newly dominated by the point are evicted.
+func (e *Engine) Insert(num []float64, nom []order.Value) (data.PointID, error) {
+	if len(num) != e.schema.NumDims() {
+		return 0, fmt.Errorf("adaptive: %d numeric values, schema has %d", len(num), e.schema.NumDims())
+	}
+	if len(nom) != e.schema.NomDims() {
+		return 0, fmt.Errorf("adaptive: %d nominal values, schema has %d", len(nom), e.schema.NomDims())
+	}
+	for d, v := range nom {
+		if int(v) < 0 || int(v) >= e.schema.Nominal[d].Cardinality() {
+			return 0, fmt.Errorf("adaptive: nominal value %d outside domain %s", v, e.schema.Nominal[d].Name())
+		}
+	}
+	id := data.PointID(len(e.points))
+	p := data.Point{
+		ID:  id,
+		Num: append([]float64(nil), num...),
+		Nom: append([]order.Value(nil), nom...),
+	}
+	e.points = append(e.points, p)
+	e.alive = append(e.alive, true)
+	e.member = append(e.member, false)
+	e.baseScore = append(e.baseScore, e.baseCmp.Score(&p))
+
+	// The new point joins SKY(R̃) unless an existing member dominates it
+	// (non-members are themselves dominated by members and cannot matter).
+	for mid, m := range e.member {
+		if m && e.baseCmp.Dominates(&e.points[mid], &e.points[id]) {
+			return id, nil
+		}
+	}
+	// Evict members the new point dominates, then join.
+	for mid, m := range e.member {
+		if m && e.baseCmp.Dominates(&e.points[id], &e.points[mid]) {
+			e.dropMember(data.PointID(mid))
+		}
+	}
+	e.addMember(id)
+	return id, nil
+}
+
+// Delete removes a point. Deleting a skyline member may promote points it was
+// shielding, which are recomputed against the remaining members.
+func (e *Engine) Delete(id data.PointID) error {
+	if int(id) < 0 || int(id) >= len(e.points) {
+		return fmt.Errorf("adaptive: point %d does not exist", id)
+	}
+	if !e.alive[id] {
+		return fmt.Errorf("adaptive: point %d already deleted", id)
+	}
+	e.alive[id] = false
+	if !e.member[id] {
+		return nil
+	}
+	e.dropMember(id)
+
+	// Candidates: alive non-members no remaining member dominates. Any point
+	// dominated by an alive point is dominated by some point that is maximal
+	// among its dominators, and that maximal point is either a remaining
+	// member or itself a candidate — so the true promotions are the skyline
+	// of the candidates.
+	var candidates []data.Point
+	for cid := range e.points {
+		if !e.alive[cid] || e.member[cid] {
+			continue
+		}
+		dominated := false
+		for mid, m := range e.member {
+			if m && e.baseCmp.Dominates(&e.points[mid], &e.points[cid]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			candidates = append(candidates, e.points[cid])
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	for _, pid := range skyline.BNL(candidates, e.baseCmp) {
+		e.addMember(pid)
+	}
+	return nil
+}
+
+// N returns the number of live points.
+func (e *Engine) N() int {
+	n := 0
+	for _, a := range e.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// livePoints returns the current dataset contents (test support).
+func (e *Engine) livePoints() []data.Point {
+	out := make([]data.Point, 0, len(e.points))
+	for id, a := range e.alive {
+		if a {
+			out = append(out, e.points[id])
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package adaptive
+
+import (
+	"sort"
+
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/order"
+	"prefsky/internal/skiplist"
+)
+
+// QueryResort answers the query exactly as §4.2 describes the list
+// manipulation: the affected points are deleted from the presorted skip list
+// and re-inserted under their new scores (O(l log n)), the skyline extraction
+// scans the resulting list, and the list is restored afterwards. It returns
+// the same result as Query and exists to measure the paper-faithful resort
+// against the merge-scan implementation (see bench_test.go ablations).
+func (e *Engine) QueryResort(pref *order.Preference) ([]data.PointID, error) {
+	if err := e.validate(pref); err != nil {
+		return nil, err
+	}
+	cmp, err := dominance.NewComparator(e.schema, pref)
+	if err != nil {
+		return nil, err
+	}
+	affected := e.affectedPoints(pref, cmp)
+
+	// Step 3 of Algorithm 4: delete the affected points...
+	newScore := make(map[data.PointID]float64, len(affected))
+	for _, id := range affected {
+		e.list.Delete(skiplist.Key{Score: e.baseScore[id], ID: id})
+	}
+	// ...and Step 4: re-insert them under the refined ranking.
+	for _, id := range affected {
+		s := cmp.Score(&e.points[id])
+		newScore[id] = s
+		e.list.Insert(skiplist.Key{Score: s, ID: id})
+	}
+	defer func() {
+		for _, id := range affected {
+			e.list.Delete(skiplist.Key{Score: newScore[id], ID: id})
+			e.list.Insert(skiplist.Key{Score: e.baseScore[id], ID: id})
+		}
+	}()
+
+	// Step 5: skyline extraction over the re-sorted list. Unaffected points
+	// only need checks against accepted re-ranked points (their mutual
+	// template relations are unchanged); re-ranked points check everything.
+	isAff := make(map[data.PointID]struct{}, len(affected))
+	for _, id := range affected {
+		isAff[id] = struct{}{}
+	}
+	var acceptedAll, acceptedAff []*data.Point
+	var out []data.PointID
+	cur := e.list.Front()
+	for {
+		k, ok := cur.Next()
+		if !ok {
+			break
+		}
+		p := &e.points[k.ID]
+		_, reranked := isAff[k.ID]
+		against := acceptedAff
+		if reranked {
+			against = acceptedAll
+		}
+		dominated := false
+		for _, s := range against {
+			if cmp.Dominates(s, p) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		acceptedAll = append(acceptedAll, p)
+		if reranked {
+			acceptedAff = append(acceptedAff, p)
+		}
+		out = append(out, k.ID)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

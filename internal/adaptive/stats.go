@@ -1,0 +1,75 @@
+package adaptive
+
+import (
+	"sort"
+
+	"prefsky/internal/data"
+	"prefsky/internal/order"
+)
+
+// QueryStats counts the work of one Adaptive SFS query, mirroring the §4.2
+// complexity discussion: l points are re-ranked (O(l log n) resort) and the
+// extraction performs dominance checks bounded by min(c,l)·n.
+type QueryStats struct {
+	// Reranked is l: the skyline points whose score changed under the query.
+	Reranked int
+	// Affected is the paper's |AFFECT(R)|: skyline points carrying any value
+	// listed in the query (Reranked ≤ Affected).
+	Affected int
+	// DominanceChecks counts pairwise dominance tests during extraction.
+	DominanceChecks int
+	// Result is |SKY(R̃′)|.
+	Result int
+}
+
+// QueryWithStats answers the query like Query while measuring the work done.
+func (e *Engine) QueryWithStats(pref *order.Preference) ([]data.PointID, QueryStats, error) {
+	var st QueryStats
+	it, err := e.QueryIter(pref)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Reranked = len(it.affected)
+	st.Affected = e.CountAffected(pref)
+	var out []data.PointID
+	for {
+		p, ok := it.nextCounted(&st.DominanceChecks)
+		if !ok {
+			break
+		}
+		out = append(out, p.ID)
+	}
+	st.Result = len(out)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, st, nil
+}
+
+// nextCounted is Next with a dominance-check counter.
+func (it *Iter) nextCounted(checks *int) (data.Point, bool) {
+	for {
+		p, reranked, ok := it.pick()
+		if !ok {
+			return data.Point{}, false
+		}
+		against := it.acceptedAff
+		if reranked {
+			against = it.acceptedAll
+		}
+		dominated := false
+		for _, s := range against {
+			*checks++
+			if it.cmp.Dominates(s, p) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		it.acceptedAll = append(it.acceptedAll, p)
+		if reranked {
+			it.acceptedAff = append(it.acceptedAff, p)
+		}
+		return *p, true
+	}
+}

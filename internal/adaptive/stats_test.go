@@ -1,0 +1,98 @@
+package adaptive
+
+import (
+	"reflect"
+	"testing"
+
+	"prefsky/internal/data"
+)
+
+func TestQueryWithStatsAgreesWithQuery(t *testing.T) {
+	fx := randomFixture(55)
+	e, err := New(fx.ds, fx.tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		pref := fx.randomRefinement()
+		want, err := e.Query(pref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := e.QueryWithStats(pref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("QueryWithStats disagrees: %v vs %v", got, want)
+		}
+		if st.Result != len(want) {
+			t.Errorf("Result = %d, want %d", st.Result, len(want))
+		}
+		if st.Reranked > st.Affected {
+			t.Errorf("Reranked %d exceeds Affected %d", st.Reranked, st.Affected)
+		}
+	}
+}
+
+func TestQueryStatsTemplateQueryIsFree(t *testing.T) {
+	// Querying the template itself re-ranks nothing: l = 0 and no dominance
+	// work beyond streaming the presorted list.
+	ds := data.Table1()
+	tmpl, _ := data.ParsePreference(ds.Schema(), "Hotel-group: T<*")
+	e, err := New(ds, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := e.QueryWithStats(tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reranked != 0 {
+		t.Errorf("Reranked = %d, want 0 for the template query", st.Reranked)
+	}
+	if st.DominanceChecks != 0 {
+		t.Errorf("DominanceChecks = %d, want 0 (no re-ranked points to test against)", st.DominanceChecks)
+	}
+	if st.Result != e.SkylineSize() {
+		t.Errorf("Result = %d, want the full template skyline %d", st.Result, e.SkylineSize())
+	}
+}
+
+func TestQueryStatsRerankedMatchesChangedValues(t *testing.T) {
+	ds := data.Table1()
+	e, err := New(ds, ds.Schema().EmptyPreference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SKY(∅) = {a,c,e,f}. Preference on M re-ranks e and f; on T<M, a too.
+	pref, _ := data.ParsePreference(ds.Schema(), "Hotel-group: M<*")
+	_, st, err := e.QueryWithStats(pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reranked != 2 || st.Affected != 2 {
+		t.Errorf("stats = %+v, want Reranked=Affected=2", st)
+	}
+	pref2, _ := data.ParsePreference(ds.Schema(), "Hotel-group: T<M<*")
+	_, st2, err := e.QueryWithStats(pref2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Reranked != 3 {
+		t.Errorf("Reranked = %d, want 3 (a, e, f)", st2.Reranked)
+	}
+}
+
+func TestQueryWithStatsError(t *testing.T) {
+	ds := data.Table1()
+	tmpl, _ := data.ParsePreference(ds.Schema(), "Hotel-group: T<*")
+	e, err := New(ds, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflicting, _ := data.ParsePreference(ds.Schema(), "Hotel-group: M<*")
+	if _, _, err := e.QueryWithStats(conflicting); err == nil {
+		t.Error("conflicting query accepted")
+	}
+}

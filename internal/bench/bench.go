@@ -1,0 +1,273 @@
+// Package bench is the experiment harness for §5: it generates the paper's
+// workloads, runs the four algorithms (IPO Tree, IPO Tree-K, SFS-A, SFS-D)
+// and measures the four panels of every figure — (a) preprocessing time,
+// (b) query time, (c) storage, (d) the percentage metrics |SKY(R)|/|D|,
+// |AFFECT(R)|/|SKY(R)| and |SKY(R′)|/|SKY(R)|.
+//
+// Absolute numbers are hardware- and scale-dependent; the harness reproduces
+// the figures' shapes at laptop-friendly sizes (see EXPERIMENTS.md for the
+// scaling and the paper-vs-measured record).
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"prefsky/internal/adaptive"
+	"prefsky/internal/core"
+	"prefsky/internal/data"
+	"prefsky/internal/gen"
+	"prefsky/internal/ipotree"
+	"prefsky/internal/nursery"
+	"prefsky/internal/order"
+)
+
+// Config is one experiment point. The zero value is not runnable; start from
+// Default (the paper's Table 4, scaled) and override.
+type Config struct {
+	N           int
+	NumDims     int
+	NomDims     int
+	Cardinality int
+	Theta       float64
+	Kind        gen.Kind
+	Order       int
+	Queries     int
+	TopK        int           // K of "IPO Tree-K" (the paper uses 10)
+	Mode        gen.ValueMode // how query values are drawn
+	Seed        int64
+	Parallelism int
+
+	// FrequentTemplate applies the §5 default template (most frequent value
+	// preferred per nominal dimension); otherwise the template is empty.
+	FrequentTemplate bool
+	// Real uses the Nursery data set instead of synthetic data (§5.2);
+	// N, dims, cardinality and Kind are ignored.
+	Real bool
+	// SkipFullTree omits the unrestricted IPO Tree (for configurations whose
+	// full tree would be too large); IPO Tree-K still runs.
+	SkipFullTree bool
+}
+
+// Default returns the paper's Table 4 defaults scaled to laptop size:
+// 500K tuples → 10K, 100 random queries → 20. Everything else matches.
+func Default() Config {
+	return Config{
+		N:           10000,
+		NumDims:     3,
+		NomDims:     2,
+		Cardinality: 20,
+		Theta:       1,
+		Kind:        gen.AntiCorrelated,
+		Order:       3,
+		Queries:     20,
+		TopK:        10,
+		Mode:        gen.Zipfian,
+		Seed:        1,
+		// The paper's template: most frequent value preferred.
+		FrequentTemplate: true,
+	}
+}
+
+// AlgoResult is one algorithm's measurements at one experiment point.
+type AlgoResult struct {
+	Name       string
+	Preprocess time.Duration
+	QueryAvg   time.Duration
+	Storage    int
+	Skipped    bool
+}
+
+// Cell is one x-axis point of a figure: all algorithms plus panel (d).
+type Cell struct {
+	Label   string
+	N       int
+	Dims    int
+	Queries int
+
+	Algos []AlgoResult
+
+	SkylineSize int
+	// Percentage metrics of panel (d), in percent.
+	SkyOverD        float64
+	AffectOverSky   float64
+	SkyPrimeOverSky float64
+}
+
+// Algo finds an algorithm's result by name.
+func (c Cell) Algo(name string) (AlgoResult, bool) {
+	for _, a := range c.Algos {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return AlgoResult{}, false
+}
+
+// dataset materializes the experiment data for the configuration.
+func (cfg Config) dataset() (*data.Dataset, error) {
+	if cfg.Real {
+		return nursery.Dataset()
+	}
+	return gen.Dataset(gen.Config{
+		N:           cfg.N,
+		NumDims:     cfg.NumDims,
+		NomDims:     cfg.NomDims,
+		Cardinality: cfg.Cardinality,
+		Theta:       cfg.Theta,
+		Kind:        cfg.Kind,
+		Seed:        cfg.Seed,
+	})
+}
+
+// template builds the experiment template for the dataset.
+func (cfg Config) template(ds *data.Dataset) (*order.Preference, error) {
+	if cfg.FrequentTemplate {
+		return gen.FrequentTemplate(ds)
+	}
+	return ds.Schema().EmptyPreference(), nil
+}
+
+// RunPoint executes one experiment point: builds the workload, all engines,
+// times everything and collects the percentage metrics.
+func RunPoint(label string, cfg Config) (Cell, error) {
+	ds, err := cfg.dataset()
+	if err != nil {
+		return Cell{}, fmt.Errorf("bench: dataset: %w", err)
+	}
+	tmpl, err := cfg.template(ds)
+	if err != nil {
+		return Cell{}, fmt.Errorf("bench: template: %w", err)
+	}
+	queries, err := gen.Queries(ds.Schema().Cardinalities(), tmpl, gen.QueryConfig{
+		Order: cfg.Order,
+		Count: cfg.Queries,
+		Mode:  cfg.Mode,
+		K:     cfg.TopK,
+		Theta: cfg.Theta,
+		Seed:  cfg.Seed + 7919,
+	})
+	if err != nil {
+		return Cell{}, fmt.Errorf("bench: queries: %w", err)
+	}
+	cell := Cell{
+		Label:   label,
+		N:       ds.N(),
+		Dims:    ds.Schema().Dims(),
+		Queries: len(queries),
+	}
+
+	// SFS-A doubles as the metrics provider for panel (d).
+	start := time.Now()
+	sfsa, err := adaptive.New(ds, tmpl)
+	if err != nil {
+		return Cell{}, fmt.Errorf("bench: SFS-A: %w", err)
+	}
+	sfsaPrep := time.Since(start)
+	cell.SkylineSize = sfsa.SkylineSize()
+	if ds.N() > 0 {
+		cell.SkyOverD = 100 * float64(cell.SkylineSize) / float64(ds.N())
+	}
+	if cell.SkylineSize > 0 {
+		var affect, prime float64
+		for _, q := range queries {
+			affect += float64(sfsa.CountAffected(q))
+			res, err := sfsa.Query(q)
+			if err != nil {
+				return Cell{}, fmt.Errorf("bench: SFS-A query: %w", err)
+			}
+			prime += float64(len(res))
+		}
+		if len(queries) > 0 {
+			cell.AffectOverSky = 100 * affect / float64(len(queries)) / float64(cell.SkylineSize)
+			cell.SkyPrimeOverSky = 100 * prime / float64(len(queries)) / float64(cell.SkylineSize)
+		}
+	}
+
+	treeOpts := ipotree.Options{Parallelism: cfg.Parallelism}
+
+	// IPO Tree (full materialization).
+	if cfg.SkipFullTree {
+		cell.Algos = append(cell.Algos, AlgoResult{Name: "IPO Tree", Skipped: true})
+	} else {
+		res, err := runEngine("IPO Tree", queries, func() (core.Engine, error) {
+			return core.NewIPOTree(ds, tmpl, treeOpts)
+		})
+		if err != nil {
+			return Cell{}, err
+		}
+		cell.Algos = append(cell.Algos, res)
+	}
+
+	// IPO Tree-K with SFS-A fallback for unmaterialized values (§3.1/§5.3).
+	if cfg.TopK > 0 {
+		opts := treeOpts
+		opts.TopK = cfg.TopK
+		res, err := runEngine(fmt.Sprintf("IPO Tree-%d", cfg.TopK), queries, func() (core.Engine, error) {
+			return core.NewHybrid(ds, tmpl, opts)
+		})
+		if err != nil {
+			return Cell{}, err
+		}
+		cell.Algos = append(cell.Algos, res)
+	}
+
+	// SFS-A (already built; reuse the preprocessing time measured above).
+	sfsaRes := AlgoResult{Name: "SFS-A", Preprocess: sfsaPrep, Storage: sfsa.SizeBytes()}
+	sfsaRes.QueryAvg, err = timeQueries(queries, func(q *order.Preference) error {
+		_, err := sfsa.Query(q)
+		return err
+	})
+	if err != nil {
+		return Cell{}, err
+	}
+	cell.Algos = append(cell.Algos, sfsaRes)
+
+	// SFS-D: no preprocessing, no storage.
+	sfsd, err := core.NewSFSD(ds)
+	if err != nil {
+		return Cell{}, err
+	}
+	sfsdRes := AlgoResult{Name: "SFS-D"}
+	sfsdRes.QueryAvg, err = timeQueries(queries, func(q *order.Preference) error {
+		_, err := sfsd.Skyline(q)
+		return err
+	})
+	if err != nil {
+		return Cell{}, err
+	}
+	cell.Algos = append(cell.Algos, sfsdRes)
+
+	return cell, nil
+}
+
+// runEngine times an engine's construction and query workload.
+func runEngine(name string, queries []*order.Preference, build func() (core.Engine, error)) (AlgoResult, error) {
+	start := time.Now()
+	e, err := build()
+	if err != nil {
+		return AlgoResult{}, fmt.Errorf("bench: building %s: %w", name, err)
+	}
+	res := AlgoResult{Name: name, Preprocess: time.Since(start), Storage: e.SizeBytes()}
+	res.QueryAvg, err = timeQueries(queries, func(q *order.Preference) error {
+		_, err := e.Skyline(q)
+		return err
+	})
+	if err != nil {
+		return AlgoResult{}, fmt.Errorf("bench: querying %s: %w", name, err)
+	}
+	return res, nil
+}
+
+func timeQueries(queries []*order.Preference, run func(*order.Preference) error) (time.Duration, error) {
+	if len(queries) == 0 {
+		return 0, nil
+	}
+	start := time.Now()
+	for _, q := range queries {
+		if err := run(q); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(len(queries)), nil
+}

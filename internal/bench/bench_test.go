@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prefsky/internal/gen"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	cfg := Default()
+	cfg.N = 400
+	cfg.Cardinality = 6
+	cfg.Queries = 4
+	cfg.TopK = 3
+	cfg.Seed = 42
+	return cfg
+}
+
+func TestRunPointPopulatesCell(t *testing.T) {
+	cell, err := RunPoint("tiny", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.N != 400 || cell.Queries != 4 {
+		t.Errorf("cell shape: %+v", cell)
+	}
+	wantAlgos := []string{"IPO Tree", "IPO Tree-3", "SFS-A", "SFS-D"}
+	if len(cell.Algos) != len(wantAlgos) {
+		t.Fatalf("algorithms = %d, want %d", len(cell.Algos), len(wantAlgos))
+	}
+	for i, name := range wantAlgos {
+		a := cell.Algos[i]
+		if a.Name != name {
+			t.Errorf("algo %d = %q, want %q", i, a.Name, name)
+		}
+		if a.QueryAvg <= 0 {
+			t.Errorf("%s: non-positive query time", name)
+		}
+	}
+	// SFS-D keeps no storage; materializing engines keep some.
+	if sfsd, _ := cell.Algo("SFS-D"); sfsd.Storage != 0 {
+		t.Error("SFS-D reported storage")
+	}
+	if ipo, _ := cell.Algo("IPO Tree"); ipo.Storage <= 0 || ipo.Preprocess <= 0 {
+		t.Error("IPO Tree missing preprocess/storage")
+	}
+	if cell.SkyOverD <= 0 || cell.SkyOverD > 100 {
+		t.Errorf("SkyOverD = %v", cell.SkyOverD)
+	}
+	if cell.SkyPrimeOverSky <= 0 || cell.SkyPrimeOverSky > 100 {
+		t.Errorf("SkyPrimeOverSky = %v", cell.SkyPrimeOverSky)
+	}
+	if cell.AffectOverSky < 0 || cell.AffectOverSky > 100 {
+		t.Errorf("AffectOverSky = %v", cell.AffectOverSky)
+	}
+}
+
+func TestRunPointSkipFullTree(t *testing.T) {
+	cfg := tiny()
+	cfg.SkipFullTree = true
+	cell, err := RunPoint("skip", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipo, ok := cell.Algo("IPO Tree")
+	if !ok || !ipo.Skipped {
+		t.Error("full tree not marked skipped")
+	}
+}
+
+func TestRunPointRealData(t *testing.T) {
+	cfg := tiny()
+	cfg.Real = true
+	cfg.FrequentTemplate = false
+	cfg.TopK = 0
+	cfg.Order = 2
+	cell, err := RunPoint("nursery", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.N != 12960 {
+		t.Errorf("N = %d, want 12960", cell.N)
+	}
+	if _, ok := cell.Algo("IPO Tree-10"); ok {
+		t.Error("TopK engine present despite TopK=0")
+	}
+}
+
+func TestFigureSweepsShape(t *testing.T) {
+	base := tiny()
+	base.Queries = 2
+	base.N = 200
+
+	fig4, err := Figure4(base, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig4.Cells) != 4 {
+		t.Errorf("Figure4 cells = %d", len(fig4.Cells))
+	}
+	// N grows along the sweep.
+	for i := 1; i < len(fig4.Cells); i++ {
+		if fig4.Cells[i].N <= fig4.Cells[i-1].N {
+			t.Error("Figure4 N not increasing")
+		}
+	}
+
+	fig7, err := Figure7(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig7.Cells) != 4 {
+		t.Errorf("Figure7 cells = %d", len(fig7.Cells))
+	}
+}
+
+func TestFigure5SkipsGiantTrees(t *testing.T) {
+	base := tiny()
+	base.N = 150
+	base.Queries = 2
+	base.Cardinality = 13 // above the skip threshold for nom ≥ 3
+	fig, err := Figure5(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Cells) != 4 {
+		t.Fatalf("cells = %d", len(fig.Cells))
+	}
+	for i, c := range fig.Cells {
+		a, ok := c.Algo("IPO Tree")
+		if !ok {
+			t.Fatalf("cell %d missing IPO Tree", i)
+		}
+		wantSkip := i >= 2 // nominal dims 3 and 4
+		if a.Skipped != wantSkip {
+			t.Errorf("cell %d skipped = %v, want %v", i, a.Skipped, wantSkip)
+		}
+	}
+}
+
+func TestFigure8RealSweep(t *testing.T) {
+	base := tiny()
+	base.Queries = 2
+	fig, err := Figure8(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Cells) != 4 {
+		t.Fatalf("cells = %d", len(fig.Cells))
+	}
+	// Order 0 queries the template: |SKY(R')|/|SKY(R)| must be 100%.
+	if got := fig.Cells[0].SkyPrimeOverSky; got < 99.9 {
+		t.Errorf("order-0 SkyPrimeOverSky = %v, want 100", got)
+	}
+	// Higher orders can only shrink the skyline (Theorem 1).
+	for i := 1; i < 4; i++ {
+		if fig.Cells[i].SkyPrimeOverSky > fig.Cells[i-1].SkyPrimeOverSky+1e-9 {
+			t.Errorf("SkyPrimeOverSky not non-increasing: %v then %v",
+				fig.Cells[i-1].SkyPrimeOverSky, fig.Cells[i].SkyPrimeOverSky)
+		}
+	}
+}
+
+func TestPrintAndSummary(t *testing.T) {
+	cell, err := RunPoint("p", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := Figure{Name: "Figure X", XAxis: "x", Cells: []Cell{cell}}
+	var buf bytes.Buffer
+	if err := fig.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure X", "IPO Tree", "SFS-A", "SFS-D", "|SKY(R)|/|D|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q", want)
+		}
+	}
+	if s := fig.Summary(); !strings.Contains(s, "SFS-D=") {
+		t.Errorf("Summary missing SFS-D: %q", s)
+	}
+}
+
+func TestDefaultMatchesTable4Shape(t *testing.T) {
+	cfg := Default()
+	if cfg.NumDims != 3 || cfg.NomDims != 2 || cfg.Cardinality != 20 ||
+		cfg.Theta != 1 || cfg.Order != 3 || cfg.Kind != gen.AntiCorrelated {
+		t.Errorf("Default diverges from Table 4: %+v", cfg)
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[int]string{
+		512:       "512B",
+		2048:      "2.0KB",
+		3 << 20:   "3.0MB",
+		1<<20 + 1: "1.0MB",
+	}
+	for n, want := range cases {
+		if got := fmtBytes(n); got != want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

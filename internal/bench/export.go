@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the figures in machine-readable form, one row per
+// (figure, x-point, algorithm), with the panel-(d) percentages repeated per
+// row. It is the format external plotting scripts consume.
+func WriteCSV(w io.Writer, figures ...Figure) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"figure", "x", "algorithm", "skipped",
+		"preprocess_ns", "query_avg_ns", "storage_bytes",
+		"n", "skyline", "sky_over_d_pct", "affect_over_sky_pct", "skyprime_over_sky_pct",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, fig := range figures {
+		for _, cell := range fig.Cells {
+			for _, a := range cell.Algos {
+				rec := []string{
+					fig.Name,
+					cell.Label,
+					a.Name,
+					strconv.FormatBool(a.Skipped),
+					strconv.FormatInt(a.Preprocess.Nanoseconds(), 10),
+					strconv.FormatInt(a.QueryAvg.Nanoseconds(), 10),
+					strconv.Itoa(a.Storage),
+					strconv.Itoa(cell.N),
+					strconv.Itoa(cell.SkylineSize),
+					fmt.Sprintf("%.3f", cell.SkyOverD),
+					fmt.Sprintf("%.3f", cell.AffectOverSky),
+					fmt.Sprintf("%.3f", cell.SkyPrimeOverSky),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func exportFixture() Figure {
+	return Figure{
+		Name:  "Figure T",
+		XAxis: "x",
+		Cells: []Cell{
+			{
+				Label: "p1", N: 100, SkylineSize: 10,
+				SkyOverD: 10, AffectOverSky: 50, SkyPrimeOverSky: 80,
+				Algos: []AlgoResult{
+					{Name: "IPO Tree", Preprocess: time.Millisecond, QueryAvg: time.Microsecond, Storage: 1234},
+					{Name: "SFS-D", QueryAvg: time.Millisecond},
+					{Name: "Big", Skipped: true},
+				},
+			},
+		},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, exportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 4 { // header + 3 algorithms
+		t.Fatalf("rows = %d, want 4", len(rec))
+	}
+	if rec[0][0] != "figure" || rec[0][5] != "query_avg_ns" {
+		t.Errorf("header wrong: %v", rec[0])
+	}
+	if rec[1][2] != "IPO Tree" || rec[1][4] != "1000000" || rec[1][6] != "1234" {
+		t.Errorf("IPO row wrong: %v", rec[1])
+	}
+	if rec[3][3] != "true" {
+		t.Errorf("skipped flag wrong: %v", rec[3])
+	}
+	if rec[1][9] != "10.000" {
+		t.Errorf("percentage wrong: %v", rec[1])
+	}
+}
+
+func TestWriteCSVMultipleFigures(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, exportFixture(), exportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "Figure T"); got != 6 {
+		t.Errorf("figure rows = %d, want 6", got)
+	}
+}

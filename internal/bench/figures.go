@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"prefsky/internal/gen"
+)
+
+// Figure is a complete sweep: one Cell per x-axis point.
+type Figure struct {
+	Name  string
+	XAxis string
+	Cells []Cell
+}
+
+// Figure4 reproduces "Scalability with respect to database size":
+// N ∈ {250K, 500K, 750K, 1000K} × scale (scale 1 = paper size; the default
+// harness uses scale 0.02 → 5K..20K).
+func Figure4(base Config, scale float64) (Figure, error) {
+	fig := Figure{Name: "Figure 4", XAxis: "No. of points"}
+	for _, thousands := range []int{250, 500, 750, 1000} {
+		cfg := base
+		cfg.N = int(float64(thousands*1000) * scale)
+		cell, err := RunPoint(fmt.Sprintf("%dK×%g", thousands, scale), cfg)
+		if err != nil {
+			return fig, fmt.Errorf("figure 4 at %dK: %w", thousands, err)
+		}
+		fig.Cells = append(fig.Cells, cell)
+	}
+	return fig, nil
+}
+
+// Figure5 reproduces "Scalability with respect to dimensionality": the number
+// of numeric attributes stays 3 and the nominal dimensions sweep 1..4, so the
+// total dimensionality runs 4..7 as in the paper.
+func Figure5(base Config) (Figure, error) {
+	fig := Figure{Name: "Figure 5", XAxis: "No. of dimensions"}
+	for nom := 1; nom <= 4; nom++ {
+		cfg := base
+		cfg.NumDims = 3
+		cfg.NomDims = nom
+		// A full tree over many nominal dimensions is the paper's 10⁵-second
+		// point; skip it where it would dwarf the run and keep IPO Tree-K.
+		if nom >= 3 && cfg.Cardinality > 12 {
+			cfg.SkipFullTree = true
+		}
+		cell, err := RunPoint(fmt.Sprintf("%d dims", 3+nom), cfg)
+		if err != nil {
+			return fig, fmt.Errorf("figure 5 at %d nominal dims: %w", nom, err)
+		}
+		fig.Cells = append(fig.Cells, cell)
+	}
+	return fig, nil
+}
+
+// Figure6 reproduces "Scalability with respect to cardinality of nominal
+// attribute": cardinality ∈ {10, 20, 30, 40}.
+func Figure6(base Config) (Figure, error) {
+	fig := Figure{Name: "Figure 6", XAxis: "Cardinality of nominal attribute"}
+	for _, card := range []int{10, 20, 30, 40} {
+		cfg := base
+		cfg.Cardinality = card
+		cell, err := RunPoint(fmt.Sprintf("card %d", card), cfg)
+		if err != nil {
+			return fig, fmt.Errorf("figure 6 at cardinality %d: %w", card, err)
+		}
+		fig.Cells = append(fig.Cells, cell)
+	}
+	return fig, nil
+}
+
+// Figure7 reproduces "Effect of order of implicit preference":
+// order ∈ {1, 2, 3, 4}. With the §5 frequent-value template, an order-1
+// refinement is the template itself (see DESIGN.md).
+func Figure7(base Config) (Figure, error) {
+	fig := Figure{Name: "Figure 7", XAxis: "Order of implicit preference"}
+	for x := 1; x <= 4; x++ {
+		cfg := base
+		cfg.Order = x
+		cell, err := RunPoint(fmt.Sprintf("order %d", x), cfg)
+		if err != nil {
+			return fig, fmt.Errorf("figure 7 at order %d: %w", x, err)
+		}
+		fig.Cells = append(fig.Cells, cell)
+	}
+	return fig, nil
+}
+
+// Figure8 reproduces "Effect of order of implicit preference (real data
+// set)": the Nursery data with order ∈ {0, 1, 2, 3}. Both nominal attributes
+// have cardinality 4, so the tree is tiny and TopK is irrelevant; queries of
+// order 0 are the empty preference.
+func Figure8(base Config) (Figure, error) {
+	fig := Figure{Name: "Figure 8", XAxis: "Order of implicit preference"}
+	for x := 0; x <= 3; x++ {
+		cfg := base
+		cfg.Real = true
+		cfg.FrequentTemplate = false
+		cfg.Order = x
+		cfg.TopK = 0 // cardinality 4: no restriction is meaningful
+		cell, err := RunPoint(fmt.Sprintf("order %d", x), cfg)
+		if err != nil {
+			return fig, fmt.Errorf("figure 8 at order %d: %w", x, err)
+		}
+		fig.Cells = append(fig.Cells, cell)
+	}
+	return fig, nil
+}
+
+// KindSweep substantiates the §5.1 remark that the independent and correlated
+// data sets show "similar trends but much shorter execution times" than the
+// anti-correlated default: one cell per correlation kind at the base point.
+func KindSweep(base Config) (Figure, error) {
+	fig := Figure{Name: "Kind sweep (§5.1)", XAxis: "Data set kind"}
+	for _, kind := range []gen.Kind{gen.Correlated, gen.Independent, gen.AntiCorrelated} {
+		cfg := base
+		cfg.Kind = kind
+		cell, err := RunPoint(kind.String(), cfg)
+		if err != nil {
+			return fig, fmt.Errorf("kind sweep at %v: %w", kind, err)
+		}
+		fig.Cells = append(fig.Cells, cell)
+	}
+	return fig, nil
+}
+
+// Print renders the figure as the four panels of §5 in aligned text tables.
+func (f Figure) Print(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s — %s\n", f.Name, f.XAxis)
+	fmt.Fprintf(tw, "(a,b,c)\t%s\talgorithm\tpreprocess\tquery avg\tstorage\n", f.XAxis)
+	for _, c := range f.Cells {
+		for _, a := range c.Algos {
+			if a.Skipped {
+				fmt.Fprintf(tw, "\t%s\t%s\t(skipped)\t-\t-\n", c.Label, a.Name)
+				continue
+			}
+			pre := "-"
+			if a.Name != "SFS-D" {
+				pre = a.Preprocess.Round(10 * 1000).String() // 10µs
+			}
+			sto := "-"
+			if a.Name != "SFS-D" {
+				sto = fmtBytes(a.Storage)
+			}
+			fmt.Fprintf(tw, "\t%s\t%s\t%s\t%s\t%s\n", c.Label, a.Name, pre, a.QueryAvg, sto)
+		}
+	}
+	fmt.Fprintf(tw, "(d)\t%s\t|SKY(R)|/|D|\t|AFFECT(R)|/|SKY(R)|\t|SKY(R')|/|SKY(R)|\t|SKY(R)|\n", f.XAxis)
+	for _, c := range f.Cells {
+		fmt.Fprintf(tw, "\t%s\t%.1f%%\t%.1f%%\t%.1f%%\t%d\n",
+			c.Label, c.SkyOverD, c.AffectOverSky, c.SkyPrimeOverSky, c.SkylineSize)
+	}
+	return tw.Flush()
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Summary renders one-line-per-cell query-time comparisons, the form used in
+// EXPERIMENTS.md.
+func (f Figure) Summary() string {
+	var b strings.Builder
+	for _, c := range f.Cells {
+		fmt.Fprintf(&b, "%s:", c.Label)
+		for _, a := range c.Algos {
+			if a.Skipped {
+				fmt.Fprintf(&b, " %s=skipped", a.Name)
+			} else {
+				fmt.Fprintf(&b, " %s=%v", a.Name, a.QueryAvg)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+
+	"prefsky/internal/gen"
+)
+
+func TestKindSweepShape(t *testing.T) {
+	base := trendBase()
+	base.N = 1200
+	fig, err := KindSweep(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Cells) != 3 {
+		t.Fatalf("cells = %d, want 3", len(fig.Cells))
+	}
+	wantLabels := []string{
+		gen.Correlated.String(), gen.Independent.String(), gen.AntiCorrelated.String(),
+	}
+	for i, c := range fig.Cells {
+		if c.Label != wantLabels[i] {
+			t.Errorf("cell %d label = %q, want %q", i, c.Label, wantLabels[i])
+		}
+	}
+}
+
+func TestKindSweepTrend(t *testing.T) {
+	// §5.1: correlated < independent < anti-correlated in skyline size, and
+	// SFS-D execution time follows the same ordering.
+	base := trendBase()
+	base.N = 1200
+	fig, err := KindSweep(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cor, ind, anti := fig.Cells[0], fig.Cells[1], fig.Cells[2]
+	if !(cor.SkylineSize < ind.SkylineSize && ind.SkylineSize < anti.SkylineSize) {
+		t.Errorf("skyline sizes %d/%d/%d not ordered correlated < independent < anti-correlated",
+			cor.SkylineSize, ind.SkylineSize, anti.SkylineSize)
+	}
+	sfsdCor, _ := cor.Algo("SFS-D")
+	sfsdAnti, _ := anti.Algo("SFS-D")
+	if sfsdCor.QueryAvg >= sfsdAnti.QueryAvg {
+		t.Errorf("SFS-D on correlated (%v) not faster than anti-correlated (%v)",
+			sfsdCor.QueryAvg, sfsdAnti.QueryAvg)
+	}
+}

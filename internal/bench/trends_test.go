@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"testing"
+)
+
+// Trend tests pin the directional claims of §5's panel (d) at test scale with
+// a fixed seed (deterministic, not statistical): the same movements the
+// paper's figures show must appear here.
+
+func trendBase() Config {
+	cfg := Default()
+	cfg.N = 2000
+	cfg.Cardinality = 8
+	cfg.Queries = 10
+	cfg.TopK = 4
+	cfg.Seed = 99
+	return cfg
+}
+
+func TestTrendSkylineShareFallsWithN(t *testing.T) {
+	// Figure 4(d): |SKY(R)|/|D| decreases as the database grows.
+	base := trendBase()
+	fig, err := Figure4(base, 0.004) // 1000..4000 points
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(fig.Cells); i++ {
+		if fig.Cells[i].SkyOverD >= fig.Cells[i-1].SkyOverD {
+			t.Errorf("SkyOverD rose from %.2f to %.2f at %s",
+				fig.Cells[i-1].SkyOverD, fig.Cells[i].SkyOverD, fig.Cells[i].Label)
+		}
+	}
+	// And |SKY(R)| itself still grows.
+	for i := 1; i < len(fig.Cells); i++ {
+		if fig.Cells[i].SkylineSize <= fig.Cells[i-1].SkylineSize {
+			t.Errorf("skyline size did not grow at %s", fig.Cells[i].Label)
+		}
+	}
+}
+
+func TestTrendDimensionalityGrowsSkyline(t *testing.T) {
+	// Figure 5(d): more nominal dimensions → larger skyline share and more
+	// affected points.
+	fig, err := Figure5(trendBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(fig.Cells); i++ {
+		if fig.Cells[i].SkyOverD <= fig.Cells[i-1].SkyOverD {
+			t.Errorf("SkyOverD did not grow at %s", fig.Cells[i].Label)
+		}
+		if fig.Cells[i].AffectOverSky <= fig.Cells[i-1].AffectOverSky {
+			t.Errorf("AffectOverSky did not grow at %s", fig.Cells[i].Label)
+		}
+	}
+}
+
+func TestTrendCardinalityGrowsSkylineShrinksAffect(t *testing.T) {
+	// Figure 6(d): higher cardinality → larger skyline, smaller affected
+	// share (frequent values thin out).
+	fig, err := Figure6(trendBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := fig.Cells[0], fig.Cells[len(fig.Cells)-1]
+	if last.SkylineSize <= first.SkylineSize {
+		t.Errorf("skyline size %d → %d did not grow with cardinality",
+			first.SkylineSize, last.SkylineSize)
+	}
+	if last.AffectOverSky >= first.AffectOverSky {
+		t.Errorf("AffectOverSky %.1f → %.1f did not shrink with cardinality",
+			first.AffectOverSky, last.AffectOverSky)
+	}
+}
+
+func TestTrendOrderGrowsAffectShrinksSkyline(t *testing.T) {
+	// Figure 7(d): higher preference order → more affected points and a
+	// smaller refined skyline (Theorem 1); preprocessing and storage stay
+	// constant.
+	fig, err := Figure7(trendBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(fig.Cells); i++ {
+		prev, cur := fig.Cells[i-1], fig.Cells[i]
+		if cur.AffectOverSky <= prev.AffectOverSky {
+			t.Errorf("AffectOverSky did not grow at %s", cur.Label)
+		}
+		if cur.SkyPrimeOverSky > prev.SkyPrimeOverSky+1e-9 {
+			t.Errorf("SkyPrimeOverSky grew at %s", cur.Label)
+		}
+		if cur.SkylineSize != prev.SkylineSize {
+			t.Errorf("template skyline changed with query order at %s", cur.Label)
+		}
+	}
+	// IPO-tree storage is order-independent.
+	a0, _ := fig.Cells[0].Algo("IPO Tree")
+	a3, _ := fig.Cells[3].Algo("IPO Tree")
+	if a0.Storage != a3.Storage {
+		t.Errorf("IPO storage changed with order: %d vs %d", a0.Storage, a3.Storage)
+	}
+}
+
+func TestTrendEngineOrdering(t *testing.T) {
+	// §5.3: at the default point, IPO Tree answers faster than SFS-A, which
+	// answers faster than SFS-D.
+	cell, err := RunPoint("ordering", trendBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipo, _ := cell.Algo("IPO Tree")
+	sfsa, _ := cell.Algo("SFS-A")
+	sfsd, _ := cell.Algo("SFS-D")
+	if !(ipo.QueryAvg < sfsa.QueryAvg && sfsa.QueryAvg < sfsd.QueryAvg) {
+		t.Errorf("query ordering violated: IPO %v, SFS-A %v, SFS-D %v",
+			ipo.QueryAvg, sfsa.QueryAvg, sfsd.QueryAvg)
+	}
+	if !(sfsa.Preprocess < ipo.Preprocess) {
+		t.Errorf("preprocessing ordering violated: SFS-A %v vs IPO %v",
+			sfsa.Preprocess, ipo.Preprocess)
+	}
+}

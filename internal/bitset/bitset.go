@@ -1,0 +1,170 @@
+// Package bitset provides a dense fixed-size bitset used by the bitmap
+// implementation of IPO-tree query evaluation (§3.2): skylines become bitsets
+// over root-skyline indices and the merge of Theorem 2 becomes bitwise
+// AND/OR over words.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bitset. The zero value is unusable; create sets
+// with New so that capacity is fixed and word counts align across operands.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set with capacity for bits 0..n-1.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromIndices builds a set of capacity n containing the given bit indices.
+func FromIndices(n int, idx []int32) *Set {
+	s := New(n)
+	for _, i := range idx {
+		s.Add(int(i))
+	}
+	return s
+}
+
+// Len returns the capacity (number of addressable bits).
+func (s *Set) Len() int { return s.n }
+
+// Add sets bit i.
+func (s *Set) Add(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+	s.words[i/wordBits] |= 1 << (i % wordBits)
+}
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+	s.words[i/wordBits] &^= 1 << (i % wordBits)
+}
+
+// Contains reports whether bit i is set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<(i%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Fill sets every bit 0..n-1.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// Clear resets every bit.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// trim zeroes the bits beyond n-1 in the last word.
+func (s *Set) trim() {
+	if s.n%wordBits != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << (s.n % wordBits)) - 1
+	}
+}
+
+// Clone returns a copy.
+func (s *Set) Clone() *Set {
+	return &Set{n: s.n, words: append([]uint64(nil), s.words...)}
+}
+
+func (s *Set) checkCompat(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, o.n))
+	}
+}
+
+// AndWith intersects s with o in place.
+func (s *Set) AndWith(o *Set) *Set {
+	s.checkCompat(o)
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+	return s
+}
+
+// OrWith unions o into s in place.
+func (s *Set) OrWith(o *Set) *Set {
+	s.checkCompat(o)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+	return s
+}
+
+// AndNotWith removes o's members from s in place.
+func (s *Set) AndNotWith(o *Set) *Set {
+	s.checkCompat(o)
+	for i, w := range o.words {
+		s.words[i] &^= w
+	}
+	return s
+}
+
+// And returns s ∩ o as a new set.
+func (s *Set) And(o *Set) *Set { return s.Clone().AndWith(o) }
+
+// Or returns s ∪ o as a new set.
+func (s *Set) Or(o *Set) *Set { return s.Clone().OrWith(o) }
+
+// AndNot returns s − o as a new set.
+func (s *Set) AndNot(o *Set) *Set { return s.Clone().AndNotWith(o) }
+
+// Equal reports whether two sets contain the same bits.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Indices appends the set bits to dst in ascending order and returns it.
+func (s *Set) Indices(dst []int32) []int32 {
+	for wi, w := range s.words {
+		base := int32(wi * wordBits)
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, base+int32(b))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// SizeBytes estimates the heap footprint of the set.
+func (s *Set) SizeBytes() int { return len(s.words)*8 + 24 }

@@ -1,0 +1,163 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", s.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 128, 129} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Errorf("bit %d not set after Add", i)
+		}
+	}
+	if s.Count() != 7 {
+		t.Errorf("Count = %d, want 7", s.Count())
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("bit 64 still set after Remove")
+	}
+	if s.Contains(-1) || s.Contains(999) {
+		t.Error("out-of-range Contains should be false")
+	}
+}
+
+func TestPanicsOnOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add out of range did not panic")
+		}
+	}()
+	New(10).Add(10)
+}
+
+func TestFillClearTrim(t *testing.T) {
+	s := New(70)
+	s.Fill()
+	if s.Count() != 70 {
+		t.Errorf("Fill Count = %d, want 70", s.Count())
+	}
+	s.Clear()
+	if s.Count() != 0 {
+		t.Errorf("Clear Count = %d, want 0", s.Count())
+	}
+	// Fill must not set bits beyond capacity (would corrupt Count after Or).
+	a, b := New(70), New(70)
+	a.Fill()
+	b.OrWith(a)
+	if b.Count() != 70 {
+		t.Errorf("count after Or with filled = %d, want 70", b.Count())
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a := FromIndices(100, []int32{1, 5, 64, 70})
+	b := FromIndices(100, []int32{5, 64, 99})
+	if got := a.And(b).Indices(nil); !reflect.DeepEqual(got, []int32{5, 64}) {
+		t.Errorf("And = %v", got)
+	}
+	if got := a.Or(b).Indices(nil); !reflect.DeepEqual(got, []int32{1, 5, 64, 70, 99}) {
+		t.Errorf("Or = %v", got)
+	}
+	if got := a.AndNot(b).Indices(nil); !reflect.DeepEqual(got, []int32{1, 70}) {
+		t.Errorf("AndNot = %v", got)
+	}
+	// Non-mutating forms must not change operands.
+	if !a.Equal(FromIndices(100, []int32{1, 5, 64, 70})) {
+		t.Error("And/Or/AndNot mutated receiver")
+	}
+}
+
+func TestCompatPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity mismatch did not panic")
+		}
+	}()
+	New(10).AndWith(New(11))
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := FromIndices(66, []int32{0, 65})
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone not equal")
+	}
+	b.Add(1)
+	if a.Equal(b) {
+		t.Error("mutated clone equal")
+	}
+	if a.Equal(New(65)) {
+		t.Error("different capacity equal")
+	}
+}
+
+func TestIndicesRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		want := make(map[int32]bool)
+		s := New(n)
+		for i := 0; i < n/2; i++ {
+			v := int32(rng.Intn(n))
+			want[v] = true
+			s.Add(int(v))
+		}
+		got := s.Indices(nil)
+		if len(got) != len(want) {
+			return false
+		}
+		for i, v := range got {
+			if !want[v] {
+				return false
+			}
+			if i > 0 && got[i-1] >= v {
+				return false // ascending, unique
+			}
+		}
+		return s.Count() == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetAlgebraProperty(t *testing.T) {
+	// De Morgan-ish sanity within a universe: |A∪B| = |A| + |B| − |A∩B| and
+	// A = (A∩B) ∪ (A−B).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(256)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Add(i)
+			}
+		}
+		union, inter, diff := a.Or(b), a.And(b), a.AndNot(b)
+		if union.Count() != a.Count()+b.Count()-inter.Count() {
+			return false
+		}
+		return inter.Or(diff).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := New(128).SizeBytes(); got != 2*8+24 {
+		t.Errorf("SizeBytes = %d, want 40", got)
+	}
+}

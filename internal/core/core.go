@@ -1,0 +1,135 @@
+// Package core assembles the paper's engines behind one interface. The
+// primary contributions — IPO-Tree Search (§3) and Adaptive SFS (§4) — live
+// in their own packages (internal/ipotree, internal/adaptive); core provides
+// the uniform Engine view used by the public API, the CLIs and the benchmark
+// harness, plus the SFS-D baseline and the hybrid of §5.3.
+package core
+
+import (
+	"fmt"
+
+	"prefsky/internal/adaptive"
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/hybrid"
+	"prefsky/internal/ipotree"
+	"prefsky/internal/order"
+	"prefsky/internal/skyline"
+)
+
+// Engine answers implicit-preference skyline queries.
+type Engine interface {
+	// Name identifies the algorithm (the labels of §5: "IPO Tree",
+	// "IPO Tree-10", "SFS-A", "SFS-D", "Hybrid").
+	Name() string
+	// Skyline returns SKY(R̃′) as ascending point ids.
+	Skyline(pref *order.Preference) ([]data.PointID, error)
+	// SizeBytes reports the storage the engine retains beyond the dataset.
+	SizeBytes() int
+}
+
+// ipoEngine adapts *ipotree.Tree.
+type ipoEngine struct {
+	tree *ipotree.Tree
+	name string
+}
+
+func (e *ipoEngine) Name() string { return e.name }
+func (e *ipoEngine) Skyline(pref *order.Preference) ([]data.PointID, error) {
+	return e.tree.Query(pref)
+}
+func (e *ipoEngine) SizeBytes() int { return e.tree.SizeBytes() }
+
+// Tree exposes the underlying tree.
+func (e *ipoEngine) Tree() *ipotree.Tree { return e.tree }
+
+// NewIPOTree builds the full "IPO Tree" engine.
+func NewIPOTree(ds *data.Dataset, template *order.Preference, opts ipotree.Options) (Engine, error) {
+	name := "IPO Tree"
+	if opts.TopK > 0 {
+		name = fmt.Sprintf("IPO Tree-%d", opts.TopK)
+	}
+	tree, err := ipotree.Build(ds, template, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ipoEngine{tree: tree, name: name}, nil
+}
+
+// adaptiveEngine adapts *adaptive.Engine.
+type adaptiveEngine struct {
+	e *adaptive.Engine
+}
+
+func (a *adaptiveEngine) Name() string { return "SFS-A" }
+func (a *adaptiveEngine) Skyline(pref *order.Preference) ([]data.PointID, error) {
+	return a.e.Query(pref)
+}
+func (a *adaptiveEngine) SizeBytes() int { return a.e.SizeBytes() }
+
+// NewAdaptiveSFS builds the "SFS-A" engine.
+func NewAdaptiveSFS(ds *data.Dataset, template *order.Preference) (Engine, error) {
+	e, err := adaptive.New(ds, template)
+	if err != nil {
+		return nil, err
+	}
+	return &adaptiveEngine{e: e}, nil
+}
+
+// SFSD is the baseline: no preprocessing, no storage; every query sorts and
+// scans the entire dataset (§5's SFS-D).
+type SFSD struct {
+	ds *data.Dataset
+}
+
+// NewSFSD wraps a dataset as the SFS-D baseline.
+func NewSFSD(ds *data.Dataset) (*SFSD, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("core: nil dataset")
+	}
+	return &SFSD{ds: ds}, nil
+}
+
+// Name implements Engine.
+func (s *SFSD) Name() string { return "SFS-D" }
+
+// Skyline implements Engine by running SFS over the whole dataset.
+func (s *SFSD) Skyline(pref *order.Preference) ([]data.PointID, error) {
+	cmp, err := dominance.NewComparator(s.ds.Schema(), pref)
+	if err != nil {
+		return nil, err
+	}
+	return skyline.SFS(s.ds.Points(), cmp), nil
+}
+
+// SizeBytes implements Engine; SFS-D reads the dataset directly and keeps
+// nothing (§5: "SFS-D does not use extra storage").
+func (s *SFSD) SizeBytes() int { return 0 }
+
+// hybridEngine adapts *hybrid.Engine.
+type hybridEngine struct {
+	e *hybrid.Engine
+}
+
+func (h *hybridEngine) Name() string { return "Hybrid" }
+func (h *hybridEngine) Skyline(pref *order.Preference) ([]data.PointID, error) {
+	return h.e.Query(pref)
+}
+func (h *hybridEngine) SizeBytes() int { return h.e.SizeBytes() }
+
+// NewHybrid builds the §5.3 hybrid: a top-K IPO-tree with SFS-A fallback.
+func NewHybrid(ds *data.Dataset, template *order.Preference, treeOpts ipotree.Options) (Engine, error) {
+	e, err := hybrid.New(ds, template, treeOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &hybridEngine{e: e}, nil
+}
+
+// Interface conformance checks.
+var (
+	_ Engine = (*ipoEngine)(nil)
+	_ Engine = (*adaptiveEngine)(nil)
+	_ Engine = (*SFSD)(nil)
+	_ Engine = (*hybridEngine)(nil)
+)

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"prefsky/internal/data"
+	"prefsky/internal/ipotree"
+)
+
+func engines(t *testing.T) []Engine {
+	t.Helper()
+	ds := data.Table1()
+	tmpl := ds.Schema().EmptyPreference()
+	ipo, err := NewIPOTree(ds, tmpl, ipotree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfsa, err := NewAdaptiveSFS(ds, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfsd, err := NewSFSD(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := NewHybrid(ds, tmpl, ipotree.Options{TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Engine{ipo, sfsa, sfsd, hyb}
+}
+
+func TestAllEnginesAgreeOnTable2(t *testing.T) {
+	schema := data.Table1().Schema()
+	cases := []struct {
+		pref, want string
+	}{
+		{"Hotel-group: T<M<*", "ac"},
+		{"", "acef"},
+		{"Hotel-group: H<M<*", "ace"},
+		{"Hotel-group: H<M<T", "ace"},
+		{"Hotel-group: H<T<*", "ac"},
+		{"Hotel-group: M<*", "acef"},
+	}
+	for _, e := range engines(t) {
+		for _, c := range cases {
+			pref, err := data.ParsePreference(schema, c.pref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Skyline(pref)
+			if err != nil {
+				t.Fatalf("%s: Skyline(%q): %v", e.Name(), c.pref, err)
+			}
+			want := make([]data.PointID, len(c.want))
+			for i, r := range c.want {
+				want[i] = data.PointID(r - 'a')
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: Skyline(%q) = %v, want %v", e.Name(), c.pref, got, want)
+			}
+		}
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	want := []string{"IPO Tree", "SFS-A", "SFS-D", "Hybrid"}
+	for i, e := range engines(t) {
+		if e.Name() != want[i] {
+			t.Errorf("engine %d name = %q, want %q", i, e.Name(), want[i])
+		}
+	}
+	ds := data.Table1()
+	topk, err := NewIPOTree(ds, ds.Schema().EmptyPreference(), ipotree.Options{TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topk.Name() != "IPO Tree-2" {
+		t.Errorf("TopK name = %q", topk.Name())
+	}
+}
+
+func TestStorageOrdering(t *testing.T) {
+	// SFS-D keeps nothing; the materializing engines keep something.
+	es := engines(t)
+	for _, e := range es {
+		if e.Name() == "SFS-D" {
+			if e.SizeBytes() != 0 {
+				t.Errorf("SFS-D SizeBytes = %d, want 0", e.SizeBytes())
+			}
+		} else if e.SizeBytes() <= 0 {
+			t.Errorf("%s SizeBytes = %d, want > 0", e.Name(), e.SizeBytes())
+		}
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := NewSFSD(nil); err == nil {
+		t.Error("NewSFSD(nil) accepted")
+	}
+	if _, err := NewIPOTree(nil, nil, ipotree.Options{}); err == nil {
+		t.Error("NewIPOTree(nil) accepted")
+	}
+	if _, err := NewAdaptiveSFS(nil, nil); err == nil {
+		t.Error("NewAdaptiveSFS(nil) accepted")
+	}
+	if _, err := NewHybrid(nil, nil, ipotree.Options{}); err == nil {
+		t.Error("NewHybrid(nil) accepted")
+	}
+}

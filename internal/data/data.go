@@ -1,0 +1,167 @@
+// Package data provides the dataset substrate: points with mixed numeric and
+// nominal attributes, schemas, the paper's running example tables, and CSV/JSON
+// input and output.
+//
+// Numeric attributes are normalized so that smaller values are better
+// (attributes where larger raw values are preferable, such as hotel class, are
+// negated on load). Nominal attributes store dense value ids defined by their
+// order.Domain.
+package data
+
+import (
+	"fmt"
+
+	"prefsky/internal/order"
+)
+
+// PointID identifies a point within its dataset (its index).
+type PointID = int32
+
+// Point is one tuple: Num holds the numeric coordinates (smaller is better),
+// Nom the nominal value ids, one per nominal dimension.
+type Point struct {
+	ID  PointID
+	Num []float64
+	Nom []order.Value
+}
+
+// Clone returns a deep copy of the point.
+func (p Point) Clone() Point {
+	return Point{
+		ID:  p.ID,
+		Num: append([]float64(nil), p.Num...),
+		Nom: append([]order.Value(nil), p.Nom...),
+	}
+}
+
+// NumericAttr describes one numeric attribute.
+type NumericAttr struct {
+	Name string
+	// HigherIsBetter indicates that larger raw values are preferable; such
+	// attributes are stored negated so the in-memory convention is uniform.
+	HigherIsBetter bool
+}
+
+// Schema describes the columns of a dataset: m numeric attributes followed by
+// m′ nominal attributes.
+type Schema struct {
+	Numeric []NumericAttr
+	Nominal []*order.Domain
+}
+
+// NewSchema validates and builds a schema.
+func NewSchema(numeric []NumericAttr, nominal []*order.Domain) (*Schema, error) {
+	seen := make(map[string]bool, len(numeric)+len(nominal))
+	for _, a := range numeric {
+		if a.Name == "" {
+			return nil, fmt.Errorf("data: numeric attribute with empty name")
+		}
+		if seen[a.Name] {
+			return nil, fmt.Errorf("data: duplicate attribute name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, d := range nominal {
+		if d == nil {
+			return nil, fmt.Errorf("data: nil nominal domain")
+		}
+		if seen[d.Name()] {
+			return nil, fmt.Errorf("data: duplicate attribute name %q", d.Name())
+		}
+		seen[d.Name()] = true
+	}
+	return &Schema{
+		Numeric: append([]NumericAttr(nil), numeric...),
+		Nominal: append([]*order.Domain(nil), nominal...),
+	}, nil
+}
+
+// NumDims returns the number of numeric dimensions.
+func (s *Schema) NumDims() int { return len(s.Numeric) }
+
+// NomDims returns the number of nominal dimensions m′.
+func (s *Schema) NomDims() int { return len(s.Nominal) }
+
+// Dims returns the total dimensionality m.
+func (s *Schema) Dims() int { return len(s.Numeric) + len(s.Nominal) }
+
+// Cardinalities returns the cardinality of every nominal dimension.
+func (s *Schema) Cardinalities() []int {
+	out := make([]int, len(s.Nominal))
+	for i, d := range s.Nominal {
+		out[i] = d.Cardinality()
+	}
+	return out
+}
+
+// NominalIndex resolves a nominal attribute name to its dimension index.
+func (s *Schema) NominalIndex(name string) (int, bool) {
+	for i, d := range s.Nominal {
+		if d.Name() == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// EmptyPreference returns the order-0 preference matching the schema's
+// nominal dimensions.
+func (s *Schema) EmptyPreference() *order.Preference {
+	p, err := order.EmptyPreference(s.Cardinalities()...)
+	if err != nil {
+		panic(err) // unreachable: schema domains have positive cardinality
+	}
+	return p
+}
+
+// Dataset is an immutable collection of points sharing a schema. Point IDs are
+// their indices.
+type Dataset struct {
+	schema *Schema
+	points []Point
+}
+
+// New validates points against the schema and builds a dataset. Point IDs are
+// (re)assigned to the slice indices.
+func New(schema *Schema, points []Point) (*Dataset, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("data: nil schema")
+	}
+	for i := range points {
+		p := &points[i]
+		if len(p.Num) != schema.NumDims() {
+			return nil, fmt.Errorf("data: point %d has %d numeric values, schema has %d",
+				i, len(p.Num), schema.NumDims())
+		}
+		if len(p.Nom) != schema.NomDims() {
+			return nil, fmt.Errorf("data: point %d has %d nominal values, schema has %d",
+				i, len(p.Nom), schema.NomDims())
+		}
+		for d, v := range p.Nom {
+			if int(v) < 0 || int(v) >= schema.Nominal[d].Cardinality() {
+				return nil, fmt.Errorf("data: point %d: nominal value %d outside domain %s",
+					i, v, schema.Nominal[d].Name())
+			}
+		}
+		p.ID = PointID(i)
+	}
+	return &Dataset{schema: schema, points: points}, nil
+}
+
+// Schema returns the dataset schema.
+func (ds *Dataset) Schema() *Schema { return ds.schema }
+
+// N returns the number of points.
+func (ds *Dataset) N() int { return len(ds.points) }
+
+// Points exposes the backing point slice. Callers must not mutate it.
+func (ds *Dataset) Points() []Point { return ds.points }
+
+// Point returns the point with the given id.
+func (ds *Dataset) Point(id PointID) Point { return ds.points[id] }
+
+// WithPoints returns a new dataset over the same schema (used by maintenance
+// tests and generators).
+func (ds *Dataset) WithPoints(points []Point) (*Dataset, error) {
+	return New(ds.schema, points)
+}

@@ -1,0 +1,105 @@
+package data
+
+import (
+	"testing"
+
+	"prefsky/internal/order"
+)
+
+func TestSchemaBasics(t *testing.T) {
+	ds := Table3()
+	s := ds.Schema()
+	if s.NumDims() != 2 || s.NomDims() != 2 || s.Dims() != 4 {
+		t.Fatalf("dims = (%d,%d,%d), want (2,2,4)", s.NumDims(), s.NomDims(), s.Dims())
+	}
+	cards := s.Cardinalities()
+	if len(cards) != 2 || cards[0] != 3 || cards[1] != 3 {
+		t.Errorf("Cardinalities = %v, want [3 3]", cards)
+	}
+	if i, ok := s.NominalIndex("Airline"); !ok || i != 1 {
+		t.Errorf("NominalIndex(Airline) = (%d,%v), want (1,true)", i, ok)
+	}
+	if _, ok := s.NominalIndex("nope"); ok {
+		t.Error("NominalIndex of unknown attribute succeeded")
+	}
+	if p := s.EmptyPreference(); p.NomDims() != 2 || p.Order() != 0 {
+		t.Error("EmptyPreference wrong shape")
+	}
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	dom, _ := order.NewDomain("A", []string{"x"})
+	if _, err := NewSchema([]NumericAttr{{Name: ""}}, nil); err == nil {
+		t.Error("empty numeric name accepted")
+	}
+	if _, err := NewSchema([]NumericAttr{{Name: "A"}}, []*order.Domain{dom}); err == nil {
+		t.Error("duplicate attribute name accepted")
+	}
+	if _, err := NewSchema(nil, []*order.Domain{nil}); err == nil {
+		t.Error("nil domain accepted")
+	}
+}
+
+func TestNewDatasetValidation(t *testing.T) {
+	s := Table1().Schema()
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil schema accepted")
+	}
+	if _, err := New(s, []Point{{Num: []float64{1}, Nom: []order.Value{0}}}); err == nil {
+		t.Error("wrong numeric arity accepted")
+	}
+	if _, err := New(s, []Point{{Num: []float64{1, 2}, Nom: nil}}); err == nil {
+		t.Error("wrong nominal arity accepted")
+	}
+	if _, err := New(s, []Point{{Num: []float64{1, 2}, Nom: []order.Value{9}}}); err == nil {
+		t.Error("out-of-domain nominal value accepted")
+	}
+}
+
+func TestDatasetIDsAssigned(t *testing.T) {
+	ds := Table1()
+	for i, p := range ds.Points() {
+		if p.ID != PointID(i) {
+			t.Fatalf("point %d has ID %d", i, p.ID)
+		}
+		if got := ds.Point(p.ID); got.ID != p.ID {
+			t.Fatalf("Point(%d) returned ID %d", p.ID, got.ID)
+		}
+	}
+	if ds.N() != 6 {
+		t.Errorf("N = %d, want 6", ds.N())
+	}
+}
+
+func TestTable1Fixture(t *testing.T) {
+	ds := Table1()
+	// Package a: price 1600, class 4 (stored -4), hotel T (=0).
+	a := ds.Point(0)
+	if a.Num[0] != 1600 || a.Num[1] != -4 || a.Nom[0] != 0 {
+		t.Errorf("package a = %v", a)
+	}
+	if PackageName(0) != "a" || PackageName(5) != "f" {
+		t.Error("PackageName wrong")
+	}
+}
+
+func TestPointClone(t *testing.T) {
+	p := Point{ID: 1, Num: []float64{1, 2}, Nom: []order.Value{3}}
+	q := p.Clone()
+	q.Num[0] = 99
+	q.Nom[0] = 0
+	if p.Num[0] != 1 || p.Nom[0] != 3 {
+		t.Error("Clone shares backing arrays")
+	}
+}
+
+func TestWithPoints(t *testing.T) {
+	ds := Table1()
+	sub, err := ds.WithPoints([]Point{ds.Point(0).Clone(), ds.Point(2).Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 2 || sub.Point(1).Num[0] != 3000 {
+		t.Error("WithPoints wrong")
+	}
+}

@@ -1,0 +1,75 @@
+package data
+
+import "prefsky/internal/order"
+
+// Fixtures from the paper's running example. Package and hotel/airline names
+// follow Tables 1 and 3; they are used throughout the tests and examples to
+// pin the published skylines (Table 2, Figure 2, Example 1).
+
+// Table1 returns the vacation packages of Table 1:
+// Price (lower better), Hotel-class (higher better), Hotel-group (nominal
+// {T,H,M}). Point ids 0..5 correspond to packages a..f.
+func Table1() *Dataset {
+	schema := mustSchema(
+		[]NumericAttr{{Name: "Price"}, {Name: "Hotel-class", HigherIsBetter: true}},
+		[]*order.Domain{mustDomain("Hotel-group", "T", "H", "M")},
+	)
+	// Hotel-class is HigherIsBetter and therefore stored negated.
+	points := []Point{
+		{Num: []float64{1600, -4}, Nom: []order.Value{0}}, // a: 1600, 4, T
+		{Num: []float64{2400, -1}, Nom: []order.Value{0}}, // b: 2400, 1, T
+		{Num: []float64{3000, -5}, Nom: []order.Value{1}}, // c: 3000, 5, H
+		{Num: []float64{3600, -4}, Nom: []order.Value{1}}, // d: 3600, 4, H
+		{Num: []float64{2400, -2}, Nom: []order.Value{2}}, // e: 2400, 2, M
+		{Num: []float64{3000, -3}, Nom: []order.Value{2}}, // f: 3000, 3, M
+	}
+	return mustDataset(schema, points)
+}
+
+// Table3 returns the packages of Table 3, which add the nominal Airline
+// attribute {G,R,W}. Point ids 0..5 correspond to packages a..f.
+func Table3() *Dataset {
+	schema := mustSchema(
+		[]NumericAttr{{Name: "Price"}, {Name: "Hotel-class", HigherIsBetter: true}},
+		[]*order.Domain{
+			mustDomain("Hotel-group", "T", "H", "M"),
+			mustDomain("Airline", "G", "R", "W"),
+		},
+	)
+	points := []Point{
+		{Num: []float64{1600, -4}, Nom: []order.Value{0, 0}}, // a: T, G
+		{Num: []float64{2400, -1}, Nom: []order.Value{0, 0}}, // b: T, G
+		{Num: []float64{3000, -5}, Nom: []order.Value{1, 0}}, // c: H, G
+		{Num: []float64{3600, -4}, Nom: []order.Value{1, 1}}, // d: H, R
+		{Num: []float64{2400, -2}, Nom: []order.Value{2, 1}}, // e: M, R
+		{Num: []float64{3000, -3}, Nom: []order.Value{2, 2}}, // f: M, W
+	}
+	return mustDataset(schema, points)
+}
+
+// PackageName renders a Table 1/3 point id as the paper's package letter.
+func PackageName(id PointID) string { return string(rune('a' + id)) }
+
+func mustDomain(name string, values ...string) *order.Domain {
+	d, err := order.NewDomain(name, values)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func mustSchema(numeric []NumericAttr, nominal []*order.Domain) *Schema {
+	s, err := NewSchema(numeric, nominal)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func mustDataset(s *Schema, points []Point) *Dataset {
+	ds, err := New(s, points)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}

@@ -1,0 +1,65 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary CSV input never panics the loader: it
+// either parses into a valid dataset or returns an error.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("Price,Hotel-class,Hotel-group\n1600,4,T\n")
+	f.Add("Price,Hotel-class,Hotel-group\n-1,,T\n")
+	f.Add("bogus\n")
+	f.Add("")
+	f.Add("Price,Hotel-class,Hotel-group\n1,2\n")
+	f.Add("Price,Hotel-class,Hotel-group\n1e308,4,T\n1e308,4,M\n")
+	f.Fuzz(func(t *testing.T, csvText string) {
+		schema := Table1().Schema()
+		ds, err := ReadCSV(strings.NewReader(csvText), schema)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must satisfy the dataset invariants.
+		for i, p := range ds.Points() {
+			if p.ID != PointID(i) {
+				t.Fatal("ids not assigned")
+			}
+			if len(p.Num) != schema.NumDims() || len(p.Nom) != schema.NomDims() {
+				t.Fatal("arity violated")
+			}
+			for d, v := range p.Nom {
+				if int(v) < 0 || int(v) >= schema.Nominal[d].Cardinality() {
+					t.Fatal("nominal value out of domain")
+				}
+			}
+		}
+	})
+}
+
+// FuzzParsePreference checks the multi-dimension preference parser.
+func FuzzParsePreference(f *testing.F) {
+	f.Add("Hotel-group: T<M<*; Airline: G<*")
+	f.Add("Hotel-group: *")
+	f.Add(";;;")
+	f.Add("Hotel-group T<*")
+	f.Add("Airline: G<G<*")
+	f.Fuzz(func(t *testing.T, s string) {
+		schema := Table3().Schema()
+		pref, err := ParsePreference(schema, s)
+		if err != nil {
+			return
+		}
+		if pref.NomDims() != schema.NomDims() {
+			t.Fatal("wrong dimension count")
+		}
+		// Round trip through the formatter.
+		back, err := ParsePreference(schema, FormatPreference(schema, pref))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if !back.Equal(pref) {
+			t.Fatal("round trip changed preference")
+		}
+	})
+}

@@ -1,0 +1,220 @@
+package data
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"prefsky/internal/order"
+)
+
+// schemaJSON is the on-disk schema description consumed by the CLIs.
+type schemaJSON struct {
+	Numeric []struct {
+		Name           string `json:"name"`
+		HigherIsBetter bool   `json:"higherIsBetter,omitempty"`
+	} `json:"numeric"`
+	Nominal []struct {
+		Name   string   `json:"name"`
+		Values []string `json:"values"`
+	} `json:"nominal"`
+}
+
+// ReadSchemaJSON parses a schema description of the form
+//
+//	{"numeric":[{"name":"Price"},{"name":"Class","higherIsBetter":true}],
+//	 "nominal":[{"name":"Hotel","values":["T","H","M"]}]}
+func ReadSchemaJSON(r io.Reader) (*Schema, error) {
+	var sj schemaJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sj); err != nil {
+		return nil, fmt.Errorf("data: decoding schema: %w", err)
+	}
+	numeric := make([]NumericAttr, len(sj.Numeric))
+	for i, a := range sj.Numeric {
+		numeric[i] = NumericAttr{Name: a.Name, HigherIsBetter: a.HigherIsBetter}
+	}
+	nominal := make([]*order.Domain, len(sj.Nominal))
+	for i, d := range sj.Nominal {
+		dom, err := order.NewDomain(d.Name, d.Values)
+		if err != nil {
+			return nil, fmt.Errorf("data: schema nominal %d: %w", i, err)
+		}
+		nominal[i] = dom
+	}
+	return NewSchema(numeric, nominal)
+}
+
+// WriteSchemaJSON renders the schema in the format ReadSchemaJSON accepts.
+func WriteSchemaJSON(w io.Writer, s *Schema) error {
+	var sj schemaJSON
+	for _, a := range s.Numeric {
+		sj.Numeric = append(sj.Numeric, struct {
+			Name           string `json:"name"`
+			HigherIsBetter bool   `json:"higherIsBetter,omitempty"`
+		}{a.Name, a.HigherIsBetter})
+	}
+	for _, d := range s.Nominal {
+		sj.Nominal = append(sj.Nominal, struct {
+			Name   string   `json:"name"`
+			Values []string `json:"values"`
+		}{d.Name(), d.Values()})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&sj)
+}
+
+// ReadCSV loads a dataset whose header names must cover every schema attribute
+// (extra columns are ignored). Numeric attributes flagged HigherIsBetter are
+// negated so that smaller stored values are better.
+func ReadCSV(r io.Reader, schema *Schema) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("data: reading CSV header: %w", err)
+	}
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[strings.TrimSpace(h)] = i
+	}
+	numCol := make([]int, schema.NumDims())
+	for i, a := range schema.Numeric {
+		c, ok := col[a.Name]
+		if !ok {
+			return nil, fmt.Errorf("data: CSV missing numeric column %q", a.Name)
+		}
+		numCol[i] = c
+	}
+	nomCol := make([]int, schema.NomDims())
+	for i, d := range schema.Nominal {
+		c, ok := col[d.Name()]
+		if !ok {
+			return nil, fmt.Errorf("data: CSV missing nominal column %q", d.Name())
+		}
+		nomCol[i] = c
+	}
+
+	var points []Point
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: CSV line %d: %w", line, err)
+		}
+		p := Point{Num: make([]float64, schema.NumDims()), Nom: make([]order.Value, schema.NomDims())}
+		for i, c := range numCol {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[c]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: CSV line %d, column %q: %w", line, schema.Numeric[i].Name, err)
+			}
+			if schema.Numeric[i].HigherIsBetter {
+				v = -v
+			}
+			p.Num[i] = v
+		}
+		for i, c := range nomCol {
+			name := strings.TrimSpace(rec[c])
+			v, ok := schema.Nominal[i].Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("data: CSV line %d: unknown value %q in domain %s",
+					line, name, schema.Nominal[i].Name())
+			}
+			p.Nom[i] = v
+		}
+		points = append(points, p)
+	}
+	return New(schema, points)
+}
+
+// WriteCSV writes the dataset with raw (un-negated) numeric values so that a
+// ReadCSV round trip is the identity.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	cw := csv.NewWriter(w)
+	s := ds.Schema()
+	header := make([]string, 0, s.Dims())
+	for _, a := range s.Numeric {
+		header = append(header, a.Name)
+	}
+	for _, d := range s.Nominal {
+		header = append(header, d.Name())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for _, p := range ds.Points() {
+		for i, v := range p.Num {
+			if s.Numeric[i].HigherIsBetter {
+				v = -v
+			}
+			rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		for i, v := range p.Nom {
+			rec[s.NumDims()+i] = s.Nominal[i].ValueName(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ParsePreference parses a multi-dimension preference string of the form
+//
+//	"Hotel-group: T<M<*; Airline: G<*"
+//
+// against the schema. Dimensions not mentioned get no preference. An empty
+// string yields the order-0 preference.
+func ParsePreference(schema *Schema, s string) (*order.Preference, error) {
+	dims := make([]*order.Implicit, schema.NomDims())
+	for i, d := range schema.Nominal {
+		ip, err := order.NewImplicit(d.Cardinality())
+		if err != nil {
+			return nil, err
+		}
+		dims[i] = ip
+	}
+	s = strings.TrimSpace(s)
+	if s != "" {
+		for _, part := range strings.Split(s, ";") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			name, spec, ok := strings.Cut(part, ":")
+			if !ok {
+				return nil, fmt.Errorf("data: preference part %q lacks \"attr:\" prefix", part)
+			}
+			idx, found := schema.NominalIndex(strings.TrimSpace(name))
+			if !found {
+				return nil, fmt.Errorf("data: unknown nominal attribute %q", strings.TrimSpace(name))
+			}
+			ip, err := order.ParseImplicit(schema.Nominal[idx], spec)
+			if err != nil {
+				return nil, err
+			}
+			dims[idx] = ip
+		}
+	}
+	return order.NewPreference(dims...)
+}
+
+// FormatPreference renders a preference with attribute and value names in the
+// form accepted by ParsePreference.
+func FormatPreference(schema *Schema, p *order.Preference) string {
+	parts := make([]string, 0, p.NomDims())
+	for i := 0; i < p.NomDims(); i++ {
+		parts = append(parts, fmt.Sprintf("%s: %s",
+			schema.Nominal[i].Name(), order.FormatImplicit(schema.Nominal[i], p.Dim(i))))
+	}
+	return strings.Join(parts, "; ")
+}

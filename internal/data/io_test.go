@@ -1,0 +1,193 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const table1Schema = `{
+  "numeric": [
+    {"name": "Price"},
+    {"name": "Hotel-class", "higherIsBetter": true}
+  ],
+  "nominal": [
+    {"name": "Hotel-group", "values": ["T", "H", "M"]}
+  ]
+}`
+
+const table1CSV = `Price,Hotel-class,Hotel-group
+1600,4,T
+2400,1,T
+3000,5,H
+3600,4,H
+2400,2,M
+3000,3,M
+`
+
+func TestReadSchemaJSON(t *testing.T) {
+	s, err := ReadSchemaJSON(strings.NewReader(table1Schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumDims() != 2 || s.NomDims() != 1 {
+		t.Fatalf("schema dims (%d,%d), want (2,1)", s.NumDims(), s.NomDims())
+	}
+	if !s.Numeric[1].HigherIsBetter {
+		t.Error("higherIsBetter not parsed")
+	}
+	if s.Nominal[0].Cardinality() != 3 {
+		t.Error("nominal domain wrong")
+	}
+}
+
+func TestReadSchemaJSONErrors(t *testing.T) {
+	if _, err := ReadSchemaJSON(strings.NewReader(`{"bogus": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ReadSchemaJSON(strings.NewReader(`{"nominal":[{"name":"x","values":[]}]}`)); err == nil {
+		t.Error("empty domain accepted")
+	}
+}
+
+func TestReadCSVMatchesFixture(t *testing.T) {
+	s, err := ReadSchemaJSON(strings.NewReader(table1Schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ReadCSV(strings.NewReader(table1CSV), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Table1()
+	if ds.N() != want.N() {
+		t.Fatalf("N = %d, want %d", ds.N(), want.N())
+	}
+	for i := 0; i < ds.N(); i++ {
+		g, w := ds.Point(PointID(i)), want.Point(PointID(i))
+		for d := range g.Num {
+			if g.Num[d] != w.Num[d] {
+				t.Errorf("point %d num[%d] = %v, want %v", i, d, g.Num[d], w.Num[d])
+			}
+		}
+		for d := range g.Nom {
+			if g.Nom[d] != w.Nom[d] {
+				t.Errorf("point %d nom[%d] = %v, want %v", i, d, g.Nom[d], w.Nom[d])
+			}
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := Table3()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(bytes.NewReader(buf.Bytes()), ds.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() {
+		t.Fatalf("round trip N = %d, want %d", back.N(), ds.N())
+	}
+	for i := 0; i < ds.N(); i++ {
+		g, w := back.Point(PointID(i)), ds.Point(PointID(i))
+		for d := range g.Num {
+			if g.Num[d] != w.Num[d] {
+				t.Errorf("point %d num[%d] = %v, want %v", i, d, g.Num[d], w.Num[d])
+			}
+		}
+	}
+}
+
+func TestSchemaJSONRoundTrip(t *testing.T) {
+	s := Table3().Schema()
+	var buf bytes.Buffer
+	if err := WriteSchemaJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSchemaJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumDims() != s.NumDims() || back.NomDims() != s.NomDims() {
+		t.Error("schema round trip changed shape")
+	}
+	if !back.Numeric[1].HigherIsBetter {
+		t.Error("round trip lost higherIsBetter")
+	}
+	if back.Nominal[1].Name() != "Airline" {
+		t.Error("round trip lost domain name")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	s, _ := ReadSchemaJSON(strings.NewReader(table1Schema))
+	cases := []string{
+		"Price,Hotel-class\n1,2\n",                        // missing nominal column
+		"Price,Hotel-class,Hotel-group\nxx,4,T\n",         // bad float
+		"Price,Hotel-class,Hotel-group\n1600,4,Unknown\n", // unknown value
+	}
+	for i, csvText := range cases {
+		if _, err := ReadCSV(strings.NewReader(csvText), s); err == nil {
+			t.Errorf("case %d: bad CSV accepted", i)
+		}
+	}
+}
+
+func TestParsePreference(t *testing.T) {
+	s := Table3().Schema()
+	p, err := ParsePreference(s, "Hotel-group: M<H<*; Airline: G<R<*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Dim(0).Entries(); len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Errorf("Hotel-group entries = %v, want [2 1]", got)
+	}
+	if got := p.Dim(1).Entries(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Airline entries = %v, want [0 1]", got)
+	}
+	// Unmentioned dimensions default to no preference.
+	p2, err := ParsePreference(s, "Airline: W<*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Dim(0).Order() != 0 || p2.Dim(1).Order() != 1 {
+		t.Error("defaulting wrong")
+	}
+	// Empty string is the order-0 preference.
+	p3, err := ParsePreference(s, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Order() != 0 {
+		t.Error("empty preference not order 0")
+	}
+}
+
+func TestParsePreferenceErrors(t *testing.T) {
+	s := Table3().Schema()
+	for _, bad := range []string{"NoColon", "Unknown: T<*", "Hotel-group: X<*"} {
+		if _, err := ParsePreference(s, bad); err == nil {
+			t.Errorf("ParsePreference(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFormatPreference(t *testing.T) {
+	s := Table3().Schema()
+	p, _ := ParsePreference(s, "Hotel-group: M<H<*")
+	got := FormatPreference(s, p)
+	if got != "Hotel-group: M<H<*; Airline: *" {
+		t.Errorf("FormatPreference = %q", got)
+	}
+	// Round trip.
+	back, err := ParsePreference(s, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(p) {
+		t.Error("format/parse round trip changed preference")
+	}
+}

@@ -1,0 +1,225 @@
+// Package dominance implements the dominance relation of §2 for points with
+// numeric and nominal attributes, specialized for implicit preferences (via
+// rank tables, §4.2) and generalized for arbitrary partial orders.
+package dominance
+
+import (
+	"fmt"
+
+	"prefsky/internal/data"
+	"prefsky/internal/order"
+)
+
+// Relation is the outcome of comparing two points under a preference.
+type Relation int8
+
+const (
+	// Incomparable: neither point dominates the other and they differ.
+	Incomparable Relation = iota
+	// Dominates: the first point dominates the second (p ≺ q).
+	Dominates
+	// DominatedBy: the second point dominates the first (q ≺ p).
+	DominatedBy
+	// Equal: the points agree on every dimension.
+	Equal
+)
+
+func (r Relation) String() string {
+	switch r {
+	case Dominates:
+		return "dominates"
+	case DominatedBy:
+		return "dominated-by"
+	case Equal:
+		return "equal"
+	default:
+		return "incomparable"
+	}
+}
+
+// Comparator evaluates dominance under a fixed implicit preference. It
+// precomputes the rank table r(v) per nominal dimension (§4.2): listed values
+// rank by position, unlisted values rank as the domain cardinality. Two
+// distinct unlisted values share a rank but remain incomparable, which the
+// comparison accounts for explicitly.
+type Comparator struct {
+	pref  *order.Preference
+	ranks [][]int32
+}
+
+// NewComparator validates the preference against the schema and builds the
+// rank tables.
+func NewComparator(schema *data.Schema, pref *order.Preference) (*Comparator, error) {
+	if schema == nil || pref == nil {
+		return nil, fmt.Errorf("dominance: nil schema or preference")
+	}
+	if pref.NomDims() != schema.NomDims() {
+		return nil, fmt.Errorf("dominance: preference has %d nominal dimensions, schema has %d",
+			pref.NomDims(), schema.NomDims())
+	}
+	ranks := make([][]int32, pref.NomDims())
+	for i := 0; i < pref.NomDims(); i++ {
+		ip := pref.Dim(i)
+		card := schema.Nominal[i].Cardinality()
+		if ip.Cardinality() != card {
+			return nil, fmt.Errorf("dominance: dimension %d cardinality %d, schema domain %s has %d",
+				i, ip.Cardinality(), schema.Nominal[i].Name(), card)
+		}
+		tab := make([]int32, card)
+		for v := 0; v < card; v++ {
+			tab[v] = ip.Rank(order.Value(v))
+		}
+		ranks[i] = tab
+	}
+	return &Comparator{pref: pref, ranks: ranks}, nil
+}
+
+// MustComparator is NewComparator that panics on error (fixtures, benches).
+func MustComparator(schema *data.Schema, pref *order.Preference) *Comparator {
+	c, err := NewComparator(schema, pref)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Preference returns the preference the comparator was built for.
+func (c *Comparator) Preference() *order.Preference { return c.pref }
+
+// Rank returns r(v) for nominal dimension dim.
+func (c *Comparator) Rank(dim int, v order.Value) int32 { return c.ranks[dim][v] }
+
+// Dominates reports p ≺ q: p is at least as good on every dimension and
+// strictly better on at least one.
+func (c *Comparator) Dominates(p, q *data.Point) bool {
+	strict := false
+	for i, pv := range p.Num {
+		qv := q.Num[i]
+		if pv > qv {
+			return false
+		}
+		if pv < qv {
+			strict = true
+		}
+	}
+	for i, pv := range p.Nom {
+		qv := q.Nom[i]
+		if pv == qv {
+			continue
+		}
+		tab := c.ranks[i]
+		if tab[pv] < tab[qv] {
+			strict = true
+			continue
+		}
+		// Equal ranks on distinct values means both are unlisted and hence
+		// incomparable; a larger rank means q is strictly better. Either way
+		// p does not dominate q.
+		return false
+	}
+	return strict
+}
+
+// Compare classifies the pair (p, q).
+func (c *Comparator) Compare(p, q *data.Point) Relation {
+	switch {
+	case c.Dominates(p, q):
+		return Dominates
+	case c.Dominates(q, p):
+		return DominatedBy
+	}
+	for i, pv := range p.Num {
+		if pv != q.Num[i] {
+			return Incomparable
+		}
+	}
+	for i, pv := range p.Nom {
+		if pv != q.Nom[i] {
+			return Incomparable
+		}
+	}
+	return Equal
+}
+
+// Score computes the monotone preference function of §4.2,
+// f(p) = Σ_numeric p.Di + Σ_nominal r(p.Di); p ≺ q implies f(p) < f(q).
+func (c *Comparator) Score(p *data.Point) float64 {
+	s := 0.0
+	for _, v := range p.Num {
+		s += v
+	}
+	for i, v := range p.Nom {
+		s += float64(c.ranks[i][v])
+	}
+	return s
+}
+
+// Affected reports whether the point carries a value listed in the preference
+// (the paper's AFFECT set membership: "skyline points with values in R̃′").
+func Affected(p *data.Point, pref *order.Preference) bool {
+	for i, v := range p.Nom {
+		if pref.Dim(i).Contains(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// POComparator evaluates dominance under arbitrary per-dimension partial
+// orders (the general model of §2). It is the reference implementation the
+// rank-based Comparator is validated against, and supports templates that are
+// not implicit preferences.
+type POComparator struct {
+	orders []*order.PartialOrder
+}
+
+// NewPOComparator validates the per-dimension orders against the schema.
+func NewPOComparator(schema *data.Schema, orders []*order.PartialOrder) (*POComparator, error) {
+	if len(orders) != schema.NomDims() {
+		return nil, fmt.Errorf("dominance: %d orders for %d nominal dimensions", len(orders), schema.NomDims())
+	}
+	for i, po := range orders {
+		if po == nil {
+			return nil, fmt.Errorf("dominance: nil order for dimension %d", i)
+		}
+		if po.Cardinality() != schema.Nominal[i].Cardinality() {
+			return nil, fmt.Errorf("dominance: dimension %d order cardinality %d, domain has %d",
+				i, po.Cardinality(), schema.Nominal[i].Cardinality())
+		}
+	}
+	return &POComparator{orders: append([]*order.PartialOrder(nil), orders...)}, nil
+}
+
+// FromPreference builds the POComparator equivalent to an implicit preference.
+func FromPreference(schema *data.Schema, pref *order.Preference) (*POComparator, error) {
+	orders := make([]*order.PartialOrder, pref.NomDims())
+	for i := 0; i < pref.NomDims(); i++ {
+		orders[i] = pref.Dim(i).PartialOrder()
+	}
+	return NewPOComparator(schema, orders)
+}
+
+// Dominates reports p ≺ q under the partial orders.
+func (c *POComparator) Dominates(p, q *data.Point) bool {
+	strict := false
+	for i, pv := range p.Num {
+		qv := q.Num[i]
+		if pv > qv {
+			return false
+		}
+		if pv < qv {
+			strict = true
+		}
+	}
+	for i, pv := range p.Nom {
+		qv := q.Nom[i]
+		if pv == qv {
+			continue
+		}
+		if !c.orders[i].Less(pv, qv) {
+			return false
+		}
+		strict = true
+	}
+	return strict
+}

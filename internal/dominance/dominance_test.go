@@ -1,0 +1,297 @@
+package dominance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prefsky/internal/data"
+	"prefsky/internal/order"
+)
+
+// alicePref is "T ≺ M ≺ *" over {T,H,M} (Table 2).
+func alicePref(t *testing.T) *order.Preference {
+	t.Helper()
+	p, err := order.NewPreference(order.MustImplicit(3, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestComparatorValidation(t *testing.T) {
+	ds := data.Table1()
+	if _, err := NewComparator(nil, nil); err == nil {
+		t.Error("nil args accepted")
+	}
+	wrongDims := order.MustPreference(order.MustImplicit(3), order.MustImplicit(3))
+	if _, err := NewComparator(ds.Schema(), wrongDims); err == nil {
+		t.Error("dimension count mismatch accepted")
+	}
+	wrongCard := order.MustPreference(order.MustImplicit(7))
+	if _, err := NewComparator(ds.Schema(), wrongCard); err == nil {
+		t.Error("cardinality mismatch accepted")
+	}
+}
+
+func TestDominatesTable1(t *testing.T) {
+	ds := data.Table1()
+	pts := ds.Points()
+	// Under no preference, a dominates b (cheaper, better class, same hotel).
+	empty := ds.Schema().EmptyPreference()
+	c := MustComparator(ds.Schema(), empty)
+	a, b, e := &pts[0], &pts[1], &pts[4]
+	if !c.Dominates(a, b) {
+		t.Error("a should dominate b under empty preference")
+	}
+	if c.Dominates(b, a) {
+		t.Error("b should not dominate a")
+	}
+	// a vs e: cheaper and better class but T vs M incomparable without orders.
+	if c.Dominates(a, e) {
+		t.Error("a should not dominate e without nominal order")
+	}
+	// Under Alice's "T ≺ M ≺ *", a dominates e.
+	ca := MustComparator(ds.Schema(), alicePref(t))
+	if !ca.Dominates(a, e) {
+		t.Error("a should dominate e under T≺M≺*")
+	}
+}
+
+func TestCompareRelation(t *testing.T) {
+	ds := data.Table1()
+	pts := ds.Points()
+	c := MustComparator(ds.Schema(), ds.Schema().EmptyPreference())
+	if r := c.Compare(&pts[0], &pts[1]); r != Dominates {
+		t.Errorf("Compare(a,b) = %v, want dominates", r)
+	}
+	if r := c.Compare(&pts[1], &pts[0]); r != DominatedBy {
+		t.Errorf("Compare(b,a) = %v, want dominated-by", r)
+	}
+	if r := c.Compare(&pts[0], &pts[4]); r != Incomparable {
+		t.Errorf("Compare(a,e) = %v, want incomparable", r)
+	}
+	dup := pts[0].Clone()
+	if r := c.Compare(&pts[0], &dup); r != Equal {
+		t.Errorf("Compare(a,a') = %v, want equal", r)
+	}
+	for _, r := range []Relation{Dominates, DominatedBy, Equal, Incomparable} {
+		if r.String() == "" {
+			t.Error("empty Relation string")
+		}
+	}
+}
+
+func TestRankTable(t *testing.T) {
+	ds := data.Table1()
+	c := MustComparator(ds.Schema(), alicePref(t))
+	if c.Rank(0, 0) != 1 || c.Rank(0, 2) != 2 || c.Rank(0, 1) != 3 {
+		t.Errorf("ranks = %d,%d,%d want 1,2,3", c.Rank(0, 0), c.Rank(0, 2), c.Rank(0, 1))
+	}
+}
+
+func TestScore(t *testing.T) {
+	ds := data.Table1()
+	c := MustComparator(ds.Schema(), alicePref(t))
+	a := ds.Point(0)
+	// f(a) = 1600 + (−4) + r(T)=1 = 1597.
+	if got := c.Score(&a); got != 1597 {
+		t.Errorf("Score(a) = %v, want 1597", got)
+	}
+}
+
+func TestAffected(t *testing.T) {
+	ds := data.Table3()
+	pref, err := data.ParsePreference(ds.Schema(), "Airline: R<*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ds.Point(3) // airline R
+	a := ds.Point(0) // airline G
+	if !Affected(&d, pref) {
+		t.Error("d should be affected by R<*")
+	}
+	if Affected(&a, pref) {
+		t.Error("a should not be affected by R<*")
+	}
+}
+
+// randomPoints builds n random points over a small mixed schema.
+func randomPoints(rng *rand.Rand, schema *data.Schema, n int) []data.Point {
+	pts := make([]data.Point, n)
+	for i := range pts {
+		num := make([]float64, schema.NumDims())
+		for d := range num {
+			num[d] = float64(rng.Intn(8))
+		}
+		nom := make([]order.Value, schema.NomDims())
+		for d := range nom {
+			nom[d] = order.Value(rng.Intn(schema.Nominal[d].Cardinality()))
+		}
+		pts[i] = data.Point{ID: data.PointID(i), Num: num, Nom: nom}
+	}
+	return pts
+}
+
+func randomSchema(rng *rand.Rand) *data.Schema {
+	numDims := 1 + rng.Intn(3)
+	nomDims := 1 + rng.Intn(3)
+	numeric := make([]data.NumericAttr, numDims)
+	for i := range numeric {
+		numeric[i] = data.NumericAttr{Name: string(rune('A' + i))}
+	}
+	nominal := make([]*order.Domain, nomDims)
+	for i := range nominal {
+		d, err := order.NewAnonymousDomain(string(rune('N'+i)), 2+rng.Intn(4))
+		if err != nil {
+			panic(err)
+		}
+		nominal[i] = d
+	}
+	s, err := data.NewSchema(numeric, nominal)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func randomImplicit(rng *rand.Rand, card int) *order.Implicit {
+	x := rng.Intn(card + 1)
+	entries := make([]order.Value, x)
+	for i, v := range rng.Perm(card)[:x] {
+		entries[i] = order.Value(v)
+	}
+	return order.MustImplicit(card, entries...)
+}
+
+func randomPreference(rng *rand.Rand, schema *data.Schema) *order.Preference {
+	dims := make([]*order.Implicit, schema.NomDims())
+	for i := range dims {
+		dims[i] = randomImplicit(rng, schema.Nominal[i].Cardinality())
+	}
+	return order.MustPreference(dims...)
+}
+
+func TestDominanceIsStrictPartialOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		schema := randomSchema(rng)
+		pref := randomPreference(rng, schema)
+		c, err := NewComparator(schema, pref)
+		if err != nil {
+			return false
+		}
+		pts := randomPoints(rng, schema, 12)
+		for i := range pts {
+			if c.Dominates(&pts[i], &pts[i]) {
+				return false // irreflexive
+			}
+			for j := range pts {
+				if c.Dominates(&pts[i], &pts[j]) && c.Dominates(&pts[j], &pts[i]) {
+					return false // asymmetric
+				}
+				for k := range pts {
+					if c.Dominates(&pts[i], &pts[j]) && c.Dominates(&pts[j], &pts[k]) &&
+						!c.Dominates(&pts[i], &pts[k]) {
+						return false // transitive
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoreMonotoneProperty(t *testing.T) {
+	// p ≺ q implies f(p) < f(q) — the SFS presorting criterion (§4.1).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		schema := randomSchema(rng)
+		pref := randomPreference(rng, schema)
+		c, err := NewComparator(schema, pref)
+		if err != nil {
+			return false
+		}
+		pts := randomPoints(rng, schema, 20)
+		for i := range pts {
+			for j := range pts {
+				if c.Dominates(&pts[i], &pts[j]) && !(c.Score(&pts[i]) < c.Score(&pts[j])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComparatorAgreesWithPOComparatorProperty(t *testing.T) {
+	// The rank-based fast path must agree with dominance under the
+	// materialized partial order P(R̃) on every pair.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		schema := randomSchema(rng)
+		pref := randomPreference(rng, schema)
+		fast, err := NewComparator(schema, pref)
+		if err != nil {
+			return false
+		}
+		slow, err := FromPreference(schema, pref)
+		if err != nil {
+			return false
+		}
+		pts := randomPoints(rng, schema, 16)
+		for i := range pts {
+			for j := range pts {
+				if fast.Dominates(&pts[i], &pts[j]) != slow.Dominates(&pts[i], &pts[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPOComparatorValidation(t *testing.T) {
+	schema := data.Table1().Schema()
+	if _, err := NewPOComparator(schema, nil); err == nil {
+		t.Error("wrong order count accepted")
+	}
+	if _, err := NewPOComparator(schema, []*order.PartialOrder{nil}); err == nil {
+		t.Error("nil order accepted")
+	}
+	if _, err := NewPOComparator(schema, []*order.PartialOrder{order.NewPartialOrder(9)}); err == nil {
+		t.Error("cardinality mismatch accepted")
+	}
+}
+
+func TestPOComparatorGeneralPartialOrder(t *testing.T) {
+	// A genuine partial order that is not an implicit preference:
+	// T ≺ M and H ≺ M with T, H incomparable.
+	ds := data.Table1()
+	po, err := order.FromPairs(3, []order.Pair{{U: 0, V: 2}, {U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewPOComparator(ds.Schema(), []*order.PartialOrder{po})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := ds.Points()
+	// a (T) vs e (M): cheaper, better class, T ≺ M → dominates.
+	if !c.Dominates(&pts[0], &pts[4]) {
+		t.Error("a should dominate e under T≺M")
+	}
+	// c (H) vs a (T): H and T incomparable → no dominance.
+	if c.Dominates(&pts[2], &pts[0]) || c.Dominates(&pts[0], &pts[2]) {
+		t.Error("a and c should be incomparable")
+	}
+}

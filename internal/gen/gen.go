@@ -1,0 +1,221 @@
+// Package gen generates the synthetic workloads of §5: numeric attributes
+// follow the classic Borzsonyi et al. independent / correlated /
+// anti-correlated recipes, nominal attributes are drawn Zipfian (the data
+// generator of Wong et al., SIGKDD 2007), and implicit-preference query
+// workloads refine a template with randomly chosen values.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"prefsky/internal/data"
+	"prefsky/internal/order"
+	"prefsky/internal/zipf"
+)
+
+// Kind selects the numeric correlation structure.
+type Kind int
+
+const (
+	// Independent draws every numeric attribute uniformly.
+	Independent Kind = iota
+	// Correlated draws attributes close to a shared quality value; skylines
+	// are small.
+	Correlated
+	// AntiCorrelated spreads a fixed quality budget across attributes;
+	// points good in one dimension are bad in others and skylines are large.
+	// It is the setting the paper reports (§5.1).
+	AntiCorrelated
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Independent:
+		return "independent"
+	case Correlated:
+		return "correlated"
+	case AntiCorrelated:
+		return "anti-correlated"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind recognizes the String forms of Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "independent":
+		return Independent, nil
+	case "correlated":
+		return Correlated, nil
+	case "anti-correlated", "anticorrelated":
+		return AntiCorrelated, nil
+	}
+	return 0, fmt.Errorf("gen: unknown dataset kind %q", s)
+}
+
+// Config describes a synthetic dataset (Table 4 defaults are in the bench
+// harness).
+type Config struct {
+	N           int
+	NumDims     int
+	NomDims     int
+	Cardinality int // values per nominal dimension; value 0 is most frequent
+	Theta       float64
+	Kind        Kind
+	Seed        int64
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.N < 0:
+		return fmt.Errorf("gen: negative N %d", c.N)
+	case c.NumDims < 0 || c.NomDims < 0 || c.NumDims+c.NomDims == 0:
+		return fmt.Errorf("gen: invalid dimensions (%d numeric, %d nominal)", c.NumDims, c.NomDims)
+	case c.NomDims > 0 && c.Cardinality <= 0:
+		return fmt.Errorf("gen: non-positive cardinality %d", c.Cardinality)
+	}
+	return nil
+}
+
+// Dataset generates the synthetic dataset for the configuration.
+func Dataset(cfg Config) (*data.Dataset, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	numeric := make([]data.NumericAttr, cfg.NumDims)
+	for i := range numeric {
+		numeric[i] = data.NumericAttr{Name: fmt.Sprintf("num%d", i)}
+	}
+	nominal := make([]*order.Domain, cfg.NomDims)
+	for i := range nominal {
+		d, err := order.NewAnonymousDomain(fmt.Sprintf("nom%d", i), cfg.Cardinality)
+		if err != nil {
+			return nil, err
+		}
+		nominal[i] = d
+	}
+	schema, err := data.NewSchema(numeric, nominal)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zd *zipf.Dist
+	if cfg.NomDims > 0 {
+		if zd, err = zipf.New(cfg.Cardinality, cfg.Theta); err != nil {
+			return nil, err
+		}
+	}
+	points := make([]data.Point, cfg.N)
+	for i := range points {
+		p := data.Point{
+			Num: make([]float64, cfg.NumDims),
+			Nom: make([]order.Value, cfg.NomDims),
+		}
+		fillNumeric(p.Num, cfg.Kind, rng)
+		for d := range p.Nom {
+			p.Nom[d] = order.Value(zd.Sample(rng))
+		}
+		points[i] = p
+	}
+	return data.New(schema, points)
+}
+
+// MustDataset is Dataset that panics on error (benches, examples).
+func MustDataset(cfg Config) *data.Dataset {
+	ds, err := Dataset(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// fillNumeric writes one point's numeric coordinates in [0,1].
+func fillNumeric(num []float64, kind Kind, rng *rand.Rand) {
+	if len(num) == 0 {
+		return
+	}
+	switch kind {
+	case Independent:
+		for d := range num {
+			num[d] = rng.Float64()
+		}
+	case Correlated:
+		q := clippedNormal(rng, 0.5, 0.25)
+		for d := range num {
+			num[d] = clamp01(q + rng.NormFloat64()*0.05)
+		}
+	case AntiCorrelated:
+		// All coordinates share the quality budget q·m; transfers between
+		// random pairs keep the sum constant, so a point that improves in one
+		// dimension worsens in another. The budget itself is concentrated
+		// (σ = 0.05) so that points sit near a common anti-diagonal plane and
+		// rarely dominate each other.
+		q := clippedNormal(rng, 0.5, 0.05)
+		for d := range num {
+			num[d] = q
+		}
+		if len(num) == 1 {
+			return
+		}
+		for round := 0; round < 4*len(num); round++ {
+			i, j := rng.Intn(len(num)), rng.Intn(len(num))
+			if i == j {
+				continue
+			}
+			delta := rng.Float64() * math.Min(num[i], 1-num[j])
+			num[i] -= delta
+			num[j] += delta
+		}
+	default:
+		panic(fmt.Sprintf("gen: unknown kind %d", int(kind)))
+	}
+}
+
+func clippedNormal(rng *rand.Rand, mean, stddev float64) float64 {
+	for {
+		v := mean + rng.NormFloat64()*stddev
+		if v >= 0 && v <= 1 {
+			return v
+		}
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// FrequentTemplate builds the experiment default template of §5: the most
+// frequent value of every nominal dimension is preferred over all others
+// (a first-order implicit preference per dimension).
+func FrequentTemplate(ds *data.Dataset) (*order.Preference, error) {
+	schema := ds.Schema()
+	dims := make([]*order.Implicit, schema.NomDims())
+	for d, card := range schema.Cardinalities() {
+		counts := make([]int, card)
+		for _, p := range ds.Points() {
+			counts[p.Nom[d]]++
+		}
+		best := order.Value(0)
+		for v := 1; v < card; v++ {
+			if counts[v] > counts[best] {
+				best = order.Value(v)
+			}
+		}
+		ip, err := order.NewImplicit(card, best)
+		if err != nil {
+			return nil, err
+		}
+		dims[d] = ip
+	}
+	return order.NewPreference(dims...)
+}

@@ -1,0 +1,250 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/order"
+	"prefsky/internal/skyline"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{N: -1, NumDims: 1},
+		{N: 10},
+		{N: 10, NomDims: 1},
+		{N: 10, NumDims: -1, NomDims: 2, Cardinality: 3},
+	}
+	for i, cfg := range bad {
+		if _, err := Dataset(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestDatasetShape(t *testing.T) {
+	cfg := Config{N: 500, NumDims: 3, NomDims: 2, Cardinality: 10, Theta: 1, Kind: Independent, Seed: 1}
+	ds, err := Dataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 500 {
+		t.Fatalf("N = %d", ds.N())
+	}
+	s := ds.Schema()
+	if s.NumDims() != 3 || s.NomDims() != 2 {
+		t.Fatalf("dims = (%d,%d)", s.NumDims(), s.NomDims())
+	}
+	for _, p := range ds.Points() {
+		for _, v := range p.Num {
+			if v < 0 || v > 1 {
+				t.Fatalf("numeric value %v outside [0,1]", v)
+			}
+		}
+		for d, v := range p.Nom {
+			if int(v) < 0 || int(v) >= 10 {
+				t.Fatalf("nominal value %v outside domain %d", v, d)
+			}
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	cfg := Config{N: 200, NumDims: 2, NomDims: 1, Cardinality: 5, Theta: 1, Kind: AntiCorrelated, Seed: 42}
+	a := MustDataset(cfg)
+	b := MustDataset(cfg)
+	for i := 0; i < a.N(); i++ {
+		pa, pb := a.Point(data.PointID(i)), b.Point(data.PointID(i))
+		for d := range pa.Num {
+			if pa.Num[d] != pb.Num[d] {
+				t.Fatal("numeric generation not deterministic")
+			}
+		}
+		for d := range pa.Nom {
+			if pa.Nom[d] != pb.Nom[d] {
+				t.Fatal("nominal generation not deterministic")
+			}
+		}
+	}
+	cfg.Seed = 43
+	c := MustDataset(cfg)
+	same := true
+	for i := 0; i < a.N() && same; i++ {
+		pa, pc := a.Point(data.PointID(i)), c.Point(data.PointID(i))
+		for d := range pa.Num {
+			if pa.Num[d] != pc.Num[d] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestZipfSkewOnNominal(t *testing.T) {
+	cfg := Config{N: 20000, NumDims: 1, NomDims: 1, Cardinality: 10, Theta: 1, Kind: Independent, Seed: 7}
+	ds := MustDataset(cfg)
+	counts := make([]int, 10)
+	for _, p := range ds.Points() {
+		counts[p.Nom[0]]++
+	}
+	if !(counts[0] > counts[1] && counts[1] > counts[3] && counts[3] > counts[9]) {
+		t.Errorf("nominal counts not Zipf-skewed: %v", counts)
+	}
+	// θ=1: value 0 should be about twice as frequent as value 1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.6 || ratio > 2.5 {
+		t.Errorf("P(0)/P(1) = %v, want ≈2", ratio)
+	}
+}
+
+func TestAntiCorrelatedBudgetConserved(t *testing.T) {
+	// Transfers preserve the per-point coordinate sum, the source of
+	// anti-correlation.
+	cfg := Config{N: 50, NumDims: 4, NomDims: 0, Kind: AntiCorrelated, Seed: 3}
+	ds := MustDataset(cfg)
+	var spread float64
+	for _, p := range ds.Points() {
+		sum := 0.0
+		minV, maxV := math.Inf(1), math.Inf(-1)
+		for _, v := range p.Num {
+			if v < 0 || v > 1 {
+				t.Fatalf("coordinate %v outside [0,1]", v)
+			}
+			sum += v
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+		// The budget stays near the concentrated plane offset q·m, q ≈ 0.5.
+		if sum < 0.8 || sum > 3.2 {
+			t.Fatalf("sum %v implausibly far from the anti-diagonal plane", sum)
+		}
+		spread += maxV - minV
+	}
+	// Transfers must actually spread coordinates within the plane.
+	if avg := spread / float64(ds.N()); avg < 0.1 {
+		t.Errorf("average within-point spread %v too small: no anti-correlation", avg)
+	}
+}
+
+func TestCorrelationOrdering(t *testing.T) {
+	// Skyline sizes must order: correlated < independent < anti-correlated.
+	sizes := map[Kind]int{}
+	for _, kind := range []Kind{Independent, Correlated, AntiCorrelated} {
+		cfg := Config{N: 3000, NumDims: 4, NomDims: 0, Kind: kind, Seed: 11}
+		ds := MustDataset(cfg)
+		cmp := dominance.MustComparator(ds.Schema(), ds.Schema().EmptyPreference())
+		sizes[kind] = len(skyline.SFS(ds.Points(), cmp))
+	}
+	if !(sizes[Correlated] < sizes[Independent] && sizes[Independent] < sizes[AntiCorrelated]) {
+		t.Errorf("skyline sizes %v do not order correlated < independent < anti-correlated", sizes)
+	}
+}
+
+func TestKindStringAndParse(t *testing.T) {
+	for _, k := range []Kind{Independent, Correlated, AntiCorrelated} {
+		back, err := ParseKind(k.String())
+		if err != nil || back != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), back, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("bogus kind accepted")
+	}
+}
+
+func TestFrequentTemplate(t *testing.T) {
+	cfg := Config{N: 5000, NumDims: 1, NomDims: 2, Cardinality: 8, Theta: 1, Kind: Independent, Seed: 5}
+	ds := MustDataset(cfg)
+	tmpl, err := FrequentTemplate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmpl.NomDims() != 2 {
+		t.Fatal("template dims wrong")
+	}
+	for d := 0; d < 2; d++ {
+		if tmpl.Dim(d).Order() != 1 {
+			t.Errorf("dim %d order = %d, want 1", d, tmpl.Dim(d).Order())
+		}
+		// Generated value 0 is the Zipf mode, so the template should pick it.
+		if tmpl.Dim(d).Entry(1) != 0 {
+			t.Errorf("dim %d template value = %d, want 0", d, tmpl.Dim(d).Entry(1))
+		}
+	}
+}
+
+func TestQueriesRefineTemplate(t *testing.T) {
+	cards := []int{10, 10}
+	tmpl := order.MustPreference(order.MustImplicit(10, 0), order.MustImplicit(10))
+	for _, mode := range []ValueMode{Uniform, Zipfian, TopK} {
+		qc := QueryConfig{Order: 3, Count: 50, Mode: mode, K: 5, Seed: 9}
+		qs, err := Queries(cards, tmpl, qc)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if len(qs) != 50 {
+			t.Fatalf("%v: %d queries", mode, len(qs))
+		}
+		for _, q := range qs {
+			if !q.Refines(tmpl) {
+				t.Fatalf("%v: query %v does not refine template", mode, q)
+			}
+			for d := 0; d < q.NomDims(); d++ {
+				if q.Dim(d).Order() != 3 {
+					t.Fatalf("%v: dimension order = %d, want 3", mode, q.Dim(d).Order())
+				}
+			}
+		}
+	}
+}
+
+func TestQueriesOrderClamping(t *testing.T) {
+	cards := []int{3}
+	tmpl := order.MustPreference(order.MustImplicit(3))
+	qs, err := Queries(cards, tmpl, QueryConfig{Order: 9, Count: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if q.Dim(0).Order() != 3 {
+			t.Errorf("order = %d, want clamped to 3", q.Dim(0).Order())
+		}
+	}
+}
+
+func TestQueriesErrors(t *testing.T) {
+	cards := []int{5}
+	tmpl := order.MustPreference(order.MustImplicit(5, 0, 1))
+	if _, err := Queries(cards, nil, QueryConfig{}); err == nil {
+		t.Error("nil template accepted")
+	}
+	if _, err := Queries([]int{5, 5}, tmpl, QueryConfig{}); err == nil {
+		t.Error("cardinality count mismatch accepted")
+	}
+	if _, err := Queries(cards, tmpl, QueryConfig{Order: 1, Count: 1}); err == nil {
+		t.Error("order below template order accepted")
+	}
+	if _, err := Queries(cards, tmpl, QueryConfig{Order: 3, Count: -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestTopKQueriesPreferPool(t *testing.T) {
+	cards := []int{20}
+	tmpl := order.MustPreference(order.MustImplicit(20))
+	qs, err := Queries(cards, tmpl, QueryConfig{Order: 2, Count: 100, Mode: TopK, K: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		for _, v := range q.Dim(0).Entries() {
+			if int(v) >= 5 {
+				t.Fatalf("TopK query used value %d outside pool", v)
+			}
+		}
+	}
+}

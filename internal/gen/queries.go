@@ -1,0 +1,161 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prefsky/internal/order"
+	"prefsky/internal/zipf"
+)
+
+// ValueMode selects how the extra values of a query preference are drawn.
+type ValueMode int
+
+const (
+	// Uniform draws extension values uniformly from the domain.
+	Uniform ValueMode = iota
+	// Zipfian draws extension values with the data's own Zipf weights, so
+	// popular values are queried more often — the regime that makes the
+	// top-K-restricted IPO-tree useful (§3.1).
+	Zipfian
+	// TopK draws extension values uniformly among the K most frequent value
+	// ids (0..K-1 for generated data).
+	TopK
+)
+
+func (m ValueMode) String() string {
+	switch m {
+	case Uniform:
+		return "uniform"
+	case Zipfian:
+		return "zipf"
+	case TopK:
+		return "topk"
+	default:
+		return fmt.Sprintf("ValueMode(%d)", int(m))
+	}
+}
+
+// QueryConfig describes a random implicit-preference workload. Each generated
+// preference refines the template: per nominal dimension it lists the
+// template's values first and extends them with distinct random values until
+// order Order is reached (clamped to the cardinality).
+type QueryConfig struct {
+	Order int
+	Count int
+	Mode  ValueMode
+	K     int // TopK mode: candidate pool size
+	Theta float64
+	Seed  int64
+}
+
+// Queries generates the workload for domains with the given cardinalities.
+func Queries(cards []int, template *order.Preference, qc QueryConfig) ([]*order.Preference, error) {
+	if template == nil {
+		return nil, fmt.Errorf("gen: nil template")
+	}
+	if len(cards) != template.NomDims() {
+		return nil, fmt.Errorf("gen: %d cardinalities for template with %d dimensions",
+			len(cards), template.NomDims())
+	}
+	if qc.Count < 0 || qc.Order < 0 {
+		return nil, fmt.Errorf("gen: negative Count or Order")
+	}
+	for d, card := range cards {
+		if template.Dim(d).Cardinality() != card {
+			return nil, fmt.Errorf("gen: dimension %d cardinality mismatch", d)
+		}
+		if template.Dim(d).Order() > qc.Order && qc.Order > 0 {
+			return nil, fmt.Errorf("gen: order %d below template order %d on dimension %d",
+				qc.Order, template.Dim(d).Order(), d)
+		}
+	}
+	rng := rand.New(rand.NewSource(qc.Seed))
+	out := make([]*order.Preference, qc.Count)
+	for q := range out {
+		dims := make([]*order.Implicit, len(cards))
+		for d, card := range cards {
+			entries := template.Dim(d).Entries()
+			target := qc.Order
+			if target > card {
+				target = card
+			}
+			for len(entries) < target {
+				v, err := drawValue(rng, card, entries, qc)
+				if err != nil {
+					return nil, err
+				}
+				entries = append(entries, v)
+			}
+			ip, err := order.NewImplicit(card, entries...)
+			if err != nil {
+				return nil, err
+			}
+			dims[d] = ip
+		}
+		pref, err := order.NewPreference(dims...)
+		if err != nil {
+			return nil, err
+		}
+		out[q] = pref
+	}
+	return out, nil
+}
+
+// drawValue samples one value not already chosen, honoring the mode.
+func drawValue(rng *rand.Rand, card int, chosen []order.Value, qc QueryConfig) (order.Value, error) {
+	used := make(map[order.Value]bool, len(chosen))
+	for _, v := range chosen {
+		used[v] = true
+	}
+	switch qc.Mode {
+	case Uniform:
+		return drawUniform(rng, card, used, card)
+	case TopK:
+		k := qc.K
+		if k <= 0 || k > card {
+			k = card
+		}
+		// The pool may be exhausted by the template; widen as needed.
+		if v, err := drawUniform(rng, k, used, 64*card); err == nil {
+			return v, nil
+		}
+		return drawUniform(rng, card, used, card)
+	case Zipfian:
+		theta := qc.Theta
+		if theta == 0 {
+			theta = 1
+		}
+		zd, err := zipf.New(card, theta)
+		if err != nil {
+			return 0, err
+		}
+		for tries := 0; tries < 64*card; tries++ {
+			v := order.Value(zd.Sample(rng))
+			if !used[v] {
+				return v, nil
+			}
+		}
+		// Extremely skewed draws can loop; fall back to uniform.
+		return drawUniform(rng, card, used, card)
+	default:
+		return 0, fmt.Errorf("gen: unknown value mode %d", int(qc.Mode))
+	}
+}
+
+// drawUniform rejects used values; after maxTries rejections it scans for the
+// first free value to guarantee termination.
+func drawUniform(rng *rand.Rand, pool int, used map[order.Value]bool, maxTries int) (order.Value, error) {
+	for tries := 0; tries < maxTries; tries++ {
+		v := order.Value(rng.Intn(pool))
+		if !used[v] {
+			return v, nil
+		}
+	}
+	for v := order.Value(0); int(v) < pool; v++ {
+		if !used[v] {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("gen: value pool of %d exhausted", pool)
+}

@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"prefsky/internal/order"
+)
+
+// Workload serialization: one preference per line, dimensions separated by
+// ';' and entries by ',', e.g. "0,3;2;" for three dimensions where the last
+// two have order 1 and 0. The format is value-id based (schema-independent)
+// so saved workloads replay against any dataset with matching cardinalities.
+
+// WriteQueries serializes a workload.
+func WriteQueries(w io.Writer, queries []*order.Preference) error {
+	bw := bufio.NewWriter(w)
+	for _, q := range queries {
+		for d := 0; d < q.NomDims(); d++ {
+			if d > 0 {
+				if err := bw.WriteByte(';'); err != nil {
+					return err
+				}
+			}
+			for i, v := range q.Dim(d).Entries() {
+				if i > 0 {
+					if err := bw.WriteByte(','); err != nil {
+						return err
+					}
+				}
+				if _, err := bw.WriteString(strconv.Itoa(int(v))); err != nil {
+					return err
+				}
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadQueries parses a workload for domains with the given cardinalities.
+func ReadQueries(r io.Reader, cards []int) ([]*order.Preference, error) {
+	var out []*order.Preference
+	sc := bufio.NewScanner(r)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" && len(out) == 0 && !sc.Scan() {
+			break
+		}
+		parts := strings.Split(text, ";")
+		if len(parts) != len(cards) {
+			return nil, fmt.Errorf("gen: line %d has %d dimensions, want %d", line, len(parts), len(cards))
+		}
+		dims := make([]*order.Implicit, len(cards))
+		for d, part := range parts {
+			var entries []order.Value
+			if part != "" {
+				for _, tok := range strings.Split(part, ",") {
+					n, err := strconv.Atoi(strings.TrimSpace(tok))
+					if err != nil {
+						return nil, fmt.Errorf("gen: line %d dimension %d: %w", line, d, err)
+					}
+					entries = append(entries, order.Value(n))
+				}
+			}
+			ip, err := order.NewImplicit(cards[d], entries...)
+			if err != nil {
+				return nil, fmt.Errorf("gen: line %d dimension %d: %w", line, d, err)
+			}
+			dims[d] = ip
+		}
+		pref, err := order.NewPreference(dims...)
+		if err != nil {
+			return nil, fmt.Errorf("gen: line %d: %w", line, err)
+		}
+		out = append(out, pref)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gen: reading workload: %w", err)
+	}
+	return out, nil
+}

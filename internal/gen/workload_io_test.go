@@ -1,0 +1,81 @@
+package gen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prefsky/internal/order"
+)
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	cards := []int{5, 3}
+	tmpl := order.MustPreference(order.MustImplicit(5, 2), order.MustImplicit(3))
+	queries, err := Queries(cards, tmpl, QueryConfig{Order: 2, Count: 25, Mode: Uniform, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteQueries(&buf, queries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadQueries(&buf, cards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(queries) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(queries))
+	}
+	for i := range queries {
+		if !back[i].Equal(queries[i]) {
+			t.Fatalf("query %d changed: %v vs %v", i, back[i], queries[i])
+		}
+	}
+}
+
+func TestWorkloadEmptyPreferenceLine(t *testing.T) {
+	// An order-0 preference over two dimensions is just ";".
+	pref := order.MustPreference(order.MustImplicit(4), order.MustImplicit(4))
+	var buf bytes.Buffer
+	if err := WriteQueries(&buf, []*order.Preference{pref}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != ";" {
+		t.Errorf("serialized form = %q, want \";\"", got)
+	}
+	back, err := ReadQueries(&buf, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Order() != 0 {
+		t.Errorf("round trip = %v", back)
+	}
+}
+
+func TestReadQueriesErrors(t *testing.T) {
+	cases := []struct {
+		text  string
+		cards []int
+	}{
+		{"0,1", []int{3, 3}},      // wrong dimension count
+		{"0,x", []int{3}},         // bad integer
+		{"7", []int{3}},           // out of range
+		{"0,0", []int{3}},         // duplicate entry
+		{"0;1\n9;0", []int{3, 3}}, // later line bad
+	}
+	for i, c := range cases {
+		if _, err := ReadQueries(strings.NewReader(c.text), c.cards); err == nil {
+			t.Errorf("case %d (%q): no error", i, c.text)
+		}
+	}
+}
+
+func TestReadQueriesEmptyInput(t *testing.T) {
+	got, err := ReadQueries(strings.NewReader(""), []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty input produced %d queries", len(got))
+	}
+}

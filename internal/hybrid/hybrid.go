@@ -1,0 +1,70 @@
+// Package hybrid implements the combined engine §5.3 recommends as "a sound
+// solution": a top-K-restricted IPO-tree answers queries over popular values,
+// and queries naming unmaterialized values fall back to Adaptive SFS.
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+
+	"prefsky/internal/adaptive"
+	"prefsky/internal/data"
+	"prefsky/internal/ipotree"
+	"prefsky/internal/order"
+)
+
+// Stats counts how queries were routed.
+type Stats struct {
+	TreeHits  int
+	Fallbacks int
+}
+
+// Engine combines a (typically top-K restricted) IPO-tree with an Adaptive
+// SFS engine over the same dataset and template. It is not safe for
+// concurrent use (the routing counters are unsynchronized).
+type Engine struct {
+	tree  *ipotree.Tree
+	sfsa  *adaptive.Engine
+	stats Stats
+}
+
+// New builds both engines. treeOpts.TopK is typically set (e.g. 10, the
+// paper's IPO Tree-10); with TopK = 0 the fallback never triggers.
+func New(ds *data.Dataset, template *order.Preference, treeOpts ipotree.Options) (*Engine, error) {
+	tree, err := ipotree.Build(ds, template, treeOpts)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: building tree: %w", err)
+	}
+	sfsa, err := adaptive.New(ds, template)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: building adaptive engine: %w", err)
+	}
+	return &Engine{tree: tree, sfsa: sfsa}, nil
+}
+
+// Query answers with the tree when every queried value is materialized and
+// with Adaptive SFS otherwise.
+func (e *Engine) Query(pref *order.Preference) ([]data.PointID, error) {
+	ids, err := e.tree.Query(pref)
+	if err == nil {
+		e.stats.TreeHits++
+		return ids, nil
+	}
+	if !errors.Is(err, ipotree.ErrNotMaterialized) {
+		return nil, err
+	}
+	e.stats.Fallbacks++
+	return e.sfsa.Query(pref)
+}
+
+// Stats returns the routing counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Tree exposes the underlying IPO-tree (metrics, tests).
+func (e *Engine) Tree() *ipotree.Tree { return e.tree }
+
+// Adaptive exposes the underlying Adaptive SFS engine.
+func (e *Engine) Adaptive() *adaptive.Engine { return e.sfsa }
+
+// SizeBytes reports the combined storage of both engines.
+func (e *Engine) SizeBytes() int { return e.tree.SizeBytes() + e.sfsa.SizeBytes() }

@@ -1,0 +1,112 @@
+package hybrid
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/gen"
+	"prefsky/internal/ipotree"
+	"prefsky/internal/order"
+	"prefsky/internal/skyline"
+)
+
+func TestRoutingAndCorrectness(t *testing.T) {
+	ds := gen.MustDataset(gen.Config{
+		N: 400, NumDims: 2, NomDims: 1, Cardinality: 8, Theta: 1,
+		Kind: gen.Independent, Seed: 5,
+	})
+	tmpl := ds.Schema().EmptyPreference()
+	e, err := New(ds, tmpl, ipotree.Options{TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Popular query (values 0..2 are materialized).
+	popular := order.MustPreference(order.MustImplicit(8, 0, 1))
+	// Unpopular query (value 7 is outside top-3 of a Zipf sample).
+	unpopular := order.MustPreference(order.MustImplicit(8, 7))
+	for _, pref := range []*order.Preference{popular, unpopular} {
+		got, err := e.Query(pref)
+		if err != nil {
+			t.Fatalf("Query(%v): %v", pref, err)
+		}
+		cmp := dominance.MustComparator(ds.Schema(), pref)
+		want := skyline.SFS(ds.Points(), cmp)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Query(%v) = %v, want %v", pref, got, want)
+		}
+	}
+	s := e.Stats()
+	if s.TreeHits != 1 || s.Fallbacks != 1 {
+		t.Errorf("stats = %+v, want 1 hit and 1 fallback", s)
+	}
+}
+
+func TestNonRefinementStillFails(t *testing.T) {
+	ds := data.Table1()
+	tmpl, _ := data.ParsePreference(ds.Schema(), "Hotel-group: T<*")
+	e, err := New(ds, tmpl, ipotree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflicting, _ := data.ParsePreference(ds.Schema(), "Hotel-group: M<*")
+	if _, err := e.Query(conflicting); err == nil {
+		t.Error("conflicting query did not error")
+	}
+}
+
+func TestAccessorsAndSize(t *testing.T) {
+	ds := data.Table1()
+	e, err := New(ds, ds.Schema().EmptyPreference(), ipotree.Options{TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Tree() == nil || e.Adaptive() == nil {
+		t.Error("accessors returned nil")
+	}
+	if e.SizeBytes() <= e.Tree().SizeBytes() {
+		t.Error("combined size should exceed tree size")
+	}
+}
+
+func TestRandomizedAgainstSFSD(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	ds := gen.MustDataset(gen.Config{
+		N: 300, NumDims: 2, NomDims: 2, Cardinality: 6, Theta: 1,
+		Kind: gen.AntiCorrelated, Seed: 9,
+	})
+	tmpl, err := gen.FrequentTemplate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(ds, tmpl, ipotree.Options{TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := gen.Queries(ds.Schema().Cardinalities(), tmpl, gen.QueryConfig{
+		Order: 3, Count: 30, Mode: gen.Uniform, Seed: rng.Int63(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pref := range qs {
+		got, err := e.Query(pref)
+		if err != nil {
+			t.Fatalf("Query(%v): %v", pref, err)
+		}
+		cmp := dominance.MustComparator(ds.Schema(), pref)
+		want := skyline.SFS(ds.Points(), cmp)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Query(%v) = %v, want %v", pref, got, want)
+		}
+	}
+	s := e.Stats()
+	if s.TreeHits+s.Fallbacks != 30 {
+		t.Errorf("routing stats %+v do not sum to 30", s)
+	}
+	if s.Fallbacks == 0 {
+		t.Error("expected some fallbacks with TopK=2 and uniform queries")
+	}
+}

@@ -1,0 +1,106 @@
+package ipotree
+
+import (
+	"sort"
+
+	"prefsky/internal/order"
+)
+
+// Advisor implements the workload-driven materialization §3.1 suggests: "The
+// tree size can be further controlled if we know the query pattern (e.g.,
+// from a history of user queries)." It counts how often each nominal value
+// appears in observed preferences and recommends the values worth
+// materializing per dimension.
+type Advisor struct {
+	counts  [][]int
+	queries int
+}
+
+// NewAdvisor creates an advisor for domains with the given cardinalities.
+func NewAdvisor(cardinalities []int) *Advisor {
+	counts := make([][]int, len(cardinalities))
+	for d, c := range cardinalities {
+		counts[d] = make([]int, c)
+	}
+	return &Advisor{counts: counts}
+}
+
+// Observe records one query's listed values. Preferences with a different
+// shape are ignored.
+func (a *Advisor) Observe(pref *order.Preference) {
+	if pref == nil || pref.NomDims() != len(a.counts) {
+		return
+	}
+	for d := range a.counts {
+		ip := pref.Dim(d)
+		if ip.Cardinality() != len(a.counts[d]) {
+			return
+		}
+	}
+	a.queries++
+	for d := range a.counts {
+		for _, v := range pref.Dim(d).Entries() {
+			a.counts[d][v]++
+		}
+	}
+}
+
+// Queries returns the number of observed queries.
+func (a *Advisor) Queries() int { return a.queries }
+
+// Count returns how often value v of dimension d was queried.
+func (a *Advisor) Count(d int, v order.Value) int { return a.counts[d][v] }
+
+// Recommend returns, per dimension, the values queried at least minShare of
+// the time (0 < minShare ≤ 1), most popular first. With no history it
+// recommends nothing.
+func (a *Advisor) Recommend(minShare float64) [][]order.Value {
+	out := make([][]order.Value, len(a.counts))
+	if a.queries == 0 {
+		return out
+	}
+	threshold := minShare * float64(a.queries)
+	for d, counts := range a.counts {
+		var vals []order.Value
+		for v, c := range counts {
+			if float64(c) >= threshold && c > 0 {
+				vals = append(vals, order.Value(v))
+			}
+		}
+		sort.Slice(vals, func(i, j int) bool {
+			ci, cj := counts[vals[i]], counts[vals[j]]
+			if ci != cj {
+				return ci > cj
+			}
+			return vals[i] < vals[j]
+		})
+		out[d] = vals
+	}
+	return out
+}
+
+// TopK returns the k most queried values per dimension (fewer if fewer were
+// queried at all).
+func (a *Advisor) TopK(k int) [][]order.Value {
+	out := make([][]order.Value, len(a.counts))
+	for d, counts := range a.counts {
+		vals := make([]order.Value, 0, len(counts))
+		for v, c := range counts {
+			if c > 0 {
+				vals = append(vals, order.Value(v))
+			}
+		}
+		sort.Slice(vals, func(i, j int) bool {
+			ci, cj := counts[vals[i]], counts[vals[j]]
+			if ci != cj {
+				return ci > cj
+			}
+			return vals[i] < vals[j]
+		})
+		if len(vals) > k {
+			vals = vals[:k]
+		}
+		out[d] = vals
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package ipotree
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"prefsky/internal/data"
+	"prefsky/internal/gen"
+	"prefsky/internal/order"
+)
+
+func TestAdvisorCountsAndTopK(t *testing.T) {
+	a := NewAdvisor([]int{4, 3})
+	obs := func(d0, d1 []order.Value) {
+		p := order.MustPreference(order.MustImplicit(4, d0...), order.MustImplicit(3, d1...))
+		a.Observe(p)
+	}
+	obs([]order.Value{0, 1}, []order.Value{2})
+	obs([]order.Value{0}, []order.Value{2})
+	obs([]order.Value{0, 3}, nil)
+	if a.Queries() != 3 {
+		t.Fatalf("Queries = %d, want 3", a.Queries())
+	}
+	if a.Count(0, 0) != 3 || a.Count(0, 1) != 1 || a.Count(1, 2) != 2 {
+		t.Error("counts wrong")
+	}
+	top := a.TopK(2)
+	if !reflect.DeepEqual(top[0], []order.Value{0, 1}) {
+		t.Errorf("TopK dim0 = %v, want [0 1]", top[0])
+	}
+	if !reflect.DeepEqual(top[1], []order.Value{2}) {
+		t.Errorf("TopK dim1 = %v, want [2]", top[1])
+	}
+}
+
+func TestAdvisorRecommendThreshold(t *testing.T) {
+	a := NewAdvisor([]int{3})
+	for i := 0; i < 10; i++ {
+		entries := []order.Value{0}
+		if i < 3 {
+			entries = append(entries, 1)
+		}
+		a.Observe(order.MustPreference(order.MustImplicit(3, entries...)))
+	}
+	// Value 0 queried 100%, value 1 queried 30%, value 2 never.
+	if got := a.Recommend(0.5); !reflect.DeepEqual(got[0], []order.Value{0}) {
+		t.Errorf("Recommend(0.5) = %v, want [0]", got[0])
+	}
+	if got := a.Recommend(0.2); !reflect.DeepEqual(got[0], []order.Value{0, 1}) {
+		t.Errorf("Recommend(0.2) = %v, want [0 1]", got[0])
+	}
+	empty := NewAdvisor([]int{3})
+	if got := empty.Recommend(0.5); len(got[0]) != 0 {
+		t.Errorf("empty advisor recommended %v", got)
+	}
+}
+
+func TestAdvisorIgnoresWrongShape(t *testing.T) {
+	a := NewAdvisor([]int{3})
+	a.Observe(nil)
+	a.Observe(order.MustPreference(order.MustImplicit(3), order.MustImplicit(3)))
+	a.Observe(order.MustPreference(order.MustImplicit(5, 0)))
+	if a.Queries() != 0 {
+		t.Errorf("Queries = %d, want 0", a.Queries())
+	}
+}
+
+func TestBuildWithExplicitValues(t *testing.T) {
+	ds := data.Table3()
+	tmpl := ds.Schema().EmptyPreference()
+	opts := Options{Values: [][]order.Value{{0}, {0, 1}}} // T; G,R
+	tree, err := Build(ds, tmpl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := data.ParsePreference(ds.Schema(), "Hotel-group: T<*; Airline: R<G<*")
+	if _, err := tree.Query(ok); err != nil {
+		t.Errorf("materialized query failed: %v", err)
+	}
+	missing, _ := data.ParsePreference(ds.Schema(), "Hotel-group: H<*")
+	if _, err := tree.Query(missing); !errors.Is(err, ErrNotMaterialized) {
+		t.Errorf("unmaterialized error = %v", err)
+	}
+	// Node count: (1+1)·(2+1) + (1+1) + 1 = 9.
+	if tree.Stats().Nodes != 9 {
+		t.Errorf("nodes = %d, want 9", tree.Stats().Nodes)
+	}
+}
+
+func TestBuildWithValuesErrors(t *testing.T) {
+	ds := data.Table3()
+	tmpl := ds.Schema().EmptyPreference()
+	if _, err := Build(ds, tmpl, Options{Values: [][]order.Value{{0}}}); err == nil {
+		t.Error("wrong dimension count accepted")
+	}
+	if _, err := Build(ds, tmpl, Options{Values: [][]order.Value{{9}, {0}}}); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+}
+
+func TestBuildWithValuesIncludesTemplate(t *testing.T) {
+	ds := data.Table3()
+	tmpl, _ := data.ParsePreference(ds.Schema(), "Hotel-group: M<*")
+	tree, err := Build(ds, tmpl, Options{Values: [][]order.Value{{}, {}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The template's own value must be queryable even with empty Values.
+	if _, err := tree.Query(tmpl); err != nil {
+		t.Errorf("template query failed: %v", err)
+	}
+}
+
+// TestWorkloadDrivenMaterialization is the §3.1 end-to-end flow: observe a
+// skewed workload, recommend values, build a small tree that answers the
+// popular queries, and fall back (error) only for rare ones.
+func TestWorkloadDrivenMaterialization(t *testing.T) {
+	ds := gen.MustDataset(gen.Config{
+		N: 500, NumDims: 2, NomDims: 2, Cardinality: 12, Theta: 1,
+		Kind: gen.Independent, Seed: 8,
+	})
+	tmpl := ds.Schema().EmptyPreference()
+	workload, err := gen.Queries(ds.Schema().Cardinalities(), tmpl, gen.QueryConfig{
+		Order: 2, Count: 200, Mode: gen.Zipfian, Theta: 1.5, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := NewAdvisor(ds.Schema().Cardinalities())
+	for _, q := range workload {
+		adv.Observe(q)
+	}
+	tree, err := Build(ds, tmpl, Options{Values: adv.Recommend(0.05)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Build(ds, tmpl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Stats().Nodes >= full.Stats().Nodes {
+		t.Errorf("advised tree (%d nodes) not smaller than full (%d)",
+			tree.Stats().Nodes, full.Stats().Nodes)
+	}
+	answered := 0
+	for _, q := range workload {
+		got, err := tree.Query(q)
+		if err != nil {
+			if !errors.Is(err, ErrNotMaterialized) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			continue
+		}
+		want, err := full.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatal("advised tree answered differently")
+		}
+		answered++
+	}
+	// A 5%-share threshold over a Zipf(1.5) workload should cover most of it.
+	if answered < len(workload)/2 {
+		t.Errorf("advised tree answered only %d/%d queries", answered, len(workload))
+	}
+}

@@ -1,0 +1,205 @@
+package ipotree
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/order"
+	"prefsky/internal/skyline"
+)
+
+func TestEmptyDataset(t *testing.T) {
+	dom, _ := order.NewAnonymousDomain("N", 3)
+	schema, _ := data.NewSchema([]data.NumericAttr{{Name: "A"}}, []*order.Domain{dom})
+	ds, err := data.New(schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Build(ds, schema.EmptyPreference(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pref := order.MustPreference(order.MustImplicit(3, 1))
+	got, err := tree.Query(pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("skyline of empty dataset = %v", got)
+	}
+}
+
+func TestSinglePointDataset(t *testing.T) {
+	dom, _ := order.NewAnonymousDomain("N", 2)
+	schema, _ := data.NewSchema([]data.NumericAttr{{Name: "A"}}, []*order.Domain{dom})
+	ds, err := data.New(schema, []data.Point{{Num: []float64{1}, Nom: []order.Value{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Build(ds, schema.EmptyPreference(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pref := order.MustPreference(order.MustImplicit(2, 1, 0))
+	got, err := tree.Query(pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("singleton skyline = %v", got)
+	}
+}
+
+func TestNoNominalDimensions(t *testing.T) {
+	// A purely numeric dataset: the tree is the root only and every query
+	// (the empty preference) returns SKY(∅).
+	schema, _ := data.NewSchema([]data.NumericAttr{{Name: "A"}, {Name: "B"}}, nil)
+	pts := []data.Point{
+		{Num: []float64{1, 4}}, {Num: []float64{2, 2}}, {Num: []float64{4, 1}},
+		{Num: []float64{3, 3}}, {Num: []float64{5, 5}},
+	}
+	ds, err := data.New(schema, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := schema.EmptyPreference()
+	tree, err := Build(ds, tmpl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Stats().Nodes != 1 {
+		t.Errorf("nodes = %d, want 1 (root only)", tree.Stats().Nodes)
+	}
+	got, err := tree.Query(tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []data.PointID{0, 1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("numeric-only skyline = %v, want %v", got, want)
+	}
+}
+
+func TestFullOrderQuery(t *testing.T) {
+	// A query listing every value (a total order) exercises x = k merging.
+	ds := data.Table1()
+	tree, err := Build(ds, ds.Schema().EmptyPreference(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []string{
+		"Hotel-group: H<M<T", "Hotel-group: T<H<M", "Hotel-group: M<T<H",
+	} {
+		pref, err := data.ParsePreference(ds.Schema(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tree.Query(pref)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		cmp := dominance.MustComparator(ds.Schema(), pref)
+		want := skyline.SFS(ds.Points(), cmp)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: %v, want %v", spec, got, want)
+		}
+	}
+}
+
+func TestTotalOrderTemplate(t *testing.T) {
+	// The template itself may be a total order; the only refinement is the
+	// template (or its x=k−1 equivalent).
+	ds := data.Table1()
+	tmpl, _ := data.ParsePreference(ds.Schema(), "Hotel-group: T<H<M")
+	tree, err := Build(ds, tmpl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tree.Query(tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := dominance.MustComparator(ds.Schema(), tmpl)
+	want := skyline.SFS(ds.Points(), cmp)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("total-order template query = %v, want %v", got, want)
+	}
+}
+
+func TestAllDuplicatePoints(t *testing.T) {
+	ds := data.Table1()
+	pts := make([]data.Point, 8)
+	for i := range pts {
+		pts[i] = ds.Point(0).Clone()
+	}
+	dup, err := ds.WithPoints(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Build(dup, ds.Schema().EmptyPreference(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pref, _ := data.ParsePreference(ds.Schema(), "Hotel-group: M<H<*")
+	got, err := tree.Query(pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 {
+		t.Errorf("duplicate dataset skyline = %d points, want all 8", len(got))
+	}
+}
+
+// TestConcurrentQueries documents that a built tree is safe for concurrent
+// readers (queries never mutate nodes).
+func TestConcurrentQueries(t *testing.T) {
+	fx := randomFixture(31415)
+	tree, err := Build(fx.ds, fx.tmpl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefs := make([]*order.Preference, 8)
+	wants := make([][]data.PointID, len(prefs))
+	for i := range prefs {
+		prefs[i] = fx.randomRefinement()
+		w, err := tree.Query(prefs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				i := (g + rep) % len(prefs)
+				got, err := tree.Query(prefs[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got, wants[i]) {
+					errs <- errMismatch
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "concurrent query returned a different skyline" }

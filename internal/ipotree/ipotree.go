@@ -1,0 +1,436 @@
+// Package ipotree implements the IPO-tree (implicit preference order tree) of
+// §3, the paper's partial-materialization engine: skyline results for every
+// combination of first-order preferences "v ≺ *" are materialized as
+// disqualifying sets, and a query of any order is answered by combining them
+// with the merging property (Theorem 2) following Algorithms 1 and 2.
+package ipotree
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"prefsky/internal/bitset"
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/mdc"
+	"prefsky/internal/order"
+	"prefsky/internal/skyline"
+)
+
+// ErrNotRefinement is returned for queries that do not refine the template;
+// Theorem 1 only bounds the search space for refinements.
+var ErrNotRefinement = errors.New("ipotree: preference does not refine the template")
+
+// ErrNotMaterialized is returned when a query names a value whose node was
+// not materialized (a top-K restricted tree, §3.1); callers fall back to
+// Adaptive SFS (the hybrid of §5.3).
+var ErrNotMaterialized = errors.New("ipotree: value not materialized")
+
+// Options configures tree construction.
+type Options struct {
+	// TopK materializes children only for the K most frequent values of every
+	// nominal dimension (plus the template's own values). 0 materializes all
+	// values ("IPO Tree"); 10 gives the paper's "IPO Tree-10".
+	TopK int
+	// Values explicitly selects the values to materialize per dimension
+	// (§3.1's query-pattern-driven restriction; see Advisor). When set it
+	// overrides TopK; the template's values are always added.
+	Values [][]order.Value
+	// Parallelism bounds the workers used for MDC computation and node
+	// construction. 0 uses GOMAXPROCS.
+	Parallelism int
+	// UseBitmap stores disqualifying sets as bitmaps over skyline positions
+	// and evaluates queries with bitwise set operations (§3.2).
+	UseBitmap bool
+	// MaxNodes aborts construction if the structure would exceed this many
+	// nodes (a full tree has Π(K_d+1) nodes). 0 means no limit.
+	MaxNodes int
+}
+
+// Stats reports construction measurements.
+type Stats struct {
+	Nodes         int
+	SkylineSize   int
+	MDCConditions int
+	BuildSkyline  time.Duration
+	BuildMDC      time.Duration
+	BuildNodes    time.Duration
+}
+
+type node struct {
+	// a holds the ascending skyline positions disqualified under the node's
+	// full-path preference (the A set of §3.1), or its bitmap form.
+	a        []int32
+	abits    *bitset.Set
+	children []*node
+	phi      *node
+}
+
+// Tree is a built IPO-tree. It retains only what queries need: the root
+// skyline, the per-dimension nominal values of its points, and the nodes.
+type Tree struct {
+	template *order.Preference
+	cards    []int
+	sky      []data.PointID
+	nomOf    [][]order.Value // [dim][skyline position]
+	valBits  [][]*bitset.Set // bitmap mode: [dim][value] → positions with that value
+	root     *node
+	opts     Options
+	stats    Stats
+}
+
+// Build constructs the IPO-tree for the dataset under the template.
+func Build(ds *data.Dataset, template *order.Preference, opts Options) (*Tree, error) {
+	if ds == nil || template == nil {
+		return nil, fmt.Errorf("ipotree: nil dataset or template")
+	}
+	schema := ds.Schema()
+	if template.NomDims() != schema.NomDims() {
+		return nil, fmt.Errorf("ipotree: template has %d nominal dimensions, schema has %d",
+			template.NomDims(), schema.NomDims())
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	t := &Tree{template: template.Clone(), cards: schema.Cardinalities(), opts: opts}
+
+	start := time.Now()
+	cmp, err := dominance.NewComparator(schema, template)
+	if err != nil {
+		return nil, err
+	}
+	t.sky = skyline.SFS(ds.Points(), cmp)
+	t.stats.SkylineSize = len(t.sky)
+	t.stats.BuildSkyline = time.Since(start)
+
+	start = time.Now()
+	ix := mdc.Build(ds, t.sky, par)
+	for i := range t.sky {
+		t.stats.MDCConditions += len(ix.Conditions(i))
+	}
+	t.stats.BuildMDC = time.Since(start)
+
+	start = time.Now()
+	t.nomOf = make([][]order.Value, schema.NomDims())
+	for d := 0; d < schema.NomDims(); d++ {
+		col := make([]order.Value, len(t.sky))
+		for i, id := range t.sky {
+			col[i] = ds.Point(id).Nom[d]
+		}
+		t.nomOf[d] = col
+	}
+
+	materialized, err := t.materializedValues(ds)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxNodes > 0 {
+		n := 1
+		for _, vals := range materialized {
+			n *= len(vals) + 1
+			if n > opts.MaxNodes {
+				return nil, fmt.Errorf("ipotree: tree would exceed MaxNodes=%d", opts.MaxNodes)
+			}
+		}
+	}
+
+	type task struct {
+		n    *node
+		pref *order.Preference
+	}
+	var tasks []task
+	t.root = &node{}
+	t.stats.Nodes = 1
+	var grow func(n *node, d int, pref *order.Preference) error
+	grow = func(n *node, d int, pref *order.Preference) error {
+		if d == len(t.cards) {
+			return nil
+		}
+		n.children = make([]*node, t.cards[d])
+		for _, v := range materialized[d] {
+			first, err := order.NewImplicit(t.cards[d], v)
+			if err != nil {
+				return err
+			}
+			childPref, err := pref.WithDim(d, first)
+			if err != nil {
+				return err
+			}
+			child := &node{}
+			n.children[v] = child
+			t.stats.Nodes++
+			tasks = append(tasks, task{child, childPref})
+			if err := grow(child, d+1, childPref); err != nil {
+				return err
+			}
+		}
+		// The φ child keeps the template's order on dimension d: its path
+		// preference — and hence its disqualifying set — equals the parent's.
+		n.phi = &node{a: n.a}
+		t.stats.Nodes++
+		return grow(n.phi, d+1, pref)
+	}
+	if err := grow(t.root, 0, t.template); err != nil {
+		return nil, err
+	}
+
+	// Fill the disqualifying sets. φ nodes alias their parent's set, which is
+	// always computed before the φ child reads it because grow assigned the
+	// parent's (empty) slice eagerly; recompute aliases afterwards instead.
+	runTasks(tasks, par, func(tk task) { tk.n.a = ix.DisqualifiedSet(tk.pref) })
+	t.fixPhi(t.root)
+	if opts.UseBitmap {
+		t.buildBitmaps()
+	}
+	t.stats.BuildNodes = time.Since(start)
+	return t, nil
+}
+
+// runTasks executes f over tasks with bounded parallelism.
+func runTasks[T any](tasks []T, par int, f func(T)) {
+	if par <= 1 || len(tasks) < 2 {
+		for _, tk := range tasks {
+			f(tk)
+		}
+		return
+	}
+	work := make(chan T)
+	done := make(chan struct{})
+	for w := 0; w < par; w++ {
+		go func() {
+			for tk := range work {
+				f(tk)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for _, tk := range tasks {
+		work <- tk
+	}
+	close(work)
+	for w := 0; w < par; w++ {
+		<-done
+	}
+}
+
+// fixPhi re-aliases every φ child to its parent's final disqualifying set.
+func (t *Tree) fixPhi(n *node) {
+	if n == nil {
+		return
+	}
+	if n.phi != nil {
+		n.phi.a = n.a
+		t.fixPhi(n.phi)
+	}
+	for _, c := range n.children {
+		t.fixPhi(c)
+	}
+}
+
+// buildBitmaps converts disqualifying sets and per-value membership into
+// bitsets over skyline positions.
+func (t *Tree) buildBitmaps() {
+	n := len(t.sky)
+	t.valBits = make([][]*bitset.Set, len(t.cards))
+	for d, card := range t.cards {
+		t.valBits[d] = make([]*bitset.Set, card)
+		for v := 0; v < card; v++ {
+			t.valBits[d][v] = bitset.New(n)
+		}
+		for i, v := range t.nomOf[d] {
+			t.valBits[d][v].Add(i)
+		}
+	}
+	var walk func(nd *node, parent *bitset.Set)
+	walk = func(nd *node, parent *bitset.Set) {
+		if nd == nil {
+			return
+		}
+		if parent != nil {
+			// φ children share their parent's set, like the slice form.
+			nd.abits = parent
+		} else {
+			nd.abits = bitset.FromIndices(n, nd.a)
+		}
+		walk(nd.phi, nd.abits)
+		for _, c := range nd.children {
+			walk(c, nil)
+		}
+	}
+	walk(t.root, nil)
+}
+
+// materializedValues decides which values get children per dimension: an
+// explicit per-dimension list (Options.Values), the TopK most frequent in the
+// dataset, or all of them — always including the template's own values.
+func (t *Tree) materializedValues(ds *data.Dataset) ([][]order.Value, error) {
+	if t.opts.Values != nil {
+		if len(t.opts.Values) != len(t.cards) {
+			return nil, fmt.Errorf("ipotree: Options.Values has %d dimensions, schema has %d",
+				len(t.opts.Values), len(t.cards))
+		}
+		out := make([][]order.Value, len(t.cards))
+		for d, card := range t.cards {
+			pick := make(map[order.Value]bool, len(t.opts.Values[d]))
+			for _, v := range t.opts.Values[d] {
+				if int(v) < 0 || int(v) >= card {
+					return nil, fmt.Errorf("ipotree: Options.Values dimension %d: value %d outside cardinality %d",
+						d, v, card)
+				}
+				pick[v] = true
+			}
+			for _, v := range t.template.Dim(d).Entries() {
+				pick[v] = true
+			}
+			vals := make([]order.Value, 0, len(pick))
+			for v := order.Value(0); int(v) < card; v++ {
+				if pick[v] {
+					vals = append(vals, v)
+				}
+			}
+			out[d] = vals
+		}
+		return out, nil
+	}
+	out := make([][]order.Value, len(t.cards))
+	for d, card := range t.cards {
+		if t.opts.TopK <= 0 || t.opts.TopK >= card {
+			vals := make([]order.Value, card)
+			for v := range vals {
+				vals[v] = order.Value(v)
+			}
+			out[d] = vals
+			continue
+		}
+		counts := make([]int, card)
+		for _, p := range ds.Points() {
+			counts[p.Nom[d]]++
+		}
+		byFreq := make([]order.Value, card)
+		for v := range byFreq {
+			byFreq[v] = order.Value(v)
+		}
+		sort.SliceStable(byFreq, func(i, j int) bool {
+			if counts[byFreq[i]] != counts[byFreq[j]] {
+				return counts[byFreq[i]] > counts[byFreq[j]]
+			}
+			return byFreq[i] < byFreq[j]
+		})
+		pick := make(map[order.Value]bool, t.opts.TopK)
+		for _, v := range byFreq[:t.opts.TopK] {
+			pick[v] = true
+		}
+		for _, v := range t.template.Dim(d).Entries() {
+			pick[v] = true
+		}
+		vals := make([]order.Value, 0, len(pick))
+		for v := order.Value(0); int(v) < card; v++ {
+			if pick[v] {
+				vals = append(vals, v)
+			}
+		}
+		out[d] = vals
+	}
+	return out, nil
+}
+
+// Template returns the template the tree was built for.
+func (t *Tree) Template() *order.Preference { return t.template }
+
+// RootSkyline returns SKY(R), the skyline under the template.
+func (t *Tree) RootSkyline() []data.PointID {
+	return append([]data.PointID(nil), t.sky...)
+}
+
+// Stats returns construction measurements.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// SizeBytes estimates the memory the tree retains for query answering
+// (the paper's storage metric): nodes, disqualifying sets, root skyline and
+// the per-dimension value columns.
+func (t *Tree) SizeBytes() int {
+	size := len(t.sky) * 4
+	for _, col := range t.nomOf {
+		size += len(col) * 4
+	}
+	for _, dim := range t.valBits {
+		for _, b := range dim {
+			size += b.SizeBytes()
+		}
+	}
+	var walk func(n *node, isPhi bool)
+	walk = func(n *node, isPhi bool) {
+		if n == nil {
+			return
+		}
+		size += 64 // node overhead
+		if !isPhi {
+			// φ children alias their parent's disqualifying set; count it once.
+			size += len(n.a) * 4
+			if n.abits != nil {
+				size += n.abits.SizeBytes()
+			}
+		}
+		size += len(n.children) * 8
+		walk(n.phi, true)
+		for _, c := range n.children {
+			walk(c, false)
+		}
+	}
+	walk(t.root, false)
+	return size
+}
+
+// validate checks a query preference against the tree's shape and template.
+func (t *Tree) validate(pref *order.Preference) error {
+	if pref == nil {
+		return fmt.Errorf("ipotree: nil preference")
+	}
+	if pref.NomDims() != len(t.cards) {
+		return fmt.Errorf("ipotree: preference has %d nominal dimensions, tree has %d",
+			pref.NomDims(), len(t.cards))
+	}
+	for d, card := range t.cards {
+		if pref.Dim(d).Cardinality() != card {
+			return fmt.Errorf("ipotree: dimension %d cardinality %d, tree has %d",
+				d, pref.Dim(d).Cardinality(), card)
+		}
+	}
+	if !pref.Refines(t.template) {
+		return fmt.Errorf("%w: query %v vs template %v", ErrNotRefinement, pref, t.template)
+	}
+	return nil
+}
+
+// Inspect returns the disqualified point ids of the node addressed by one
+// label per dimension (−1 selects the φ child). It exposes the structure of
+// Figure 2 to tests and tooling.
+func (t *Tree) Inspect(labels []order.Value) ([]data.PointID, error) {
+	if len(labels) > len(t.cards) {
+		return nil, fmt.Errorf("ipotree: %d labels for %d dimensions", len(labels), len(t.cards))
+	}
+	n := t.root
+	for d, v := range labels {
+		if v == -1 {
+			n = n.phi
+		} else {
+			if int(v) < 0 || int(v) >= t.cards[d] {
+				return nil, fmt.Errorf("ipotree: label %d outside dimension %d", v, d)
+			}
+			n = n.children[v]
+		}
+		if n == nil {
+			return nil, fmt.Errorf("%w: dimension %d value %d", ErrNotMaterialized, d, v)
+		}
+	}
+	out := make([]data.PointID, len(n.a))
+	for i, pos := range n.a {
+		out[i] = t.sky[pos]
+	}
+	return out, nil
+}

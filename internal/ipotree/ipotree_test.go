@@ -1,0 +1,414 @@
+package ipotree
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/order"
+	"prefsky/internal/skyline"
+)
+
+func ids(letters string) []data.PointID {
+	out := make([]data.PointID, len(letters))
+	for i, r := range letters {
+		out[i] = data.PointID(r - 'a')
+	}
+	return out
+}
+
+func buildTable3(t *testing.T, opts Options) *Tree {
+	t.Helper()
+	ds := data.Table3()
+	tree, err := Build(ds, ds.Schema().EmptyPreference(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestRootSkylineFigure2(t *testing.T) {
+	tree := buildTable3(t, Options{})
+	if got := tree.RootSkyline(); !reflect.DeepEqual(got, ids("acdef")) {
+		t.Fatalf("root skyline = %v, want %v", got, ids("acdef"))
+	}
+	if s := tree.Stats(); s.SkylineSize != 5 || s.Nodes != 21 {
+		// 1 root + (3+1 children) + 4×(3+1 grandchildren) = 21 (Figure 2).
+		t.Errorf("stats = %+v, want SkylineSize 5, Nodes 21", s)
+	}
+}
+
+// TestFigure2DisqualifyingSets pins every A set shown in Figure 2.
+func TestFigure2DisqualifyingSets(t *testing.T) {
+	tree := buildTable3(t, Options{})
+	phi := order.Value(-1)
+	T, H, M := order.Value(0), order.Value(1), order.Value(2)
+	G, R, W := order.Value(0), order.Value(1), order.Value(2)
+	cases := []struct {
+		labels []order.Value
+		want   string
+	}{
+		{[]order.Value{}, ""},
+		// Level 2 (Hotel-group): all empty.
+		{[]order.Value{T}, ""}, {[]order.Value{H}, ""}, {[]order.Value{M}, ""}, {[]order.Value{phi}, ""},
+		// Level 3 (Airline) under T: G disqualifies d,e,f.
+		{[]order.Value{T, G}, "def"}, {[]order.Value{T, R}, ""}, {[]order.Value{T, W}, ""}, {[]order.Value{T, phi}, ""},
+		// Under H: G disqualifies d and f (c dominates both); under M and φ: d.
+		{[]order.Value{H, G}, "df"}, {[]order.Value{H, R}, ""}, {[]order.Value{H, W}, ""}, {[]order.Value{H, phi}, ""},
+		{[]order.Value{M, G}, "d"}, {[]order.Value{M, R}, ""}, {[]order.Value{M, W}, ""}, {[]order.Value{M, phi}, ""},
+		{[]order.Value{phi, G}, "d"}, {[]order.Value{phi, R}, ""}, {[]order.Value{phi, W}, ""}, {[]order.Value{phi, phi}, ""},
+	}
+	for _, c := range cases {
+		got, err := tree.Inspect(c.labels)
+		if err != nil {
+			t.Errorf("Inspect(%v): %v", c.labels, err)
+			continue
+		}
+		want := ids(c.want)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Inspect(%v) = %v, want %v", c.labels, got, want)
+		}
+	}
+}
+
+// TestExample1Queries replays the four queries of Example 1.
+func TestExample1Queries(t *testing.T) {
+	tree := buildTable3(t, Options{})
+	schema := data.Table3().Schema()
+	cases := []struct {
+		name, pref, want string
+	}{
+		{"QA", "Hotel-group: M<*", "acdef"},
+		{"QB", "Hotel-group: M<*; Airline: G<*", "acef"},
+		{"QC", "Hotel-group: M<H<*; Airline: G<*", "acef"},
+		{"QD", "Hotel-group: M<H<*; Airline: G<R<*", "acef"},
+	}
+	for _, c := range cases {
+		pref, err := data.ParsePreference(schema, c.pref)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		got, err := tree.Query(pref)
+		if err != nil {
+			t.Fatalf("%s: Query: %v", c.name, err)
+		}
+		if !reflect.DeepEqual(got, ids(c.want)) {
+			t.Errorf("%s: Query = %v, want %v", c.name, got, ids(c.want))
+		}
+		acc, err := tree.QueryAccumulated(pref)
+		if err != nil {
+			t.Fatalf("%s: QueryAccumulated: %v", c.name, err)
+		}
+		if !reflect.DeepEqual(acc, ids(c.want)) {
+			t.Errorf("%s: QueryAccumulated = %v, want %v", c.name, acc, ids(c.want))
+		}
+	}
+}
+
+func TestMergingPropertyTheorem2Example(t *testing.T) {
+	// The worked example after Theorem 2, on Table 1 data:
+	// SKY(M≺*) = {a,c,e,f}, SKY(H≺*) = {a,c,e}, SKY(M≺H≺*) = {a,c,e,f}.
+	ds := data.Table1()
+	tree, err := Build(ds, ds.Schema().EmptyPreference(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := func(s string) []data.PointID {
+		pref, err := data.ParsePreference(ds.Schema(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tree.Query(pref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if got := q("Hotel-group: M<*"); !reflect.DeepEqual(got, ids("acef")) {
+		t.Errorf("SKY(M≺*) = %v", got)
+	}
+	if got := q("Hotel-group: H<*"); !reflect.DeepEqual(got, ids("ace")) {
+		t.Errorf("SKY(H≺*) = %v", got)
+	}
+	if got := q("Hotel-group: M<H<*"); !reflect.DeepEqual(got, ids("acef")) {
+		t.Errorf("SKY(M≺H≺*) = %v", got)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	ds := data.Table3()
+	// Template preferring Tulips.
+	tmpl, _ := data.ParsePreference(ds.Schema(), "Hotel-group: T<*")
+	tree, err := Build(ds, tmpl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Query(nil); err == nil {
+		t.Error("nil preference accepted")
+	}
+	short := order.MustPreference(order.MustImplicit(3))
+	if _, err := tree.Query(short); err == nil {
+		t.Error("wrong dimension count accepted")
+	}
+	conflicting, _ := data.ParsePreference(ds.Schema(), "Hotel-group: M<*")
+	if _, err := tree.Query(conflicting); !errors.Is(err, ErrNotRefinement) {
+		t.Errorf("non-refinement error = %v, want ErrNotRefinement", err)
+	}
+	ok, _ := data.ParsePreference(ds.Schema(), "Hotel-group: T<M<*; Airline: W<*")
+	if _, err := tree.Query(ok); err != nil {
+		t.Errorf("valid refinement rejected: %v", err)
+	}
+}
+
+func TestNonEmptyTemplateMatchesSFS(t *testing.T) {
+	ds := data.Table3()
+	tmpl, _ := data.ParsePreference(ds.Schema(), "Hotel-group: T<*")
+	tree, err := Build(ds, tmpl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		"Hotel-group: T<*",
+		"Hotel-group: T<M<*",
+		"Hotel-group: T<M<H; Airline: R<*",
+		"Hotel-group: T<H<*; Airline: W<G<*",
+	} {
+		pref, err := data.ParsePreference(ds.Schema(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tree.Query(pref)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		cmp := dominance.MustComparator(ds.Schema(), pref)
+		want := skyline.SFS(ds.Points(), cmp)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: tree = %v, SFS-D = %v", q, got, want)
+		}
+	}
+}
+
+func TestTopKRestriction(t *testing.T) {
+	ds := data.Table3()
+	// Most frequent Hotel-group values in Table 3: T(2) H(2) M(2) — ties break
+	// by id, so TopK=2 keeps T and H; Airline keeps G(3) and R(2).
+	tree, err := Build(ds, ds.Schema().EmptyPreference(), Options{TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	okPref, _ := data.ParsePreference(ds.Schema(), "Hotel-group: T<H<*; Airline: G<*")
+	if _, err := tree.Query(okPref); err != nil {
+		t.Errorf("materialized query failed: %v", err)
+	}
+	missing, _ := data.ParsePreference(ds.Schema(), "Hotel-group: M<*")
+	if _, err := tree.Query(missing); !errors.Is(err, ErrNotMaterialized) {
+		t.Errorf("unmaterialized query error = %v, want ErrNotMaterialized", err)
+	}
+	if _, err := tree.QueryAccumulated(missing); !errors.Is(err, ErrNotMaterialized) {
+		t.Errorf("accumulated unmaterialized error = %v", err)
+	}
+	// The restricted tree must be smaller than the full one.
+	full := buildTable3(t, Options{})
+	if tree.Stats().Nodes >= full.Stats().Nodes {
+		t.Errorf("TopK tree has %d nodes, full tree %d", tree.Stats().Nodes, full.Stats().Nodes)
+	}
+}
+
+func TestTopKKeepsTemplateValues(t *testing.T) {
+	ds := data.Table3()
+	// Template demands W (least frequent airline); TopK=1 must still
+	// materialize it or no valid query could be answered.
+	tmpl, _ := data.ParsePreference(ds.Schema(), "Airline: W<*")
+	tree, err := Build(ds, tmpl, Options{TopK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pref, _ := data.ParsePreference(ds.Schema(), "Airline: W<G<*")
+	if _, err := tree.Query(pref); err != nil {
+		t.Errorf("template-value query failed: %v", err)
+	}
+}
+
+func TestMaxNodesGuard(t *testing.T) {
+	ds := data.Table3()
+	if _, err := Build(ds, ds.Schema().EmptyPreference(), Options{MaxNodes: 5}); err == nil {
+		t.Error("MaxNodes guard did not trigger")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	ds := data.Table3()
+	if _, err := Build(nil, nil, Options{}); err == nil {
+		t.Error("nil inputs accepted")
+	}
+	bad := order.MustPreference(order.MustImplicit(3))
+	if _, err := Build(ds, bad, Options{}); err == nil {
+		t.Error("template dimension mismatch accepted")
+	}
+}
+
+func TestInspectErrors(t *testing.T) {
+	tree := buildTable3(t, Options{})
+	if _, err := tree.Inspect([]order.Value{0, 0, 0}); err == nil {
+		t.Error("too many labels accepted")
+	}
+	if _, err := tree.Inspect([]order.Value{9}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestSizeBytesAndTemplate(t *testing.T) {
+	tree := buildTable3(t, Options{})
+	if tree.SizeBytes() <= 0 {
+		t.Error("SizeBytes not positive")
+	}
+	bit := buildTable3(t, Options{UseBitmap: true})
+	if bit.SizeBytes() <= tree.SizeBytes() {
+		t.Log("bitmap tree smaller than slice tree (fine for tiny data)")
+	}
+	if tree.Template().NomDims() != 2 {
+		t.Error("Template accessor wrong")
+	}
+}
+
+// --- randomized cross-validation ---
+
+type fixture struct {
+	ds   *data.Dataset
+	tmpl *order.Preference
+	rng  *rand.Rand
+}
+
+func randomFixture(seed int64) fixture {
+	rng := rand.New(rand.NewSource(seed))
+	numDims := 1 + rng.Intn(2)
+	nomDims := 1 + rng.Intn(3)
+	numeric := make([]data.NumericAttr, numDims)
+	for i := range numeric {
+		numeric[i] = data.NumericAttr{Name: string(rune('A' + i))}
+	}
+	nominal := make([]*order.Domain, nomDims)
+	cards := make([]int, nomDims)
+	for i := range nominal {
+		cards[i] = 2 + rng.Intn(4)
+		d, _ := order.NewAnonymousDomain(string(rune('N'+i)), cards[i])
+		nominal[i] = d
+	}
+	schema, _ := data.NewSchema(numeric, nominal)
+	n := 8 + rng.Intn(60)
+	pts := make([]data.Point, n)
+	for i := range pts {
+		num := make([]float64, numDims)
+		for d := range num {
+			num[d] = float64(rng.Intn(6))
+		}
+		nom := make([]order.Value, nomDims)
+		for d := range nom {
+			nom[d] = order.Value(rng.Intn(cards[d]))
+		}
+		pts[i] = data.Point{Num: num, Nom: nom}
+	}
+	ds, _ := data.New(schema, pts)
+
+	// Template: empty on ~half the dims, first-order on the rest.
+	dims := make([]*order.Implicit, nomDims)
+	for i := range dims {
+		if rng.Intn(2) == 0 {
+			dims[i] = order.MustImplicit(cards[i])
+		} else {
+			dims[i] = order.MustImplicit(cards[i], order.Value(rng.Intn(cards[i])))
+		}
+	}
+	return fixture{ds: ds, tmpl: order.MustPreference(dims...), rng: rng}
+}
+
+// randomRefinement draws a random query refining the fixture's template.
+func (f fixture) randomRefinement() *order.Preference {
+	dims := make([]*order.Implicit, f.tmpl.NomDims())
+	for i := 0; i < f.tmpl.NomDims(); i++ {
+		base := f.tmpl.Dim(i)
+		card := base.Cardinality()
+		entries := base.Entries()
+		rest := make([]order.Value, 0, card)
+		for v := order.Value(0); int(v) < card; v++ {
+			if !base.Contains(v) {
+				rest = append(rest, v)
+			}
+		}
+		f.rng.Shuffle(len(rest), func(a, b int) { rest[a], rest[b] = rest[b], rest[a] })
+		extra := f.rng.Intn(len(rest) + 1)
+		entries = append(entries, rest[:extra]...)
+		dims[i] = order.MustImplicit(card, entries...)
+	}
+	return order.MustPreference(dims...)
+}
+
+// TestQueryMatchesSFSDProperty is the central IPO-tree invariant: for random
+// data, random templates and random refining queries of any order, the tree
+// answers exactly what SFS over the full dataset answers — across all three
+// query implementations.
+func TestQueryMatchesSFSDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		fx := randomFixture(seed)
+		plain, err := Build(fx.ds, fx.tmpl, Options{})
+		if err != nil {
+			return false
+		}
+		bitmap, err := Build(fx.ds, fx.tmpl, Options{UseBitmap: true})
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 6; trial++ {
+			pref := fx.randomRefinement()
+			cmp, err := dominance.NewComparator(fx.ds.Schema(), pref)
+			if err != nil {
+				return false
+			}
+			want := skyline.SFS(fx.ds.Points(), cmp)
+			got, err := plain.Query(pref)
+			if err != nil || !reflect.DeepEqual(got, want) {
+				return false
+			}
+			acc, err := plain.QueryAccumulated(pref)
+			if err != nil || !reflect.DeepEqual(acc, want) {
+				return false
+			}
+			bits, err := bitmap.Query(pref)
+			if err != nil || !reflect.DeepEqual(bits, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	fx := randomFixture(987)
+	seq, err := Build(fx.ds, fx.tmpl, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Build(fx.ds, fx.tmpl, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		pref := fx.randomRefinement()
+		a, errA := seq.Query(pref)
+		b, errB := par.Query(pref)
+		if (errA == nil) != (errB == nil) || !reflect.DeepEqual(a, b) {
+			t.Fatalf("parallel build diverges on %v: %v vs %v", pref, a, b)
+		}
+	}
+}

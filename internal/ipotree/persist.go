@@ -1,0 +1,173 @@
+package ipotree
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"prefsky/internal/data"
+	"prefsky/internal/order"
+)
+
+// Persistence: a built tree can be saved and reloaded, so the expensive
+// preprocessing (skyline + MDC + node materialization) runs once per dataset
+// and many query processes share it. The encoding is gob over an exported
+// mirror of the structure; φ children do not re-encode their (aliased)
+// disqualifying sets.
+
+type nodeDTO struct {
+	A        []int32
+	Children map[int32]*nodeDTO
+	Phi      *nodeDTO
+}
+
+type treeDTO struct {
+	Version  int
+	Cards    []int
+	Template [][]order.Value
+	Sky      []data.PointID
+	NomOf    [][]order.Value
+	TopK     int
+	Bitmap   bool
+	Nodes    *nodeDTO
+	Stats    Stats
+}
+
+const persistVersion = 1
+
+func encodeNode(n *node, isPhi bool) *nodeDTO {
+	if n == nil {
+		return nil
+	}
+	dto := &nodeDTO{Phi: encodeNode(n.phi, true)}
+	if !isPhi {
+		dto.A = n.a
+	}
+	for v, c := range n.children {
+		if c == nil {
+			continue
+		}
+		if dto.Children == nil {
+			dto.Children = make(map[int32]*nodeDTO)
+		}
+		dto.Children[int32(v)] = encodeNode(c, false)
+	}
+	return dto
+}
+
+func decodeNode(dto *nodeDTO, card []int, depth int, parentA []int32) (*node, error) {
+	if dto == nil {
+		return nil, nil
+	}
+	n := &node{a: dto.A}
+	if parentA != nil {
+		n.a = parentA // φ child shares its parent's set
+	}
+	if len(dto.Children) > 0 || dto.Phi != nil {
+		if depth >= len(card) {
+			return nil, fmt.Errorf("ipotree: corrupt index: children below leaf depth")
+		}
+	}
+	if len(dto.Children) > 0 {
+		n.children = make([]*node, card[depth])
+		for v, c := range dto.Children {
+			if int(v) < 0 || int(v) >= card[depth] {
+				return nil, fmt.Errorf("ipotree: corrupt index: child value %d outside cardinality %d", v, card[depth])
+			}
+			child, err := decodeNode(c, card, depth+1, nil)
+			if err != nil {
+				return nil, err
+			}
+			n.children[v] = child
+		}
+	}
+	if dto.Phi != nil {
+		phi, err := decodeNode(dto.Phi, card, depth+1, n.a)
+		if err != nil {
+			return nil, err
+		}
+		n.phi = phi
+	}
+	return n, nil
+}
+
+// Save serializes the tree.
+func (t *Tree) Save(w io.Writer) error {
+	dto := treeDTO{
+		Version: persistVersion,
+		Cards:   t.cards,
+		Sky:     t.sky,
+		NomOf:   t.nomOf,
+		TopK:    t.opts.TopK,
+		Bitmap:  t.opts.UseBitmap,
+		Nodes:   encodeNode(t.root, false),
+		Stats:   t.stats,
+	}
+	dto.Template = make([][]order.Value, t.template.NomDims())
+	for d := 0; d < t.template.NomDims(); d++ {
+		dto.Template[d] = t.template.Dim(d).Entries()
+	}
+	if err := gob.NewEncoder(w).Encode(&dto); err != nil {
+		return fmt.Errorf("ipotree: encoding index: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a tree saved with Save. The loaded tree answers queries
+// identically to the original.
+func Load(r io.Reader) (*Tree, error) {
+	var dto treeDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("ipotree: decoding index: %w", err)
+	}
+	if dto.Version != persistVersion {
+		return nil, fmt.Errorf("ipotree: index version %d unsupported (want %d)", dto.Version, persistVersion)
+	}
+	if len(dto.Template) != len(dto.Cards) {
+		return nil, fmt.Errorf("ipotree: corrupt index: %d template dimensions for %d cardinalities",
+			len(dto.Template), len(dto.Cards))
+	}
+	if len(dto.NomOf) != len(dto.Cards) {
+		return nil, fmt.Errorf("ipotree: corrupt index: %d value columns for %d dimensions",
+			len(dto.NomOf), len(dto.Cards))
+	}
+	dims := make([]*order.Implicit, len(dto.Cards))
+	for d, card := range dto.Cards {
+		if card <= 0 {
+			return nil, fmt.Errorf("ipotree: corrupt index: cardinality %d", card)
+		}
+		if len(dto.NomOf[d]) != len(dto.Sky) {
+			return nil, fmt.Errorf("ipotree: corrupt index: value column %d has %d entries for %d skyline points",
+				d, len(dto.NomOf[d]), len(dto.Sky))
+		}
+		ip, err := order.NewImplicit(card, dto.Template[d]...)
+		if err != nil {
+			return nil, fmt.Errorf("ipotree: corrupt index: %w", err)
+		}
+		dims[d] = ip
+	}
+	tmpl, err := order.NewPreference(dims...)
+	if err != nil {
+		return nil, err
+	}
+	root, err := decodeNode(dto.Nodes, dto.Cards, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return nil, fmt.Errorf("ipotree: corrupt index: missing root")
+	}
+	t := &Tree{
+		template: tmpl,
+		cards:    dto.Cards,
+		sky:      dto.Sky,
+		nomOf:    dto.NomOf,
+		root:     root,
+		opts:     Options{TopK: dto.TopK, UseBitmap: dto.Bitmap},
+		stats:    dto.Stats,
+	}
+	if t.opts.UseBitmap {
+		t.buildBitmaps()
+	}
+	return t, nil
+}

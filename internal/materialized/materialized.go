@@ -1,0 +1,190 @@
+// Package materialized implements the strawman §3 dismisses: full
+// materialization of the skyline for *every* possible implicit preference.
+// The number of preferences per dimension is Σ_{x=0..k} k!/(k−x)! and the
+// combinations multiply across dimensions, so the approach only fits tiny
+// cardinalities — which is exactly the point. It exists to (a) substantiate
+// the paper's motivating claim with a measured storage/preprocessing
+// comparison against the IPO-tree (see bench_test.go), and (b) serve as yet
+// another oracle in cross-validation tests.
+package materialized
+
+import (
+	"fmt"
+	"strings"
+
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/order"
+	"prefsky/internal/skyline"
+)
+
+// MaxCombinations caps the number of materialized preferences; construction
+// fails beyond it rather than exhausting memory.
+const MaxCombinations = 2_000_000
+
+// Engine holds every preference's skyline in a map.
+type Engine struct {
+	cards   []int
+	tmpl    *order.Preference
+	results map[string][]data.PointID
+}
+
+// Combinations returns how many implicit preferences exist for domains of the
+// given cardinalities (refining the given template), or -1 when the count
+// exceeds MaxCombinations. It mirrors the O((c·c!)^m′) count of §3.1 and is
+// computed arithmetically — the preferences are never enumerated here.
+func Combinations(cards []int, tmpl *order.Preference) int {
+	total := 1
+	for d, k := range cards {
+		// With a forced prefix of length t, the order-x preferences extend it
+		// with an ordered selection of x−t of the remaining k−t values:
+		// perDim = Σ_{x=t..k} (k−t)!/(k−x)!.
+		t := tmpl.Dim(d).Order()
+		perDim := 0
+		ways := 1 // (k−t)!/(k−x)! for x = t
+		for x := t; x <= k; x++ {
+			perDim += ways
+			if perDim > MaxCombinations {
+				return -1
+			}
+			ways *= k - x // extend by one more choice
+		}
+		total *= perDim
+		if total > MaxCombinations || total < 0 {
+			return -1
+		}
+	}
+	return total
+}
+
+// enumerateDim lists every implicit preference on a domain of cardinality k
+// that refines base (base's entries are a forced prefix).
+func enumerateDim(k int, base *order.Implicit) []*order.Implicit {
+	prefix := base.Entries()
+	var out []*order.Implicit
+	var rec func(entries []order.Value)
+	rec = func(entries []order.Value) {
+		ip, err := order.NewImplicit(k, entries...)
+		if err != nil {
+			panic(err) // unreachable: construction maintains validity
+		}
+		out = append(out, ip)
+		if len(entries) == k {
+			return
+		}
+		used := make(map[order.Value]bool, len(entries))
+		for _, v := range entries {
+			used[v] = true
+		}
+		for v := order.Value(0); int(v) < k; v++ {
+			if !used[v] {
+				rec(append(append([]order.Value(nil), entries...), v))
+			}
+		}
+	}
+	rec(prefix)
+	return out
+}
+
+// key canonicalizes a preference for map lookup. Listing all k values is
+// equivalent to listing k−1 (the trailing * is empty), so the key drops a
+// final k-th entry.
+func key(pref *order.Preference) string {
+	var b strings.Builder
+	for d := 0; d < pref.NomDims(); d++ {
+		ip := pref.Dim(d)
+		entries := ip.Entries()
+		if len(entries) == ip.Cardinality() {
+			entries = entries[:len(entries)-1]
+		}
+		for _, v := range entries {
+			fmt.Fprintf(&b, "%d,", v)
+		}
+		b.WriteString(";")
+	}
+	return b.String()
+}
+
+// Build materializes the skyline of every preference refining the template.
+func Build(ds *data.Dataset, tmpl *order.Preference) (*Engine, error) {
+	if ds == nil || tmpl == nil {
+		return nil, fmt.Errorf("materialized: nil dataset or template")
+	}
+	schema := ds.Schema()
+	if tmpl.NomDims() != schema.NomDims() {
+		return nil, fmt.Errorf("materialized: template has %d nominal dimensions, schema has %d",
+			tmpl.NomDims(), schema.NomDims())
+	}
+	cards := schema.Cardinalities()
+	if n := Combinations(cards, tmpl); n < 0 {
+		return nil, fmt.Errorf("materialized: more than %d preference combinations", MaxCombinations)
+	}
+	perDim := make([][]*order.Implicit, len(cards))
+	for d, k := range cards {
+		perDim[d] = enumerateDim(k, tmpl.Dim(d))
+	}
+	e := &Engine{cards: cards, tmpl: tmpl.Clone(), results: make(map[string][]data.PointID)}
+
+	// Enumerate the cross product of per-dimension preferences.
+	idx := make([]int, len(cards))
+	for {
+		dims := make([]*order.Implicit, len(cards))
+		for d := range dims {
+			dims[d] = perDim[d][idx[d]]
+		}
+		pref, err := order.NewPreference(dims...)
+		if err != nil {
+			return nil, err
+		}
+		cmp, err := dominance.NewComparator(schema, pref)
+		if err != nil {
+			return nil, err
+		}
+		k := key(pref)
+		if _, dup := e.results[k]; !dup {
+			e.results[k] = skyline.SFS(ds.Points(), cmp)
+		}
+		// Advance the mixed-radix counter.
+		d := 0
+		for d < len(idx) {
+			idx[d]++
+			if idx[d] < len(perDim[d]) {
+				break
+			}
+			idx[d] = 0
+			d++
+		}
+		if d == len(idx) {
+			break
+		}
+	}
+	return e, nil
+}
+
+// Query looks the preference up; every valid refinement was materialized.
+func (e *Engine) Query(pref *order.Preference) ([]data.PointID, error) {
+	if pref == nil || pref.NomDims() != len(e.cards) {
+		return nil, fmt.Errorf("materialized: preference shape mismatch")
+	}
+	if !pref.Refines(e.tmpl) {
+		return nil, fmt.Errorf("materialized: preference does not refine the template")
+	}
+	res, ok := e.results[key(pref)]
+	if !ok {
+		return nil, fmt.Errorf("materialized: preference %v not found", pref)
+	}
+	return append([]data.PointID(nil), res...), nil
+}
+
+// Materialized returns the number of stored skylines.
+func (e *Engine) Materialized() int { return len(e.results) }
+
+// SizeBytes estimates the storage of all materialized skylines — the quantity
+// §3 calls "prohibitive".
+func (e *Engine) SizeBytes() int {
+	size := 0
+	for k, ids := range e.results {
+		size += len(k) + 16 + len(ids)*4 + 24
+	}
+	return size
+}

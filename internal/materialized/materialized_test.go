@@ -1,0 +1,180 @@
+package materialized
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/ipotree"
+	"prefsky/internal/order"
+	"prefsky/internal/skyline"
+)
+
+func TestCombinationsCount(t *testing.T) {
+	// One dimension, k=3, empty template: preferences are the permutations of
+	// every subset size: 1 + 3 + 6 + 6 = 16.
+	tmpl := order.MustPreference(order.MustImplicit(3))
+	if got := Combinations([]int{3}, tmpl); got != 16 {
+		t.Errorf("Combinations(k=3) = %d, want 16", got)
+	}
+	// Two dimensions multiply: 16 × 16.
+	tmpl2 := order.MustPreference(order.MustImplicit(3), order.MustImplicit(3))
+	if got := Combinations([]int{3, 3}, tmpl2); got != 256 {
+		t.Errorf("Combinations(3,3) = %d, want 256", got)
+	}
+	// A first-order template prunes: entries must extend (v0): 1 + 2 + 2 = 5.
+	tmplF := order.MustPreference(order.MustImplicit(3, 0))
+	if got := Combinations([]int{3}, tmplF); got != 5 {
+		t.Errorf("Combinations with template = %d, want 5", got)
+	}
+	// Overflow is reported, not computed.
+	big := order.MustPreference(order.MustImplicit(20), order.MustImplicit(20))
+	if got := Combinations([]int{20, 20}, big); got != -1 {
+		t.Errorf("Combinations(20,20) = %d, want -1 (overflow)", got)
+	}
+}
+
+func TestBuildAndQueryTable1(t *testing.T) {
+	ds := data.Table1()
+	e, err := Build(ds, ds.Schema().EmptyPreference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 preferences on one k=3 dimension, but x=k collapses onto x=k−1:
+	// 6 total orders map onto the 6 two-entry keys → 10 distinct skylines.
+	if e.Materialized() != 10 {
+		t.Errorf("Materialized = %d, want 10", e.Materialized())
+	}
+	for _, c := range []struct{ pref, want string }{
+		{"Hotel-group: T<M<*", "ac"},
+		{"", "acef"},
+		{"Hotel-group: H<M<T", "ace"},
+		{"Hotel-group: M<*", "acef"},
+	} {
+		pref, _ := data.ParsePreference(ds.Schema(), c.pref)
+		got, err := e.Query(pref)
+		if err != nil {
+			t.Fatalf("%s: %v", c.pref, err)
+		}
+		want := make([]data.PointID, len(c.want))
+		for i, r := range c.want {
+			want[i] = data.PointID(r - 'a')
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: %v, want %v", c.pref, got, want)
+		}
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ds := data.Table1()
+	tmpl, _ := data.ParsePreference(ds.Schema(), "Hotel-group: T<*")
+	e, err := Build(ds, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(nil); err == nil {
+		t.Error("nil preference accepted")
+	}
+	conflicting, _ := data.ParsePreference(ds.Schema(), "Hotel-group: M<*")
+	if _, err := e.Query(conflicting); err == nil {
+		t.Error("non-refinement accepted")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, nil); err == nil {
+		t.Error("nil inputs accepted")
+	}
+	ds := data.Table1()
+	wrong := order.MustPreference(order.MustImplicit(3), order.MustImplicit(3))
+	if _, err := Build(ds, wrong); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+// TestMatchesAllEnginesProperty: the lookup table, the IPO-tree and SFS-D
+// must agree on every refinement — three independent oracles.
+func TestMatchesAllEnginesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		card := 2 + rng.Intn(3) // tiny cardinalities only
+		dom, _ := order.NewAnonymousDomain("N", card)
+		schema, _ := data.NewSchema([]data.NumericAttr{{Name: "A"}}, []*order.Domain{dom})
+		pts := make([]data.Point, 6+rng.Intn(30))
+		for i := range pts {
+			pts[i] = data.Point{
+				Num: []float64{float64(rng.Intn(5))},
+				Nom: []order.Value{order.Value(rng.Intn(card))},
+			}
+		}
+		ds, _ := data.New(schema, pts)
+		tmpl := schema.EmptyPreference()
+		mat, err := Build(ds, tmpl)
+		if err != nil {
+			return false
+		}
+		tree, err := ipotree.Build(ds, tmpl, ipotree.Options{})
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 8; trial++ {
+			x := rng.Intn(card + 1)
+			entries := make([]order.Value, x)
+			for j, v := range rng.Perm(card)[:x] {
+				entries[j] = order.Value(v)
+			}
+			pref := order.MustPreference(order.MustImplicit(card, entries...))
+			a, errA := mat.Query(pref)
+			b, errB := tree.Query(pref)
+			if errA != nil || errB != nil {
+				return false
+			}
+			cmp, _ := dominance.NewComparator(schema, pref)
+			c := skyline.SFS(ds.Points(), cmp)
+			if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(a, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStorageDwarfsIPOTree(t *testing.T) {
+	// The paper's motivation: already at cardinality 4 with two dimensions
+	// (4,225 preference combinations), the lookup table stores orders of
+	// magnitude more than the 31-node IPO-tree.
+	dom1, _ := order.NewAnonymousDomain("N1", 4)
+	dom2, _ := order.NewAnonymousDomain("N2", 4)
+	schema, _ := data.NewSchema([]data.NumericAttr{{Name: "A"}}, []*order.Domain{dom1, dom2})
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]data.Point, 120)
+	for i := range pts {
+		pts[i] = data.Point{
+			Num: []float64{rng.Float64()},
+			Nom: []order.Value{order.Value(rng.Intn(4)), order.Value(rng.Intn(4))},
+		}
+	}
+	ds, _ := data.New(schema, pts)
+	tmpl := schema.EmptyPreference()
+	mat, err := Build(ds, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := ipotree.Build(ds, tmpl, ipotree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.SizeBytes() < 10*tree.SizeBytes() {
+		t.Errorf("materialized %dB vs tree %dB: expected ≥10× gap",
+			mat.SizeBytes(), tree.SizeBytes())
+	}
+	t.Logf("materialized: %d skylines, %dKB; IPO-tree: %d nodes, %dKB",
+		mat.Materialized(), mat.SizeBytes()/1024, tree.Stats().Nodes, tree.SizeBytes()/1024)
+}

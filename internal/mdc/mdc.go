@@ -1,0 +1,225 @@
+// Package mdc computes minimal disqualifying conditions (MDCs), the device of
+// Wong et al. (SIGKDD 2007) that §3.1 of the paper uses to build IPO-tree
+// disqualifying sets: for a skyline point p, an MDC is a minimal set of
+// nominal binary orders whose adoption makes some other point dominate p.
+//
+// Conditions here are computed against the numeric-only base order (all
+// nominal relations empty). This makes the disqualification test
+//
+//	p disqualified under R̃′  ⇔  ∃ C ∈ MDC(p): C ⊆ P(R̃′)
+//
+// exact for arbitrary implicit preferences — including the component
+// preferences "v ≺ *" of Theorem 2, which are not refinements of a non-empty
+// template (see DESIGN.md).
+package mdc
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+
+	"prefsky/internal/data"
+	"prefsky/internal/order"
+)
+
+// DimPair is one required binary order U ≺ V on nominal dimension Dim.
+type DimPair struct {
+	Dim  int32
+	U, V order.Value
+}
+
+// Condition is a conjunction of required binary orders, at most one per
+// nominal dimension, sorted by dimension. If every pair holds under a
+// preference, the condition's witness point dominates the conditioned point.
+type Condition struct {
+	Pairs []DimPair
+}
+
+// key serializes the condition for deduplication.
+func (c Condition) key() string {
+	buf := make([]byte, 0, len(c.Pairs)*12)
+	var tmp [12]byte
+	for _, p := range c.Pairs {
+		binary.LittleEndian.PutUint32(tmp[0:4], uint32(p.Dim))
+		binary.LittleEndian.PutUint32(tmp[4:8], uint32(p.U))
+		binary.LittleEndian.PutUint32(tmp[8:12], uint32(p.V))
+		buf = append(buf, tmp[:]...)
+	}
+	return string(buf)
+}
+
+// SubsetOf reports whether every pair of c appears in o. Both conditions must
+// be sorted by dimension (Build guarantees this).
+func (c Condition) SubsetOf(o Condition) bool {
+	if len(c.Pairs) > len(o.Pairs) {
+		return false
+	}
+	j := 0
+	for _, p := range c.Pairs {
+		for j < len(o.Pairs) && o.Pairs[j].Dim < p.Dim {
+			j++
+		}
+		if j >= len(o.Pairs) || o.Pairs[j] != p {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// SatisfiedBy reports whether every required pair holds under the preference,
+// i.e. C ⊆ P(R̃′).
+func (c Condition) SatisfiedBy(pref *order.Preference) bool {
+	for _, p := range c.Pairs {
+		if !pref.Dim(int(p.Dim)).Less(p.U, p.V) {
+			return false
+		}
+	}
+	return true
+}
+
+// Index holds the minimal disqualifying conditions of every point of a
+// skyline, aligned with the skyline id slice it was built from.
+type Index struct {
+	sky   []data.PointID
+	conds [][]Condition
+}
+
+// Build computes MDCs for each point of sky against the whole dataset.
+// parallelism ≤ 1 runs sequentially; larger values fan the per-point work out
+// over that many goroutines (results are deterministic either way).
+func Build(ds *data.Dataset, sky []data.PointID, parallelism int) *Index {
+	ix := &Index{
+		sky:   append([]data.PointID(nil), sky...),
+		conds: make([][]Condition, len(sky)),
+	}
+	if parallelism <= 1 || len(sky) < 2 {
+		for i, id := range ix.sky {
+			ix.conds[i] = conditionsFor(ds, id)
+		}
+		return ix
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				ix.conds[i] = conditionsFor(ds, ix.sky[i])
+			}
+		}()
+	}
+	for i := range ix.sky {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return ix
+}
+
+// conditionsFor scans the dataset for candidate dominators of point id and
+// returns the deduplicated, minimal condition sets.
+func conditionsFor(ds *data.Dataset, id data.PointID) []Condition {
+	points := ds.Points()
+	p := &points[id]
+	seen := make(map[string]struct{})
+	var raw []Condition
+candidates:
+	for qi := range points {
+		q := &points[qi]
+		if q.ID == p.ID {
+			continue
+		}
+		// Feasibility: q must be at least as good on every numeric dimension;
+		// numeric orders are fixed, so no added nominal pair can repair them.
+		for i, qv := range q.Num {
+			if qv > p.Num[i] {
+				continue candidates
+			}
+		}
+		var pairs []DimPair
+		for i, qv := range q.Nom {
+			if pv := p.Nom[i]; qv != pv {
+				pairs = append(pairs, DimPair{Dim: int32(i), U: qv, V: pv})
+			}
+		}
+		if len(pairs) == 0 {
+			// q equals p on all nominal dimensions. If q were strictly better
+			// numerically it would dominate p under every preference and p
+			// could not be a skyline point; equal points never dominate.
+			continue
+		}
+		c := Condition{Pairs: pairs}
+		k := c.key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		raw = append(raw, c)
+	}
+	return minimalize(raw)
+}
+
+// minimalize removes conditions that are supersets of another condition.
+// Dropping them is safe: whenever a superset is satisfied, its subset is too.
+func minimalize(conds []Condition) []Condition {
+	sort.Slice(conds, func(i, j int) bool {
+		if len(conds[i].Pairs) != len(conds[j].Pairs) {
+			return len(conds[i].Pairs) < len(conds[j].Pairs)
+		}
+		return conds[i].key() < conds[j].key()
+	})
+	var kept []Condition
+outer:
+	for _, c := range conds {
+		for _, k := range kept {
+			if k.SubsetOf(c) {
+				continue outer
+			}
+		}
+		kept = append(kept, c)
+	}
+	return kept
+}
+
+// Sky returns the skyline ids the index is aligned with.
+func (ix *Index) Sky() []data.PointID { return ix.sky }
+
+// Conditions returns the MDCs of the i-th skyline point.
+func (ix *Index) Conditions(i int) []Condition { return ix.conds[i] }
+
+// Disqualified reports whether the i-th skyline point is disqualified under
+// the preference: some MDC is contained in P(R̃′).
+func (ix *Index) Disqualified(i int, pref *order.Preference) bool {
+	for _, c := range ix.conds[i] {
+		if c.SatisfiedBy(pref) {
+			return true
+		}
+	}
+	return false
+}
+
+// DisqualifiedSet returns the ascending skyline indices disqualified under the
+// preference (the A sets of §3.1).
+func (ix *Index) DisqualifiedSet(pref *order.Preference) []int32 {
+	var out []int32
+	for i := range ix.conds {
+		if ix.Disqualified(i, pref) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// SizeBytes estimates the heap footprint of the index.
+func (ix *Index) SizeBytes() int {
+	size := len(ix.sky) * 4
+	for _, cs := range ix.conds {
+		size += 24
+		for _, c := range cs {
+			size += 24 + len(c.Pairs)*12
+		}
+	}
+	return size
+}

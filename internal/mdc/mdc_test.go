@@ -1,0 +1,221 @@
+package mdc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/order"
+	"prefsky/internal/skyline"
+)
+
+func emptySky(t *testing.T, ds *data.Dataset) []data.PointID {
+	t.Helper()
+	cmp := dominance.MustComparator(ds.Schema(), ds.Schema().EmptyPreference())
+	return skyline.SFS(ds.Points(), cmp)
+}
+
+func TestConditionSubsetOf(t *testing.T) {
+	c1 := Condition{Pairs: []DimPair{{Dim: 0, U: 1, V: 2}}}
+	c2 := Condition{Pairs: []DimPair{{Dim: 0, U: 1, V: 2}, {Dim: 1, U: 0, V: 1}}}
+	c3 := Condition{Pairs: []DimPair{{Dim: 1, U: 0, V: 1}}}
+	if !c1.SubsetOf(c2) || !c3.SubsetOf(c2) {
+		t.Error("subset not detected")
+	}
+	if c2.SubsetOf(c1) {
+		t.Error("superset reported as subset")
+	}
+	if !c1.SubsetOf(c1) {
+		t.Error("SubsetOf not reflexive")
+	}
+	c4 := Condition{Pairs: []DimPair{{Dim: 0, U: 2, V: 1}}}
+	if c4.SubsetOf(c2) {
+		t.Error("different pair reported as subset")
+	}
+}
+
+func TestConditionSatisfiedBy(t *testing.T) {
+	// Condition: dim0 needs 1≺2, dim1 needs 0≺1.
+	c := Condition{Pairs: []DimPair{{Dim: 0, U: 1, V: 2}, {Dim: 1, U: 0, V: 1}}}
+	yes := order.MustPreference(order.MustImplicit(3, 1), order.MustImplicit(3, 0))
+	no := order.MustPreference(order.MustImplicit(3, 1), order.MustImplicit(3, 2))
+	if !c.SatisfiedBy(yes) {
+		t.Error("satisfied preference rejected")
+	}
+	if c.SatisfiedBy(no) {
+		t.Error("unsatisfied preference accepted")
+	}
+}
+
+func TestTable1MDCs(t *testing.T) {
+	// Table 1, SKY(∅) = {a,c,e,f}. Known disqualifications (Table 2):
+	// T≺M (Alice) kills e and f; H≺M (Chris/David) kills f.
+	ds := data.Table1()
+	sky := emptySky(t, ds)
+	ix := Build(ds, sky, 1)
+	if !reflect.DeepEqual(ix.Sky(), sky) {
+		t.Fatal("Sky() differs from input")
+	}
+	find := func(id data.PointID) int {
+		for i, s := range sky {
+			if s == id {
+				return i
+			}
+		}
+		t.Fatalf("id %d not in skyline", id)
+		return -1
+	}
+	alice := order.MustPreference(order.MustImplicit(3, 0, 2)) // T≺M≺*
+	chris := order.MustPreference(order.MustImplicit(3, 1, 2)) // H≺M≺*
+	fred := order.MustPreference(order.MustImplicit(3, 2))     // M≺*
+	e, f := find(4), find(5)
+	a, c := find(0), find(2)
+	if !ix.Disqualified(e, alice) || !ix.Disqualified(f, alice) {
+		t.Error("Alice's preference should disqualify e and f")
+	}
+	if ix.Disqualified(a, alice) || ix.Disqualified(c, alice) {
+		t.Error("Alice's preference should keep a and c")
+	}
+	if !ix.Disqualified(f, chris) || ix.Disqualified(e, chris) {
+		t.Error("Chris's preference should disqualify f only")
+	}
+	for i := range sky {
+		if ix.Disqualified(i, fred) {
+			t.Error("Fred's preference should disqualify nothing")
+		}
+	}
+}
+
+func TestDisqualifiedSetAscending(t *testing.T) {
+	ds := data.Table1()
+	sky := emptySky(t, ds)
+	ix := Build(ds, sky, 1)
+	alice := order.MustPreference(order.MustImplicit(3, 0, 2))
+	got := ix.DisqualifiedSet(alice)
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatal("DisqualifiedSet not ascending")
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("DisqualifiedSet = %v, want 2 entries (e,f)", got)
+	}
+}
+
+func TestMinimality(t *testing.T) {
+	// No kept condition may contain another.
+	ds := data.Table3()
+	sky := emptySky(t, ds)
+	ix := Build(ds, sky, 1)
+	for i := range sky {
+		conds := ix.Conditions(i)
+		for a := range conds {
+			for b := range conds {
+				if a != b && conds[a].SubsetOf(conds[b]) {
+					t.Fatalf("point %d: condition %v ⊆ %v kept", sky[i], conds[a], conds[b])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	ds, _ := randomMDCFixture(12345)
+	sky := emptySky(t, ds)
+	seq := Build(ds, sky, 1)
+	par := Build(ds, sky, 4)
+	if !reflect.DeepEqual(seq.conds, par.conds) {
+		t.Error("parallel Build differs from sequential")
+	}
+}
+
+func randomMDCFixture(seed int64) (*data.Dataset, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	numDims := 1 + rng.Intn(2)
+	nomDims := 1 + rng.Intn(3)
+	numeric := make([]data.NumericAttr, numDims)
+	for i := range numeric {
+		numeric[i] = data.NumericAttr{Name: string(rune('A' + i))}
+	}
+	nominal := make([]*order.Domain, nomDims)
+	cards := make([]int, nomDims)
+	for i := range nominal {
+		cards[i] = 2 + rng.Intn(4)
+		d, _ := order.NewAnonymousDomain(string(rune('N'+i)), cards[i])
+		nominal[i] = d
+	}
+	schema, _ := data.NewSchema(numeric, nominal)
+	n := 10 + rng.Intn(50)
+	pts := make([]data.Point, n)
+	for i := range pts {
+		num := make([]float64, numDims)
+		for d := range num {
+			num[d] = float64(rng.Intn(5))
+		}
+		nom := make([]order.Value, nomDims)
+		for d := range nom {
+			nom[d] = order.Value(rng.Intn(cards[d]))
+		}
+		pts[i] = data.Point{Num: num, Nom: nom}
+	}
+	ds, _ := data.New(schema, pts)
+	return ds, rng
+}
+
+// TestDisqualificationExactProperty is the core MDC invariant: for a random
+// implicit preference R̃′, the MDC subset test must agree exactly with direct
+// dominance — p (a skyline point under the empty template) is disqualified iff
+// some dataset point dominates it under R̃′.
+func TestDisqualificationExactProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ds, rng := randomMDCFixture(seed)
+		empty := ds.Schema().EmptyPreference()
+		cmpEmpty := dominance.MustComparator(ds.Schema(), empty)
+		sky := skyline.SFS(ds.Points(), cmpEmpty)
+		ix := Build(ds, sky, 1)
+
+		for trial := 0; trial < 5; trial++ {
+			dims := make([]*order.Implicit, ds.Schema().NomDims())
+			for i := range dims {
+				card := ds.Schema().Nominal[i].Cardinality()
+				x := rng.Intn(card + 1)
+				entries := make([]order.Value, x)
+				for j, v := range rng.Perm(card)[:x] {
+					entries[j] = order.Value(v)
+				}
+				dims[i] = order.MustImplicit(card, entries...)
+			}
+			pref := order.MustPreference(dims...)
+			cmp := dominance.MustComparator(ds.Schema(), pref)
+			pts := ds.Points()
+			for i, id := range sky {
+				p := pts[id]
+				dominated := false
+				for qi := range pts {
+					if pts[qi].ID != id && cmp.Dominates(&pts[qi], &p) {
+						dominated = true
+						break
+					}
+				}
+				if ix.Disqualified(i, pref) != dominated {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeBytesPositive(t *testing.T) {
+	ds := data.Table3()
+	ix := Build(ds, emptySky(t, ds), 1)
+	if ix.SizeBytes() <= 0 {
+		t.Error("SizeBytes not positive")
+	}
+}

@@ -1,0 +1,110 @@
+package nursery
+
+import (
+	"testing"
+
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/order"
+	"prefsky/internal/skyline"
+)
+
+func TestDatasetShape(t *testing.T) {
+	ds := MustDataset()
+	if ds.N() != 12960 || ds.N() != N {
+		t.Fatalf("N = %d, want 12960", ds.N())
+	}
+	s := ds.Schema()
+	if s.NumDims() != 6 || s.NomDims() != 2 {
+		t.Fatalf("dims = (%d,%d), want (6,2)", s.NumDims(), s.NomDims())
+	}
+	// §5.2: both nominal attributes have cardinality 4.
+	for d, card := range s.Cardinalities() {
+		if card != 4 {
+			t.Errorf("nominal dim %d cardinality = %d, want 4", d, card)
+		}
+	}
+	if s.Nominal[0].Name() != "form" || s.Nominal[1].Name() != "children" {
+		t.Error("nominal attributes are not form and children")
+	}
+}
+
+func TestCartesianProductExact(t *testing.T) {
+	// Every combination appears exactly once.
+	ds := MustDataset()
+	seen := make(map[[8]int]bool, ds.N())
+	for _, p := range ds.Points() {
+		var key [8]int
+		for i, v := range p.Num {
+			key[i] = int(v)
+		}
+		key[6], key[7] = int(p.Nom[0]), int(p.Nom[1])
+		if seen[key] {
+			t.Fatalf("duplicate combination %v", key)
+		}
+		seen[key] = true
+	}
+	if len(seen) != N {
+		t.Fatalf("distinct combinations = %d, want %d", len(seen), N)
+	}
+}
+
+func TestFirstAndLastRows(t *testing.T) {
+	// UCI row order: first row is all-best, last row is all-worst.
+	ds := MustDataset()
+	first, last := ds.Point(0), ds.Point(data.PointID(ds.N()-1))
+	for _, v := range first.Num {
+		if v != 0 {
+			t.Errorf("first row numeric = %v, want all 0", first.Num)
+			break
+		}
+	}
+	if first.Nom[0] != 0 || first.Nom[1] != 0 {
+		t.Error("first row nominal not (complete, 1)")
+	}
+	wantLast := []float64{2, 4, 2, 1, 2, 2}
+	for i, v := range last.Num {
+		if v != wantLast[i] {
+			t.Errorf("last row numeric[%d] = %v, want %v", i, v, wantLast[i])
+		}
+	}
+	if last.Nom[0] != 3 || last.Nom[1] != 3 {
+		t.Error("last row nominal not (foster, more)")
+	}
+}
+
+func TestRowZeroDominatesUnderTotalOrder(t *testing.T) {
+	// Under a full order on the nominal attributes, the all-best row
+	// dominates every other row: the skyline collapses to a single point.
+	ds := MustDataset()
+	pref := order.MustPreference(
+		order.MustImplicit(4, 0, 1, 2, 3),
+		order.MustImplicit(4, 0, 1, 2, 3),
+	)
+	cmp := dominance.MustComparator(ds.Schema(), pref)
+	sky := skyline.SFS(ds.Points(), cmp)
+	if len(sky) != 1 || sky[0] != 0 {
+		t.Errorf("skyline under total order = %v, want [0]", sky)
+	}
+}
+
+func TestEmptyTemplateSkylineSize(t *testing.T) {
+	// Without nominal orders the skyline is the set of points undominated on
+	// the 6 ordinal attributes with form/children equal-or-incomparable.
+	// The size is fixed by the data; pin it to catch enumeration drift.
+	ds := MustDataset()
+	cmp := dominance.MustComparator(ds.Schema(), ds.Schema().EmptyPreference())
+	sky := skyline.SFS(ds.Points(), cmp)
+	if len(sky) != 16 {
+		t.Errorf("|SKY(∅)| = %d, want 16 (4×4 all-ordinal-best rows)", len(sky))
+	}
+	// They are exactly the rows with all ordinal attributes at their best.
+	for _, id := range sky {
+		p := ds.Point(id)
+		for _, v := range p.Num {
+			if v != 0 {
+				t.Errorf("skyline row %d has non-best ordinal value", id)
+			}
+		}
+	}
+}

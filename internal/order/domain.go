@@ -1,0 +1,80 @@
+// Package order implements the preference model of Wong et al. (VLDB 2008):
+// nominal domains, strict partial orders, implicit preferences of the form
+// "v1 ≺ v2 ≺ … ≺ vx ≺ *", refinement and conflict-freeness, and multi-dimension
+// preference vectors (templates and queries).
+package order
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is the integer id of a nominal value within its Domain (0-based).
+type Value = int32
+
+// Domain describes the value set of one nominal attribute. Values are
+// identified by dense 0-based ids; names are optional but unique.
+type Domain struct {
+	name   string
+	values []string
+	index  map[string]Value
+}
+
+// NewDomain builds a named domain from its value names. Value ids follow the
+// slice order. Names must be non-empty and unique.
+func NewDomain(name string, values []string) (*Domain, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("order: domain %q has no values", name)
+	}
+	d := &Domain{
+		name:   name,
+		values: append([]string(nil), values...),
+		index:  make(map[string]Value, len(values)),
+	}
+	for i, v := range values {
+		if v == "" {
+			return nil, fmt.Errorf("order: domain %q: value %d has empty name", name, i)
+		}
+		if _, dup := d.index[v]; dup {
+			return nil, fmt.Errorf("order: domain %q: duplicate value %q", name, v)
+		}
+		d.index[v] = Value(i)
+	}
+	return d, nil
+}
+
+// NewAnonymousDomain builds a domain of the given cardinality whose values are
+// named "v0", "v1", …. It is the form used by the synthetic generators.
+func NewAnonymousDomain(name string, cardinality int) (*Domain, error) {
+	if cardinality <= 0 {
+		return nil, fmt.Errorf("order: domain %q: cardinality %d is not positive", name, cardinality)
+	}
+	values := make([]string, cardinality)
+	for i := range values {
+		values[i] = fmt.Sprintf("v%d", i)
+	}
+	return NewDomain(name, values)
+}
+
+// Name returns the attribute name of the domain.
+func (d *Domain) Name() string { return d.name }
+
+// Cardinality returns the number of values in the domain.
+func (d *Domain) Cardinality() int { return len(d.values) }
+
+// ValueName returns the name of value v. It panics if v is out of range,
+// mirroring slice indexing.
+func (d *Domain) ValueName(v Value) string { return d.values[v] }
+
+// Lookup resolves a value name to its id.
+func (d *Domain) Lookup(name string) (Value, bool) {
+	v, ok := d.index[name]
+	return v, ok
+}
+
+// Values returns a copy of all value names in id order.
+func (d *Domain) Values() []string { return append([]string(nil), d.values...) }
+
+func (d *Domain) String() string {
+	return fmt.Sprintf("%s{%s}", d.name, strings.Join(d.values, ","))
+}

@@ -1,0 +1,75 @@
+package order
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewDomain(t *testing.T) {
+	d, err := NewDomain("Hotel-group", []string{"T", "H", "M"})
+	if err != nil {
+		t.Fatalf("NewDomain: %v", err)
+	}
+	if d.Name() != "Hotel-group" {
+		t.Errorf("Name() = %q, want Hotel-group", d.Name())
+	}
+	if d.Cardinality() != 3 {
+		t.Errorf("Cardinality() = %d, want 3", d.Cardinality())
+	}
+	for i, want := range []string{"T", "H", "M"} {
+		if got := d.ValueName(Value(i)); got != want {
+			t.Errorf("ValueName(%d) = %q, want %q", i, got, want)
+		}
+		v, ok := d.Lookup(want)
+		if !ok || v != Value(i) {
+			t.Errorf("Lookup(%q) = (%d,%v), want (%d,true)", want, v, ok, i)
+		}
+	}
+	if _, ok := d.Lookup("X"); ok {
+		t.Error("Lookup of unknown value succeeded")
+	}
+}
+
+func TestNewDomainErrors(t *testing.T) {
+	if _, err := NewDomain("d", nil); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := NewDomain("d", []string{"a", "a"}); err == nil {
+		t.Error("duplicate value accepted")
+	}
+	if _, err := NewDomain("d", []string{"a", ""}); err == nil {
+		t.Error("empty value name accepted")
+	}
+}
+
+func TestNewAnonymousDomain(t *testing.T) {
+	d, err := NewAnonymousDomain("dim", 5)
+	if err != nil {
+		t.Fatalf("NewAnonymousDomain: %v", err)
+	}
+	if d.Cardinality() != 5 {
+		t.Fatalf("Cardinality() = %d, want 5", d.Cardinality())
+	}
+	if got := d.ValueName(3); got != "v3" {
+		t.Errorf("ValueName(3) = %q, want v3", got)
+	}
+	if _, err := NewAnonymousDomain("dim", 0); err == nil {
+		t.Error("zero cardinality accepted")
+	}
+}
+
+func TestDomainValuesIsCopy(t *testing.T) {
+	d, _ := NewDomain("d", []string{"a", "b"})
+	vals := d.Values()
+	vals[0] = "mutated"
+	if d.ValueName(0) != "a" {
+		t.Error("Values() exposed internal state")
+	}
+}
+
+func TestDomainString(t *testing.T) {
+	d, _ := NewDomain("d", []string{"a", "b"})
+	if s := d.String(); !strings.Contains(s, "a,b") {
+		t.Errorf("String() = %q, want to contain a,b", s)
+	}
+}

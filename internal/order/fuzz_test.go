@@ -1,0 +1,69 @@
+package order
+
+import (
+	"testing"
+)
+
+// FuzzParseImplicit checks that the preference parser never panics and that
+// everything it accepts round-trips through FormatImplicit.
+func FuzzParseImplicit(f *testing.F) {
+	d, err := NewDomain("Hotel-group", []string{"T", "H", "M", "X1", "longish-name"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, seed := range []string{
+		"T<M<*", "T≺M≺*", "*", "", "T", "T<H<M<X1<longish-name",
+		"T<*<M", "T<T<*", "<", "<<<", " T < M ", "unknown<*", "T<",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ip, err := ParseImplicit(d, s)
+		if err != nil {
+			return
+		}
+		if ip.Order() < 0 || ip.Order() > d.Cardinality() {
+			t.Fatalf("parsed order %d out of range", ip.Order())
+		}
+		// Round trip: format and re-parse must give the same preference.
+		formatted := FormatImplicit(d, ip)
+		back, err := ParseImplicit(d, formatted)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", formatted, err)
+		}
+		if !back.Equal(ip) {
+			t.Fatalf("round trip changed %q: %v vs %v", s, ip, back)
+		}
+	})
+}
+
+// FuzzImplicitConstruction checks invariants of NewImplicit over arbitrary
+// entry lists.
+func FuzzImplicitConstruction(f *testing.F) {
+	f.Add(5, []byte{0, 1, 2})
+	f.Add(3, []byte{2, 0})
+	f.Add(1, []byte{})
+	f.Add(4, []byte{3, 3})
+	f.Fuzz(func(t *testing.T, card int, raw []byte) {
+		if card <= 0 || card > 64 || len(raw) > 64 {
+			return
+		}
+		entries := make([]Value, len(raw))
+		for i, b := range raw {
+			entries[i] = Value(b)
+		}
+		ip, err := NewImplicit(card, entries...)
+		if err != nil {
+			return
+		}
+		// Accepted preferences satisfy the Definition 2 pair count.
+		x := ip.Order()
+		if got := len(ip.Pairs()); got != x*card-(x*(x+1))/2 {
+			t.Fatalf("pair count %d for x=%d k=%d", got, x, card)
+		}
+		// And the induced order must be a strict partial order.
+		if !ip.PartialOrder().IsTransitive() {
+			t.Fatal("induced order not transitive")
+		}
+	})
+}

@@ -1,0 +1,271 @@
+package order
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Implicit is an implicit preference "v1 ≺ v2 ≺ … ≺ vx ≺ *" on one nominal
+// attribute (Definition 2). The listed values v1..vx are the user's ordered
+// favorite choices; * stands for every other value of the domain. The
+// preference is equivalent to the partial order
+//
+//	P(R̃) = {(vi, vj) | i < j, i ∈ [1,x], j ∈ [1,k]}
+//
+// where k is the domain cardinality and values vx+1..vk are the unlisted ones.
+// An Implicit with no entries (order 0) expresses "no special preference".
+type Implicit struct {
+	card    int
+	entries []Value
+	pos     []int32 // 1-based position per value; 0 = unlisted
+}
+
+// NewImplicit builds the implicit preference over a domain of the given
+// cardinality with the given ordered favorite values. Entries must be distinct
+// in-domain values; an empty entry list is the order-0 "no preference".
+func NewImplicit(cardinality int, entries ...Value) (*Implicit, error) {
+	if cardinality <= 0 {
+		return nil, fmt.Errorf("order: implicit preference over non-positive cardinality %d", cardinality)
+	}
+	if len(entries) > cardinality {
+		return nil, fmt.Errorf("order: %d entries exceed domain cardinality %d", len(entries), cardinality)
+	}
+	ip := &Implicit{
+		card:    cardinality,
+		entries: append([]Value(nil), entries...),
+		pos:     make([]int32, cardinality),
+	}
+	for i, v := range entries {
+		if int(v) < 0 || int(v) >= cardinality {
+			return nil, fmt.Errorf("order: entry %d outside domain of cardinality %d", v, cardinality)
+		}
+		if ip.pos[v] != 0 {
+			return nil, fmt.Errorf("order: duplicate entry %d in implicit preference", v)
+		}
+		ip.pos[v] = int32(i + 1)
+	}
+	return ip, nil
+}
+
+// MustImplicit is NewImplicit for statically known-good arguments (tests,
+// examples); it panics on error.
+func MustImplicit(cardinality int, entries ...Value) *Implicit {
+	ip, err := NewImplicit(cardinality, entries...)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// Order returns x, the number of listed values (the paper's order(R̃i)).
+func (ip *Implicit) Order() int { return len(ip.entries) }
+
+// Cardinality returns the domain cardinality k.
+func (ip *Implicit) Cardinality() int { return ip.card }
+
+// Entries returns a copy of the listed values v1..vx in preference order.
+func (ip *Implicit) Entries() []Value { return append([]Value(nil), ip.entries...) }
+
+// Entry returns the j-th entry (1-based), mirroring the paper's "j-th entry in R̃i".
+func (ip *Implicit) Entry(j int) Value { return ip.entries[j-1] }
+
+// Contains reports whether v is listed ("v is in R̃i").
+func (ip *Implicit) Contains(v Value) bool {
+	return int(v) >= 0 && int(v) < ip.card && ip.pos[v] != 0
+}
+
+// Position returns the 1-based position of v among the listed values, or 0 if
+// v is unlisted.
+func (ip *Implicit) Position(v Value) int {
+	if int(v) < 0 || int(v) >= ip.card {
+		return 0
+	}
+	return int(ip.pos[v])
+}
+
+// Rank returns the ranking value r(v) of §4.2: listed values rank by position
+// (r(v1)=1 … r(vx)=x) and unlisted values rank as the domain cardinality.
+func (ip *Implicit) Rank(v Value) int32 {
+	if p := ip.pos[v]; p != 0 {
+		return p
+	}
+	return int32(ip.card)
+}
+
+// Less reports u ≺ v under P(R̃): u must be listed, and v either unlisted or
+// listed at a later position.
+func (ip *Implicit) Less(u, v Value) bool {
+	if u == v || int(u) < 0 || int(u) >= ip.card || int(v) < 0 || int(v) >= ip.card {
+		return false
+	}
+	pu := ip.pos[u]
+	if pu == 0 {
+		return false
+	}
+	pv := ip.pos[v]
+	return pv == 0 || pu < pv
+}
+
+// LessEq reports u ⪯ v under P(R̃).
+func (ip *Implicit) LessEq(u, v Value) bool { return u == v || ip.Less(u, v) }
+
+// Pairs materializes P(R̃) (Definition 2).
+func (ip *Implicit) Pairs() []Pair {
+	x, k := len(ip.entries), ip.card
+	if x == 0 {
+		return nil
+	}
+	out := make([]Pair, 0, x*k-(x*(x+1))/2)
+	for i, u := range ip.entries {
+		for j := i + 1; j < x; j++ {
+			out = append(out, Pair{u, ip.entries[j]})
+		}
+		for v := Value(0); int(v) < k; v++ {
+			if ip.pos[v] == 0 {
+				out = append(out, Pair{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// PartialOrder converts the implicit preference to its equivalent explicit
+// partial order P(R̃).
+func (ip *Implicit) PartialOrder() *PartialOrder {
+	po := NewPartialOrder(ip.card)
+	for _, p := range ip.Pairs() {
+		if err := po.Add(p.U, p.V); err != nil {
+			// Unreachable: Pairs never emits reflexive or conflicting pairs.
+			panic(err)
+		}
+	}
+	return po
+}
+
+// Refines reports whether ip refines the implicit preference t on the same
+// domain. For implicit preferences this holds exactly when t's entry list is a
+// prefix of ip's, or when they induce the same partial order (the boundary
+// case x = k−1 vs x = k).
+func (ip *Implicit) Refines(t *Implicit) bool {
+	if t == nil || t.Order() == 0 {
+		return true
+	}
+	if ip.card != t.card {
+		return false
+	}
+	if ip.Order() < t.Order() {
+		// Only possible if the induced orders coincide (x=k−1 vs x=k).
+		return ip.PartialOrder().Refines(t.PartialOrder())
+	}
+	for i, v := range t.entries {
+		if ip.entries[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two implicit preferences list the same values in the
+// same order over the same domain.
+func (ip *Implicit) Equal(o *Implicit) bool {
+	if o == nil {
+		return ip.Order() == 0
+	}
+	if ip.card != o.card || len(ip.entries) != len(o.entries) {
+		return false
+	}
+	for i, v := range ip.entries {
+		if o.entries[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (ip *Implicit) Clone() *Implicit {
+	out := &Implicit{
+		card:    ip.card,
+		entries: append([]Value(nil), ip.entries...),
+		pos:     append([]int32(nil), ip.pos...),
+	}
+	return out
+}
+
+// Extend returns a new implicit preference with v appended as the next choice.
+func (ip *Implicit) Extend(v Value) (*Implicit, error) {
+	return NewImplicit(ip.card, append(ip.Entries(), v)...)
+}
+
+// Prefix returns the implicit preference listing only the first n entries.
+func (ip *Implicit) Prefix(n int) *Implicit {
+	if n > len(ip.entries) {
+		n = len(ip.entries)
+	}
+	out, err := NewImplicit(ip.card, ip.entries[:n]...)
+	if err != nil {
+		panic(err) // unreachable: a prefix of valid entries is valid
+	}
+	return out
+}
+
+func (ip *Implicit) String() string {
+	if ip.Order() == 0 {
+		return "*"
+	}
+	var b strings.Builder
+	for _, v := range ip.entries {
+		fmt.Fprintf(&b, "%d<", v)
+	}
+	if ip.Order() < ip.card {
+		b.WriteString("*")
+	} else {
+		// All values listed: the trailing * is empty; strip the last separator.
+		return strings.TrimSuffix(b.String(), "<")
+	}
+	return b.String()
+}
+
+// ParseImplicit parses a preference such as "T<M<*", "T≺M≺*", "*" or "" against
+// a domain. The trailing * is optional; listing every domain value is allowed
+// (a total order).
+func ParseImplicit(d *Domain, s string) (*Implicit, error) {
+	s = strings.TrimSpace(s)
+	s = strings.ReplaceAll(s, "≺", "<")
+	if s == "" || s == "*" {
+		return NewImplicit(d.Cardinality())
+	}
+	parts := strings.Split(s, "<")
+	entries := make([]Value, 0, len(parts))
+	for i, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "*" {
+			if i != len(parts)-1 {
+				return nil, fmt.Errorf("order: %q: * must be the last choice", s)
+			}
+			break
+		}
+		v, ok := d.Lookup(part)
+		if !ok {
+			return nil, fmt.Errorf("order: %q: unknown value %q in domain %s", s, part, d.Name())
+		}
+		entries = append(entries, v)
+	}
+	return NewImplicit(d.Cardinality(), entries...)
+}
+
+// FormatImplicit renders an implicit preference with the domain's value names,
+// e.g. "T<M<*".
+func FormatImplicit(d *Domain, ip *Implicit) string {
+	if ip == nil || ip.Order() == 0 {
+		return "*"
+	}
+	names := make([]string, 0, ip.Order()+1)
+	for _, v := range ip.entries {
+		names = append(names, d.ValueName(v))
+	}
+	if ip.Order() < ip.card {
+		names = append(names, "*")
+	}
+	return strings.Join(names, "<")
+}

@@ -1,0 +1,291 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestImplicitBasics(t *testing.T) {
+	// Domain {T,H,M} = ids {0,1,2}; preference "T ≺ M ≺ *" (Alice, Table 2).
+	ip := MustImplicit(3, 0, 2)
+	if ip.Order() != 2 {
+		t.Errorf("Order = %d, want 2", ip.Order())
+	}
+	if ip.Cardinality() != 3 {
+		t.Errorf("Cardinality = %d, want 3", ip.Cardinality())
+	}
+	if !ip.Contains(0) || !ip.Contains(2) || ip.Contains(1) {
+		t.Error("Contains wrong")
+	}
+	if ip.Position(0) != 1 || ip.Position(2) != 2 || ip.Position(1) != 0 {
+		t.Error("Position wrong")
+	}
+	if ip.Entry(1) != 0 || ip.Entry(2) != 2 {
+		t.Error("Entry wrong")
+	}
+}
+
+func TestImplicitErrors(t *testing.T) {
+	if _, err := NewImplicit(0); err == nil {
+		t.Error("cardinality 0 accepted")
+	}
+	if _, err := NewImplicit(2, 0, 1, 0); err == nil {
+		t.Error("too many entries accepted")
+	}
+	if _, err := NewImplicit(3, 0, 0); err == nil {
+		t.Error("duplicate entry accepted")
+	}
+	if _, err := NewImplicit(3, 5); err == nil {
+		t.Error("out-of-range entry accepted")
+	}
+}
+
+func TestImplicitRank(t *testing.T) {
+	ip := MustImplicit(10, 7, 3)
+	if ip.Rank(7) != 1 || ip.Rank(3) != 2 {
+		t.Error("listed ranks wrong")
+	}
+	for v := Value(0); v < 10; v++ {
+		if v == 7 || v == 3 {
+			continue
+		}
+		if ip.Rank(v) != 10 {
+			t.Errorf("Rank(%d) = %d, want 10", v, ip.Rank(v))
+		}
+	}
+}
+
+func TestImplicitLess(t *testing.T) {
+	// "H ≺ M ≺ *" over {T,H,M}: pairs (H,M),(H,T),(M,T).
+	ip := MustImplicit(3, 1, 2)
+	cases := []struct {
+		u, v Value
+		want bool
+	}{
+		{1, 2, true}, {1, 0, true}, {2, 0, true},
+		{2, 1, false}, {0, 1, false}, {0, 2, false},
+		{0, 0, false}, {1, 1, false},
+	}
+	for _, c := range cases {
+		if got := ip.Less(c.u, c.v); got != c.want {
+			t.Errorf("Less(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+	if !ip.LessEq(0, 0) {
+		t.Error("LessEq not reflexive")
+	}
+}
+
+func TestImplicitPairsMatchesDefinition2(t *testing.T) {
+	// "H ≺ M ≺ *" over {T,H,M} corresponds to {(H,M),(H,T),(M,T)} (§2 example).
+	ip := MustImplicit(3, 1, 2)
+	po := ip.PartialOrder()
+	want := []Pair{{1, 2}, {1, 0}, {2, 0}}
+	if po.Len() != len(want) {
+		t.Fatalf("pair count = %d, want %d", po.Len(), len(want))
+	}
+	for _, p := range want {
+		if !po.Less(p.U, p.V) {
+			t.Errorf("missing pair %v", p)
+		}
+	}
+}
+
+func TestImplicitPairCountFormula(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(12)
+		x := rng.Intn(k + 1)
+		entries := make([]Value, x)
+		for i, v := range rng.Perm(k)[:x] {
+			entries[i] = Value(v)
+		}
+		ip := MustImplicit(k, entries...)
+		// |P(R̃)| = Σ_{i=1..x} (k−i) = xk − x(x+1)/2.
+		return len(ip.Pairs()) == x*k-(x*(x+1))/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImplicitOrderKMinus1EqualsOrderK(t *testing.T) {
+	// Listing k−1 values induces the same partial order as listing all k:
+	// the final * is a single value, fully ordered either way.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(8)
+		perm := rng.Perm(k)
+		all := make([]Value, k)
+		for i, v := range perm {
+			all[i] = Value(v)
+		}
+		full := MustImplicit(k, all...)
+		butOne := MustImplicit(k, all[:k-1]...)
+		return full.PartialOrder().Equal(butOne.PartialOrder())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImplicitInducedOrderIsStrictProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(10)
+		x := rng.Intn(k + 1)
+		entries := make([]Value, x)
+		for i, v := range rng.Perm(k)[:x] {
+			entries[i] = Value(v)
+		}
+		ip := MustImplicit(k, entries...)
+		po := ip.PartialOrder()
+		if !po.IsTransitive() {
+			return false
+		}
+		// Less must agree with the materialized order.
+		for u := Value(0); int(u) < k; u++ {
+			for v := Value(0); int(v) < k; v++ {
+				if ip.Less(u, v) != po.Less(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankConsistentWithLessProperty(t *testing.T) {
+	// u ≺ v implies r(u) < r(v); ties in rank imply not comparable.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(10)
+		x := rng.Intn(k + 1)
+		entries := make([]Value, x)
+		for i, v := range rng.Perm(k)[:x] {
+			entries[i] = Value(v)
+		}
+		ip := MustImplicit(k, entries...)
+		for u := Value(0); int(u) < k; u++ {
+			for v := Value(0); int(v) < k; v++ {
+				if ip.Less(u, v) && ip.Rank(u) >= ip.Rank(v) {
+					return false
+				}
+				if u != v && ip.Rank(u) == ip.Rank(v) && (ip.Less(u, v) || ip.Less(v, u)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImplicitRefines(t *testing.T) {
+	base := MustImplicit(4, 2)
+	ext := MustImplicit(4, 2, 0)
+	other := MustImplicit(4, 1)
+	empty := MustImplicit(4)
+	if !ext.Refines(base) {
+		t.Error("extension should refine prefix")
+	}
+	if base.Refines(ext) {
+		t.Error("prefix should not refine extension")
+	}
+	if other.Refines(base) {
+		t.Error("different first choice should not refine")
+	}
+	if !base.Refines(empty) || !empty.Refines(nil) {
+		t.Error("everything refines the empty preference")
+	}
+	// Boundary: x=k refines x=k−1 (same induced order).
+	full := MustImplicit(3, 0, 1, 2)
+	butOne := MustImplicit(3, 0, 1)
+	if !full.Refines(butOne) || !butOne.Refines(full) {
+		t.Error("x=k and x=k−1 should refine each other")
+	}
+}
+
+func TestImplicitExtendPrefixClone(t *testing.T) {
+	ip := MustImplicit(5, 3)
+	ext, err := ip.Extend(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Order() != 2 || ext.Entry(2) != 1 {
+		t.Error("Extend wrong")
+	}
+	if ip.Order() != 1 {
+		t.Error("Extend mutated receiver")
+	}
+	if _, err := ext.Extend(3); err == nil {
+		t.Error("Extend with duplicate accepted")
+	}
+	pre := ext.Prefix(1)
+	if !pre.Equal(ip) {
+		t.Error("Prefix(1) != original")
+	}
+	if !ext.Prefix(99).Equal(ext) {
+		t.Error("over-long Prefix should clamp")
+	}
+	cl := ext.Clone()
+	if !cl.Equal(ext) {
+		t.Error("clone not equal")
+	}
+}
+
+func TestParseAndFormatImplicit(t *testing.T) {
+	d, _ := NewDomain("Hotel-group", []string{"T", "H", "M"})
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"T<M<*", "T<M<*"},
+		{"T≺M≺*", "T<M<*"},
+		{"H<M<T", "H<M<T"}, // total order (David)
+		{"*", "*"},
+		{"", "*"},
+		{"M<*", "M<*"},
+		{" T < M < * ", "T<M<*"},
+	}
+	for _, c := range cases {
+		ip, err := ParseImplicit(d, c.in)
+		if err != nil {
+			t.Errorf("ParseImplicit(%q): %v", c.in, err)
+			continue
+		}
+		if got := FormatImplicit(d, ip); got != c.want {
+			t.Errorf("roundtrip %q = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseImplicit(d, "X<*"); err == nil {
+		t.Error("unknown value accepted")
+	}
+	if _, err := ParseImplicit(d, "T<*<M"); err == nil {
+		t.Error("* in the middle accepted")
+	}
+	if _, err := ParseImplicit(d, "T<T<*"); err == nil {
+		t.Error("duplicate value accepted")
+	}
+	if got := FormatImplicit(d, nil); got != "*" {
+		t.Errorf("FormatImplicit(nil) = %q, want *", got)
+	}
+}
+
+func TestImplicitString(t *testing.T) {
+	if got := MustImplicit(3, 1, 2).String(); got != "1<2<*" {
+		t.Errorf("String = %q, want 1<2<*", got)
+	}
+	if got := MustImplicit(2, 1, 0).String(); got != "1<0" {
+		t.Errorf("total order String = %q, want 1<0", got)
+	}
+	if got := MustImplicit(3).String(); got != "*" {
+		t.Errorf("empty String = %q, want *", got)
+	}
+}

@@ -1,0 +1,262 @@
+package order
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pair is one binary order (U, V) meaning U ≺ V.
+type Pair struct {
+	U, V Value
+}
+
+// PartialOrder is a strict partial order over the values 0..card-1 of one
+// nominal domain, stored as an explicit relation matrix. Following §2 of the
+// paper, a partial order is written as the set R = {(u,v) | u ≺ v}; the strict
+// part is stored (reflexive pairs are implied and never materialized).
+//
+// Add records single pairs without closing the relation; call Closure to take
+// the transitive closure (and detect cycles) once construction is done.
+type PartialOrder struct {
+	card int
+	rel  []bool // rel[int(u)*card+int(v)] reports u ≺ v
+	n    int
+}
+
+// NewPartialOrder creates an empty order over a domain of the given cardinality.
+func NewPartialOrder(cardinality int) *PartialOrder {
+	if cardinality <= 0 {
+		panic("order: partial order over non-positive cardinality")
+	}
+	return &PartialOrder{card: cardinality, rel: make([]bool, cardinality*cardinality)}
+}
+
+// Cardinality returns the size of the underlying domain.
+func (po *PartialOrder) Cardinality() int { return po.card }
+
+// Len returns the number of binary orders |R|.
+func (po *PartialOrder) Len() int { return po.n }
+
+func (po *PartialOrder) at(u, v Value) int { return int(u)*po.card + int(v) }
+
+func (po *PartialOrder) check(u, v Value) error {
+	if int(u) < 0 || int(u) >= po.card || int(v) < 0 || int(v) >= po.card {
+		return fmt.Errorf("order: value pair (%d,%d) outside domain of cardinality %d", u, v, po.card)
+	}
+	return nil
+}
+
+// Add records u ≺ v. It rejects reflexive pairs and direct conflicts
+// (v ≺ u already present). Adding an existing pair is a no-op.
+func (po *PartialOrder) Add(u, v Value) error {
+	if err := po.check(u, v); err != nil {
+		return err
+	}
+	if u == v {
+		return fmt.Errorf("order: reflexive pair (%d,%d) not allowed in a strict order", u, v)
+	}
+	if po.rel[po.at(v, u)] {
+		return fmt.Errorf("order: pair (%d,%d) conflicts with existing (%d,%d)", u, v, v, u)
+	}
+	if !po.rel[po.at(u, v)] {
+		po.rel[po.at(u, v)] = true
+		po.n++
+	}
+	return nil
+}
+
+// Less reports whether u ≺ v.
+func (po *PartialOrder) Less(u, v Value) bool {
+	if int(u) < 0 || int(u) >= po.card || int(v) < 0 || int(v) >= po.card {
+		return false
+	}
+	return po.rel[po.at(u, v)]
+}
+
+// LessEq reports u ⪯ v, i.e. u == v or u ≺ v.
+func (po *PartialOrder) LessEq(u, v Value) bool { return u == v || po.Less(u, v) }
+
+// Closure returns the transitive closure of po. It fails if the closure would
+// contain a cycle (the relation would not be a strict partial order).
+func (po *PartialOrder) Closure() (*PartialOrder, error) {
+	out := po.Clone()
+	c := out.card
+	// Floyd–Warshall style closure over the boolean matrix.
+	for k := 0; k < c; k++ {
+		for i := 0; i < c; i++ {
+			if !out.rel[i*c+k] {
+				continue
+			}
+			for j := 0; j < c; j++ {
+				if out.rel[k*c+j] && !out.rel[i*c+j] {
+					out.rel[i*c+j] = true
+					out.n++
+				}
+			}
+		}
+	}
+	for i := 0; i < c; i++ {
+		if out.rel[i*c+i] {
+			return nil, fmt.Errorf("order: relation contains a cycle through value %d", i)
+		}
+	}
+	return out, nil
+}
+
+// IsTransitive reports whether po is already transitively closed.
+func (po *PartialOrder) IsTransitive() bool {
+	c := po.card
+	for i := 0; i < c; i++ {
+		for k := 0; k < c; k++ {
+			if !po.rel[i*c+k] {
+				continue
+			}
+			for j := 0; j < c; j++ {
+				if po.rel[k*c+j] && !po.rel[i*c+j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// IsTotal reports whether every pair of distinct values is ordered.
+func (po *PartialOrder) IsTotal() bool {
+	for u := 0; u < po.card; u++ {
+		for v := u + 1; v < po.card; v++ {
+			if !po.rel[u*po.card+v] && !po.rel[v*po.card+u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Refines reports whether po is a refinement of other, i.e. other ⊆ po
+// (every pair of other is a pair of po). Orders over different cardinalities
+// never refine each other.
+func (po *PartialOrder) Refines(other *PartialOrder) bool {
+	if other == nil {
+		return true
+	}
+	if po.card != other.card {
+		return false
+	}
+	for i, set := range other.rel {
+		if set && !po.rel[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// StrongerThan reports whether po is a refinement of other and differs from it
+// (the paper's "stronger" relation).
+func (po *PartialOrder) StrongerThan(other *PartialOrder) bool {
+	return po.Refines(other) && !po.Equal(other)
+}
+
+// ConflictFree implements Definition 1: po and other are conflict-free if no
+// pair (u,v) appears in one with (v,u) in the other.
+func (po *PartialOrder) ConflictFree(other *PartialOrder) bool {
+	if other == nil {
+		return true
+	}
+	if po.card != other.card {
+		return false
+	}
+	c := po.card
+	for u := 0; u < c; u++ {
+		for v := 0; v < c; v++ {
+			if po.rel[u*c+v] && other.rel[v*c+u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Union returns the relation po ∪ other. The result may need Closure and may
+// not be a valid strict order if the inputs conflict; callers that require a
+// partial order should call Closure on the result.
+func (po *PartialOrder) Union(other *PartialOrder) (*PartialOrder, error) {
+	if other == nil {
+		return po.Clone(), nil
+	}
+	if po.card != other.card {
+		return nil, fmt.Errorf("order: union of orders over cardinalities %d and %d", po.card, other.card)
+	}
+	out := po.Clone()
+	for i, set := range other.rel {
+		if set && !out.rel[i] {
+			out.rel[i] = true
+			out.n++
+		}
+	}
+	return out, nil
+}
+
+// Equal reports whether two orders contain exactly the same pairs.
+func (po *PartialOrder) Equal(other *PartialOrder) bool {
+	if other == nil {
+		return po.n == 0
+	}
+	if po.card != other.card || po.n != other.n {
+		return false
+	}
+	for i, set := range po.rel {
+		if set != other.rel[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (po *PartialOrder) Clone() *PartialOrder {
+	out := &PartialOrder{card: po.card, rel: append([]bool(nil), po.rel...), n: po.n}
+	return out
+}
+
+// Pairs materializes the relation as a deterministic (sorted) pair list.
+func (po *PartialOrder) Pairs() []Pair {
+	out := make([]Pair, 0, po.n)
+	for u := 0; u < po.card; u++ {
+		for v := 0; v < po.card; v++ {
+			if po.rel[u*po.card+v] {
+				out = append(out, Pair{Value(u), Value(v)})
+			}
+		}
+	}
+	return out
+}
+
+// FromPairs builds a partial order from explicit pairs (without closure).
+func FromPairs(cardinality int, pairs []Pair) (*PartialOrder, error) {
+	po := NewPartialOrder(cardinality)
+	for _, p := range pairs {
+		if err := po.Add(p.U, p.V); err != nil {
+			return nil, err
+		}
+	}
+	return po, nil
+}
+
+func (po *PartialOrder) String() string {
+	pairs := po.Pairs()
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].U != pairs[j].U {
+			return pairs[i].U < pairs[j].U
+		}
+		return pairs[i].V < pairs[j].V
+	})
+	s := "{"
+	for i, p := range pairs {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("(%d,%d)", p.U, p.V)
+	}
+	return s + "}"
+}

@@ -1,0 +1,267 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartialOrderAddLess(t *testing.T) {
+	po := NewPartialOrder(3)
+	if po.Len() != 0 {
+		t.Fatalf("new order Len = %d, want 0", po.Len())
+	}
+	if err := po.Add(0, 1); err != nil {
+		t.Fatalf("Add(0,1): %v", err)
+	}
+	if !po.Less(0, 1) || po.Less(1, 0) {
+		t.Error("Less does not reflect added pair")
+	}
+	if !po.LessEq(0, 0) {
+		t.Error("LessEq not reflexive")
+	}
+	if po.LessEq(1, 0) {
+		t.Error("LessEq(1,0) true without pair")
+	}
+	// Re-adding is a no-op.
+	if err := po.Add(0, 1); err != nil {
+		t.Fatalf("re-Add: %v", err)
+	}
+	if po.Len() != 1 {
+		t.Errorf("Len after duplicate Add = %d, want 1", po.Len())
+	}
+}
+
+func TestPartialOrderAddErrors(t *testing.T) {
+	po := NewPartialOrder(3)
+	if err := po.Add(1, 1); err == nil {
+		t.Error("reflexive pair accepted")
+	}
+	if err := po.Add(5, 1); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+	if err := po.Add(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := po.Add(1, 0); err == nil {
+		t.Error("conflicting pair accepted")
+	}
+}
+
+func TestClosure(t *testing.T) {
+	po := NewPartialOrder(4)
+	for _, p := range []Pair{{0, 1}, {1, 2}, {2, 3}} {
+		if err := po.Add(p.U, p.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl, err := po.Closure()
+	if err != nil {
+		t.Fatalf("Closure: %v", err)
+	}
+	want := []Pair{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if cl.Len() != len(want) {
+		t.Fatalf("closure Len = %d, want %d", cl.Len(), len(want))
+	}
+	for _, p := range want {
+		if !cl.Less(p.U, p.V) {
+			t.Errorf("closure missing %v", p)
+		}
+	}
+	if !cl.IsTransitive() {
+		t.Error("closure not transitive")
+	}
+	if !cl.IsTotal() {
+		t.Error("chain closure should be total")
+	}
+}
+
+func TestClosureCycle(t *testing.T) {
+	po := NewPartialOrder(3)
+	// 0≺1, 1≺2, 2≺0 has no direct conflict but closes into a cycle.
+	for _, p := range []Pair{{0, 1}, {1, 2}, {2, 0}} {
+		if err := po.Add(p.U, p.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := po.Closure(); err == nil {
+		t.Error("cycle not detected by Closure")
+	}
+}
+
+func TestRefinesAndStronger(t *testing.T) {
+	r, _ := FromPairs(3, []Pair{{0, 2}}) // T≺M with ids (T=0,H=1,M=2)
+	rp, _ := FromPairs(3, []Pair{{0, 2}, {1, 2}})
+	if !rp.Refines(r) {
+		t.Error("R' should refine R")
+	}
+	if r.Refines(rp) {
+		t.Error("R should not refine R'")
+	}
+	if !rp.StrongerThan(r) {
+		t.Error("R' should be stronger than R")
+	}
+	if rp.StrongerThan(rp) {
+		t.Error("an order is not stronger than itself")
+	}
+	if !rp.Refines(rp) {
+		t.Error("Refines should be reflexive")
+	}
+	if !rp.Refines(nil) {
+		t.Error("everything refines nil")
+	}
+}
+
+func TestConflictFree(t *testing.T) {
+	a, _ := FromPairs(3, []Pair{{0, 1}})
+	b, _ := FromPairs(3, []Pair{{1, 0}})
+	c, _ := FromPairs(3, []Pair{{1, 2}})
+	if a.ConflictFree(b) {
+		t.Error("(0,1) and (1,0) reported conflict-free")
+	}
+	if !a.ConflictFree(c) {
+		t.Error("(0,1) and (1,2) reported conflicting")
+	}
+	if !a.ConflictFree(nil) {
+		t.Error("nil should be conflict-free with everything")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a, _ := FromPairs(3, []Pair{{0, 1}})
+	b, _ := FromPairs(3, []Pair{{1, 2}})
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 2 || !u.Less(0, 1) || !u.Less(1, 2) {
+		t.Errorf("union = %v, want {(0,1),(1,2)}", u)
+	}
+	if _, err := a.Union(NewPartialOrder(4)); err == nil {
+		t.Error("union across cardinalities accepted")
+	}
+}
+
+func TestEqualCloneAndPairs(t *testing.T) {
+	a, _ := FromPairs(3, []Pair{{0, 1}, {0, 2}})
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone not equal")
+	}
+	if err := b.Add(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(b) {
+		t.Error("mutated clone still equal")
+	}
+	pairs := a.Pairs()
+	if len(pairs) != 2 {
+		t.Errorf("Pairs len = %d, want 2", len(pairs))
+	}
+	empty := NewPartialOrder(3)
+	if !empty.Equal(nil) {
+		t.Error("empty order should Equal nil")
+	}
+	if a.Equal(nil) {
+		t.Error("non-empty order Equal nil")
+	}
+}
+
+// randomDAGOrder builds a random acyclic relation by only adding pairs (u,v)
+// with u < v in a random permutation order, then closing it.
+func randomDAGOrder(rng *rand.Rand, card int) *PartialOrder {
+	perm := rng.Perm(card)
+	po := NewPartialOrder(card)
+	for i := 0; i < card; i++ {
+		for j := i + 1; j < card; j++ {
+			if rng.Intn(3) == 0 {
+				if err := po.Add(Value(perm[i]), Value(perm[j])); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	cl, err := po.Closure()
+	if err != nil {
+		panic(err)
+	}
+	return cl
+}
+
+func TestClosureIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		po := randomDAGOrder(rng, 2+rng.Intn(7))
+		again, err := po.Closure()
+		if err != nil {
+			return false
+		}
+		return again.Equal(po) && po.IsTransitive()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosedOrderIsStrictPartialOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		card := 2 + rng.Intn(7)
+		po := randomDAGOrder(rng, card)
+		for u := Value(0); int(u) < card; u++ {
+			if po.Less(u, u) {
+				return false // irreflexive
+			}
+			for v := Value(0); int(v) < card; v++ {
+				if po.Less(u, v) && po.Less(v, u) {
+					return false // asymmetric
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefinesTransitiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		card := 3 + rng.Intn(5)
+		a := randomDAGOrder(rng, card)
+		// b refines a by construction: add more pairs conflict-free.
+		b := a.Clone()
+		for tries := 0; tries < 10; tries++ {
+			u, v := Value(rng.Intn(card)), Value(rng.Intn(card))
+			if u == v || b.Less(v, u) {
+				continue
+			}
+			_ = b.Add(u, v)
+		}
+		bc, err := b.Closure()
+		if err != nil {
+			return true // extension happened to create a cycle; skip
+		}
+		return bc.Refines(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromPairsRejectsBadInput(t *testing.T) {
+	if _, err := FromPairs(2, []Pair{{0, 0}}); err == nil {
+		t.Error("reflexive pair accepted")
+	}
+	if _, err := FromPairs(2, []Pair{{0, 1}, {1, 0}}); err == nil {
+		t.Error("conflicting pairs accepted")
+	}
+}
+
+func TestPartialOrderString(t *testing.T) {
+	a, _ := FromPairs(3, []Pair{{2, 1}, {0, 1}})
+	if got, want := a.String(), "{(0,1),(2,1)}"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,114 @@
+package order
+
+import (
+	"testing"
+)
+
+func TestPreferenceBasics(t *testing.T) {
+	p := MustPreference(MustImplicit(3, 0, 2), MustImplicit(4))
+	if p.NomDims() != 2 {
+		t.Errorf("NomDims = %d, want 2", p.NomDims())
+	}
+	if p.Order() != 2 {
+		t.Errorf("Order = %d, want 2", p.Order())
+	}
+	if p.Dim(0).Order() != 2 || p.Dim(1).Order() != 0 {
+		t.Error("Dim accessors wrong")
+	}
+	if _, err := NewPreference(nil); err == nil {
+		t.Error("nil dimension accepted")
+	}
+}
+
+func TestEmptyPreference(t *testing.T) {
+	p, err := EmptyPreference(3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Order() != 0 || p.NomDims() != 3 {
+		t.Error("EmptyPreference wrong shape")
+	}
+	if _, err := EmptyPreference(0); err == nil {
+		t.Error("zero cardinality accepted")
+	}
+}
+
+func TestPreferenceRefines(t *testing.T) {
+	tmpl := MustPreference(MustImplicit(3, 0), MustImplicit(4))
+	q := MustPreference(MustImplicit(3, 0, 1), MustImplicit(4, 2))
+	bad := MustPreference(MustImplicit(3, 1), MustImplicit(4, 2))
+	if !q.Refines(tmpl) {
+		t.Error("q should refine template")
+	}
+	if bad.Refines(tmpl) {
+		t.Error("conflicting first choice should not refine")
+	}
+	if !q.Refines(nil) {
+		t.Error("everything refines nil")
+	}
+	short := MustPreference(MustImplicit(3, 0))
+	if short.Refines(tmpl) {
+		t.Error("dimension count mismatch should not refine")
+	}
+}
+
+func TestPreferenceConflictFree(t *testing.T) {
+	a := MustPreference(MustImplicit(3, 0)) // 0≺*
+	b := MustPreference(MustImplicit(3, 1)) // 1≺* → contains (1,0) vs (0,1): conflict
+	c := MustPreference(MustImplicit(3))    // no preference
+	if a.ConflictFree(b) {
+		t.Error("0≺* and 1≺* should conflict")
+	}
+	if !a.ConflictFree(c) || !a.ConflictFree(nil) {
+		t.Error("empty/nil should be conflict-free")
+	}
+}
+
+func TestPreferenceEqualClone(t *testing.T) {
+	p := MustPreference(MustImplicit(3, 0, 2), MustImplicit(4, 1))
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Error("clone not equal")
+	}
+	if p.Equal(nil) {
+		t.Error("Equal(nil) true")
+	}
+	r, err := p.WithDim(1, MustImplicit(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Equal(r) {
+		t.Error("WithDim result should differ")
+	}
+	if !p.Dim(1).Equal(MustImplicit(4, 1)) {
+		t.Error("WithDim mutated receiver")
+	}
+}
+
+func TestPreferenceWithDimErrors(t *testing.T) {
+	p := MustPreference(MustImplicit(3, 0))
+	if _, err := p.WithDim(5, MustImplicit(3)); err == nil {
+		t.Error("out-of-range dim accepted")
+	}
+	if _, err := p.WithDim(0, nil); err == nil {
+		t.Error("nil replacement accepted")
+	}
+	if _, err := p.WithDim(0, MustImplicit(7)); err == nil {
+		t.Error("cardinality mismatch accepted")
+	}
+}
+
+func TestPreferenceTotalPairs(t *testing.T) {
+	// dims: k=3 x=2 → 2*3−3 = 3 pairs; k=4 x=1 → 4−1 = 3 pairs.
+	p := MustPreference(MustImplicit(3, 0, 2), MustImplicit(4, 1))
+	if got := p.TotalPairs(); got != 6 {
+		t.Errorf("TotalPairs = %d, want 6", got)
+	}
+}
+
+func TestPreferenceString(t *testing.T) {
+	p := MustPreference(MustImplicit(3, 0), MustImplicit(4))
+	if got := p.String(); got != "0<*; *" {
+		t.Errorf("String = %q, want \"0<*; *\"", got)
+	}
+}

@@ -1,0 +1,69 @@
+package order
+
+// TransitiveReduction returns the Hasse diagram of a transitively closed
+// order: the minimal relation whose closure is po. A pair (u,v) is redundant
+// exactly when some w satisfies u ≺ w ≺ v. It is the form used to display
+// partial orders compactly (tooling, examples).
+//
+// The receiver must be transitively closed (see Closure); the reduction of a
+// non-closed relation is not well-defined and the function reports ok=false.
+func (po *PartialOrder) TransitiveReduction() (red *PartialOrder, ok bool) {
+	if !po.IsTransitive() {
+		return nil, false
+	}
+	out := po.Clone()
+	c := out.card
+	for u := 0; u < c; u++ {
+		for v := 0; v < c; v++ {
+			if !po.rel[u*c+v] {
+				continue
+			}
+			for w := 0; w < c; w++ {
+				if po.rel[u*c+w] && po.rel[w*c+v] {
+					if out.rel[u*c+v] {
+						out.rel[u*c+v] = false
+						out.n--
+					}
+					break
+				}
+			}
+		}
+	}
+	return out, true
+}
+
+// Minima returns the values with no smaller value (the "best" choices).
+func (po *PartialOrder) Minima() []Value {
+	var out []Value
+	for v := 0; v < po.card; v++ {
+		isMin := true
+		for u := 0; u < po.card; u++ {
+			if po.rel[u*po.card+v] {
+				isMin = false
+				break
+			}
+		}
+		if isMin {
+			out = append(out, Value(v))
+		}
+	}
+	return out
+}
+
+// Maxima returns the values no other value is worse than.
+func (po *PartialOrder) Maxima() []Value {
+	var out []Value
+	for v := 0; v < po.card; v++ {
+		isMax := true
+		for u := 0; u < po.card; u++ {
+			if po.rel[v*po.card+u] {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			out = append(out, Value(v))
+		}
+	}
+	return out
+}

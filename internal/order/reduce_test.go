@@ -1,0 +1,100 @@
+package order
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransitiveReductionChain(t *testing.T) {
+	// Closed chain 0≺1≺2≺3 reduces to the three covering pairs.
+	po, _ := FromPairs(4, []Pair{{0, 1}, {1, 2}, {2, 3}})
+	cl, err := po.Closure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, ok := cl.TransitiveReduction()
+	if !ok {
+		t.Fatal("reduction refused closed order")
+	}
+	want := []Pair{{0, 1}, {1, 2}, {2, 3}}
+	if red.Len() != len(want) {
+		t.Fatalf("reduction has %d pairs, want %d: %v", red.Len(), len(want), red)
+	}
+	for _, p := range want {
+		if !red.Less(p.U, p.V) {
+			t.Errorf("missing covering pair %v", p)
+		}
+	}
+}
+
+func TestTransitiveReductionRejectsUnclosed(t *testing.T) {
+	po, _ := FromPairs(3, []Pair{{0, 1}, {1, 2}}) // not closed: (0,2) missing
+	if _, ok := po.TransitiveReduction(); ok {
+		t.Error("reduction accepted non-closed relation")
+	}
+}
+
+func TestImplicitReduction(t *testing.T) {
+	// "v0 ≺ v1 ≺ *" over 4 values: closure has pairs to every later/unlisted
+	// value; the Hasse diagram keeps (v0,v1) and (v1, each unlisted).
+	ip := MustImplicit(4, 0, 1)
+	red, ok := ip.PartialOrder().TransitiveReduction()
+	if !ok {
+		t.Fatal("implicit order should be closed")
+	}
+	want, _ := FromPairs(4, []Pair{{0, 1}, {1, 2}, {1, 3}})
+	if !red.Equal(want) {
+		t.Errorf("reduction = %v, want %v", red, want)
+	}
+}
+
+func TestReductionClosureRoundTripProperty(t *testing.T) {
+	// Closure(Reduction(R)) == R for every closed R.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		po := randomDAGOrder(rng, 2+rng.Intn(7))
+		red, ok := po.TransitiveReduction()
+		if !ok {
+			return false
+		}
+		back, err := red.Closure()
+		if err != nil {
+			return false
+		}
+		return back.Equal(po)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimaMaxima(t *testing.T) {
+	// 0≺2, 1≺2, 2≺3: minima {0,1}, maxima {3}.
+	po, _ := FromPairs(4, []Pair{{0, 2}, {1, 2}, {2, 3}})
+	cl, _ := po.Closure()
+	if got := cl.Minima(); !reflect.DeepEqual(got, []Value{0, 1}) {
+		t.Errorf("Minima = %v", got)
+	}
+	if got := cl.Maxima(); !reflect.DeepEqual(got, []Value{3}) {
+		t.Errorf("Maxima = %v", got)
+	}
+	// Empty order: everything is minimal and maximal.
+	empty := NewPartialOrder(3)
+	if len(empty.Minima()) != 3 || len(empty.Maxima()) != 3 {
+		t.Error("empty order minima/maxima wrong")
+	}
+}
+
+func TestImplicitMinimaIsFirstChoice(t *testing.T) {
+	ip := MustImplicit(5, 3, 1)
+	po := ip.PartialOrder()
+	if got := po.Minima(); !reflect.DeepEqual(got, []Value{3}) {
+		t.Errorf("Minima = %v, want [3]", got)
+	}
+	// Maxima are the unlisted values (incomparable among themselves).
+	if got := po.Maxima(); !reflect.DeepEqual(got, []Value{0, 2, 4}) {
+		t.Errorf("Maxima = %v, want unlisted [0 2 4]", got)
+	}
+}

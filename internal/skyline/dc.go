@@ -1,0 +1,99 @@
+package skyline
+
+import (
+	"sort"
+
+	"prefsky/internal/data"
+)
+
+// DC computes the skyline with the divide & conquer strategy of Borzsonyi et
+// al.: split on the median of the first numeric dimension, solve both halves,
+// and filter the high half against the low half's skyline. Points in the high
+// half can never dominate points strictly below the split value, so the low
+// skyline is final.
+//
+// It is included as a third classic baseline (with BNL and SFS) for the
+// ablation benches; datasets without numeric dimensions fall back to BNL.
+func DC(points []data.Point, dom Dominator) []data.PointID {
+	if len(points) == 0 {
+		return nil
+	}
+	if len(points[0].Num) == 0 {
+		return BNL(points, dom)
+	}
+	work := make([]data.Point, len(points))
+	copy(work, points)
+	out := dcRec(work, dom)
+	ids := make([]data.PointID, len(out))
+	for i, p := range out {
+		ids[i] = p.ID
+	}
+	sortIDs(ids)
+	return ids
+}
+
+const dcBaseSize = 32
+
+func dcRec(points []data.Point, dom Dominator) []data.Point {
+	if len(points) <= dcBaseSize {
+		return bnlPoints(points, dom)
+	}
+	// Split at the median of dimension 0; low gets strictly smaller values so
+	// that no high point can dominate a low point.
+	sort.SliceStable(points, func(i, j int) bool { return points[i].Num[0] < points[j].Num[0] })
+	mid := len(points) / 2
+	median := points[mid].Num[0]
+	lo := sort.Search(len(points), func(i int) bool { return points[i].Num[0] >= median })
+	if lo == 0 {
+		// All remaining points share the dimension-0 value; no split exists.
+		return bnlPoints(points, dom)
+	}
+	low := dcRec(points[:lo], dom)
+	high := dcRec(points[lo:], dom)
+	// Merge: every low skyline point stays; high points survive only if no
+	// low skyline point dominates them.
+	merged := make([]data.Point, len(low), len(low)+len(high))
+	copy(merged, low)
+	for i := range high {
+		dominated := false
+		for j := range low {
+			if dom.Dominates(&low[j], &high[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			merged = append(merged, high[i])
+		}
+	}
+	return merged
+}
+
+// bnlPoints is BNL returning the surviving points themselves.
+func bnlPoints(points []data.Point, dom Dominator) []data.Point {
+	var window []data.Point
+	for i := range points {
+		p := points[i]
+		dominated := false
+		keep := window[:0]
+		for _, w := range window {
+			if dominated {
+				keep = append(keep, w)
+				continue
+			}
+			if dom.Dominates(&w, &p) {
+				dominated = true
+				keep = append(keep, w)
+				continue
+			}
+			if !dom.Dominates(&p, &w) {
+				keep = append(keep, w)
+			}
+		}
+		window = keep
+		if !dominated {
+			window = append(window, p)
+		}
+	}
+	return window
+}

@@ -1,0 +1,101 @@
+package skyline
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/order"
+)
+
+func TestDCTable2(t *testing.T) {
+	ds := data.Table1()
+	for _, c := range table2Cases {
+		pref, _ := data.ParsePreference(ds.Schema(), c.pref)
+		cmp := dominance.MustComparator(ds.Schema(), pref)
+		if got := DC(ds.Points(), cmp); !reflect.DeepEqual(got, ids(c.want)) {
+			t.Errorf("%s: DC = %v, want %v", c.customer, got, ids(c.want))
+		}
+	}
+}
+
+func TestDCMatchesSFSProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ds, pref := randomFixture(seed)
+		cmp, err := dominance.NewComparator(ds.Schema(), pref)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(DC(ds.Points(), cmp), SFS(ds.Points(), cmp))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDCLargerThanBase(t *testing.T) {
+	// Exercise the recursive path (fixture sizes exceed the base block).
+	pts := make([]data.Point, 500)
+	for i := range pts {
+		pts[i] = data.Point{
+			ID:  data.PointID(i),
+			Num: []float64{float64(i % 37), float64((i * 7) % 23)},
+			Nom: []order.Value{order.Value(i % 3)},
+		}
+	}
+	dom, _ := order.NewAnonymousDomain("N", 3)
+	schema, _ := data.NewSchema([]data.NumericAttr{{Name: "A"}, {Name: "B"}}, []*order.Domain{dom})
+	ds, err := data.New(schema, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := dominance.MustComparator(schema, schema.EmptyPreference())
+	if got, want := DC(ds.Points(), cmp), SFS(ds.Points(), cmp); !reflect.DeepEqual(got, want) {
+		t.Errorf("DC = %v, want %v", got, want)
+	}
+}
+
+func TestDCAllEqualFirstDim(t *testing.T) {
+	// Degenerate split: every point shares dimension 0.
+	pts := make([]data.Point, 100)
+	for i := range pts {
+		pts[i] = data.Point{ID: data.PointID(i), Num: []float64{1, float64(i)}, Nom: nil}
+	}
+	schema, _ := data.NewSchema([]data.NumericAttr{{Name: "A"}, {Name: "B"}}, nil)
+	ds, err := data.New(schema, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := dominance.MustComparator(schema, schema.EmptyPreference())
+	got := DC(ds.Points(), cmp)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("DC = %v, want [0]", got)
+	}
+}
+
+func TestDCEmptyAndNoNumeric(t *testing.T) {
+	ds := data.Table1()
+	cmp := dominance.MustComparator(ds.Schema(), ds.Schema().EmptyPreference())
+	if got := DC(nil, cmp); len(got) != 0 {
+		t.Errorf("DC(nil) = %v", got)
+	}
+	// Nominal-only schema falls back to BNL.
+	dom, _ := order.NewAnonymousDomain("N", 3)
+	schema, _ := data.NewSchema(nil, []*order.Domain{dom})
+	pts := []data.Point{
+		{Nom: []order.Value{0}}, {Nom: []order.Value{1}}, {Nom: []order.Value{2}},
+	}
+	nds, err := data.New(schema, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pref := order.MustPreference(order.MustImplicit(3, 0))
+	c2 := dominance.MustComparator(schema, pref)
+	got := DC(nds.Points(), c2)
+	want := BNL(nds.Points(), c2)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DC fallback = %v, want %v", got, want)
+	}
+}

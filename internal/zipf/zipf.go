@@ -1,0 +1,74 @@
+// Package zipf samples from a Zipfian distribution over the ranks 1..n with
+// arbitrary skew θ ≥ 0. The experiments of §5 draw nominal attribute values
+// Zipfian with θ = 1, which the standard library generator cannot produce
+// (math/rand's Zipf requires s > 1), so the distribution is implemented
+// directly by inverse-CDF sampling.
+package zipf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dist is a Zipfian distribution over ranks 0..n-1 (rank 0 most frequent)
+// with P(rank k) ∝ 1/(k+1)^θ.
+type Dist struct {
+	theta float64
+	cdf   []float64
+}
+
+// New builds the distribution for n ranks with skew theta. theta = 0 is the
+// uniform distribution.
+func New(n int, theta float64) (*Dist, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("zipf: non-positive rank count %d", n)
+	}
+	if theta < 0 || math.IsNaN(theta) || math.IsInf(theta, 0) {
+		return nil, fmt.Errorf("zipf: invalid skew %v", theta)
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1.0 / math.Pow(float64(k+1), theta)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	cdf[n-1] = 1.0 // guard against rounding
+	return &Dist{theta: theta, cdf: cdf}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(n int, theta float64) *Dist {
+	d, err := New(n, theta)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// N returns the number of ranks.
+func (d *Dist) N() int { return len(d.cdf) }
+
+// Theta returns the skew parameter.
+func (d *Dist) Theta() float64 { return d.theta }
+
+// P returns the probability of rank k.
+func (d *Dist) P(k int) float64 {
+	if k < 0 || k >= len(d.cdf) {
+		return 0
+	}
+	if k == 0 {
+		return d.cdf[0]
+	}
+	return d.cdf[k] - d.cdf[k-1]
+}
+
+// Sample draws a rank using rng.
+func (d *Dist) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(d.cdf, u)
+}

@@ -1,0 +1,94 @@
+package zipf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New(5, -1); err == nil {
+		t.Error("negative theta accepted")
+	}
+	if _, err := New(5, math.NaN()); err == nil {
+		t.Error("NaN theta accepted")
+	}
+	if _, err := New(5, math.Inf(1)); err == nil {
+		t.Error("Inf theta accepted")
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	for _, theta := range []float64{0, 0.5, 1, 2} {
+		d := MustNew(20, theta)
+		sum := 0.0
+		for k := 0; k < d.N(); k++ {
+			sum += d.P(k)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("theta=%v: ΣP = %v", theta, sum)
+		}
+	}
+	if MustNew(3, 1).P(-1) != 0 || MustNew(3, 1).P(3) != 0 {
+		t.Error("out-of-range P nonzero")
+	}
+}
+
+func TestThetaZeroIsUniform(t *testing.T) {
+	d := MustNew(10, 0)
+	for k := 0; k < 10; k++ {
+		if math.Abs(d.P(k)-0.1) > 1e-12 {
+			t.Errorf("P(%d) = %v, want 0.1", k, d.P(k))
+		}
+	}
+}
+
+func TestThetaOneRatios(t *testing.T) {
+	// With θ=1, P(0)/P(k) = k+1 exactly.
+	d := MustNew(20, 1)
+	for k := 1; k < 20; k++ {
+		ratio := d.P(0) / d.P(k)
+		if math.Abs(ratio-float64(k+1)) > 1e-9 {
+			t.Errorf("P(0)/P(%d) = %v, want %d", k, ratio, k+1)
+		}
+	}
+	if d.Theta() != 1 {
+		t.Error("Theta accessor wrong")
+	}
+}
+
+func TestSampleFrequencies(t *testing.T) {
+	d := MustNew(8, 1)
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, 8)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[d.Sample(rng)]++
+	}
+	for k := 0; k < 8; k++ {
+		got := float64(counts[k]) / n
+		if math.Abs(got-d.P(k)) > 0.01 {
+			t.Errorf("rank %d frequency %v, want ≈%v", k, got, d.P(k))
+		}
+	}
+	// Monotone: rank 0 strictly most frequent.
+	for k := 1; k < 8; k++ {
+		if counts[k] >= counts[0] {
+			t.Errorf("rank %d as frequent as rank 0", k)
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	d := MustNew(10, 1)
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		if d.Sample(a) != d.Sample(b) {
+			t.Fatal("sampling not deterministic for equal seeds")
+		}
+	}
+}

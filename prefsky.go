@@ -1,0 +1,169 @@
+// Package prefsky is a library for skyline querying with variable user
+// preferences on nominal attributes, implementing Wong, Fu, Pei, Ho, Wong and
+// Liu, "Efficient Skyline Querying with Variable User Preferences on Nominal
+// Attributes" (VLDB 2008 / arXiv:0710.2604).
+//
+// A dataset mixes numeric attributes, which have a fixed order (lower price is
+// always better), with nominal attributes, which do not: different users
+// prefer different hotel groups, airlines or realty styles. Each user states
+// an implicit preference per nominal attribute — "Tulips ≺ Mozilla ≺ *", her
+// ordered favorite values followed by everything else — and the skyline (the
+// set of non-dominated points) must be computed for that preference online.
+//
+// Two engines answer such queries after preprocessing against a template (the
+// orders all users share, possibly empty):
+//
+//   - IPOTree (§3 of the paper) materializes skyline results for every
+//     first-order preference "v ≺ *" per dimension and combines them with the
+//     merging property (Theorem 2). Fastest queries, heaviest preprocessing.
+//   - AdaptiveSFS (§4) keeps SKY(template) presorted by a monotone scoring
+//     function and, per query, re-sorts only the points whose values were
+//     re-ranked. Light preprocessing, progressive results, incremental
+//     maintenance under inserts and deletes.
+//
+// SFSD is the from-scratch baseline, and Hybrid routes popular-value queries
+// to a top-K-restricted tree with an AdaptiveSFS fallback (§5.3).
+//
+// # Quick start
+//
+//	schema, _ := prefsky.NewSchema(
+//	    []prefsky.NumericAttr{{Name: "Price"}, {Name: "Class", HigherIsBetter: true}},
+//	    []*prefsky.Domain{hotelGroups},
+//	)
+//	ds, _ := prefsky.NewDataset(schema, points)
+//	engine, _ := prefsky.NewIPOTree(ds, schema.EmptyPreference(), prefsky.TreeOptions{})
+//	pref, _ := prefsky.ParsePreference(schema, "Hotel-group: T<M<*")
+//	ids, _ := engine.Skyline(pref)
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package prefsky
+
+import (
+	"prefsky/internal/adaptive"
+	"prefsky/internal/core"
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/gen"
+	"prefsky/internal/ipotree"
+	"prefsky/internal/nursery"
+	"prefsky/internal/order"
+)
+
+// Model types re-exported from the internal packages. Aliases keep the public
+// surface in one import while the implementation stays internal.
+type (
+	// Value is a nominal value id within its Domain.
+	Value = order.Value
+	// Domain is the value set of one nominal attribute.
+	Domain = order.Domain
+	// Implicit is a per-attribute implicit preference "v1 ≺ … ≺ vx ≺ *".
+	Implicit = order.Implicit
+	// Preference assigns an implicit preference to every nominal dimension.
+	Preference = order.Preference
+	// PartialOrder is an explicit strict partial order over a domain.
+	PartialOrder = order.PartialOrder
+
+	// Point is one tuple of numeric and nominal attribute values.
+	Point = data.Point
+	// PointID identifies a point within its dataset.
+	PointID = data.PointID
+	// NumericAttr describes a numeric attribute.
+	NumericAttr = data.NumericAttr
+	// Schema describes a dataset's attributes.
+	Schema = data.Schema
+	// Dataset is an immutable point collection.
+	Dataset = data.Dataset
+
+	// Engine answers implicit-preference skyline queries.
+	Engine = core.Engine
+	// TreeOptions configures IPO-tree construction.
+	TreeOptions = ipotree.Options
+	// TreeStats reports IPO-tree construction measurements.
+	TreeStats = ipotree.Stats
+	// TreeAdvisor recommends which values to materialize from an observed
+	// query workload (§3.1).
+	TreeAdvisor = ipotree.Advisor
+	// MaintainableEngine is the concrete Adaptive SFS engine with progressive
+	// iteration and incremental maintenance.
+	MaintainableEngine = adaptive.Engine
+	// Comparator evaluates dominance under a fixed preference.
+	Comparator = dominance.Comparator
+)
+
+// Constructors and helpers re-exported for the public API.
+var (
+	// NewDomain builds a named nominal domain from value names.
+	NewDomain = order.NewDomain
+	// NewImplicit builds an implicit preference over a domain cardinality.
+	NewImplicit = order.NewImplicit
+	// NewPreference builds a preference from per-dimension implicit orders.
+	NewPreference = order.NewPreference
+
+	// NewSchema validates and builds a schema.
+	NewSchema = data.NewSchema
+	// NewDataset validates points against a schema.
+	NewDataset = data.New
+	// ParsePreference parses "Attr: a<b<*; Other: c<*" against a schema.
+	ParsePreference = data.ParsePreference
+	// FormatPreference renders a preference with attribute and value names.
+	FormatPreference = data.FormatPreference
+	// ReadCSV loads a dataset from CSV under a schema.
+	ReadCSV = data.ReadCSV
+	// WriteCSV writes a dataset as CSV.
+	WriteCSV = data.WriteCSV
+	// ReadSchemaJSON parses a JSON schema description.
+	ReadSchemaJSON = data.ReadSchemaJSON
+	// WriteSchemaJSON renders a schema as JSON.
+	WriteSchemaJSON = data.WriteSchemaJSON
+
+	// NewIPOTree builds the IPO-Tree engine (§3).
+	NewIPOTree = core.NewIPOTree
+	// NewAdaptiveSFS builds the Adaptive SFS engine (§4).
+	NewAdaptiveSFS = core.NewAdaptiveSFS
+	// NewSFSD wraps a dataset as the no-preprocessing baseline.
+	NewSFSD = core.NewSFSD
+	// NewHybrid builds the §5.3 hybrid engine.
+	NewHybrid = core.NewHybrid
+	// NewMaintainable builds the concrete Adaptive SFS engine, exposing
+	// progressive iteration (QueryIter) and Insert/Delete maintenance.
+	NewMaintainable = adaptive.New
+
+	// NewComparator builds a dominance comparator for a preference.
+	NewComparator = dominance.NewComparator
+	// NewTreeAdvisor creates a workload advisor for the given cardinalities.
+	NewTreeAdvisor = ipotree.NewAdvisor
+
+	// NurseryDataset regenerates the UCI Nursery data set of §5.2.
+	NurseryDataset = nursery.Dataset
+	// GenerateDataset builds a synthetic dataset (§5.1 workloads).
+	GenerateDataset = gen.Dataset
+	// GenerateQueries builds a random implicit-preference workload.
+	GenerateQueries = gen.Queries
+	// FrequentTemplate builds the §5 default template (most frequent value
+	// preferred per nominal dimension).
+	FrequentTemplate = gen.FrequentTemplate
+
+	// Table1 and Table3 are the paper's running-example datasets.
+	Table1 = data.Table1
+	Table3 = data.Table3
+)
+
+// GenConfig configures synthetic dataset generation.
+type GenConfig = gen.Config
+
+// QueryConfig configures query workload generation.
+type QueryConfig = gen.QueryConfig
+
+// Dataset generation kinds (numeric correlation structure).
+const (
+	Independent    = gen.Independent
+	Correlated     = gen.Correlated
+	AntiCorrelated = gen.AntiCorrelated
+)
+
+// Query workload value modes.
+const (
+	UniformValues = gen.Uniform
+	ZipfianValues = gen.Zipfian
+	TopKValues    = gen.TopK
+)

@@ -1,0 +1,182 @@
+package prefsky_test
+
+import (
+	"reflect"
+	"testing"
+
+	"prefsky"
+)
+
+// TestPublicAPIEndToEnd drives the whole paper example through the public
+// surface only: build the Table 1 data from scratch, run every engine, and
+// check the published skylines of Table 2.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	hotels, err := prefsky.NewDomain("Hotel-group", []string{"T", "H", "M"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := prefsky.NewSchema(
+		[]prefsky.NumericAttr{{Name: "Price"}, {Name: "Hotel-class", HigherIsBetter: true}},
+		[]*prefsky.Domain{hotels},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustVal := func(name string) prefsky.Value {
+		v, ok := hotels.Lookup(name)
+		if !ok {
+			t.Fatalf("value %q missing", name)
+		}
+		return v
+	}
+	rows := []struct {
+		price, class float64
+		hotel        string
+	}{
+		{1600, 4, "T"}, {2400, 1, "T"}, {3000, 5, "H"},
+		{3600, 4, "H"}, {2400, 2, "M"}, {3000, 3, "M"},
+	}
+	points := make([]prefsky.Point, len(rows))
+	for i, r := range rows {
+		points[i] = prefsky.Point{
+			Num: []float64{r.price, -r.class}, // HigherIsBetter is stored negated
+			Nom: []prefsky.Value{mustVal(r.hotel)},
+		}
+	}
+	ds, err := prefsky.NewDataset(schema, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tmpl := schema.EmptyPreference()
+	ipo, err := prefsky.NewIPOTree(ds, tmpl, prefsky.TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfsa, err := prefsky.NewAdaptiveSFS(ds, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfsd, err := prefsky.NewSFSD(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	table2 := []struct {
+		customer, pref, want string
+	}{
+		{"Alice", "Hotel-group: T<M<*", "ac"},
+		{"Bob", "", "acef"},
+		{"Chris", "Hotel-group: H<M<*", "ace"},
+		{"David", "Hotel-group: H<M<T", "ace"},
+		{"Emily", "Hotel-group: H<T<*", "ac"},
+		{"Fred", "Hotel-group: M<*", "acef"},
+	}
+	for _, c := range table2 {
+		pref, err := prefsky.ParsePreference(schema, c.pref)
+		if err != nil {
+			t.Fatalf("%s: %v", c.customer, err)
+		}
+		want := make([]prefsky.PointID, len(c.want))
+		for i, r := range c.want {
+			want[i] = prefsky.PointID(r - 'a')
+		}
+		for _, e := range []prefsky.Engine{ipo, sfsa, sfsd} {
+			got, err := e.Skyline(pref)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", c.customer, e.Name(), err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s = %v, want %v", c.customer, e.Name(), got, want)
+			}
+		}
+	}
+}
+
+func TestPublicFixtures(t *testing.T) {
+	if prefsky.Table1().N() != 6 || prefsky.Table3().N() != 6 {
+		t.Error("fixtures wrong size")
+	}
+	nur, err := prefsky.NurseryDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nur.N() != 12960 {
+		t.Errorf("Nursery N = %d", nur.N())
+	}
+}
+
+func TestPublicGeneration(t *testing.T) {
+	ds, err := prefsky.GenerateDataset(prefsky.GenConfig{
+		N: 100, NumDims: 2, NomDims: 1, Cardinality: 5, Theta: 1,
+		Kind: prefsky.AntiCorrelated, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl, err := prefsky.FrequentTemplate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := prefsky.GenerateQueries(ds.Schema().Cardinalities(), tmpl, prefsky.QueryConfig{
+		Order: 2, Count: 4, Mode: prefsky.ZipfianValues, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 4 {
+		t.Fatalf("generated %d queries", len(qs))
+	}
+	e, err := prefsky.NewHybrid(ds, tmpl, prefsky.TreeOptions{TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfsd, _ := prefsky.NewSFSD(ds)
+	for _, q := range qs {
+		got, err := e.Skyline(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sfsd.Skyline(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("hybrid disagrees with SFS-D on %v", q)
+		}
+	}
+}
+
+func TestMaintainableEngine(t *testing.T) {
+	ds := prefsky.Table1()
+	e, err := prefsky.NewMaintainable(ds, ds.Schema().EmptyPreference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Progressive iteration through the public alias.
+	pref, _ := prefsky.ParsePreference(ds.Schema(), "Hotel-group: T<M<*")
+	it, err := e.QueryIter(pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("progressive scan yielded %d points, want 2", n)
+	}
+	// Maintenance through the public alias.
+	if _, err := e.Insert([]float64{100, -5}, []prefsky.Value{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 6 {
+		t.Errorf("N after insert+delete = %d, want 6", e.N())
+	}
+}

@@ -1,0 +1,330 @@
+// Theorem-level property tests: the paper's formal claims checked directly on
+// random data through the public API and the reference comparators, rather
+// than through any particular engine.
+package prefsky_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"prefsky"
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/order"
+	"prefsky/internal/skyline"
+)
+
+// randomTheoremFixture builds a random mixed dataset plus RNG.
+func randomTheoremFixture(seed int64) (*prefsky.Dataset, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	numDims := 1 + rng.Intn(2)
+	nomDims := 1 + rng.Intn(2)
+	numeric := make([]prefsky.NumericAttr, numDims)
+	for i := range numeric {
+		numeric[i] = prefsky.NumericAttr{Name: string(rune('A' + i))}
+	}
+	nominal := make([]*prefsky.Domain, nomDims)
+	cards := make([]int, nomDims)
+	for i := range nominal {
+		cards[i] = 3 + rng.Intn(3)
+		d, _ := order.NewAnonymousDomain(string(rune('N'+i)), cards[i])
+		nominal[i] = d
+	}
+	schema, _ := prefsky.NewSchema(numeric, nominal)
+	pts := make([]prefsky.Point, 10+rng.Intn(50))
+	for i := range pts {
+		num := make([]float64, numDims)
+		for d := range num {
+			num[d] = float64(rng.Intn(6))
+		}
+		nom := make([]prefsky.Value, nomDims)
+		for d := range nom {
+			nom[d] = prefsky.Value(rng.Intn(cards[d]))
+		}
+		pts[i] = prefsky.Point{Num: num, Nom: nom}
+	}
+	ds, _ := prefsky.NewDataset(schema, pts)
+	return ds, rng
+}
+
+func randomImplicitOn(rng *rand.Rand, card int) *prefsky.Implicit {
+	x := rng.Intn(card + 1)
+	entries := make([]prefsky.Value, x)
+	for i, v := range rng.Perm(card)[:x] {
+		entries[i] = prefsky.Value(v)
+	}
+	ip, _ := prefsky.NewImplicit(card, entries...)
+	return ip
+}
+
+func skylineOf(ds *prefsky.Dataset, pref *prefsky.Preference) []prefsky.PointID {
+	cmp, err := prefsky.NewComparator(ds.Schema(), pref)
+	if err != nil {
+		panic(err)
+	}
+	return skyline.SFS(ds.Points(), cmp)
+}
+
+// TestProperty1Refinement: R ⊆ R′ iff Ri ⊆ R′i for every dimension — the
+// dimension-wise refinement characterization.
+func TestProperty1Refinement(t *testing.T) {
+	f := func(seed int64) bool {
+		ds, rng := randomTheoremFixture(seed)
+		schema := ds.Schema()
+		nom := schema.NomDims()
+		a := make([]*prefsky.Implicit, nom)
+		b := make([]*prefsky.Implicit, nom)
+		for d := 0; d < nom; d++ {
+			a[d] = randomImplicitOn(rng, schema.Nominal[d].Cardinality())
+			b[d] = randomImplicitOn(rng, schema.Nominal[d].Cardinality())
+		}
+		pa, _ := prefsky.NewPreference(a...)
+		pb, _ := prefsky.NewPreference(b...)
+		// Dimension-wise refinement of the materialized partial orders
+		// (the right-hand side of Property 1)…
+		perDim := true
+		for d := 0; d < nom; d++ {
+			if !pa.Dim(d).PartialOrder().Refines(pb.Dim(d).PartialOrder()) {
+				perDim = false
+				break
+			}
+		}
+		// …must agree with the implicit-level Refines used throughout the
+		// engines (prefix containment with the x=k boundary case).
+		return pa.Refines(pb) == perDim
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTheorem1Monotonicity: if p ∉ SKY(R), then p ∉ SKY(R′) for any
+// refinement R′ ⊇ R — equivalently SKY(R′) ⊆ SKY(R).
+func TestTheorem1Monotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		ds, rng := randomTheoremFixture(seed)
+		schema := ds.Schema()
+		base := make([]*prefsky.Implicit, schema.NomDims())
+		refined := make([]*prefsky.Implicit, schema.NomDims())
+		for d := 0; d < schema.NomDims(); d++ {
+			card := schema.Nominal[d].Cardinality()
+			full := randomImplicitOn(rng, card)
+			base[d] = full.Prefix(rng.Intn(full.Order() + 1))
+			refined[d] = full
+		}
+		pBase, _ := prefsky.NewPreference(base...)
+		pRef, _ := prefsky.NewPreference(refined...)
+		if !pRef.Refines(pBase) {
+			return false
+		}
+		skyBase := skylineOf(ds, pBase)
+		inBase := make(map[prefsky.PointID]bool, len(skyBase))
+		for _, id := range skyBase {
+			inBase[id] = true
+		}
+		for _, id := range skylineOf(ds, pRef) {
+			if !inBase[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTheorem2MergingProperty checks the merging equation exactly as stated:
+// for R̃′ and R̃′′ differing only at dimension i with R̃′_i = v1…v_{x−1}≺* and
+// R̃′′_i = vx≺*,
+//
+//	SKY(R̃′′′) = (SKY(R̃′) ∩ SKY(R̃′′)) ∪ PSKY(R̃′)
+//
+// where R̃′′′ extends R̃′_i with vx and PSKY(R̃′) holds the skyline points of
+// R̃′ with dimension-i values among v1…v_{x−1}.
+func TestTheorem2MergingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ds, rng := randomTheoremFixture(seed)
+		schema := ds.Schema()
+		nom := schema.NomDims()
+		i := rng.Intn(nom)
+		cardI := schema.Nominal[i].Cardinality()
+
+		// Shared preferences on the other dimensions.
+		dims := make([]*prefsky.Implicit, nom)
+		for d := 0; d < nom; d++ {
+			if d == i {
+				continue
+			}
+			dims[d] = randomImplicitOn(rng, schema.Nominal[d].Cardinality())
+		}
+		// Dimension i: x ≥ 2 values v1..vx.
+		x := 2 + rng.Intn(cardI-1)
+		vals := make([]prefsky.Value, x)
+		for j, v := range rng.Perm(cardI)[:x] {
+			vals[j] = prefsky.Value(v)
+		}
+		prefixIP, _ := prefsky.NewImplicit(cardI, vals[:x-1]...)
+		lastIP, _ := prefsky.NewImplicit(cardI, vals[x-1])
+		fullIP, _ := prefsky.NewImplicit(cardI, vals...)
+
+		mk := func(ip *prefsky.Implicit) *prefsky.Preference {
+			out := make([]*prefsky.Implicit, nom)
+			copy(out, dims)
+			out[i] = ip
+			p, _ := prefsky.NewPreference(out...)
+			return p
+		}
+		skyPrefix := skylineOf(ds, mk(prefixIP)) // SKY(R̃′)
+		skyLast := skylineOf(ds, mk(lastIP))     // SKY(R̃′′)
+		skyFull := skylineOf(ds, mk(fullIP))     // SKY(R̃′′′)
+
+		inLast := make(map[prefsky.PointID]bool, len(skyLast))
+		for _, id := range skyLast {
+			inLast[id] = true
+		}
+		inPrefixVals := make(map[prefsky.Value]bool, x-1)
+		for _, v := range vals[:x-1] {
+			inPrefixVals[v] = true
+		}
+		merged := make(map[prefsky.PointID]bool)
+		for _, id := range skyPrefix {
+			p := ds.Point(id)
+			if inLast[id] || inPrefixVals[p.Nom[i]] {
+				merged[id] = true
+			}
+		}
+		if len(merged) != len(skyFull) {
+			return false
+		}
+		for _, id := range skyFull {
+			if !merged[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDefinition2Equivalence: dominance under the rank-based implicit
+// comparator equals dominance under the materialized partial order P(R̃) —
+// the two readings of Definition 2 give the same skyline.
+func TestDefinition2Equivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		ds, rng := randomTheoremFixture(seed)
+		schema := ds.Schema()
+		dims := make([]*prefsky.Implicit, schema.NomDims())
+		for d := 0; d < schema.NomDims(); d++ {
+			dims[d] = randomImplicitOn(rng, schema.Nominal[d].Cardinality())
+		}
+		pref, _ := prefsky.NewPreference(dims...)
+		po, err := dominance.FromPreference(schema, pref)
+		if err != nil {
+			return false
+		}
+		viaRanks := skylineOf(ds, pref)
+		viaOrders := skyline.Naive(ds.Points(), po)
+		return reflect.DeepEqual(viaRanks, viaOrders)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConflictFreeSymmetry: Definition 1 is symmetric.
+func TestConflictFreeSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		_, rng := randomTheoremFixture(seed)
+		card := 3 + rng.Intn(4)
+		a := randomImplicitOn(rng, card).PartialOrder()
+		b := randomImplicitOn(rng, card).PartialOrder()
+		return a.ConflictFree(b) == b.ConflictFree(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnginesAgreeEverywhere is the capstone: for random data, templates and
+// refining queries, all five implementations (IPO-tree, its bitmap form,
+// Adaptive SFS, SFS-D, and the hybrid) return identical skylines.
+func TestEnginesAgreeEverywhere(t *testing.T) {
+	f := func(seed int64) bool {
+		ds, rng := randomTheoremFixture(seed)
+		schema := ds.Schema()
+		// Random first-order-or-empty template.
+		dims := make([]*prefsky.Implicit, schema.NomDims())
+		for d := 0; d < schema.NomDims(); d++ {
+			card := schema.Nominal[d].Cardinality()
+			if rng.Intn(2) == 0 {
+				dims[d], _ = prefsky.NewImplicit(card)
+			} else {
+				dims[d], _ = prefsky.NewImplicit(card, prefsky.Value(rng.Intn(card)))
+			}
+		}
+		tmpl, _ := prefsky.NewPreference(dims...)
+
+		ipo, err := prefsky.NewIPOTree(ds, tmpl, prefsky.TreeOptions{})
+		if err != nil {
+			return false
+		}
+		bitmap, err := prefsky.NewIPOTree(ds, tmpl, prefsky.TreeOptions{UseBitmap: true})
+		if err != nil {
+			return false
+		}
+		sfsa, err := prefsky.NewAdaptiveSFS(ds, tmpl)
+		if err != nil {
+			return false
+		}
+		sfsd, err := prefsky.NewSFSD(ds)
+		if err != nil {
+			return false
+		}
+		hyb, err := prefsky.NewHybrid(ds, tmpl, prefsky.TreeOptions{TopK: 2})
+		if err != nil {
+			return false
+		}
+		engines := []prefsky.Engine{ipo, bitmap, sfsa, sfsd, hyb}
+
+		for trial := 0; trial < 4; trial++ {
+			qdims := make([]*prefsky.Implicit, schema.NomDims())
+			for d := 0; d < schema.NomDims(); d++ {
+				card := schema.Nominal[d].Cardinality()
+				entries := tmpl.Dim(d).Entries()
+				var rest []prefsky.Value
+				for v := prefsky.Value(0); int(v) < card; v++ {
+					if !tmpl.Dim(d).Contains(v) {
+						rest = append(rest, v)
+					}
+				}
+				rng.Shuffle(len(rest), func(a, b int) { rest[a], rest[b] = rest[b], rest[a] })
+				entries = append(entries, rest[:rng.Intn(len(rest)+1)]...)
+				qdims[d], _ = prefsky.NewImplicit(card, entries...)
+			}
+			pref, _ := prefsky.NewPreference(qdims...)
+			var want []data.PointID
+			for i, e := range engines {
+				got, err := e.Skyline(pref)
+				if err != nil {
+					return false
+				}
+				if i == 0 {
+					want = got
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
