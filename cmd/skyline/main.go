@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"prefsky"
 	"prefsky/internal/data"
@@ -82,17 +83,18 @@ func run(args []string, out io.Writer) error {
 		*algo = "ipo"
 	}
 	var engine prefsky.Engine
-	switch *algo {
-	case "ipo":
+	isIPO := false
+	switch strings.ToLower(strings.TrimSpace(*algo)) {
+	case "ipo", "ipotree", "ipo tree", "ipo-tree":
+		isIPO = true
+	}
+	switch {
+	case isIPO && (*saveIndex != "" || *loadIndex != ""):
 		engine, err = ipoEngine(ds, tmpl, *topK, *saveIndex, *loadIndex)
-	case "sfsa":
-		engine, err = prefsky.NewAdaptiveSFS(ds, tmpl)
-	case "sfsd":
-		engine, err = prefsky.NewSFSD(ds)
-	case "hybrid":
-		engine, err = prefsky.NewHybrid(ds, tmpl, prefsky.TreeOptions{TopK: *topK})
+	case *saveIndex != "":
+		return fmt.Errorf("-save-index requires -algo ipo, got %q", *algo)
 	default:
-		return fmt.Errorf("unknown -algo %q (want ipo, sfsa, sfsd or hybrid)", *algo)
+		engine, err = prefsky.NewEngineByName(*algo, ds, tmpl, prefsky.TreeOptions{TopK: *topK})
 	}
 	if err != nil {
 		return fmt.Errorf("building %s engine: %w", *algo, err)

@@ -1,0 +1,160 @@
+// Command skylined serves implicit-preference skyline queries over HTTP: the
+// concurrent front end to the paper's engines, built on internal/service
+// (engine registry + canonical-preference result cache + bounded worker
+// pool).
+//
+// Usage:
+//
+//	skylined -addr :8080 -demo
+//	skylined -addr :8080 -dataset hotels=schema.json,data.csv -engine hybrid -topk 10
+//
+// Endpoints:
+//
+//	GET  /healthz      liveness
+//	GET  /v1/datasets  hosted datasets and per-dataset counters
+//	GET  /v1/stats     cache + executor counters
+//	POST /v1/query     {"dataset":"flights","preference":"Airline: Gonna<*"}
+//	POST /v1/batch     {"dataset":"flights","preferences":["...", "..."]}
+//
+// Preferences use the library's string syntax ("Attr: a<b<*; Other: c<*").
+// Canonically equal preferences — e.g. a total order and its forced-last
+// prefix — share result-cache entries, so skewed traffic is served hot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"prefsky"
+	"prefsky/internal/data"
+	"prefsky/internal/gen"
+	"prefsky/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "skylined:", err)
+		os.Exit(1)
+	}
+}
+
+// datasetFlags collects repeated -dataset name=schema.json,data.csv values.
+type datasetFlags []string
+
+func (d *datasetFlags) String() string     { return strings.Join(*d, " ") }
+func (d *datasetFlags) Set(v string) error { *d = append(*d, v); return nil }
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("skylined", flag.ContinueOnError)
+	var datasets datasetFlags
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		engine   = fs.String("engine", "sfsa", "engine per dataset: ipo, sfsa, sfsd or hybrid")
+		topK     = fs.Int("topk", 0, "materialize only the K most frequent values (ipo/hybrid)")
+		tmplSpec = fs.String("template", "", "template preference shared by all users")
+		cacheCap = fs.Int("cache", 4096, "result cache capacity in entries (negative disables)")
+		shards   = fs.Int("cache-shards", 16, "result cache shard count")
+		workers  = fs.Int("workers", 0, "max concurrent engine queries (0 = GOMAXPROCS)")
+		demo     = fs.Bool("demo", false, "host the built-in flights demo dataset")
+	)
+	fs.Var(&datasets, "dataset", "name=schema.json,data.csv (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(datasets) == 0 && !*demo {
+		return fmt.Errorf("no datasets: pass -dataset name=schema.json,data.csv or -demo")
+	}
+
+	svc := service.New(service.Options{
+		CacheCapacity: *cacheCap,
+		CacheShards:   *shards,
+		Workers:       *workers,
+	})
+	cfgFor := func(schema *data.Schema) (service.EngineConfig, error) {
+		tmpl, err := data.ParsePreference(schema, *tmplSpec)
+		if err != nil {
+			return service.EngineConfig{}, fmt.Errorf("parsing template: %w", err)
+		}
+		return service.EngineConfig{
+			Kind:     *engine,
+			Template: tmpl,
+			Tree:     prefsky.TreeOptions{TopK: *topK},
+		}, nil
+	}
+
+	if *demo {
+		ds, err := demoFlights()
+		if err != nil {
+			return err
+		}
+		cfg, err := cfgFor(ds.Schema())
+		if err != nil {
+			return err
+		}
+		if err := svc.AddDataset("flights", ds, cfg); err != nil {
+			return err
+		}
+	}
+	for _, spec := range datasets {
+		name, ds, err := loadDataset(spec)
+		if err != nil {
+			return err
+		}
+		cfg, err := cfgFor(ds.Schema())
+		if err != nil {
+			return fmt.Errorf("dataset %s: %w", name, err)
+		}
+		if err := svc.AddDataset(name, ds, cfg); err != nil {
+			return err
+		}
+	}
+
+	for _, info := range svc.Datasets() {
+		log.Printf("dataset %q: %d points, engine %s (%d bytes)",
+			info.Name, info.Points, info.Engine, info.EngineBytes)
+	}
+	log.Printf("skylined listening on %s", *addr)
+	return http.ListenAndServe(*addr, newServer(svc))
+}
+
+// loadDataset parses one -dataset spec and loads the CSV under the schema.
+func loadDataset(spec string) (string, *data.Dataset, error) {
+	name, paths, ok := strings.Cut(spec, "=")
+	if !ok {
+		return "", nil, fmt.Errorf("-dataset %q: want name=schema.json,data.csv", spec)
+	}
+	schemaPath, csvPath, ok := strings.Cut(paths, ",")
+	if !ok {
+		return "", nil, fmt.Errorf("-dataset %q: want name=schema.json,data.csv", spec)
+	}
+	schemaFile, err := os.Open(schemaPath)
+	if err != nil {
+		return "", nil, err
+	}
+	defer schemaFile.Close()
+	schema, err := data.ReadSchemaJSON(schemaFile)
+	if err != nil {
+		return "", nil, fmt.Errorf("dataset %s: %w", name, err)
+	}
+	csvFile, err := os.Open(csvPath)
+	if err != nil {
+		return "", nil, err
+	}
+	defer csvFile.Close()
+	ds, err := data.ReadCSV(csvFile, schema)
+	if err != nil {
+		return "", nil, fmt.Errorf("dataset %s: %w", name, err)
+	}
+	return name, ds, nil
+}
+
+// demoFlights builds the shared flight-booking demo dataset: 3000 synthetic
+// flights over nominal Airline and Transit attributes (fixed seed, so every
+// run serves the same data examples/flights indexes).
+func demoFlights() (*data.Dataset, error) {
+	return gen.Flights(3000, 7)
+}

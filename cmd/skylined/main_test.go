@@ -1,0 +1,236 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"prefsky"
+	"prefsky/internal/data"
+	"prefsky/internal/service"
+)
+
+func demoServer(t *testing.T) (http.Handler, *data.Dataset) {
+	t.Helper()
+	ds, err := demoFlights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Options{})
+	err = svc.AddDataset("flights", ds, service.EngineConfig{Kind: "sfsa"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(svc), ds
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil {
+		if err := json.NewDecoder(rec.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, path, rec.Body.String(), err)
+		}
+	}
+	return rec.Code
+}
+
+func TestHealthzAndDatasets(t *testing.T) {
+	h, ds := demoServer(t)
+	var health map[string]string
+	if code := doJSON(t, h, "GET", "/healthz", nil, &health); code != 200 {
+		t.Fatalf("healthz: %d", code)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("healthz = %v", health)
+	}
+	var resp struct {
+		Datasets []service.DatasetInfo `json:"datasets"`
+	}
+	if code := doJSON(t, h, "GET", "/v1/datasets", nil, &resp); code != 200 {
+		t.Fatalf("datasets: %d", code)
+	}
+	if len(resp.Datasets) != 1 || resp.Datasets[0].Name != "flights" || resp.Datasets[0].Points != ds.N() {
+		t.Errorf("datasets = %+v", resp.Datasets)
+	}
+}
+
+func TestQueryMatchesLibrary(t *testing.T) {
+	h, ds := demoServer(t)
+	const spec = "Airline: Gonna<Polar<*; Transit: AMS<FRA<*"
+	pref, err := prefsky.ParsePreference(ds.Schema(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := prefsky.NewSFSD(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := baseline.Skyline(pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var resp queryResponse
+	code := doJSON(t, h, "POST", "/v1/query",
+		queryRequest{Dataset: "flights", Preference: spec, IncludePoints: true}, &resp)
+	if code != 200 {
+		t.Fatalf("query: %d", code)
+	}
+	if !reflect.DeepEqual(resp.IDs, want) {
+		t.Errorf("server ids = %v, library ids = %v", resp.IDs, want)
+	}
+	if resp.Count != len(want) || resp.Cached {
+		t.Errorf("count=%d cached=%v, want %d false", resp.Count, resp.Cached, len(want))
+	}
+	if len(resp.Points) != len(want) {
+		t.Fatalf("points = %d, want %d", len(resp.Points), len(want))
+	}
+	// Points carry named, un-negated attribute values.
+	p0 := resp.Points[0]
+	if p0.ID != want[0] || p0.Numeric["Fare"] <= 0 || p0.Nominal["Airline"] == "" {
+		t.Errorf("rendered point = %+v", p0)
+	}
+}
+
+func TestCanonicallyEqualQueriesHitCache(t *testing.T) {
+	h, _ := demoServer(t)
+	// A total order on Transit vs. its forced-last prefix: syntactically
+	// different, canonically equal. The airline dimension is identical.
+	specA := "Airline: Gonna<*; Transit: AMS<FRA<IST<DXB<KEF<JFK"
+	specB := "Airline: Gonna<*; Transit: AMS<FRA<IST<DXB<KEF<*"
+
+	var a, bResp queryResponse
+	if code := doJSON(t, h, "POST", "/v1/query", queryRequest{Dataset: "flights", Preference: specA}, &a); code != 200 {
+		t.Fatalf("query A: %d", code)
+	}
+	if a.Cached {
+		t.Error("first query reported cached")
+	}
+	if code := doJSON(t, h, "POST", "/v1/query", queryRequest{Dataset: "flights", Preference: specB}, &bResp); code != 200 {
+		t.Fatalf("query B: %d", code)
+	}
+	if !bResp.Cached {
+		t.Error("canonically equal query missed the cache")
+	}
+	if !reflect.DeepEqual(a.IDs, bResp.IDs) {
+		t.Errorf("ids diverged: %v vs %v", a.IDs, bResp.IDs)
+	}
+	if a.Canonical != bResp.Canonical {
+		t.Errorf("canonical forms differ: %q vs %q", a.Canonical, bResp.Canonical)
+	}
+
+	var st service.Stats
+	if code := doJSON(t, h, "GET", "/v1/stats", nil, &st); code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	if st.Cache.Hits == 0 {
+		t.Errorf("stats shows no cache hits: %+v", st.Cache)
+	}
+	if st.Queries != 2 {
+		t.Errorf("Queries = %d, want 2", st.Queries)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	h, _ := demoServer(t)
+	var resp batchResponse
+	code := doJSON(t, h, "POST", "/v1/batch", batchRequest{
+		Dataset: "flights",
+		Preferences: []string{
+			"Airline: Gonna<*",
+			"Airline: Nonsense<*", // parse error: positional, not fatal
+			"Airline: Gonna<*",    // duplicate: canonical twin of [0]
+		},
+	}, &resp)
+	if code != 200 {
+		t.Fatalf("batch: %d", code)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(resp.Results))
+	}
+	if resp.Results[0].Error != "" || resp.Results[0].Count == 0 {
+		t.Errorf("member 0 = %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error == "" {
+		t.Error("bad preference produced no error")
+	}
+	if !reflect.DeepEqual(resp.Results[0].IDs, resp.Results[2].IDs) {
+		t.Errorf("duplicate members disagree: %v vs %v", resp.Results[0].IDs, resp.Results[2].IDs)
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	h, _ := demoServer(t)
+	var e errorResponse
+	if code := doJSON(t, h, "POST", "/v1/query", queryRequest{Dataset: "nope", Preference: ""}, &e); code != 404 {
+		t.Errorf("unknown dataset: %d, want 404", code)
+	}
+	if code := doJSON(t, h, "POST", "/v1/query", queryRequest{Dataset: "flights", Preference: "Bogus: x<*"}, &e); code != 400 {
+		t.Errorf("bad preference: %d, want 400", code)
+	}
+	req := httptest.NewRequest("POST", "/v1/query", bytes.NewBufferString("{not json"))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 400 {
+		t.Errorf("malformed body: %d, want 400", rec.Code)
+	}
+}
+
+func TestLoadDatasetFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	schemaPath := filepath.Join(dir, "schema.json")
+	csvPath := filepath.Join(dir, "data.csv")
+	schema := `{"numeric":[{"name":"Price"},{"name":"Hotel-class","higherIsBetter":true}],
+	            "nominal":[{"name":"Hotel-group","values":["T","H","M"]}]}`
+	csv := "Price,Hotel-class,Hotel-group\n1600,4,T\n2400,1,T\n3000,5,H\n3600,4,H\n2400,2,M\n3000,3,M\n"
+	if err := os.WriteFile(schemaPath, []byte(schema), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	name, ds, err := loadDataset("hotels=" + schemaPath + "," + csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "hotels" || ds.N() != 6 {
+		t.Fatalf("loaded %q with %d points", name, ds.N())
+	}
+
+	svc := service.New(service.Options{})
+	if err := svc.AddDataset(name, ds, service.EngineConfig{Kind: "hybrid"}); err != nil {
+		t.Fatal(err)
+	}
+	h := newServer(svc)
+	var resp queryResponse
+	code := doJSON(t, h, "POST", "/v1/query",
+		queryRequest{Dataset: "hotels", Preference: "Hotel-group: T<M<*"}, &resp)
+	if code != 200 {
+		t.Fatalf("query: %d", code)
+	}
+	// Table 2 of the paper: Alice's skyline is {a, c} = ids {0, 2}.
+	if !reflect.DeepEqual(resp.IDs, []data.PointID{0, 2}) {
+		t.Errorf("ids = %v, want [0 2]", resp.IDs)
+	}
+
+	for _, bad := range []string{"noequals", "x=onlyschema"} {
+		if _, _, err := loadDataset(bad); err == nil {
+			t.Errorf("loadDataset(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"prefsky/internal/data"
+	"prefsky/internal/order"
+	"prefsky/internal/service"
+)
+
+// server is the HTTP front end over the service facade.
+type server struct {
+	svc *service.Service
+}
+
+// newServer routes the v1 API.
+func newServer(svc *service.Service) http.Handler {
+	s := &server{svc: svc}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	return mux
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, service.ErrUnknownDataset):
+		status = http.StatusNotFound
+	case errors.Is(err, service.ErrNotMaintainable):
+		status = http.StatusConflict
+	default:
+		// Preference parse/validation problems are client errors.
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.svc.Datasets()})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+type queryRequest struct {
+	Dataset    string `json:"dataset"`
+	Preference string `json:"preference"`
+	// IncludePoints adds the matching points' attribute values to the
+	// response alongside their ids.
+	IncludePoints bool `json:"includePoints,omitempty"`
+}
+
+type pointJSON struct {
+	ID      data.PointID       `json:"id"`
+	Numeric map[string]float64 `json:"numeric"`
+	Nominal map[string]string  `json:"nominal"`
+}
+
+type queryResponse struct {
+	Dataset    string         `json:"dataset"`
+	Preference string         `json:"preference"`
+	Canonical  string         `json:"canonical"`
+	IDs        []data.PointID `json:"ids"`
+	Count      int            `json:"count"`
+	Cached     bool           `json:"cached"`
+	Points     []pointJSON    `json:"points,omitempty"`
+}
+
+// parsePref resolves the dataset's schema and parses the preference string
+// against it.
+func (s *server) parsePref(dataset, spec string) (*data.Schema, *order.Preference, error) {
+	schema, err := s.svc.Schema(dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	pref, err := data.ParsePreference(schema, spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parsing preference %q: %w", spec, err)
+	}
+	return schema, pref, nil
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	schema, pref, err := s.parsePref(req.Dataset, req.Preference)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	ids, cached, err := s.svc.Query(req.Dataset, pref)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := queryResponse{
+		Dataset:    req.Dataset,
+		Preference: data.FormatPreference(schema, pref),
+		Canonical:  data.FormatPreference(schema, pref.Canonical()),
+		IDs:        ids,
+		Count:      len(ids),
+		Cached:     cached,
+	}
+	if req.IncludePoints {
+		resp.Points = make([]pointJSON, 0, len(ids))
+		for _, id := range ids {
+			p, err := s.svc.Point(req.Dataset, id)
+			if err != nil {
+				// The point was deleted between query and render; skip it.
+				continue
+			}
+			resp.Points = append(resp.Points, renderPoint(schema, id, p))
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// renderPoint converts a point to named attribute values, un-negating
+// HigherIsBetter numerics (stored negated so smaller is always better).
+func renderPoint(schema *data.Schema, id data.PointID, p data.Point) pointJSON {
+	out := pointJSON{
+		ID:      id,
+		Numeric: make(map[string]float64, len(schema.Numeric)),
+		Nominal: make(map[string]string, len(schema.Nominal)),
+	}
+	for i, a := range schema.Numeric {
+		v := p.Num[i]
+		if a.HigherIsBetter {
+			v = -v
+		}
+		out.Numeric[a.Name] = v
+	}
+	for i, d := range schema.Nominal {
+		out.Nominal[d.Name()] = d.ValueName(p.Nom[i])
+	}
+	return out
+}
+
+type batchRequest struct {
+	Dataset     string   `json:"dataset"`
+	Preferences []string `json:"preferences"`
+}
+
+type batchMember struct {
+	Preference string         `json:"preference"`
+	IDs        []data.PointID `json:"ids,omitempty"`
+	Count      int            `json:"count"`
+	Cached     bool           `json:"cached"`
+	Error      string         `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Dataset string        `json:"dataset"`
+	Results []batchMember `json:"results"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	schema, err := s.svc.Schema(req.Dataset)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Parse everything up front; parse failures are positional errors, and
+	// the parsed members run as one pool batch.
+	prefs := make([]*order.Preference, len(req.Preferences))
+	members := make([]batchMember, len(req.Preferences))
+	for i, spec := range req.Preferences {
+		members[i].Preference = spec
+		p, err := data.ParsePreference(schema, spec)
+		if err != nil {
+			members[i].Error = err.Error()
+			continue
+		}
+		prefs[i] = p
+		members[i].Preference = data.FormatPreference(schema, p)
+	}
+	runnable := make([]*order.Preference, 0, len(prefs))
+	runIdx := make([]int, 0, len(prefs))
+	for i, p := range prefs {
+		if p != nil {
+			runnable = append(runnable, p)
+			runIdx = append(runIdx, i)
+		}
+	}
+	for j, res := range s.svc.Batch(req.Dataset, runnable) {
+		m := &members[runIdx[j]]
+		if res.Err != nil {
+			m.Error = res.Err.Error()
+			continue
+		}
+		m.IDs = res.IDs
+		m.Count = len(res.IDs)
+		m.Cached = res.Cached
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Dataset: req.Dataset, Results: members})
+}

@@ -9,51 +9,19 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"prefsky"
 )
 
 func main() {
-	airlines, err := prefsky.NewDomain("Airline", []string{"Gonna", "Redish", "Wings", "Polar", "Atlas"})
+	// The same demo dataset cmd/skylined -demo serves: 3000 synthetic
+	// flights with nominal Airline and Transit attributes.
+	ds, err := prefsky.FlightsDataset(3000, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
-	transits, err := prefsky.NewDomain("Transit", []string{"FRA", "AMS", "IST", "DXB", "KEF", "JFK"})
-	if err != nil {
-		log.Fatal(err)
-	}
-	schema, err := prefsky.NewSchema(
-		[]prefsky.NumericAttr{{Name: "Fare"}, {Name: "Hours"}, {Name: "Stops"}},
-		[]*prefsky.Domain{airlines, transits},
-	)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	rng := rand.New(rand.NewSource(7))
-	mkFlight := func() prefsky.Point {
-		stops := float64(rng.Intn(3))
-		return prefsky.Point{
-			Num: []float64{
-				180 + 1200*rng.Float64(),
-				8 + 20*rng.Float64() + 4*stops,
-				stops,
-			},
-			Nom: []prefsky.Value{
-				prefsky.Value(rng.Intn(airlines.Cardinality())),
-				prefsky.Value(rng.Intn(transits.Cardinality())),
-			},
-		}
-	}
-	points := make([]prefsky.Point, 3000)
-	for i := range points {
-		points[i] = mkFlight()
-	}
-	ds, err := prefsky.NewDataset(schema, points)
-	if err != nil {
-		log.Fatal(err)
-	}
+	schema := ds.Schema()
+	airlines, transits := schema.Nominal[0], schema.Nominal[1]
 
 	// The maintainable engine exposes QueryIter and Insert/Delete.
 	engine, err := prefsky.NewMaintainable(ds, schema.EmptyPreference())

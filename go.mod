@@ -1,0 +1,3 @@
+module prefsky
+
+go 1.24

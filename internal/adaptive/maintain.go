@@ -110,6 +110,15 @@ func (e *Engine) N() int {
 	return n
 }
 
+// Point returns the live point with the given id. Ids of deleted points are
+// an error: they may be reported by past queries but no longer have data.
+func (e *Engine) Point(id data.PointID) (data.Point, error) {
+	if int(id) < 0 || int(id) >= len(e.points) || !e.alive[id] {
+		return data.Point{}, fmt.Errorf("adaptive: no live point %d", id)
+	}
+	return e.points[id], nil
+}
+
 // livePoints returns the current dataset contents (test support).
 func (e *Engine) livePoints() []data.Point {
 	out := make([]data.Point, 0, len(e.points))

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"prefsky/internal/adaptive"
 	"prefsky/internal/data"
@@ -124,6 +125,46 @@ func NewHybrid(ds *data.Dataset, template *order.Preference, treeOpts ipotree.Op
 		return nil, err
 	}
 	return &hybridEngine{e: e}, nil
+}
+
+// Kinds lists the engine names NewByName accepts, in the paper's order.
+func Kinds() []string { return []string{"ipo", "sfsa", "sfsd", "hybrid"} }
+
+// NewByName builds an engine from its configuration name, the selector used
+// by the CLIs and the service registry. Accepted kinds (case-insensitive,
+// with the §5 labels as synonyms):
+//
+//	ipo, ipotree, "ipo tree"  → NewIPOTree
+//	sfsa, sfs-a               → NewAdaptiveSFS
+//	sfsd, sfs-d               → NewSFSD
+//	hybrid                    → NewHybrid
+//
+// treeOpts applies to the tree-backed kinds and is ignored otherwise.
+func NewByName(kind string, ds *data.Dataset, template *order.Preference, treeOpts ipotree.Options) (Engine, error) {
+	switch strings.ToLower(strings.TrimSpace(kind)) {
+	case "ipo", "ipotree", "ipo tree", "ipo-tree":
+		return NewIPOTree(ds, template, treeOpts)
+	case "sfsa", "sfs-a":
+		return NewAdaptiveSFS(ds, template)
+	case "sfsd", "sfs-d":
+		return NewSFSD(ds)
+	case "hybrid":
+		return NewHybrid(ds, template, treeOpts)
+	default:
+		return nil, fmt.Errorf("core: unknown engine kind %q (want one of %s)",
+			kind, strings.Join(Kinds(), ", "))
+	}
+}
+
+// Maintainable returns the underlying Adaptive SFS engine when e supports
+// incremental maintenance (Insert/Delete, §4.3), or nil otherwise. Only the
+// SFS-A engine qualifies: maintaining the hybrid's adaptive half without
+// rebuilding its tree would let the two halves disagree.
+func Maintainable(e Engine) *adaptive.Engine {
+	if a, ok := e.(*adaptiveEngine); ok {
+		return a.e
+	}
+	return nil
 }
 
 // Interface conformance checks.

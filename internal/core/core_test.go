@@ -109,3 +109,48 @@ func TestConstructorErrors(t *testing.T) {
 		t.Error("NewHybrid(nil) accepted")
 	}
 }
+
+func TestNewByName(t *testing.T) {
+	ds := data.Table1()
+	tmpl := ds.Schema().EmptyPreference()
+	cases := map[string]string{
+		"ipo":     "IPO Tree",
+		"IPOTree": "IPO Tree",
+		"sfsa":    "SFS-A",
+		"SFS-A":   "SFS-A",
+		"sfsd":    "SFS-D",
+		"sfs-d":   "SFS-D",
+		"hybrid":  "Hybrid",
+	}
+	for kind, want := range cases {
+		e, err := NewByName(kind, ds, tmpl, ipotree.Options{})
+		if err != nil {
+			t.Fatalf("NewByName(%q): %v", kind, err)
+		}
+		if e.Name() != want {
+			t.Errorf("NewByName(%q).Name() = %q, want %q", kind, e.Name(), want)
+		}
+	}
+	if _, err := NewByName("bogus", ds, tmpl, ipotree.Options{}); err == nil {
+		t.Error("NewByName(bogus) succeeded, want error")
+	}
+}
+
+func TestMaintainable(t *testing.T) {
+	ds := data.Table1()
+	tmpl := ds.Schema().EmptyPreference()
+	sfsa, err := NewAdaptiveSFS(ds, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Maintainable(sfsa) == nil {
+		t.Error("Maintainable(SFS-A) = nil, want engine")
+	}
+	sfsd, err := NewSFSD(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Maintainable(sfsd) != nil {
+		t.Error("Maintainable(SFS-D) != nil")
+	}
+}

@@ -1,0 +1,48 @@
+package gen
+
+import (
+	"math/rand"
+
+	"prefsky/internal/data"
+	"prefsky/internal/order"
+)
+
+// Flights generates the flight-booking demo dataset shared by
+// examples/flights and cmd/skylined -demo: numeric Fare/Hours/Stops with
+// nominal Airline and Transit attributes. Generation is deterministic in
+// (n, seed), so every consumer of the same parameters serves identical
+// data.
+func Flights(n int, seed int64) (*data.Dataset, error) {
+	airlines, err := order.NewDomain("Airline", []string{"Gonna", "Redish", "Wings", "Polar", "Atlas"})
+	if err != nil {
+		return nil, err
+	}
+	transits, err := order.NewDomain("Transit", []string{"FRA", "AMS", "IST", "DXB", "KEF", "JFK"})
+	if err != nil {
+		return nil, err
+	}
+	schema, err := data.NewSchema(
+		[]data.NumericAttr{{Name: "Fare"}, {Name: "Hours"}, {Name: "Stops"}},
+		[]*order.Domain{airlines, transits},
+	)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	points := make([]data.Point, n)
+	for i := range points {
+		stops := float64(rng.Intn(3))
+		points[i] = data.Point{
+			Num: []float64{
+				180 + 1200*rng.Float64(),
+				8 + 20*rng.Float64() + 4*stops,
+				stops,
+			},
+			Nom: []order.Value{
+				order.Value(rng.Intn(airlines.Cardinality())),
+				order.Value(rng.Intn(transits.Cardinality())),
+			},
+		}
+	}
+	return data.New(schema, points)
+}

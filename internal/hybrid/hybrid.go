@@ -6,6 +6,7 @@ package hybrid
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"prefsky/internal/adaptive"
 	"prefsky/internal/data"
@@ -20,12 +21,14 @@ type Stats struct {
 }
 
 // Engine combines a (typically top-K restricted) IPO-tree with an Adaptive
-// SFS engine over the same dataset and template. It is not safe for
-// concurrent use (the routing counters are unsynchronized).
+// SFS engine over the same dataset and template. Query is safe for
+// concurrent use: both sub-engines are read-only after construction and the
+// routing counters are atomic.
 type Engine struct {
-	tree  *ipotree.Tree
-	sfsa  *adaptive.Engine
-	stats Stats
+	tree      *ipotree.Tree
+	sfsa      *adaptive.Engine
+	treeHits  atomic.Int64
+	fallbacks atomic.Int64
 }
 
 // New builds both engines. treeOpts.TopK is typically set (e.g. 10, the
@@ -47,18 +50,23 @@ func New(ds *data.Dataset, template *order.Preference, treeOpts ipotree.Options)
 func (e *Engine) Query(pref *order.Preference) ([]data.PointID, error) {
 	ids, err := e.tree.Query(pref)
 	if err == nil {
-		e.stats.TreeHits++
+		e.treeHits.Add(1)
 		return ids, nil
 	}
 	if !errors.Is(err, ipotree.ErrNotMaterialized) {
 		return nil, err
 	}
-	e.stats.Fallbacks++
+	e.fallbacks.Add(1)
 	return e.sfsa.Query(pref)
 }
 
 // Stats returns the routing counters.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	return Stats{
+		TreeHits:  int(e.treeHits.Load()),
+		Fallbacks: int(e.fallbacks.Load()),
+	}
+}
 
 // Tree exposes the underlying IPO-tree (metrics, tests).
 func (e *Engine) Tree() *ipotree.Tree { return e.tree }

@@ -1,0 +1,74 @@
+package order
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Canonical returns the canonical form of the implicit preference: the
+// shortest entry list inducing the same partial order and ranking. The only
+// redundancy an implicit preference admits is listing every domain value —
+// with x = k the last entry is forced (it relates to nothing it wasn't
+// already related to, and ranks k either way), so "a<b<c" over {a,b,c}
+// canonicalizes to "a<b<*". The receiver is returned unchanged when already
+// canonical.
+func (ip *Implicit) Canonical() *Implicit {
+	if len(ip.entries) < ip.card {
+		return ip
+	}
+	return ip.Prefix(ip.card - 1)
+}
+
+// appendKey writes a compact, unambiguous encoding of the canonical form:
+// the domain cardinality, then the listed values in order.
+func (ip *Implicit) appendKey(b *strings.Builder) {
+	c := ip.Canonical()
+	b.WriteString(strconv.Itoa(c.card))
+	b.WriteByte(':')
+	for i, v := range c.entries {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(v)))
+	}
+}
+
+// Canonical returns the dimension-wise canonical form of the preference.
+// Two preferences with equal canonical forms induce identical dominance
+// relations and therefore identical skylines over any dataset — the property
+// a result cache keys on. The receiver is returned unchanged when every
+// dimension is already canonical.
+func (p *Preference) Canonical() *Preference {
+	changed := false
+	for _, d := range p.dims {
+		if d.Canonical() != d {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return p
+	}
+	dims := make([]*Implicit, len(p.dims))
+	for i, d := range p.dims {
+		dims[i] = d.Canonical()
+	}
+	return &Preference{dims: dims}
+}
+
+// CacheKey returns a compact string identifying the preference up to
+// canonical equivalence: two preferences return the same key iff their
+// canonical forms are equal, so syntactically different but equivalent
+// queries (e.g. a total order vs. its forced-last-value prefix) share cache
+// entries. The key embeds each dimension's cardinality, so preferences over
+// different schemas never collide.
+func (p *Preference) CacheKey() string {
+	var b strings.Builder
+	for i, d := range p.dims {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		d.appendKey(&b)
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package order
+
+import "testing"
+
+func TestImplicitCanonical(t *testing.T) {
+	full := MustImplicit(3, 0, 1, 2)    // a<b<c: total order
+	trimmed := MustImplicit(3, 0, 1)   // a<b<*: same relations
+	partial := MustImplicit(3, 2)      // c<*
+	empty := MustImplicit(3)           // *
+	one := MustImplicit(1, Value(0))   // sole value listed
+	oneEmpty := MustImplicit(1)
+
+	if got := full.Canonical(); !got.Equal(trimmed) {
+		t.Errorf("Canonical(a<b<c) = %v, want %v", got, trimmed)
+	}
+	// Canonicalization must preserve the induced order and ranking.
+	for u := Value(0); u < 3; u++ {
+		for v := Value(0); v < 3; v++ {
+			if full.Less(u, v) != full.Canonical().Less(u, v) {
+				t.Errorf("Less(%d,%d) changed under canonicalization", u, v)
+			}
+		}
+		if full.Rank(u) != full.Canonical().Rank(u) {
+			t.Errorf("Rank(%d) changed under canonicalization", u)
+		}
+	}
+	for _, ip := range []*Implicit{trimmed, partial, empty} {
+		if got := ip.Canonical(); got != ip {
+			t.Errorf("Canonical(%v) allocated a copy of an already-canonical preference", ip)
+		}
+	}
+	if got := one.Canonical(); !got.Equal(oneEmpty) {
+		t.Errorf("Canonical over cardinality 1 = %v, want empty", got)
+	}
+}
+
+func TestPreferenceCanonicalAndCacheKey(t *testing.T) {
+	a := MustPreference(MustImplicit(3, 0, 1, 2), MustImplicit(2))
+	b := MustPreference(MustImplicit(3, 0, 1), MustImplicit(2))
+	c := MustPreference(MustImplicit(3, 0, 1), MustImplicit(2, 1))
+
+	if !a.Canonical().Equal(b) {
+		t.Errorf("Canonical(%v) = %v, want %v", a, a.Canonical(), b)
+	}
+	if b.Canonical() != b {
+		t.Error("Canonical allocated a copy of an already-canonical preference")
+	}
+	if a.CacheKey() != b.CacheKey() {
+		t.Errorf("equivalent preferences got distinct keys %q vs %q", a.CacheKey(), b.CacheKey())
+	}
+	if a.CacheKey() == c.CacheKey() {
+		t.Errorf("distinct preferences share key %q", a.CacheKey())
+	}
+
+	// Same entry lists over different cardinalities must not collide.
+	p1 := MustPreference(MustImplicit(3, 0), MustImplicit(3))
+	p2 := MustPreference(MustImplicit(3, 0), MustImplicit(4))
+	if p1.CacheKey() == p2.CacheKey() {
+		t.Errorf("different schemas share key %q", p1.CacheKey())
+	}
+
+	// Dimension boundaries must be unambiguous: ("0,1", "") vs ("0", "1").
+	q1 := MustPreference(MustImplicit(5, 0, 1), MustImplicit(5))
+	q2 := MustPreference(MustImplicit(5, 0), MustImplicit(5, 1))
+	if q1.CacheKey() == q2.CacheKey() {
+		t.Errorf("dimension boundary ambiguity: %q", q1.CacheKey())
+	}
+}

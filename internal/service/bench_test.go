@@ -1,0 +1,129 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"prefsky/internal/data"
+	"prefsky/internal/gen"
+	"prefsky/internal/order"
+)
+
+// Serving benchmarks: the baseline later scaling PRs measure against. Cold
+// queries pay the engine; cached queries measure the canonical-key lookup
+// path; the batch benchmark measures pool throughput under the Zipfian value
+// skew Wong et al. observe on nominal attributes (§5.1's workload).
+
+type benchFixture struct {
+	ds      *data.Dataset
+	tmpl    *order.Preference
+	queries []*order.Preference
+}
+
+var (
+	benchOnce sync.Once
+	benchFix  *benchFixture
+)
+
+func fixture(b *testing.B) *benchFixture {
+	b.Helper()
+	benchOnce.Do(func() {
+		ds, err := gen.Dataset(gen.Config{
+			N: 5000, NumDims: 3, NomDims: 2, Cardinality: 10,
+			Theta: 1, Kind: gen.AntiCorrelated, Seed: 20080101,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tmpl, err := gen.FrequentTemplate(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries, err := gen.Queries(ds.Schema().Cardinalities(), tmpl, gen.QueryConfig{
+			Order: 2, Count: 256, Mode: gen.Zipfian, Theta: 1, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchFix = &benchFixture{ds: ds, tmpl: tmpl, queries: queries}
+	})
+	return benchFix
+}
+
+func (f *benchFixture) service(b *testing.B, kind string, cacheCapacity int) *Service {
+	b.Helper()
+	svc := New(Options{CacheCapacity: cacheCapacity})
+	if err := svc.AddDataset("bench", f.ds, EngineConfig{Kind: kind, Template: f.tmpl}); err != nil {
+		b.Fatal(err)
+	}
+	return svc
+}
+
+// BenchmarkServiceQueryCold measures uncached single-query latency: caching
+// is disabled, so every iteration reaches the engine through the pool.
+func BenchmarkServiceQueryCold(b *testing.B) {
+	for _, kind := range []string{"sfsa", "hybrid"} {
+		b.Run(kind, func(b *testing.B) {
+			f := fixture(b)
+			svc := f.service(b, kind, -1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := svc.Query("bench", f.queries[i%len(f.queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServiceQueryCached measures the hot path: repeated canonical keys
+// served from the sharded LRU.
+func BenchmarkServiceQueryCached(b *testing.B) {
+	for _, kind := range []string{"sfsa", "hybrid"} {
+		b.Run(kind, func(b *testing.B) {
+			f := fixture(b)
+			svc := f.service(b, kind, 1024)
+			for _, q := range f.queries {
+				if _, _, err := svc.Query("bench", q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := svc.Query("bench", f.queries[i%len(f.queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := svc.Stats()
+			b.ReportMetric(float64(st.Cache.Hits)/float64(st.Cache.Hits+st.Cache.Misses), "hit-ratio")
+		})
+	}
+}
+
+// BenchmarkServiceBatch measures batch throughput (preferences/sec) through
+// the worker pool under the Zipfian workload, cache enabled — the serving
+// configuration cmd/skylined runs.
+func BenchmarkServiceBatch(b *testing.B) {
+	for _, size := range []int{8, 64} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			f := fixture(b)
+			svc := f.service(b, "sfsa", 1024)
+			batch := make([]*order.Preference, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					batch[j] = f.queries[(i*size+j)%len(f.queries)]
+				}
+				for _, r := range svc.Batch("bench", batch) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "prefs/sec")
+		})
+	}
+}

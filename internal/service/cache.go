@@ -1,0 +1,182 @@
+package service
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"prefsky/internal/data"
+)
+
+// CacheStats reports result-cache counters since construction.
+type CacheStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+	Entries       int    `json:"entries"`
+	Capacity      int    `json:"capacity"`
+}
+
+// Cache is a sharded LRU result cache keyed by (dataset, canonical
+// preference). Sharding keeps lock contention low under concurrent query
+// traffic: a key is hashed to one shard and only that shard's mutex is taken.
+// Cached id slices are shared, not copied — callers must treat them as
+// immutable.
+type Cache struct {
+	shards []cacheShard
+	seed   maphash.Seed
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	dataset string
+	ids     []data.PointID
+}
+
+// NewCache builds a cache holding at most capacity entries spread over the
+// given number of shards. capacity <= 0 disables caching (every lookup
+// misses); shards <= 0 defaults to 16. Shards with zero residual capacity are
+// rounded up to one entry each so small capacities still cache.
+func NewCache(capacity, shards int) *Cache {
+	if shards <= 0 {
+		shards = 16
+	}
+	if capacity > 0 && shards > capacity {
+		shards = capacity
+	}
+	c := &Cache{shards: make([]cacheShard, shards), seed: maphash.MakeSeed()}
+	if capacity <= 0 {
+		return c
+	}
+	per := capacity / shards
+	extra := capacity % shards
+	for i := range c.shards {
+		c.shards[i].cap = per
+		if i < extra {
+			c.shards[i].cap++
+		}
+		c.shards[i].ll = list.New()
+		c.shards[i].byKey = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *Cache) disabled() bool { return c.shards[0].cap == 0 }
+
+func (c *Cache) shard(key string) *cacheShard {
+	h := maphash.String(c.seed, key)
+	return &c.shards[h%uint64(len(c.shards))]
+}
+
+// Get returns the cached skyline for the key, marking it most recently used.
+func (c *Cache) Get(key string) ([]data.PointID, bool) {
+	if c.disabled() {
+		c.misses.Add(1)
+		return nil, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byKey[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).ids, true
+}
+
+// Put stores the skyline for the key, evicting the shard's least recently
+// used entry when full. dataset tags the entry for InvalidateDataset.
+func (c *Cache) Put(key, dataset string, ids []data.PointID) {
+	if c.disabled() {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byKey[key]; ok {
+		el.Value.(*cacheEntry).ids = ids
+		s.ll.MoveToFront(el)
+		return
+	}
+	if s.ll.Len() >= s.cap {
+		back := s.ll.Back()
+		s.ll.Remove(back)
+		delete(s.byKey, back.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+	s.byKey[key] = s.ll.PushFront(&cacheEntry{key: key, dataset: dataset, ids: ids})
+}
+
+// InvalidateDataset drops every entry tagged with the dataset, returning the
+// number removed. Called after maintenance (Insert/Delete) changes what any
+// cached query over that dataset would answer.
+func (c *Cache) InvalidateDataset(dataset string) int {
+	if c.disabled() {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; {
+			next := el.Next()
+			if e := el.Value.(*cacheEntry); e.dataset == dataset {
+				s.ll.Remove(el)
+				delete(s.byKey, e.key)
+				n++
+			}
+			el = next
+		}
+		s.mu.Unlock()
+	}
+	c.invalidations.Add(uint64(n))
+	return n
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c.disabled() {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	capacity := 0
+	for i := range c.shards {
+		capacity += c.shards[i].cap
+	}
+	return CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       c.Len(),
+		Capacity:      capacity,
+	}
+}

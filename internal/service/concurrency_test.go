@@ -1,0 +1,185 @@
+package service
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"prefsky/internal/core"
+	"prefsky/internal/data"
+	"prefsky/internal/gen"
+	"prefsky/internal/order"
+)
+
+// TestConcurrentHammer drives the full service from many goroutines under
+// -race: single queries on a static dataset (checked against a fresh SFS-D
+// baseline), batch calls, stats polling, and mixed queries + Insert/Delete
+// maintenance on an SFS-A dataset (checked for internal consistency after
+// the dust settles).
+func TestConcurrentHammer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrency hammer")
+	}
+	ds, err := gen.Dataset(gen.Config{
+		N: 400, NumDims: 2, NomDims: 2, Cardinality: 6,
+		Theta: 1, Kind: gen.AntiCorrelated, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := ds.Schema().EmptyPreference()
+	queries, err := gen.Queries(ds.Schema().Cardinalities(), tmpl, gen.QueryConfig{
+		Order: 2, Count: 32, Mode: gen.Zipfian, Theta: 1, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Options{CacheCapacity: 64, CacheShards: 4, Workers: 4})
+	// "static" is never maintained: every concurrent result must equal the
+	// baseline's. It runs the hybrid so the tree, the fallback and the atomic
+	// routing counters all get exercised. "mutable" takes Insert/Delete
+	// traffic concurrently with queries.
+	if err := s.AddDataset("static", ds, EngineConfig{Kind: "hybrid", Template: tmpl}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDataset("mutable", ds, EngineConfig{Kind: "sfsa", Template: tmpl}); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := core.NewSFSD(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]data.PointID, len(queries))
+	for i, q := range queries {
+		if want[i], err = baseline.Skyline(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		readers     = 8
+		batchers    = 2
+		maintainers = 2
+		iters       = 40
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers+batchers+maintainers)
+
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				qi := rng.Intn(len(queries))
+				ids, _, err := s.Query("static", queries[qi])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !reflect.DeepEqual(ids, want[qi]) {
+					t.Errorf("concurrent query %d diverged from SFS-D baseline", qi)
+					return
+				}
+				// Interleave queries on the dataset under maintenance; the
+				// result set moves, so only check they do not error.
+				if _, _, err := s.Query("mutable", queries[rng.Intn(len(queries))]); err != nil {
+					errCh <- err
+					return
+				}
+				if rng.Intn(8) == 0 {
+					s.Stats()
+				}
+			}
+		}(int64(g))
+	}
+
+	for g := 0; g < batchers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for i := 0; i < iters/4; i++ {
+				k := 1 + rng.Intn(6)
+				prefs := make([]*order.Preference, k)
+				idx := make([]int, k)
+				for j := range prefs {
+					idx[j] = rng.Intn(len(queries))
+					prefs[j] = queries[idx[j]]
+				}
+				for j, r := range s.Batch("static", prefs) {
+					if r.Err != nil {
+						errCh <- r.Err
+						return
+					}
+					if !reflect.DeepEqual(r.IDs, want[idx[j]]) {
+						t.Errorf("concurrent batch member %d diverged from baseline", idx[j])
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+
+	for g := 0; g < maintainers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(200 + seed))
+			var mine []data.PointID
+			for i := 0; i < iters/2; i++ {
+				if len(mine) > 0 && rng.Intn(2) == 0 {
+					id := mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					if err := s.Delete("mutable", id); err != nil {
+						errCh <- err
+						return
+					}
+					continue
+				}
+				num := []float64{rng.Float64(), rng.Float64()}
+				nom := []order.Value{order.Value(rng.Intn(6)), order.Value(rng.Intn(6))}
+				id, err := s.Insert("mutable", num, nom)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				mine = append(mine, id)
+			}
+			// Leave the dataset as we found it.
+			for _, id := range mine {
+				if err := s.Delete("mutable", id); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(int64(g))
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// With every maintainer's inserts rolled back, the mutable dataset must
+	// again agree with the untouched baseline on every query.
+	for i, q := range queries {
+		ids, _, err := s.Query("mutable", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ids, want[i]) {
+			t.Errorf("post-hammer query %d = %v, want %v", i, ids, want[i])
+		}
+	}
+	st := s.Stats()
+	if st.Cache.Hits == 0 {
+		t.Error("hammer produced no cache hits")
+	}
+	if st.Queries == 0 {
+		t.Error("query counter stayed zero")
+	}
+}

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"prefsky/internal/data"
+	"prefsky/internal/order"
+)
+
+// QueryResult is one outcome of a batch execution.
+type QueryResult struct {
+	IDs    []data.PointID
+	Cached bool
+	Err    error
+}
+
+// Executor runs queries through the result cache with a bounded worker pool:
+// at most workers engine queries execute at once, so a traffic burst degrades
+// to queueing instead of unbounded goroutine and CPU pressure. Cache lookups
+// do not consume a worker slot — hits return immediately even under load.
+type Executor struct {
+	reg   *Registry
+	cache *Cache
+	sem   chan struct{}
+
+	queries atomic.Uint64
+	batches atomic.Uint64
+}
+
+// NewExecutor builds an executor over the registry and cache. workers <= 0
+// defaults to GOMAXPROCS.
+func NewExecutor(reg *Registry, cache *Cache, workers int) *Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Executor{reg: reg, cache: cache, sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool bound.
+func (x *Executor) Workers() int { return cap(x.sem) }
+
+// cacheKey names a result: dataset, its registration + maintenance state,
+// and the preference up to canonical equivalence. Embedding the state means
+// a racing Put after maintenance (or after a remove/re-add cycle) lands
+// under a dead key instead of poisoning the new state; InvalidateDataset is
+// then only storage reclamation.
+func cacheKey(dataset, state string, pref *order.Preference) string {
+	return fmt.Sprintf("%s\x1f%s\x1f%s", dataset, state, pref.CacheKey())
+}
+
+// Query answers SKY(pref) over the named dataset, consulting the cache
+// first. Cached reports whether the result was served without touching the
+// engine. The returned slice is shared with the cache; treat it as immutable.
+//
+// The engine executes the canonical form of the preference — the same form
+// the cache keys on — so a query's outcome never depends on its spelling: a
+// total order and its forced-last prefix behave identically against a top-K
+// restricted tree whether or not the cache is warm.
+func (x *Executor) Query(dataset string, pref *order.Preference) (ids []data.PointID, cached bool, err error) {
+	if pref == nil {
+		return nil, false, fmt.Errorf("service: nil preference")
+	}
+	pref = pref.Canonical()
+	x.queries.Add(1)
+	state, err := x.reg.State(dataset)
+	if err != nil {
+		return nil, false, err
+	}
+	key := cacheKey(dataset, state, pref)
+	if ids, ok := x.cache.Get(key); ok {
+		return ids, true, nil
+	}
+	x.sem <- struct{}{}
+	defer func() { <-x.sem }()
+	ids, state, err = x.reg.Query(dataset, pref)
+	if err != nil {
+		return nil, false, err
+	}
+	x.cache.Put(cacheKey(dataset, state, pref), dataset, ids)
+	return ids, false, nil
+}
+
+// Batch answers many preferences over one dataset, fanning out across the
+// worker pool. Results are positional; each carries its own error so one bad
+// preference does not fail the batch.
+func (x *Executor) Batch(dataset string, prefs []*order.Preference) []QueryResult {
+	x.batches.Add(1)
+	out := make([]QueryResult, len(prefs))
+	var wg sync.WaitGroup
+	for i, pref := range prefs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i].IDs, out[i].Cached, out[i].Err = x.Query(dataset, pref)
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Counters returns the executed single-query and batch counts. Batch
+// members count as queries too.
+func (x *Executor) Counters() (queries, batches uint64) {
+	return x.queries.Load(), x.batches.Load()
+}

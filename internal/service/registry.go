@@ -1,0 +1,288 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"prefsky/internal/adaptive"
+	"prefsky/internal/core"
+	"prefsky/internal/data"
+	"prefsky/internal/ipotree"
+	"prefsky/internal/order"
+)
+
+// Errors returned by registry operations.
+var (
+	ErrUnknownDataset   = errors.New("service: unknown dataset")
+	ErrDuplicateDataset = errors.New("service: dataset already registered")
+	ErrNotMaintainable  = errors.New("service: engine does not support maintenance")
+)
+
+// EngineConfig selects and configures the engine built for a dataset.
+type EngineConfig struct {
+	// Kind names the engine as core.NewByName accepts it: "ipo", "sfsa",
+	// "sfsd" or "hybrid". Empty defaults to "sfsa", the only maintainable
+	// kind and the paper's recommended general-purpose engine.
+	Kind string
+	// Template is the shared preference template R̃; nil means empty.
+	Template *order.Preference
+	// Tree configures tree construction for the tree-backed kinds.
+	Tree ipotree.Options
+}
+
+// DatasetInfo is a read-only snapshot of one registered dataset.
+type DatasetInfo struct {
+	Name         string `json:"name"`
+	Points       int    `json:"points"`
+	Engine       string `json:"engine"`
+	Maintainable bool   `json:"maintainable"`
+	EngineBytes  int    `json:"engineBytes"`
+	Queries      uint64 `json:"queries"`
+	Version      uint64 `json:"version"`
+}
+
+// dsEntry is one hosted dataset. mu serializes maintenance against queries:
+// queries hold the read lock (every engine's Skyline is safe for concurrent
+// readers), Insert/Delete hold the write lock. version counts maintenance
+// operations applied; epoch is the registry-wide registration sequence
+// number, so a name removed and re-added never repeats a (epoch, version)
+// pair.
+type dsEntry struct {
+	name  string
+	epoch uint64
+	mu    sync.RWMutex
+	ds    *data.Dataset
+	eng   core.Engine
+	maint *adaptive.Engine // non-nil iff the engine supports Insert/Delete
+
+	queries atomic.Uint64
+	version atomic.Uint64
+}
+
+// state renders the entry's cache-state token "epoch.version".
+func (e *dsEntry) state() string {
+	return fmt.Sprintf("%d.%d", e.epoch, e.version.Load())
+}
+
+// Registry hosts named datasets, each behind a configurable engine. All
+// methods are safe for concurrent use; the registry-level lock only guards
+// the name table, so traffic to one dataset never blocks another.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*dsEntry
+	epochs  atomic.Uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*dsEntry)}
+}
+
+// Add builds the configured engine for the dataset and registers it under
+// name. Engine construction (potentially expensive preprocessing) runs
+// outside the registry lock, so serving continues while a dataset loads.
+func (r *Registry) Add(name string, ds *data.Dataset, cfg EngineConfig) error {
+	if name == "" {
+		return fmt.Errorf("service: empty dataset name")
+	}
+	if ds == nil {
+		return fmt.Errorf("service: nil dataset %q", name)
+	}
+	r.mu.RLock()
+	_, dup := r.entries[name]
+	r.mu.RUnlock()
+	if dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
+	}
+
+	kind := cfg.Kind
+	if kind == "" {
+		kind = "sfsa"
+	}
+	tmpl := cfg.Template
+	if tmpl == nil {
+		tmpl = ds.Schema().EmptyPreference()
+	}
+	eng, err := core.NewByName(kind, ds, tmpl, cfg.Tree)
+	if err != nil {
+		return fmt.Errorf("service: building engine for %q: %w", name, err)
+	}
+	e := &dsEntry{name: name, ds: ds, eng: eng, maint: core.Maintainable(eng)}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
+	}
+	e.epoch = r.epochs.Add(1)
+	r.entries[name] = e
+	return nil
+}
+
+// Remove unregisters the dataset, reporting whether it existed. In-flight
+// queries holding the entry's read lock complete normally.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.entries[name]
+	delete(r.entries, name)
+	return ok
+}
+
+func (r *Registry) entry(name string) (*dsEntry, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	return e, nil
+}
+
+// Names returns the registered dataset names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		out = append(out, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Info returns a snapshot of every registered dataset, sorted by name.
+func (r *Registry) Info() []DatasetInfo {
+	r.mu.RLock()
+	entries := make([]*dsEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	out := make([]DatasetInfo, len(entries))
+	for i, e := range entries {
+		e.mu.RLock()
+		out[i] = DatasetInfo{
+			Name:         e.name,
+			Points:       liveN(e),
+			Engine:       e.eng.Name(),
+			Maintainable: e.maint != nil,
+			EngineBytes:  e.eng.SizeBytes(),
+			Queries:      e.queries.Load(),
+			Version:      e.version.Load(),
+		}
+		e.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// liveN reports the current point count; maintainable engines track
+// insertions and deletions past the initial dataset. Callers hold e.mu.
+func liveN(e *dsEntry) int {
+	if e.maint != nil {
+		return e.maint.N()
+	}
+	return e.ds.N()
+}
+
+// Schema returns the dataset's schema, used to parse incoming preferences.
+func (r *Registry) Schema(name string) (*data.Schema, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.ds.Schema(), nil
+}
+
+// State returns the dataset's cache-state token "epoch.version": epoch is
+// the registry-wide registration sequence number and version counts the
+// Insert/Delete operations applied since registration. Cache keys embed the
+// token, so results cached against a superseded state — after maintenance,
+// or after the name was removed and re-added over different data — die
+// naturally even without explicit invalidation.
+func (r *Registry) State(name string) (string, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return "", err
+	}
+	return e.state(), nil
+}
+
+// Query answers SKY(pref) over the named dataset under the entry's read
+// lock, so any number of queries run concurrently while maintenance waits.
+// The returned state token is read under the same lock and therefore names
+// exactly the dataset state the result reflects — the executor embeds it in
+// the cache key.
+func (r *Registry) Query(name string, pref *order.Preference) ([]data.PointID, string, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return nil, "", err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.queries.Add(1)
+	ids, err := e.eng.Skyline(pref)
+	return ids, e.state(), err
+}
+
+// Insert adds a point to a maintainable dataset (§4.3) under the entry's
+// write lock and bumps the maintenance version.
+func (r *Registry) Insert(name string, num []float64, nom []order.Value) (data.PointID, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return 0, err
+	}
+	if e.maint == nil {
+		return 0, fmt.Errorf("%w: %q runs %s", ErrNotMaintainable, name, e.eng.Name())
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id, err := e.maint.Insert(num, nom)
+	if err != nil {
+		return 0, err
+	}
+	e.version.Add(1)
+	return id, nil
+}
+
+// Delete removes a point from a maintainable dataset under the entry's
+// write lock and bumps the maintenance version.
+func (r *Registry) Delete(name string, id data.PointID) error {
+	e, err := r.entry(name)
+	if err != nil {
+		return err
+	}
+	if e.maint == nil {
+		return fmt.Errorf("%w: %q runs %s", ErrNotMaintainable, name, e.eng.Name())
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.maint.Delete(id); err != nil {
+		return err
+	}
+	e.version.Add(1)
+	return nil
+}
+
+// Point returns one point of the named dataset by id (for response
+// rendering). For maintainable engines the id addresses the engine's
+// point table, which outlives the initial dataset.
+func (r *Registry) Point(name string, id data.PointID) (data.Point, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return data.Point{}, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.maint != nil {
+		return e.maint.Point(id)
+	}
+	if int(id) < 0 || int(id) >= e.ds.N() {
+		return data.Point{}, fmt.Errorf("service: point %d out of range [0,%d)", id, e.ds.N())
+	}
+	return e.ds.Point(id), nil
+}

@@ -1,0 +1,145 @@
+// Package service is the concurrent query layer over the paper's engines:
+// the subsystem behind cmd/skylined. It hosts many named datasets at once
+// and exploits the workload skew Wong et al. observe on nominal attributes —
+// queries concentrate on popular values, and two preferences with equal
+// canonical forms (order.Preference.CacheKey) must return identical
+// skylines — so a result cache converts Zipfian traffic into hits.
+//
+// Three layers, each independently usable:
+//
+//   - Registry hosts named datasets, builds a configurable engine per
+//     dataset (core.NewByName), and serializes maintenance behind a
+//     per-dataset RWMutex so reads run concurrently.
+//   - Cache is a sharded LRU over (dataset, registration epoch +
+//     maintenance version, canonical preference) with hit/miss/eviction
+//     counters.
+//   - Executor runs queries through the cache with a bounded worker pool and
+//     exposes single and batch execution.
+//
+// Service ties the three together and adds the cross-layer glue: cache
+// invalidation after maintenance.
+package service
+
+import (
+	"prefsky/internal/data"
+	"prefsky/internal/order"
+)
+
+// Options configures a Service.
+type Options struct {
+	// CacheCapacity bounds the result cache in entries; 0 defaults to 4096,
+	// negative disables caching.
+	CacheCapacity int
+	// CacheShards spreads the cache over independent locks; 0 defaults to 16.
+	CacheShards int
+	// Workers bounds concurrent engine queries; 0 defaults to GOMAXPROCS.
+	Workers int
+}
+
+// Stats is the service-wide snapshot served by GET /v1/stats.
+type Stats struct {
+	Cache    CacheStats    `json:"cache"`
+	Queries  uint64        `json:"queries"`
+	Batches  uint64        `json:"batches"`
+	Workers  int           `json:"workers"`
+	Datasets []DatasetInfo `json:"datasets"`
+}
+
+// Service is the facade cmd/skylined serves: registry + cache + executor.
+type Service struct {
+	reg   *Registry
+	cache *Cache
+	exec  *Executor
+}
+
+// New builds a service with the given options.
+func New(opts Options) *Service {
+	capacity := opts.CacheCapacity
+	switch {
+	case capacity == 0:
+		capacity = 4096
+	case capacity < 0:
+		capacity = 0
+	}
+	reg := NewRegistry()
+	cache := NewCache(capacity, opts.CacheShards)
+	return &Service{reg: reg, cache: cache, exec: NewExecutor(reg, cache, opts.Workers)}
+}
+
+// Registry exposes the dataset registry layer.
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Cache exposes the result-cache layer.
+func (s *Service) Cache() *Cache { return s.cache }
+
+// AddDataset registers a dataset behind the configured engine.
+func (s *Service) AddDataset(name string, ds *data.Dataset, cfg EngineConfig) error {
+	return s.reg.Add(name, ds, cfg)
+}
+
+// RemoveDataset unregisters a dataset and drops its cached results.
+func (s *Service) RemoveDataset(name string) bool {
+	ok := s.reg.Remove(name)
+	if ok {
+		s.cache.InvalidateDataset(name)
+	}
+	return ok
+}
+
+// Datasets lists the hosted datasets.
+func (s *Service) Datasets() []DatasetInfo { return s.reg.Info() }
+
+// Schema returns a dataset's schema, used to parse preference strings.
+func (s *Service) Schema(name string) (*data.Schema, error) { return s.reg.Schema(name) }
+
+// Point returns one point of a dataset for response rendering.
+func (s *Service) Point(name string, id data.PointID) (data.Point, error) {
+	return s.reg.Point(name, id)
+}
+
+// Query answers SKY(pref) over the named dataset through the cache and
+// worker pool. The returned slice is shared with the cache; treat it as
+// immutable.
+func (s *Service) Query(dataset string, pref *order.Preference) (ids []data.PointID, cached bool, err error) {
+	return s.exec.Query(dataset, pref)
+}
+
+// Batch answers many preferences over one dataset through the worker pool.
+func (s *Service) Batch(dataset string, prefs []*order.Preference) []QueryResult {
+	return s.exec.Batch(dataset, prefs)
+}
+
+// Insert adds a point to a maintainable dataset and invalidates its cached
+// results. State-tagged keys (registration epoch + maintenance version)
+// make the invalidation pure storage reclamation: even a racing Put lands
+// under the superseded state and is never read again.
+func (s *Service) Insert(dataset string, num []float64, nom []order.Value) (data.PointID, error) {
+	id, err := s.reg.Insert(dataset, num, nom)
+	if err != nil {
+		return 0, err
+	}
+	s.cache.InvalidateDataset(dataset)
+	return id, nil
+}
+
+// Delete removes a point from a maintainable dataset and invalidates its
+// cached results.
+func (s *Service) Delete(dataset string, id data.PointID) error {
+	if err := s.reg.Delete(dataset, id); err != nil {
+		return err
+	}
+	s.cache.InvalidateDataset(dataset)
+	return nil
+}
+
+// Stats snapshots the whole service.
+func (s *Service) Stats() Stats {
+	queries, batches := s.exec.Counters()
+	return Stats{
+		Cache:    s.cache.Stats(),
+		Queries:  queries,
+		Batches:  batches,
+		Workers:  s.exec.Workers(),
+		Datasets: s.reg.Info(),
+	}
+}

@@ -1,0 +1,402 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"prefsky/internal/core"
+	"prefsky/internal/data"
+	"prefsky/internal/ipotree"
+	"prefsky/internal/order"
+)
+
+func table1Service(t *testing.T, cfg EngineConfig, opts Options) *Service {
+	t.Helper()
+	s := New(opts)
+	if err := s.AddDataset("hotels", data.Table1(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustPref(t *testing.T, schema *data.Schema, spec string) *order.Preference {
+	t.Helper()
+	p, err := data.ParsePreference(schema, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestServiceQueryMatchesLibrary(t *testing.T) {
+	for _, kind := range core.Kinds() {
+		s := table1Service(t, EngineConfig{Kind: kind}, Options{})
+		schema, err := s.Schema("hotels")
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline, err := core.NewSFSD(data.Table1())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, spec := range []string{"", "Hotel-group: T<M<*", "Hotel-group: H<M<*", "Hotel-group: M<*"} {
+			pref := mustPref(t, schema, spec)
+			got, _, err := s.Query("hotels", pref)
+			if err != nil {
+				t.Fatalf("%s: Query(%q): %v", kind, spec, err)
+			}
+			want, err := baseline.Skyline(pref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: Query(%q) = %v, want %v", kind, spec, got, want)
+			}
+		}
+	}
+}
+
+func TestCanonicallyEqualPreferencesShareCacheEntries(t *testing.T) {
+	s := table1Service(t, EngineConfig{Kind: "sfsd"}, Options{})
+	schema, _ := s.Schema("hotels")
+
+	// "T<M<H" is the total order whose canonical form is "T<M<*": different
+	// strings, identical skylines, one cache entry.
+	total := mustPref(t, schema, "Hotel-group: T<M<H")
+	prefix := mustPref(t, schema, "Hotel-group: T<M<*")
+	if total.CacheKey() != prefix.CacheKey() {
+		t.Fatalf("cache keys differ: %q vs %q", total.CacheKey(), prefix.CacheKey())
+	}
+
+	ids1, cached, err := s.Query("hotels", total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("first query reported cached")
+	}
+	ids2, cached, err := s.Query("hotels", prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("canonically equal query missed the cache")
+	}
+	if !reflect.DeepEqual(ids1, ids2) {
+		t.Errorf("results differ: %v vs %v", ids1, ids2)
+	}
+	st := s.Stats()
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit / 1 miss", st.Cache)
+	}
+	if st.Cache.Entries != 1 {
+		t.Errorf("cache holds %d entries, want 1", st.Cache.Entries)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(2, 1)
+	c.Put("a", "ds", []data.PointID{1})
+	c.Put("b", "ds", []data.PointID{2})
+	c.Put("c", "ds", []data.PointID{3})
+	if _, ok := c.Get("a"); ok {
+		t.Error("LRU entry a survived past capacity")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("newest entry c was evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 1 eviction, 2 entries", st)
+	}
+
+	// Touching an entry must protect it from eviction.
+	c.Get("b")
+	c.Put("d", "ds", []data.PointID{4})
+	if _, ok := c.Get("b"); !ok {
+		t.Error("recently used entry b was evicted")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	s := table1Service(t, EngineConfig{Kind: "sfsd"}, Options{CacheCapacity: -1})
+	schema, _ := s.Schema("hotels")
+	pref := mustPref(t, schema, "Hotel-group: T<M<*")
+	for i := 0; i < 3; i++ {
+		if _, cached, err := s.Query("hotels", pref); err != nil || cached {
+			t.Fatalf("query %d: cached=%v err=%v with caching disabled", i, cached, err)
+		}
+	}
+	if st := s.Stats(); st.Cache.Hits != 0 || st.Cache.Capacity != 0 {
+		t.Errorf("disabled cache stats = %+v", st.Cache)
+	}
+}
+
+func TestMaintenanceInvalidatesCache(t *testing.T) {
+	s := table1Service(t, EngineConfig{Kind: "sfsa"}, Options{})
+	schema, _ := s.Schema("hotels")
+	pref := mustPref(t, schema, "Hotel-group: T<M<*")
+
+	before, _, err := s.Query("hotels", pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cheap 5-star T hotel dominates everything in sight.
+	id, err := s.Insert("hotels", []float64{100, -5}, []order.Value{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, cached, err := s.Query("hotels", pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("post-insert query served from cache")
+	}
+	if reflect.DeepEqual(before, after) {
+		t.Errorf("insert did not change the skyline: %v", after)
+	}
+	if !reflect.DeepEqual(after, []data.PointID{id}) {
+		t.Errorf("skyline after dominating insert = %v, want [%d]", after, id)
+	}
+
+	if err := s.Delete("hotels", id); err != nil {
+		t.Fatal(err)
+	}
+	restored, cached, err := s.Query("hotels", pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("post-delete query served from cache")
+	}
+	if !reflect.DeepEqual(restored, before) {
+		t.Errorf("skyline after delete = %v, want %v", restored, before)
+	}
+}
+
+func TestMaintenanceOnNonMaintainableEngine(t *testing.T) {
+	s := table1Service(t, EngineConfig{Kind: "sfsd"}, Options{})
+	if _, err := s.Insert("hotels", []float64{1, 2}, []order.Value{0}); !errors.Is(err, ErrNotMaintainable) {
+		t.Errorf("Insert on SFS-D: %v, want ErrNotMaintainable", err)
+	}
+	if err := s.Delete("hotels", 0); !errors.Is(err, ErrNotMaintainable) {
+		t.Errorf("Delete on SFS-D: %v, want ErrNotMaintainable", err)
+	}
+}
+
+func TestCanonicalFormExecutesAgainstRestrictedTree(t *testing.T) {
+	// Materialize only {T, M} on the nominal dimension: the raw total order
+	// "T<M<H" names the unmaterialized H and would fail against the tree,
+	// but its canonical form "T<M<*" does not. The executor must run the
+	// canonical form, so the outcome cannot depend on the query's spelling
+	// or on cache warmth.
+	s := New(Options{})
+	err := s.AddDataset("hotels", data.Table1(), EngineConfig{
+		Kind: "ipo",
+		Tree: ipotree.Options{Values: [][]order.Value{{0, 2}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, _ := s.Schema("hotels")
+	total := mustPref(t, schema, "Hotel-group: T<M<H")
+	ids, cached, err := s.Query("hotels", total)
+	if err != nil {
+		t.Fatalf("total-order spelling failed against restricted tree: %v", err)
+	}
+	if cached {
+		t.Error("cold query reported cached")
+	}
+	baseline, _ := core.NewSFSD(data.Table1())
+	want, _ := baseline.Skyline(total)
+	if !reflect.DeepEqual(ids, want) {
+		t.Errorf("ids = %v, want %v", ids, want)
+	}
+}
+
+func TestReAddDatasetCannotServeStaleCache(t *testing.T) {
+	s := New(Options{})
+	if err := s.AddDataset("d", data.Table1(), EngineConfig{Kind: "sfsd"}); err != nil {
+		t.Fatal(err)
+	}
+	pref := data.Table1().Schema().EmptyPreference()
+	staleState, err := s.Registry().State("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Query("d", pref); err != nil {
+		t.Fatal(err)
+	}
+
+	s.RemoveDataset("d")
+	// Simulate an in-flight query from before the removal completing late:
+	// its Put lands after InvalidateDataset, tagged with the old state.
+	s.Cache().Put(cacheKey("d", staleState, pref), "d", []data.PointID{99})
+
+	// Re-add the same name over different data (packages a and b only,
+	// where a dominates b: skyline = [0]).
+	small, err := data.Table1().WithPoints(data.Table1().Points()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDataset("d", small, EngineConfig{Kind: "sfsd"}); err != nil {
+		t.Fatal(err)
+	}
+	newState, err := s.Registry().State("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newState == staleState {
+		t.Fatalf("re-registration reused state token %q", newState)
+	}
+	ids, cached, err := s.Query("d", pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("query after re-add served from cache")
+	}
+	if !reflect.DeepEqual(ids, []data.PointID{0}) {
+		t.Errorf("ids = %v, want [0] (the stale entry was [99])", ids)
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	s := New(Options{})
+	if err := s.AddDataset("", data.Table1(), EngineConfig{}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := s.AddDataset("a", nil, EngineConfig{}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if err := s.AddDataset("a", data.Table1(), EngineConfig{Kind: "bogus"}); err == nil {
+		t.Error("bogus engine kind accepted")
+	}
+	if err := s.AddDataset("a", data.Table1(), EngineConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDataset("a", data.Table3(), EngineConfig{}); !errors.Is(err, ErrDuplicateDataset) {
+		t.Errorf("duplicate add: %v, want ErrDuplicateDataset", err)
+	}
+	if err := s.AddDataset("b", data.Table3(), EngineConfig{Kind: "ipo"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Registry().Names(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Names() = %v", got)
+	}
+	infos := s.Datasets()
+	if len(infos) != 2 || infos[0].Name != "a" || infos[1].Name != "b" {
+		t.Fatalf("Datasets() = %+v", infos)
+	}
+	if !infos[0].Maintainable || infos[0].Engine != "SFS-A" {
+		t.Errorf("dataset a info = %+v", infos[0])
+	}
+	if infos[1].Maintainable || infos[1].Engine != "IPO Tree" {
+		t.Errorf("dataset b info = %+v", infos[1])
+	}
+	if !s.RemoveDataset("a") {
+		t.Error("RemoveDataset(a) = false")
+	}
+	if s.RemoveDataset("a") {
+		t.Error("second RemoveDataset(a) = true")
+	}
+	if _, _, err := s.Query("a", data.Table1().Schema().EmptyPreference()); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("query after remove: %v, want ErrUnknownDataset", err)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	s := table1Service(t, EngineConfig{Kind: "sfsa"}, Options{Workers: 2})
+	schema, _ := s.Schema("hotels")
+	baseline, err := core.NewSFSD(data.Table1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []string{"", "Hotel-group: T<M<*", "Hotel-group: H<M<*", "Hotel-group: T<M<*", "Hotel-group: M<*"}
+	prefs := make([]*order.Preference, len(specs))
+	for i, spec := range specs {
+		prefs[i] = mustPref(t, schema, spec)
+	}
+	results := s.Batch("hotels", prefs)
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(results), len(specs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("batch[%d]: %v", i, r.Err)
+		}
+		want, _ := baseline.Skyline(prefs[i])
+		if !reflect.DeepEqual(r.IDs, want) {
+			t.Errorf("batch[%d] = %v, want %v", i, r.IDs, want)
+		}
+	}
+	// The duplicate of specs[1] must have hit the cache (it cannot race: the
+	// cache is populated before Query returns, but batch members run
+	// concurrently, so assert on totals instead of positions).
+	if st := s.Stats(); st.Cache.Hits == 0 && st.Cache.Misses == uint64(len(specs)) {
+		t.Logf("note: duplicate ran concurrently with its twin; hits=%d", st.Cache.Hits)
+	}
+
+	// Errors are positional, not fatal.
+	bad, err := order.EmptyPreference(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := s.Batch("hotels", []*order.Preference{prefs[0], bad, nil})
+	if mixed[0].Err != nil {
+		t.Errorf("good member failed: %v", mixed[0].Err)
+	}
+	if mixed[1].Err == nil {
+		t.Error("wrong-schema member succeeded")
+	}
+	if mixed[2].Err == nil {
+		t.Error("nil member succeeded")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := table1Service(t, EngineConfig{Kind: "sfsd"}, Options{})
+	schema, _ := s.Schema("hotels")
+	pref := mustPref(t, schema, "Hotel-group: T<M<*")
+	for i := 0; i < 4; i++ {
+		if _, _, err := s.Query("hotels", pref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Batch("hotels", []*order.Preference{pref, pref})
+	st := s.Stats()
+	if st.Queries != 6 {
+		t.Errorf("Queries = %d, want 6", st.Queries)
+	}
+	if st.Batches != 1 {
+		t.Errorf("Batches = %d, want 1", st.Batches)
+	}
+	if st.Cache.Hits != 5 || st.Cache.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 5 hits / 1 miss", st.Cache)
+	}
+	if len(st.Datasets) != 1 || st.Datasets[0].Queries != 1 {
+		// Only the single miss reached the engine; the rest were cache hits.
+		t.Errorf("dataset stats = %+v, want 1 engine query", st.Datasets)
+	}
+	if st.Workers <= 0 {
+		t.Errorf("Workers = %d", st.Workers)
+	}
+}
+
+func TestCacheShardDistribution(t *testing.T) {
+	c := NewCache(64, 8)
+	for i := 0; i < 64; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), "ds", nil)
+	}
+	if got := c.Len(); got < 32 {
+		// Perfectly even filling is not guaranteed (per-shard caps), but a
+		// healthy hash should land well over half before evictions dominate.
+		t.Errorf("cache holds %d of 64 entries; hash badly skewed", got)
+	}
+	c.InvalidateDataset("ds")
+	if c.Len() != 0 {
+		t.Errorf("entries survived InvalidateDataset: %d", c.Len())
+	}
+}

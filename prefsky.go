@@ -35,6 +35,21 @@
 //	pref, _ := prefsky.ParsePreference(schema, "Hotel-group: T<M<*")
 //	ids, _ := engine.Skyline(pref)
 //
+// # Serving
+//
+// For concurrent traffic, Service hosts many named datasets behind a
+// configurable engine each, a sharded LRU result cache keyed by canonical
+// preference (Preference.CacheKey: equivalent queries share entries), and a
+// bounded worker pool:
+//
+//	svc := prefsky.NewService(prefsky.ServiceOptions{})
+//	_ = svc.AddDataset("hotels", ds, prefsky.EngineConfig{Kind: "sfsa"})
+//	ids, cached, _ := svc.Query("hotels", pref)
+//
+// cmd/skylined wires a Service behind JSON endpoints (POST /v1/query,
+// POST /v1/batch, GET /v1/datasets, GET /v1/stats, GET /healthz); see
+// README.md for a curl session.
+//
 // See examples/ for runnable programs and DESIGN.md for the architecture.
 package prefsky
 
@@ -47,6 +62,7 @@ import (
 	"prefsky/internal/ipotree"
 	"prefsky/internal/nursery"
 	"prefsky/internal/order"
+	"prefsky/internal/service"
 )
 
 // Model types re-exported from the internal packages. Aliases keep the public
@@ -88,6 +104,27 @@ type (
 	MaintainableEngine = adaptive.Engine
 	// Comparator evaluates dominance under a fixed preference.
 	Comparator = dominance.Comparator
+
+	// Service is the concurrent query layer behind cmd/skylined: registry +
+	// result cache + bounded worker pool.
+	Service = service.Service
+	// ServiceOptions configures a Service.
+	ServiceOptions = service.Options
+	// ServiceStats is the service-wide counter snapshot.
+	ServiceStats = service.Stats
+	// EngineConfig selects and configures the engine a Service builds for a
+	// dataset.
+	EngineConfig = service.EngineConfig
+	// DatasetInfo is a read-only snapshot of one hosted dataset.
+	DatasetInfo = service.DatasetInfo
+	// EngineRegistry hosts named datasets behind per-dataset engines.
+	EngineRegistry = service.Registry
+	// ResultCache is the sharded LRU keyed by canonical preference.
+	ResultCache = service.Cache
+	// CacheStats reports result-cache counters.
+	CacheStats = service.CacheStats
+	// QueryResult is one outcome of a Service batch execution.
+	QueryResult = service.QueryResult
 )
 
 // Constructors and helpers re-exported for the public API.
@@ -127,6 +164,22 @@ var (
 	// NewMaintainable builds the concrete Adaptive SFS engine, exposing
 	// progressive iteration (QueryIter) and Insert/Delete maintenance.
 	NewMaintainable = adaptive.New
+	// NewEngineByName builds an engine from its configuration name
+	// ("ipo", "sfsa", "sfsd", "hybrid").
+	NewEngineByName = core.NewByName
+	// EngineKinds lists the names NewEngineByName accepts.
+	EngineKinds = core.Kinds
+	// MaintainableOf returns the engine's Adaptive SFS core when it supports
+	// Insert/Delete maintenance, or nil.
+	MaintainableOf = core.Maintainable
+
+	// NewService builds the concurrent query service hosting many named
+	// datasets behind a canonical-preference result cache.
+	NewService = service.New
+	// NewEngineRegistry builds a bare dataset registry.
+	NewEngineRegistry = service.NewRegistry
+	// NewResultCache builds a bare sharded LRU result cache.
+	NewResultCache = service.NewCache
 
 	// NewComparator builds a dominance comparator for a preference.
 	NewComparator = dominance.NewComparator
@@ -137,6 +190,9 @@ var (
 	NurseryDataset = nursery.Dataset
 	// GenerateDataset builds a synthetic dataset (§5.1 workloads).
 	GenerateDataset = gen.Dataset
+	// FlightsDataset generates the flight-booking demo dataset shared by
+	// examples/flights and cmd/skylined -demo.
+	FlightsDataset = gen.Flights
 	// GenerateQueries builds a random implicit-preference workload.
 	GenerateQueries = gen.Queries
 	// FrequentTemplate builds the §5 default template (most frequent value
