@@ -9,6 +9,7 @@
 package prefsky_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -145,13 +146,13 @@ func benchQueries(b *testing.B, w *workload, fullTree bool) {
 	if fullTree {
 		e := w.ipoTree(b)
 		list = append(list, bench{"IPO_Tree", e.SizeBytes, func(q *order.Preference) error {
-			_, err := e.Skyline(q)
+			_, err := e.Skyline(context.Background(), q)
 			return err
 		}})
 	}
 	topk := w.ipoTopK(b)
 	list = append(list, bench{"IPO_Tree-10", topk.SizeBytes, func(q *order.Preference) error {
-		_, err := topk.Skyline(q)
+		_, err := topk.Skyline(context.Background(), q)
 		return err
 	}})
 	sfsa := w.adaptiveSFS(b)
@@ -161,7 +162,7 @@ func benchQueries(b *testing.B, w *workload, fullTree bool) {
 	}})
 	sfsd := w.sfsD(b)
 	list = append(list, bench{"SFS-D", sfsd.SizeBytes, func(q *order.Preference) error {
-		_, err := sfsd.Skyline(q)
+		_, err := sfsd.Skyline(context.Background(), q)
 		return err
 	}})
 	for _, bb := range list {

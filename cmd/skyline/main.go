@@ -5,7 +5,8 @@
 //
 //	skyline -data packages.csv -schema schema.json \
 //	        -pref "Hotel-group: T<M<*; Airline: G<*" \
-//	        [-template "Hotel-group: T<*"] [-algo ipo|sfsa|sfsd|hybrid] [-topk 10]
+//	        [-template "Hotel-group: T<*"] [-topk 10] [-partitions 8]
+//	        [-algo ipo|sfsa|sfsd|hybrid|parallel-sfs|parallel-hybrid]
 //
 // The schema file is JSON: {"numeric":[{"name":"Price"},...],
 // "nominal":[{"name":"Hotel-group","values":["T","H","M"]},...]}. The matching
@@ -13,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -38,8 +40,9 @@ func run(args []string, out io.Writer) error {
 		schemaPath = fs.String("schema", "", "JSON schema path (required)")
 		prefSpec   = fs.String("pref", "", "implicit preference, e.g. \"Hotel-group: T<M<*\"")
 		tmplSpec   = fs.String("template", "", "template preference shared by all users")
-		algo       = fs.String("algo", "sfsd", "engine: ipo, sfsa, sfsd or hybrid")
+		algo       = fs.String("algo", "sfsd", "engine: ipo, sfsa, sfsd, hybrid, parallel-sfs or parallel-hybrid")
 		topK       = fs.Int("topk", 0, "materialize only the K most frequent values (ipo/hybrid)")
+		partitions = fs.Int("partitions", 0, "blocks per parallel-sfs/parallel-hybrid query (0 = GOMAXPROCS)")
 		saveIndex  = fs.String("save-index", "", "build an IPO-tree index and save it to this path")
 		loadIndex  = fs.String("index", "", "load a previously saved IPO-tree index (implies -algo ipo)")
 		verbose    = fs.Bool("v", false, "print engine and timing details to stderr")
@@ -94,13 +97,14 @@ func run(args []string, out io.Writer) error {
 	case *saveIndex != "":
 		return fmt.Errorf("-save-index requires -algo ipo, got %q", *algo)
 	default:
-		engine, err = prefsky.NewEngineByName(*algo, ds, tmpl, prefsky.TreeOptions{TopK: *topK})
+		engine, err = prefsky.NewEngineByName(*algo, ds, tmpl,
+			prefsky.EngineOptions{Tree: prefsky.TreeOptions{TopK: *topK}, Partitions: *partitions})
 	}
 	if err != nil {
 		return fmt.Errorf("building %s engine: %w", *algo, err)
 	}
 
-	ids, err := engine.Skyline(pref)
+	ids, err := engine.Skyline(context.Background(), pref)
 	if err != nil {
 		return fmt.Errorf("query: %w", err)
 	}
@@ -158,7 +162,10 @@ type treeEngine struct {
 }
 
 func (t treeEngine) Name() string { return "IPO Tree" }
-func (t treeEngine) Skyline(pref *prefsky.Preference) ([]prefsky.PointID, error) {
+func (t treeEngine) Skyline(ctx context.Context, pref *prefsky.Preference) ([]prefsky.PointID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return t.tree.Query(pref)
 }
 func (t treeEngine) SizeBytes() int { return t.tree.SizeBytes() }

@@ -7,6 +7,7 @@
 //
 //	skylined -addr :8080 -demo
 //	skylined -addr :8080 -dataset hotels=schema.json,data.csv -engine hybrid -topk 10
+//	skylined -addr :8080 -demo -engine parallel-sfs -partitions 8 -query-timeout 250ms
 //
 // Endpoints:
 //
@@ -19,15 +20,25 @@
 // Preferences use the library's string syntax ("Attr: a<b<*; Other: c<*").
 // Canonically equal preferences — e.g. a total order and its forced-last
 // prefix — share result-cache entries, so skewed traffic is served hot.
+//
+// Every request is context-bound: -query-timeout deadline-bounds uncached
+// queries (HTTP 504 past it), and a disconnected client releases its worker
+// slot and aborts in-flight partitioned scans. The server itself runs with
+// read/write/idle timeouts and shuts down gracefully on SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"prefsky"
 	"prefsky/internal/data"
@@ -52,14 +63,16 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("skylined", flag.ContinueOnError)
 	var datasets datasetFlags
 	var (
-		addr     = fs.String("addr", ":8080", "listen address")
-		engine   = fs.String("engine", "sfsa", "engine per dataset: ipo, sfsa, sfsd or hybrid")
-		topK     = fs.Int("topk", 0, "materialize only the K most frequent values (ipo/hybrid)")
-		tmplSpec = fs.String("template", "", "template preference shared by all users")
-		cacheCap = fs.Int("cache", 4096, "result cache capacity in entries (negative disables)")
-		shards   = fs.Int("cache-shards", 16, "result cache shard count")
-		workers  = fs.Int("workers", 0, "max concurrent engine queries (0 = GOMAXPROCS)")
-		demo     = fs.Bool("demo", false, "host the built-in flights demo dataset")
+		addr       = fs.String("addr", ":8080", "listen address")
+		engine     = fs.String("engine", "sfsa", "engine per dataset: ipo, sfsa, sfsd, hybrid, parallel-sfs or parallel-hybrid")
+		topK       = fs.Int("topk", 0, "materialize only the K most frequent values (ipo/hybrid)")
+		partitions = fs.Int("partitions", 0, "blocks per parallel-sfs/parallel-hybrid query (0 = GOMAXPROCS)")
+		tmplSpec   = fs.String("template", "", "template preference shared by all users")
+		cacheCap   = fs.Int("cache", 4096, "result cache capacity in entries (negative disables)")
+		shards     = fs.Int("cache-shards", 16, "result cache shard count")
+		workers    = fs.Int("workers", 0, "max concurrent engine queries (0 = GOMAXPROCS)")
+		queryTO    = fs.Duration("query-timeout", 0, "per-query deadline for uncached queries (0 = none)")
+		demo       = fs.Bool("demo", false, "host the built-in flights demo dataset")
 	)
 	fs.Var(&datasets, "dataset", "name=schema.json,data.csv (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +86,7 @@ func run(args []string) error {
 		CacheCapacity: *cacheCap,
 		CacheShards:   *shards,
 		Workers:       *workers,
+		QueryTimeout:  *queryTO,
 	})
 	cfgFor := func(schema *data.Schema) (service.EngineConfig, error) {
 		tmpl, err := data.ParsePreference(schema, *tmplSpec)
@@ -80,9 +94,10 @@ func run(args []string) error {
 			return service.EngineConfig{}, fmt.Errorf("parsing template: %w", err)
 		}
 		return service.EngineConfig{
-			Kind:     *engine,
-			Template: tmpl,
-			Tree:     prefsky.TreeOptions{TopK: *topK},
+			Kind:       *engine,
+			Template:   tmpl,
+			Tree:       prefsky.TreeOptions{TopK: *topK},
+			Partitions: *partitions,
 		}, nil
 	}
 
@@ -117,8 +132,48 @@ func run(args []string) error {
 		log.Printf("dataset %q: %d points, engine %s (%d bytes)",
 			info.Name, info.Points, info.Engine, info.EngineBytes)
 	}
-	log.Printf("skylined listening on %s", *addr)
-	return http.ListenAndServe(*addr, newServer(svc))
+	return serve(*addr, newServer(svc))
+}
+
+// serve runs a hardened http.Server until the listener fails or the process
+// receives SIGINT/SIGTERM, then drains in-flight requests gracefully. The
+// explicit read/write timeouts bound slow or stalled clients (slowloris)
+// that the bare http.ListenAndServe defaults would let hold connections
+// forever.
+func serve(addr string, handler http.Handler) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("skylined listening on %s", addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second signal kills hard
+		log.Printf("skylined shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
 }
 
 // loadDataset parses one -dataset spec and loads the CSV under the schema.

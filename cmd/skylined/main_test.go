@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -9,6 +10,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
 	"prefsky"
 	"prefsky/internal/data"
@@ -79,7 +81,7 @@ func TestQueryMatchesLibrary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := baseline.Skyline(pref)
+	want, err := baseline.Skyline(context.Background(), pref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,6 +189,110 @@ func TestErrorStatuses(t *testing.T) {
 	h.ServeHTTP(rec, req)
 	if rec.Code != 400 {
 		t.Errorf("malformed body: %d, want 400", rec.Code)
+	}
+}
+
+// TestRequestHardening covers the serving-layer input bounds: unknown
+// fields, oversized bodies and oversized batches are rejected before any
+// engine work.
+func TestRequestHardening(t *testing.T) {
+	h, _ := demoServer(t)
+
+	t.Run("unknown field", func(t *testing.T) {
+		req := httptest.NewRequest("POST", "/v1/query",
+			bytes.NewBufferString(`{"dataset":"flights","preferense":"Airline: Gonna<*"}`))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 400 {
+			t.Errorf("typo'd field: %d, want 400", rec.Code)
+		}
+	})
+
+	t.Run("oversized body", func(t *testing.T) {
+		big := bytes.Repeat([]byte("x"), maxBodyBytes+1024)
+		body, _ := json.Marshal(queryRequest{Dataset: "flights", Preference: string(big)})
+		req := httptest.NewRequest("POST", "/v1/query", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Errorf("oversized body: %d, want 413", rec.Code)
+		}
+	})
+
+	t.Run("oversized batch", func(t *testing.T) {
+		prefs := make([]string, maxBatchPreferences+1)
+		for i := range prefs {
+			prefs[i] = "Airline: Gonna<*"
+		}
+		var e errorResponse
+		code := doJSON(t, h, "POST", "/v1/batch", batchRequest{Dataset: "flights", Preferences: prefs}, &e)
+		if code != 400 {
+			t.Errorf("oversized batch: %d, want 400", code)
+		}
+		if e.Error == "" {
+			t.Error("oversized batch: empty error message")
+		}
+	})
+
+	t.Run("batch at limit accepted", func(t *testing.T) {
+		prefs := make([]string, 4)
+		for i := range prefs {
+			prefs[i] = "Airline: Gonna<*"
+		}
+		var resp batchResponse
+		if code := doJSON(t, h, "POST", "/v1/batch", batchRequest{Dataset: "flights", Preferences: prefs}, &resp); code != 200 {
+			t.Errorf("small batch: %d, want 200", code)
+		}
+	})
+}
+
+// TestParallelEngineServes runs the demo dataset behind parallel-sfs and
+// checks the served ids against the sequential baseline.
+func TestParallelEngineServes(t *testing.T) {
+	ds, err := demoFlights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Options{QueryTimeout: time.Minute})
+	if err := svc.AddDataset("flights", ds, service.EngineConfig{Kind: "parallel-sfs", Partitions: 4}); err != nil {
+		t.Fatal(err)
+	}
+	h := newServer(svc)
+	const spec = "Airline: Gonna<Polar<*; Transit: AMS<FRA<*"
+	pref, err := prefsky.ParsePreference(ds.Schema(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := prefsky.NewSFSD(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := baseline.Skyline(context.Background(), pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp queryResponse
+	if code := doJSON(t, h, "POST", "/v1/query", queryRequest{Dataset: "flights", Preference: spec}, &resp); code != 200 {
+		t.Fatalf("query: %d", code)
+	}
+	if !reflect.DeepEqual(resp.IDs, want) {
+		t.Errorf("parallel-sfs ids = %v, want %v", resp.IDs, want)
+	}
+}
+
+// TestClientDisconnectCanceled: a request whose context is already canceled
+// (the client hung up before the query ran) is answered with the 499
+// convention and, crucially, without engine work.
+func TestClientDisconnectCanceled(t *testing.T) {
+	h, _ := demoServer(t)
+	body, _ := json.Marshal(queryRequest{Dataset: "flights", Preference: "Airline: Gonna<*"})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/v1/query", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 499 {
+		t.Errorf("canceled request: %d, want 499", rec.Code)
 	}
 }
 

@@ -1,14 +1,24 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 
 	"prefsky/internal/data"
 	"prefsky/internal/order"
 	"prefsky/internal/service"
+)
+
+// Request hardening bounds: a request body larger than maxBodyBytes or a
+// batch naming more than maxBatchPreferences preferences is rejected before
+// any engine work happens.
+const (
+	maxBodyBytes        = 1 << 20 // 1 MiB
+	maxBatchPreferences = 256
 )
 
 // server is the HTTP front end over the service facade.
@@ -32,21 +42,57 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// writeJSON writes a compact JSON response — the hot query path skips
+// indentation. Encode errors after the header is written cannot reach the
+// client, so they are logged (typically the client went away mid-stream).
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("skylined: encoding response: %v", err)
+	}
+}
+
+// writeJSONIndent is writeJSON with human-friendly indentation, reserved for
+// the low-traffic introspection endpoints (/v1/stats).
+func writeJSONIndent(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		log.Printf("skylined: encoding response: %v", err)
+	}
+}
+
+// decodeJSON reads a bounded request body into v, rejecting unknown fields
+// so a typo'd field name fails loudly instead of silently defaulting.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
 }
 
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	var maxBytesErr *http.MaxBytesError
 	switch {
 	case errors.Is(err, service.ErrUnknownDataset):
 		status = http.StatusNotFound
 	case errors.Is(err, service.ErrNotMaintainable):
 		status = http.StatusConflict
+	case errors.As(err, &maxBytesErr):
+		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.DeadlineExceeded):
+		// The -query-timeout deadline fired before the engine finished.
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client disconnected; 499 (nginx convention) for the access log.
+		status = 499
 	default:
 		// Preference parse/validation problems are client errors.
 		status = http.StatusBadRequest
@@ -63,7 +109,7 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.svc.Stats())
+	writeJSONIndent(w, http.StatusOK, s.svc.Stats())
 }
 
 type queryRequest struct {
@@ -106,8 +152,8 @@ func (s *server) parsePref(dataset, spec string) (*data.Schema, *order.Preferenc
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("decoding request: %w", err))
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
 		return
 	}
 	schema, pref, err := s.parsePref(req.Dataset, req.Preference)
@@ -115,7 +161,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	ids, cached, err := s.svc.Query(req.Dataset, pref)
+	// The request context rides the whole query path: a disconnected client
+	// releases its worker-pool slot and aborts partitioned scans early.
+	ids, cached, err := s.svc.Query(r.Context(), req.Dataset, pref)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -183,8 +231,15 @@ type batchResponse struct {
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("decoding request: %w", err))
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Preferences) > maxBatchPreferences {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("batch of %d preferences exceeds the limit of %d",
+				len(req.Preferences), maxBatchPreferences),
+		})
 		return
 	}
 	schema, err := s.svc.Schema(req.Dataset)
@@ -214,7 +269,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			runIdx = append(runIdx, i)
 		}
 	}
-	for j, res := range s.svc.Batch(req.Dataset, runnable) {
+	for j, res := range s.svc.Batch(r.Context(), req.Dataset, runnable) {
 		m := &members[runIdx[j]]
 		if res.Err != nil {
 			m.Error = res.Err.Error()

@@ -1,6 +1,7 @@
 package prefsky_test
 
 import (
+	"context"
 	"fmt"
 
 	"prefsky"
@@ -18,7 +19,7 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	ids, err := engine.Skyline(pref)
+	ids, err := engine.Skyline(context.Background(), pref)
 	if err != nil {
 		panic(err)
 	}
@@ -86,7 +87,7 @@ func ExampleNewHybrid() {
 	if err != nil {
 		panic(err)
 	}
-	ids, err := engine.Skyline(pref)
+	ids, err := engine.Skyline(context.Background(), pref)
 	if err != nil {
 		panic(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -43,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ids, err := ipo.Skyline(pref)
+	ids, err := ipo.Skyline(context.Background(), pref)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func main() {
 		for ei, e := range []prefsky.Engine{ipo, sfsa, sfsd} {
 			start := time.Now()
 			for _, q := range queries {
-				if _, err := e.Skyline(q); err != nil {
+				if _, err := e.Skyline(context.Background(), q); err != nil {
 					log.Fatal(err)
 				}
 			}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -74,7 +75,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ids, err := engine.Skyline(pref)
+		ids, err := engine.Skyline(context.Background(), pref)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -76,7 +77,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ids, err := engine.Skyline(pref)
+		ids, err := engine.Skyline(context.Background(), pref)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package prefsky_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -64,14 +65,14 @@ func TestExhaustiveAllPreferencesTable3(t *testing.T) {
 				t.Fatal(err)
 			}
 			want := skyline.Naive(ds.Points(), cmp)
-			gotTree, err := tree.Skyline(pref)
+			gotTree, err := tree.Skyline(context.Background(), pref)
 			if err != nil {
 				t.Fatalf("%v: tree: %v", pref, err)
 			}
 			if !reflect.DeepEqual(gotTree, want) {
 				t.Fatalf("%v: tree = %v, naive = %v", pref, gotTree, want)
 			}
-			gotSFSA, err := sfsa.Skyline(pref)
+			gotSFSA, err := sfsa.Skyline(context.Background(), pref)
 			if err != nil {
 				t.Fatalf("%v: SFS-A: %v", pref, err)
 			}
@@ -83,6 +84,47 @@ func TestExhaustiveAllPreferencesTable3(t *testing.T) {
 	}
 	if checked != 256 {
 		t.Errorf("checked %d preference combinations, want 256", checked)
+	}
+}
+
+// TestExhaustiveParallelAllPreferencesTable3 extends the exhaustive sweep to
+// the partitioned engine: for every implicit preference over Table 3 and
+// every partition count 1..8, parallel-sfs must return exactly the naive
+// reference skyline. Table 3 is smaller than any sensible block size, so the
+// explicit partition counts force genuinely multi-block executions (blocks
+// down to one point each) through the merge-filter.
+func TestExhaustiveParallelAllPreferencesTable3(t *testing.T) {
+	ds := prefsky.Table3()
+	schema := ds.Schema()
+	engines := make([]prefsky.Engine, 0, 8)
+	for parts := 1; parts <= 8; parts++ {
+		e, err := prefsky.NewParallelSFS(ds, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, e)
+	}
+	for _, h := range enumerateImplicit(3) {
+		for _, a := range enumerateImplicit(3) {
+			pref, err := prefsky.NewPreference(h, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmp, err := dominance.NewComparator(schema, pref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := skyline.Naive(ds.Points(), cmp)
+			for parts, e := range engines {
+				got, err := e.Skyline(context.Background(), pref)
+				if err != nil {
+					t.Fatalf("%v: parallel(%d): %v", pref, parts+1, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%v: parallel(%d) = %v, naive = %v", pref, parts+1, got, want)
+				}
+			}
+		}
 	}
 }
 
@@ -99,7 +141,7 @@ func TestExhaustiveSkylineAlwaysNonEmpty(t *testing.T) {
 	for _, h := range enumerateImplicit(3) {
 		for _, a := range enumerateImplicit(3) {
 			pref, _ := prefsky.NewPreference(h, a)
-			got, err := tree.Skyline(pref)
+			got, err := tree.Skyline(context.Background(), pref)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -2,6 +2,7 @@ package prefsky_test
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"testing"
 
@@ -58,7 +59,7 @@ func TestMediumScaleCrossValidation(t *testing.T) {
 
 	engines := []prefsky.Engine{ipo, bitmap, sfsa, hyb}
 	for qi, q := range queries {
-		want, err := sfsd.Skyline(q)
+		want, err := sfsd.Skyline(context.Background(), q)
 		if err != nil {
 			t.Fatalf("query %d: SFS-D: %v", qi, err)
 		}
@@ -66,7 +67,7 @@ func TestMediumScaleCrossValidation(t *testing.T) {
 			t.Fatalf("query %d: empty skyline (workload degenerate)", qi)
 		}
 		for _, e := range engines {
-			got, err := e.Skyline(q)
+			got, err := e.Skyline(context.Background(), q)
 			if err != nil {
 				t.Fatalf("query %d: %s: %v", qi, e.Name(), err)
 			}
@@ -102,7 +103,7 @@ func TestWorkloadReplayRoundTrip(t *testing.T) {
 	}
 	firstRun := make([][]prefsky.PointID, len(queries))
 	for i, q := range queries {
-		firstRun[i], err = sfsa.Skyline(q)
+		firstRun[i], err = sfsa.Skyline(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +123,7 @@ func TestWorkloadReplayRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, q := range replayed {
-		got, err := fresh.Skyline(q)
+		got, err := fresh.Skyline(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,6 +38,9 @@ type Config struct {
 	Mode        gen.ValueMode // how query values are drawn
 	Seed        int64
 	Parallelism int
+	// SFSPartitions, when positive, adds a "Parallel-SFS" row: SFS-D divided
+	// over that many concurrent blocks with a merge-filter.
+	SFSPartitions int
 
 	// FrequentTemplate applies the §5 default template (most frequent value
 	// preferred per nominal dimension); otherwise the template is empty.
@@ -230,13 +234,31 @@ func RunPoint(label string, cfg Config) (Cell, error) {
 	}
 	sfsdRes := AlgoResult{Name: "SFS-D"}
 	sfsdRes.QueryAvg, err = timeQueries(queries, func(q *order.Preference) error {
-		_, err := sfsd.Skyline(q)
+		_, err := sfsd.Skyline(context.Background(), q)
 		return err
 	})
 	if err != nil {
 		return Cell{}, err
 	}
 	cell.Algos = append(cell.Algos, sfsdRes)
+
+	// Parallel-SFS: the multi-core SFS-D counterpart, measured over the same
+	// queries so the sequential/partitioned speedup reads off one cell.
+	if cfg.SFSPartitions > 0 {
+		par, err := core.NewParallelSFS(ds, cfg.SFSPartitions)
+		if err != nil {
+			return Cell{}, err
+		}
+		parRes := AlgoResult{Name: "Parallel-SFS"}
+		parRes.QueryAvg, err = timeQueries(queries, func(q *order.Preference) error {
+			_, err := par.Skyline(context.Background(), q)
+			return err
+		})
+		if err != nil {
+			return Cell{}, err
+		}
+		cell.Algos = append(cell.Algos, parRes)
+	}
 
 	return cell, nil
 }
@@ -250,7 +272,7 @@ func runEngine(name string, queries []*order.Preference, build func() (core.Engi
 	}
 	res := AlgoResult{Name: name, Preprocess: time.Since(start), Storage: e.SizeBytes()}
 	res.QueryAvg, err = timeQueries(queries, func(q *order.Preference) error {
-		_, err := e.Skyline(q)
+		_, err := e.Skyline(context.Background(), q)
 		return err
 	})
 	if err != nil {

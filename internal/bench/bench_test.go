@@ -58,6 +58,26 @@ func TestRunPointPopulatesCell(t *testing.T) {
 	}
 }
 
+// TestRunPointParallelRow: SFSPartitions adds a Parallel-SFS measurement.
+func TestRunPointParallelRow(t *testing.T) {
+	cfg := tiny()
+	cfg.SFSPartitions = 4
+	cell, err := RunPoint("tiny-parallel", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, ok := cell.Algo("Parallel-SFS")
+	if !ok {
+		t.Fatal("Parallel-SFS row missing")
+	}
+	if par.QueryAvg <= 0 {
+		t.Error("Parallel-SFS: non-positive query time")
+	}
+	if par.Storage != 0 {
+		t.Error("Parallel-SFS reported storage")
+	}
+}
+
 func TestRunPointSkipFullTree(t *testing.T) {
 	cfg := tiny()
 	cfg.SkipFullTree = true

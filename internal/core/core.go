@@ -2,10 +2,12 @@
 // primary contributions — IPO-Tree Search (§3) and Adaptive SFS (§4) — live
 // in their own packages (internal/ipotree, internal/adaptive); core provides
 // the uniform Engine view used by the public API, the CLIs and the benchmark
-// harness, plus the SFS-D baseline and the hybrid of §5.3.
+// harness, plus the SFS-D baseline, the hybrid of §5.3 and the partitioned
+// multi-core engines of internal/parallel.
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -15,18 +17,32 @@ import (
 	"prefsky/internal/hybrid"
 	"prefsky/internal/ipotree"
 	"prefsky/internal/order"
+	"prefsky/internal/parallel"
 	"prefsky/internal/skyline"
 )
 
 // Engine answers implicit-preference skyline queries.
 type Engine interface {
 	// Name identifies the algorithm (the labels of §5: "IPO Tree",
-	// "IPO Tree-10", "SFS-A", "SFS-D", "Hybrid").
+	// "IPO Tree-10", "SFS-A", "SFS-D", "Hybrid", plus the partitioned
+	// "Parallel-SFS" and "Parallel-Hybrid").
 	Name() string
-	// Skyline returns SKY(R̃′) as ascending point ids.
-	Skyline(pref *order.Preference) ([]data.PointID, error)
+	// Skyline returns SKY(R̃′) as ascending point ids. The context bounds
+	// the query: engines observe cancellation at least on entry, and the
+	// partitioned engines abort between blocks, returning ctx.Err().
+	Skyline(ctx context.Context, pref *order.Preference) ([]data.PointID, error)
 	// SizeBytes reports the storage the engine retains beyond the dataset.
 	SizeBytes() int
+}
+
+// Options configures engine construction for NewByName.
+type Options struct {
+	// Tree configures tree construction for the tree-backed kinds and is
+	// ignored otherwise.
+	Tree ipotree.Options
+	// Partitions is the block count for the parallel kinds (0 = GOMAXPROCS)
+	// and is ignored otherwise.
+	Partitions int
 }
 
 // ipoEngine adapts *ipotree.Tree.
@@ -36,7 +52,10 @@ type ipoEngine struct {
 }
 
 func (e *ipoEngine) Name() string { return e.name }
-func (e *ipoEngine) Skyline(pref *order.Preference) ([]data.PointID, error) {
+func (e *ipoEngine) Skyline(ctx context.Context, pref *order.Preference) ([]data.PointID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return e.tree.Query(pref)
 }
 func (e *ipoEngine) SizeBytes() int { return e.tree.SizeBytes() }
@@ -63,7 +82,10 @@ type adaptiveEngine struct {
 }
 
 func (a *adaptiveEngine) Name() string { return "SFS-A" }
-func (a *adaptiveEngine) Skyline(pref *order.Preference) ([]data.PointID, error) {
+func (a *adaptiveEngine) Skyline(ctx context.Context, pref *order.Preference) ([]data.PointID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return a.e.Query(pref)
 }
 func (a *adaptiveEngine) SizeBytes() int { return a.e.SizeBytes() }
@@ -95,7 +117,10 @@ func NewSFSD(ds *data.Dataset) (*SFSD, error) {
 func (s *SFSD) Name() string { return "SFS-D" }
 
 // Skyline implements Engine by running SFS over the whole dataset.
-func (s *SFSD) Skyline(pref *order.Preference) ([]data.PointID, error) {
+func (s *SFSD) Skyline(ctx context.Context, pref *order.Preference) ([]data.PointID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cmp, err := dominance.NewComparator(s.ds.Schema(), pref)
 	if err != nil {
 		return nil, err
@@ -113,7 +138,10 @@ type hybridEngine struct {
 }
 
 func (h *hybridEngine) Name() string { return "Hybrid" }
-func (h *hybridEngine) Skyline(pref *order.Preference) ([]data.PointID, error) {
+func (h *hybridEngine) Skyline(ctx context.Context, pref *order.Preference) ([]data.PointID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return h.e.Query(pref)
 }
 func (h *hybridEngine) SizeBytes() int { return h.e.SizeBytes() }
@@ -127,8 +155,55 @@ func NewHybrid(ds *data.Dataset, template *order.Preference, treeOpts ipotree.Op
 	return &hybridEngine{e: e}, nil
 }
 
-// Kinds lists the engine names NewByName accepts, in the paper's order.
-func Kinds() []string { return []string{"ipo", "sfsa", "sfsd", "hybrid"} }
+// parallelEngine adapts *parallel.Engine.
+type parallelEngine struct {
+	e *parallel.Engine
+}
+
+func (p *parallelEngine) Name() string { return "Parallel-SFS" }
+func (p *parallelEngine) Skyline(ctx context.Context, pref *order.Preference) ([]data.PointID, error) {
+	return p.e.Skyline(ctx, pref)
+}
+func (p *parallelEngine) SizeBytes() int { return p.e.SizeBytes() }
+
+// NewParallelSFS builds the partitioned multi-core SFS-D counterpart:
+// P concurrent block scans plus a merge-filter. partitions <= 0 defaults to
+// GOMAXPROCS.
+func NewParallelSFS(ds *data.Dataset, partitions int) (Engine, error) {
+	e, err := parallel.New(ds, partitions)
+	if err != nil {
+		return nil, err
+	}
+	return &parallelEngine{e: e}, nil
+}
+
+// parallelHybridEngine adapts *parallel.Hybrid.
+type parallelHybridEngine struct {
+	e *parallel.Hybrid
+}
+
+func (p *parallelHybridEngine) Name() string { return "Parallel-Hybrid" }
+func (p *parallelHybridEngine) Skyline(ctx context.Context, pref *order.Preference) ([]data.PointID, error) {
+	return p.e.Skyline(ctx, pref)
+}
+func (p *parallelHybridEngine) SizeBytes() int { return p.e.SizeBytes() }
+
+// NewParallelHybrid builds the hybrid whose unmaterialized-value fallback is
+// the partitioned scan instead of single-threaded SFS-A: tree hits stay
+// instant, and the slow path uses every core.
+func NewParallelHybrid(ds *data.Dataset, template *order.Preference, treeOpts ipotree.Options, partitions int) (Engine, error) {
+	e, err := parallel.NewHybrid(ds, template, treeOpts, partitions)
+	if err != nil {
+		return nil, err
+	}
+	return &parallelHybridEngine{e: e}, nil
+}
+
+// Kinds lists the engine names NewByName accepts, in the paper's order with
+// the partitioned engines last.
+func Kinds() []string {
+	return []string{"ipo", "sfsa", "sfsd", "hybrid", "parallel-sfs", "parallel-hybrid"}
+}
 
 // NewByName builds an engine from its configuration name, the selector used
 // by the CLIs and the service registry. Accepted kinds (case-insensitive,
@@ -138,18 +213,25 @@ func Kinds() []string { return []string{"ipo", "sfsa", "sfsd", "hybrid"} }
 //	sfsa, sfs-a               → NewAdaptiveSFS
 //	sfsd, sfs-d               → NewSFSD
 //	hybrid                    → NewHybrid
+//	parallel-sfs, psfs        → NewParallelSFS
+//	parallel-hybrid, phybrid  → NewParallelHybrid
 //
-// treeOpts applies to the tree-backed kinds and is ignored otherwise.
-func NewByName(kind string, ds *data.Dataset, template *order.Preference, treeOpts ipotree.Options) (Engine, error) {
+// opts.Tree applies to the tree-backed kinds, opts.Partitions to the
+// parallel kinds; both are ignored otherwise.
+func NewByName(kind string, ds *data.Dataset, template *order.Preference, opts Options) (Engine, error) {
 	switch strings.ToLower(strings.TrimSpace(kind)) {
 	case "ipo", "ipotree", "ipo tree", "ipo-tree":
-		return NewIPOTree(ds, template, treeOpts)
+		return NewIPOTree(ds, template, opts.Tree)
 	case "sfsa", "sfs-a":
 		return NewAdaptiveSFS(ds, template)
 	case "sfsd", "sfs-d":
 		return NewSFSD(ds)
 	case "hybrid":
-		return NewHybrid(ds, template, treeOpts)
+		return NewHybrid(ds, template, opts.Tree)
+	case "parallel-sfs", "parallelsfs", "parallel sfs", "psfs":
+		return NewParallelSFS(ds, opts.Partitions)
+	case "parallel-hybrid", "parallelhybrid", "parallel hybrid", "phybrid":
+		return NewParallelHybrid(ds, template, opts.Tree, opts.Partitions)
 	default:
 		return nil, fmt.Errorf("core: unknown engine kind %q (want one of %s)",
 			kind, strings.Join(Kinds(), ", "))
@@ -173,4 +255,6 @@ var (
 	_ Engine = (*adaptiveEngine)(nil)
 	_ Engine = (*SFSD)(nil)
 	_ Engine = (*hybridEngine)(nil)
+	_ Engine = (*parallelEngine)(nil)
+	_ Engine = (*parallelHybridEngine)(nil)
 )

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -28,7 +29,15 @@ func engines(t *testing.T) []Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return []Engine{ipo, sfsa, sfsd, hyb}
+	psfs, err := NewParallelSFS(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phyb, err := NewParallelHybrid(ds, tmpl, ipotree.Options{TopK: 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Engine{ipo, sfsa, sfsd, hyb, psfs, phyb}
 }
 
 func TestAllEnginesAgreeOnTable2(t *testing.T) {
@@ -49,7 +58,7 @@ func TestAllEnginesAgreeOnTable2(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := e.Skyline(pref)
+			got, err := e.Skyline(context.Background(), pref)
 			if err != nil {
 				t.Fatalf("%s: Skyline(%q): %v", e.Name(), c.pref, err)
 			}
@@ -65,7 +74,7 @@ func TestAllEnginesAgreeOnTable2(t *testing.T) {
 }
 
 func TestEngineNames(t *testing.T) {
-	want := []string{"IPO Tree", "SFS-A", "SFS-D", "Hybrid"}
+	want := []string{"IPO Tree", "SFS-A", "SFS-D", "Hybrid", "Parallel-SFS", "Parallel-Hybrid"}
 	for i, e := range engines(t) {
 		if e.Name() != want[i] {
 			t.Errorf("engine %d name = %q, want %q", i, e.Name(), want[i])
@@ -82,12 +91,13 @@ func TestEngineNames(t *testing.T) {
 }
 
 func TestStorageOrdering(t *testing.T) {
-	// SFS-D keeps nothing; the materializing engines keep something.
+	// SFS-D and Parallel-SFS keep nothing; the materializing engines keep
+	// something.
 	es := engines(t)
 	for _, e := range es {
-		if e.Name() == "SFS-D" {
+		if e.Name() == "SFS-D" || e.Name() == "Parallel-SFS" {
 			if e.SizeBytes() != 0 {
-				t.Errorf("SFS-D SizeBytes = %d, want 0", e.SizeBytes())
+				t.Errorf("%s SizeBytes = %d, want 0", e.Name(), e.SizeBytes())
 			}
 		} else if e.SizeBytes() <= 0 {
 			t.Errorf("%s SizeBytes = %d, want > 0", e.Name(), e.SizeBytes())
@@ -108,6 +118,12 @@ func TestConstructorErrors(t *testing.T) {
 	if _, err := NewHybrid(nil, nil, ipotree.Options{}); err == nil {
 		t.Error("NewHybrid(nil) accepted")
 	}
+	if _, err := NewParallelSFS(nil, 2); err == nil {
+		t.Error("NewParallelSFS(nil) accepted")
+	}
+	if _, err := NewParallelHybrid(nil, nil, ipotree.Options{}, 2); err == nil {
+		t.Error("NewParallelHybrid(nil) accepted")
+	}
 }
 
 func TestNewByName(t *testing.T) {
@@ -121,9 +137,14 @@ func TestNewByName(t *testing.T) {
 		"sfsd":    "SFS-D",
 		"sfs-d":   "SFS-D",
 		"hybrid":  "Hybrid",
+
+		"parallel-sfs":    "Parallel-SFS",
+		"psfs":            "Parallel-SFS",
+		"parallel-hybrid": "Parallel-Hybrid",
+		"phybrid":         "Parallel-Hybrid",
 	}
 	for kind, want := range cases {
-		e, err := NewByName(kind, ds, tmpl, ipotree.Options{})
+		e, err := NewByName(kind, ds, tmpl, Options{Partitions: 2})
 		if err != nil {
 			t.Fatalf("NewByName(%q): %v", kind, err)
 		}
@@ -131,8 +152,26 @@ func TestNewByName(t *testing.T) {
 			t.Errorf("NewByName(%q).Name() = %q, want %q", kind, e.Name(), want)
 		}
 	}
-	if _, err := NewByName("bogus", ds, tmpl, ipotree.Options{}); err == nil {
+	if _, err := NewByName("bogus", ds, tmpl, Options{}); err == nil {
 		t.Error("NewByName(bogus) succeeded, want error")
+	}
+	for _, kind := range Kinds() {
+		if _, err := NewByName(kind, ds, tmpl, Options{}); err != nil {
+			t.Errorf("NewByName(%q) from Kinds(): %v", kind, err)
+		}
+	}
+}
+
+// TestCanceledContextRejected: every engine refuses an already-canceled
+// context instead of doing work.
+func TestCanceledContextRejected(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pref := data.Table1().Schema().EmptyPreference()
+	for _, e := range engines(t) {
+		if _, err := e.Skyline(ctx, pref); err == nil {
+			t.Errorf("%s: Skyline with canceled context succeeded", e.Name())
+		}
 	}
 }
 

@@ -1,0 +1,332 @@
+// Package parallel computes skylines by divide-and-conquer partitioning: the
+// dataset is split into P blocks, each block's local skyline is computed
+// concurrently with SFS (reusing internal/skyline), and the partial skylines
+// are merge-filtered into the global result. It is the multi-core counterpart
+// of the SFS-D baseline and composes with the variable-preference model of
+// Wong et al. because every partition shares one dominance comparator per
+// canonical preference.
+//
+// Correctness of the merge-filter rests on two facts:
+//
+//  1. Local dominance implies global candidacy: if p is dominated by some q
+//     in its own block, p is not in the global skyline, so the global skyline
+//     is a subset of the union of the local skylines.
+//  2. Checking local survivors suffices: if any q in block B' dominates p,
+//     then either q is in SKY(B') or some q' in SKY(B') dominates q, and
+//     dominance is transitive, so q' dominates p too. Hence p is globally
+//     non-dominated iff no *local skyline point* of another block dominates
+//     it.
+//
+// Every phase honors the query context: block scans poll it between yielded
+// skyline points, and the merge phase polls it between candidates, so a
+// canceled request (client disconnect, deadline) stops burning cores early.
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/ipotree"
+	"prefsky/internal/order"
+	"prefsky/internal/skyline"
+)
+
+// minAutoBlock is the smallest block a *defaulted* partition count will
+// produce: below this the per-goroutine and merge overheads outweigh the
+// parallel scan. Explicit partition counts are honored exactly (capped at N)
+// so tests can exercise multi-block execution on small datasets.
+const minAutoBlock = 512
+
+// normalize resolves the effective partition count for n points.
+func normalize(n, partitions int) int {
+	if partitions <= 0 {
+		partitions = runtime.GOMAXPROCS(0)
+		if max := n / minAutoBlock; partitions > max {
+			partitions = max
+		}
+	}
+	if partitions > n {
+		partitions = n
+	}
+	if partitions < 1 {
+		partitions = 1
+	}
+	return partitions
+}
+
+// Skyline computes SKY(points) under cmp using partitions concurrent blocks.
+// partitions <= 0 picks GOMAXPROCS (scaled down for small inputs). The result
+// is ascending point ids, identical to skyline.SFS over the same input. The
+// context cancels the computation between blocks and merge candidates; the
+// first ctx.Err() observed is returned.
+func Skyline(ctx context.Context, points []data.Point, cmp *dominance.Comparator, partitions int) ([]data.PointID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n := len(points)
+	partitions = normalize(n, partitions)
+	if partitions <= 1 {
+		return localScan(ctx, points, cmp)
+	}
+
+	// Phase 1: concurrent per-block SFS. Blocks are contiguous slices of the
+	// input; no points are copied. Each local skyline comes back in ascending
+	// f order with its scores, which the merge phase uses for pruning.
+	blocks := split(points, partitions)
+	locals := make([]localResult, len(blocks))
+	errs := make([]error, len(blocks))
+	var wg sync.WaitGroup
+	for i, blk := range blocks {
+		wg.Add(1)
+		go func(i int, blk []data.Point) {
+			defer wg.Done()
+			locals[i], errs[i] = localSkyline(ctx, blk, cmp)
+		}(i, blk)
+	}
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: concurrent merge-filter. A survivor of block i stays iff no
+	// local skyline point of another block dominates it (see the package
+	// comment for why other blocks' non-skyline points need not be checked).
+	survivors := make([][]data.PointID, len(locals))
+	for i := range locals {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			survivors[i], errs[i] = mergeFilter(ctx, cmp, i, locals)
+		}(i)
+	}
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+
+	total := 0
+	for _, s := range survivors {
+		total += len(s)
+	}
+	out := make([]data.PointID, 0, total)
+	for _, s := range survivors {
+		out = append(out, s...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// split cuts points into p contiguous blocks of near-equal size.
+func split(points []data.Point, p int) [][]data.Point {
+	n := len(points)
+	blocks := make([][]data.Point, 0, p)
+	for i := 0; i < p; i++ {
+		lo, hi := i*n/p, (i+1)*n/p
+		if lo < hi {
+			blocks = append(blocks, points[lo:hi])
+		}
+	}
+	return blocks
+}
+
+// localResult is one block's skyline in ascending f order plus the matching
+// scores, the merge phase's pruning key.
+type localResult struct {
+	points []data.Point
+	scores []float64
+}
+
+// localSkyline runs SFS over one block, polling the context between yielded
+// skyline points.
+func localSkyline(ctx context.Context, block []data.Point, cmp *dominance.Comparator) (localResult, error) {
+	it := skyline.NewIterator(block, cmp)
+	var out localResult
+	for {
+		if err := ctx.Err(); err != nil {
+			return localResult{}, err
+		}
+		p, ok := it.Next()
+		if !ok {
+			return out, nil
+		}
+		out.points = append(out.points, p)
+		out.scores = append(out.scores, cmp.Score(&p))
+	}
+}
+
+// localScan is the single-partition fast path: plain SFS with a context check
+// up front (the caller already checked, but keep the invariant local).
+func localScan(ctx context.Context, points []data.Point, cmp *dominance.Comparator) ([]data.PointID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return skyline.SFS(points, cmp), nil
+}
+
+// mergeFilter keeps the points of locals[i] not dominated by any local
+// skyline point of another block, polling the context between candidates.
+// Because p ≺ q implies f(p) < f(q) (§4.1's monotone scoring), only points
+// with a strictly smaller score can dominate a candidate, and each local
+// skyline is ascending in f — so the scan of every other block stops at the
+// candidate's own score.
+func mergeFilter(ctx context.Context, cmp *dominance.Comparator, i int, locals []localResult) ([]data.PointID, error) {
+	var out []data.PointID
+	for c := range locals[i].points {
+		if c&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		p := &locals[i].points[c]
+		score := locals[i].scores[c]
+		dominated := false
+		for j := range locals {
+			if j == i {
+				continue
+			}
+			other := &locals[j]
+			for q := range other.points {
+				if other.scores[q] >= score {
+					break
+				}
+				if cmp.Dominates(&other.points[q], p) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p.ID)
+		}
+	}
+	return out, nil
+}
+
+// firstError returns the first non-nil error, preferring non-context errors
+// so a real failure is not masked by sibling blocks observing cancellation.
+func firstError(errs []error) error {
+	var ctxErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return err
+	}
+	return ctxErr
+}
+
+// Engine is the "parallel-sfs" core engine: SFS-D divided over P blocks per
+// query. Like SFS-D it needs no preprocessing and retains no storage, so it
+// is safe for concurrent use and always reflects the dataset it wraps.
+type Engine struct {
+	ds    *data.Dataset
+	parts int
+
+	queries atomic.Uint64
+}
+
+// New wraps a dataset as a partitioned SFS engine. partitions <= 0 defaults
+// to GOMAXPROCS at query time.
+func New(ds *data.Dataset, partitions int) (*Engine, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("parallel: nil dataset")
+	}
+	return &Engine{ds: ds, parts: partitions}, nil
+}
+
+// Partitions returns the configured partition count (0 = GOMAXPROCS).
+func (e *Engine) Partitions() int { return e.parts }
+
+// Skyline answers SKY(pref) with the partitioned scan.
+func (e *Engine) Skyline(ctx context.Context, pref *order.Preference) ([]data.PointID, error) {
+	cmp, err := dominance.NewComparator(e.ds.Schema(), pref)
+	if err != nil {
+		return nil, err
+	}
+	e.queries.Add(1)
+	return Skyline(ctx, e.ds.Points(), cmp, e.parts)
+}
+
+// SizeBytes reports zero: like SFS-D, the engine keeps nothing beyond the
+// dataset.
+func (e *Engine) SizeBytes() int { return 0 }
+
+// Queries returns the number of Skyline calls served.
+func (e *Engine) Queries() uint64 { return e.queries.Load() }
+
+// Stats counts how Hybrid queries were routed.
+type Stats struct {
+	TreeHits  int64
+	Fallbacks int64
+}
+
+// Hybrid is the "parallel-hybrid" engine: a (typically top-K restricted)
+// IPO-tree answers queries over materialized values instantly, and queries
+// naming unmaterialized values fall back to the partitioned scan instead of
+// the single-threaded SFS-A fallback of internal/hybrid — the slow path is
+// exactly where multi-core helps.
+type Hybrid struct {
+	tree *ipotree.Tree
+	par  *Engine
+
+	treeHits  atomic.Int64
+	fallbacks atomic.Int64
+}
+
+// NewHybrid builds the tree and the partitioned fallback over one dataset.
+func NewHybrid(ds *data.Dataset, template *order.Preference, treeOpts ipotree.Options, partitions int) (*Hybrid, error) {
+	tree, err := ipotree.Build(ds, template, treeOpts)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: building tree: %w", err)
+	}
+	par, err := New(ds, partitions)
+	if err != nil {
+		return nil, err
+	}
+	return &Hybrid{tree: tree, par: par}, nil
+}
+
+// Skyline answers with the tree when every queried value is materialized and
+// with the partitioned scan otherwise.
+func (h *Hybrid) Skyline(ctx context.Context, pref *order.Preference) ([]data.PointID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ids, err := h.tree.Query(pref)
+	if err == nil {
+		h.treeHits.Add(1)
+		return ids, nil
+	}
+	if !errors.Is(err, ipotree.ErrNotMaterialized) {
+		return nil, err
+	}
+	h.fallbacks.Add(1)
+	return h.par.Skyline(ctx, pref)
+}
+
+// Tree exposes the underlying IPO-tree (metrics, tests).
+func (h *Hybrid) Tree() *ipotree.Tree { return h.tree }
+
+// Stats returns the routing counters.
+func (h *Hybrid) Stats() Stats {
+	return Stats{TreeHits: h.treeHits.Load(), Fallbacks: h.fallbacks.Load()}
+}
+
+// SizeBytes reports the tree's storage; the fallback keeps nothing.
+func (h *Hybrid) SizeBytes() int { return h.tree.SizeBytes() }

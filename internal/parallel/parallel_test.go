@@ -1,0 +1,280 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/gen"
+	"prefsky/internal/ipotree"
+	"prefsky/internal/skyline"
+)
+
+// randomFixture builds one random dataset plus a query workload.
+func randomFixture(t testing.TB, n, numDims, nomDims, card int, seed int64) (*data.Dataset, []*dominance.Comparator) {
+	t.Helper()
+	ds, err := gen.Dataset(gen.Config{
+		N: n, NumDims: numDims, NomDims: nomDims, Cardinality: card,
+		Theta: 1, Kind: gen.AntiCorrelated, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := ds.Schema().EmptyPreference()
+	queries, err := gen.Queries(ds.Schema().Cardinalities(), tmpl, gen.QueryConfig{
+		Order: 2, Count: 6, Mode: gen.Zipfian, Theta: 1, Seed: seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmps := make([]*dominance.Comparator, len(queries))
+	for i, q := range queries {
+		if cmps[i], err = dominance.NewComparator(ds.Schema(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds, cmps
+}
+
+// TestSkylineMatchesSFS is the correctness property of the tentpole: for
+// random datasets × random preferences × partition counts 1..8, the
+// partitioned merge-filtered skyline is identical to sequential SFS (SFS-D).
+func TestSkylineMatchesSFS(t *testing.T) {
+	cases := []struct {
+		n, numDims, nomDims, card int
+		seed                      int64
+	}{
+		{0, 2, 1, 4, 1},
+		{1, 2, 1, 4, 2},
+		{7, 1, 2, 3, 3},
+		{100, 2, 2, 6, 4},
+		{500, 3, 2, 10, 5},
+		{1000, 2, 3, 8, 6},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("n=%d/seed=%d", c.n, c.seed), func(t *testing.T) {
+			ds, cmps := randomFixture(t, c.n, c.numDims, c.nomDims, c.card, c.seed)
+			for qi, cmp := range cmps {
+				want := skyline.SFS(ds.Points(), cmp)
+				for parts := 1; parts <= 8; parts++ {
+					got, err := Skyline(context.Background(), ds.Points(), cmp, parts)
+					if err != nil {
+						t.Fatalf("query %d parts %d: %v", qi, parts, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("query %d parts %d: got %v, want %v", qi, parts, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSkylineDefaultPartitions exercises the partitions<=0 (GOMAXPROCS)
+// path, including the small-input scale-down.
+func TestSkylineDefaultPartitions(t *testing.T) {
+	ds, cmps := randomFixture(t, 1200, 2, 2, 6, 9)
+	for _, cmp := range cmps {
+		want := skyline.SFS(ds.Points(), cmp)
+		got, err := Skyline(context.Background(), ds.Points(), cmp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("default partitions diverged: got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestEngineMatchesSFS runs the same property through the Engine wrapper
+// (comparator construction included).
+func TestEngineMatchesSFS(t *testing.T) {
+	ds, err := gen.Dataset(gen.Config{
+		N: 300, NumDims: 2, NomDims: 2, Cardinality: 5,
+		Theta: 1, Kind: gen.AntiCorrelated, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := ds.Schema().EmptyPreference()
+	queries, err := gen.Queries(ds.Schema().Cardinalities(), tmpl, gen.QueryConfig{
+		Order: 2, Count: 8, Mode: gen.Uniform, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for parts := 1; parts <= 8; parts++ {
+		e, err := New(ds, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			cmp, err := dominance.NewComparator(ds.Schema(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := skyline.SFS(ds.Points(), cmp)
+			got, err := e.Skyline(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("parts %d: got %v, want %v", parts, got, want)
+			}
+		}
+	}
+	e, _ := New(ds, 4)
+	if e.Partitions() != 4 {
+		t.Errorf("Partitions() = %d, want 4", e.Partitions())
+	}
+	if e.SizeBytes() != 0 {
+		t.Errorf("SizeBytes() = %d, want 0", e.SizeBytes())
+	}
+}
+
+// TestHybridRoutesAndMatches: materialized queries hit the tree, queries
+// naming unmaterialized values fall back to the partitioned scan, and both
+// paths agree with sequential SFS.
+func TestHybridRoutesAndMatches(t *testing.T) {
+	ds, err := gen.Dataset(gen.Config{
+		N: 400, NumDims: 2, NomDims: 2, Cardinality: 8,
+		Theta: 1, Kind: gen.AntiCorrelated, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := ds.Schema().EmptyPreference()
+	h, err := NewHybrid(ds, tmpl, ipotree.Options{TopK: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform queries mostly name unmaterialized values (fallback); TopK-mode
+	// queries only name materialized ones (tree hits).
+	queries, err := gen.Queries(ds.Schema().Cardinalities(), tmpl, gen.QueryConfig{
+		Order: 2, Count: 8, Mode: gen.Uniform, Seed: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := gen.Queries(ds.Schema().Cardinalities(), tmpl, gen.QueryConfig{
+		Order: 1, Count: 8, Mode: gen.TopK, K: 2, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries = append(queries, hot...)
+	for _, q := range queries {
+		cmp, err := dominance.NewComparator(ds.Schema(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := skyline.SFS(ds.Points(), cmp)
+		got, err := h.Skyline(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("hybrid diverged from SFS: got %v, want %v", got, want)
+		}
+	}
+	st := h.Stats()
+	if st.TreeHits == 0 || st.Fallbacks == 0 {
+		t.Errorf("expected both routes exercised, got %+v", st)
+	}
+	if h.SizeBytes() <= 0 {
+		t.Errorf("hybrid SizeBytes = %d, want > 0", h.SizeBytes())
+	}
+	if h.Tree() == nil {
+		t.Error("Tree() = nil")
+	}
+}
+
+// TestCanceledContext: an already-canceled context aborts before any work,
+// through both the raw function and the engines.
+func TestCanceledContext(t *testing.T) {
+	ds, cmps := randomFixture(t, 200, 2, 2, 5, 31)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Skyline(ctx, ds.Points(), cmps[0], 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("Skyline error = %v, want context.Canceled", err)
+	}
+	e, err := New(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Skyline(ctx, cmps[0].Preference()); !errors.Is(err, context.Canceled) {
+		t.Errorf("Engine error = %v, want context.Canceled", err)
+	}
+}
+
+// TestDeadlineExceeded: an expired deadline surfaces as DeadlineExceeded.
+func TestDeadlineExceeded(t *testing.T) {
+	ds, cmps := randomFixture(t, 200, 2, 2, 5, 37)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := Skyline(ctx, ds.Points(), cmps[0], 4); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestConcurrentCancellation races cancellation against running queries
+// under -race: every outcome must be either a correct result or a context
+// error, never a panic or a wrong skyline.
+func TestConcurrentCancellation(t *testing.T) {
+	ds, cmps := randomFixture(t, 2000, 3, 2, 6, 41)
+	cmp := cmps[0]
+	want := skyline.SFS(ds.Points(), cmp)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			go func() {
+				// Cancel at staggered points while queries run.
+				time.Sleep(time.Duration(i) * 50 * time.Microsecond)
+				cancel()
+				close(done)
+			}()
+			for j := 0; j < 4; j++ {
+				got, err := Skyline(ctx, ds.Points(), cmp, 8)
+				if err != nil {
+					if !errors.Is(err, context.Canceled) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					break
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("racy result diverged")
+				}
+			}
+			<-done
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestNormalize pins the partition-count resolution rules.
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		n, parts, want int
+	}{
+		{100, 1, 1},
+		{100, 4, 4},
+		{3, 8, 3},   // explicit counts cap at N
+		{0, 4, 1},   // empty input: one (empty) block
+		{100, 0, 1}, // defaulted: 100 < minAutoBlock → sequential
+	}
+	for _, c := range cases {
+		if got := normalize(c.n, c.parts); got != c.want {
+			t.Errorf("normalize(%d, %d) = %d, want %d", c.n, c.parts, got, c.want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -60,6 +61,27 @@ func (f *benchFixture) service(b *testing.B, kind string, cacheCapacity int) *Se
 	return svc
 }
 
+// BenchmarkServiceParallelVsSequential compares the partitioned engine with
+// sequential SFS-D through the full serving path (canonicalization, state
+// token, worker pool), caching disabled so every query reaches the engine.
+// On a multi-core host parallel-sfs pulls ahead as N grows; see
+// internal/parallel for the raw algorithm sweep across GOMAXPROCS.
+func BenchmarkServiceParallelVsSequential(b *testing.B) {
+	for _, kind := range []string{"sfsd", "parallel-sfs"} {
+		b.Run(kind, func(b *testing.B) {
+			f := fixture(b)
+			svc := f.service(b, kind, -1)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := svc.Query(ctx, "bench", f.queries[i%len(f.queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkServiceQueryCold measures uncached single-query latency: caching
 // is disabled, so every iteration reaches the engine through the pool.
 func BenchmarkServiceQueryCold(b *testing.B) {
@@ -69,7 +91,7 @@ func BenchmarkServiceQueryCold(b *testing.B) {
 			svc := f.service(b, kind, -1)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := svc.Query("bench", f.queries[i%len(f.queries)]); err != nil {
+				if _, _, err := svc.Query(context.Background(), "bench", f.queries[i%len(f.queries)]); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -85,13 +107,13 @@ func BenchmarkServiceQueryCached(b *testing.B) {
 			f := fixture(b)
 			svc := f.service(b, kind, 1024)
 			for _, q := range f.queries {
-				if _, _, err := svc.Query("bench", q); err != nil {
+				if _, _, err := svc.Query(context.Background(), "bench", q); err != nil {
 					b.Fatal(err)
 				}
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := svc.Query("bench", f.queries[i%len(f.queries)]); err != nil {
+				if _, _, err := svc.Query(context.Background(), "bench", f.queries[i%len(f.queries)]); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -116,7 +138,7 @@ func BenchmarkServiceBatch(b *testing.B) {
 				for j := range batch {
 					batch[j] = f.queries[(i*size+j)%len(f.queries)]
 				}
-				for _, r := range svc.Batch("bench", batch) {
+				for _, r := range svc.Batch(context.Background(), "bench", batch) {
 					if r.Err != nil {
 						b.Fatal(r.Err)
 					}

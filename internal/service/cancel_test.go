@@ -1,0 +1,153 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"prefsky/internal/data"
+	"prefsky/internal/gen"
+	"prefsky/internal/order"
+)
+
+// cancelFixture registers one dataset behind the given engine kind and
+// returns a parsed query for it.
+func cancelFixture(t *testing.T, kind string) (*Registry, *order.Preference) {
+	t.Helper()
+	ds, err := gen.Dataset(gen.Config{
+		N: 300, NumDims: 2, NomDims: 2, Cardinality: 5,
+		Theta: 1, Kind: gen.AntiCorrelated, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	if err := reg.Add("d", ds, EngineConfig{Kind: kind}); err != nil {
+		t.Fatal(err)
+	}
+	queries, err := gen.Queries(ds.Schema().Cardinalities(), ds.Schema().EmptyPreference(),
+		gen.QueryConfig{Order: 2, Count: 1, Mode: gen.Uniform, Seed: 78})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, queries[0]
+}
+
+// TestCancellationReleasesWorkerSlot is the disconnect guarantee of the
+// serving path, run under -race by CI: a query whose context is canceled
+// while queued for a worker slot returns immediately and never occupies the
+// pool, so the slot stays available for live requests.
+func TestCancellationReleasesWorkerSlot(t *testing.T) {
+	reg, pref := cancelFixture(t, "parallel-sfs")
+	x := NewExecutor(reg, NewCache(0, 1), 1, 0)
+
+	// Occupy the executor's only worker slot, simulating a long in-flight
+	// engine query.
+	x.sem <- struct{}{}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := x.Query(ctx, "d", pref)
+		done <- err
+	}()
+	// The query cannot proceed (slot taken); the disconnect must unblock it.
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued query returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled query still queued after 5s: worker slot leaked")
+	}
+
+	// The canceled query must not have consumed the slot: release the manual
+	// hold and a live query must run to completion.
+	<-x.sem
+	ids, cached, err := x.Query(context.Background(), "d", pref)
+	if err != nil {
+		t.Fatalf("live query after cancellation: %v", err)
+	}
+	if cached || len(ids) == 0 {
+		t.Fatalf("live query: cached=%v ids=%d", cached, len(ids))
+	}
+}
+
+// TestQueryTimeoutWhileQueued: with a per-query deadline configured, a query
+// stuck behind a saturated pool fails with DeadlineExceeded instead of
+// waiting forever.
+func TestQueryTimeoutWhileQueued(t *testing.T) {
+	reg, pref := cancelFixture(t, "sfsd")
+	x := NewExecutor(reg, NewCache(0, 1), 1, 10*time.Millisecond)
+	x.sem <- struct{}{} // saturate the pool
+	start := time.Now()
+	_, _, err := x.Query(context.Background(), "d", pref)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, want ~10ms", elapsed)
+	}
+	<-x.sem
+	// With the pool free the same query beats the deadline.
+	if _, _, err := x.Query(context.Background(), "d", pref); err != nil {
+		t.Fatalf("query with free pool: %v", err)
+	}
+}
+
+// TestCacheHitsBypassCancellation: cache hits are served without a worker
+// slot, so they succeed even when the pool is saturated (and even with an
+// expired budget elsewhere).
+func TestCacheHitsBypassCancellation(t *testing.T) {
+	reg, pref := cancelFixture(t, "sfsd")
+	x := NewExecutor(reg, NewCache(16, 1), 1, 0)
+	ids, cached, err := x.Query(context.Background(), "d", pref)
+	if err != nil || cached {
+		t.Fatalf("warmup: cached=%v err=%v", cached, err)
+	}
+	x.sem <- struct{}{} // saturate the pool
+	defer func() { <-x.sem }()
+	got, cached, err := x.Query(context.Background(), "d", pref)
+	if err != nil || !cached {
+		t.Fatalf("hot query under saturation: cached=%v err=%v", cached, err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("hot result %d ids, want %d", len(got), len(ids))
+	}
+}
+
+// TestBatchCancellation: one canceled context fails every queued member of a
+// batch, positionally.
+func TestBatchCancellation(t *testing.T) {
+	reg, pref := cancelFixture(t, "sfsd")
+	x := NewExecutor(reg, NewCache(0, 1), 1, 0)
+	x.sem <- struct{}{} // saturate the pool so every member queues
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := x.Batch(ctx, "d", []*order.Preference{pref, pref, pref})
+	<-x.sem
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("member %d error = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
+// TestServiceQueryTimeoutOption wires the timeout through the Service
+// facade: a parallel-sfs query against an expired deadline never runs.
+func TestServiceQueryTimeoutOption(t *testing.T) {
+	ds := data.Table1()
+	s := New(Options{QueryTimeout: time.Nanosecond, CacheCapacity: -1})
+	if err := s.AddDataset("t", ds, EngineConfig{Kind: "parallel-sfs", Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := s.Query(context.Background(), "t", ds.Schema().EmptyPreference())
+	if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want deadline exceeded", err)
+	}
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -53,7 +54,7 @@ func TestConcurrentHammer(t *testing.T) {
 	}
 	want := make([][]data.PointID, len(queries))
 	for i, q := range queries {
-		if want[i], err = baseline.Skyline(q); err != nil {
+		if want[i], err = baseline.Skyline(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -74,7 +75,7 @@ func TestConcurrentHammer(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; i < iters; i++ {
 				qi := rng.Intn(len(queries))
-				ids, _, err := s.Query("static", queries[qi])
+				ids, _, err := s.Query(context.Background(), "static", queries[qi])
 				if err != nil {
 					errCh <- err
 					return
@@ -85,7 +86,7 @@ func TestConcurrentHammer(t *testing.T) {
 				}
 				// Interleave queries on the dataset under maintenance; the
 				// result set moves, so only check they do not error.
-				if _, _, err := s.Query("mutable", queries[rng.Intn(len(queries))]); err != nil {
+				if _, _, err := s.Query(context.Background(), "mutable", queries[rng.Intn(len(queries))]); err != nil {
 					errCh <- err
 					return
 				}
@@ -109,7 +110,7 @@ func TestConcurrentHammer(t *testing.T) {
 					idx[j] = rng.Intn(len(queries))
 					prefs[j] = queries[idx[j]]
 				}
-				for j, r := range s.Batch("static", prefs) {
+				for j, r := range s.Batch(context.Background(), "static", prefs) {
 					if r.Err != nil {
 						errCh <- r.Err
 						return
@@ -167,7 +168,7 @@ func TestConcurrentHammer(t *testing.T) {
 	// With every maintainer's inserts rolled back, the mutable dataset must
 	// again agree with the untouched baseline on every query.
 	for i, q := range queries {
-		ids, _, err := s.Query("mutable", q)
+		ids, _, err := s.Query(context.Background(), "mutable", q)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,10 +1,12 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"prefsky/internal/data"
 	"prefsky/internal/order"
@@ -21,26 +23,36 @@ type QueryResult struct {
 // at most workers engine queries execute at once, so a traffic burst degrades
 // to queueing instead of unbounded goroutine and CPU pressure. Cache lookups
 // do not consume a worker slot — hits return immediately even under load.
+//
+// Every query is context-bound: a caller whose context is canceled while
+// queued for a worker slot leaves the queue immediately (a disconnected HTTP
+// client stops occupying the pool), and the context reaches the engine so
+// partitioned scans abort between blocks. A non-zero timeout additionally
+// deadline-bounds each query from the moment it misses the cache.
 type Executor struct {
-	reg   *Registry
-	cache *Cache
-	sem   chan struct{}
+	reg     *Registry
+	cache   *Cache
+	sem     chan struct{}
+	timeout time.Duration
 
 	queries atomic.Uint64
 	batches atomic.Uint64
 }
 
 // NewExecutor builds an executor over the registry and cache. workers <= 0
-// defaults to GOMAXPROCS.
-func NewExecutor(reg *Registry, cache *Cache, workers int) *Executor {
+// defaults to GOMAXPROCS; timeout <= 0 means no per-query deadline.
+func NewExecutor(reg *Registry, cache *Cache, workers int, timeout time.Duration) *Executor {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Executor{reg: reg, cache: cache, sem: make(chan struct{}, workers)}
+	return &Executor{reg: reg, cache: cache, sem: make(chan struct{}, workers), timeout: timeout}
 }
 
 // Workers returns the pool bound.
 func (x *Executor) Workers() int { return cap(x.sem) }
+
+// Timeout returns the per-query deadline (0 = none).
+func (x *Executor) Timeout() time.Duration { return x.timeout }
 
 // cacheKey names a result: dataset, its registration + maintenance state,
 // and the preference up to canonical equivalence. Embedding the state means
@@ -59,9 +71,12 @@ func cacheKey(dataset, state string, pref *order.Preference) string {
 // the cache keys on — so a query's outcome never depends on its spelling: a
 // total order and its forced-last prefix behave identically against a top-K
 // restricted tree whether or not the cache is warm.
-func (x *Executor) Query(dataset string, pref *order.Preference) (ids []data.PointID, cached bool, err error) {
+func (x *Executor) Query(ctx context.Context, dataset string, pref *order.Preference) (ids []data.PointID, cached bool, err error) {
 	if pref == nil {
 		return nil, false, fmt.Errorf("service: nil preference")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	pref = pref.Canonical()
 	x.queries.Add(1)
@@ -73,9 +88,20 @@ func (x *Executor) Query(dataset string, pref *order.Preference) (ids []data.Poi
 	if ids, ok := x.cache.Get(key); ok {
 		return ids, true, nil
 	}
-	x.sem <- struct{}{}
+	if x.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, x.timeout)
+		defer cancel()
+	}
+	select {
+	case x.sem <- struct{}{}:
+	case <-ctx.Done():
+		// The caller gave up while queued; its slot was never taken, so the
+		// pool stays free for live requests.
+		return nil, false, ctx.Err()
+	}
 	defer func() { <-x.sem }()
-	ids, state, err = x.reg.Query(dataset, pref)
+	ids, state, err = x.reg.Query(ctx, dataset, pref)
 	if err != nil {
 		return nil, false, err
 	}
@@ -84,9 +110,10 @@ func (x *Executor) Query(dataset string, pref *order.Preference) (ids []data.Poi
 }
 
 // Batch answers many preferences over one dataset, fanning out across the
-// worker pool. Results are positional; each carries its own error so one bad
-// preference does not fail the batch.
-func (x *Executor) Batch(dataset string, prefs []*order.Preference) []QueryResult {
+// worker pool under one shared context. Results are positional; each carries
+// its own error so one bad preference does not fail the batch, but a
+// canceled context fails every member still queued.
+func (x *Executor) Batch(ctx context.Context, dataset string, prefs []*order.Preference) []QueryResult {
 	x.batches.Add(1)
 	out := make([]QueryResult, len(prefs))
 	var wg sync.WaitGroup
@@ -94,7 +121,7 @@ func (x *Executor) Batch(dataset string, prefs []*order.Preference) []QueryResul
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			out[i].IDs, out[i].Cached, out[i].Err = x.Query(dataset, pref)
+			out[i].IDs, out[i].Cached, out[i].Err = x.Query(ctx, dataset, pref)
 		}()
 	}
 	wg.Wait()

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -24,13 +25,16 @@ var (
 // EngineConfig selects and configures the engine built for a dataset.
 type EngineConfig struct {
 	// Kind names the engine as core.NewByName accepts it: "ipo", "sfsa",
-	// "sfsd" or "hybrid". Empty defaults to "sfsa", the only maintainable
-	// kind and the paper's recommended general-purpose engine.
+	// "sfsd", "hybrid", "parallel-sfs" or "parallel-hybrid". Empty defaults
+	// to "sfsa", the only maintainable kind and the paper's recommended
+	// general-purpose engine.
 	Kind string
 	// Template is the shared preference template R̃; nil means empty.
 	Template *order.Preference
 	// Tree configures tree construction for the tree-backed kinds.
 	Tree ipotree.Options
+	// Partitions is the block count for the parallel kinds (0 = GOMAXPROCS).
+	Partitions int
 }
 
 // DatasetInfo is a read-only snapshot of one registered dataset.
@@ -106,7 +110,7 @@ func (r *Registry) Add(name string, ds *data.Dataset, cfg EngineConfig) error {
 	if tmpl == nil {
 		tmpl = ds.Schema().EmptyPreference()
 	}
-	eng, err := core.NewByName(kind, ds, tmpl, cfg.Tree)
+	eng, err := core.NewByName(kind, ds, tmpl, core.Options{Tree: cfg.Tree, Partitions: cfg.Partitions})
 	if err != nil {
 		return fmt.Errorf("service: building engine for %q: %w", name, err)
 	}
@@ -214,10 +218,11 @@ func (r *Registry) State(name string) (string, error) {
 
 // Query answers SKY(pref) over the named dataset under the entry's read
 // lock, so any number of queries run concurrently while maintenance waits.
-// The returned state token is read under the same lock and therefore names
-// exactly the dataset state the result reflects — the executor embeds it in
-// the cache key.
-func (r *Registry) Query(name string, pref *order.Preference) ([]data.PointID, string, error) {
+// The context bounds the engine's work: partitioned engines abort between
+// blocks and every engine checks it on entry. The returned state token is
+// read under the same lock and therefore names exactly the dataset state the
+// result reflects — the executor embeds it in the cache key.
+func (r *Registry) Query(ctx context.Context, name string, pref *order.Preference) ([]data.PointID, string, error) {
 	e, err := r.entry(name)
 	if err != nil {
 		return nil, "", err
@@ -225,7 +230,7 @@ func (r *Registry) Query(name string, pref *order.Preference) ([]data.PointID, s
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	e.queries.Add(1)
-	ids, err := e.eng.Skyline(pref)
+	ids, err := e.eng.Skyline(ctx, pref)
 	return ids, e.state(), err
 }
 

@@ -21,6 +21,9 @@
 package service
 
 import (
+	"context"
+	"time"
+
 	"prefsky/internal/data"
 	"prefsky/internal/order"
 )
@@ -34,6 +37,9 @@ type Options struct {
 	CacheShards int
 	// Workers bounds concurrent engine queries; 0 defaults to GOMAXPROCS.
 	Workers int
+	// QueryTimeout deadline-bounds each uncached query (queue wait + engine
+	// work); 0 disables the per-query deadline. Cache hits always succeed.
+	QueryTimeout time.Duration
 }
 
 // Stats is the service-wide snapshot served by GET /v1/stats.
@@ -63,7 +69,7 @@ func New(opts Options) *Service {
 	}
 	reg := NewRegistry()
 	cache := NewCache(capacity, opts.CacheShards)
-	return &Service{reg: reg, cache: cache, exec: NewExecutor(reg, cache, opts.Workers)}
+	return &Service{reg: reg, cache: cache, exec: NewExecutor(reg, cache, opts.Workers, opts.QueryTimeout)}
 }
 
 // Registry exposes the dataset registry layer.
@@ -98,15 +104,17 @@ func (s *Service) Point(name string, id data.PointID) (data.Point, error) {
 }
 
 // Query answers SKY(pref) over the named dataset through the cache and
-// worker pool. The returned slice is shared with the cache; treat it as
-// immutable.
-func (s *Service) Query(dataset string, pref *order.Preference) (ids []data.PointID, cached bool, err error) {
-	return s.exec.Query(dataset, pref)
+// worker pool. The context bounds the whole query — queue wait included —
+// so a disconnected client frees its worker slot instead of burning it. The
+// returned slice is shared with the cache; treat it as immutable.
+func (s *Service) Query(ctx context.Context, dataset string, pref *order.Preference) (ids []data.PointID, cached bool, err error) {
+	return s.exec.Query(ctx, dataset, pref)
 }
 
-// Batch answers many preferences over one dataset through the worker pool.
-func (s *Service) Batch(dataset string, prefs []*order.Preference) []QueryResult {
-	return s.exec.Batch(dataset, prefs)
+// Batch answers many preferences over one dataset through the worker pool
+// under one shared context.
+func (s *Service) Batch(ctx context.Context, dataset string, prefs []*order.Preference) []QueryResult {
+	return s.exec.Batch(ctx, dataset, prefs)
 }
 
 // Insert adds a point to a maintainable dataset and invalidates its cached

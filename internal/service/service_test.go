@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -43,11 +44,11 @@ func TestServiceQueryMatchesLibrary(t *testing.T) {
 		}
 		for _, spec := range []string{"", "Hotel-group: T<M<*", "Hotel-group: H<M<*", "Hotel-group: M<*"} {
 			pref := mustPref(t, schema, spec)
-			got, _, err := s.Query("hotels", pref)
+			got, _, err := s.Query(context.Background(), "hotels", pref)
 			if err != nil {
 				t.Fatalf("%s: Query(%q): %v", kind, spec, err)
 			}
-			want, err := baseline.Skyline(pref)
+			want, err := baseline.Skyline(context.Background(), pref)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -70,14 +71,14 @@ func TestCanonicallyEqualPreferencesShareCacheEntries(t *testing.T) {
 		t.Fatalf("cache keys differ: %q vs %q", total.CacheKey(), prefix.CacheKey())
 	}
 
-	ids1, cached, err := s.Query("hotels", total)
+	ids1, cached, err := s.Query(context.Background(), "hotels", total)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cached {
 		t.Error("first query reported cached")
 	}
-	ids2, cached, err := s.Query("hotels", prefix)
+	ids2, cached, err := s.Query(context.Background(), "hotels", prefix)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestCacheDisabled(t *testing.T) {
 	schema, _ := s.Schema("hotels")
 	pref := mustPref(t, schema, "Hotel-group: T<M<*")
 	for i := 0; i < 3; i++ {
-		if _, cached, err := s.Query("hotels", pref); err != nil || cached {
+		if _, cached, err := s.Query(context.Background(), "hotels", pref); err != nil || cached {
 			t.Fatalf("query %d: cached=%v err=%v with caching disabled", i, cached, err)
 		}
 	}
@@ -138,7 +139,7 @@ func TestMaintenanceInvalidatesCache(t *testing.T) {
 	schema, _ := s.Schema("hotels")
 	pref := mustPref(t, schema, "Hotel-group: T<M<*")
 
-	before, _, err := s.Query("hotels", pref)
+	before, _, err := s.Query(context.Background(), "hotels", pref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestMaintenanceInvalidatesCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	after, cached, err := s.Query("hotels", pref)
+	after, cached, err := s.Query(context.Background(), "hotels", pref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestMaintenanceInvalidatesCache(t *testing.T) {
 	if err := s.Delete("hotels", id); err != nil {
 		t.Fatal(err)
 	}
-	restored, cached, err := s.Query("hotels", pref)
+	restored, cached, err := s.Query(context.Background(), "hotels", pref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestCanonicalFormExecutesAgainstRestrictedTree(t *testing.T) {
 	}
 	schema, _ := s.Schema("hotels")
 	total := mustPref(t, schema, "Hotel-group: T<M<H")
-	ids, cached, err := s.Query("hotels", total)
+	ids, cached, err := s.Query(context.Background(), "hotels", total)
 	if err != nil {
 		t.Fatalf("total-order spelling failed against restricted tree: %v", err)
 	}
@@ -210,7 +211,7 @@ func TestCanonicalFormExecutesAgainstRestrictedTree(t *testing.T) {
 		t.Error("cold query reported cached")
 	}
 	baseline, _ := core.NewSFSD(data.Table1())
-	want, _ := baseline.Skyline(total)
+	want, _ := baseline.Skyline(context.Background(), total)
 	if !reflect.DeepEqual(ids, want) {
 		t.Errorf("ids = %v, want %v", ids, want)
 	}
@@ -226,7 +227,7 @@ func TestReAddDatasetCannotServeStaleCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.Query("d", pref); err != nil {
+	if _, _, err := s.Query(context.Background(), "d", pref); err != nil {
 		t.Fatal(err)
 	}
 
@@ -251,7 +252,7 @@ func TestReAddDatasetCannotServeStaleCache(t *testing.T) {
 	if newState == staleState {
 		t.Fatalf("re-registration reused state token %q", newState)
 	}
-	ids, cached, err := s.Query("d", pref)
+	ids, cached, err := s.Query(context.Background(), "d", pref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func TestRegistryLifecycle(t *testing.T) {
 	if s.RemoveDataset("a") {
 		t.Error("second RemoveDataset(a) = true")
 	}
-	if _, _, err := s.Query("a", data.Table1().Schema().EmptyPreference()); !errors.Is(err, ErrUnknownDataset) {
+	if _, _, err := s.Query(context.Background(), "a", data.Table1().Schema().EmptyPreference()); !errors.Is(err, ErrUnknownDataset) {
 		t.Errorf("query after remove: %v, want ErrUnknownDataset", err)
 	}
 }
@@ -319,7 +320,7 @@ func TestBatch(t *testing.T) {
 	for i, spec := range specs {
 		prefs[i] = mustPref(t, schema, spec)
 	}
-	results := s.Batch("hotels", prefs)
+	results := s.Batch(context.Background(), "hotels", prefs)
 	if len(results) != len(specs) {
 		t.Fatalf("got %d results, want %d", len(results), len(specs))
 	}
@@ -327,7 +328,7 @@ func TestBatch(t *testing.T) {
 		if r.Err != nil {
 			t.Fatalf("batch[%d]: %v", i, r.Err)
 		}
-		want, _ := baseline.Skyline(prefs[i])
+		want, _ := baseline.Skyline(context.Background(), prefs[i])
 		if !reflect.DeepEqual(r.IDs, want) {
 			t.Errorf("batch[%d] = %v, want %v", i, r.IDs, want)
 		}
@@ -344,7 +345,7 @@ func TestBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mixed := s.Batch("hotels", []*order.Preference{prefs[0], bad, nil})
+	mixed := s.Batch(context.Background(), "hotels", []*order.Preference{prefs[0], bad, nil})
 	if mixed[0].Err != nil {
 		t.Errorf("good member failed: %v", mixed[0].Err)
 	}
@@ -361,11 +362,11 @@ func TestStatsCounters(t *testing.T) {
 	schema, _ := s.Schema("hotels")
 	pref := mustPref(t, schema, "Hotel-group: T<M<*")
 	for i := 0; i < 4; i++ {
-		if _, _, err := s.Query("hotels", pref); err != nil {
+		if _, _, err := s.Query(context.Background(), "hotels", pref); err != nil {
 			t.Fatal(err)
 		}
 	}
-	s.Batch("hotels", []*order.Preference{pref, pref})
+	s.Batch(context.Background(), "hotels", []*order.Preference{pref, pref})
 	st := s.Stats()
 	if st.Queries != 6 {
 		t.Errorf("Queries = %d, want 6", st.Queries)

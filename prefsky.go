@@ -24,6 +24,14 @@
 // SFSD is the from-scratch baseline, and Hybrid routes popular-value queries
 // to a top-K-restricted tree with an AdaptiveSFS fallback (§5.3).
 //
+// ParallelSFS is the multi-core counterpart of SFSD: the dataset is split
+// into P blocks, block skylines are computed concurrently and merge-filtered
+// (local dominance implies global candidacy, so cross-checking survivors
+// against other blocks' local skylines suffices). ParallelHybrid keeps the
+// tree's instant answers and runs the partitioned scan on fallback. Every
+// engine query takes a context.Context: cancellation and deadlines abort
+// partitioned scans between blocks.
+//
 // # Quick start
 //
 //	schema, _ := prefsky.NewSchema(
@@ -33,7 +41,7 @@
 //	ds, _ := prefsky.NewDataset(schema, points)
 //	engine, _ := prefsky.NewIPOTree(ds, schema.EmptyPreference(), prefsky.TreeOptions{})
 //	pref, _ := prefsky.ParsePreference(schema, "Hotel-group: T<M<*")
-//	ids, _ := engine.Skyline(pref)
+//	ids, _ := engine.Skyline(ctx, pref)
 //
 // # Serving
 //
@@ -44,7 +52,7 @@
 //
 //	svc := prefsky.NewService(prefsky.ServiceOptions{})
 //	_ = svc.AddDataset("hotels", ds, prefsky.EngineConfig{Kind: "sfsa"})
-//	ids, cached, _ := svc.Query("hotels", pref)
+//	ids, cached, _ := svc.Query(ctx, "hotels", pref)
 //
 // cmd/skylined wires a Service behind JSON endpoints (POST /v1/query,
 // POST /v1/batch, GET /v1/datasets, GET /v1/stats, GET /healthz); see
@@ -92,6 +100,8 @@ type (
 
 	// Engine answers implicit-preference skyline queries.
 	Engine = core.Engine
+	// EngineOptions configures engine construction for NewEngineByName.
+	EngineOptions = core.Options
 	// TreeOptions configures IPO-tree construction.
 	TreeOptions = ipotree.Options
 	// TreeStats reports IPO-tree construction measurements.
@@ -161,11 +171,16 @@ var (
 	NewSFSD = core.NewSFSD
 	// NewHybrid builds the §5.3 hybrid engine.
 	NewHybrid = core.NewHybrid
+	// NewParallelSFS builds the partitioned multi-core SFS-D counterpart.
+	NewParallelSFS = core.NewParallelSFS
+	// NewParallelHybrid builds the hybrid whose fallback is the partitioned
+	// scan instead of single-threaded SFS-A.
+	NewParallelHybrid = core.NewParallelHybrid
 	// NewMaintainable builds the concrete Adaptive SFS engine, exposing
 	// progressive iteration (QueryIter) and Insert/Delete maintenance.
 	NewMaintainable = adaptive.New
 	// NewEngineByName builds an engine from its configuration name
-	// ("ipo", "sfsa", "sfsd", "hybrid").
+	// ("ipo", "sfsa", "sfsd", "hybrid", "parallel-sfs", "parallel-hybrid").
 	NewEngineByName = core.NewByName
 	// EngineKinds lists the names NewEngineByName accepts.
 	EngineKinds = core.Kinds

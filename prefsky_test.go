@@ -1,6 +1,7 @@
 package prefsky_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -82,7 +83,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 			want[i] = prefsky.PointID(r - 'a')
 		}
 		for _, e := range []prefsky.Engine{ipo, sfsa, sfsd} {
-			got, err := e.Skyline(pref)
+			got, err := e.Skyline(context.Background(), pref)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", c.customer, e.Name(), err)
 			}
@@ -133,11 +134,11 @@ func TestPublicGeneration(t *testing.T) {
 	}
 	sfsd, _ := prefsky.NewSFSD(ds)
 	for _, q := range qs {
-		got, err := e.Skyline(q)
+		got, err := e.Skyline(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := sfsd.Skyline(q)
+		want, err := sfsd.Skyline(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}

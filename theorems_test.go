@@ -4,6 +4,7 @@
 package prefsky_test
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -309,7 +310,7 @@ func TestEnginesAgreeEverywhere(t *testing.T) {
 			pref, _ := prefsky.NewPreference(qdims...)
 			var want []data.PointID
 			for i, e := range engines {
-				got, err := e.Skyline(pref)
+				got, err := e.Skyline(context.Background(), pref)
 				if err != nil {
 					return false
 				}
