@@ -1,0 +1,166 @@
+// Command kernelbench measures the columnar (flat) dominance kernel against
+// the original pointer kernel on one synthetic dataset and emits the
+// measurements as machine-readable JSON (internal/bench/export), the format
+// CI archives as BENCH_pr3.json so the repository's performance trajectory
+// has data points.
+//
+// Usage:
+//
+//	kernelbench -n 100000 -kind independent -out BENCH_pr3.json
+//
+// Both kernels answer the same preference over the same dataset; the tool
+// verifies the skylines are identical before trusting the timings. The flat
+// measurement includes the per-query rank projection (the block itself is
+// built once, as the engines build it at load/registration time).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+
+	"prefsky/internal/bench/export"
+	"prefsky/internal/dominance"
+	"prefsky/internal/flat"
+	"prefsky/internal/gen"
+	"prefsky/internal/order"
+	"prefsky/internal/parallel"
+	"prefsky/internal/skyline"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kernelbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kernelbench", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 100_000, "dataset size")
+		numDims  = fs.Int("numdims", 2, "numeric dimensions")
+		nomDims  = fs.Int("nomdims", 2, "nominal dimensions")
+		card     = fs.Int("card", 10, "nominal cardinality")
+		kindName = fs.String("kind", "independent", "numeric correlation: independent, correlated or anti-correlated")
+		seed     = fs.Int64("seed", 42, "dataset seed")
+		out      = fs.String("out", "BENCH_pr3.json", "output JSON path (empty = stdout only)")
+		parts    = fs.Int("partitions", 0, "also measure the partitioned flat engine with this block count (0 = skip)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kind, err := gen.ParseKind(*kindName)
+	if err != nil {
+		return err
+	}
+	ds, err := gen.Dataset(gen.Config{
+		N: *n, NumDims: *numDims, NomDims: *nomDims, Cardinality: *card,
+		Theta: 1, Kind: kind, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	// An order-2 preference on every nominal dimension: the shape §5 queries.
+	pref := ds.Schema().EmptyPreference()
+	for d := 0; d < ds.Schema().NomDims(); d++ {
+		ip := pref.Dim(d)
+		for v := 0; v < 2 && v < *card; v++ {
+			if ip, err = ip.Extend(order.Value(v)); err != nil {
+				return err
+			}
+		}
+		if pref, err = pref.WithDim(d, ip); err != nil {
+			return err
+		}
+	}
+	cmp, err := dominance.NewComparator(ds.Schema(), pref)
+	if err != nil {
+		return err
+	}
+
+	blk := flat.NewBlock(ds)
+	wantPointer := skyline.SFS(ds.Points(), cmp)
+	gotFlat, err := skyline.SFSFlat(blk, cmp)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(gotFlat, wantPointer) {
+		return fmt.Errorf("kernels disagree: flat %d ids, pointer %d ids", len(gotFlat), len(wantPointer))
+	}
+
+	report := export.NewReport("kernel: flat vs pointer SFS")
+	label := func(kernel string) string {
+		return fmt.Sprintf("SFS-D/N=%d/%s/kernel=%s", *n, kind, kernel)
+	}
+
+	pointer := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			skyline.SFS(ds.Points(), cmp)
+		}
+	})
+	report.Add(toResult(label("pointer"), "pointer", *n, pointer))
+
+	flatRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := skyline.SFSFlat(blk, cmp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	report.Add(toResult(label("flat"), "flat", *n, flatRes))
+
+	speedup := float64(pointer.NsPerOp()) / float64(flatRes.NsPerOp())
+	report.Derive(fmt.Sprintf("speedup/N=%d", *n), speedup)
+	fmt.Printf("pointer: %12d ns/op  %8d B/op  %6d allocs/op\n",
+		pointer.NsPerOp(), pointer.AllocedBytesPerOp(), pointer.AllocsPerOp())
+	fmt.Printf("flat:    %12d ns/op  %8d B/op  %6d allocs/op\n",
+		flatRes.NsPerOp(), flatRes.AllocedBytesPerOp(), flatRes.AllocsPerOp())
+	fmt.Printf("speedup: %.2fx (skyline %d points)\n", speedup, len(gotFlat))
+
+	if *parts > 0 {
+		eng, err := parallel.New(ds, *parts)
+		if err != nil {
+			return err
+		}
+		ctx := context.Background()
+		par := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Skyline(ctx, pref); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Add(toResult(fmt.Sprintf("Parallel-SFS/N=%d/%s/P=%d/kernel=flat", *n, kind, *parts), "flat", *n, par))
+		report.Derive(fmt.Sprintf("parallel-speedup/N=%d/P=%d", *n, *parts),
+			float64(pointer.NsPerOp())/float64(par.NsPerOp()))
+		fmt.Printf("parallel(P=%d): %9d ns/op (%.2fx vs pointer)\n",
+			*parts, par.NsPerOp(), float64(pointer.NsPerOp())/float64(par.NsPerOp()))
+	}
+
+	if *out != "" {
+		if err := export.WriteFile(*out, report); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func toResult(name, kernel string, n int, r testing.BenchmarkResult) export.Result {
+	return export.Result{
+		Name:        name,
+		Kernel:      kernel,
+		N:           n,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}

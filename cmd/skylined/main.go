@@ -8,6 +8,7 @@
 //	skylined -addr :8080 -demo
 //	skylined -addr :8080 -dataset hotels=schema.json,data.csv -engine hybrid -topk 10
 //	skylined -addr :8080 -demo -engine parallel-sfs -partitions 8 -query-timeout 250ms
+//	skylined -addr :8080 -demo -kernel flat -pprof 127.0.0.1:6060
 //
 // Endpoints:
 //
@@ -33,7 +34,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -42,6 +45,7 @@ import (
 
 	"prefsky"
 	"prefsky/internal/data"
+	"prefsky/internal/flat"
 	"prefsky/internal/gen"
 	"prefsky/internal/service"
 )
@@ -73,6 +77,8 @@ func run(args []string) error {
 		workers    = fs.Int("workers", 0, "max concurrent engine queries (0 = GOMAXPROCS)")
 		queryTO    = fs.Duration("query-timeout", 0, "per-query deadline for uncached queries (0 = none)")
 		demo       = fs.Bool("demo", false, "host the built-in flights demo dataset")
+		kernel     = fs.String("kernel", "flat", "scan kernel for sfsd/parallel engines: flat (columnar) or pointer")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty disables)")
 	)
 	fs.Var(&datasets, "dataset", "name=schema.json,data.csv (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -80,6 +86,14 @@ func run(args []string) error {
 	}
 	if len(datasets) == 0 && !*demo {
 		return fmt.Errorf("no datasets: pass -dataset name=schema.json,data.csv or -demo")
+	}
+	if _, err := flat.ParseKernel(*kernel); err != nil {
+		return err
+	}
+	if *pprofAddr != "" {
+		if err := servePprof(*pprofAddr); err != nil {
+			return err
+		}
 	}
 
 	svc := service.New(service.Options{
@@ -98,6 +112,7 @@ func run(args []string) error {
 			Template:   tmpl,
 			Tree:       prefsky.TreeOptions{TopK: *topK},
 			Partitions: *partitions,
+			Kernel:     *kernel,
 		}, nil
 	}
 
@@ -174,6 +189,38 @@ func serve(addr string, handler http.Handler) error {
 		}
 		return nil
 	}
+}
+
+// servePprof mounts net/http/pprof on its own mux and its own listener so
+// production profiles of the scan kernels can be captured without exposing
+// debug endpoints on the public serving address. The address must be
+// loopback-only; anything else is refused rather than silently bound.
+func servePprof(addr string) error {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-pprof %q: %w", addr, err)
+	}
+	if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+		return fmt.Errorf("-pprof %q: refusing non-loopback host %q (use 127.0.0.1 or localhost)", addr, host)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-pprof %q: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		log.Printf("pprof listening on %s (loopback only)", ln.Addr())
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("pprof server: %v", err)
+		}
+	}()
+	return nil
 }
 
 // loadDataset parses one -dataset spec and loads the CSV under the schema.

@@ -7,6 +7,8 @@ import (
 
 	"prefsky"
 	"prefsky/internal/dominance"
+	"prefsky/internal/flat"
+	"prefsky/internal/parallel"
 	"prefsky/internal/skyline"
 )
 
@@ -122,6 +124,47 @@ func TestExhaustiveParallelAllPreferencesTable3(t *testing.T) {
 				}
 				if !reflect.DeepEqual(got, want) {
 					t.Fatalf("%v: parallel(%d) = %v, naive = %v", pref, parts+1, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestExhaustiveFlatAllPreferencesTable3 runs the complete Table-3
+// preference space through the columnar kernel: for all 256 preference
+// combinations, the flat skyline — and the flat partitioned skyline under a
+// shared projection for every partition count 1..8 — must equal the naive
+// reference. This is the exhaustive half of the flat ≡ Comparator ≡
+// POComparator proof (the random half lives in internal/flat).
+func TestExhaustiveFlatAllPreferencesTable3(t *testing.T) {
+	ds := prefsky.Table3()
+	schema := ds.Schema()
+	blk := flat.NewBlock(ds)
+	for _, h := range enumerateImplicit(3) {
+		for _, a := range enumerateImplicit(3) {
+			pref, err := prefsky.NewPreference(h, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmp, err := dominance.NewComparator(schema, pref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := skyline.Naive(ds.Points(), cmp)
+			proj, err := blk.Project(cmp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := proj.Skyline(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v: flat = %v, naive = %v", pref, got, want)
+			}
+			for parts := 1; parts <= 8; parts++ {
+				got, err := parallel.SkylineProjected(context.Background(), proj, parts)
+				if err != nil {
+					t.Fatalf("%v: flat parallel(%d): %v", pref, parts, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%v: flat parallel(%d) = %v, naive = %v", pref, parts, got, want)
 				}
 			}
 		}

@@ -10,14 +10,14 @@ package adaptive
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"prefsky/internal/data"
 	"prefsky/internal/dominance"
+	"prefsky/internal/flat"
 	"prefsky/internal/order"
 	"prefsky/internal/skiplist"
-	"prefsky/internal/skyline"
 )
 
 // ErrNotRefinement is returned for queries that do not refine the template.
@@ -64,12 +64,22 @@ func New(ds *data.Dataset, template *order.Preference) (*Engine, error) {
 		list:     skiplist.New(),
 	}
 	e.alive = make([]bool, len(e.points))
-	e.member = make([]bool, len(e.points))
-	e.baseScore = make([]float64, len(e.points))
-	for i := range e.points {
+	for i := range e.alive {
 		e.alive[i] = true
-		e.baseScore[i] = baseCmp.Score(&e.points[i])
 	}
+	e.member = make([]bool, len(e.points))
+	// One columnar projection yields both the template score table and the
+	// flat-kernel presort for the initial SKY(R̃) — the block itself is
+	// transient, since maintenance mutates the point table.
+	blk, err := flat.FromPoints(e.schema, e.points)
+	if err != nil {
+		return nil, err
+	}
+	proj, err := blk.Project(baseCmp)
+	if err != nil {
+		return nil, err
+	}
+	e.baseScore = append([]float64(nil), proj.Scores()...)
 	e.inv = make([][]map[data.PointID]struct{}, e.schema.NomDims())
 	for d, card := range e.schema.Cardinalities() {
 		e.inv[d] = make([]map[data.PointID]struct{}, card)
@@ -77,7 +87,7 @@ func New(ds *data.Dataset, template *order.Preference) (*Engine, error) {
 			e.inv[d][v] = make(map[data.PointID]struct{})
 		}
 	}
-	for _, id := range skyline.SFS(e.points, baseCmp) {
+	for _, id := range proj.Skyline() {
 		e.addMember(id)
 	}
 	e.stats.Preprocess = time.Since(start)
@@ -173,30 +183,42 @@ func (e *Engine) changedValues(pref *order.Preference) [][]order.Value {
 	return out
 }
 
-// affectedPoints returns the skyline members carrying a re-ranked value,
-// sorted by (query score, id).
-func (e *Engine) affectedPoints(pref *order.Preference, cmp *dominance.Comparator) []data.PointID {
+// affKey packs one affected point's re-sort key (query-score bits, id) with
+// the score carried alongside, so the O(l log l) re-sort compares packed
+// integers instead of re-scoring points per comparison.
+type affKey struct {
+	bits  uint64
+	id    data.PointID
+	score float64
+}
+
+// affectedPoints returns the skyline members carrying a re-ranked value
+// sorted by (query score, id), along with their query scores — each point is
+// scored exactly once.
+func (e *Engine) affectedPoints(pref *order.Preference, cmp *dominance.Comparator) ([]data.PointID, []float64) {
 	seen := make(map[data.PointID]struct{})
-	var affected []data.PointID
+	var keys []affKey
 	for d, vals := range e.changedValues(pref) {
 		for _, v := range vals {
 			for id := range e.inv[d][v] {
 				if _, dup := seen[id]; !dup {
 					seen[id] = struct{}{}
-					affected = append(affected, id)
+					s := cmp.Score(&e.points[id])
+					keys = append(keys, affKey{bits: flat.ScoreBits(s), id: id, score: s})
 				}
 			}
 		}
 	}
-	sort.Slice(affected, func(i, j int) bool {
-		si := cmp.Score(&e.points[affected[i]])
-		sj := cmp.Score(&e.points[affected[j]])
-		if si != sj {
-			return si < sj
-		}
-		return affected[i] < affected[j]
+	slices.SortFunc(keys, func(a, b affKey) int {
+		return flat.CompareScoreKeys(a.bits, b.bits, a.id, b.id)
 	})
-	return affected
+	ids := make([]data.PointID, len(keys))
+	scores := make([]float64, len(keys))
+	for i, k := range keys {
+		ids[i] = k.id
+		scores[i] = k.score
+	}
+	return ids, scores
 }
 
 // CountAffected reports |AFFECT(R)| under the paper's literal definition: the
@@ -231,7 +253,7 @@ func (e *Engine) Query(pref *order.Preference) ([]data.PointID, error) {
 		}
 		out = append(out, p.ID)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, nil
 }
 
@@ -263,11 +285,9 @@ func (e *Engine) QueryIter(pref *order.Preference) (*Iter, error) {
 		return nil, err
 	}
 	it := &Iter{e: e, cmp: cmp, cursor: e.list.Front()}
-	it.affected = e.affectedPoints(pref, cmp)
-	it.affScore = make([]float64, len(it.affected))
+	it.affected, it.affScore = e.affectedPoints(pref, cmp)
 	it.isAff = make(map[data.PointID]struct{}, len(it.affected))
-	for i, id := range it.affected {
-		it.affScore[i] = cmp.Score(&e.points[id])
+	for _, id := range it.affected {
 		it.isAff[id] = struct{}{}
 	}
 	it.advanceBase()

@@ -1,7 +1,7 @@
 package adaptive
 
 import (
-	"sort"
+	"slices"
 
 	"prefsky/internal/data"
 	"prefsky/internal/dominance"
@@ -23,7 +23,7 @@ func (e *Engine) QueryResort(pref *order.Preference) ([]data.PointID, error) {
 	if err != nil {
 		return nil, err
 	}
-	affected := e.affectedPoints(pref, cmp)
+	affected, affScores := e.affectedPoints(pref, cmp)
 
 	// Step 3 of Algorithm 4: delete the affected points...
 	newScore := make(map[data.PointID]float64, len(affected))
@@ -31,8 +31,8 @@ func (e *Engine) QueryResort(pref *order.Preference) ([]data.PointID, error) {
 		e.list.Delete(skiplist.Key{Score: e.baseScore[id], ID: id})
 	}
 	// ...and Step 4: re-insert them under the refined ranking.
-	for _, id := range affected {
-		s := cmp.Score(&e.points[id])
+	for i, id := range affected {
+		s := affScores[i]
 		newScore[id] = s
 		e.list.Insert(skiplist.Key{Score: s, ID: id})
 	}
@@ -80,6 +80,6 @@ func (e *Engine) QueryResort(pref *order.Preference) ([]data.PointID, error) {
 		}
 		out = append(out, k.ID)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, nil
 }

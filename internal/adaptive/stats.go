@@ -1,7 +1,7 @@
 package adaptive
 
 import (
-	"sort"
+	"slices"
 
 	"prefsky/internal/data"
 	"prefsky/internal/order"
@@ -40,7 +40,7 @@ func (e *Engine) QueryWithStats(pref *order.Preference) ([]data.PointID, QuerySt
 		out = append(out, p.ID)
 	}
 	st.Result = len(out)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, st, nil
 }
 

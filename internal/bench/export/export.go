@@ -1,0 +1,90 @@
+// Package export emits benchmark measurements in a stable machine-readable
+// JSON form (BENCH_pr*.json), so the repository's performance trajectory has
+// data points CI can archive and plotting scripts can diff across PRs.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	// Name identifies the benchmark (e.g. "SFS-D/kernel=flat").
+	Name string `json:"name"`
+	// Kernel labels the scan kernel the measurement ran on, when relevant.
+	Kernel string `json:"kernel,omitempty"`
+	// N is the dataset size, when relevant.
+	N int `json:"n,omitempty"`
+	// Iterations is the b.N the measurement averaged over.
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"nsPerOp"`
+	// AllocsPerOp and BytesPerOp mirror -benchmem.
+	AllocsPerOp int64 `json:"allocsPerOp"`
+	BytesPerOp  int64 `json:"bytesPerOp"`
+}
+
+// Report is a suite of results plus the environment they ran in.
+type Report struct {
+	Suite      string   `json:"suite"`
+	GoVersion  string   `json:"goVersion"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Timestamp  string   `json:"timestamp,omitempty"`
+	Results    []Result `json:"results"`
+	// Derived holds cross-result figures such as speedups, keyed by a short
+	// label (e.g. "speedup/N=100000").
+	Derived map[string]float64 `json:"derived,omitempty"`
+}
+
+// NewReport stamps a report with the current runtime environment.
+func NewReport(suite string) *Report {
+	return &Report{
+		Suite:      suite,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// Add appends one result.
+func (r *Report) Add(res Result) { r.Results = append(r.Results, res) }
+
+// Derive records a cross-result figure.
+func (r *Report) Derive(key string, v float64) {
+	if r.Derived == nil {
+		r.Derived = make(map[string]float64)
+	}
+	r.Derived[key] = v
+}
+
+// Write renders the report as indented JSON.
+func Write(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("export: encoding report: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes the report to path, creating or truncating it.
+func WriteFile(path string, r *Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,46 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	r := NewReport("kernel test")
+	r.Add(Result{Name: "SFS-D/kernel=flat", Kernel: "flat", N: 1000,
+		Iterations: 10, NsPerOp: 123.4, AllocsPerOp: 9, BytesPerOp: 4096})
+	r.Derive("speedup/N=1000", 2.5)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if got.Suite != "kernel test" || len(got.Results) != 1 || got.Results[0].NsPerOp != 123.4 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Derived["speedup/N=1000"] != 2.5 {
+		t.Fatalf("derived lost: %+v", got.Derived)
+	}
+	if got.GoVersion == "" || got.GOMAXPROCS == 0 {
+		t.Fatalf("environment not stamped: %+v", got)
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteFile(path, r); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, buf.Bytes()) {
+		t.Fatal("WriteFile and Write disagree")
+	}
+}

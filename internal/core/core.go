@@ -14,11 +14,24 @@ import (
 	"prefsky/internal/adaptive"
 	"prefsky/internal/data"
 	"prefsky/internal/dominance"
+	"prefsky/internal/flat"
 	"prefsky/internal/hybrid"
 	"prefsky/internal/ipotree"
 	"prefsky/internal/order"
 	"prefsky/internal/parallel"
 	"prefsky/internal/skyline"
+)
+
+// Kernel re-exports the scan-kernel selector: KernelFlat (columnar block +
+// per-query rank projection, the default) or KernelPointer (the original
+// per-point slice kernel). It applies to the scan-based kinds — sfsd,
+// parallel-sfs and parallel-hybrid's fallback.
+type Kernel = flat.Kernel
+
+// Kernel choices for Options.Kernel.
+const (
+	KernelFlat    = flat.KernelFlat
+	KernelPointer = flat.KernelPointer
 )
 
 // Engine answers implicit-preference skyline queries.
@@ -43,6 +56,9 @@ type Options struct {
 	// Partitions is the block count for the parallel kinds (0 = GOMAXPROCS)
 	// and is ignored otherwise.
 	Partitions int
+	// Kernel selects the dominance/scan kernel for the scan-based kinds
+	// (sfsd, parallel-sfs, parallel-hybrid). The zero value is KernelFlat.
+	Kernel Kernel
 }
 
 // ipoEngine adapts *ipotree.Tree.
@@ -99,18 +115,30 @@ func NewAdaptiveSFS(ds *data.Dataset, template *order.Preference) (Engine, error
 	return &adaptiveEngine{e: e}, nil
 }
 
-// SFSD is the baseline: no preprocessing, no storage; every query sorts and
-// scans the entire dataset (§5's SFS-D).
+// SFSD is the baseline: no per-preference preprocessing; every query sorts
+// and scans the entire dataset (§5's SFS-D). On the default flat kernel the
+// dataset is laid out columnar once at construction, so each query pays only
+// the rank projection plus the packed-key presort and scan.
 type SFSD struct {
-	ds *data.Dataset
+	ds  *data.Dataset
+	blk *flat.Block // nil on the pointer kernel
 }
 
-// NewSFSD wraps a dataset as the SFS-D baseline.
+// NewSFSD wraps a dataset as the SFS-D baseline on the default (flat) kernel.
 func NewSFSD(ds *data.Dataset) (*SFSD, error) {
+	return NewSFSDKernel(ds, KernelFlat)
+}
+
+// NewSFSDKernel is NewSFSD with an explicit kernel choice.
+func NewSFSDKernel(ds *data.Dataset, kernel Kernel) (*SFSD, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("core: nil dataset")
 	}
-	return &SFSD{ds: ds}, nil
+	s := &SFSD{ds: ds}
+	if kernel == KernelFlat {
+		s.blk = flat.NewBlock(ds)
+	}
+	return s, nil
 }
 
 // Name implements Engine.
@@ -125,12 +153,36 @@ func (s *SFSD) Skyline(ctx context.Context, pref *order.Preference) ([]data.Poin
 	if err != nil {
 		return nil, err
 	}
+	if s.blk != nil {
+		proj, err := s.blk.Project(cmp)
+		if err != nil {
+			return nil, err
+		}
+		// The flat scan is cancellable for free, so a disconnected client or
+		// expired deadline frees its worker slot mid-scan instead of burning
+		// it for the full O(N) pass.
+		rows, err := proj.SkylineRangeCtx(ctx, 0, proj.N())
+		if err != nil {
+			return nil, err
+		}
+		return proj.IDs(rows), nil
+	}
 	return skyline.SFS(s.ds.Points(), cmp), nil
 }
 
-// SizeBytes implements Engine; SFS-D reads the dataset directly and keeps
-// nothing (§5: "SFS-D does not use extra storage").
+// SizeBytes implements Engine; SFS-D keeps no index (§5: "SFS-D does not use
+// extra storage"). The columnar block is an alternate representation of the
+// dataset itself, not preference-dependent storage — see BlockBytes.
 func (s *SFSD) SizeBytes() int { return 0 }
+
+// BlockBytes reports the columnar mirror's footprint (0 on the pointer
+// kernel).
+func (s *SFSD) BlockBytes() int {
+	if s.blk == nil {
+		return 0
+	}
+	return s.blk.SizeBytes()
+}
 
 // hybridEngine adapts *hybrid.Engine.
 type hybridEngine struct {
@@ -167,10 +219,15 @@ func (p *parallelEngine) Skyline(ctx context.Context, pref *order.Preference) ([
 func (p *parallelEngine) SizeBytes() int { return p.e.SizeBytes() }
 
 // NewParallelSFS builds the partitioned multi-core SFS-D counterpart:
-// P concurrent block scans plus a merge-filter. partitions <= 0 defaults to
-// GOMAXPROCS.
+// P concurrent block scans plus a merge-filter, on the default (flat)
+// kernel. partitions <= 0 defaults to GOMAXPROCS.
 func NewParallelSFS(ds *data.Dataset, partitions int) (Engine, error) {
-	e, err := parallel.New(ds, partitions)
+	return NewParallelSFSKernel(ds, partitions, KernelFlat)
+}
+
+// NewParallelSFSKernel is NewParallelSFS with an explicit kernel choice.
+func NewParallelSFSKernel(ds *data.Dataset, partitions int, kernel Kernel) (Engine, error) {
+	e, err := parallel.NewKernel(ds, partitions, kernel)
 	if err != nil {
 		return nil, err
 	}
@@ -190,9 +247,15 @@ func (p *parallelHybridEngine) SizeBytes() int { return p.e.SizeBytes() }
 
 // NewParallelHybrid builds the hybrid whose unmaterialized-value fallback is
 // the partitioned scan instead of single-threaded SFS-A: tree hits stay
-// instant, and the slow path uses every core.
+// instant, and the slow path uses every core (flat kernel by default).
 func NewParallelHybrid(ds *data.Dataset, template *order.Preference, treeOpts ipotree.Options, partitions int) (Engine, error) {
-	e, err := parallel.NewHybrid(ds, template, treeOpts, partitions)
+	return NewParallelHybridKernel(ds, template, treeOpts, partitions, KernelFlat)
+}
+
+// NewParallelHybridKernel is NewParallelHybrid with an explicit kernel choice
+// for the fallback scan.
+func NewParallelHybridKernel(ds *data.Dataset, template *order.Preference, treeOpts ipotree.Options, partitions int, kernel Kernel) (Engine, error) {
+	e, err := parallel.NewHybridKernel(ds, template, treeOpts, partitions, kernel)
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +280,8 @@ func Kinds() []string {
 //	parallel-hybrid, phybrid  → NewParallelHybrid
 //
 // opts.Tree applies to the tree-backed kinds, opts.Partitions to the
-// parallel kinds; both are ignored otherwise.
+// parallel kinds, opts.Kernel to the scan-based kinds; each is ignored
+// otherwise.
 func NewByName(kind string, ds *data.Dataset, template *order.Preference, opts Options) (Engine, error) {
 	switch strings.ToLower(strings.TrimSpace(kind)) {
 	case "ipo", "ipotree", "ipo tree", "ipo-tree":
@@ -225,13 +289,13 @@ func NewByName(kind string, ds *data.Dataset, template *order.Preference, opts O
 	case "sfsa", "sfs-a":
 		return NewAdaptiveSFS(ds, template)
 	case "sfsd", "sfs-d":
-		return NewSFSD(ds)
+		return NewSFSDKernel(ds, opts.Kernel)
 	case "hybrid":
 		return NewHybrid(ds, template, opts.Tree)
 	case "parallel-sfs", "parallelsfs", "parallel sfs", "psfs":
-		return NewParallelSFS(ds, opts.Partitions)
+		return NewParallelSFSKernel(ds, opts.Partitions, opts.Kernel)
 	case "parallel-hybrid", "parallelhybrid", "parallel hybrid", "phybrid":
-		return NewParallelHybrid(ds, template, opts.Tree, opts.Partitions)
+		return NewParallelHybridKernel(ds, template, opts.Tree, opts.Partitions, opts.Kernel)
 	default:
 		return nil, fmt.Errorf("core: unknown engine kind %q (want one of %s)",
 			kind, strings.Join(Kinds(), ", "))

@@ -193,3 +193,53 @@ func TestMaintainable(t *testing.T) {
 		t.Error("Maintainable(SFS-D) != nil")
 	}
 }
+
+// TestKernelOptionAgreement: the pointer-kernel engines built through
+// Options agree with the default flat-kernel engines on Table 2.
+func TestKernelOptionAgreement(t *testing.T) {
+	ds := data.Table1()
+	tmpl := ds.Schema().EmptyPreference()
+	for _, kind := range []string{"sfsd", "parallel-sfs", "parallel-hybrid"} {
+		flatEng, err := NewByName(kind, ds, tmpl, Options{Partitions: 3, Kernel: KernelFlat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrEng, err := NewByName(kind, ds, tmpl, Options{Partitions: 3, Kernel: KernelPointer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, spec := range []string{"", "Hotel-group: T<M<*", "Hotel-group: H<M<T"} {
+			pref, err := data.ParsePreference(ds.Schema(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ptrEng.Skyline(context.Background(), pref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := flatEng.Skyline(context.Background(), pref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s %q: flat %v, pointer %v", kind, spec, got, want)
+			}
+		}
+	}
+}
+
+// TestSFSDFlatCancelsMidScan: the flat SFS-D path threads the query context
+// into the scan, so an already-canceled context aborts with ctx.Err() even
+// past the entry check.
+func TestSFSDFlatCancelsMidScan(t *testing.T) {
+	ds := data.Table1()
+	e, err := NewSFSDKernel(ds, KernelFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Skyline(ctx, ds.Schema().EmptyPreference()); err == nil {
+		t.Fatal("canceled context accepted")
+	}
+}

@@ -89,6 +89,11 @@ func (c *Comparator) Preference() *order.Preference { return c.pref }
 // Rank returns r(v) for nominal dimension dim.
 func (c *Comparator) Rank(dim int, v order.Value) int32 { return c.ranks[dim][v] }
 
+// RankTables exposes the per-dimension rank tables r(v) of §4.2, indexed
+// [dim][value], for columnar projection (internal/flat). The returned slices
+// are the comparator's own; callers must not mutate them.
+func (c *Comparator) RankTables() [][]int32 { return c.ranks }
+
 // Dominates reports p ≺ q: p is at least as good on every dimension and
 // strictly better on at least one.
 func (c *Comparator) Dominates(p, q *data.Point) bool {

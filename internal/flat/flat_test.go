@@ -1,0 +1,420 @@
+package flat_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/flat"
+	"prefsky/internal/order"
+	"prefsky/internal/parallel"
+	"prefsky/internal/skyline"
+)
+
+// randomSchema builds a schema with the given dimensions (nominal domains of
+// cardinality card).
+func randomSchema(t testing.TB, numDims, nomDims, card int) *data.Schema {
+	t.Helper()
+	numeric := make([]data.NumericAttr, numDims)
+	for i := range numeric {
+		numeric[i] = data.NumericAttr{Name: fmt.Sprintf("n%d", i)}
+	}
+	nominal := make([]*order.Domain, nomDims)
+	for i := range nominal {
+		d, err := order.NewAnonymousDomain(fmt.Sprintf("d%d", i), card)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nominal[i] = d
+	}
+	schema, err := data.NewSchema(numeric, nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema
+}
+
+// randomDataset draws points from a coarse value grid so exact duplicates and
+// per-dimension ties occur often, then appends exact copies of a few points —
+// the duplicate-point edge case the kernel must keep in the skyline twice.
+func randomDataset(t testing.TB, schema *data.Schema, n, card int, rng *rand.Rand) *data.Dataset {
+	t.Helper()
+	points := make([]data.Point, 0, n+n/4)
+	for i := 0; i < n; i++ {
+		p := data.Point{
+			Num: make([]float64, schema.NumDims()),
+			Nom: make([]order.Value, schema.NomDims()),
+		}
+		for d := range p.Num {
+			p.Num[d] = float64(rng.Intn(5)) / 4 // coarse grid: many ties
+		}
+		for d := range p.Nom {
+			p.Nom[d] = order.Value(rng.Intn(card))
+		}
+		points = append(points, p)
+	}
+	for i := 0; i < n/4 && i < len(points); i++ {
+		points = append(points, points[rng.Intn(n)].Clone())
+	}
+	ds, err := data.New(schema, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// randomPreference lists a random selection (possibly none, possibly all) of
+// each dimension's values in random order.
+func randomPreference(t testing.TB, schema *data.Schema, rng *rand.Rand) *order.Preference {
+	t.Helper()
+	dims := make([]*order.Implicit, schema.NomDims())
+	for d, card := range schema.Cardinalities() {
+		perm := rng.Perm(card)
+		k := rng.Intn(card + 1)
+		entries := make([]order.Value, k)
+		for i := 0; i < k; i++ {
+			entries[i] = order.Value(perm[i])
+		}
+		ip, err := order.NewImplicit(card, entries...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dims[d] = ip
+	}
+	pref, err := order.NewPreference(dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pref
+}
+
+// checkAgainstReferences asserts the flat kernel equals the pointer SFS, the
+// naive Comparator scan, and the naive POComparator scan for one preference.
+func checkAgainstReferences(t *testing.T, ds *data.Dataset, pref *order.Preference) {
+	t.Helper()
+	cmp, err := dominance.NewComparator(ds.Schema(), pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, err := dominance.FromPreference(ds.Schema(), pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNaive := skyline.Naive(ds.Points(), cmp)
+	wantPO := skyline.Naive(ds.Points(), po)
+	wantSFS := skyline.SFS(ds.Points(), cmp)
+	if !reflect.DeepEqual(wantNaive, wantPO) {
+		t.Fatalf("pref %v: Comparator naive %v != POComparator naive %v", pref, wantNaive, wantPO)
+	}
+	if !reflect.DeepEqual(wantNaive, wantSFS) {
+		t.Fatalf("pref %v: naive %v != SFS %v", pref, wantNaive, wantSFS)
+	}
+	pr, err := flat.NewBlock(ds).Project(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pr.Skyline()
+	if !reflect.DeepEqual(got, wantNaive) {
+		t.Fatalf("pref %v: flat %v, want %v", pref, got, wantNaive)
+	}
+}
+
+// TestFlatMatchesReferences is the tentpole property: on random schemas ×
+// datasets (with duplicates and heavy value ties) × preferences (orders 0..k,
+// i.e. including all-unlisted and total orders), the flat kernel's skyline is
+// identical to pointer SFS, the naive Comparator scan and the naive
+// POComparator scan.
+func TestFlatMatchesReferences(t *testing.T) {
+	cases := []struct {
+		numDims, nomDims, card, n int
+		seed                      int64
+	}{
+		{0, 1, 3, 20, 1},
+		{1, 0, 2, 30, 2}, // no nominal dims at all
+		{0, 2, 4, 40, 3}, // purely nominal
+		{2, 1, 3, 60, 4},
+		{1, 2, 5, 80, 5},
+		{2, 2, 4, 120, 6},
+		{3, 3, 3, 150, 7},
+		// Large enough for the radix presort path, with the coarse value grid
+		// forcing long equal-score runs through the collision fixup.
+		{2, 2, 3, 3000, 8},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(fmt.Sprintf("m=%d/l=%d/k=%d/n=%d", c.numDims, c.nomDims, c.card, c.n), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(c.seed))
+			schema := randomSchema(t, c.numDims, c.nomDims, c.card)
+			ds := randomDataset(t, schema, c.n, c.card, rng)
+			for q := 0; q < 12; q++ {
+				checkAgainstReferences(t, ds, randomPreference(t, schema, rng))
+			}
+		})
+	}
+}
+
+// TestFlatDominatesMatchesComparator checks the pairwise relation itself, not
+// just the skyline: every ordered row pair must agree with
+// dominance.Comparator, including the equal-rank/distinct-value
+// incomparability of two unlisted values.
+func TestFlatDominatesMatchesComparator(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	schema := randomSchema(t, 1, 2, 4)
+	ds := randomDataset(t, schema, 40, 4, rng)
+	points := ds.Points()
+	for q := 0; q < 6; q++ {
+		pref := randomPreference(t, schema, rng)
+		cmp, err := dominance.NewComparator(schema, pref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := flat.NewBlock(ds).Project(cmp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range points {
+			for j := range points {
+				want := cmp.Dominates(&points[i], &points[j])
+				if got := pr.Dominates(int32(i), int32(j)); got != want {
+					t.Fatalf("pref %v: Dominates(%d,%d) = %v, want %v (p=%v q=%v)",
+						pref, i, j, got, want, points[i], points[j])
+				}
+			}
+		}
+	}
+}
+
+// TestAllUnlistedIncomparable: under any preference, points that differ only
+// in unlisted nominal values are incomparable, so with no numeric dimensions
+// every distinct-valued point survives. The projection must not collapse the
+// shared unlisted rank into dominance.
+func TestAllUnlistedIncomparable(t *testing.T) {
+	schema := randomSchema(t, 0, 1, 5)
+	// No point carries the listed value 0: every point is unlisted, all share
+	// rank 5, and all values are pairwise distinct — pairwise incomparable.
+	points := make([]data.Point, 4)
+	for i := range points {
+		points[i] = data.Point{Num: nil, Nom: []order.Value{order.Value(i + 1)}}
+	}
+	ds, err := data.New(schema, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pref, err := order.EmptyPreference(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := order.NewImplicit(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pref, err = pref.WithDim(0, ip); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReferences(t, ds, pref)
+	cmp, _ := dominance.NewComparator(schema, pref)
+	pr, err := flat.NewBlock(ds).Project(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A rank-only kernel would let any point "dominate" its equal-rank
+	// neighbors; the value check must keep all four incomparable.
+	if got := pr.Skyline(); len(got) != 4 {
+		t.Fatalf("all-unlisted skyline = %v, want all 4 points", got)
+	}
+}
+
+// TestDuplicatePointsBothSurvive: exact duplicates never dominate each other,
+// so both copies stay in the skyline through the flat kernel.
+func TestDuplicatePointsBothSurvive(t *testing.T) {
+	schema := randomSchema(t, 1, 1, 3)
+	points := []data.Point{
+		{Num: []float64{0.1}, Nom: []order.Value{1}},
+		{Num: []float64{0.1}, Nom: []order.Value{1}}, // exact duplicate
+		{Num: []float64{0.9}, Nom: []order.Value{1}}, // dominated under any pref
+	}
+	ds, err := data.New(schema, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pref, err := order.EmptyPreference(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReferences(t, ds, pref)
+	cmp, _ := dominance.NewComparator(schema, pref)
+	pr, err := flat.NewBlock(ds).Project(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pr.Skyline()
+	want := []data.PointID{0, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("duplicate skyline = %v, want %v", got, want)
+	}
+}
+
+// TestProjectionScores: the precomputed score array equals the comparator's
+// f(p) for every point (the §4.2 function the SFS presort depends on).
+func TestProjectionScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	schema := randomSchema(t, 2, 2, 4)
+	ds := randomDataset(t, schema, 50, 4, rng)
+	pref := randomPreference(t, schema, rng)
+	cmp, err := dominance.NewComparator(schema, pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := flat.NewBlock(ds).Project(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := ds.Points()
+	for i := range points {
+		if got, want := pr.Score(int32(i)), cmp.Score(&points[i]); got != want {
+			t.Fatalf("Score(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestProjectDimensionMismatch: projecting through a comparator of the wrong
+// shape fails loudly instead of reading out of bounds.
+func TestProjectDimensionMismatch(t *testing.T) {
+	schemaA := randomSchema(t, 1, 2, 3)
+	schemaB := randomSchema(t, 1, 1, 3)
+	rng := rand.New(rand.NewSource(17))
+	ds := randomDataset(t, schemaA, 10, 3, rng)
+	prefB, err := order.EmptyPreference(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmpB, err := dominance.NewComparator(schemaB, prefB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flat.NewBlock(ds).Project(cmpB); err == nil {
+		t.Fatal("Project with mismatched dimensions succeeded, want error")
+	}
+}
+
+// TestScoreBitsOrder: the packed sort key preserves float order, negatives
+// (HigherIsBetter attributes are stored negated) included.
+func TestScoreBitsOrder(t *testing.T) {
+	vals := []float64{-100.5, -1, -0.25, 0, 0.25, 1, 2.5, 1e9}
+	for i := 0; i < len(vals)-1; i++ {
+		if flat.ScoreBits(vals[i]) >= flat.ScoreBits(vals[i+1]) {
+			t.Fatalf("flat.ScoreBits(%v) >= flat.ScoreBits(%v)", vals[i], vals[i+1])
+		}
+	}
+	if flat.ScoreBits(0) != flat.ScoreBits(0) {
+		t.Fatal("ScoreBits not deterministic")
+	}
+}
+
+// TestParseKernel pins the kernel-name table.
+func TestParseKernel(t *testing.T) {
+	for s, want := range map[string]flat.Kernel{
+		"": flat.KernelFlat, "flat": flat.KernelFlat, "columnar": flat.KernelFlat,
+		"pointer": flat.KernelPointer, "slice": flat.KernelPointer,
+	} {
+		got, err := flat.ParseKernel(s)
+		if err != nil || got != want {
+			t.Errorf("flat.ParseKernel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := flat.ParseKernel("gpu"); err == nil {
+		t.Error("flat.ParseKernel(gpu) succeeded, want error")
+	}
+	if flat.KernelFlat.String() != "flat" || flat.KernelPointer.String() != "pointer" {
+		t.Error("Kernel.String mismatch")
+	}
+}
+
+// FuzzFlatKernel drives the equivalence property from fuzzed shape + seed:
+// whatever dataset and preference fall out, flat ≡ naive Comparator scan.
+func FuzzFlatKernel(f *testing.F) {
+	f.Add(int64(1), uint8(20), uint8(1), uint8(2), uint8(3))
+	f.Add(int64(2), uint8(50), uint8(2), uint8(1), uint8(4))
+	f.Add(int64(3), uint8(5), uint8(0), uint8(3), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, n, numDims, nomDims, card uint8) {
+		m := int(numDims % 4)
+		l := int(nomDims % 4)
+		if m+l == 0 {
+			m = 1
+		}
+		k := int(card%6) + 1
+		rng := rand.New(rand.NewSource(seed))
+		schema := randomSchema(t, m, l, k)
+		ds := randomDataset(t, schema, int(n%64)+1, k, rng)
+		pref := randomPreference(t, schema, rng)
+		cmp, err := dominance.NewComparator(schema, pref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := skyline.Naive(ds.Points(), cmp)
+		pr, err := flat.NewBlock(ds).Project(cmp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := pr.Skyline(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("flat %v, want %v (pref %v)", got, want, pref)
+		}
+	})
+}
+
+// TestScoreTieStrictnessAssumption pins the known SFS-family limitation the
+// flat kernel deliberately shares with the pointer kernel: SFS assumes
+// p ≺ q ⇒ f(p) < f(q) survives floating-point summation, but absorption
+// across ~2^53 relative magnitude makes a dominating pair's scores collide
+// (1e17 + 1 == 1e17 in float64), and the dominated point survives the scan.
+// All SFS-family paths must agree with each other — kernel equivalence and
+// partition-invariance hold even here — while Naive remains the exact
+// oracle. If this test starts failing with naive == flat, the limitation
+// was fixed: update DESIGN.md's strictness caveat and this pin.
+func TestScoreTieStrictnessAssumption(t *testing.T) {
+	schema := randomSchema(t, 2, 0, 1)
+	points := []data.Point{
+		{Num: []float64{1, 1e17}}, // dominated by the row below ...
+		{Num: []float64{0, 1e17}}, // ... but 1+1e17 == 1e17 hides it from f
+	}
+	ds, err := data.New(schema, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pref := schema.EmptyPreference()
+	cmp, err := dominance.NewComparator(schema, pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Dominates(&points[1], &points[0]) {
+		t.Fatal("fixture broken: row 1 must dominate row 0")
+	}
+	if cmp.Score(&points[0]) != cmp.Score(&points[1]) {
+		t.Skip("no absorption on this platform; limitation not reproducible")
+	}
+	naive := skyline.Naive(ds.Points(), cmp)
+	if !reflect.DeepEqual(naive, []data.PointID{1}) {
+		t.Fatalf("naive oracle = %v, want [1]", naive)
+	}
+	sfs := skyline.SFS(ds.Points(), cmp)
+	pr, err := flat.NewBlock(ds).Project(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.Skyline(); !reflect.DeepEqual(got, sfs) {
+		t.Fatalf("kernels diverged on score tie: flat %v, pointer %v", got, sfs)
+	}
+	for parts := 1; parts <= 4; parts++ {
+		got, err := parallel.SkylineProjected(context.Background(), pr, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, sfs) {
+			t.Fatalf("partition count changed the tie outcome: P=%d got %v, want %v", parts, got, sfs)
+		}
+	}
+}

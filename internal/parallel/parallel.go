@@ -27,12 +27,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
 	"prefsky/internal/data"
 	"prefsky/internal/dominance"
+	"prefsky/internal/flat"
 	"prefsky/internal/ipotree"
 	"prefsky/internal/order"
 	"prefsky/internal/skyline"
@@ -111,6 +112,12 @@ func Skyline(ctx context.Context, points []data.Point, cmp *dominance.Comparator
 		return nil, err
 	}
 
+	return collectSurvivors(survivors), nil
+}
+
+// collectSurvivors flattens the per-block survivor lists into one ascending
+// id slice.
+func collectSurvivors(survivors [][]data.PointID) []data.PointID {
 	total := 0
 	for _, s := range survivors {
 		total += len(s)
@@ -119,7 +126,99 @@ func Skyline(ctx context.Context, points []data.Point, cmp *dominance.Comparator
 	for _, s := range survivors {
 		out = append(out, s...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	return out
+}
+
+// SkylineProjected computes the partitioned skyline on the flat kernel: the
+// caller projects the whole block once (O(N·l)) and the partitions become
+// plain row ranges over the shared projection — no per-block rescoring, no
+// per-block rank lookups, and the merge-filter prunes on the same
+// precomputed score array. Results are identical to skyline.SFS over the
+// block's points.
+func SkylineProjected(ctx context.Context, proj *flat.Projection, partitions int) ([]data.PointID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n := proj.N()
+	partitions = normalize(n, partitions)
+	if partitions <= 1 {
+		rows, err := proj.SkylineRangeCtx(ctx, 0, n)
+		if err != nil {
+			return nil, err
+		}
+		return proj.IDs(rows), nil
+	}
+
+	// Phase 1: concurrent flat SFS per row range, all sharing one projection.
+	locals := make([][]int32, partitions)
+	errs := make([]error, partitions)
+	var wg sync.WaitGroup
+	for i := 0; i < partitions; i++ {
+		lo, hi := i*n/partitions, (i+1)*n/partitions
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			locals[i], errs[i] = proj.SkylineRangeCtx(ctx, lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: concurrent merge-filter over the shared projection.
+	survivors := make([][]data.PointID, partitions)
+	for i := range locals {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			survivors[i], errs[i] = flatMergeFilter(ctx, proj, i, locals)
+		}(i)
+	}
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return collectSurvivors(survivors), nil
+}
+
+// flatMergeFilter keeps the rows of locals[i] not dominated by any local
+// skyline row of another range. Local skylines are ascending in f and only
+// strictly smaller scores can dominate, so each cross-scan stops at the
+// candidate's own score.
+func flatMergeFilter(ctx context.Context, proj *flat.Projection, i int, locals [][]int32) ([]data.PointID, error) {
+	var out []data.PointID
+	scores := proj.Scores()
+	for c, r := range locals[i] {
+		if c&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		score := scores[r]
+		dominated := false
+		for j := range locals {
+			if j == i {
+				continue
+			}
+			for _, q := range locals[j] {
+				if scores[q] >= score {
+					break
+				}
+				if proj.Dominates(q, r) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, proj.ID(r))
+		}
+	}
 	return out, nil
 }
 
@@ -232,22 +331,36 @@ func firstError(errs []error) error {
 }
 
 // Engine is the "parallel-sfs" core engine: SFS-D divided over P blocks per
-// query. Like SFS-D it needs no preprocessing and retains no storage, so it
-// is safe for concurrent use and always reflects the dataset it wraps.
+// query. It needs no per-preference preprocessing; on the default flat
+// kernel it lays the dataset out columnar once at construction (a mirror of
+// the base data, not an index — SizeBytes stays zero like SFS-D) so each
+// query pays only the O(N·l) rank projection shared by all partitions. It is
+// safe for concurrent use and always reflects the dataset it wraps.
 type Engine struct {
 	ds    *data.Dataset
+	blk   *flat.Block // nil on the pointer kernel
 	parts int
 
 	queries atomic.Uint64
 }
 
-// New wraps a dataset as a partitioned SFS engine. partitions <= 0 defaults
-// to GOMAXPROCS at query time.
+// New wraps a dataset as a partitioned SFS engine on the default (flat)
+// kernel. partitions <= 0 defaults to GOMAXPROCS at query time.
 func New(ds *data.Dataset, partitions int) (*Engine, error) {
+	return NewKernel(ds, partitions, flat.KernelFlat)
+}
+
+// NewKernel is New with an explicit kernel choice; KernelPointer keeps the
+// original per-point slice scan.
+func NewKernel(ds *data.Dataset, partitions int, kernel flat.Kernel) (*Engine, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("parallel: nil dataset")
 	}
-	return &Engine{ds: ds, parts: partitions}, nil
+	e := &Engine{ds: ds, parts: partitions}
+	if kernel == flat.KernelFlat {
+		e.blk = flat.NewBlock(ds)
+	}
+	return e, nil
 }
 
 // Partitions returns the configured partition count (0 = GOMAXPROCS).
@@ -260,12 +373,29 @@ func (e *Engine) Skyline(ctx context.Context, pref *order.Preference) ([]data.Po
 		return nil, err
 	}
 	e.queries.Add(1)
+	if e.blk != nil {
+		proj, err := e.blk.Project(cmp)
+		if err != nil {
+			return nil, err
+		}
+		return SkylineProjected(ctx, proj, e.parts)
+	}
 	return Skyline(ctx, e.ds.Points(), cmp, e.parts)
 }
 
-// SizeBytes reports zero: like SFS-D, the engine keeps nothing beyond the
-// dataset.
+// SizeBytes reports zero: like SFS-D the engine keeps no index. The columnar
+// block is an alternate representation of the dataset itself (reported by
+// BlockBytes), not preference-dependent storage in the paper's §5 sense.
 func (e *Engine) SizeBytes() int { return 0 }
+
+// BlockBytes reports the columnar mirror's footprint (0 on the pointer
+// kernel).
+func (e *Engine) BlockBytes() int {
+	if e.blk == nil {
+		return 0
+	}
+	return e.blk.SizeBytes()
+}
 
 // Queries returns the number of Skyline calls served.
 func (e *Engine) Queries() uint64 { return e.queries.Load() }
@@ -289,13 +419,19 @@ type Hybrid struct {
 	fallbacks atomic.Int64
 }
 
-// NewHybrid builds the tree and the partitioned fallback over one dataset.
+// NewHybrid builds the tree and the partitioned fallback over one dataset on
+// the default (flat) kernel.
 func NewHybrid(ds *data.Dataset, template *order.Preference, treeOpts ipotree.Options, partitions int) (*Hybrid, error) {
+	return NewHybridKernel(ds, template, treeOpts, partitions, flat.KernelFlat)
+}
+
+// NewHybridKernel is NewHybrid with an explicit kernel for the fallback scan.
+func NewHybridKernel(ds *data.Dataset, template *order.Preference, treeOpts ipotree.Options, partitions int, kernel flat.Kernel) (*Hybrid, error) {
 	tree, err := ipotree.Build(ds, template, treeOpts)
 	if err != nil {
 		return nil, fmt.Errorf("parallel: building tree: %w", err)
 	}
-	par, err := New(ds, partitions)
+	par, err := NewKernel(ds, partitions, kernel)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 
 	"prefsky/internal/data"
 	"prefsky/internal/dominance"
+	"prefsky/internal/flat"
 	"prefsky/internal/gen"
 	"prefsky/internal/ipotree"
 	"prefsky/internal/skyline"
@@ -276,5 +277,92 @@ func TestNormalize(t *testing.T) {
 		if got := normalize(c.n, c.parts); got != c.want {
 			t.Errorf("normalize(%d, %d) = %d, want %d", c.n, c.parts, got, c.want)
 		}
+	}
+}
+
+// TestSkylineProjectedMatchesSFS is the shared-projection property of the
+// flat kernel: one rank projection over the whole block, partitions as row
+// ranges, identical skylines to sequential SFS for every partition count
+// 1..8.
+func TestSkylineProjectedMatchesSFS(t *testing.T) {
+	cases := []struct {
+		n, numDims, nomDims, card int
+		seed                      int64
+	}{
+		{0, 2, 1, 4, 51},
+		{1, 2, 1, 4, 52},
+		{7, 1, 2, 3, 53},
+		{200, 2, 2, 6, 54},
+		{1000, 3, 2, 8, 55},
+	}
+	for _, c := range cases {
+		ds, cmps := randomFixture(t, c.n, c.numDims, c.nomDims, c.card, c.seed)
+		blk := flat.NewBlock(ds)
+		for qi, cmp := range cmps {
+			want := skyline.SFS(ds.Points(), cmp)
+			proj, err := blk.Project(cmp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for parts := 1; parts <= 8; parts++ {
+				got, err := SkylineProjected(context.Background(), proj, parts)
+				if err != nil {
+					t.Fatalf("n=%d query %d parts %d: %v", c.n, qi, parts, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("n=%d query %d parts %d: got %v, want %v", c.n, qi, parts, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineKernelsAgree: the flat-kernel engine (default) and the pointer
+// engine answer identically, and the flat engine reports its columnar mirror.
+func TestEngineKernelsAgree(t *testing.T) {
+	ds, cmps := randomFixture(t, 600, 2, 2, 5, 61)
+	flatEng, err := New(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptrEng, err := NewKernel(ds, 4, flat.KernelPointer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cmp := range cmps {
+		pref := cmp.Preference()
+		want, err := ptrEng.Skyline(context.Background(), pref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := flatEng.Skyline(context.Background(), pref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("kernels diverged: flat %v, pointer %v", got, want)
+		}
+	}
+	if flatEng.BlockBytes() == 0 {
+		t.Error("flat engine BlockBytes = 0, want > 0")
+	}
+	if ptrEng.BlockBytes() != 0 {
+		t.Errorf("pointer engine BlockBytes = %d, want 0", ptrEng.BlockBytes())
+	}
+}
+
+// TestSkylineProjectedCanceled: the flat partitioned path observes
+// cancellation like the pointer path.
+func TestSkylineProjectedCanceled(t *testing.T) {
+	ds, cmps := randomFixture(t, 300, 2, 2, 5, 71)
+	blk := flat.NewBlock(ds)
+	proj, err := blk.Project(cmps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SkylineProjected(ctx, proj, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("error = %v, want context.Canceled", err)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"prefsky/internal/adaptive"
 	"prefsky/internal/core"
 	"prefsky/internal/data"
+	"prefsky/internal/flat"
 	"prefsky/internal/ipotree"
 	"prefsky/internal/order"
 )
@@ -35,6 +36,11 @@ type EngineConfig struct {
 	Tree ipotree.Options
 	// Partitions is the block count for the parallel kinds (0 = GOMAXPROCS).
 	Partitions int
+	// Kernel selects the scan kernel for the scan-based kinds: "" or "flat"
+	// for the columnar block kernel (the dataset is laid out columnar once
+	// at registration, so queries pay only the per-preference rank
+	// projection), "pointer" for the original per-point kernel.
+	Kernel string
 }
 
 // DatasetInfo is a read-only snapshot of one registered dataset.
@@ -110,7 +116,11 @@ func (r *Registry) Add(name string, ds *data.Dataset, cfg EngineConfig) error {
 	if tmpl == nil {
 		tmpl = ds.Schema().EmptyPreference()
 	}
-	eng, err := core.NewByName(kind, ds, tmpl, core.Options{Tree: cfg.Tree, Partitions: cfg.Partitions})
+	kernel, err := flat.ParseKernel(cfg.Kernel)
+	if err != nil {
+		return fmt.Errorf("service: dataset %q: %w", name, err)
+	}
+	eng, err := core.NewByName(kind, ds, tmpl, core.Options{Tree: cfg.Tree, Partitions: cfg.Partitions, Kernel: kernel})
 	if err != nil {
 		return fmt.Errorf("service: building engine for %q: %w", name, err)
 	}

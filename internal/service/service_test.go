@@ -401,3 +401,34 @@ func TestCacheShardDistribution(t *testing.T) {
 		t.Errorf("entries survived InvalidateDataset: %d", c.Len())
 	}
 }
+
+// TestEngineConfigKernel: the kernel selector is validated at registration
+// and both kernels serve identical results through the service.
+func TestEngineConfigKernel(t *testing.T) {
+	svc := New(Options{})
+	ds := data.Table1()
+	if err := svc.AddDataset("bad", ds, EngineConfig{Kind: "sfsd", Kernel: "gpu"}); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	if err := svc.AddDataset("flat", ds, EngineConfig{Kind: "sfsd", Kernel: "flat"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddDataset("pointer", ds, EngineConfig{Kind: "sfsd", Kernel: "pointer"}); err != nil {
+		t.Fatal(err)
+	}
+	pref, err := data.ParsePreference(ds.Schema(), "Hotel-group: T<M<*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := svc.Query(context.Background(), "pointer", pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := svc.Query(context.Background(), "flat", pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("kernels diverged through service: flat %v, pointer %v", got, want)
+	}
+}

@@ -9,10 +9,11 @@
 package skyline
 
 import (
-	"sort"
+	"slices"
 
 	"prefsky/internal/data"
 	"prefsky/internal/dominance"
+	"prefsky/internal/flat"
 )
 
 // Dominator is the dominance test shared by all algorithms; both
@@ -24,7 +25,7 @@ type Dominator interface {
 // Naive computes the skyline by checking every pair. It is the reference
 // implementation used to validate the faster algorithms.
 func Naive(points []data.Point, dom Dominator) []data.PointID {
-	var out []data.PointID
+	out := make([]data.PointID, 0, 64)
 	for i := range points {
 		dominated := false
 		for j := range points {
@@ -83,7 +84,7 @@ func BNL(points []data.Point, dom Dominator) []data.PointID {
 // final (the progressive property).
 func SFS(points []data.Point, cmp *dominance.Comparator) []data.PointID {
 	it := NewIterator(points, cmp)
-	var out []data.PointID
+	out := make([]data.PointID, 0, 64)
 	for {
 		p, ok := it.Next()
 		if !ok {
@@ -105,21 +106,36 @@ type Iterator struct {
 	accepted []*data.Point
 }
 
+// iterKey packs one point's presort key — score bits then point id — so the
+// presort is a branch-cheap compare over contiguous 16-byte keys instead of a
+// closure re-indexing two slices per comparison.
+type iterKey struct {
+	bits uint64
+	id   data.PointID
+	row  int32
+}
+
 // NewIterator presorts the points by f (O(N log N)) and prepares the scan.
 func NewIterator(points []data.Point, cmp *dominance.Comparator) *Iterator {
-	scores := make([]float64, len(points))
-	ord := make([]int32, len(points))
+	keys := make([]iterKey, len(points))
 	for i := range points {
-		scores[i] = cmp.Score(&points[i])
-		ord[i] = int32(i)
-	}
-	sort.SliceStable(ord, func(a, b int) bool {
-		ia, ib := ord[a], ord[b]
-		if scores[ia] != scores[ib] {
-			return scores[ia] < scores[ib]
+		keys[i] = iterKey{
+			bits: flat.ScoreBits(cmp.Score(&points[i])),
+			id:   points[i].ID,
+			row:  int32(i),
 		}
-		return points[ia].ID < points[ib].ID
+	}
+	slices.SortFunc(keys, func(a, b iterKey) int {
+		if c := flat.CompareScoreKeys(a.bits, b.bits, a.id, b.id); c != 0 {
+			return c
+		}
+		// Duplicate ids (arbitrary point slices): fall back to input order.
+		return int(a.row) - int(b.row)
 	})
+	ord := make([]int32, len(keys))
+	for i, k := range keys {
+		ord[i] = k.row
+	}
 	return &Iterator{points: points, ord: ord, cmp: cmp}
 }
 
@@ -151,6 +167,18 @@ func Of(ds *data.Dataset, cmp *dominance.Comparator) []data.PointID {
 	return SFS(ds.Points(), cmp)
 }
 
+// SFSFlat is the columnar counterpart of SFS: project the block through the
+// comparator's rank tables (one sequential pass computing ranks and scores
+// together) and run the flat kernel, whose inner loop touches only contiguous
+// int32/float64 memory. Results are identical to SFS over the same points.
+func SFSFlat(b *flat.Block, cmp *dominance.Comparator) ([]data.PointID, error) {
+	pr, err := b.Project(cmp)
+	if err != nil {
+		return nil, err
+	}
+	return pr.Skyline(), nil
+}
+
 // Filter returns the subset of points (by id) that appear in ids, preserving
 // canonical ascending order. ids must be sorted.
 func Filter(points []data.Point, ids []data.PointID) []data.Point {
@@ -162,5 +190,5 @@ func Filter(points []data.Point, ids []data.PointID) []data.Point {
 }
 
 func sortIDs(ids []data.PointID) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 }

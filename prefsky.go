@@ -102,6 +102,9 @@ type (
 	Engine = core.Engine
 	// EngineOptions configures engine construction for NewEngineByName.
 	EngineOptions = core.Options
+	// Kernel selects the scan kernel for the scan-based engines: the
+	// columnar flat kernel (default) or the original pointer kernel.
+	Kernel = core.Kernel
 	// TreeOptions configures IPO-tree construction.
 	TreeOptions = ipotree.Options
 	// TreeStats reports IPO-tree construction measurements.
@@ -230,6 +233,12 @@ const (
 	Independent    = gen.Independent
 	Correlated     = gen.Correlated
 	AntiCorrelated = gen.AntiCorrelated
+)
+
+// Scan kernels for EngineOptions.Kernel (the zero value is KernelFlat).
+const (
+	KernelFlat    = core.KernelFlat
+	KernelPointer = core.KernelPointer
 )
 
 // Query workload value modes.
