@@ -1,17 +1,23 @@
 // Command kernelbench measures the columnar (flat) dominance kernel against
 // the original pointer kernel on one synthetic dataset and emits the
 // measurements as machine-readable JSON (internal/bench/export), the format
-// CI archives as BENCH_pr3.json so the repository's performance trajectory
+// CI archives as BENCH_pr*.json so the repository's performance trajectory
 // has data points.
 //
 // Usage:
 //
 //	kernelbench -n 100000 -kind independent -out BENCH_pr3.json
+//	kernelbench -n 100000 -mixed -out BENCH_pr4.json
 //
 // Both kernels answer the same preference over the same dataset; the tool
 // verifies the skylines are identical before trusting the timings. The flat
 // measurement includes the per-query rank projection (the block itself is
 // built once, as the engines build it at load/registration time).
+//
+// -mixed switches to the concurrent read/write scenario: a 95%/5%
+// query/mutation mix measured on the versioned snapshot store versus the
+// RWMutex-era design (immutable block rebuilt under a write lock), against a
+// read-only latency floor. See cmd/kernelbench/mixed.go.
 package main
 
 import (
@@ -49,6 +55,10 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 42, "dataset seed")
 		out      = fs.String("out", "BENCH_pr3.json", "output JSON path (empty = stdout only)")
 		parts    = fs.Int("partitions", 0, "also measure the partitioned flat engine with this block count (0 = skip)")
+		mixed    = fs.Bool("mixed", false, "run the mixed read/write scenario (snapshot store vs RWMutex era) instead of the kernel comparison")
+		workers  = fs.Int("mixed-workers", 4, "concurrent workers in the mixed scenario")
+		ops      = fs.Int("mixed-ops", 200, "operations per worker in the mixed scenario")
+		mutFrac  = fs.Float64("mixed-mutations", 0.05, "fraction of operations that are mutations in the mixed scenario")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +90,20 @@ func run(args []string) error {
 	cmp, err := dominance.NewComparator(ds.Schema(), pref)
 	if err != nil {
 		return err
+	}
+
+	if *mixed {
+		report := export.NewReport("mixed read/write: snapshot store vs RWMutex era")
+		if err := runMixed(report, ds, pref, *n, *workers, *ops, *mutFrac); err != nil {
+			return err
+		}
+		if *out != "" {
+			if err := export.WriteFile(*out, report); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return nil
 	}
 
 	blk := flat.NewBlock(ds)

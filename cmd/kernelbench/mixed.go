@@ -1,0 +1,266 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"slices"
+	"sync"
+	"time"
+
+	"prefsky/internal/bench/export"
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/flat"
+	"prefsky/internal/order"
+)
+
+// The mixed read/write scenario measures what the versioned store buys under
+// concurrent maintenance: W workers issue a 95%/5% query/mutation mix against
+// the same dataset three ways —
+//
+//   - read-only: the flat snapshot path with no writers (the latency floor);
+//   - snapshot: queries grab the store's current snapshot lock-free while
+//     mutations publish new versions (this repository's architecture);
+//   - rwmutex: the PR-3-era emulation — one immutable Block behind an
+//     RWMutex, every mutation rebuilding the Block under the write lock,
+//     every query holding the read lock.
+//
+// Query latency percentiles (not means) are reported, because writer stalls
+// live in the tail.
+
+// mixedMeasure is one scenario's outcome.
+type mixedMeasure struct {
+	lats      []time.Duration // per-query wall times
+	wall      time.Duration
+	queries   int
+	mutations int
+}
+
+func (m *mixedMeasure) percentile(q float64) time.Duration {
+	if len(m.lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), m.lats...)
+	slices.Sort(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+func (m *mixedMeasure) opsPerSec() float64 {
+	return float64(m.queries+m.mutations) / m.wall.Seconds()
+}
+
+// mixedRun drives workers through opsPerWorker operations each: a mutation
+// with probability mutFrac, a timed query otherwise.
+func mixedRun(workers, opsPerWorker int, mutFrac float64, query func(w int), mutate func(w, i int, rng *rand.Rand)) mixedMeasure {
+	perWorker := make([][]time.Duration, workers)
+	muts := make([]int, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			for i := 0; i < opsPerWorker; i++ {
+				if mutate != nil && rng.Float64() < mutFrac {
+					mutate(w, i, rng)
+					muts[w]++
+					continue
+				}
+				t0 := time.Now()
+				query(w)
+				perWorker[w] = append(perWorker[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	out := mixedMeasure{wall: time.Since(start)}
+	for w := range perWorker {
+		out.lats = append(out.lats, perWorker[w]...)
+		out.mutations += muts[w]
+	}
+	out.queries = len(out.lats)
+	return out
+}
+
+// randomMutation returns a closure that alternates inserts of random points
+// with deletes of that worker's own earlier inserts against any Insert/Delete
+// pair.
+func randomMutation(numDims, nomDims, card int,
+	insert func(num []float64, nom []order.Value) (data.PointID, error),
+	del func(id data.PointID) error) func(w, i int, rng *rand.Rand) {
+	var mu sync.Mutex
+	mine := make(map[int][]data.PointID)
+	return func(w, i int, rng *rand.Rand) {
+		mu.Lock()
+		own := mine[w]
+		mu.Unlock()
+		if len(own) > 0 && rng.Intn(2) == 0 {
+			id := own[len(own)-1]
+			if err := del(id); err == nil {
+				mu.Lock()
+				mine[w] = own[:len(own)-1]
+				mu.Unlock()
+			}
+			return
+		}
+		num := make([]float64, numDims)
+		for d := range num {
+			num[d] = rng.Float64()
+		}
+		nom := make([]order.Value, nomDims)
+		for d := range nom {
+			nom[d] = order.Value(rng.Intn(card))
+		}
+		if id, err := insert(num, nom); err == nil {
+			mu.Lock()
+			mine[w] = append(mine[w], id)
+			mu.Unlock()
+		}
+	}
+}
+
+// runMixed executes the three scenarios and records them in the report.
+func runMixed(report *export.Report, ds *data.Dataset, pref *order.Preference, n, workers, ops int, mutFrac float64) error {
+	if p := runtime.GOMAXPROCS(0); p < 2 {
+		// With one scheduler thread the workers never truly overlap, so
+		// writers cannot stall readers in either era and the rwmutex-vs-
+		// snapshot contrast cannot manifest. Record the degenerate condition
+		// in the report so archived numbers are not misread.
+		fmt.Printf("warning: GOMAXPROCS=%d — workers cannot overlap; the snapshot-vs-rwmutex contrast needs >= 2 CPUs\n", p)
+		report.Derive("mixed/degenerate-single-cpu", 1)
+	}
+	schema := ds.Schema()
+	numDims, nomDims := schema.NumDims(), schema.NomDims()
+	card := schema.Cardinalities()[0]
+	ctx := context.Background()
+
+	snapQuery := func(store *flat.Store) func(int) {
+		return func(int) {
+			cmp, err := dominance.NewComparator(schema, pref)
+			if err != nil {
+				panic(err)
+			}
+			snap := store.Snapshot()
+			proj, err := snap.Project(cmp)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := proj.SkylineRangeCtx(ctx, 0, proj.N()); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	// Scenario 1: read-only baseline on the snapshot path.
+	baseStore := flat.NewStore(ds, 0)
+	base := mixedRun(workers, ops, 0, snapQuery(baseStore), nil)
+	addMixed(report, fmt.Sprintf("mixed/N=%d/read-only", n), "flat", n, &base)
+
+	// Scenario 2: snapshot swap under a 95/5 mix.
+	snapStore := flat.NewStore(ds, 0)
+	snapMut := randomMutation(numDims, nomDims, card, snapStore.Insert, snapStore.Delete)
+	snap := mixedRun(workers, ops, mutFrac, snapQuery(snapStore), snapMut)
+	addMixed(report, fmt.Sprintf("mixed/N=%d/snapshot", n), "flat", n, &snap)
+
+	// Scenario 3: the RWMutex era — an immutable Block rebuilt per mutation
+	// under the write lock, queries under the read lock.
+	var mu sync.RWMutex
+	points := append([]data.Point(nil), ds.Points()...)
+	blk := flat.NewBlock(ds)
+	nextID := data.PointID(len(points))
+	rwQuery := func(int) {
+		cmp, err := dominance.NewComparator(schema, pref)
+		if err != nil {
+			panic(err)
+		}
+		mu.RLock()
+		defer mu.RUnlock()
+		proj, err := blk.Project(cmp)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := proj.SkylineRangeCtx(ctx, 0, proj.N()); err != nil {
+			panic(err)
+		}
+	}
+	rwInsert := func(num []float64, nom []order.Value) (data.PointID, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		id := nextID
+		nextID++
+		points = append(points, data.Point{ID: id, Num: num, Nom: nom})
+		b, err := flat.FromPoints(schema, points)
+		if err != nil {
+			return 0, err
+		}
+		blk = b
+		return id, nil
+	}
+	rwDelete := func(id data.PointID) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := range points {
+			if points[i].ID == id {
+				points = append(points[:i], points[i+1:]...)
+				break
+			}
+		}
+		b, err := flat.FromPoints(schema, points)
+		if err != nil {
+			return err
+		}
+		blk = b
+		return nil
+	}
+	rwMut := randomMutation(numDims, nomDims, card, rwInsert, rwDelete)
+	rw := mixedRun(workers, ops, mutFrac, rwQuery, rwMut)
+	addMixed(report, fmt.Sprintf("mixed/N=%d/rwmutex", n), "flat", n, &rw)
+
+	report.Derive(fmt.Sprintf("mixed/p50-ratio-snapshot-vs-readonly/N=%d", n),
+		ratio(snap.percentile(0.5), base.percentile(0.5)))
+	report.Derive(fmt.Sprintf("mixed/p50-ratio-rwmutex-vs-readonly/N=%d", n),
+		ratio(rw.percentile(0.5), base.percentile(0.5)))
+	report.Derive(fmt.Sprintf("mixed/p95-ratio-snapshot-vs-readonly/N=%d", n),
+		ratio(snap.percentile(0.95), base.percentile(0.95)))
+	report.Derive(fmt.Sprintf("mixed/p95-ratio-rwmutex-vs-readonly/N=%d", n),
+		ratio(rw.percentile(0.95), base.percentile(0.95)))
+	report.Derive(fmt.Sprintf("mixed/throughput-snapshot-vs-rwmutex/N=%d", n),
+		snap.opsPerSec()/rw.opsPerSec())
+
+	fmt.Printf("read-only: p50 %v  p95 %v  (%.0f ops/s)\n", base.percentile(0.5), base.percentile(0.95), base.opsPerSec())
+	fmt.Printf("snapshot:  p50 %v  p95 %v  (%.0f ops/s, %d mutations)\n", snap.percentile(0.5), snap.percentile(0.95), snap.opsPerSec(), snap.mutations)
+	fmt.Printf("rwmutex:   p50 %v  p95 %v  (%.0f ops/s, %d mutations)\n", rw.percentile(0.5), rw.percentile(0.95), rw.opsPerSec(), rw.mutations)
+	fmt.Printf("snapshot p50 vs read-only: %.2fx (acceptance: <= 1.2x)\n",
+		ratio(snap.percentile(0.5), base.percentile(0.5)))
+	return nil
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func addMixed(report *export.Report, name, kernel string, n int, m *mixedMeasure) {
+	mean := 0.0
+	for _, l := range m.lats {
+		mean += float64(l)
+	}
+	if len(m.lats) > 0 {
+		mean /= float64(len(m.lats))
+	}
+	report.Add(export.Result{
+		Name:       name,
+		Kernel:     kernel,
+		N:          n,
+		Iterations: m.queries,
+		NsPerOp:    mean,
+		P50NsPerOp: float64(m.percentile(0.5)),
+		P95NsPerOp: float64(m.percentile(0.95)),
+	})
+}

@@ -14,13 +14,21 @@
 //
 //	GET  /healthz      liveness
 //	GET  /v1/datasets  hosted datasets and per-dataset counters
-//	GET  /v1/stats     cache + executor counters
+//	GET  /v1/stats     cache + executor + snapshot/compaction counters
 //	POST /v1/query     {"dataset":"flights","preference":"Airline: Gonna<*"}
 //	POST /v1/batch     {"dataset":"flights","preferences":["...", "..."]}
+//	POST /v1/insert    {"dataset":"flights","points":[{"numeric":{...},"nominal":{...}}]}
+//	POST /v1/delete    {"dataset":"flights","ids":[17,42]}
 //
 // Preferences use the library's string syntax ("Attr: a<b<*; Other: c<*").
 // Canonically equal preferences — e.g. a total order and its forced-last
 // prefix — share result-cache entries, so skewed traffic is served hot.
+//
+// Every engine kind accepts maintenance: datasets live in a versioned
+// columnar store, queries read atomically-swapped snapshots without ever
+// blocking behind writers, and -compact-threshold tunes when the store
+// rebuilds its base layout in the background. -readonly freezes all hosted
+// datasets (mutations answer 409).
 //
 // Every request is context-bound: -query-timeout deadline-bounds uncached
 // queries (HTTP 504 past it), and a disconnected client releases its worker
@@ -79,6 +87,8 @@ func run(args []string) error {
 		demo       = fs.Bool("demo", false, "host the built-in flights demo dataset")
 		kernel     = fs.String("kernel", "flat", "scan kernel for sfsd/parallel engines: flat (columnar) or pointer")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty disables)")
+		compactAt  = fs.Int("compact-threshold", 0, "delta+tombstone rows that trigger background compaction (0 = default, negative disables)")
+		readOnly   = fs.Bool("readonly", false, "freeze all datasets: /v1/insert and /v1/delete answer 409")
 	)
 	fs.Var(&datasets, "dataset", "name=schema.json,data.csv (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -108,11 +118,13 @@ func run(args []string) error {
 			return service.EngineConfig{}, fmt.Errorf("parsing template: %w", err)
 		}
 		return service.EngineConfig{
-			Kind:       *engine,
-			Template:   tmpl,
-			Tree:       prefsky.TreeOptions{TopK: *topK},
-			Partitions: *partitions,
-			Kernel:     *kernel,
+			Kind:             *engine,
+			Template:         tmpl,
+			Tree:             prefsky.TreeOptions{TopK: *topK},
+			Partitions:       *partitions,
+			Kernel:           *kernel,
+			CompactThreshold: *compactAt,
+			ReadOnly:         *readOnly,
 		}, nil
 	}
 

@@ -340,3 +340,136 @@ func TestLoadDatasetFromFiles(t *testing.T) {
 		}
 	}
 }
+
+// maintServer builds a server whose dataset runs the given engine kind.
+func maintServer(t *testing.T, cfg service.EngineConfig) (http.Handler, *data.Dataset) {
+	t.Helper()
+	ds, err := demoFlights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Options{})
+	if err := svc.AddDataset("flights", ds, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return newServer(svc), ds
+}
+
+// TestInsertDeleteEndpoints: batch mutations land, queries reflect them, and
+// the stats endpoint reports the store's snapshot shape.
+func TestInsertDeleteEndpoints(t *testing.T) {
+	for _, kind := range []string{"sfsa", "sfsd", "parallel-sfs"} {
+		h, _ := maintServer(t, service.EngineConfig{Kind: kind})
+
+		// A dominating flight: cheapest, shortest, best airline/transit.
+		pt := pointInput{
+			Numeric: map[string]float64{"Fare": 1, "Hours": 1, "Stops": 0},
+			Nominal: map[string]string{"Airline": "Gonna", "Transit": "AMS"},
+		}
+		var ins insertResponse
+		if code := doJSON(t, h, "POST", "/v1/insert",
+			insertRequest{Dataset: "flights", Points: []pointInput{pt, pt}}, &ins); code != 200 {
+			t.Fatalf("%s: insert: %d", kind, code)
+		}
+		if ins.Count != 2 || ins.Applied != 2 || len(ins.IDs) != 2 {
+			t.Fatalf("%s: insert response %+v", kind, ins)
+		}
+
+		var q queryResponse
+		if code := doJSON(t, h, "POST", "/v1/query",
+			queryRequest{Dataset: "flights", Preference: "Airline: Gonna<*; Transit: AMS<*", IncludePoints: true}, &q); code != 200 {
+			t.Fatalf("%s: query: %d", kind, code)
+		}
+		if !reflect.DeepEqual(q.IDs, ins.IDs) {
+			t.Errorf("%s: skyline after dominating insert = %v, want %v", kind, q.IDs, ins.IDs)
+		}
+		if len(q.Points) != 2 || q.Points[0].Numeric["Fare"] != 1 {
+			t.Errorf("%s: rendered points %+v", kind, q.Points)
+		}
+
+		var del deleteResponse
+		if code := doJSON(t, h, "POST", "/v1/delete",
+			deleteRequest{Dataset: "flights", IDs: ins.IDs}, &del); code != 200 {
+			t.Fatalf("%s: delete: %d", kind, code)
+		}
+		if del.Applied != 2 {
+			t.Errorf("%s: delete applied %d, want 2", kind, del.Applied)
+		}
+
+		// Deleting again: 404 with zero applied.
+		var e errorResponse
+		if code := doJSON(t, h, "POST", "/v1/delete",
+			deleteRequest{Dataset: "flights", IDs: ins.IDs}, &e); code != 404 {
+			t.Errorf("%s: double delete: %d, want 404", kind, code)
+		}
+
+		// Stats expose the snapshot shape.
+		var st service.Stats
+		if code := doJSON(t, h, "GET", "/v1/stats", nil, &st); code != 200 {
+			t.Fatalf("%s: stats: %d", kind, code)
+		}
+		if len(st.Datasets) != 1 || st.Datasets[0].Store == nil {
+			t.Fatalf("%s: stats missing store: %+v", kind, st.Datasets)
+		}
+		sst := st.Datasets[0].Store
+		if sst.Inserts != 2 || sst.Deletes != 2 || sst.Version != 4 {
+			t.Errorf("%s: store stats %+v", kind, sst)
+		}
+	}
+}
+
+// TestMutationErrorStatuses: malformed points 400, oversized batches 413,
+// unknown ids 404, read-only datasets 409.
+func TestMutationErrorStatuses(t *testing.T) {
+	h, _ := demoServer(t)
+	var e errorResponse
+
+	if code := doJSON(t, h, "POST", "/v1/insert", insertRequest{Dataset: "nope",
+		Points: []pointInput{{Numeric: map[string]float64{}, Nominal: map[string]string{}}}}, &e); code != 404 {
+		t.Errorf("unknown dataset: %d, want 404", code)
+	}
+	if code := doJSON(t, h, "POST", "/v1/insert", insertRequest{Dataset: "flights"}, &e); code != 400 {
+		t.Errorf("empty batch: %d, want 400", code)
+	}
+	if code := doJSON(t, h, "POST", "/v1/insert", insertRequest{Dataset: "flights",
+		Points: []pointInput{{Numeric: map[string]float64{"Fare": 1}, Nominal: map[string]string{}}}}, &e); code != 400 {
+		t.Errorf("missing attributes: %d, want 400", code)
+	}
+	if code := doJSON(t, h, "POST", "/v1/insert", insertRequest{Dataset: "flights",
+		Points: []pointInput{{
+			Numeric: map[string]float64{"Fare": 1, "Hours": 1, "Stops": 0},
+			Nominal: map[string]string{"Airline": "NoSuchAirline", "Transit": "AMS"},
+		}}}, &e); code != 400 {
+		t.Errorf("unknown nominal value: %d, want 400", code)
+	}
+	big := make([]pointInput, maxBatchMutations+1)
+	for i := range big {
+		big[i] = pointInput{
+			Numeric: map[string]float64{"Fare": 1, "Hours": 1, "Stops": 0},
+			Nominal: map[string]string{"Airline": "Gonna", "Transit": "AMS"},
+		}
+	}
+	if code := doJSON(t, h, "POST", "/v1/insert", insertRequest{Dataset: "flights", Points: big}, &e); code != 413 {
+		t.Errorf("oversized insert batch: %d, want 413", code)
+	}
+	bigIDs := make([]data.PointID, maxBatchMutations+1)
+	if code := doJSON(t, h, "POST", "/v1/delete", deleteRequest{Dataset: "flights", IDs: bigIDs}, &e); code != 413 {
+		t.Errorf("oversized delete batch: %d, want 413", code)
+	}
+	if code := doJSON(t, h, "POST", "/v1/delete", deleteRequest{Dataset: "flights", IDs: []data.PointID{999999}}, &e); code != 404 {
+		t.Errorf("unknown point id: %d, want 404", code)
+	}
+
+	// Explicitly frozen dataset: 409.
+	hro, _ := maintServer(t, service.EngineConfig{Kind: "sfsd", ReadOnly: true})
+	if code := doJSON(t, hro, "POST", "/v1/delete", deleteRequest{Dataset: "flights", IDs: []data.PointID{0}}, &e); code != 409 {
+		t.Errorf("read-only delete: %d, want 409", code)
+	}
+	if code := doJSON(t, hro, "POST", "/v1/insert", insertRequest{Dataset: "flights",
+		Points: []pointInput{{
+			Numeric: map[string]float64{"Fare": 1, "Hours": 1, "Stops": 0},
+			Nominal: map[string]string{"Airline": "Gonna", "Transit": "AMS"},
+		}}}, &e); code != 409 {
+		t.Errorf("read-only insert: %d, want 409", code)
+	}
+}

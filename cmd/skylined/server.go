@@ -13,12 +13,14 @@ import (
 	"prefsky/internal/service"
 )
 
-// Request hardening bounds: a request body larger than maxBodyBytes or a
-// batch naming more than maxBatchPreferences preferences is rejected before
-// any engine work happens.
+// Request hardening bounds: a request body larger than maxBodyBytes, a batch
+// naming more than maxBatchPreferences preferences, or a mutation batch with
+// more than maxBatchMutations members is rejected before any engine work
+// happens.
 const (
 	maxBodyBytes        = 1 << 20 // 1 MiB
 	maxBatchPreferences = 256
+	maxBatchMutations   = 1024
 )
 
 // server is the HTTP front end over the service facade.
@@ -35,6 +37,8 @@ func newServer(svc *service.Service) http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/insert", s.handleInsert)
+	mux.HandleFunc("POST /v1/delete", s.handleDelete)
 	return mux
 }
 
@@ -83,7 +87,13 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, service.ErrUnknownDataset):
 		status = http.StatusNotFound
+	case errors.Is(err, service.ErrUnknownPoint):
+		// Deleting (or rendering) a point id that was never assigned or is
+		// already gone.
+		status = http.StatusNotFound
 	case errors.Is(err, service.ErrNotMaintainable):
+		// The dataset is explicitly read-only or runs a legacy
+		// pointer-kernel engine.
 		status = http.StatusConflict
 	case errors.As(err, &maxBytesErr):
 		status = http.StatusRequestEntityTooLarge
@@ -280,4 +290,143 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		m.Cached = res.Cached
 	}
 	writeJSON(w, http.StatusOK, batchResponse{Dataset: req.Dataset, Results: members})
+}
+
+// pointInput is one point of a batch insert, keyed by attribute name like the
+// pointJSON render (HigherIsBetter numerics arrive un-negated and are negated
+// on parse, mirroring CSV load).
+type pointInput struct {
+	Numeric map[string]float64 `json:"numeric"`
+	Nominal map[string]string  `json:"nominal"`
+}
+
+type insertRequest struct {
+	Dataset string       `json:"dataset"`
+	Points  []pointInput `json:"points"`
+}
+
+type insertResponse struct {
+	Dataset string         `json:"dataset"`
+	IDs     []data.PointID `json:"ids"`
+	Count   int            `json:"count"`
+	// Applied counts the points inserted; it trails len(points) only on a
+	// partial failure, which also carries an error status.
+	Applied int `json:"applied"`
+}
+
+// parsePoint validates one incoming point against the schema, producing the
+// in-memory representation (numerics negated where HigherIsBetter, nominal
+// labels resolved to dense value ids).
+func parsePoint(schema *data.Schema, in pointInput) (service.PointInput, error) {
+	out := service.PointInput{
+		Num: make([]float64, len(schema.Numeric)),
+		Nom: make([]order.Value, len(schema.Nominal)),
+	}
+	for i, a := range schema.Numeric {
+		v, ok := in.Numeric[a.Name]
+		if !ok {
+			return out, fmt.Errorf("missing numeric attribute %q", a.Name)
+		}
+		if a.HigherIsBetter {
+			v = -v
+		}
+		out.Num[i] = v
+	}
+	if len(in.Numeric) != len(schema.Numeric) {
+		return out, fmt.Errorf("%d numeric attributes, schema has %d", len(in.Numeric), len(schema.Numeric))
+	}
+	for i, d := range schema.Nominal {
+		name, ok := in.Nominal[d.Name()]
+		if !ok {
+			return out, fmt.Errorf("missing nominal attribute %q", d.Name())
+		}
+		v, ok := d.Lookup(name)
+		if !ok {
+			return out, fmt.Errorf("unknown value %q for attribute %q", name, d.Name())
+		}
+		out.Nom[i] = v
+	}
+	if len(in.Nominal) != len(schema.Nominal) {
+		return out, fmt.Errorf("%d nominal attributes, schema has %d", len(in.Nominal), len(schema.Nominal))
+	}
+	return out, nil
+}
+
+func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req insertRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Points) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no points to insert"})
+		return
+	}
+	if len(req.Points) > maxBatchMutations {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			Error: fmt.Sprintf("batch of %d points exceeds the limit of %d", len(req.Points), maxBatchMutations),
+		})
+		return
+	}
+	schema, err := s.svc.Schema(req.Dataset)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Parse the whole batch before mutating anything, so a malformed member
+	// rejects the request instead of leaving it half-applied.
+	pts := make([]service.PointInput, len(req.Points))
+	for i, in := range req.Points {
+		if pts[i], err = parsePoint(schema, in); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("point %d: %v", i, err)})
+			return
+		}
+	}
+	ids, err := s.svc.InsertBatch(req.Dataset, pts)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, insertResponse{
+		Dataset: req.Dataset,
+		IDs:     ids,
+		Count:   len(ids),
+		Applied: len(ids),
+	})
+}
+
+type deleteRequest struct {
+	Dataset string         `json:"dataset"`
+	IDs     []data.PointID `json:"ids"`
+}
+
+type deleteResponse struct {
+	Dataset string `json:"dataset"`
+	Applied int    `json:"applied"`
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req deleteRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no ids to delete"})
+		return
+	}
+	if len(req.IDs) > maxBatchMutations {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			Error: fmt.Sprintf("batch of %d ids exceeds the limit of %d", len(req.IDs), maxBatchMutations),
+		})
+		return
+	}
+	applied, err := s.svc.DeleteBatch(req.Dataset, req.IDs)
+	if err != nil {
+		// Unknown ids map to 404; the error text carries how many of the
+		// batch landed before the failing member.
+		writeError(w, fmt.Errorf("%w (applied %d/%d)", err, applied, len(req.IDs)))
+		return
+	}
+	writeJSON(w, http.StatusOK, deleteResponse{Dataset: req.Dataset, Applied: applied})
 }

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"sync"
 	"time"
 
 	"prefsky/internal/data"
@@ -29,12 +30,23 @@ type Stats struct {
 	Preprocess  time.Duration
 }
 
-// Engine answers implicit-preference skyline queries over one dataset.
+// Engine answers implicit-preference skyline queries over one dataset. The
+// system of record is a versioned columnar flat.Store shared with the rest of
+// the serving stack; the engine additionally keeps the paper's query
+// structures — the presorted SKY(R̃) list and the inverted index — plus a
+// point-table mirror for O(1) coordinate access during maintenance.
+//
+// mu guards those structures: Query holds the read lock, Insert/Delete the
+// write lock, and the store's version is only bumped inside the write
+// critical section, so a query that observes version v always reads
+// structures consistent with v.
 type Engine struct {
 	schema   *data.Schema
 	template *order.Preference
 	baseCmp  *dominance.Comparator
+	store    *flat.Store
 
+	mu        sync.RWMutex
 	points    []data.Point // all points ever seen, indexed by id
 	alive     []bool
 	member    []bool    // current SKY(R̃) membership
@@ -45,41 +57,65 @@ type Engine struct {
 	stats Stats
 }
 
-// New builds the engine: computes SKY(R̃), presorts it (Algorithm 3) and
-// builds the per-dimension inverted index used to locate affected points.
+// New builds the engine over a private versioned store for the dataset:
+// computes SKY(R̃), presorts it (Algorithm 3) and builds the per-dimension
+// inverted index used to locate affected points.
 func New(ds *data.Dataset, template *order.Preference) (*Engine, error) {
-	if ds == nil || template == nil {
-		return nil, fmt.Errorf("adaptive: nil dataset or template")
+	if ds == nil {
+		return nil, fmt.Errorf("adaptive: nil dataset")
 	}
-	baseCmp, err := dominance.NewComparator(ds.Schema(), template)
+	return NewFromStore(flat.NewStore(ds, 0), template)
+}
+
+// NewFromStore builds the engine against an existing versioned store — the
+// form the service registry uses, so Point/N/version reads and the scan
+// engines' snapshots all see the same data. The engine presorts and scores
+// the initial SKY(R̃) against the store's live snapshot.
+func NewFromStore(store *flat.Store, template *order.Preference) (*Engine, error) {
+	if store == nil || template == nil {
+		return nil, fmt.Errorf("adaptive: nil store or template")
+	}
+	baseCmp, err := dominance.NewComparator(store.Schema(), template)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	e := &Engine{
-		schema:   ds.Schema(),
+		schema:   store.Schema(),
 		template: template.Clone(),
 		baseCmp:  baseCmp,
-		points:   append([]data.Point(nil), ds.Points()...),
+		store:    store,
 		list:     skiplist.New(),
 	}
-	e.alive = make([]bool, len(e.points))
-	for i := range e.alive {
-		e.alive[i] = true
+	snap := store.Snapshot()
+	live := snap.Points()
+	maxID := data.PointID(-1)
+	for i := range live {
+		if live[i].ID > maxID {
+			maxID = live[i].ID
+		}
 	}
-	e.member = make([]bool, len(e.points))
-	// One columnar projection yields both the template score table and the
-	// flat-kernel presort for the initial SKY(R̃) — the block itself is
-	// transient, since maintenance mutates the point table.
-	blk, err := flat.FromPoints(e.schema, e.points)
+	n := int(maxID) + 1
+	e.points = make([]data.Point, n)
+	e.alive = make([]bool, n)
+	e.member = make([]bool, n)
+	e.baseScore = make([]float64, n)
+	for _, p := range live {
+		e.points[p.ID] = p
+		e.alive[p.ID] = true
+	}
+	// One projection of the live snapshot yields both the template score
+	// table and the flat-kernel presort for the initial SKY(R̃).
+	proj, err := snap.Project(baseCmp)
 	if err != nil {
 		return nil, err
 	}
-	proj, err := blk.Project(baseCmp)
-	if err != nil {
-		return nil, err
+	for row := int32(0); int(row) < proj.N(); row++ {
+		id := proj.ID(row)
+		if int(id) < n && e.alive[id] {
+			e.baseScore[id] = proj.Score(row)
+		}
 	}
-	e.baseScore = append([]float64(nil), proj.Scores()...)
 	e.inv = make([][]map[data.PointID]struct{}, e.schema.NomDims())
 	for d, card := range e.schema.Cardinalities() {
 		e.inv[d] = make([]map[data.PointID]struct{}, card)
@@ -94,6 +130,13 @@ func New(ds *data.Dataset, template *order.Preference) (*Engine, error) {
 	e.stats.SkylineSize = e.list.Len()
 	return e, nil
 }
+
+// Store returns the versioned store backing the engine.
+func (e *Engine) Store() *flat.Store { return e.store }
+
+// Version returns the store's mutation counter; query results always reflect
+// it (see the locking note on Engine).
+func (e *Engine) Version() uint64 { return e.store.Version() }
 
 func (e *Engine) addMember(id data.PointID) {
 	e.member[id] = true
@@ -118,10 +161,16 @@ func (e *Engine) Template() *order.Preference { return e.template }
 func (e *Engine) Stats() Stats { return e.stats }
 
 // SkylineSize returns |SKY(R̃)| under the current data.
-func (e *Engine) SkylineSize() int { return e.list.Len() }
+func (e *Engine) SkylineSize() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.list.Len()
+}
 
 // Skyline returns the current SKY(R̃) in ascending id order.
 func (e *Engine) Skyline() []data.PointID {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make([]data.PointID, 0, e.list.Len())
 	for id, m := range e.member {
 		if m {
@@ -135,6 +184,8 @@ func (e *Engine) Skyline() []data.PointID {
 // itself: the sorted list, the inverted index and the score table (the
 // paper's SFS-A storage metric).
 func (e *Engine) SizeBytes() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	size := e.list.SizeBytes()
 	size += len(e.baseScore) * 8
 	size += len(e.member) + len(e.alive)
@@ -225,6 +276,8 @@ func (e *Engine) affectedPoints(pref *order.Preference, cmp *dominance.Comparato
 // skyline points of SKY(R̃) carrying any value listed in R̃′ (measurement 5 of
 // §5). The engine itself re-sorts only the usually-smaller re-ranked subset.
 func (e *Engine) CountAffected(pref *order.Preference) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	seen := make(map[data.PointID]struct{})
 	for d := 0; d < pref.NomDims() && d < len(e.inv); d++ {
 		for _, v := range pref.Dim(d).Entries() {
@@ -239,8 +292,13 @@ func (e *Engine) CountAffected(pref *order.Preference) int {
 }
 
 // Query computes SKY(R̃′) for a refinement of the template (Algorithm 4).
-// Results are point ids in ascending order.
+// Results are point ids in ascending order. Query is safe for concurrent use
+// with maintenance: it holds the engine's read lock for the whole scan, so
+// readers run concurrently with each other and serialize only against
+// in-flight Insert/Delete structure updates.
 func (e *Engine) Query(pref *order.Preference) ([]data.PointID, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	it, err := e.QueryIter(pref)
 	if err != nil {
 		return nil, err
@@ -275,7 +333,10 @@ type Iter struct {
 	acceptedAff []*data.Point // accepted points that were re-ranked
 }
 
-// QueryIter validates the preference and prepares a progressive scan.
+// QueryIter validates the preference and prepares a progressive scan. The
+// iterator reads the engine's structures lazily and takes no locks: it is the
+// single-user progressive API, not safe concurrently with Insert/Delete —
+// concurrent callers should use Query.
 func (e *Engine) QueryIter(pref *order.Preference) (*Iter, error) {
 	if err := e.validate(pref); err != nil {
 		return nil, err

@@ -1,41 +1,37 @@
 package adaptive
 
 import (
-	"fmt"
-
 	"prefsky/internal/data"
 	"prefsky/internal/order"
 	"prefsky/internal/skyline"
 )
 
 // Incremental maintenance (§4.3): SKY(R̃) is kept current under point
-// insertions and deletions; the sorted list and inverted index are updated in
-// place, so queries immediately reflect the new data without rebuilding.
+// insertions and deletions. Every mutation goes through the versioned store
+// first — which validates it, assigns the id and publishes a new snapshot —
+// and then updates the sorted list and inverted index in place under the
+// engine's write lock, so queries immediately reflect the new data without
+// rebuilding. The store's version is bumped inside the same critical
+// section, which is what lets the service key its result cache on it.
 
 // Insert adds a point to the dataset and updates SKY(R̃). The assigned id is
 // returned. Skyline members newly dominated by the point are evicted.
 func (e *Engine) Insert(num []float64, nom []order.Value) (data.PointID, error) {
-	if len(num) != e.schema.NumDims() {
-		return 0, fmt.Errorf("adaptive: %d numeric values, schema has %d", len(num), e.schema.NumDims())
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id, err := e.store.Insert(num, nom)
+	if err != nil {
+		return 0, err
 	}
-	if len(nom) != e.schema.NomDims() {
-		return 0, fmt.Errorf("adaptive: %d nominal values, schema has %d", len(nom), e.schema.NomDims())
-	}
-	for d, v := range nom {
-		if int(v) < 0 || int(v) >= e.schema.Nominal[d].Cardinality() {
-			return 0, fmt.Errorf("adaptive: nominal value %d outside domain %s", v, e.schema.Nominal[d].Name())
-		}
-	}
-	id := data.PointID(len(e.points))
 	p := data.Point{
 		ID:  id,
 		Num: append([]float64(nil), num...),
 		Nom: append([]order.Value(nil), nom...),
 	}
-	e.points = append(e.points, p)
-	e.alive = append(e.alive, true)
-	e.member = append(e.member, false)
-	e.baseScore = append(e.baseScore, e.baseCmp.Score(&p))
+	e.growTo(id)
+	e.points[id] = p
+	e.alive[id] = true
+	e.baseScore[id] = e.baseCmp.Score(&p)
 
 	// The new point joins SKY(R̃) unless an existing member dominates it
 	// (non-members are themselves dominated by members and cannot matter).
@@ -54,14 +50,24 @@ func (e *Engine) Insert(num []float64, nom []order.Value) (data.PointID, error) 
 	return id, nil
 }
 
-// Delete removes a point. Deleting a skyline member may promote points it was
-// shielding, which are recomputed against the remaining members.
-func (e *Engine) Delete(id data.PointID) error {
-	if int(id) < 0 || int(id) >= len(e.points) {
-		return fmt.Errorf("adaptive: point %d does not exist", id)
+// growTo extends the id-indexed mirrors to cover id.
+func (e *Engine) growTo(id data.PointID) {
+	for len(e.points) <= int(id) {
+		e.points = append(e.points, data.Point{})
+		e.alive = append(e.alive, false)
+		e.member = append(e.member, false)
+		e.baseScore = append(e.baseScore, 0)
 	}
-	if !e.alive[id] {
-		return fmt.Errorf("adaptive: point %d already deleted", id)
+}
+
+// Delete removes a point. Unknown or already-deleted ids return an error
+// wrapping flat.ErrUnknownPoint. Deleting a skyline member may promote points
+// it was shielding, which are recomputed against the remaining members.
+func (e *Engine) Delete(id data.PointID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.store.Delete(id); err != nil {
+		return err
 	}
 	e.alive[id] = false
 	if !e.member[id] {
@@ -100,32 +106,16 @@ func (e *Engine) Delete(id data.PointID) error {
 }
 
 // N returns the number of live points.
-func (e *Engine) N() int {
-	n := 0
-	for _, a := range e.alive {
-		if a {
-			n++
-		}
-	}
-	return n
-}
+func (e *Engine) N() int { return e.store.Snapshot().LiveN() }
 
-// Point returns the live point with the given id. Ids of deleted points are
-// an error: they may be reported by past queries but no longer have data.
+// Point returns the live point with the given id, read through the store's
+// current snapshot. Ids of deleted points are an error: they may be reported
+// by past queries but no longer have data.
 func (e *Engine) Point(id data.PointID) (data.Point, error) {
-	if int(id) < 0 || int(id) >= len(e.points) || !e.alive[id] {
-		return data.Point{}, fmt.Errorf("adaptive: no live point %d", id)
-	}
-	return e.points[id], nil
+	return e.store.Snapshot().Point(id)
 }
 
 // livePoints returns the current dataset contents (test support).
 func (e *Engine) livePoints() []data.Point {
-	out := make([]data.Point, 0, len(e.points))
-	for id, a := range e.alive {
-		if a {
-			out = append(out, e.points[id])
-		}
-	}
-	return out
+	return e.store.Snapshot().Points()
 }

@@ -27,6 +27,11 @@ type Result struct {
 	// AllocsPerOp and BytesPerOp mirror -benchmem.
 	AllocsPerOp int64 `json:"allocsPerOp"`
 	BytesPerOp  int64 `json:"bytesPerOp"`
+	// P50NsPerOp and P95NsPerOp are latency percentiles for concurrent
+	// scenarios (mixed read/write workloads), where a mean hides writer
+	// stalls; 0 when not measured.
+	P50NsPerOp float64 `json:"p50NsPerOp,omitempty"`
+	P95NsPerOp float64 `json:"p95NsPerOp,omitempty"`
 }
 
 // Report is a suite of results plus the environment they ran in.

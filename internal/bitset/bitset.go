@@ -98,6 +98,19 @@ func (s *Set) Clone() *Set {
 	return &Set{n: s.n, words: append([]uint64(nil), s.words...)}
 }
 
+// CloneGrow returns a copy whose capacity is grown to n bits (n < Len is
+// clamped to Len). The copy shares no storage with s, so it can be mutated
+// while concurrent readers keep using s — the copy-on-write step behind the
+// versioned store's tombstone sets.
+func (s *Set) CloneGrow(n int) *Set {
+	if n < s.n {
+		n = s.n
+	}
+	g := &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+	copy(g.words, s.words)
+	return g
+}
+
 func (s *Set) checkCompat(o *Set) {
 	if s.n != o.n {
 		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, o.n))

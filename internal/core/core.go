@@ -4,12 +4,22 @@
 // the uniform Engine view used by the public API, the CLIs and the benchmark
 // harness, plus the SFS-D baseline, the hybrid of §5.3 and the partitioned
 // multi-core engines of internal/parallel.
+//
+// Every engine built on the flat kernel reads a versioned columnar store
+// (flat.Store) and supports §4.3 maintenance through the Maintainer
+// interface: scan engines are trivially maintainable (each query projects
+// the current snapshot), SFS-A maintains its structures incrementally, and
+// the tree-backed engines version-gate their tree — it answers while the
+// data is unchanged, queries fall back to a live-snapshot scan after a
+// mutation, and compaction rebuilds the tree. Only the legacy pointer-kernel
+// engines are immutable.
 package core
 
 import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"prefsky/internal/adaptive"
 	"prefsky/internal/data"
@@ -48,6 +58,64 @@ type Engine interface {
 	SizeBytes() int
 }
 
+// Maintainer applies §4.3 incremental maintenance: point insertions and
+// deletions that queries reflect immediately, without rebuilding the engine.
+type Maintainer interface {
+	// Insert adds a point, returning its assigned id. Ids are never reused.
+	Insert(num []float64, nom []order.Value) (data.PointID, error)
+	// Delete removes a live point. Unknown or already-deleted ids return an
+	// error wrapping flat.ErrUnknownPoint.
+	Delete(id data.PointID) error
+}
+
+// BatchMaintainer is the optional batch form of Maintainer: the whole batch
+// is applied under one writer-lock acquisition and one snapshot publish.
+// flat.Store implements it; the service uses it when available so a 1024-id
+// delete clones the tombstone set once instead of 1024 times.
+type BatchMaintainer interface {
+	Maintainer
+	// InsertBatch appends points row-wise (nums[i] with noms[i]); the whole
+	// batch is validated before anything mutates.
+	InsertBatch(nums [][]float64, noms [][]order.Value) ([]data.PointID, error)
+	// DeleteBatch tombstones ids in order, stopping at the first unknown
+	// one and reporting how many landed.
+	DeleteBatch(ids []data.PointID) (int, error)
+}
+
+// maintainable is implemented by engines that can expose a Maintainer.
+type maintainable interface{ Maintainer() Maintainer }
+
+// Maintainable returns the engine's maintenance interface (§4.3), or nil
+// when the engine is immutable (the legacy pointer-kernel engines).
+func Maintainable(e Engine) Maintainer {
+	if m, ok := e.(maintainable); ok {
+		return m.Maintainer()
+	}
+	return nil
+}
+
+// storeBacked is implemented by engines reading a versioned columnar store.
+type storeBacked interface{ Store() *flat.Store }
+
+// StoreOf returns the versioned store the engine reads, or nil for
+// immutable (pointer-kernel) engines. The store is the system of record for
+// point lookups, live counts and the data version.
+func StoreOf(e Engine) *flat.Store {
+	if s, ok := e.(storeBacked); ok {
+		return s.Store()
+	}
+	return nil
+}
+
+// VersionOf returns the data version the engine's query results reflect: the
+// store's mutation counter, or 0 for immutable engines.
+func VersionOf(e Engine) uint64 {
+	if st := StoreOf(e); st != nil {
+		return st.Version()
+	}
+	return 0
+}
+
 // Options configures engine construction for NewByName.
 type Options struct {
 	// Tree configures tree construction for the tree-backed kinds and is
@@ -59,37 +127,108 @@ type Options struct {
 	// Kernel selects the dominance/scan kernel for the scan-based kinds
 	// (sfsd, parallel-sfs, parallel-hybrid). The zero value is KernelFlat.
 	Kernel Kernel
+	// CompactThreshold is the delta+tombstone row count that triggers
+	// background compaction of the engine's versioned store: 0 means the
+	// default (flat.DefaultCompactThreshold), negative disables automatic
+	// compaction. Ignored by pointer-kernel engines.
+	CompactThreshold int
 }
 
-// ipoEngine adapts *ipotree.Tree.
+// scanFallback computes the skyline of the store's current snapshot with the
+// flat SFS kernel — the path tree-backed engines take while their tree is
+// stale.
+func scanFallback(ctx context.Context, snap *flat.Snapshot, pref *order.Preference) ([]data.PointID, error) {
+	cmp, err := dominance.NewComparator(snap.Schema(), pref)
+	if err != nil {
+		return nil, err
+	}
+	proj, err := snap.Project(cmp)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := proj.SkylineRangeCtx(ctx, 0, proj.N())
+	if err != nil {
+		return nil, err
+	}
+	return proj.IDs(rows), nil
+}
+
+// ipoEngine serves a version-gated IPO-tree over a versioned store: the tree
+// answers while the snapshot version matches its build, mutations route
+// queries to a flat scan of the live snapshot, and compaction rebuilds the
+// tree.
 type ipoEngine struct {
-	tree *ipotree.Tree
-	name string
+	name     string
+	store    *flat.Store
+	template *order.Preference
+	opts     ipotree.Options
+	vt       atomic.Pointer[ipotree.Versioned]
 }
 
 func (e *ipoEngine) Name() string { return e.name }
+
 func (e *ipoEngine) Skyline(ctx context.Context, pref *order.Preference) ([]data.PointID, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return e.tree.Query(pref)
+	snap := e.store.Snapshot()
+	vt := e.vt.Load()
+	if vt.Version() == snap.Version() {
+		return vt.Query(pref)
+	}
+	// Stale tree: run the query against the tree build anyway — not for its
+	// result (the data moved) but for its contract. A preference the current
+	// build rejects (wrong shape, not a refinement, unmaterialized values
+	// under TopK) must keep failing while the tree is stale, or maintenance
+	// timing would flip the same query between error and success.
+	if _, err := vt.Query(pref); err != nil {
+		return nil, err
+	}
+	return scanFallback(ctx, snap, pref)
 }
-func (e *ipoEngine) SizeBytes() int { return e.tree.SizeBytes() }
 
-// Tree exposes the underlying tree.
-func (e *ipoEngine) Tree() *ipotree.Tree { return e.tree }
+func (e *ipoEngine) SizeBytes() int { return e.vt.Load().Tree().SizeBytes() }
 
-// NewIPOTree builds the full "IPO Tree" engine.
+// Tree exposes the current tree build.
+func (e *ipoEngine) Tree() *ipotree.Tree { return e.vt.Load().Tree() }
+
+// Store implements the store-backed introspection hook.
+func (e *ipoEngine) Store() *flat.Store { return e.store }
+
+// Maintainer implements maintenance by mutating the store; the tree goes
+// stale and queries scan until compaction rebuilds it.
+func (e *ipoEngine) Maintainer() Maintainer { return e.store }
+
+// rebuild is the compaction hook: rebuild the version-gated tree against the
+// compacted snapshot (ipotree.RebuildInto); build failures keep the scan
+// fallback serving.
+func (e *ipoEngine) rebuild(snap *flat.Snapshot) {
+	ipotree.RebuildInto(&e.vt, snap, e.template, e.opts)
+}
+
+// NewIPOTree builds the full "IPO Tree" engine over a private versioned
+// store.
 func NewIPOTree(ds *data.Dataset, template *order.Preference, opts ipotree.Options) (Engine, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("core: nil dataset")
+	}
+	return newIPOTree(flat.NewStore(ds, 0), template, opts)
+}
+
+func newIPOTree(store *flat.Store, template *order.Preference, opts ipotree.Options) (Engine, error) {
 	name := "IPO Tree"
 	if opts.TopK > 0 {
 		name = fmt.Sprintf("IPO Tree-%d", opts.TopK)
 	}
-	tree, err := ipotree.Build(ds, template, opts)
+	snap := store.Snapshot()
+	tree, ids, err := ipotree.BuildPoints(store.Schema(), snap.Points(), template, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &ipoEngine{tree: tree, name: name}, nil
+	e := &ipoEngine{name: name, store: store, template: tree.Template(), opts: opts}
+	e.vt.Store(ipotree.NewVersioned(tree, snap.Version(), ids))
+	store.OnCompact(e.rebuild)
+	return e, nil
 }
 
 // adaptiveEngine adapts *adaptive.Engine.
@@ -104,7 +243,12 @@ func (a *adaptiveEngine) Skyline(ctx context.Context, pref *order.Preference) ([
 	}
 	return a.e.Query(pref)
 }
-func (a *adaptiveEngine) SizeBytes() int { return a.e.SizeBytes() }
+func (a *adaptiveEngine) SizeBytes() int         { return a.e.SizeBytes() }
+func (a *adaptiveEngine) Store() *flat.Store     { return a.e.Store() }
+func (a *adaptiveEngine) Maintainer() Maintainer { return a.e }
+
+// Adaptive exposes the underlying engine (progressive iteration, stats).
+func (a *adaptiveEngine) Adaptive() *adaptive.Engine { return a.e }
 
 // NewAdaptiveSFS builds the "SFS-A" engine.
 func NewAdaptiveSFS(ds *data.Dataset, template *order.Preference) (Engine, error) {
@@ -115,13 +259,22 @@ func NewAdaptiveSFS(ds *data.Dataset, template *order.Preference) (Engine, error
 	return &adaptiveEngine{e: e}, nil
 }
 
+func newAdaptiveSFSStore(store *flat.Store, template *order.Preference) (Engine, error) {
+	e, err := adaptive.NewFromStore(store, template)
+	if err != nil {
+		return nil, err
+	}
+	return &adaptiveEngine{e: e}, nil
+}
+
 // SFSD is the baseline: no per-preference preprocessing; every query sorts
 // and scans the entire dataset (§5's SFS-D). On the default flat kernel the
-// dataset is laid out columnar once at construction, so each query pays only
-// the rank projection plus the packed-key presort and scan.
+// engine reads a versioned columnar store: each query grabs the current
+// snapshot lock-free and pays only the rank projection plus the packed-key
+// presort and scan, and Insert/Delete are supported through the store.
 type SFSD struct {
-	ds  *data.Dataset
-	blk *flat.Block // nil on the pointer kernel
+	ds    *data.Dataset // pointer-kernel data (nil on the flat kernel)
+	store *flat.Store   // nil on the pointer kernel
 }
 
 // NewSFSD wraps a dataset as the SFS-D baseline on the default (flat) kernel.
@@ -134,11 +287,18 @@ func NewSFSDKernel(ds *data.Dataset, kernel Kernel) (*SFSD, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("core: nil dataset")
 	}
-	s := &SFSD{ds: ds}
 	if kernel == KernelFlat {
-		s.blk = flat.NewBlock(ds)
+		return &SFSD{store: flat.NewStore(ds, 0)}, nil
 	}
-	return s, nil
+	return &SFSD{ds: ds}, nil
+}
+
+// NewSFSDStore wraps an existing versioned store as the SFS-D baseline.
+func NewSFSDStore(store *flat.Store) (*SFSD, error) {
+	if store == nil {
+		return nil, fmt.Errorf("core: nil store")
+	}
+	return &SFSD{store: store}, nil
 }
 
 // Name implements Engine.
@@ -149,39 +309,43 @@ func (s *SFSD) Skyline(ctx context.Context, pref *order.Preference) ([]data.Poin
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cmp, err := dominance.NewComparator(s.ds.Schema(), pref)
-	if err != nil {
-		return nil, err
-	}
-	if s.blk != nil {
-		proj, err := s.blk.Project(cmp)
-		if err != nil {
-			return nil, err
-		}
+	if s.store != nil {
 		// The flat scan is cancellable for free, so a disconnected client or
 		// expired deadline frees its worker slot mid-scan instead of burning
 		// it for the full O(N) pass.
-		rows, err := proj.SkylineRangeCtx(ctx, 0, proj.N())
-		if err != nil {
-			return nil, err
-		}
-		return proj.IDs(rows), nil
+		return scanFallback(ctx, s.store.Snapshot(), pref)
+	}
+	cmp, err := dominance.NewComparator(s.ds.Schema(), pref)
+	if err != nil {
+		return nil, err
 	}
 	return skyline.SFS(s.ds.Points(), cmp), nil
 }
 
 // SizeBytes implements Engine; SFS-D keeps no index (§5: "SFS-D does not use
-// extra storage"). The columnar block is an alternate representation of the
+// extra storage"). The columnar store is an alternate representation of the
 // dataset itself, not preference-dependent storage — see BlockBytes.
 func (s *SFSD) SizeBytes() int { return 0 }
 
-// BlockBytes reports the columnar mirror's footprint (0 on the pointer
+// BlockBytes reports the columnar store's footprint (0 on the pointer
 // kernel).
 func (s *SFSD) BlockBytes() int {
-	if s.blk == nil {
+	if s.store == nil {
 		return 0
 	}
-	return s.blk.SizeBytes()
+	return s.store.Snapshot().SizeBytes()
+}
+
+// Store returns the versioned store (nil on the pointer kernel).
+func (s *SFSD) Store() *flat.Store { return s.store }
+
+// Maintainer returns the store-backed maintenance interface, or nil on the
+// pointer kernel.
+func (s *SFSD) Maintainer() Maintainer {
+	if s.store == nil {
+		return nil
+	}
+	return s.store
 }
 
 // hybridEngine adapts *hybrid.Engine.
@@ -196,11 +360,21 @@ func (h *hybridEngine) Skyline(ctx context.Context, pref *order.Preference) ([]d
 	}
 	return h.e.Query(pref)
 }
-func (h *hybridEngine) SizeBytes() int { return h.e.SizeBytes() }
+func (h *hybridEngine) SizeBytes() int         { return h.e.SizeBytes() }
+func (h *hybridEngine) Store() *flat.Store     { return h.e.Store() }
+func (h *hybridEngine) Maintainer() Maintainer { return h.e }
 
 // NewHybrid builds the §5.3 hybrid: a top-K IPO-tree with SFS-A fallback.
 func NewHybrid(ds *data.Dataset, template *order.Preference, treeOpts ipotree.Options) (Engine, error) {
 	e, err := hybrid.New(ds, template, treeOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &hybridEngine{e: e}, nil
+}
+
+func newHybridStore(store *flat.Store, template *order.Preference, treeOpts ipotree.Options) (Engine, error) {
+	e, err := hybrid.NewFromStore(store, template, treeOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +390,14 @@ func (p *parallelEngine) Name() string { return "Parallel-SFS" }
 func (p *parallelEngine) Skyline(ctx context.Context, pref *order.Preference) ([]data.PointID, error) {
 	return p.e.Skyline(ctx, pref)
 }
-func (p *parallelEngine) SizeBytes() int { return p.e.SizeBytes() }
+func (p *parallelEngine) SizeBytes() int     { return p.e.SizeBytes() }
+func (p *parallelEngine) Store() *flat.Store { return p.e.Store() }
+func (p *parallelEngine) Maintainer() Maintainer {
+	if st := p.e.Store(); st != nil {
+		return st
+	}
+	return nil
+}
 
 // NewParallelSFS builds the partitioned multi-core SFS-D counterpart:
 // P concurrent block scans plus a merge-filter, on the default (flat)
@@ -243,7 +424,14 @@ func (p *parallelHybridEngine) Name() string { return "Parallel-Hybrid" }
 func (p *parallelHybridEngine) Skyline(ctx context.Context, pref *order.Preference) ([]data.PointID, error) {
 	return p.e.Skyline(ctx, pref)
 }
-func (p *parallelHybridEngine) SizeBytes() int { return p.e.SizeBytes() }
+func (p *parallelHybridEngine) SizeBytes() int     { return p.e.SizeBytes() }
+func (p *parallelHybridEngine) Store() *flat.Store { return p.e.Store() }
+func (p *parallelHybridEngine) Maintainer() Maintainer {
+	if st := p.e.Store(); st != nil {
+		return st
+	}
+	return nil
+}
 
 // NewParallelHybrid builds the hybrid whose unmaterialized-value fallback is
 // the partitioned scan instead of single-threaded SFS-A: tree hits stay
@@ -281,44 +469,60 @@ func Kinds() []string {
 //
 // opts.Tree applies to the tree-backed kinds, opts.Partitions to the
 // parallel kinds, opts.Kernel to the scan-based kinds; each is ignored
-// otherwise.
+// otherwise. Unless opts.Kernel selects the legacy pointer kernel, the
+// engine reads a versioned store compacting at opts.CompactThreshold and
+// supports maintenance (Maintainable returns non-nil).
 func NewByName(kind string, ds *data.Dataset, template *order.Preference, opts Options) (Engine, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("core: nil dataset")
+	}
+	newStore := func() *flat.Store { return flat.NewStore(ds, opts.CompactThreshold) }
 	switch strings.ToLower(strings.TrimSpace(kind)) {
 	case "ipo", "ipotree", "ipo tree", "ipo-tree":
-		return NewIPOTree(ds, template, opts.Tree)
+		return newIPOTree(newStore(), template, opts.Tree)
 	case "sfsa", "sfs-a":
-		return NewAdaptiveSFS(ds, template)
+		return newAdaptiveSFSStore(newStore(), template)
 	case "sfsd", "sfs-d":
-		return NewSFSDKernel(ds, opts.Kernel)
+		if opts.Kernel == KernelPointer {
+			return NewSFSDKernel(ds, KernelPointer)
+		}
+		return NewSFSDStore(newStore())
 	case "hybrid":
-		return NewHybrid(ds, template, opts.Tree)
+		return newHybridStore(newStore(), template, opts.Tree)
 	case "parallel-sfs", "parallelsfs", "parallel sfs", "psfs":
-		return NewParallelSFSKernel(ds, opts.Partitions, opts.Kernel)
+		if opts.Kernel == KernelPointer {
+			return NewParallelSFSKernel(ds, opts.Partitions, KernelPointer)
+		}
+		e, err := parallel.NewFromStore(newStore(), opts.Partitions)
+		if err != nil {
+			return nil, err
+		}
+		return &parallelEngine{e: e}, nil
 	case "parallel-hybrid", "parallelhybrid", "parallel hybrid", "phybrid":
-		return NewParallelHybridKernel(ds, template, opts.Tree, opts.Partitions, opts.Kernel)
+		if opts.Kernel == KernelPointer {
+			return NewParallelHybridKernel(ds, template, opts.Tree, opts.Partitions, KernelPointer)
+		}
+		e, err := parallel.NewHybridFromStore(newStore(), template, opts.Tree, opts.Partitions)
+		if err != nil {
+			return nil, err
+		}
+		return &parallelHybridEngine{e: e}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown engine kind %q (want one of %s)",
 			kind, strings.Join(Kinds(), ", "))
 	}
 }
 
-// Maintainable returns the underlying Adaptive SFS engine when e supports
-// incremental maintenance (Insert/Delete, §4.3), or nil otherwise. Only the
-// SFS-A engine qualifies: maintaining the hybrid's adaptive half without
-// rebuilding its tree would let the two halves disagree.
-func Maintainable(e Engine) *adaptive.Engine {
-	if a, ok := e.(*adaptiveEngine); ok {
-		return a.e
-	}
-	return nil
-}
-
 // Interface conformance checks.
 var (
-	_ Engine = (*ipoEngine)(nil)
-	_ Engine = (*adaptiveEngine)(nil)
-	_ Engine = (*SFSD)(nil)
-	_ Engine = (*hybridEngine)(nil)
-	_ Engine = (*parallelEngine)(nil)
-	_ Engine = (*parallelHybridEngine)(nil)
+	_ Engine     = (*ipoEngine)(nil)
+	_ Engine     = (*adaptiveEngine)(nil)
+	_ Engine     = (*SFSD)(nil)
+	_ Engine     = (*hybridEngine)(nil)
+	_ Engine     = (*parallelEngine)(nil)
+	_ Engine     = (*parallelHybridEngine)(nil)
+	_ Maintainer      = (*flat.Store)(nil)
+	_ Maintainer      = (*adaptive.Engine)(nil)
+	_ Maintainer      = (*hybrid.Engine)(nil)
+	_ BatchMaintainer = (*flat.Store)(nil)
 )

@@ -7,6 +7,7 @@ import (
 
 	"prefsky/internal/data"
 	"prefsky/internal/ipotree"
+	"prefsky/internal/order"
 )
 
 func engines(t *testing.T) []Engine {
@@ -178,19 +179,29 @@ func TestCanceledContextRejected(t *testing.T) {
 func TestMaintainable(t *testing.T) {
 	ds := data.Table1()
 	tmpl := ds.Schema().EmptyPreference()
-	sfsa, err := NewAdaptiveSFS(ds, tmpl)
-	if err != nil {
-		t.Fatal(err)
+	// Every kind on the default flat kernel is maintainable and store-backed.
+	for _, kind := range Kinds() {
+		e, err := NewByName(kind, ds, tmpl, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Maintainable(e) == nil {
+			t.Errorf("Maintainable(%s) = nil, want maintainer", kind)
+		}
+		if StoreOf(e) == nil {
+			t.Errorf("StoreOf(%s) = nil, want versioned store", kind)
+		}
 	}
-	if Maintainable(sfsa) == nil {
-		t.Error("Maintainable(SFS-A) = nil, want engine")
-	}
-	sfsd, err := NewSFSD(ds)
+	// The legacy pointer-kernel engines stay immutable.
+	sfsd, err := NewSFSDKernel(ds, KernelPointer)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if Maintainable(sfsd) != nil {
-		t.Error("Maintainable(SFS-D) != nil")
+		t.Error("Maintainable(pointer SFS-D) != nil")
+	}
+	if StoreOf(sfsd) != nil || VersionOf(sfsd) != 0 {
+		t.Error("pointer SFS-D reports a store or non-zero version")
 	}
 }
 
@@ -241,5 +252,153 @@ func TestSFSDFlatCancelsMidScan(t *testing.T) {
 	cancel()
 	if _, err := e.Skyline(ctx, ds.Schema().EmptyPreference()); err == nil {
 		t.Fatal("canceled context accepted")
+	}
+}
+
+// TestMaintenanceAcrossKinds: every flat-kernel engine kind applies §4.3
+// maintenance — a dominating insert takes over the skyline, a delete
+// restores it — and after compaction the tree-backed engines serve through a
+// rebuilt, id-remapped tree with identical results.
+func TestMaintenanceAcrossKinds(t *testing.T) {
+	ctx := context.Background()
+	for _, kind := range Kinds() {
+		ds := data.Table1()
+		tmpl := ds.Schema().EmptyPreference()
+		e, err := NewByName(kind, ds, tmpl, Options{Tree: ipotree.Options{}, Partitions: 2, CompactThreshold: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := Maintainable(e)
+		if m == nil {
+			t.Fatalf("%s: not maintainable", kind)
+		}
+		pref, err := data.ParsePreference(ds.Schema(), "Hotel-group: T<M<*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, err := e.Skyline(ctx, pref)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+
+		// Under T<M<*, a free 5-star hotel of group T dominates every
+		// Table-1 point (T's rank is strictly best and its numerics are).
+		id, err := m.Insert([]float64{0, -5}, []order.Value{0})
+		if err != nil {
+			t.Fatalf("%s: Insert: %v", kind, err)
+		}
+		got, err := e.Skyline(ctx, pref)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !reflect.DeepEqual(got, []data.PointID{id}) {
+			t.Errorf("%s: skyline after dominating insert = %v, want [%d]", kind, got, id)
+		}
+		if VersionOf(e) != 1 {
+			t.Errorf("%s: version = %d, want 1", kind, VersionOf(e))
+		}
+
+		// Delete an original point too, then compact: the store rewrites its
+		// base layout (ids no longer equal rows) and the tree-backed engines
+		// rebuild their tree against it — results must not change.
+		if err := m.Delete(0); err != nil {
+			t.Fatalf("%s: Delete: %v", kind, err)
+		}
+		want, err := e.Skyline(ctx, pref)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		StoreOf(e).Compact()
+		snap := StoreOf(e).Snapshot()
+		if snap.DeltaRows() != 0 || snap.Tombstones() != 0 {
+			t.Errorf("%s: compaction left delta %d dead %d", kind, snap.DeltaRows(), snap.Tombstones())
+		}
+		got, err = e.Skyline(ctx, pref)
+		if err != nil {
+			t.Fatalf("%s: post-compaction: %v", kind, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: post-compaction skyline = %v, want %v", kind, got, want)
+		}
+
+		// Delete the dominator: the original skyline (minus point 0, which
+		// may promote others) must be a valid restoration — compare against
+		// a fresh SFS-D oracle over the live points.
+		if err := m.Delete(id); err != nil {
+			t.Fatalf("%s: Delete(%d): %v", kind, id, err)
+		}
+		oracleDS, err := data.New(ds.Schema(), StoreOf(e).Snapshot().Points())
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := NewSFSDKernel(oracleDS, KernelPointer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantIdx, err := oracle.Skyline(ctx, pref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The oracle re-indexed ids; remap through the live points.
+		live := StoreOf(e).Snapshot().Points()
+		wantIDs := make([]data.PointID, len(wantIdx))
+		for i, idx := range wantIdx {
+			wantIDs[i] = live[idx].ID
+		}
+		got, err = e.Skyline(ctx, pref)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !reflect.DeepEqual(got, wantIDs) {
+			t.Errorf("%s: skyline after deletes = %v, want %v", kind, got, wantIDs)
+		}
+		_ = before
+	}
+}
+
+// TestIPOStaleContractConsistent: on a TopK-restricted bare ipo engine, a
+// query naming an unmaterialized value fails identically before maintenance,
+// while the tree is stale, and after compaction rebuilds the tree —
+// maintenance timing never flips it between error and success.
+func TestIPOStaleContractConsistent(t *testing.T) {
+	ctx := context.Background()
+	ds := data.Table1()
+	tmpl := ds.Schema().EmptyPreference()
+	// Materialize only {T, M}: any preference naming H is unmaterialized.
+	e, err := NewByName("ipo", ds, tmpl, Options{
+		Tree:             ipotree.Options{Values: [][]order.Value{{0, 2}}},
+		CompactThreshold: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmat, err := data.ParsePreference(ds.Schema(), "Hotel-group: H<*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := data.ParsePreference(ds.Schema(), "Hotel-group: T<*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Skyline(ctx, unmat); err == nil {
+		t.Fatal("unmaterialized query succeeded on the fresh tree")
+	}
+	if _, err := Maintainable(e).Insert([]float64{0, -5}, []order.Value{0}); err != nil {
+		t.Fatal(err)
+	}
+	// Tree is stale now: materialized queries scan, unmaterialized ones
+	// must keep failing.
+	if _, err := e.Skyline(ctx, mat); err != nil {
+		t.Fatalf("materialized query on stale tree: %v", err)
+	}
+	if _, err := e.Skyline(ctx, unmat); err == nil {
+		t.Error("unmaterialized query succeeded while the tree was stale")
+	}
+	StoreOf(e).Compact()
+	if _, err := e.Skyline(ctx, unmat); err == nil {
+		t.Error("unmaterialized query succeeded after compaction")
+	}
+	if _, err := e.Skyline(ctx, mat); err != nil {
+		t.Fatalf("materialized query after compaction: %v", err)
 	}
 }

@@ -125,13 +125,19 @@ func (b *Block) SizeBytes() int {
 	return len(b.num)*8 + len(b.nom)*4 + len(b.ids)*4
 }
 
-// Projection is one query's view of a Block: the nominal matrix mapped
-// through the comparator's rank tables into a contiguous rank matrix, plus
-// the precomputed §4.2 score f(p) per row. Building it is a single
+// Projection is one query's view of a Block or Snapshot: the nominal matrix
+// mapped through the comparator's rank tables into a contiguous rank matrix,
+// plus the precomputed §4.2 score f(p) per row. Building it is a single
 // sequential O(N·(m+l)) pass; afterwards the dominance test and the SFS
 // presort never touch the rank tables or the point structs again.
+//
+// When built from a Snapshot the row space is the snapshot's global
+// coordinates — base rows first, then the delta segment — and every scan the
+// projection runs skips tombstoned rows.
 type Projection struct {
 	b      *Block
+	snap   *Snapshot // non-nil when spanning base+delta
+	n      int       // total rows (== b.n for plain blocks)
 	ranks  []int32   // n × nomDims, row-major
 	scores []float64 // f(p) per row
 }
@@ -146,31 +152,44 @@ func (b *Block) Project(cmp *dominance.Comparator) (*Projection, error) {
 	}
 	pr := &Projection{
 		b:      b,
+		n:      b.n,
 		ranks:  make([]int32, len(b.nom)),
 		scores: make([]float64, b.n),
 	}
-	m, l := b.numDims, b.nomDims
-	for i := 0; i < b.n; i++ {
-		s := 0.0
-		for _, v := range b.num[i*m : (i+1)*m] {
-			s += v
-		}
-		off := i * l
-		for d := 0; d < l; d++ {
-			r := tabs[d][b.nom[off+d]]
-			pr.ranks[off+d] = r
-			s += float64(r)
-		}
-		pr.scores[i] = s
-	}
+	projectInto(tabs, b.num, b.nom, pr.ranks, pr.scores, b.numDims, b.nomDims, b.n, 0)
 	return pr, nil
 }
 
-// N returns the row count.
-func (pr *Projection) N() int { return pr.b.n }
+// N returns the row count (including tombstoned rows for snapshot
+// projections; scans skip them).
+func (pr *Projection) N() int { return pr.n }
 
-// Block returns the projected block.
+// Block returns the projected base block.
 func (pr *Projection) Block() *Block { return pr.b }
+
+// numRow returns the numeric coordinates of a global row.
+func (pr *Projection) numRow(r int32) []float64 {
+	b := pr.b
+	m := b.numDims
+	if s := pr.snap; s != nil && int(r) >= b.n {
+		i := (int(r) - b.n) * m
+		return s.dnum[i : i+m]
+	}
+	i := int(r) * m
+	return b.num[i : i+m]
+}
+
+// nomRow returns the stored nominal values of a global row.
+func (pr *Projection) nomRow(r int32) []order.Value {
+	b := pr.b
+	l := b.nomDims
+	if s := pr.snap; s != nil && int(r) >= b.n {
+		i := (int(r) - b.n) * l
+		return s.dnom[i : i+l]
+	}
+	i := int(r) * l
+	return b.nom[i : i+l]
+}
 
 // Score returns the precomputed monotone score f of the point at row.
 func (pr *Projection) Score(row int32) float64 { return pr.scores[row] }
@@ -180,7 +199,12 @@ func (pr *Projection) Score(row int32) float64 { return pr.scores[row] }
 func (pr *Projection) Scores() []float64 { return pr.scores }
 
 // ID returns the point id stored at row.
-func (pr *Projection) ID(row int32) data.PointID { return pr.b.ids[row] }
+func (pr *Projection) ID(row int32) data.PointID {
+	if s := pr.snap; s != nil {
+		return s.ID(row)
+	}
+	return pr.b.ids[row]
+}
 
 // Dominates reports whether the point at row i dominates the point at row j:
 // at least as good on every dimension, strictly better on one, with equal
@@ -188,10 +212,9 @@ func (pr *Projection) ID(row int32) data.PointID { return pr.b.ids[row] }
 func (pr *Projection) Dominates(i, j int32) bool {
 	b := pr.b
 	strict := false
-	if m := b.numDims; m > 0 {
-		pi, qi := int(i)*m, int(j)*m
-		pn := b.num[pi : pi+m]
-		qn := b.num[qi : qi+m]
+	if b.numDims > 0 {
+		pn := pr.numRow(i)
+		qn := pr.numRow(j)
 		for d, pv := range pn {
 			qv := qn[d]
 			if pv > qv {
@@ -206,6 +229,8 @@ func (pr *Projection) Dominates(i, j int32) bool {
 		pi, qi := int(i)*l, int(j)*l
 		prk := pr.ranks[pi : pi+l]
 		qrk := pr.ranks[qi : qi+l]
+		pnom := pr.nomRow(i)
+		qnom := pr.nomRow(j)
 		for d, pv := range prk {
 			qv := qrk[d]
 			if pv < qv {
@@ -215,7 +240,7 @@ func (pr *Projection) Dominates(i, j int32) bool {
 			// A larger rank means j is strictly better; equal ranks dominate
 			// only when the stored values coincide — distinct values sharing
 			// the unlisted rank are incomparable (§4.2).
-			if pv > qv || b.nom[pi+d] != b.nom[qi+d] {
+			if pv > qv || pnom[d] != qnom[d] {
 				return false
 			}
 		}
@@ -275,15 +300,36 @@ type radixKey struct {
 	row  int32
 }
 
-// SortedRows returns the rows of [lo, hi) ordered by (score, row) — the SFS
-// presort (§4.1) over the precomputed score array.
+// liveRows returns the live rows of [lo, hi) in ascending order: all of them
+// for plain block projections, the non-tombstoned ones for snapshots.
+func (pr *Projection) liveRows(lo, hi int) []int32 {
+	out := make([]int32, 0, hi-lo)
+	if s := pr.snap; s != nil && s.deadN > 0 {
+		for row := lo; row < hi; row++ {
+			if !s.dead.Contains(row) {
+				out = append(out, int32(row))
+			}
+		}
+		return out
+	}
+	for row := lo; row < hi; row++ {
+		out = append(out, int32(row))
+	}
+	return out
+}
+
+// SortedRows returns the live rows of [lo, hi) ordered by (score, row) — the
+// SFS presort (§4.1) over the precomputed score array, with tombstoned rows
+// excluded.
 func (pr *Projection) SortedRows(lo, hi int) []int32 {
-	n := hi - lo
-	rows := make([]int32, n)
+	rows := pr.liveRows(lo, hi)
+	n := len(rows)
+	if n == 0 {
+		return rows
+	}
 	if n < 128 {
 		keys := make([]sortKey, n)
-		for i := range keys {
-			row := int32(lo + i)
+		for i, row := range rows {
 			keys[i] = sortKey{bits: ScoreBits(pr.scores[row]), row: row}
 		}
 		slices.SortFunc(keys, compareKeys)
@@ -293,8 +339,7 @@ func (pr *Projection) SortedRows(lo, hi int) []int32 {
 		return rows
 	}
 	keys := make([]radixKey, n)
-	for i := range keys {
-		row := int32(lo + i)
+	for i, row := range rows {
 		keys[i] = radixKey{bits: uint32(ScoreBits(pr.scores[row]) >> 32), row: row}
 	}
 	radixSortKeys(keys)
@@ -425,7 +470,7 @@ func (pr *Projection) SkylineRangeCtx(ctx context.Context, lo, hi int) ([]int32,
 func (pr *Projection) IDs(rows []int32) []data.PointID {
 	out := make([]data.PointID, len(rows))
 	for i, r := range rows {
-		out[i] = pr.b.ids[r]
+		out[i] = pr.ID(r)
 	}
 	slices.Sort(out)
 	return out
@@ -437,5 +482,5 @@ func (pr *Projection) IDs(rows []int32) []data.PointID {
 // result is ascending point ids, identical to skyline.SFS over the same
 // points and preference.
 func (pr *Projection) Skyline() []data.PointID {
-	return pr.IDs(pr.SkylineRange(0, pr.b.n))
+	return pr.IDs(pr.SkylineRange(0, pr.n))
 }

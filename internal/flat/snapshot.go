@@ -1,0 +1,218 @@
+// Snapshot is the versioned view of a point set: an immutable base Block, an
+// append-only delta segment holding rows inserted since the base was laid
+// out, and a tombstone bitset marking deleted rows. Snapshots are immutable —
+// a mutation produces a new Snapshot sharing the base, the delta backing
+// arrays (only ever appended to beyond every published snapshot's length) and
+// the tombstone set (cloned copy-on-write by deletions) — so any number of
+// readers can project and scan a snapshot while writers publish newer ones.
+//
+// Row coordinates are global: rows [0, BaseRows) live in the base block and
+// rows [BaseRows, Rows) in the delta segment. Point ids are strictly
+// ascending in row order (base blocks are compacted in id order and delta ids
+// are assigned monotonically), which keeps id→row lookups a binary search and
+// id remaps order-preserving.
+package flat
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"prefsky/internal/bitset"
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/order"
+)
+
+// ErrUnknownPoint reports a point id that does not name a live point: never
+// assigned, or already deleted.
+var ErrUnknownPoint = errors.New("flat: unknown or deleted point")
+
+// Snapshot is one immutable version of a mutable point set. All methods are
+// safe for any number of concurrent readers.
+type Snapshot struct {
+	base *Block
+
+	// Delta segment: row i of the delta occupies dnum[i*m : (i+1)*m] and
+	// dnom[i*l : (i+1)*l]; dids[i] is its point id. The backing arrays are
+	// shared with other snapshots of the same store and appended to beyond
+	// this snapshot's length — the slice headers pin the rows this version
+	// sees.
+	dnum []float64
+	dnom []order.Value
+	dids []data.PointID
+
+	// dead marks tombstoned global rows; nil means none. Its capacity may
+	// trail Rows() — rows beyond it are live (bitset.Contains is false past
+	// the capacity).
+	dead  *bitset.Set
+	deadN int
+
+	version uint64
+}
+
+// newSnapshot wraps a block as the initial (delta-free) snapshot.
+func newSnapshot(base *Block) *Snapshot {
+	return &Snapshot{base: base}
+}
+
+// Version is the store's mutation counter as of this snapshot. Compaction
+// preserves the version: a compacted snapshot is query-equivalent to the
+// base+delta+tombstones form it replaced, so results cached against the
+// version stay valid.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Schema returns the schema the snapshot's rows are laid out under.
+func (s *Snapshot) Schema() *data.Schema { return s.base.schema }
+
+// Base returns the immutable base block.
+func (s *Snapshot) Base() *Block { return s.base }
+
+// Rows returns the total row count, live and tombstoned.
+func (s *Snapshot) Rows() int { return s.base.n + len(s.dids) }
+
+// BaseRows returns the base block's row count.
+func (s *Snapshot) BaseRows() int { return s.base.n }
+
+// DeltaRows returns the delta segment's row count.
+func (s *Snapshot) DeltaRows() int { return len(s.dids) }
+
+// Tombstones returns the number of tombstoned rows.
+func (s *Snapshot) Tombstones() int { return s.deadN }
+
+// LiveN returns the number of live points.
+func (s *Snapshot) LiveN() int { return s.Rows() - s.deadN }
+
+// SizeBytes reports the snapshot's memory footprint (base matrices, delta
+// segment, tombstone set).
+func (s *Snapshot) SizeBytes() int {
+	size := s.base.SizeBytes() + len(s.dnum)*8 + len(s.dnom)*4 + len(s.dids)*4
+	if s.dead != nil {
+		size += s.dead.SizeBytes()
+	}
+	return size
+}
+
+// deadRow reports whether the global row is tombstoned.
+func (s *Snapshot) deadRow(row int) bool {
+	return s.dead != nil && s.dead.Contains(row)
+}
+
+// ID returns the point id stored at the global row.
+func (s *Snapshot) ID(row int32) data.PointID {
+	if int(row) < s.base.n {
+		return s.base.ids[row]
+	}
+	return s.dids[int(row)-s.base.n]
+}
+
+// rawRowOf resolves a point id to its global row without the liveness check.
+// Ids ascend with rows in both the base and the delta, so each segment is
+// one binary search.
+func (s *Snapshot) rawRowOf(id data.PointID) (int32, bool) {
+	if i, ok := slices.BinarySearch(s.base.ids, id); ok {
+		return int32(i), true
+	}
+	if i, ok := slices.BinarySearch(s.dids, id); ok {
+		return int32(s.base.n + i), true
+	}
+	return 0, false
+}
+
+// RowOf resolves a point id to its global row, reporting false for ids that
+// were never assigned or are tombstoned.
+func (s *Snapshot) RowOf(id data.PointID) (int32, bool) {
+	row, ok := s.rawRowOf(id)
+	if !ok || s.deadRow(int(row)) {
+		return 0, false
+	}
+	return row, true
+}
+
+// Point materializes the live point with the given id. The returned slices
+// alias the snapshot's immutable storage; callers must not mutate them.
+func (s *Snapshot) Point(id data.PointID) (data.Point, error) {
+	row, ok := s.RowOf(id)
+	if !ok {
+		return data.Point{}, fmt.Errorf("%w: %d", ErrUnknownPoint, id)
+	}
+	return s.pointAt(int(row)), nil
+}
+
+// pointAt materializes the point at a global row (caller checked liveness).
+func (s *Snapshot) pointAt(row int) data.Point {
+	m, l := s.base.numDims, s.base.nomDims
+	if row < s.base.n {
+		return data.Point{
+			ID:  s.base.ids[row],
+			Num: s.base.num[row*m : (row+1)*m : (row+1)*m],
+			Nom: s.base.nom[row*l : (row+1)*l : (row+1)*l],
+		}
+	}
+	i := row - s.base.n
+	return data.Point{
+		ID:  s.dids[i],
+		Num: s.dnum[i*m : (i+1)*m : (i+1)*m],
+		Nom: s.dnom[i*l : (i+1)*l : (i+1)*l],
+	}
+}
+
+// Points materializes every live point in ascending id order. The points'
+// Num/Nom slices alias the snapshot's immutable storage — callers may reorder
+// the slice and reassign IDs (data.New does) but must not mutate the
+// coordinate slices.
+func (s *Snapshot) Points() []data.Point {
+	out := make([]data.Point, 0, s.LiveN())
+	for row := 0; row < s.Rows(); row++ {
+		if s.deadRow(row) {
+			continue
+		}
+		out = append(out, s.pointAt(row))
+	}
+	return out
+}
+
+// Project maps the snapshot through the comparator's rank tables: one
+// sequential O(N·(m+l)) pass over base and delta computing the rank matrix
+// and the §4.2 scores, exactly as Block.Project, with tombstoned rows
+// excluded from every scan the projection runs. The comparator must have
+// been built against the snapshot's schema.
+func (s *Snapshot) Project(cmp *dominance.Comparator) (*Projection, error) {
+	b := s.base
+	tabs := cmp.RankTables()
+	if len(tabs) != b.nomDims {
+		return nil, fmt.Errorf("flat: comparator has %d nominal dimensions, snapshot has %d",
+			len(tabs), b.nomDims)
+	}
+	total := s.Rows()
+	pr := &Projection{
+		b:      b,
+		snap:   s,
+		n:      total,
+		ranks:  make([]int32, total*b.nomDims),
+		scores: make([]float64, total),
+	}
+	projectInto(tabs, b.num, b.nom, pr.ranks, pr.scores, b.numDims, b.nomDims, b.n, 0)
+	projectInto(tabs, s.dnum, s.dnom, pr.ranks, pr.scores, b.numDims, b.nomDims, len(s.dids), b.n)
+	return pr, nil
+}
+
+// projectInto ranks and scores n rows of one segment, writing results at the
+// global row offset. Tombstoned rows are ranked too (branchless inner loop);
+// their entries are never read because every scan filters dead rows.
+func projectInto(tabs [][]int32, num []float64, nom []order.Value, ranks []int32, scores []float64, m, l, n, rowOff int) {
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for _, v := range num[i*m : (i+1)*m] {
+			s += v
+		}
+		off := i * l
+		gOff := (rowOff + i) * l
+		for d := 0; d < l; d++ {
+			r := tabs[d][nom[off+d]]
+			ranks[gOff+d] = r
+			s += float64(r)
+		}
+		scores[rowOff+i] = s
+	}
+}

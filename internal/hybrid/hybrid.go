@@ -1,6 +1,12 @@
 // Package hybrid implements the combined engine §5.3 recommends as "a sound
 // solution": a top-K-restricted IPO-tree answers queries over popular values,
 // and queries naming unmaterialized values fall back to Adaptive SFS.
+//
+// Both halves read the same versioned store. The tree is version-gated: it
+// answers only while the store's current version equals the version it was
+// built from, so after any Insert/Delete every query routes to the
+// incrementally-maintained adaptive half until compaction rebuilds the tree
+// against the compacted snapshot.
 package hybrid
 
 import (
@@ -10,6 +16,7 @@ import (
 
 	"prefsky/internal/adaptive"
 	"prefsky/internal/data"
+	"prefsky/internal/flat"
 	"prefsky/internal/ipotree"
 	"prefsky/internal/order"
 )
@@ -21,44 +28,88 @@ type Stats struct {
 }
 
 // Engine combines a (typically top-K restricted) IPO-tree with an Adaptive
-// SFS engine over the same dataset and template. Query is safe for
-// concurrent use: both sub-engines are read-only after construction and the
-// routing counters are atomic.
+// SFS engine over the same store and template. Query is safe for concurrent
+// use, including concurrently with Insert/Delete.
 type Engine struct {
-	tree      *ipotree.Tree
+	store     *flat.Store
+	treeOpts  ipotree.Options
+	vt        atomic.Pointer[ipotree.Versioned]
 	sfsa      *adaptive.Engine
 	treeHits  atomic.Int64
 	fallbacks atomic.Int64
 }
 
-// New builds both engines. treeOpts.TopK is typically set (e.g. 10, the
-// paper's IPO Tree-10); with TopK = 0 the fallback never triggers.
+// New builds both engines over a private versioned store for the dataset.
+// treeOpts.TopK is typically set (e.g. 10, the paper's IPO Tree-10); with
+// TopK = 0 the fallback only triggers after maintenance.
 func New(ds *data.Dataset, template *order.Preference, treeOpts ipotree.Options) (*Engine, error) {
-	tree, err := ipotree.Build(ds, template, treeOpts)
+	if ds == nil {
+		return nil, fmt.Errorf("hybrid: nil dataset")
+	}
+	return NewFromStore(flat.NewStore(ds, 0), template, treeOpts)
+}
+
+// NewFromStore builds the hybrid against an existing versioned store and
+// registers a compaction hook that rebuilds the tree from each compacted
+// snapshot.
+func NewFromStore(store *flat.Store, template *order.Preference, treeOpts ipotree.Options) (*Engine, error) {
+	if store == nil {
+		return nil, fmt.Errorf("hybrid: nil store")
+	}
+	snap := store.Snapshot()
+	tree, ids, err := ipotree.BuildPoints(store.Schema(), snap.Points(), template, treeOpts)
 	if err != nil {
 		return nil, fmt.Errorf("hybrid: building tree: %w", err)
 	}
-	sfsa, err := adaptive.New(ds, template)
+	sfsa, err := adaptive.NewFromStore(store, template)
 	if err != nil {
 		return nil, fmt.Errorf("hybrid: building adaptive engine: %w", err)
 	}
-	return &Engine{tree: tree, sfsa: sfsa}, nil
+	e := &Engine{store: store, treeOpts: treeOpts, sfsa: sfsa}
+	e.vt.Store(ipotree.NewVersioned(tree, snap.Version(), ids))
+	store.OnCompact(e.rebuildTree)
+	return e, nil
 }
 
-// Query answers with the tree when every queried value is materialized and
-// with Adaptive SFS otherwise.
+// rebuildTree is the compaction hook: rebuild the version-gated tree against
+// the compacted snapshot (ipotree.RebuildInto). Build failures leave the
+// stale tree in place; the adaptive fallback keeps serving.
+func (e *Engine) rebuildTree(snap *flat.Snapshot) {
+	ipotree.RebuildInto(&e.vt, snap, e.sfsa.Template(), e.treeOpts)
+}
+
+// Query answers with the tree when it is current and every queried value is
+// materialized, and with Adaptive SFS otherwise.
 func (e *Engine) Query(pref *order.Preference) ([]data.PointID, error) {
-	ids, err := e.tree.Query(pref)
-	if err == nil {
-		e.treeHits.Add(1)
-		return ids, nil
-	}
-	if !errors.Is(err, ipotree.ErrNotMaterialized) {
-		return nil, err
+	vt := e.vt.Load()
+	if vt.Version() == e.store.Version() {
+		ids, err := vt.Query(pref)
+		if err == nil {
+			e.treeHits.Add(1)
+			return ids, nil
+		}
+		if !errors.Is(err, ipotree.ErrNotMaterialized) {
+			return nil, err
+		}
 	}
 	e.fallbacks.Add(1)
 	return e.sfsa.Query(pref)
 }
+
+// Insert adds a point through the adaptive half (which writes the shared
+// store); the tree goes stale and every query falls back until compaction
+// rebuilds it.
+func (e *Engine) Insert(num []float64, nom []order.Value) (data.PointID, error) {
+	return e.sfsa.Insert(num, nom)
+}
+
+// Delete removes a point through the adaptive half.
+func (e *Engine) Delete(id data.PointID) error {
+	return e.sfsa.Delete(id)
+}
+
+// Store returns the versioned store both halves read.
+func (e *Engine) Store() *flat.Store { return e.store }
 
 // Stats returns the routing counters.
 func (e *Engine) Stats() Stats {
@@ -68,11 +119,11 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
-// Tree exposes the underlying IPO-tree (metrics, tests).
-func (e *Engine) Tree() *ipotree.Tree { return e.tree }
+// Tree exposes the current IPO-tree build (metrics, tests).
+func (e *Engine) Tree() *ipotree.Tree { return e.vt.Load().Tree() }
 
 // Adaptive exposes the underlying Adaptive SFS engine.
 func (e *Engine) Adaptive() *adaptive.Engine { return e.sfsa }
 
 // SizeBytes reports the combined storage of both engines.
-func (e *Engine) SizeBytes() int { return e.tree.SizeBytes() + e.sfsa.SizeBytes() }
+func (e *Engine) SizeBytes() int { return e.Tree().SizeBytes() + e.sfsa.SizeBytes() }

@@ -1,7 +1,7 @@
 package ipotree
 
 import (
-	"sort"
+	"slices"
 
 	"prefsky/internal/order"
 )
@@ -67,12 +67,11 @@ func (a *Advisor) Recommend(minShare float64) [][]order.Value {
 				vals = append(vals, order.Value(v))
 			}
 		}
-		sort.Slice(vals, func(i, j int) bool {
-			ci, cj := counts[vals[i]], counts[vals[j]]
-			if ci != cj {
-				return ci > cj
+		slices.SortFunc(vals, func(a, b order.Value) int {
+			if ca, cb := counts[a], counts[b]; ca != cb {
+				return cb - ca
 			}
-			return vals[i] < vals[j]
+			return int(a) - int(b)
 		})
 		out[d] = vals
 	}
@@ -90,12 +89,11 @@ func (a *Advisor) TopK(k int) [][]order.Value {
 				vals = append(vals, order.Value(v))
 			}
 		}
-		sort.Slice(vals, func(i, j int) bool {
-			ci, cj := counts[vals[i]], counts[vals[j]]
-			if ci != cj {
-				return ci > cj
+		slices.SortFunc(vals, func(a, b order.Value) int {
+			if ca, cb := counts[a], counts[b]; ca != cb {
+				return cb - ca
 			}
-			return vals[i] < vals[j]
+			return int(a) - int(b)
 		})
 		if len(vals) > k {
 			vals = vals[:k]

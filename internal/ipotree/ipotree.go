@@ -9,7 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"time"
 
 	"prefsky/internal/bitset"
@@ -315,11 +315,11 @@ func (t *Tree) materializedValues(ds *data.Dataset) ([][]order.Value, error) {
 		for v := range byFreq {
 			byFreq[v] = order.Value(v)
 		}
-		sort.SliceStable(byFreq, func(i, j int) bool {
-			if counts[byFreq[i]] != counts[byFreq[j]] {
-				return counts[byFreq[i]] > counts[byFreq[j]]
+		slices.SortStableFunc(byFreq, func(a, b order.Value) int {
+			if counts[a] != counts[b] {
+				return counts[b] - counts[a]
 			}
-			return byFreq[i] < byFreq[j]
+			return int(a) - int(b)
 		})
 		pick := make(map[order.Value]bool, t.opts.TopK)
 		for _, v := range byFreq[:t.opts.TopK] {

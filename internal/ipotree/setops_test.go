@@ -3,7 +3,7 @@ package ipotree
 import (
 	"math/rand"
 	"reflect"
-	"sort"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -50,7 +50,7 @@ func TestSetOpsMatchMapSemanticsProperty(t *testing.T) {
 			for v := range m {
 				s = append(s, v)
 			}
-			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			slices.Sort(s)
 			return s, m
 		}
 		a, am := mk()

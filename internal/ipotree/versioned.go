@@ -1,0 +1,106 @@
+package ipotree
+
+import (
+	"sync/atomic"
+
+	"prefsky/internal/data"
+	"prefsky/internal/flat"
+	"prefsky/internal/order"
+)
+
+// Versioned pairs a tree with the store version it was built from and the
+// row→id remap of that build. Engines over a versioned columnar store keep an
+// atomically-swapped *Versioned: the tree answers queries only while the
+// current snapshot's version equals the tree's, and compaction hooks install
+// a fresh build.
+type Versioned struct {
+	tree    *Tree
+	version uint64
+	ids     []data.PointID // build row → point id; nil means identity
+}
+
+// NewVersioned wraps a built tree. ids maps the build dataset's row indices
+// back to the store's point ids (nil when they coincide).
+func NewVersioned(t *Tree, version uint64, ids []data.PointID) *Versioned {
+	return &Versioned{tree: t, version: version, ids: ids}
+}
+
+// Tree returns the underlying tree.
+func (v *Versioned) Tree() *Tree { return v.tree }
+
+// Version returns the store version the tree reflects.
+func (v *Versioned) Version() uint64 { return v.version }
+
+// Query answers through the tree and remaps the result rows to store point
+// ids. The remap is monotone (store rows ascend in id order), so the result
+// stays in canonical ascending-id order.
+func (v *Versioned) Query(pref *order.Preference) ([]data.PointID, error) {
+	ids, err := v.tree.Query(pref)
+	if err != nil || v.ids == nil {
+		return ids, err
+	}
+	out := make([]data.PointID, len(ids))
+	for i, id := range ids {
+		out[i] = v.ids[id]
+	}
+	return out, nil
+}
+
+// BuildPoints builds a tree over a materialized point slice (typically a
+// snapshot's live points), returning the tree and the row→id remap for its
+// results. The points' IDs are captured before dataset construction
+// reassigns them; a remap of nil means the ids were already dense.
+func BuildPoints(schema *data.Schema, pts []data.Point, template *order.Preference, opts Options) (*Tree, []data.PointID, error) {
+	identity := true
+	ids := make([]data.PointID, len(pts))
+	for i := range pts {
+		ids[i] = pts[i].ID
+		if ids[i] != data.PointID(i) {
+			identity = false
+		}
+	}
+	ds, err := data.New(schema, pts)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, err := Build(ds, template, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if identity {
+		ids = nil
+	}
+	return tree, ids, nil
+}
+
+// Validate checks a query preference against the tree's shape and template
+// without running it — the check engines apply before routing a stale-tree
+// query to a scan fallback, so a query's acceptance never depends on whether
+// the tree is current.
+func (t *Tree) Validate(pref *order.Preference) error { return t.validate(pref) }
+
+// RebuildInto is the compaction hook shared by every version-gated tree
+// engine: rebuild the tree from the compacted snapshot's live points and
+// install it in ptr if it is newer than the current build. Build failures
+// leave the existing (stale) tree in place, so the engine's fallback path
+// keeps serving. Concurrent hooks from back-to-back compactions may race;
+// the CAS loop guarantees the newest build wins.
+func RebuildInto(ptr *atomic.Pointer[Versioned], snap *flat.Snapshot, template *order.Preference, opts Options) {
+	if cur := ptr.Load(); cur != nil && cur.Version() >= snap.Version() {
+		return
+	}
+	tree, ids, err := BuildPoints(snap.Schema(), snap.Points(), template, opts)
+	if err != nil {
+		return
+	}
+	nv := NewVersioned(tree, snap.Version(), ids)
+	for {
+		cur := ptr.Load()
+		if cur != nil && cur.Version() >= nv.Version() {
+			return
+		}
+		if ptr.CompareAndSwap(cur, nv) {
+			return
+		}
+	}
+}

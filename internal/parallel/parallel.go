@@ -332,13 +332,14 @@ func firstError(errs []error) error {
 
 // Engine is the "parallel-sfs" core engine: SFS-D divided over P blocks per
 // query. It needs no per-preference preprocessing; on the default flat
-// kernel it lays the dataset out columnar once at construction (a mirror of
-// the base data, not an index — SizeBytes stays zero like SFS-D) so each
-// query pays only the O(N·l) rank projection shared by all partitions. It is
-// safe for concurrent use and always reflects the dataset it wraps.
+// kernel it reads a versioned columnar store (a mirror of the base data, not
+// an index — SizeBytes stays zero like SFS-D), so each query grabs the
+// current snapshot lock-free, pays only the O(N·l) rank projection shared by
+// all partitions, and never blocks behind Insert/Delete writers. It is safe
+// for concurrent use.
 type Engine struct {
-	ds    *data.Dataset
-	blk   *flat.Block // nil on the pointer kernel
+	ds    *data.Dataset // pointer-kernel data (nil on the flat kernel)
+	store *flat.Store   // nil on the pointer kernel
 	parts int
 
 	queries atomic.Uint64
@@ -351,50 +352,68 @@ func New(ds *data.Dataset, partitions int) (*Engine, error) {
 }
 
 // NewKernel is New with an explicit kernel choice; KernelPointer keeps the
-// original per-point slice scan.
+// original per-point slice scan (immutable, not maintainable).
 func NewKernel(ds *data.Dataset, partitions int, kernel flat.Kernel) (*Engine, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("parallel: nil dataset")
 	}
-	e := &Engine{ds: ds, parts: partitions}
 	if kernel == flat.KernelFlat {
-		e.blk = flat.NewBlock(ds)
+		return NewFromStore(flat.NewStore(ds, 0), partitions)
 	}
-	return e, nil
+	return &Engine{ds: ds, parts: partitions}, nil
+}
+
+// NewFromStore wraps an existing versioned store as a partitioned SFS engine
+// — the form the service registry uses, so maintenance and queries share one
+// snapshot-swapped point set.
+func NewFromStore(store *flat.Store, partitions int) (*Engine, error) {
+	if store == nil {
+		return nil, fmt.Errorf("parallel: nil store")
+	}
+	return &Engine{store: store, parts: partitions}, nil
 }
 
 // Partitions returns the configured partition count (0 = GOMAXPROCS).
 func (e *Engine) Partitions() int { return e.parts }
 
-// Skyline answers SKY(pref) with the partitioned scan.
+// Store returns the versioned store (nil on the pointer kernel).
+func (e *Engine) Store() *flat.Store { return e.store }
+
+// Skyline answers SKY(pref) with the partitioned scan over the current
+// snapshot.
 func (e *Engine) Skyline(ctx context.Context, pref *order.Preference) ([]data.PointID, error) {
-	cmp, err := dominance.NewComparator(e.ds.Schema(), pref)
-	if err != nil {
-		return nil, err
-	}
 	e.queries.Add(1)
-	if e.blk != nil {
-		proj, err := e.blk.Project(cmp)
+	if e.store != nil {
+		snap := e.store.Snapshot()
+		cmp, err := dominance.NewComparator(snap.Schema(), pref)
+		if err != nil {
+			return nil, err
+		}
+		proj, err := snap.Project(cmp)
 		if err != nil {
 			return nil, err
 		}
 		return SkylineProjected(ctx, proj, e.parts)
 	}
+	cmp, err := dominance.NewComparator(e.ds.Schema(), pref)
+	if err != nil {
+		return nil, err
+	}
 	return Skyline(ctx, e.ds.Points(), cmp, e.parts)
 }
 
 // SizeBytes reports zero: like SFS-D the engine keeps no index. The columnar
-// block is an alternate representation of the dataset itself (reported by
+// store is an alternate representation of the dataset itself (reported by
 // BlockBytes), not preference-dependent storage in the paper's §5 sense.
 func (e *Engine) SizeBytes() int { return 0 }
 
-// BlockBytes reports the columnar mirror's footprint (0 on the pointer
+// BlockBytes reports the columnar store's footprint (0 on the pointer
 // kernel).
 func (e *Engine) BlockBytes() int {
-	if e.blk == nil {
+	if e.store == nil {
 		return 0
 	}
-	return e.blk.SizeBytes()
+	return e.store.Snapshot().SizeBytes()
 }
 
 // Queries returns the number of Skyline calls served.
@@ -411,9 +430,16 @@ type Stats struct {
 // naming unmaterialized values fall back to the partitioned scan instead of
 // the single-threaded SFS-A fallback of internal/hybrid — the slow path is
 // exactly where multi-core helps.
+//
+// On the flat kernel both halves read one versioned store: the tree is
+// version-gated (it answers only while the snapshot version matches its
+// build), mutations route every query to the partitioned scan over the live
+// snapshot, and compaction rebuilds the tree in the background.
 type Hybrid struct {
-	tree *ipotree.Tree
-	par  *Engine
+	template *order.Preference
+	treeOpts ipotree.Options
+	vt       atomic.Pointer[ipotree.Versioned]
+	par      *Engine
 
 	treeHits  atomic.Int64
 	fallbacks atomic.Int64
@@ -427,6 +453,12 @@ func NewHybrid(ds *data.Dataset, template *order.Preference, treeOpts ipotree.Op
 
 // NewHybridKernel is NewHybrid with an explicit kernel for the fallback scan.
 func NewHybridKernel(ds *data.Dataset, template *order.Preference, treeOpts ipotree.Options, partitions int, kernel flat.Kernel) (*Hybrid, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("parallel: nil dataset")
+	}
+	if kernel == flat.KernelFlat {
+		return NewHybridFromStore(flat.NewStore(ds, 0), template, treeOpts, partitions)
+	}
 	tree, err := ipotree.Build(ds, template, treeOpts)
 	if err != nil {
 		return nil, fmt.Errorf("parallel: building tree: %w", err)
@@ -435,29 +467,71 @@ func NewHybridKernel(ds *data.Dataset, template *order.Preference, treeOpts ipot
 	if err != nil {
 		return nil, err
 	}
-	return &Hybrid{tree: tree, par: par}, nil
+	h := &Hybrid{template: tree.Template(), treeOpts: treeOpts, par: par}
+	h.vt.Store(ipotree.NewVersioned(tree, 0, nil))
+	return h, nil
 }
 
-// Skyline answers with the tree when every queried value is materialized and
-// with the partitioned scan otherwise.
+// NewHybridFromStore builds the parallel hybrid against an existing
+// versioned store — the service-registry form — and registers the compaction
+// hook that rebuilds the tree.
+func NewHybridFromStore(store *flat.Store, template *order.Preference, treeOpts ipotree.Options, partitions int) (*Hybrid, error) {
+	if store == nil {
+		return nil, fmt.Errorf("parallel: nil store")
+	}
+	snap := store.Snapshot()
+	tree, ids, err := ipotree.BuildPoints(store.Schema(), snap.Points(), template, treeOpts)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: building tree: %w", err)
+	}
+	par, err := NewFromStore(store, partitions)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hybrid{template: tree.Template(), treeOpts: treeOpts, par: par}
+	h.vt.Store(ipotree.NewVersioned(tree, snap.Version(), ids))
+	store.OnCompact(h.rebuildTree)
+	return h, nil
+}
+
+// rebuildTree is the compaction hook: rebuild the version-gated tree against
+// the compacted snapshot (ipotree.RebuildInto).
+func (h *Hybrid) rebuildTree(snap *flat.Snapshot) {
+	ipotree.RebuildInto(&h.vt, snap, h.template, h.treeOpts)
+}
+
+// Skyline answers with the tree when it is current and every queried value is
+// materialized, and with the partitioned scan otherwise.
 func (h *Hybrid) Skyline(ctx context.Context, pref *order.Preference) ([]data.PointID, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ids, err := h.tree.Query(pref)
-	if err == nil {
-		h.treeHits.Add(1)
-		return ids, nil
-	}
-	if !errors.Is(err, ipotree.ErrNotMaterialized) {
+	vt := h.vt.Load()
+	st := h.par.Store()
+	if st == nil || vt.Version() == st.Version() {
+		ids, err := vt.Query(pref)
+		if err == nil {
+			h.treeHits.Add(1)
+			return ids, nil
+		}
+		if !errors.Is(err, ipotree.ErrNotMaterialized) {
+			return nil, err
+		}
+	} else if err := vt.Tree().Validate(pref); err != nil {
+		// The tree is stale, but a query the tree would reject must not start
+		// succeeding just because maintenance happened.
 		return nil, err
 	}
 	h.fallbacks.Add(1)
 	return h.par.Skyline(ctx, pref)
 }
 
-// Tree exposes the underlying IPO-tree (metrics, tests).
-func (h *Hybrid) Tree() *ipotree.Tree { return h.tree }
+// Store returns the versioned store both halves read (nil on the pointer
+// kernel).
+func (h *Hybrid) Store() *flat.Store { return h.par.Store() }
+
+// Tree exposes the current IPO-tree build (metrics, tests).
+func (h *Hybrid) Tree() *ipotree.Tree { return h.vt.Load().Tree() }
 
 // Stats returns the routing counters.
 func (h *Hybrid) Stats() Stats {
@@ -465,4 +539,4 @@ func (h *Hybrid) Stats() Stats {
 }
 
 // SizeBytes reports the tree's storage; the fallback keeps nothing.
-func (h *Hybrid) SizeBytes() int { return h.tree.SizeBytes() }
+func (h *Hybrid) SizeBytes() int { return h.Tree().SizeBytes() }

@@ -40,13 +40,24 @@ func TestConcurrentHammer(t *testing.T) {
 	s := New(Options{CacheCapacity: 64, CacheShards: 4, Workers: 4})
 	// "static" is never maintained: every concurrent result must equal the
 	// baseline's. It runs the hybrid so the tree, the fallback and the atomic
-	// routing counters all get exercised. "mutable" takes Insert/Delete
-	// traffic concurrently with queries.
+	// routing counters all get exercised. The "mutable-*" datasets take
+	// Insert/Delete traffic concurrently with queries: SFS-A exercises the
+	// incremental structures behind the engine lock, the scan engines
+	// exercise the lock-free snapshot swap, and the low compaction threshold
+	// makes background compactions (and the parallel hybrid's tree rebuilds)
+	// fire mid-hammer.
 	if err := s.AddDataset("static", ds, EngineConfig{Kind: "hybrid", Template: tmpl}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AddDataset("mutable", ds, EngineConfig{Kind: "sfsa", Template: tmpl}); err != nil {
-		t.Fatal(err)
+	mutables := []string{"mutable-sfsa", "mutable-sfsd", "mutable-phybrid"}
+	for name, kind := range map[string]string{
+		"mutable-sfsa":    "sfsa",
+		"mutable-sfsd":    "sfsd",
+		"mutable-phybrid": "parallel-hybrid",
+	} {
+		if err := s.AddDataset(name, ds, EngineConfig{Kind: kind, Template: tmpl, CompactThreshold: 16}); err != nil {
+			t.Fatal(err)
+		}
 	}
 	baseline, err := core.NewSFSD(ds)
 	if err != nil {
@@ -84,9 +95,9 @@ func TestConcurrentHammer(t *testing.T) {
 					t.Errorf("concurrent query %d diverged from SFS-D baseline", qi)
 					return
 				}
-				// Interleave queries on the dataset under maintenance; the
+				// Interleave queries on the datasets under maintenance; the
 				// result set moves, so only check they do not error.
-				if _, _, err := s.Query(context.Background(), "mutable", queries[rng.Intn(len(queries))]); err != nil {
+				if _, _, err := s.Query(context.Background(), mutables[rng.Intn(len(mutables))], queries[rng.Intn(len(queries))]); err != nil {
 					errCh <- err
 					return
 				}
@@ -124,39 +135,57 @@ func TestConcurrentHammer(t *testing.T) {
 		}(int64(g))
 	}
 
-	for g := 0; g < maintainers; g++ {
-		wg.Add(1)
-		go func(seed int64) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(200 + seed))
-			var mine []data.PointID
-			for i := 0; i < iters/2; i++ {
-				if len(mine) > 0 && rng.Intn(2) == 0 {
-					id := mine[len(mine)-1]
-					mine = mine[:len(mine)-1]
-					if err := s.Delete("mutable", id); err != nil {
+	for mi, mutable := range mutables {
+		for g := 0; g < maintainers; g++ {
+			wg.Add(1)
+			go func(mutable string, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(200 + seed))
+				var mine []data.PointID
+				for i := 0; i < iters/2; i++ {
+					if len(mine) > 0 && rng.Intn(2) == 0 {
+						id := mine[len(mine)-1]
+						mine = mine[:len(mine)-1]
+						if err := s.Delete(mutable, id); err != nil {
+							errCh <- err
+							return
+						}
+						continue
+					}
+					// Mix single inserts with small batches to drive the
+					// batch path too.
+					if rng.Intn(4) == 0 {
+						k := 1 + rng.Intn(3)
+						pts := make([]PointInput, k)
+						for j := range pts {
+							pts[j] = PointInput{
+								Num: []float64{rng.Float64(), rng.Float64()},
+								Nom: []order.Value{order.Value(rng.Intn(6)), order.Value(rng.Intn(6))},
+							}
+						}
+						ids, err := s.InsertBatch(mutable, pts)
+						if err != nil {
+							errCh <- err
+							return
+						}
+						mine = append(mine, ids...)
+						continue
+					}
+					num := []float64{rng.Float64(), rng.Float64()}
+					nom := []order.Value{order.Value(rng.Intn(6)), order.Value(rng.Intn(6))}
+					id, err := s.Insert(mutable, num, nom)
+					if err != nil {
 						errCh <- err
 						return
 					}
-					continue
+					mine = append(mine, id)
 				}
-				num := []float64{rng.Float64(), rng.Float64()}
-				nom := []order.Value{order.Value(rng.Intn(6)), order.Value(rng.Intn(6))}
-				id, err := s.Insert("mutable", num, nom)
-				if err != nil {
+				// Leave the dataset as we found it.
+				if _, err := s.DeleteBatch(mutable, mine); err != nil {
 					errCh <- err
-					return
 				}
-				mine = append(mine, id)
-			}
-			// Leave the dataset as we found it.
-			for _, id := range mine {
-				if err := s.Delete("mutable", id); err != nil {
-					errCh <- err
-					return
-				}
-			}
-		}(int64(g))
+			}(mutable, int64(10*mi+int(maintainers)+g))
+		}
 	}
 
 	wg.Wait()
@@ -165,15 +194,17 @@ func TestConcurrentHammer(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// With every maintainer's inserts rolled back, the mutable dataset must
+	// With every maintainer's inserts rolled back, the mutable datasets must
 	// again agree with the untouched baseline on every query.
-	for i, q := range queries {
-		ids, _, err := s.Query(context.Background(), "mutable", q)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(ids, want[i]) {
-			t.Errorf("post-hammer query %d = %v, want %v", i, ids, want[i])
+	for _, mutable := range mutables {
+		for i, q := range queries {
+			ids, _, err := s.Query(context.Background(), mutable, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ids, want[i]) {
+				t.Errorf("%s: post-hammer query %d = %v, want %v", mutable, i, ids, want[i])
+			}
 		}
 	}
 	st := s.Stats()

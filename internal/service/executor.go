@@ -105,7 +105,12 @@ func (x *Executor) Query(ctx context.Context, dataset string, pref *order.Prefer
 	if err != nil {
 		return nil, false, err
 	}
-	x.cache.Put(cacheKey(dataset, state, pref), dataset, ids)
+	// An empty state means a writer published while the engine ran: the
+	// result is a valid point-in-time answer but names no single version, so
+	// it is served without being cached.
+	if state != "" {
+		x.cache.Put(cacheKey(dataset, state, pref), dataset, ids)
+	}
 	return ids, false, nil
 }
 

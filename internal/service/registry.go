@@ -4,11 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 
-	"prefsky/internal/adaptive"
 	"prefsky/internal/core"
 	"prefsky/internal/data"
 	"prefsky/internal/flat"
@@ -20,15 +20,20 @@ import (
 var (
 	ErrUnknownDataset   = errors.New("service: unknown dataset")
 	ErrDuplicateDataset = errors.New("service: dataset already registered")
-	ErrNotMaintainable  = errors.New("service: engine does not support maintenance")
+	// ErrNotMaintainable reports a mutation against a dataset that cannot
+	// take one: explicitly frozen (EngineConfig.ReadOnly) or served by a
+	// legacy pointer-kernel engine.
+	ErrNotMaintainable = errors.New("service: dataset does not accept maintenance")
+	// ErrUnknownPoint re-exports the store's sentinel for deletes naming an
+	// id that was never assigned or is already deleted.
+	ErrUnknownPoint = flat.ErrUnknownPoint
 )
 
 // EngineConfig selects and configures the engine built for a dataset.
 type EngineConfig struct {
 	// Kind names the engine as core.NewByName accepts it: "ipo", "sfsa",
 	// "sfsd", "hybrid", "parallel-sfs" or "parallel-hybrid". Empty defaults
-	// to "sfsa", the only maintainable kind and the paper's recommended
-	// general-purpose engine.
+	// to "sfsa", the paper's recommended general-purpose engine.
 	Kind string
 	// Template is the shared preference template R̃; nil means empty.
 	Template *order.Preference
@@ -37,44 +42,63 @@ type EngineConfig struct {
 	// Partitions is the block count for the parallel kinds (0 = GOMAXPROCS).
 	Partitions int
 	// Kernel selects the scan kernel for the scan-based kinds: "" or "flat"
-	// for the columnar block kernel (the dataset is laid out columnar once
-	// at registration, so queries pay only the per-preference rank
-	// projection), "pointer" for the original per-point kernel.
+	// for the columnar store kernel (queries project the live snapshot),
+	// "pointer" for the original per-point kernel (immutable).
 	Kernel string
+	// CompactThreshold tunes the versioned store: the delta+tombstone row
+	// count that triggers background compaction. 0 means the default
+	// (flat.DefaultCompactThreshold), negative disables automatic
+	// compaction.
+	CompactThreshold int
+	// ReadOnly freezes the dataset: Insert/Delete return
+	// ErrNotMaintainable even on engines that support maintenance.
+	ReadOnly bool
 }
 
 // DatasetInfo is a read-only snapshot of one registered dataset.
 type DatasetInfo struct {
-	Name         string `json:"name"`
-	Points       int    `json:"points"`
-	Engine       string `json:"engine"`
-	Maintainable bool   `json:"maintainable"`
-	EngineBytes  int    `json:"engineBytes"`
-	Queries      uint64 `json:"queries"`
-	Version      uint64 `json:"version"`
+	Name         string           `json:"name"`
+	Points       int              `json:"points"`
+	Engine       string           `json:"engine"`
+	Maintainable bool             `json:"maintainable"`
+	ReadOnly     bool             `json:"readOnly,omitempty"`
+	EngineBytes  int              `json:"engineBytes"`
+	Queries      uint64           `json:"queries"`
+	Version      uint64           `json:"version"`
+	Store        *flat.StoreStats `json:"store,omitempty"`
 }
 
-// dsEntry is one hosted dataset. mu serializes maintenance against queries:
-// queries hold the read lock (every engine's Skyline is safe for concurrent
-// readers), Insert/Delete hold the write lock. version counts maintenance
-// operations applied; epoch is the registry-wide registration sequence
+// dsEntry is one hosted dataset. There is no entry-level lock: queries read
+// the engine's versioned store through atomically-swapped snapshots and are
+// never blocked by writers; writers serialize inside the store (and, for
+// SFS-A, inside the engine's structure lock). version identifies the data a
+// query result reflects; epoch is the registry-wide registration sequence
 // number, so a name removed and re-added never repeats a (epoch, version)
 // pair.
 type dsEntry struct {
-	name  string
-	epoch uint64
-	mu    sync.RWMutex
-	ds    *data.Dataset
-	eng   core.Engine
-	maint *adaptive.Engine // non-nil iff the engine supports Insert/Delete
+	name     string
+	epoch    uint64
+	schema   *data.Schema
+	ds       *data.Dataset // registration-time data (pointer-kernel reads)
+	store    *flat.Store   // nil for pointer-kernel engines
+	eng      core.Engine
+	maint    core.Maintainer // nil when unsupported or read-only
+	readOnly bool
 
 	queries atomic.Uint64
-	version atomic.Uint64
 }
 
-// state renders the entry's cache-state token "epoch.version".
-func (e *dsEntry) state() string {
-	return fmt.Sprintf("%d.%d", e.epoch, e.version.Load())
+// version returns the data version the entry's query results reflect.
+func (e *dsEntry) version() uint64 {
+	if e.store != nil {
+		return e.store.Version()
+	}
+	return 0
+}
+
+// state renders the cache-state token "epoch.version" for a version.
+func (e *dsEntry) state(version uint64) string {
+	return fmt.Sprintf("%d.%d", e.epoch, version)
 }
 
 // Registry hosts named datasets, each behind a configurable engine. All
@@ -120,11 +144,26 @@ func (r *Registry) Add(name string, ds *data.Dataset, cfg EngineConfig) error {
 	if err != nil {
 		return fmt.Errorf("service: dataset %q: %w", name, err)
 	}
-	eng, err := core.NewByName(kind, ds, tmpl, core.Options{Tree: cfg.Tree, Partitions: cfg.Partitions, Kernel: kernel})
+	eng, err := core.NewByName(kind, ds, tmpl, core.Options{
+		Tree:             cfg.Tree,
+		Partitions:       cfg.Partitions,
+		Kernel:           kernel,
+		CompactThreshold: cfg.CompactThreshold,
+	})
 	if err != nil {
 		return fmt.Errorf("service: building engine for %q: %w", name, err)
 	}
-	e := &dsEntry{name: name, ds: ds, eng: eng, maint: core.Maintainable(eng)}
+	e := &dsEntry{
+		name:     name,
+		schema:   ds.Schema(),
+		ds:       ds,
+		store:    core.StoreOf(eng),
+		eng:      eng,
+		readOnly: cfg.ReadOnly,
+	}
+	if !cfg.ReadOnly {
+		e.maint = core.Maintainable(eng)
+	}
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -137,7 +176,7 @@ func (r *Registry) Add(name string, ds *data.Dataset, cfg EngineConfig) error {
 }
 
 // Remove unregisters the dataset, reporting whether it existed. In-flight
-// queries holding the entry's read lock complete normally.
+// queries keep the snapshot they already loaded and complete normally.
 func (r *Registry) Remove(name string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -164,7 +203,7 @@ func (r *Registry) Names() []string {
 		out = append(out, name)
 	}
 	r.mu.RUnlock()
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -178,27 +217,30 @@ func (r *Registry) Info() []DatasetInfo {
 	r.mu.RUnlock()
 	out := make([]DatasetInfo, len(entries))
 	for i, e := range entries {
-		e.mu.RLock()
-		out[i] = DatasetInfo{
+		info := DatasetInfo{
 			Name:         e.name,
-			Points:       liveN(e),
+			Points:       e.liveN(),
 			Engine:       e.eng.Name(),
 			Maintainable: e.maint != nil,
+			ReadOnly:     e.readOnly,
 			EngineBytes:  e.eng.SizeBytes(),
 			Queries:      e.queries.Load(),
-			Version:      e.version.Load(),
+			Version:      e.version(),
 		}
-		e.mu.RUnlock()
+		if e.store != nil {
+			st := e.store.Stats()
+			info.Store = &st
+		}
+		out[i] = info
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	slices.SortFunc(out, func(a, b DatasetInfo) int { return strings.Compare(a.Name, b.Name) })
 	return out
 }
 
-// liveN reports the current point count; maintainable engines track
-// insertions and deletions past the initial dataset. Callers hold e.mu.
-func liveN(e *dsEntry) int {
-	if e.maint != nil {
-		return e.maint.N()
+// liveN reports the current point count through the store's snapshot.
+func (e *dsEntry) liveN() int {
+	if e.store != nil {
+		return e.store.Snapshot().LiveN()
 	}
 	return e.ds.N()
 }
@@ -209,7 +251,7 @@ func (r *Registry) Schema(name string) (*data.Schema, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.ds.Schema(), nil
+	return e.schema, nil
 }
 
 // State returns the dataset's cache-state token "epoch.version": epoch is
@@ -217,87 +259,161 @@ func (r *Registry) Schema(name string) (*data.Schema, error) {
 // Insert/Delete operations applied since registration. Cache keys embed the
 // token, so results cached against a superseded state — after maintenance,
 // or after the name was removed and re-added over different data — die
-// naturally even without explicit invalidation.
+// naturally even without explicit invalidation. Compaction rewrites the
+// store layout without changing the version (the compacted snapshot is
+// query-equivalent), so it never touches the cache.
 func (r *Registry) State(name string) (string, error) {
 	e, err := r.entry(name)
 	if err != nil {
 		return "", err
 	}
-	return e.state(), nil
+	return e.state(e.version()), nil
 }
 
-// Query answers SKY(pref) over the named dataset under the entry's read
-// lock, so any number of queries run concurrently while maintenance waits.
-// The context bounds the engine's work: partitioned engines abort between
-// blocks and every engine checks it on entry. The returned state token is
-// read under the same lock and therefore names exactly the dataset state the
-// result reflects — the executor embeds it in the cache key.
+// Query answers SKY(pref) over the named dataset. Queries are lock-free
+// against writers: the engine grabs the store's current snapshot with one
+// atomic load and works on that immutable version for the rest of the query.
+//
+// The returned state token names the dataset state the result reflects, for
+// the executor to embed in the cache key. It is derived by reading the
+// version before and after the engine runs: if they agree, every snapshot
+// the engine could have loaded in between carries that version (compaction
+// preserves it), so the result is cacheable under it; if a writer published
+// in between, the token is empty and the result — still a perfectly valid
+// point-in-time answer — is served but not cached.
 func (r *Registry) Query(ctx context.Context, name string, pref *order.Preference) ([]data.PointID, string, error) {
 	e, err := r.entry(name)
 	if err != nil {
 		return nil, "", err
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	e.queries.Add(1)
+	before := e.version()
 	ids, err := e.eng.Skyline(ctx, pref)
-	return ids, e.state(), err
+	if err != nil {
+		return nil, "", err
+	}
+	if after := e.version(); after != before {
+		return ids, "", nil
+	}
+	return ids, e.state(before), nil
 }
 
-// Insert adds a point to a maintainable dataset (§4.3) under the entry's
-// write lock and bumps the maintenance version.
+// maintainer resolves the entry's maintenance interface, normalizing the
+// not-maintainable error.
+func (r *Registry) maintainer(name string) (*dsEntry, core.Maintainer, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if e.maint == nil {
+		why := "runs " + e.eng.Name()
+		if e.readOnly {
+			why = "is read-only"
+		}
+		return nil, nil, fmt.Errorf("%w: %q %s", ErrNotMaintainable, name, why)
+	}
+	return e, e.maint, nil
+}
+
+// Insert adds a point to a maintainable dataset (§4.3). Writers serialize
+// inside the engine's store; concurrent queries keep reading the snapshots
+// they already hold.
 func (r *Registry) Insert(name string, num []float64, nom []order.Value) (data.PointID, error) {
-	e, err := r.entry(name)
+	_, m, err := r.maintainer(name)
 	if err != nil {
 		return 0, err
 	}
-	if e.maint == nil {
-		return 0, fmt.Errorf("%w: %q runs %s", ErrNotMaintainable, name, e.eng.Name())
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	id, err := e.maint.Insert(num, nom)
-	if err != nil {
-		return 0, err
-	}
-	e.version.Add(1)
-	return id, nil
+	return m.Insert(num, nom)
 }
 
-// Delete removes a point from a maintainable dataset under the entry's
-// write lock and bumps the maintenance version.
+// Delete removes a point from a maintainable dataset. Unknown ids return an
+// error wrapping ErrUnknownPoint.
 func (r *Registry) Delete(name string, id data.PointID) error {
-	e, err := r.entry(name)
+	_, m, err := r.maintainer(name)
 	if err != nil {
 		return err
 	}
-	if e.maint == nil {
-		return fmt.Errorf("%w: %q runs %s", ErrNotMaintainable, name, e.eng.Name())
+	return m.Delete(id)
+}
+
+// PointInput is one point of a batch insert.
+type PointInput struct {
+	Num []float64
+	Nom []order.Value
+}
+
+// InsertBatch applies a batch of inserts, stopping at the first failure.
+// The ids of the points inserted so far are always returned; err describes
+// the first failing member when the batch was cut short. Store-backed
+// engines (core.BatchMaintainer) apply the whole batch under one snapshot
+// publish and validate it up front, so a bad member leaves nothing applied;
+// SFS-A applies member by member (each insert is an incremental structure
+// update).
+func (r *Registry) InsertBatch(name string, pts []PointInput) ([]data.PointID, error) {
+	_, m, err := r.maintainer(name)
+	if err != nil {
+		return nil, err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.maint.Delete(id); err != nil {
-		return err
+	if bm, ok := m.(core.BatchMaintainer); ok {
+		nums := make([][]float64, len(pts))
+		noms := make([][]order.Value, len(pts))
+		for i, p := range pts {
+			nums[i], noms[i] = p.Num, p.Nom
+		}
+		ids, err := bm.InsertBatch(nums, noms)
+		if err != nil {
+			return ids, fmt.Errorf("service: insert batch of %d: %w", len(pts), err)
+		}
+		return ids, nil
 	}
-	e.version.Add(1)
-	return nil
+	ids := make([]data.PointID, 0, len(pts))
+	for i, p := range pts {
+		id, err := m.Insert(p.Num, p.Nom)
+		if err != nil {
+			return ids, fmt.Errorf("service: insert %d/%d: %w", i, len(pts), err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// DeleteBatch applies a batch of deletes in order, stopping at the first
+// failure and returning how many were applied. Store-backed engines clone
+// the tombstone set once for the whole batch.
+func (r *Registry) DeleteBatch(name string, ids []data.PointID) (int, error) {
+	_, m, err := r.maintainer(name)
+	if err != nil {
+		return 0, err
+	}
+	if bm, ok := m.(core.BatchMaintainer); ok {
+		applied, err := bm.DeleteBatch(ids)
+		if err != nil {
+			return applied, fmt.Errorf("service: delete %d/%d: %w", applied, len(ids), err)
+		}
+		return applied, nil
+	}
+	for i, id := range ids {
+		if err := m.Delete(id); err != nil {
+			return i, fmt.Errorf("service: delete %d/%d: %w", i, len(ids), err)
+		}
+	}
+	return len(ids), nil
 }
 
 // Point returns one point of the named dataset by id (for response
-// rendering). For maintainable engines the id addresses the engine's
-// point table, which outlives the initial dataset.
+// rendering), read through the store's current snapshot so it always
+// reflects maintenance — ids of deleted points are an error even on engines
+// registered before any mutation arrived.
 func (r *Registry) Point(name string, id data.PointID) (data.Point, error) {
 	e, err := r.entry(name)
 	if err != nil {
 		return data.Point{}, err
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.maint != nil {
-		return e.maint.Point(id)
+	if e.store != nil {
+		return e.store.Snapshot().Point(id)
 	}
 	if int(id) < 0 || int(id) >= e.ds.N() {
-		return data.Point{}, fmt.Errorf("service: point %d out of range [0,%d)", id, e.ds.N())
+		return data.Point{}, fmt.Errorf("%w: %d out of range [0,%d)", ErrUnknownPoint, id, e.ds.N())
 	}
 	return e.ds.Point(id), nil
 }

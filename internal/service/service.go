@@ -8,8 +8,10 @@
 // Three layers, each independently usable:
 //
 //   - Registry hosts named datasets, builds a configurable engine per
-//     dataset (core.NewByName), and serializes maintenance behind a
-//     per-dataset RWMutex so reads run concurrently.
+//     dataset (core.NewByName), and routes queries and maintenance to the
+//     engine's versioned columnar store: queries grab the current snapshot
+//     with one atomic load and are never blocked by writers, writers
+//     serialize only among themselves.
 //   - Cache is a sharded LRU over (dataset, registration epoch +
 //     maintenance version, canonical preference) with hit/miss/eviction
 //     counters.
@@ -138,6 +140,28 @@ func (s *Service) Delete(dataset string, id data.PointID) error {
 	}
 	s.cache.InvalidateDataset(dataset)
 	return nil
+}
+
+// InsertBatch applies a batch of inserts, stopping at the first failure, and
+// invalidates the dataset's cached results if anything was applied. The ids
+// of the points inserted so far are always returned.
+func (s *Service) InsertBatch(dataset string, pts []PointInput) ([]data.PointID, error) {
+	ids, err := s.reg.InsertBatch(dataset, pts)
+	if len(ids) > 0 {
+		s.cache.InvalidateDataset(dataset)
+	}
+	return ids, err
+}
+
+// DeleteBatch applies a batch of deletes, stopping at the first failure, and
+// invalidates the dataset's cached results if anything was applied. applied
+// reports how many deletes landed.
+func (s *Service) DeleteBatch(dataset string, ids []data.PointID) (applied int, err error) {
+	applied, err = s.reg.DeleteBatch(dataset, ids)
+	if applied > 0 {
+		s.cache.InvalidateDataset(dataset)
+	}
+	return applied, err
 }
 
 // Stats snapshots the whole service.

@@ -178,12 +178,73 @@ func TestMaintenanceInvalidatesCache(t *testing.T) {
 }
 
 func TestMaintenanceOnNonMaintainableEngine(t *testing.T) {
-	s := table1Service(t, EngineConfig{Kind: "sfsd"}, Options{})
+	// Explicitly frozen dataset: the engine could take maintenance, but the
+	// registration says no.
+	s := table1Service(t, EngineConfig{Kind: "sfsd", ReadOnly: true}, Options{})
 	if _, err := s.Insert("hotels", []float64{1, 2}, []order.Value{0}); !errors.Is(err, ErrNotMaintainable) {
-		t.Errorf("Insert on SFS-D: %v, want ErrNotMaintainable", err)
+		t.Errorf("Insert on read-only SFS-D: %v, want ErrNotMaintainable", err)
 	}
 	if err := s.Delete("hotels", 0); !errors.Is(err, ErrNotMaintainable) {
-		t.Errorf("Delete on SFS-D: %v, want ErrNotMaintainable", err)
+		t.Errorf("Delete on read-only SFS-D: %v, want ErrNotMaintainable", err)
+	}
+	if info := s.Datasets(); len(info) != 1 || info[0].Maintainable || !info[0].ReadOnly {
+		t.Errorf("read-only dataset info = %+v", info)
+	}
+
+	// Legacy pointer-kernel engine: genuinely immutable.
+	s2 := New(Options{})
+	if err := s2.AddDataset("ptr", data.Table1(), EngineConfig{Kind: "sfsd", Kernel: "pointer"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Insert("ptr", []float64{1, 2}, []order.Value{0}); !errors.Is(err, ErrNotMaintainable) {
+		t.Errorf("Insert on pointer SFS-D: %v, want ErrNotMaintainable", err)
+	}
+}
+
+// TestMaintenanceOnScanEngines: with the versioned store, the scan engines
+// accept Insert/Delete and queries immediately reflect them.
+func TestMaintenanceOnScanEngines(t *testing.T) {
+	for _, kind := range []string{"sfsd", "parallel-sfs", "parallel-hybrid", "ipo", "hybrid"} {
+		s := table1Service(t, EngineConfig{Kind: kind}, Options{})
+		schema, _ := s.Schema("hotels")
+		pref := mustPref(t, schema, "Hotel-group: T<M<*")
+		before, _, err := s.Query(context.Background(), "hotels", pref)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		// A cheap 5-star T hotel dominates everything in sight.
+		id, err := s.Insert("hotels", []float64{100, -5}, []order.Value{0})
+		if err != nil {
+			t.Fatalf("%s: Insert: %v", kind, err)
+		}
+		after, _, err := s.Query(context.Background(), "hotels", pref)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !reflect.DeepEqual(after, []data.PointID{id}) {
+			t.Errorf("%s: skyline after dominating insert = %v, want [%d]", kind, after, id)
+		}
+		if err := s.Delete("hotels", id); err != nil {
+			t.Fatalf("%s: Delete: %v", kind, err)
+		}
+		if err := s.Delete("hotels", id); !errors.Is(err, ErrUnknownPoint) {
+			t.Errorf("%s: double delete: %v, want ErrUnknownPoint", kind, err)
+		}
+		restored, _, err := s.Query(context.Background(), "hotels", pref)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !reflect.DeepEqual(restored, before) {
+			t.Errorf("%s: skyline after delete = %v, want %v", kind, restored, before)
+		}
+		// The rendered point for a deleted id must be gone (snapshot
+		// read-through), and live ids must render.
+		if _, err := s.Point("hotels", id); !errors.Is(err, ErrUnknownPoint) {
+			t.Errorf("%s: Point(deleted) = %v, want ErrUnknownPoint", kind, err)
+		}
+		if _, err := s.Point("hotels", before[0]); err != nil {
+			t.Errorf("%s: Point(live): %v", kind, err)
+		}
 	}
 }
 
@@ -294,7 +355,8 @@ func TestRegistryLifecycle(t *testing.T) {
 	if !infos[0].Maintainable || infos[0].Engine != "SFS-A" {
 		t.Errorf("dataset a info = %+v", infos[0])
 	}
-	if infos[1].Maintainable || infos[1].Engine != "IPO Tree" {
+	// With the versioned store, the tree-backed kinds are maintainable too.
+	if !infos[1].Maintainable || infos[1].Engine != "IPO Tree" {
 		t.Errorf("dataset b info = %+v", infos[1])
 	}
 	if !s.RemoveDataset("a") {

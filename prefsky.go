@@ -66,6 +66,7 @@ import (
 	"prefsky/internal/core"
 	"prefsky/internal/data"
 	"prefsky/internal/dominance"
+	"prefsky/internal/flat"
 	"prefsky/internal/gen"
 	"prefsky/internal/ipotree"
 	"prefsky/internal/nursery"
@@ -115,6 +116,17 @@ type (
 	// MaintainableEngine is the concrete Adaptive SFS engine with progressive
 	// iteration and incremental maintenance.
 	MaintainableEngine = adaptive.Engine
+	// Maintainer applies §4.3 incremental maintenance (Insert/Delete) to an
+	// engine; every flat-kernel engine supports it.
+	Maintainer = core.Maintainer
+	// VersionedStore is the snapshot-isolated columnar store every
+	// flat-kernel engine reads: queries grab an immutable snapshot lock-free
+	// while writers publish new versions.
+	VersionedStore = flat.Store
+	// StoreSnapshot is one immutable version of a VersionedStore.
+	StoreSnapshot = flat.Snapshot
+	// StoreStats reports a store's snapshot shape and maintenance counters.
+	StoreStats = flat.StoreStats
 	// Comparator evaluates dominance under a fixed preference.
 	Comparator = dominance.Comparator
 
@@ -187,9 +199,13 @@ var (
 	NewEngineByName = core.NewByName
 	// EngineKinds lists the names NewEngineByName accepts.
 	EngineKinds = core.Kinds
-	// MaintainableOf returns the engine's Adaptive SFS core when it supports
-	// Insert/Delete maintenance, or nil.
+	// MaintainableOf returns the engine's maintenance interface (§4.3) when
+	// it supports Insert/Delete, or nil. Every flat-kernel engine qualifies;
+	// only the legacy pointer-kernel engines are immutable.
 	MaintainableOf = core.Maintainable
+	// StoreOf returns the versioned columnar store an engine reads, or nil
+	// for the immutable pointer-kernel engines.
+	StoreOf = core.StoreOf
 
 	// NewService builds the concurrent query service hosting many named
 	// datasets behind a canonical-preference result cache.
