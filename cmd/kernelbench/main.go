@@ -8,6 +8,7 @@
 //
 //	kernelbench -n 100000 -kind independent -out BENCH_pr3.json
 //	kernelbench -n 100000 -mixed -out BENCH_pr4.json
+//	kernelbench -n 100000 -semantic -out BENCH_pr5.json
 //
 // Both kernels answer the same preference over the same dataset; the tool
 // verifies the skylines are identical before trusting the timings. The flat
@@ -18,6 +19,11 @@
 // query/mutation mix measured on the versioned snapshot store versus the
 // RWMutex-era design (immutable block rebuilt under a write lock), against a
 // read-only latency floor. See cmd/kernelbench/mixed.go.
+//
+// -semantic switches to the preference-lattice result-cache scenario: a
+// Zipfian refinement workload through internal/service, with per-outcome
+// (cold / semantic / exact) latency percentiles. See
+// cmd/kernelbench/semantic.go.
 package main
 
 import (
@@ -59,6 +65,10 @@ func run(args []string) error {
 		workers  = fs.Int("mixed-workers", 4, "concurrent workers in the mixed scenario")
 		ops      = fs.Int("mixed-ops", 200, "operations per worker in the mixed scenario")
 		mutFrac  = fs.Float64("mixed-mutations", 0.05, "fraction of operations that are mutations in the mixed scenario")
+		semantic = fs.Bool("semantic", false, "run the semantic result-cache scenario (Zipfian refinement workload) instead of the kernel comparison")
+		semCh    = fs.Int("semantic-chains", 40, "distinct refinement chains in the semantic scenario")
+		semDepth = fs.Int("semantic-depth", 3, "refinement levels per chain in the semantic scenario")
+		semQ     = fs.Int("semantic-queries", 2000, "queries issued in the semantic scenario")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +100,20 @@ func run(args []string) error {
 	cmp, err := dominance.NewComparator(ds.Schema(), pref)
 	if err != nil {
 		return err
+	}
+
+	if *semantic {
+		report := export.NewReport("semantic cache: preference-lattice hits vs cold scans (Zipfian refinement workload)")
+		if err := runSemantic(report, ds, *n, *semCh, *semDepth, *semQ, *seed+1); err != nil {
+			return err
+		}
+		if *out != "" {
+			if err := export.WriteFile(*out, report); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return nil
 	}
 
 	if *mixed {

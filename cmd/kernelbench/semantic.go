@@ -1,0 +1,153 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"slices"
+	"time"
+
+	"prefsky/internal/bench/export"
+	"prefsky/internal/data"
+	"prefsky/internal/order"
+	"prefsky/internal/service"
+	"prefsky/internal/zipf"
+)
+
+// The semantic scenario measures what the preference-lattice result cache
+// buys on a Zipfian refinement workload: users share popular preference
+// prefixes and refine them step by step (the workload skew Wong et al.
+// observe on nominal attributes), so a refined query usually finds a coarser
+// ancestor's skyline cached at the same store version. By Theorem 1 that
+// ancestor bounds the refined skyline, and the flat kernel scans a few
+// hundred cached candidate rows instead of the full dataset.
+//
+// Queries are classified by the service's reported outcome — engine (cold),
+// semantic (lattice hit) and exact (cache hit) — and per-class latency
+// percentiles are reported. The acceptance figure is
+// semantic/speedup-cold-vs-semantic-p50 (target >= 5x at N=100k).
+
+// semanticChain is one user population's refinement chain: chain[l] lists the
+// first l+1 values of a fixed random permutation on every nominal dimension,
+// so every later level strictly refines every earlier one.
+func semanticChain(schema *data.Schema, depth int, rng *rand.Rand) ([]*order.Preference, error) {
+	perms := make([][]order.Value, schema.NomDims())
+	for d, card := range schema.Cardinalities() {
+		perm := make([]order.Value, card)
+		for i, v := range rng.Perm(card) {
+			perm[i] = order.Value(v)
+		}
+		perms[d] = perm
+		if depth > card {
+			depth = card
+		}
+	}
+	chain := make([]*order.Preference, 0, depth)
+	for l := 1; l <= depth; l++ {
+		dims := make([]*order.Implicit, schema.NomDims())
+		for d := range dims {
+			ip, err := order.NewImplicit(schema.Nominal[d].Cardinality(), perms[d][:l]...)
+			if err != nil {
+				return nil, err
+			}
+			dims[d] = ip
+		}
+		pref, err := order.NewPreference(dims...)
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, pref)
+	}
+	return chain, nil
+}
+
+// runSemantic drives a Zipfian refinement workload through the service and
+// records per-outcome latency percentiles.
+func runSemantic(report *export.Report, ds *data.Dataset, n, chains, depth, queries int, seed int64) error {
+	svc := service.New(service.Options{
+		CacheCapacity: 1 << 16,
+		// The workload's coarsest preferences can have skylines in the low
+		// thousands at N=100k; let the lattice serve them all so the
+		// measurement covers the whole refinement spectrum.
+		SemanticCandidateLimit: 1 << 17,
+	})
+	if err := svc.AddDataset("bench", ds, service.EngineConfig{Kind: "sfsd"}); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	universe := make([][]*order.Preference, chains)
+	for c := range universe {
+		chain, err := semanticChain(ds.Schema(), depth, rng)
+		if err != nil {
+			return err
+		}
+		universe[c] = chain
+	}
+	dist, err := zipf.New(chains, 1)
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	lats := map[service.Outcome][]time.Duration{}
+	for q := 0; q < queries; q++ {
+		chain := universe[dist.Sample(rng)]
+		// Users mostly walk forward through their chain: refined levels are
+		// queried more often than their (already cached) ancestors.
+		pref := chain[rng.Intn(len(chain))]
+		t0 := time.Now()
+		_, outcome, err := svc.Query(ctx, "bench", pref)
+		if err != nil {
+			return fmt.Errorf("semantic workload query %d: %w", q, err)
+		}
+		lats[outcome] = append(lats[outcome], time.Since(t0))
+	}
+
+	name := map[service.Outcome]string{
+		service.OutcomeEngine:   "cold",
+		service.OutcomeSemantic: "semantic",
+		service.OutcomeExact:    "exact",
+	}
+	p := func(ls []time.Duration, q float64) time.Duration {
+		if len(ls) == 0 {
+			return 0
+		}
+		s := slices.Clone(ls)
+		slices.Sort(s)
+		return s[int(q*float64(len(s)-1))]
+	}
+	for _, out := range []service.Outcome{service.OutcomeEngine, service.OutcomeSemantic, service.OutcomeExact} {
+		ls := lats[out]
+		mean := 0.0
+		for _, l := range ls {
+			mean += float64(l)
+		}
+		if len(ls) > 0 {
+			mean /= float64(len(ls))
+		}
+		report.Add(export.Result{
+			Name:       fmt.Sprintf("semantic/N=%d/%s", n, name[out]),
+			Kernel:     "flat",
+			N:          n,
+			Iterations: len(ls),
+			NsPerOp:    mean,
+			P50NsPerOp: float64(p(ls, 0.5)),
+			P95NsPerOp: float64(p(ls, 0.95)),
+		})
+		fmt.Printf("%-9s %6d queries  p50 %12v  p95 %12v\n", name[out]+":", len(ls), p(ls, 0.5), p(ls, 0.95))
+	}
+
+	coldP50, semP50 := p(lats[service.OutcomeEngine], 0.5), p(lats[service.OutcomeSemantic], 0.5)
+	if semP50 > 0 {
+		speedup := float64(coldP50) / float64(semP50)
+		report.Derive(fmt.Sprintf("semantic/speedup-cold-vs-semantic-p50/N=%d", n), speedup)
+		fmt.Printf("semantic-hit p50 speedup vs cold: %.1fx (acceptance: >= 5x)\n", speedup)
+	}
+	st := svc.Stats()
+	report.Derive(fmt.Sprintf("semantic/hits/N=%d", n), float64(st.Cache.SemanticHits))
+	report.Derive(fmt.Sprintf("semantic/exact-hits/N=%d", n), float64(st.Cache.Hits))
+	report.Derive(fmt.Sprintf("semantic/misses/N=%d", n), float64(st.Cache.Misses))
+	fmt.Printf("cache: %d exact hits, %d semantic hits, %d misses\n",
+		st.Cache.Hits, st.Cache.SemanticHits, st.Cache.Misses)
+	return nil
+}

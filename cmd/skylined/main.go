@@ -22,7 +22,13 @@
 //
 // Preferences use the library's string syntax ("Attr: a<b<*; Other: c<*").
 // Canonically equal preferences — e.g. a total order and its forced-last
-// prefix — share result-cache entries, so skewed traffic is served hot.
+// prefix — share result-cache entries, so skewed traffic is served hot. An
+// exact cache miss additionally probes the preference's refinement lattice:
+// if a strictly coarser preference's skyline is cached at the same store
+// version, Theorem 1 bounds the refined skyline by those candidates and the
+// flat kernel scans only them (response field "semantic": true;
+// -semantic-limit tunes the largest ancestor worth scanning). /v1/stats
+// reports hits, semanticHits and misses.
 //
 // Every engine kind accepts maintenance: datasets live in a versioned
 // columnar store, queries read atomically-swapped snapshots without ever
@@ -84,6 +90,7 @@ func run(args []string) error {
 		shards     = fs.Int("cache-shards", 16, "result cache shard count")
 		workers    = fs.Int("workers", 0, "max concurrent engine queries (0 = GOMAXPROCS)")
 		queryTO    = fs.Duration("query-timeout", 0, "per-query deadline for uncached queries (0 = none)")
+		semLimit   = fs.Int("semantic-limit", 0, "max cached coarser-skyline size the semantic cache path will scan (0 = default 4096, negative disables)")
 		demo       = fs.Bool("demo", false, "host the built-in flights demo dataset")
 		kernel     = fs.String("kernel", "flat", "scan kernel for sfsd/parallel engines: flat (columnar) or pointer")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty disables)")
@@ -107,10 +114,11 @@ func run(args []string) error {
 	}
 
 	svc := service.New(service.Options{
-		CacheCapacity: *cacheCap,
-		CacheShards:   *shards,
-		Workers:       *workers,
-		QueryTimeout:  *queryTO,
+		CacheCapacity:          *cacheCap,
+		CacheShards:            *shards,
+		Workers:                *workers,
+		QueryTimeout:           *queryTO,
+		SemanticCandidateLimit: *semLimit,
 	})
 	cfgFor := func(schema *data.Schema) (service.EngineConfig, error) {
 		tmpl, err := data.ParsePreference(schema, *tmplSpec)

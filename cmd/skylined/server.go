@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 
 	"prefsky/internal/data"
@@ -143,7 +144,10 @@ type queryResponse struct {
 	IDs        []data.PointID `json:"ids"`
 	Count      int            `json:"count"`
 	Cached     bool           `json:"cached"`
-	Points     []pointJSON    `json:"points,omitempty"`
+	// Semantic marks results derived from a cached coarser preference's
+	// skyline (the refinement-lattice path) rather than a full engine scan.
+	Semantic bool        `json:"semantic,omitempty"`
+	Points   []pointJSON `json:"points,omitempty"`
 }
 
 // parsePref resolves the dataset's schema and parses the preference string
@@ -173,7 +177,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// The request context rides the whole query path: a disconnected client
 	// releases its worker-pool slot and aborts partitioned scans early.
-	ids, cached, err := s.svc.Query(r.Context(), req.Dataset, pref)
+	ids, outcome, err := s.svc.Query(r.Context(), req.Dataset, pref)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -184,7 +188,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Canonical:  data.FormatPreference(schema, pref.Canonical()),
 		IDs:        ids,
 		Count:      len(ids),
-		Cached:     cached,
+		Cached:     outcome.CacheHit(),
+		Semantic:   outcome.Semantic(),
 	}
 	if req.IncludePoints {
 		resp.Points = make([]pointJSON, 0, len(ids))
@@ -231,6 +236,7 @@ type batchMember struct {
 	IDs        []data.PointID `json:"ids,omitempty"`
 	Count      int            `json:"count"`
 	Cached     bool           `json:"cached"`
+	Semantic   bool           `json:"semantic,omitempty"`
 	Error      string         `json:"error,omitempty"`
 }
 
@@ -287,7 +293,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		m.IDs = res.IDs
 		m.Count = len(res.IDs)
-		m.Cached = res.Cached
+		m.Cached = res.Outcome.CacheHit()
+		m.Semantic = res.Outcome.Semantic()
 	}
 	writeJSON(w, http.StatusOK, batchResponse{Dataset: req.Dataset, Results: members})
 }
@@ -326,6 +333,13 @@ func parsePoint(schema *data.Schema, in pointInput) (service.PointInput, error) 
 		v, ok := in.Numeric[a.Name]
 		if !ok {
 			return out, fmt.Errorf("missing numeric attribute %q", a.Name)
+		}
+		// Valid JSON cannot spell NaN/±Inf (no literals, and out-of-range
+		// numbers like 1e999 fail to decode), so over HTTP this is defense
+		// in depth; it guards other callers of parsePoint and names the
+		// offending attribute, which the store's own rejection does not.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return out, fmt.Errorf("non-finite value %v for numeric attribute %q", v, a.Name)
 		}
 		if a.HigherIsBetter {
 			v = -v

@@ -217,6 +217,14 @@ func (e *Engine) validate(pref *order.Preference) error {
 	return nil
 }
 
+// ValidatePreference reports the error Query would return for the
+// preference without running it: shape, cardinality and template-refinement
+// checks. Alternate serving paths (the service's semantic cache) consult it
+// so a rejected preference stays rejected regardless of cache warmth.
+func (e *Engine) ValidatePreference(pref *order.Preference) error {
+	return e.validate(pref)
+}
+
 // changedValues lists, per dimension, the values whose rank differs between
 // template and query. Only points carrying one of these need re-sorting; the
 // scores and pairwise relations of all other points are unchanged (see

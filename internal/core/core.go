@@ -94,6 +94,26 @@ func Maintainable(e Engine) Maintainer {
 	return nil
 }
 
+// PreferenceValidator is implemented by engines whose query path rejects
+// some preferences outright — a non-refinement of the template (SFS-A, the
+// hybrids) or an unmaterialized value under a top-K restricted tree (bare
+// IPO). ValidatePreference returns the error the engine's query path would
+// return for the preference, without serving it; nil means the engine
+// accepts it. Alternate serving paths (the service's semantic cache) consult
+// it so that whether a query errors never depends on cache warmth.
+type PreferenceValidator interface {
+	ValidatePreference(pref *order.Preference) error
+}
+
+// ValidatorOf returns the engine's preference-acceptance hook, or nil when
+// the engine accepts every well-formed preference (the scan engines).
+func ValidatorOf(e Engine) PreferenceValidator {
+	if v, ok := e.(PreferenceValidator); ok {
+		return v
+	}
+	return nil
+}
+
 // storeBacked is implemented by engines reading a versioned columnar store.
 type storeBacked interface{ Store() *flat.Store }
 
@@ -192,6 +212,15 @@ func (e *ipoEngine) SizeBytes() int { return e.vt.Load().Tree().SizeBytes() }
 // Tree exposes the current tree build.
 func (e *ipoEngine) Tree() *ipotree.Tree { return e.vt.Load().Tree() }
 
+// ValidatePreference replays the query contract against the current tree
+// build, exactly like the stale path: shape, template-refinement and top-K
+// materialization rejections must hold regardless of how a caller plans to
+// serve the result. Materialized walks the same nodes Query would without
+// evaluating the set algebra, so validating costs node hops, not a skyline.
+func (e *ipoEngine) ValidatePreference(pref *order.Preference) error {
+	return e.vt.Load().Tree().Materialized(pref)
+}
+
 // Store implements the store-backed introspection hook.
 func (e *ipoEngine) Store() *flat.Store { return e.store }
 
@@ -246,6 +275,9 @@ func (a *adaptiveEngine) Skyline(ctx context.Context, pref *order.Preference) ([
 func (a *adaptiveEngine) SizeBytes() int         { return a.e.SizeBytes() }
 func (a *adaptiveEngine) Store() *flat.Store     { return a.e.Store() }
 func (a *adaptiveEngine) Maintainer() Maintainer { return a.e }
+func (a *adaptiveEngine) ValidatePreference(pref *order.Preference) error {
+	return a.e.ValidatePreference(pref)
+}
 
 // Adaptive exposes the underlying engine (progressive iteration, stats).
 func (a *adaptiveEngine) Adaptive() *adaptive.Engine { return a.e }
@@ -363,6 +395,9 @@ func (h *hybridEngine) Skyline(ctx context.Context, pref *order.Preference) ([]d
 func (h *hybridEngine) SizeBytes() int         { return h.e.SizeBytes() }
 func (h *hybridEngine) Store() *flat.Store     { return h.e.Store() }
 func (h *hybridEngine) Maintainer() Maintainer { return h.e }
+func (h *hybridEngine) ValidatePreference(pref *order.Preference) error {
+	return h.e.ValidatePreference(pref)
+}
 
 // NewHybrid builds the §5.3 hybrid: a top-K IPO-tree with SFS-A fallback.
 func NewHybrid(ds *data.Dataset, template *order.Preference, treeOpts ipotree.Options) (Engine, error) {
@@ -431,6 +466,9 @@ func (p *parallelHybridEngine) Maintainer() Maintainer {
 		return st
 	}
 	return nil
+}
+func (p *parallelHybridEngine) ValidatePreference(pref *order.Preference) error {
+	return p.e.ValidatePreference(pref)
 }
 
 // NewParallelHybrid builds the hybrid whose unmaterialized-value fallback is
@@ -515,12 +553,12 @@ func NewByName(kind string, ds *data.Dataset, template *order.Preference, opts O
 
 // Interface conformance checks.
 var (
-	_ Engine     = (*ipoEngine)(nil)
-	_ Engine     = (*adaptiveEngine)(nil)
-	_ Engine     = (*SFSD)(nil)
-	_ Engine     = (*hybridEngine)(nil)
-	_ Engine     = (*parallelEngine)(nil)
-	_ Engine     = (*parallelHybridEngine)(nil)
+	_ Engine          = (*ipoEngine)(nil)
+	_ Engine          = (*adaptiveEngine)(nil)
+	_ Engine          = (*SFSD)(nil)
+	_ Engine          = (*hybridEngine)(nil)
+	_ Engine          = (*parallelEngine)(nil)
+	_ Engine          = (*parallelHybridEngine)(nil)
 	_ Maintainer      = (*flat.Store)(nil)
 	_ Maintainer      = (*adaptive.Engine)(nil)
 	_ Maintainer      = (*hybrid.Engine)(nil)

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/order"
+)
+
+// treeOracle computes the reference skyline for the engine's current
+// snapshot with a from-scratch flat scan.
+func treeOracle(t *testing.T, e Engine, pref *order.Preference) []data.PointID {
+	t.Helper()
+	snap := StoreOf(e).Snapshot()
+	cmp, err := dominance.NewComparator(snap.Schema(), pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := snap.Project(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proj.Skyline()
+}
+
+// TestVersionedTreeDeleteThenReinsert is the regression test for the
+// version-gated tree's stale path under delete-then-reinsert: a point whose
+// id slot in the build row space is re-occupied by a point with different
+// attribute values must never be served with the old attributes — neither by
+// the stale-tree fallback (which must scan the live snapshot) nor by the
+// compaction rebuild (whose build rows are dense-reindexed, so results are
+// only correct through the row→id remap).
+func TestVersionedTreeDeleteThenReinsert(t *testing.T) {
+	for _, kind := range []string{"ipo", "hybrid", "parallel-hybrid"} {
+		ds := data.Table1()
+		tmpl := ds.Schema().EmptyPreference()
+		eng, err := NewByName(kind, ds, tmpl, Options{CompactThreshold: -1})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		m := Maintainable(eng)
+		if m == nil {
+			t.Fatalf("%s: not maintainable", kind)
+		}
+		pref, err := data.ParsePreference(ds.Schema(), "Hotel-group: T<M<*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, err := eng.Skyline(context.Background(), pref)
+		if err != nil {
+			t.Fatalf("%s: tree-path query: %v", kind, err)
+		}
+		if want := treeOracle(t, eng, pref); !reflect.DeepEqual(before, want) {
+			t.Fatalf("%s: tree path %v, oracle %v", kind, before, want)
+		}
+
+		// Delete the strongest T hotel (id 0: 1600/4-star) and insert a
+		// different point — a terrible T hotel — while the tree is stale. The
+		// old attributes made id 0 a skyline point; the new point must not
+		// inherit that status, and id 0 must be gone.
+		if err := m.Delete(0); err != nil {
+			t.Fatalf("%s: delete: %v", kind, err)
+		}
+		newID, err := m.Insert([]float64{9000, -1}, []order.Value{0})
+		if err != nil {
+			t.Fatalf("%s: insert: %v", kind, err)
+		}
+		stale, err := eng.Skyline(context.Background(), pref)
+		if err != nil {
+			t.Fatalf("%s: stale-path query: %v", kind, err)
+		}
+		if want := treeOracle(t, eng, pref); !reflect.DeepEqual(stale, want) {
+			t.Fatalf("%s: stale fallback %v, oracle %v", kind, stale, want)
+		}
+		for _, id := range stale {
+			if id == 0 {
+				t.Fatalf("%s: stale fallback resurrected deleted point 0: %v", kind, stale)
+			}
+		}
+
+		// Compact: the tree rebuild hook runs against the compacted snapshot,
+		// whose build rows are dense (0..n-1) while the live ids now have a
+		// hole at 0 and a tail at newID — any unremapped build row would
+		// surface as a wrong id here.
+		StoreOf(eng).Compact()
+		rebuilt, err := eng.Skyline(context.Background(), pref)
+		if err != nil {
+			t.Fatalf("%s: post-compaction query: %v", kind, err)
+		}
+		if want := treeOracle(t, eng, pref); !reflect.DeepEqual(rebuilt, want) {
+			t.Fatalf("%s: rebuilt tree %v, oracle %v", kind, rebuilt, want)
+		}
+		for _, id := range rebuilt {
+			if id == 0 {
+				t.Fatalf("%s: rebuilt tree serves deleted id 0: %v", kind, rebuilt)
+			}
+		}
+		// The awful reinserted T flight must not ride the old point's slot
+		// into the skyline: 9000/1-star is dominated by every live T hotel.
+		for _, id := range rebuilt {
+			if id == newID {
+				t.Fatalf("%s: dominated reinsert %d appears in skyline %v", kind, newID, rebuilt)
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ package data
 
 import (
 	"fmt"
+	"math"
 
 	"prefsky/internal/order"
 )
@@ -136,6 +137,15 @@ func New(schema *Schema, points []Point) (*Dataset, error) {
 		if len(p.Nom) != schema.NomDims() {
 			return nil, fmt.Errorf("data: point %d has %d nominal values, schema has %d",
 				i, len(p.Nom), schema.NomDims())
+		}
+		for d, v := range p.Num {
+			// Non-finite numerics would silently corrupt the flat kernel's
+			// packed score presort (ScoreBits is a total order only over
+			// non-NaN values), so every ingestion path rejects them here.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("data: point %d: non-finite value %v for numeric attribute %q",
+					i, v, schema.Numeric[d].Name)
+			}
 		}
 		for d, v := range p.Nom {
 			if int(v) < 0 || int(v) >= schema.Nominal[d].Cardinality() {

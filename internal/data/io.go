@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -114,6 +115,14 @@ func ReadCSV(r io.Reader, schema *Schema) (*Dataset, error) {
 			v, err := strconv.ParseFloat(strings.TrimSpace(rec[c]), 64)
 			if err != nil {
 				return nil, fmt.Errorf("data: CSV line %d, column %q: %w", line, schema.Numeric[i].Name, err)
+			}
+			// strconv.ParseFloat accepts "NaN" and "±Inf", but the flat
+			// kernel's packed radix presort is a total order only over finite
+			// scores — a NaN row would silently corrupt every SFS scan. Reject
+			// non-finite numerics at load time.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("data: CSV line %d, column %q: non-finite value %q",
+					line, schema.Numeric[i].Name, strings.TrimSpace(rec[c]))
 			}
 			if schema.Numeric[i].HigherIsBetter {
 				v = -v

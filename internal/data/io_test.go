@@ -191,3 +191,31 @@ func TestFormatPreference(t *testing.T) {
 		t.Error("format/parse round trip changed preference")
 	}
 }
+
+// TestReadCSVRejectsNonFiniteNumerics: strconv.ParseFloat accepts "NaN" and
+// "±Inf" spellings, but a NaN row silently corrupts the flat kernel's packed
+// radix presort (ScoreBits is a total order only over non-NaN values), so the
+// loader must fail loudly at ingestion instead.
+func TestReadCSVRejectsNonFiniteNumerics(t *testing.T) {
+	s, err := ReadSchemaJSON(strings.NewReader(table1Schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"NaN", "nan", "Inf", "+Inf", "-Inf", "Infinity"} {
+		csv := "Price,Hotel-class,Hotel-group\n1600,4,T\n" + bad + ",2,M\n"
+		if _, err := ReadCSV(strings.NewReader(csv), s); err == nil {
+			t.Errorf("ReadCSV accepted non-finite numeric %q", bad)
+		} else if !strings.Contains(err.Error(), "line 3") {
+			t.Errorf("error %v does not name the offending line", err)
+		}
+	}
+	// Finite values in every spelling ParseFloat accepts still load.
+	csv := "Price,Hotel-class,Hotel-group\n1.6e3,4,T\n2400,1e0,M\n"
+	ds, err := ReadCSV(strings.NewReader(csv), s)
+	if err != nil {
+		t.Fatalf("finite CSV rejected: %v", err)
+	}
+	if ds.N() != 2 {
+		t.Fatalf("loaded %d points, want 2", ds.N())
+	}
+}

@@ -134,9 +134,14 @@ func (b *Block) SizeBytes() int {
 // When built from a Snapshot the row space is the snapshot's global
 // coordinates — base rows first, then the delta segment — and every scan the
 // projection runs skips tombstoned rows.
+//
+// When built from an explicit candidate subset (Snapshot.ProjectRows) the row
+// space is local: position i stands for global row rows[i], the rank and
+// score arrays cover only the subset, and every row is live by construction.
 type Projection struct {
 	b      *Block
 	snap   *Snapshot // non-nil when spanning base+delta
+	rows   []int32   // non-nil for subset projections: local → global row
 	n      int       // total rows (== b.n for plain blocks)
 	ranks  []int32   // n × nomDims, row-major
 	scores []float64 // f(p) per row
@@ -167,8 +172,12 @@ func (pr *Projection) N() int { return pr.n }
 // Block returns the projected base block.
 func (pr *Projection) Block() *Block { return pr.b }
 
-// numRow returns the numeric coordinates of a global row.
+// numRow returns the numeric coordinates of a row (local for subset
+// projections, global otherwise).
 func (pr *Projection) numRow(r int32) []float64 {
+	if pr.rows != nil {
+		r = pr.rows[r]
+	}
 	b := pr.b
 	m := b.numDims
 	if s := pr.snap; s != nil && int(r) >= b.n {
@@ -179,8 +188,12 @@ func (pr *Projection) numRow(r int32) []float64 {
 	return b.num[i : i+m]
 }
 
-// nomRow returns the stored nominal values of a global row.
+// nomRow returns the stored nominal values of a row (local for subset
+// projections, global otherwise).
 func (pr *Projection) nomRow(r int32) []order.Value {
+	if pr.rows != nil {
+		r = pr.rows[r]
+	}
 	b := pr.b
 	l := b.nomDims
 	if s := pr.snap; s != nil && int(r) >= b.n {
@@ -198,8 +211,11 @@ func (pr *Projection) Score(row int32) float64 { return pr.scores[row] }
 // mutate it.
 func (pr *Projection) Scores() []float64 { return pr.scores }
 
-// ID returns the point id stored at row.
+// ID returns the point id stored at row (local for subset projections).
 func (pr *Projection) ID(row int32) data.PointID {
+	if pr.rows != nil {
+		row = pr.rows[row]
+	}
 	if s := pr.snap; s != nil {
 		return s.ID(row)
 	}
@@ -301,10 +317,11 @@ type radixKey struct {
 }
 
 // liveRows returns the live rows of [lo, hi) in ascending order: all of them
-// for plain block projections, the non-tombstoned ones for snapshots.
+// for plain block and subset projections (subset rows are live by
+// construction), the non-tombstoned ones for dense snapshot projections.
 func (pr *Projection) liveRows(lo, hi int) []int32 {
 	out := make([]int32, 0, hi-lo)
-	if s := pr.snap; s != nil && s.deadN > 0 {
+	if s := pr.snap; s != nil && s.deadN > 0 && pr.rows == nil {
 		for row := lo; row < hi; row++ {
 			if !s.dead.Contains(row) {
 				out = append(out, int32(row))
@@ -322,7 +339,13 @@ func (pr *Projection) liveRows(lo, hi int) []int32 {
 // SFS presort (§4.1) over the precomputed score array, with tombstoned rows
 // excluded.
 func (pr *Projection) SortedRows(lo, hi int) []int32 {
-	rows := pr.liveRows(lo, hi)
+	return pr.sortByScore(pr.liveRows(lo, hi))
+}
+
+// sortByScore orders the given rows ascending by (score bits, row), sorting
+// the slice in place and returning it: the packed-key presort shared by the
+// range scans and the candidate-subset scan.
+func (pr *Projection) sortByScore(rows []int32) []int32 {
 	n := len(rows)
 	if n == 0 {
 		return rows
@@ -443,7 +466,12 @@ func (pr *Projection) SkylineRange(lo, hi int) []int32 {
 // implies f(p) < f(q) — holding for the *floating-point* score sum; see the
 // strictness note in DESIGN.md and the pinned limitation test.
 func (pr *Projection) SkylineRangeCtx(ctx context.Context, lo, hi int) ([]int32, error) {
-	rows := pr.SortedRows(lo, hi)
+	return pr.scanRows(ctx, pr.SortedRows(lo, hi))
+}
+
+// scanRows runs the SFS filter over rows already presorted by (score, row):
+// the single scan loop behind SkylineRangeCtx and SkylineOf.
+func (pr *Projection) scanRows(ctx context.Context, rows []int32) ([]int32, error) {
 	accepted := make([]int32, 0, 64)
 	for c, r := range rows {
 		if c&63 == 0 {
@@ -463,6 +491,29 @@ func (pr *Projection) SkylineRangeCtx(ctx context.Context, lo, hi int) ([]int32,
 		}
 	}
 	return accepted, nil
+}
+
+// SkylineOf computes the skyline of an explicit candidate row subset of an
+// already-built projection: only the listed rows are presorted and scanned,
+// so the scan cost is O(C log C + C·S) for C candidates instead of touching
+// all N rows. It shares sortByScore and scanRows with the range kernels —
+// the semantic result cache's hot path avoids even the dense projection by
+// pairing the same sort and scan with Snapshot.ProjectRows instead. Rows are
+// local to the projection; tombstoned rows in the input are skipped, the
+// input slice is not modified, and the result comes back in ascending
+// (score, row) order like SkylineRange.
+func (pr *Projection) SkylineOf(ctx context.Context, rows []int32) ([]int32, error) {
+	live := make([]int32, 0, len(rows))
+	if s := pr.snap; s != nil && s.deadN > 0 && pr.rows == nil {
+		for _, r := range rows {
+			if !s.dead.Contains(int(r)) {
+				live = append(live, r)
+			}
+		}
+	} else {
+		live = append(live, rows...)
+	}
+	return pr.scanRows(ctx, pr.sortByScore(live))
 }
 
 // IDs maps scan rows to their point ids in canonical ascending order: the

@@ -197,6 +197,51 @@ func (s *Snapshot) Project(cmp *dominance.Comparator) (*Projection, error) {
 	return pr, nil
 }
 
+// ProjectRows ranks and scores only the given live global rows — the
+// candidate-restricted projection of the semantic result cache: O(C·(m+l))
+// for a candidate set of C rows instead of the full O(N·(m+l)) pass. Local
+// position i of the returned projection stands for global row rows[i];
+// Dominates, Score, SortedRows and the skyline scans all operate in that
+// local space and map back to point ids through ID/IDs. Every row must be in
+// range and live (not tombstoned); the input slice is copied, not retained.
+func (s *Snapshot) ProjectRows(cmp *dominance.Comparator, rows []int32) (*Projection, error) {
+	b := s.base
+	tabs := cmp.RankTables()
+	if len(tabs) != b.nomDims {
+		return nil, fmt.Errorf("flat: comparator has %d nominal dimensions, snapshot has %d",
+			len(tabs), b.nomDims)
+	}
+	l := b.nomDims
+	pr := &Projection{
+		b:      b,
+		snap:   s,
+		rows:   slices.Clone(rows),
+		n:      len(rows),
+		ranks:  make([]int32, len(rows)*l),
+		scores: make([]float64, len(rows)),
+	}
+	for i, r := range pr.rows {
+		if int(r) < 0 || int(r) >= s.Rows() {
+			return nil, fmt.Errorf("flat: candidate row %d outside [0,%d)", r, s.Rows())
+		}
+		if s.deadRow(int(r)) {
+			return nil, fmt.Errorf("flat: candidate row %d is tombstoned", r)
+		}
+		sum := 0.0
+		for _, v := range pr.numRow(int32(i)) {
+			sum += v
+		}
+		nom := pr.nomRow(int32(i))
+		for d := 0; d < l; d++ {
+			rk := tabs[d][nom[d]]
+			pr.ranks[i*l+d] = rk
+			sum += float64(rk)
+		}
+		pr.scores[i] = sum
+	}
+	return pr, nil
+}
+
 // projectInto ranks and scores n rows of one segment, writing results at the
 // global row offset. Tombstoned rows are ranked too (branchless inner loop);
 // their entries are never read because every scan filters dead rows.

@@ -2,6 +2,7 @@ package flat
 
 import (
 	"fmt"
+	"math"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -117,6 +118,15 @@ func (st *Store) OnCompact(f func(*Snapshot)) {
 func (st *Store) validate(num []float64, nom []order.Value) error {
 	if len(num) != st.schema.NumDims() {
 		return fmt.Errorf("flat: %d numeric values, schema has %d", len(num), st.schema.NumDims())
+	}
+	for d, v := range num {
+		// NaN breaks the packed presort (ScoreBits is a total order only over
+		// non-NaN values) and infinities poison the §4.2 score sums, so
+		// non-finite numerics are rejected at ingestion rather than silently
+		// corrupting every later SFS scan.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("flat: non-finite value %v for numeric attribute %q", v, st.schema.Numeric[d].Name)
+		}
 	}
 	if len(nom) != st.schema.NomDims() {
 		return fmt.Errorf("flat: %d nominal values, schema has %d", len(nom), st.schema.NomDims())

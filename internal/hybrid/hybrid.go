@@ -96,6 +96,15 @@ func (e *Engine) Query(pref *order.Preference) ([]data.PointID, error) {
 	return e.sfsa.Query(pref)
 }
 
+// ValidatePreference reports the error Query would return for the
+// preference without running it. The hybrid rejects what both halves reject:
+// shape and template-refinement failures (the tree's Validate; the SFS-A
+// fallback applies the same checks), while unmaterialized values are
+// accepted — they fall back to SFS-A.
+func (e *Engine) ValidatePreference(pref *order.Preference) error {
+	return e.vt.Load().Tree().Validate(pref)
+}
+
 // Insert adds a point through the adaptive half (which writes the shared
 // store); the tree goes stale and every query falls back until compaction
 // rebuilds it.

@@ -412,3 +412,45 @@ func TestParallelBuildMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+// TestMaterializedMatchesQueryContract: Materialized must accept exactly the
+// preferences Query accepts, with matching error classes — it is the cheap
+// validation the service's semantic cache relies on, so any divergence would
+// let a rejected query flip to success (or vice versa) with cache warmth.
+func TestMaterializedMatchesQueryContract(t *testing.T) {
+	ds := data.Table3()
+	rng := rand.New(rand.NewSource(11))
+	trees := []*Tree{
+		buildTable3(t, Options{}),
+		buildTable3(t, Options{TopK: 2}),
+		buildTable3(t, Options{TopK: 1}),
+		buildTable3(t, Options{Values: [][]order.Value{{0}, {0, 1}}}),
+		buildTable3(t, Options{TopK: 2, UseBitmap: true}),
+	}
+	cards := ds.Schema().Cardinalities()
+	for trial := 0; trial < 300; trial++ {
+		dims := make([]*order.Implicit, len(cards))
+		for d, card := range cards {
+			x := rng.Intn(card + 1)
+			entries := make([]order.Value, x)
+			for i, v := range rng.Perm(card)[:x] {
+				entries[i] = order.Value(v)
+			}
+			dims[d] = order.MustImplicit(card, entries...)
+		}
+		pref := order.MustPreference(dims...)
+		for ti, tree := range trees {
+			_, qErr := tree.Query(pref)
+			mErr := tree.Materialized(pref)
+			if (qErr == nil) != (mErr == nil) {
+				t.Fatalf("tree %d pref %v: Query err %v, Materialized err %v", ti, pref, qErr, mErr)
+			}
+			if qErr != nil {
+				if errors.Is(qErr, ErrNotMaterialized) != errors.Is(mErr, ErrNotMaterialized) ||
+					errors.Is(qErr, ErrNotRefinement) != errors.Is(mErr, ErrNotRefinement) {
+					t.Fatalf("tree %d pref %v: error classes diverge: %v vs %v", ti, pref, qErr, mErr)
+				}
+			}
+		}
+	}
+}

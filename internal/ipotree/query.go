@@ -69,6 +69,41 @@ func (t *Tree) query(d int, pref *order.Preference, n *node, s []int32) ([]int32
 	return x, nil
 }
 
+// Materialized reports the error Query would return for the preference
+// without evaluating any set algebra: validate (shape, cardinalities,
+// template refinement) followed by the same depth-first traversal Query
+// performs, checking only that every visited node exists. Callers that need
+// the acceptance contract but not the answer — the service's semantic-cache
+// validation — use it to avoid paying for a full query.
+func (t *Tree) Materialized(pref *order.Preference) error {
+	if err := t.validate(pref); err != nil {
+		return err
+	}
+	return t.materialized(0, pref, t.root)
+}
+
+// materialized mirrors query/accumulate/queryBits traversal order, so the
+// first missing node reported is identical to the error the evaluators raise.
+func (t *Tree) materialized(d int, pref *order.Preference, n *node) error {
+	if d == len(t.cards) {
+		return nil
+	}
+	entries := pref.Dim(d).Entries()
+	if len(entries) == 0 {
+		return t.materialized(d+1, pref, n.phi)
+	}
+	for _, v := range entries {
+		child := n.children[v]
+		if child == nil {
+			return fmt.Errorf("%w: dimension %d value %d", ErrNotMaterialized, d, v)
+		}
+		if err := t.materialized(d+1, pref, child); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // filterByValues returns the positions in x whose dimension-d value is in vals.
 func (t *Tree) filterByValues(x []int32, d int, vals []order.Value) []int32 {
 	in := make([]bool, t.cards[d])

@@ -1,6 +1,7 @@
 package order
 
 import (
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -21,11 +22,32 @@ func (ip *Implicit) Canonical() *Implicit {
 
 // appendKey writes a compact, unambiguous encoding of the canonical form:
 // the domain cardinality, then the listed values in order.
+//
+// Collision audit: the encoding never contains value *names* — only dense
+// integer value ids — so a domain value spelled "a|b" or "1,2" cannot inject
+// the dimension separator. Each dimension's segment matches
+// `\d+:(\d+(,\d+)*)?` exactly, which contains no '|', so splitting the joined
+// key on '|' recovers the segments unambiguously and each segment decodes to
+// exactly one (cardinality, entry list) pair. The fuzz test FuzzCacheKey
+// pins the resulting property: key equality ⇔ canonical equality.
 func (ip *Implicit) appendKey(b *strings.Builder) {
+	ip.appendKeyPrefix(b, -1)
+}
+
+// appendKeyPrefix writes the key of the length-n prefix of ip's canonical
+// form (n < 0 means the whole canonical entry list). A prefix of a canonical
+// entry list is itself canonical — it lists strictly fewer than the domain
+// cardinality values — so the written key equals what Canonical().CacheKey()
+// of that coarser preference would produce.
+func (ip *Implicit) appendKeyPrefix(b *strings.Builder, n int) {
 	c := ip.Canonical()
+	entries := c.entries
+	if n >= 0 && n < len(entries) {
+		entries = entries[:n]
+	}
 	b.WriteString(strconv.Itoa(c.card))
 	b.WriteByte(':')
-	for i, v := range c.entries {
+	for i, v := range entries {
 		if i > 0 {
 			b.WriteByte(',')
 		}
@@ -69,6 +91,98 @@ func (p *Preference) CacheKey() string {
 			b.WriteByte('|')
 		}
 		d.appendKey(&b)
+	}
+	return b.String()
+}
+
+// DefaultCoarserLimit bounds CoarserKeys enumeration when the caller passes
+// limit <= 0.
+const DefaultCoarserLimit = 32
+
+// CoarserKeys enumerates the cache keys of the strictly coarser preferences
+// in p's refinement lattice. An implicit preference refines exactly the
+// preferences listing a prefix of its (canonical) entry list, so the
+// dimension-wise lattice ancestors of a preference are every combination of
+// per-dimension prefixes of the canonical form, excluding the preference
+// itself. Keys come out nearest-first — descending total retained entries —
+// so a caller probing a result cache finds the most refined (and by
+// Theorem 1 the smallest) cached ancestor skyline first. Ties within a level
+// break deterministically. At most limit keys are returned (limit <= 0 means
+// DefaultCoarserLimit); the order-0 preference has no ancestors and returns
+// nil.
+func (p *Preference) CoarserKeys(limit int) []string {
+	if limit <= 0 {
+		limit = DefaultCoarserLimit
+	}
+	c := p.Canonical()
+	full := make([]int, len(c.dims))
+	total := 0
+	for i, d := range c.dims {
+		full[i] = d.Order()
+		total += full[i]
+	}
+	if total == 0 {
+		return nil
+	}
+	// Level-order walk down the lattice: each step trims one listed value
+	// from one dimension, so level k holds exactly the ancestors retaining
+	// total−k entries and the walk emits keys nearest-first. Duplicate
+	// tuples reached through different trim orders are deduped per level.
+	keys := make([]string, 0, min(limit, total))
+	seen := map[string]bool{}
+	frontier := [][]int{full}
+	for len(frontier) > 0 && len(keys) < limit {
+		var next [][]int
+		for _, cur := range frontier {
+			for i := range cur {
+				if cur[i] == 0 {
+					continue
+				}
+				child := slices.Clone(cur)
+				child[i]--
+				id := tupleID(child)
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				next = append(next, child)
+			}
+		}
+		// Deterministic within-level order: lexicographically descending, so
+		// earlier dimensions keep their refinement longest.
+		slices.SortFunc(next, func(a, b []int) int { return slices.Compare(b, a) })
+		for _, lens := range next {
+			if len(keys) >= limit {
+				break
+			}
+			keys = append(keys, c.prefixKey(lens))
+		}
+		frontier = next
+	}
+	return keys
+}
+
+// prefixKey renders the cache key of the ancestor retaining lens[i] entries
+// on dimension i of the canonical form.
+func (p *Preference) prefixKey(lens []int) string {
+	var b strings.Builder
+	for i, d := range p.dims {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		d.appendKeyPrefix(&b, lens[i])
+	}
+	return b.String()
+}
+
+// tupleID encodes a prefix-length tuple for per-level dedup.
+func tupleID(lens []int) string {
+	var b strings.Builder
+	for i, n := range lens {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(n))
 	}
 	return b.String()
 }

@@ -3,11 +3,11 @@ package order
 import "testing"
 
 func TestImplicitCanonical(t *testing.T) {
-	full := MustImplicit(3, 0, 1, 2)    // a<b<c: total order
-	trimmed := MustImplicit(3, 0, 1)   // a<b<*: same relations
-	partial := MustImplicit(3, 2)      // c<*
-	empty := MustImplicit(3)           // *
-	one := MustImplicit(1, Value(0))   // sole value listed
+	full := MustImplicit(3, 0, 1, 2) // a<b<c: total order
+	trimmed := MustImplicit(3, 0, 1) // a<b<*: same relations
+	partial := MustImplicit(3, 2)    // c<*
+	empty := MustImplicit(3)         // *
+	one := MustImplicit(1, Value(0)) // sole value listed
 	oneEmpty := MustImplicit(1)
 
 	if got := full.Canonical(); !got.Equal(trimmed) {

@@ -37,6 +37,72 @@ func FuzzParseImplicit(f *testing.F) {
 	})
 }
 
+// FuzzCacheKey pins the result-cache keying contract: two preferences share
+// a cache key if and only if their canonical forms are equal. Both sides of
+// the equivalence matter — a collision between inequivalent preferences would
+// serve one user another user's skyline, and distinct keys for equivalent
+// spellings would waste cache entries. The fuzzer decodes two multi-dimension
+// preferences from the same byte stream (so they frequently coincide, differ
+// by one entry, or differ only in the x=k vs x=k−1 boundary spelling) and
+// checks the biconditional.
+func FuzzCacheKey(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 255, 3, 0, 1, 2}, []byte{3, 0, 1, 2, 255, 3, 0, 1})
+	f.Add([]byte{4, 2, 0}, []byte{4, 2, 0, 1})
+	f.Add([]byte{2, 0, 255, 3, 1}, []byte{2, 0, 255, 3, 1, 0})
+	f.Add([]byte{}, []byte{5})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		a := decodePreference(rawA)
+		b := decodePreference(rawB)
+		if a == nil || b == nil {
+			return
+		}
+		sameKey := a.CacheKey() == b.CacheKey()
+		sameCanon := a.Canonical().Equal(b.Canonical())
+		if sameKey != sameCanon {
+			t.Fatalf("key equality %v but canonical equality %v:\n%v -> %q\n%v -> %q",
+				sameKey, sameCanon, a, a.CacheKey(), b, b.CacheKey())
+		}
+	})
+}
+
+// decodePreference interprets a byte stream as dimensions separated by 255:
+// each dimension is a cardinality byte followed by entry values. Undecodable
+// streams return nil.
+func decodePreference(raw []byte) *Preference {
+	if len(raw) == 0 || len(raw) > 48 {
+		return nil
+	}
+	var dims []*Implicit
+	for len(raw) > 0 {
+		card := int(raw[0])
+		raw = raw[1:]
+		if card == 0 || card > 16 {
+			return nil
+		}
+		var entries []Value
+		for len(raw) > 0 && raw[0] != 255 {
+			entries = append(entries, Value(raw[0]))
+			raw = raw[1:]
+		}
+		if len(raw) > 0 {
+			raw = raw[1:] // consume the separator
+		}
+		ip, err := NewImplicit(card, entries...)
+		if err != nil {
+			return nil
+		}
+		dims = append(dims, ip)
+		if len(dims) > 4 {
+			return nil
+		}
+	}
+	p, err := NewPreference(dims...)
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
 // FuzzImplicitConstruction checks invariants of NewImplicit over arbitrary
 // entry lists.
 func FuzzImplicitConstruction(f *testing.F) {

@@ -1,0 +1,174 @@
+package order
+
+import (
+	"math/rand"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// enumerateImplicits yields every implicit preference over a domain of the
+// given cardinality (all ordered entry subsets).
+func enumerateImplicits(card int) []*Implicit {
+	var out []*Implicit
+	var walk func(entries []Value)
+	walk = func(entries []Value) {
+		ip, err := NewImplicit(card, entries...)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, ip)
+		if len(entries) == card {
+			return
+		}
+		for v := Value(0); int(v) < card; v++ {
+			if slices.Contains(entries, v) {
+				continue
+			}
+			walk(append(entries, v))
+		}
+	}
+	walk(nil)
+	return out
+}
+
+// totalEntries counts the canonical listed entries of a preference.
+func totalEntries(p *Preference) int {
+	n := 0
+	c := p.Canonical()
+	for i := 0; i < c.NomDims(); i++ {
+		n += c.Dim(i).Order()
+	}
+	return n
+}
+
+// TestCoarserKeysCompleteAndSound checks, exhaustively over small domains,
+// that CoarserKeys enumerates exactly the strictly coarser preferences:
+// every enumerated key is the CacheKey of a preference p refines (soundness),
+// and every preference p strictly refines appears (completeness).
+func TestCoarserKeysCompleteAndSound(t *testing.T) {
+	for _, cards := range [][]int{{3}, {4}, {3, 3}, {2, 4}} {
+		perDim := make([][]*Implicit, len(cards))
+		for i, c := range cards {
+			perDim[i] = enumerateImplicits(c)
+		}
+		var prefs []*Preference
+		var build func(dims []*Implicit, i int)
+		build = func(dims []*Implicit, i int) {
+			if i == len(cards) {
+				prefs = append(prefs, MustPreference(dims...))
+				return
+			}
+			for _, ip := range perDim[i] {
+				build(append(dims, ip), i+1)
+			}
+		}
+		build(nil, 0)
+
+		byKey := make(map[string]*Preference, len(prefs))
+		for _, p := range prefs {
+			byKey[p.CacheKey()] = p
+		}
+		for _, p := range prefs {
+			keys := p.CoarserKeys(1 << 16)
+			got := make(map[string]bool, len(keys))
+			for _, k := range keys {
+				if got[k] {
+					t.Fatalf("cards %v, pref %v: duplicate coarser key %q", cards, p, k)
+				}
+				got[k] = true
+				q, ok := byKey[k]
+				if !ok {
+					t.Fatalf("cards %v, pref %v: key %q names no enumerable preference", cards, p, k)
+				}
+				if !p.Refines(q) {
+					t.Fatalf("cards %v, pref %v: does not refine coarser candidate %v", cards, p, q)
+				}
+				if q.Canonical().Equal(p.Canonical()) {
+					t.Fatalf("cards %v, pref %v: CoarserKeys returned the preference itself", cards, p)
+				}
+			}
+			// Completeness: every strictly coarser q must be enumerated.
+			for _, q := range prefs {
+				if !p.Refines(q) || q.Canonical().Equal(p.Canonical()) {
+					continue
+				}
+				if !got[q.CacheKey()] {
+					t.Fatalf("cards %v, pref %v: missing strictly coarser %v (key %q)", cards, p, q, q.CacheKey())
+				}
+			}
+		}
+	}
+}
+
+// TestCoarserKeysNearestFirst checks the ordering contract: keys come out in
+// non-increasing total-retained-entries order, and a limit truncates from the
+// far (coarse) end.
+func TestCoarserKeysNearestFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		dims := make([]*Implicit, 1+rng.Intn(3))
+		for i := range dims {
+			card := 3 + rng.Intn(3)
+			x := rng.Intn(card + 1)
+			entries := make([]Value, x)
+			for j, v := range rng.Perm(card)[:x] {
+				entries[j] = Value(v)
+			}
+			dims[i] = MustImplicit(card, entries...)
+		}
+		p := MustPreference(dims...)
+		keys := p.CoarserKeys(1 << 16)
+		prev := totalEntries(p)
+		for _, k := range keys {
+			n := keyEntryCount(k)
+			if n > prev {
+				t.Fatalf("pref %v: key %q (total %d) after total %d — not nearest-first", p, k, n, prev)
+			}
+			if n >= totalEntries(p) {
+				t.Fatalf("pref %v: key %q is not strictly coarser", p, k)
+			}
+			prev = n
+		}
+		if lim := 3; len(keys) > lim {
+			if !slices.Equal(p.CoarserKeys(lim), keys[:lim]) {
+				t.Fatalf("pref %v: limited enumeration is not a prefix of the full one", p)
+			}
+		}
+	}
+}
+
+// keyEntryCount counts the listed entries encoded in a cache key.
+func keyEntryCount(key string) int {
+	n := 0
+	for _, seg := range strings.Split(key, "|") {
+		_, list, _ := strings.Cut(seg, ":")
+		if list == "" {
+			continue
+		}
+		n += strings.Count(list, ",") + 1
+	}
+	return n
+}
+
+// TestCoarserKeysEmptyPreference: the order-0 preference has no ancestors.
+func TestCoarserKeysEmptyPreference(t *testing.T) {
+	p, err := EmptyPreference(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys := p.CoarserKeys(0); keys != nil {
+		t.Fatalf("empty preference has coarser keys %v", keys)
+	}
+}
+
+// TestCoarserKeysCanonicalBoundary: a total order and its forced-last prefix
+// enumerate identical ancestors (the x=k vs x=k−1 equivalence).
+func TestCoarserKeysCanonicalBoundary(t *testing.T) {
+	full := MustPreference(MustImplicit(3, 0, 1, 2))
+	prefix := MustPreference(MustImplicit(3, 0, 1))
+	if !slices.Equal(full.CoarserKeys(0), prefix.CoarserKeys(0)) {
+		t.Fatalf("total order %v and forced-last prefix %v enumerate different ancestors:\n%v\n%v",
+			full, prefix, full.CoarserKeys(0), prefix.CoarserKeys(0))
+	}
+}

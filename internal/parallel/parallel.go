@@ -526,6 +526,14 @@ func (h *Hybrid) Skyline(ctx context.Context, pref *order.Preference) ([]data.Po
 	return h.par.Skyline(ctx, pref)
 }
 
+// ValidatePreference reports the error Skyline would return for the
+// preference without running it: the tree's shape and template-refinement
+// checks (the same gate the stale path applies), with unmaterialized values
+// accepted — they fall back to the partitioned scan.
+func (h *Hybrid) ValidatePreference(pref *order.Preference) error {
+	return h.vt.Load().Tree().Validate(pref)
+}
+
 // Store returns the versioned store both halves read (nil on the pointer
 // kernel).
 func (h *Hybrid) Store() *flat.Store { return h.par.Store() }

@@ -40,7 +40,7 @@ func cancelFixture(t *testing.T, kind string) (*Registry, *order.Preference) {
 // pool, so the slot stays available for live requests.
 func TestCancellationReleasesWorkerSlot(t *testing.T) {
 	reg, pref := cancelFixture(t, "parallel-sfs")
-	x := NewExecutor(reg, NewCache(0, 1), 1, 0)
+	x := NewExecutor(reg, NewCache(0, 1), 1, 0, 0)
 
 	// Occupy the executor's only worker slot, simulating a long in-flight
 	// engine query.
@@ -66,12 +66,12 @@ func TestCancellationReleasesWorkerSlot(t *testing.T) {
 	// The canceled query must not have consumed the slot: release the manual
 	// hold and a live query must run to completion.
 	<-x.sem
-	ids, cached, err := x.Query(context.Background(), "d", pref)
+	ids, outcome, err := x.Query(context.Background(), "d", pref)
 	if err != nil {
 		t.Fatalf("live query after cancellation: %v", err)
 	}
-	if cached || len(ids) == 0 {
-		t.Fatalf("live query: cached=%v ids=%d", cached, len(ids))
+	if outcome != OutcomeEngine || len(ids) == 0 {
+		t.Fatalf("live query: outcome=%v ids=%d", outcome, len(ids))
 	}
 }
 
@@ -80,7 +80,7 @@ func TestCancellationReleasesWorkerSlot(t *testing.T) {
 // waiting forever.
 func TestQueryTimeoutWhileQueued(t *testing.T) {
 	reg, pref := cancelFixture(t, "sfsd")
-	x := NewExecutor(reg, NewCache(0, 1), 1, 10*time.Millisecond)
+	x := NewExecutor(reg, NewCache(0, 1), 1, 10*time.Millisecond, 0)
 	x.sem <- struct{}{} // saturate the pool
 	start := time.Now()
 	_, _, err := x.Query(context.Background(), "d", pref)
@@ -102,16 +102,16 @@ func TestQueryTimeoutWhileQueued(t *testing.T) {
 // expired budget elsewhere).
 func TestCacheHitsBypassCancellation(t *testing.T) {
 	reg, pref := cancelFixture(t, "sfsd")
-	x := NewExecutor(reg, NewCache(16, 1), 1, 0)
-	ids, cached, err := x.Query(context.Background(), "d", pref)
-	if err != nil || cached {
-		t.Fatalf("warmup: cached=%v err=%v", cached, err)
+	x := NewExecutor(reg, NewCache(16, 1), 1, 0, 0)
+	ids, outcome, err := x.Query(context.Background(), "d", pref)
+	if err != nil || outcome != OutcomeEngine {
+		t.Fatalf("warmup: outcome=%v err=%v", outcome, err)
 	}
 	x.sem <- struct{}{} // saturate the pool
 	defer func() { <-x.sem }()
-	got, cached, err := x.Query(context.Background(), "d", pref)
-	if err != nil || !cached {
-		t.Fatalf("hot query under saturation: cached=%v err=%v", cached, err)
+	got, outcome, err := x.Query(context.Background(), "d", pref)
+	if err != nil || !outcome.CacheHit() {
+		t.Fatalf("hot query under saturation: outcome=%v err=%v", outcome, err)
 	}
 	if len(got) != len(ids) {
 		t.Fatalf("hot result %d ids, want %d", len(got), len(ids))
@@ -122,7 +122,7 @@ func TestCacheHitsBypassCancellation(t *testing.T) {
 // batch, positionally.
 func TestBatchCancellation(t *testing.T) {
 	reg, pref := cancelFixture(t, "sfsd")
-	x := NewExecutor(reg, NewCache(0, 1), 1, 0)
+	x := NewExecutor(reg, NewCache(0, 1), 1, 0, 0)
 	x.sem <- struct{}{} // saturate the pool so every member queues
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

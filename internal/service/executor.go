@@ -12,17 +12,57 @@ import (
 	"prefsky/internal/order"
 )
 
+// Outcome classifies how a query was served.
+type Outcome int8
+
+const (
+	// OutcomeEngine: a full engine execution (cold scan or tree query).
+	OutcomeEngine Outcome = iota
+	// OutcomeExact: served straight from the result cache.
+	OutcomeExact
+	// OutcomeSemantic: an exact-key miss answered from the refinement
+	// lattice — a strictly coarser preference's skyline was cached at the
+	// same store state, so by Theorem 1 the flat kernel ran over those few
+	// candidate rows instead of the whole dataset.
+	OutcomeSemantic
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeExact:
+		return "exact"
+	case OutcomeSemantic:
+		return "semantic"
+	default:
+		return "engine"
+	}
+}
+
+// CacheHit reports whether the result came straight from the cache, with no
+// scan at all.
+func (o Outcome) CacheHit() bool { return o == OutcomeExact }
+
+// Semantic reports whether the result was derived from a cached coarser
+// skyline.
+func (o Outcome) Semantic() bool { return o == OutcomeSemantic }
+
+// DefaultSemanticCandidateLimit caps the size of a cached coarser skyline the
+// semantic path will scan when the configuration leaves the limit 0.
+const DefaultSemanticCandidateLimit = 4096
+
 // QueryResult is one outcome of a batch execution.
 type QueryResult struct {
-	IDs    []data.PointID
-	Cached bool
-	Err    error
+	IDs     []data.PointID
+	Outcome Outcome
+	Err     error
 }
 
 // Executor runs queries through the result cache with a bounded worker pool:
 // at most workers engine queries execute at once, so a traffic burst degrades
 // to queueing instead of unbounded goroutine and CPU pressure. Cache lookups
 // do not consume a worker slot — hits return immediately even under load.
+// Neither do semantic (lattice) hits: bounded by the candidate limit, the
+// candidate-restricted scan is closer to a cache hit than an engine query.
 //
 // Every query is context-bound: a caller whose context is canceled while
 // queued for a worker slot leaves the queue immediately (a disconnected HTTP
@@ -30,10 +70,11 @@ type QueryResult struct {
 // partitioned scans abort between blocks. A non-zero timeout additionally
 // deadline-bounds each query from the moment it misses the cache.
 type Executor struct {
-	reg     *Registry
-	cache   *Cache
-	sem     chan struct{}
-	timeout time.Duration
+	reg      *Registry
+	cache    *Cache
+	sem      chan struct{}
+	timeout  time.Duration
+	semLimit int // max candidate rows for the semantic path; < 0 disables
 
 	queries atomic.Uint64
 	batches atomic.Uint64
@@ -41,11 +82,17 @@ type Executor struct {
 
 // NewExecutor builds an executor over the registry and cache. workers <= 0
 // defaults to GOMAXPROCS; timeout <= 0 means no per-query deadline.
-func NewExecutor(reg *Registry, cache *Cache, workers int, timeout time.Duration) *Executor {
+// semanticLimit caps how large a cached coarser skyline the semantic path
+// will scan: 0 means DefaultSemanticCandidateLimit, negative disables the
+// semantic path entirely.
+func NewExecutor(reg *Registry, cache *Cache, workers int, timeout time.Duration, semanticLimit int) *Executor {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Executor{reg: reg, cache: cache, sem: make(chan struct{}, workers), timeout: timeout}
+	if semanticLimit == 0 {
+		semanticLimit = DefaultSemanticCandidateLimit
+	}
+	return &Executor{reg: reg, cache: cache, sem: make(chan struct{}, workers), timeout: timeout, semLimit: semanticLimit}
 }
 
 // Workers returns the pool bound.
@@ -55,25 +102,30 @@ func (x *Executor) Workers() int { return cap(x.sem) }
 func (x *Executor) Timeout() time.Duration { return x.timeout }
 
 // cacheKey names a result: dataset, its registration + maintenance state,
-// and the preference up to canonical equivalence. Embedding the state means
-// a racing Put after maintenance (or after a remove/re-add cycle) lands
-// under a dead key instead of poisoning the new state; InvalidateDataset is
-// then only storage reclamation.
-func cacheKey(dataset, state string, pref *order.Preference) string {
-	return fmt.Sprintf("%s\x1f%s\x1f%s", dataset, state, pref.CacheKey())
+// and the preference up to canonical equivalence (prefKey is
+// order.Preference.CacheKey of the canonical form). The dataset name — the
+// only free-text component — is length-prefixed, so a name containing the
+// separator byte cannot make two distinct (dataset, state, preference)
+// triples encode the same key; state ("epoch.version") and the preference
+// key are separator-free by construction. Embedding the state means a racing
+// Put after maintenance (or after a remove/re-add cycle) lands under a dead
+// key instead of poisoning the new state.
+func cacheKey(dataset, state, prefKey string) string {
+	return fmt.Sprintf("%d\x1f%s\x1f%s\x1f%s", len(dataset), dataset, state, prefKey)
 }
 
 // Query answers SKY(pref) over the named dataset, consulting the cache
-// first. Cached reports whether the result was served without touching the
-// engine. The returned slice is shared with the cache; treat it as immutable.
+// first — exact key, then the refinement lattice — before paying for a full
+// engine execution. The returned Outcome reports which path served the
+// result. The returned slice is shared with the cache; treat it as immutable.
 //
 // The engine executes the canonical form of the preference — the same form
 // the cache keys on — so a query's outcome never depends on its spelling: a
 // total order and its forced-last prefix behave identically against a top-K
 // restricted tree whether or not the cache is warm.
-func (x *Executor) Query(ctx context.Context, dataset string, pref *order.Preference) (ids []data.PointID, cached bool, err error) {
+func (x *Executor) Query(ctx context.Context, dataset string, pref *order.Preference) (ids []data.PointID, outcome Outcome, err error) {
 	if pref == nil {
-		return nil, false, fmt.Errorf("service: nil preference")
+		return nil, OutcomeEngine, fmt.Errorf("service: nil preference")
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -82,36 +134,72 @@ func (x *Executor) Query(ctx context.Context, dataset string, pref *order.Prefer
 	x.queries.Add(1)
 	state, err := x.reg.State(dataset)
 	if err != nil {
-		return nil, false, err
+		return nil, OutcomeEngine, err
 	}
-	key := cacheKey(dataset, state, pref)
+	key := cacheKey(dataset, state, pref.CacheKey())
 	if ids, ok := x.cache.Get(key); ok {
-		return ids, true, nil
+		return ids, OutcomeExact, nil
 	}
 	if x.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, x.timeout)
 		defer cancel()
 	}
+	if ids, ok := x.semanticHit(ctx, dataset, state, key, pref); ok {
+		return ids, OutcomeSemantic, nil
+	}
 	select {
 	case x.sem <- struct{}{}:
 	case <-ctx.Done():
 		// The caller gave up while queued; its slot was never taken, so the
 		// pool stays free for live requests.
-		return nil, false, ctx.Err()
+		return nil, OutcomeEngine, ctx.Err()
 	}
 	defer func() { <-x.sem }()
 	ids, state, err = x.reg.Query(ctx, dataset, pref)
 	if err != nil {
-		return nil, false, err
+		return nil, OutcomeEngine, err
 	}
 	// An empty state means a writer published while the engine ran: the
 	// result is a valid point-in-time answer but names no single version, so
 	// it is served without being cached.
 	if state != "" {
-		x.cache.Put(cacheKey(dataset, state, pref), dataset, ids)
+		x.cache.Put(cacheKey(dataset, state, pref.CacheKey()), dataset, state, ids)
 	}
-	return ids, false, nil
+	return ids, OutcomeEngine, nil
+}
+
+// semanticHit probes the refinement lattice on an exact-key miss: if a
+// strictly coarser preference's skyline is cached at the same dataset state,
+// Theorem 1 restricts the refined skyline to those candidates, so the flat
+// kernel scans a few hundred rows instead of the whole dataset. Probes run
+// nearest-first (the most refined cached ancestor has the smallest skyline);
+// cached ancestors larger than the candidate limit are skipped. A served
+// result is inserted under its own exact key, so the next identical query —
+// and further refinements — hit directly.
+func (x *Executor) semanticHit(ctx context.Context, dataset, state, key string, pref *order.Preference) ([]data.PointID, bool) {
+	if x.semLimit < 0 || x.cache.disabled() {
+		// No cached ancestors can exist with the cache disabled — skip the
+		// lattice enumeration instead of paying for it on every query.
+		return nil, false
+	}
+	for _, ancestor := range pref.CoarserKeys(0) {
+		cand, ok := x.cache.Probe(cacheKey(dataset, state, ancestor))
+		if !ok || len(cand) > x.semLimit {
+			continue
+		}
+		ids, served, err := x.reg.QueryCandidates(ctx, dataset, state, pref, cand)
+		if err != nil || !served {
+			// The store moved past the cached state, the engine has no
+			// versioned store, or the preference/context failed — all cases
+			// where the cold path must decide.
+			return nil, false
+		}
+		x.cache.Put(key, dataset, state, ids)
+		x.cache.MarkSemanticHit()
+		return ids, true
+	}
+	return nil, false
 }
 
 // Batch answers many preferences over one dataset, fanning out across the
@@ -126,7 +214,7 @@ func (x *Executor) Batch(ctx context.Context, dataset string, prefs []*order.Pre
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			out[i].IDs, out[i].Cached, out[i].Err = x.Query(ctx, dataset, pref)
+			out[i].IDs, out[i].Outcome, out[i].Err = x.Query(ctx, dataset, pref)
 		}()
 	}
 	wg.Wait()

@@ -11,6 +11,7 @@ import (
 
 	"prefsky/internal/core"
 	"prefsky/internal/data"
+	"prefsky/internal/dominance"
 	"prefsky/internal/flat"
 	"prefsky/internal/ipotree"
 	"prefsky/internal/order"
@@ -76,14 +77,15 @@ type DatasetInfo struct {
 // number, so a name removed and re-added never repeats a (epoch, version)
 // pair.
 type dsEntry struct {
-	name     string
-	epoch    uint64
-	schema   *data.Schema
-	ds       *data.Dataset // registration-time data (pointer-kernel reads)
-	store    *flat.Store   // nil for pointer-kernel engines
-	eng      core.Engine
-	maint    core.Maintainer // nil when unsupported or read-only
-	readOnly bool
+	name      string
+	epoch     uint64
+	schema    *data.Schema
+	ds        *data.Dataset // registration-time data (pointer-kernel reads)
+	store     *flat.Store   // nil for pointer-kernel engines
+	eng       core.Engine
+	maint     core.Maintainer          // nil when unsupported or read-only
+	validator core.PreferenceValidator // nil when the engine accepts everything
+	readOnly  bool
 
 	queries atomic.Uint64
 }
@@ -154,12 +156,13 @@ func (r *Registry) Add(name string, ds *data.Dataset, cfg EngineConfig) error {
 		return fmt.Errorf("service: building engine for %q: %w", name, err)
 	}
 	e := &dsEntry{
-		name:     name,
-		schema:   ds.Schema(),
-		ds:       ds,
-		store:    core.StoreOf(eng),
-		eng:      eng,
-		readOnly: cfg.ReadOnly,
+		name:      name,
+		schema:    ds.Schema(),
+		ds:        ds,
+		store:     core.StoreOf(eng),
+		eng:       eng,
+		validator: core.ValidatorOf(eng),
+		readOnly:  cfg.ReadOnly,
 	}
 	if !cfg.ReadOnly {
 		e.maint = core.Maintainable(eng)
@@ -296,6 +299,70 @@ func (r *Registry) Query(ctx context.Context, name string, pref *order.Preferenc
 		return ids, "", nil
 	}
 	return ids, e.state(before), nil
+}
+
+// QueryCandidates answers SKY(pref) over the named dataset restricted to the
+// candidate point ids — the semantic-cache path. The caller guarantees the
+// candidates are a superset of the answer at the given state token (Theorem 1:
+// the skyline under a refined preference is a subset of the skyline under any
+// coarser one, so a coarser preference's skyline cached at that state
+// qualifies). The current snapshot is pinned first and its state compared
+// against state: on mismatch — the data moved since the candidates were
+// cached, or the engine has no versioned store — ok is false, nothing is
+// computed, and the caller falls back to a full query. Because the whole
+// computation runs against the pinned snapshot, a true ok is exact for that
+// state even if writers publish concurrently, so the result is cacheable
+// under the same token.
+func (r *Registry) QueryCandidates(ctx context.Context, name, state string, pref *order.Preference, cand []data.PointID) (ids []data.PointID, ok bool, err error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return nil, false, err
+	}
+	if e.store == nil {
+		return nil, false, nil
+	}
+	snap := e.store.Snapshot()
+	if e.state(snap.Version()) != state {
+		return nil, false, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	if e.validator != nil {
+		// A preference the engine's query path rejects — a non-refinement of
+		// the template, an unmaterialized value under a top-K tree — must
+		// keep failing here too, or the same request would flip between
+		// error and success with cache warmth. The caller falls back to the
+		// cold path, which surfaces the engine's own error.
+		if err := e.validator.ValidatePreference(pref); err != nil {
+			return nil, false, err
+		}
+	}
+	cmp, err := dominance.NewComparator(e.schema, pref)
+	if err != nil {
+		return nil, false, err
+	}
+	rows := make([]int32, 0, len(cand))
+	for _, id := range cand {
+		row, live := snap.RowOf(id)
+		if !live {
+			// A candidate that is not live at the matching version should be
+			// impossible; bail to the cold path rather than risk a wrong
+			// answer on an inconsistent cache entry.
+			return nil, false, nil
+		}
+		rows = append(rows, row)
+	}
+	e.queries.Add(1)
+	proj, err := snap.ProjectRows(cmp, rows)
+	if err != nil {
+		return nil, false, err
+	}
+	out, err := proj.SkylineRangeCtx(ctx, 0, proj.N())
+	if err != nil {
+		return nil, false, err
+	}
+	return proj.IDs(out), true, nil
 }
 
 // maintainer resolves the entry's maintenance interface, normalizing the

@@ -13,13 +13,19 @@
 //     with one atomic load and are never blocked by writers, writers
 //     serialize only among themselves.
 //   - Cache is a sharded LRU over (dataset, registration epoch +
-//     maintenance version, canonical preference) with hit/miss/eviction
-//     counters.
+//     maintenance version, canonical preference) with
+//     hit/semantic-hit/miss/eviction counters and state-tagged entries.
 //   - Executor runs queries through the cache with a bounded worker pool and
-//     exposes single and batch execution.
+//     exposes single and batch execution. On an exact-key miss it walks the
+//     preference's refinement lattice (order.Preference.CoarserKeys): if a
+//     strictly coarser preference's skyline is cached at the same store
+//     version, Theorem 1 bounds the refined skyline by those candidates, so
+//     the flat kernel scans a few hundred cached rows instead of the whole
+//     dataset — the semi-materialization the paper contrasts with full
+//     materialization, applied at query time.
 //
-// Service ties the three together and adds the cross-layer glue: cache
-// invalidation after maintenance.
+// Service ties the three together and adds the cross-layer glue: stale-state
+// cache reclamation after maintenance.
 package service
 
 import (
@@ -42,6 +48,12 @@ type Options struct {
 	// QueryTimeout deadline-bounds each uncached query (queue wait + engine
 	// work); 0 disables the per-query deadline. Cache hits always succeed.
 	QueryTimeout time.Duration
+	// SemanticCandidateLimit caps how large a cached coarser skyline the
+	// semantic cache path will scan on an exact-key miss; bigger cached
+	// ancestors are skipped and the query falls back to the engine. 0
+	// defaults to DefaultSemanticCandidateLimit (4096), negative disables
+	// the semantic path entirely.
+	SemanticCandidateLimit int
 }
 
 // Stats is the service-wide snapshot served by GET /v1/stats.
@@ -71,7 +83,8 @@ func New(opts Options) *Service {
 	}
 	reg := NewRegistry()
 	cache := NewCache(capacity, opts.CacheShards)
-	return &Service{reg: reg, cache: cache, exec: NewExecutor(reg, cache, opts.Workers, opts.QueryTimeout)}
+	exec := NewExecutor(reg, cache, opts.Workers, opts.QueryTimeout, opts.SemanticCandidateLimit)
+	return &Service{reg: reg, cache: cache, exec: exec}
 }
 
 // Registry exposes the dataset registry layer.
@@ -105,11 +118,13 @@ func (s *Service) Point(name string, id data.PointID) (data.Point, error) {
 	return s.reg.Point(name, id)
 }
 
-// Query answers SKY(pref) over the named dataset through the cache and
-// worker pool. The context bounds the whole query — queue wait included —
-// so a disconnected client frees its worker slot instead of burning it. The
-// returned slice is shared with the cache; treat it as immutable.
-func (s *Service) Query(ctx context.Context, dataset string, pref *order.Preference) (ids []data.PointID, cached bool, err error) {
+// Query answers SKY(pref) over the named dataset through the cache — exact
+// key first, then the refinement lattice — and the worker pool. The returned
+// Outcome reports which path served the result. The context bounds the whole
+// query — queue wait included — so a disconnected client frees its worker
+// slot instead of burning it. The returned slice is shared with the cache;
+// treat it as immutable.
+func (s *Service) Query(ctx context.Context, dataset string, pref *order.Preference) (ids []data.PointID, outcome Outcome, err error) {
 	return s.exec.Query(ctx, dataset, pref)
 }
 
@@ -119,47 +134,62 @@ func (s *Service) Batch(ctx context.Context, dataset string, prefs []*order.Pref
 	return s.exec.Batch(ctx, dataset, prefs)
 }
 
-// Insert adds a point to a maintainable dataset and invalidates its cached
-// results. State-tagged keys (registration epoch + maintenance version)
-// make the invalidation pure storage reclamation: even a racing Put lands
-// under the superseded state and is never read again.
+// invalidateStale reclaims the dataset's cached entries left unreachable by
+// a version bump: it records the dataset's new state with the cache (so even
+// a racing Put tagged with the superseded state is rejected) and drops every
+// entry tagged with an older one. If the dataset vanished concurrently, the
+// whole tag is dropped instead.
+func (s *Service) invalidateStale(dataset string) {
+	state, err := s.reg.State(dataset)
+	if err != nil {
+		s.cache.InvalidateDataset(dataset)
+		return
+	}
+	s.cache.InvalidateStale(dataset, state)
+}
+
+// Insert adds a point to a maintainable dataset and reclaims its
+// stale-state cached results. State-tagged keys (registration epoch +
+// maintenance version) already make superseded entries unreachable, so the
+// reclamation is pure storage hygiene — and recording the new state lets the
+// cache reject Puts racing in with the old one.
 func (s *Service) Insert(dataset string, num []float64, nom []order.Value) (data.PointID, error) {
 	id, err := s.reg.Insert(dataset, num, nom)
 	if err != nil {
 		return 0, err
 	}
-	s.cache.InvalidateDataset(dataset)
+	s.invalidateStale(dataset)
 	return id, nil
 }
 
-// Delete removes a point from a maintainable dataset and invalidates its
-// cached results.
+// Delete removes a point from a maintainable dataset and reclaims its
+// stale-state cached results.
 func (s *Service) Delete(dataset string, id data.PointID) error {
 	if err := s.reg.Delete(dataset, id); err != nil {
 		return err
 	}
-	s.cache.InvalidateDataset(dataset)
+	s.invalidateStale(dataset)
 	return nil
 }
 
 // InsertBatch applies a batch of inserts, stopping at the first failure, and
-// invalidates the dataset's cached results if anything was applied. The ids
-// of the points inserted so far are always returned.
+// reclaims the dataset's stale-state cached results if anything was applied.
+// The ids of the points inserted so far are always returned.
 func (s *Service) InsertBatch(dataset string, pts []PointInput) ([]data.PointID, error) {
 	ids, err := s.reg.InsertBatch(dataset, pts)
 	if len(ids) > 0 {
-		s.cache.InvalidateDataset(dataset)
+		s.invalidateStale(dataset)
 	}
 	return ids, err
 }
 
 // DeleteBatch applies a batch of deletes, stopping at the first failure, and
-// invalidates the dataset's cached results if anything was applied. applied
-// reports how many deletes landed.
+// reclaims the dataset's stale-state cached results if anything was applied.
+// applied reports how many deletes landed.
 func (s *Service) DeleteBatch(dataset string, ids []data.PointID) (applied int, err error) {
 	applied, err = s.reg.DeleteBatch(dataset, ids)
 	if applied > 0 {
-		s.cache.InvalidateDataset(dataset)
+		s.invalidateStale(dataset)
 	}
 	return applied, err
 }

@@ -71,18 +71,18 @@ func TestCanonicallyEqualPreferencesShareCacheEntries(t *testing.T) {
 		t.Fatalf("cache keys differ: %q vs %q", total.CacheKey(), prefix.CacheKey())
 	}
 
-	ids1, cached, err := s.Query(context.Background(), "hotels", total)
+	ids1, outcome, err := s.Query(context.Background(), "hotels", total)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cached {
-		t.Error("first query reported cached")
+	if outcome != OutcomeEngine {
+		t.Errorf("first query outcome = %v, want engine", outcome)
 	}
-	ids2, cached, err := s.Query(context.Background(), "hotels", prefix)
+	ids2, outcome, err := s.Query(context.Background(), "hotels", prefix)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cached {
+	if !outcome.CacheHit() {
 		t.Error("canonically equal query missed the cache")
 	}
 	if !reflect.DeepEqual(ids1, ids2) {
@@ -99,9 +99,9 @@ func TestCanonicallyEqualPreferencesShareCacheEntries(t *testing.T) {
 
 func TestCacheEviction(t *testing.T) {
 	c := NewCache(2, 1)
-	c.Put("a", "ds", []data.PointID{1})
-	c.Put("b", "ds", []data.PointID{2})
-	c.Put("c", "ds", []data.PointID{3})
+	c.Put("a", "ds", "1.0", []data.PointID{1})
+	c.Put("b", "ds", "1.0", []data.PointID{2})
+	c.Put("c", "ds", "1.0", []data.PointID{3})
 	if _, ok := c.Get("a"); ok {
 		t.Error("LRU entry a survived past capacity")
 	}
@@ -114,7 +114,7 @@ func TestCacheEviction(t *testing.T) {
 
 	// Touching an entry must protect it from eviction.
 	c.Get("b")
-	c.Put("d", "ds", []data.PointID{4})
+	c.Put("d", "ds", "1.0", []data.PointID{4})
 	if _, ok := c.Get("b"); !ok {
 		t.Error("recently used entry b was evicted")
 	}
@@ -125,8 +125,8 @@ func TestCacheDisabled(t *testing.T) {
 	schema, _ := s.Schema("hotels")
 	pref := mustPref(t, schema, "Hotel-group: T<M<*")
 	for i := 0; i < 3; i++ {
-		if _, cached, err := s.Query(context.Background(), "hotels", pref); err != nil || cached {
-			t.Fatalf("query %d: cached=%v err=%v with caching disabled", i, cached, err)
+		if _, outcome, err := s.Query(context.Background(), "hotels", pref); err != nil || outcome != OutcomeEngine {
+			t.Fatalf("query %d: outcome=%v err=%v with caching disabled", i, outcome, err)
 		}
 	}
 	if st := s.Stats(); st.Cache.Hits != 0 || st.Cache.Capacity != 0 {
@@ -148,12 +148,12 @@ func TestMaintenanceInvalidatesCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	after, cached, err := s.Query(context.Background(), "hotels", pref)
+	after, outcome, err := s.Query(context.Background(), "hotels", pref)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cached {
-		t.Error("post-insert query served from cache")
+	if outcome != OutcomeEngine {
+		t.Errorf("post-insert query outcome = %v, want engine", outcome)
 	}
 	if reflect.DeepEqual(before, after) {
 		t.Errorf("insert did not change the skyline: %v", after)
@@ -165,12 +165,12 @@ func TestMaintenanceInvalidatesCache(t *testing.T) {
 	if err := s.Delete("hotels", id); err != nil {
 		t.Fatal(err)
 	}
-	restored, cached, err := s.Query(context.Background(), "hotels", pref)
+	restored, outcome, err := s.Query(context.Background(), "hotels", pref)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cached {
-		t.Error("post-delete query served from cache")
+	if outcome != OutcomeEngine {
+		t.Errorf("post-delete query outcome = %v, want engine", outcome)
 	}
 	if !reflect.DeepEqual(restored, before) {
 		t.Errorf("skyline after delete = %v, want %v", restored, before)
@@ -264,12 +264,12 @@ func TestCanonicalFormExecutesAgainstRestrictedTree(t *testing.T) {
 	}
 	schema, _ := s.Schema("hotels")
 	total := mustPref(t, schema, "Hotel-group: T<M<H")
-	ids, cached, err := s.Query(context.Background(), "hotels", total)
+	ids, outcome, err := s.Query(context.Background(), "hotels", total)
 	if err != nil {
 		t.Fatalf("total-order spelling failed against restricted tree: %v", err)
 	}
-	if cached {
-		t.Error("cold query reported cached")
+	if outcome != OutcomeEngine {
+		t.Errorf("cold query outcome = %v, want engine", outcome)
 	}
 	baseline, _ := core.NewSFSD(data.Table1())
 	want, _ := baseline.Skyline(context.Background(), total)
@@ -295,7 +295,7 @@ func TestReAddDatasetCannotServeStaleCache(t *testing.T) {
 	s.RemoveDataset("d")
 	// Simulate an in-flight query from before the removal completing late:
 	// its Put lands after InvalidateDataset, tagged with the old state.
-	s.Cache().Put(cacheKey("d", staleState, pref), "d", []data.PointID{99})
+	s.Cache().Put(cacheKey("d", staleState, pref.CacheKey()), "d", staleState, []data.PointID{99})
 
 	// Re-add the same name over different data (packages a and b only,
 	// where a dominates b: skyline = [0]).
@@ -313,12 +313,12 @@ func TestReAddDatasetCannotServeStaleCache(t *testing.T) {
 	if newState == staleState {
 		t.Fatalf("re-registration reused state token %q", newState)
 	}
-	ids, cached, err := s.Query(context.Background(), "d", pref)
+	ids, outcome, err := s.Query(context.Background(), "d", pref)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cached {
-		t.Error("query after re-add served from cache")
+	if outcome != OutcomeEngine {
+		t.Errorf("query after re-add outcome = %v, want engine", outcome)
 	}
 	if !reflect.DeepEqual(ids, []data.PointID{0}) {
 		t.Errorf("ids = %v, want [0] (the stale entry was [99])", ids)
@@ -451,7 +451,7 @@ func TestStatsCounters(t *testing.T) {
 func TestCacheShardDistribution(t *testing.T) {
 	c := NewCache(64, 8)
 	for i := 0; i < 64; i++ {
-		c.Put(fmt.Sprintf("key-%d", i), "ds", nil)
+		c.Put(fmt.Sprintf("key-%d", i), "ds", "1.0", nil)
 	}
 	if got := c.Len(); got < 32 {
 		// Perfectly even filling is not guaranteed (per-shard caps), but a

@@ -47,12 +47,14 @@
 //
 // For concurrent traffic, Service hosts many named datasets behind a
 // configurable engine each, a sharded LRU result cache keyed by canonical
-// preference (Preference.CacheKey: equivalent queries share entries), and a
-// bounded worker pool:
+// preference (Preference.CacheKey: equivalent queries share entries, and an
+// exact miss falls back to the refinement lattice — a cached coarser
+// preference's skyline bounds the refined one by Theorem 1), and a bounded
+// worker pool:
 //
 //	svc := prefsky.NewService(prefsky.ServiceOptions{})
 //	_ = svc.AddDataset("hotels", ds, prefsky.EngineConfig{Kind: "sfsa"})
-//	ids, cached, _ := svc.Query(ctx, "hotels", pref)
+//	ids, outcome, _ := svc.Query(ctx, "hotels", pref)
 //
 // cmd/skylined wires a Service behind JSON endpoints (POST /v1/query,
 // POST /v1/batch, GET /v1/datasets, GET /v1/stats, GET /healthz); see
@@ -150,6 +152,20 @@ type (
 	CacheStats = service.CacheStats
 	// QueryResult is one outcome of a Service batch execution.
 	QueryResult = service.QueryResult
+	// QueryOutcome classifies how a Service query was served: full engine
+	// execution, exact cache hit, or semantic (refinement-lattice) hit.
+	QueryOutcome = service.Outcome
+)
+
+// QueryOutcome values.
+const (
+	// OutcomeEngine marks a full engine execution (cold scan or tree query).
+	OutcomeEngine = service.OutcomeEngine
+	// OutcomeExact marks an exact result-cache hit.
+	OutcomeExact = service.OutcomeExact
+	// OutcomeSemantic marks an exact-key miss served from a cached coarser
+	// preference's skyline (Theorem 1 at query time).
+	OutcomeSemantic = service.OutcomeSemantic
 )
 
 // Constructors and helpers re-exported for the public API.
