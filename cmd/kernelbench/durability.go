@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"prefsky/internal/bench/export"
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/durable"
+	"prefsky/internal/flat"
+	"prefsky/internal/gen"
+	"prefsky/internal/order"
+)
+
+// The durability scenario prices the WAL: the PR-4 mixed 95/5 read/write
+// workload runs against the same store three ways — memory-only (no
+// journal), group-commit WAL (background fsync interval), and fsync=always
+// (sync inside every mutation's critical section) — and reports query
+// latency percentiles plus the mutation cost each policy adds. A fourth
+// measurement times crash recovery: a WAL-only history (no checkpoint past
+// the seed) is replayed from disk and reported as rows/second.
+//
+// Acceptance (ISSUE 6): group-commit p50 within 1.3x of memory-only.
+
+// durableScenario runs the mixed workload against one store configuration.
+func durableScenario(ds *data.Dataset, pref *order.Preference, store *flat.Store, workers, ops int, mutFrac float64) mixedMeasure {
+	schema := ds.Schema()
+	ctx := context.Background()
+	query := func(int) {
+		cmp, err := dominance.NewComparator(schema, pref)
+		if err != nil {
+			panic(err)
+		}
+		proj, err := store.Snapshot().Project(cmp)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := proj.SkylineRangeCtx(ctx, 0, proj.N()); err != nil {
+			panic(err)
+		}
+	}
+	mut := randomMutation(schema.NumDims(), schema.NomDims(), schema.Cardinalities()[0],
+		store.Insert, store.Delete)
+	return mixedRun(workers, ops, mutFrac, query, mut)
+}
+
+// runDurability executes the WAL-cost comparison and the recovery-replay
+// measurement, recording both in the report.
+func runDurability(report *export.Report, ds *data.Dataset, pref *order.Preference, n, workers, ops int, mutFrac float64, replayRows int) error {
+	stateRoot, err := os.MkdirTemp("", "kernelbench-durable-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(stateRoot)
+
+	// Scenario 1: memory-only baseline (the PR-4 snapshot scenario).
+	memStore := flat.NewStore(ds, 0)
+	mem := durableScenario(ds, pref, memStore, workers, ops, mutFrac)
+	addMixed(report, fmt.Sprintf("durability/N=%d/memory", n), "flat", n, &mem)
+
+	// Scenario 2: group-commit WAL (the -fsync interval default).
+	groupDB, err := durable.Open(ds, durable.Config{Dir: stateRoot + "/group", Fsync: durable.FsyncGroup})
+	if err != nil {
+		return err
+	}
+	group := durableScenario(ds, pref, groupDB.Store(), workers, ops, mutFrac)
+	addMixed(report, fmt.Sprintf("durability/N=%d/wal-group", n), "flat", n, &group)
+	groupStats := groupDB.Stats()
+	if err := groupDB.Close(); err != nil {
+		return err
+	}
+
+	// Scenario 3: fsync=always — every mutation syncs before it publishes.
+	alwaysDB, err := durable.Open(ds, durable.Config{Dir: stateRoot + "/always", Fsync: durable.FsyncAlways})
+	if err != nil {
+		return err
+	}
+	always := durableScenario(ds, pref, alwaysDB.Store(), workers, ops, mutFrac)
+	addMixed(report, fmt.Sprintf("durability/N=%d/wal-always", n), "flat", n, &always)
+	if err := alwaysDB.Close(); err != nil {
+		return err
+	}
+
+	report.Derive(fmt.Sprintf("durability/p50-ratio-group-vs-memory/N=%d", n),
+		ratio(group.percentile(0.5), mem.percentile(0.5)))
+	report.Derive(fmt.Sprintf("durability/p50-ratio-always-vs-memory/N=%d", n),
+		ratio(always.percentile(0.5), mem.percentile(0.5)))
+	report.Derive(fmt.Sprintf("durability/p95-ratio-group-vs-memory/N=%d", n),
+		ratio(group.percentile(0.95), mem.percentile(0.95)))
+	report.Derive("durability/wal-bytes-group", float64(groupStats.WALBytes))
+	report.Derive("durability/wal-syncs-group", float64(groupStats.WALSyncs))
+
+	// Recovery replay: a seed-only checkpoint plus replayRows WAL rows, timed
+	// through a cold Open. FsyncOff keeps the setup fast; the replay itself
+	// reads whatever reached the file either way.
+	replaySeed := gen.MustDataset(gen.Config{
+		N: 1, NumDims: ds.Schema().NumDims(), NomDims: ds.Schema().NomDims(),
+		Cardinality: ds.Schema().Cardinalities()[0], Theta: 1, Kind: gen.Independent, Seed: 7,
+	})
+	replayDir := stateRoot + "/replay"
+	seedDB, err := durable.Open(replaySeed, durable.Config{Dir: replayDir, Fsync: durable.FsyncOff, CompactThreshold: -1})
+	if err != nil {
+		return err
+	}
+	const batch = 1024
+	schema := replaySeed.Schema()
+	for done := 0; done < replayRows; done += batch {
+		k := min(batch, replayRows-done)
+		nums := make([][]float64, k)
+		noms := make([][]order.Value, k)
+		for i := 0; i < k; i++ {
+			nums[i] = make([]float64, schema.NumDims())
+			for d := range nums[i] {
+				nums[i][d] = float64(done+i) / float64(replayRows)
+			}
+			noms[i] = make([]order.Value, schema.NomDims())
+			for d, card := range schema.Cardinalities() {
+				noms[i][d] = order.Value((done + i) % card)
+			}
+		}
+		if _, err := seedDB.Store().InsertBatch(nums, noms); err != nil {
+			return err
+		}
+	}
+	// Crash-abandon the writer, but flush the log so the replay reads a
+	// complete history on every filesystem.
+	if err := seedDB.Sync(); err != nil {
+		return err
+	}
+
+	t0 := time.Now()
+	recDB, err := durable.Open(replaySeed, durable.Config{Dir: replayDir, Fsync: durable.FsyncOff, CompactThreshold: -1})
+	if err != nil {
+		return err
+	}
+	replayWall := time.Since(t0)
+	rec := recDB.Recovery()
+	if rec.RowsReplayed < replayRows {
+		return fmt.Errorf("replay lost rows: %d of %d", rec.RowsReplayed, replayRows)
+	}
+	rowsPerSec := float64(rec.RowsReplayed) / replayWall.Seconds()
+	report.Derive("durability/recovery-rows-per-sec", rowsPerSec)
+	report.Derive("durability/recovery-wall-ms", float64(replayWall.Milliseconds()))
+	if err := recDB.Close(); err != nil {
+		return err
+	}
+
+	fmt.Printf("memory:     p50 %v  p95 %v  (%.0f ops/s, %d mutations)\n", mem.percentile(0.5), mem.percentile(0.95), mem.opsPerSec(), mem.mutations)
+	fmt.Printf("wal-group:  p50 %v  p95 %v  (%.0f ops/s, %d mutations)\n", group.percentile(0.5), group.percentile(0.95), group.opsPerSec(), group.mutations)
+	fmt.Printf("wal-always: p50 %v  p95 %v  (%.0f ops/s, %d mutations)\n", always.percentile(0.5), always.percentile(0.95), always.opsPerSec(), always.mutations)
+	fmt.Printf("group-commit p50 vs memory-only: %.2fx (acceptance: <= 1.3x)\n",
+		ratio(group.percentile(0.5), mem.percentile(0.5)))
+	fmt.Printf("recovery replay: %d rows in %v (%.0f rows/s)\n", rec.RowsReplayed, replayWall, rowsPerSec)
+	return nil
+}

@@ -9,6 +9,7 @@
 //	kernelbench -n 100000 -kind independent -out BENCH_pr3.json
 //	kernelbench -n 100000 -mixed -out BENCH_pr4.json
 //	kernelbench -n 100000 -semantic -out BENCH_pr5.json
+//	kernelbench -n 100000 -durability -out BENCH_pr6.json
 //
 // Both kernels answer the same preference over the same dataset; the tool
 // verifies the skylines are identical before trusting the timings. The flat
@@ -24,6 +25,10 @@
 // Zipfian refinement workload through internal/service, with per-outcome
 // (cold / semantic / exact) latency percentiles. See
 // cmd/kernelbench/semantic.go.
+//
+// -durability reruns the mixed workload with the store journaled through
+// internal/durable under each fsync policy, and times cold WAL replay. See
+// cmd/kernelbench/durability.go.
 package main
 
 import (
@@ -53,22 +58,24 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("kernelbench", flag.ContinueOnError)
 	var (
-		n        = fs.Int("n", 100_000, "dataset size")
-		numDims  = fs.Int("numdims", 2, "numeric dimensions")
-		nomDims  = fs.Int("nomdims", 2, "nominal dimensions")
-		card     = fs.Int("card", 10, "nominal cardinality")
-		kindName = fs.String("kind", "independent", "numeric correlation: independent, correlated or anti-correlated")
-		seed     = fs.Int64("seed", 42, "dataset seed")
-		out      = fs.String("out", "BENCH_pr3.json", "output JSON path (empty = stdout only)")
-		parts    = fs.Int("partitions", 0, "also measure the partitioned flat engine with this block count (0 = skip)")
-		mixed    = fs.Bool("mixed", false, "run the mixed read/write scenario (snapshot store vs RWMutex era) instead of the kernel comparison")
-		workers  = fs.Int("mixed-workers", 4, "concurrent workers in the mixed scenario")
-		ops      = fs.Int("mixed-ops", 200, "operations per worker in the mixed scenario")
-		mutFrac  = fs.Float64("mixed-mutations", 0.05, "fraction of operations that are mutations in the mixed scenario")
-		semantic = fs.Bool("semantic", false, "run the semantic result-cache scenario (Zipfian refinement workload) instead of the kernel comparison")
-		semCh    = fs.Int("semantic-chains", 40, "distinct refinement chains in the semantic scenario")
-		semDepth = fs.Int("semantic-depth", 3, "refinement levels per chain in the semantic scenario")
-		semQ     = fs.Int("semantic-queries", 2000, "queries issued in the semantic scenario")
+		n          = fs.Int("n", 100_000, "dataset size")
+		numDims    = fs.Int("numdims", 2, "numeric dimensions")
+		nomDims    = fs.Int("nomdims", 2, "nominal dimensions")
+		card       = fs.Int("card", 10, "nominal cardinality")
+		kindName   = fs.String("kind", "independent", "numeric correlation: independent, correlated or anti-correlated")
+		seed       = fs.Int64("seed", 42, "dataset seed")
+		out        = fs.String("out", "BENCH_pr3.json", "output JSON path (empty = stdout only)")
+		parts      = fs.Int("partitions", 0, "also measure the partitioned flat engine with this block count (0 = skip)")
+		mixed      = fs.Bool("mixed", false, "run the mixed read/write scenario (snapshot store vs RWMutex era) instead of the kernel comparison")
+		workers    = fs.Int("mixed-workers", 4, "concurrent workers in the mixed scenario")
+		ops        = fs.Int("mixed-ops", 200, "operations per worker in the mixed scenario")
+		mutFrac    = fs.Float64("mixed-mutations", 0.05, "fraction of operations that are mutations in the mixed scenario")
+		durability = fs.Bool("durability", false, "run the durability scenario (mixed workload with WAL policies + recovery replay) instead of the kernel comparison")
+		replayRows = fs.Int("durability-replay-rows", 100_000, "WAL rows replayed in the durability scenario's recovery measurement")
+		semantic   = fs.Bool("semantic", false, "run the semantic result-cache scenario (Zipfian refinement workload) instead of the kernel comparison")
+		semCh      = fs.Int("semantic-chains", 40, "distinct refinement chains in the semantic scenario")
+		semDepth   = fs.Int("semantic-depth", 3, "refinement levels per chain in the semantic scenario")
+		semQ       = fs.Int("semantic-queries", 2000, "queries issued in the semantic scenario")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +112,20 @@ func run(args []string) error {
 	if *semantic {
 		report := export.NewReport("semantic cache: preference-lattice hits vs cold scans (Zipfian refinement workload)")
 		if err := runSemantic(report, ds, *n, *semCh, *semDepth, *semQ, *seed+1); err != nil {
+			return err
+		}
+		if *out != "" {
+			if err := export.WriteFile(*out, report); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return nil
+	}
+
+	if *durability {
+		report := export.NewReport("durability: mixed read/write under WAL fsync policies + recovery replay")
+		if err := runDurability(report, ds, pref, *n, *workers, *ops, *mutFrac, *replayRows); err != nil {
 			return err
 		}
 		if *out != "" {

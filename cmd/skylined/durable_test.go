@@ -1,0 +1,137 @@
+package main
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"prefsky/internal/durable"
+	"prefsky/internal/service"
+)
+
+// TestReadyzGatesOnBoot: /readyz must refuse traffic until the server is
+// marked ready (boot recovery finished), while /healthz stays a pure
+// liveness probe throughout.
+func TestReadyzGatesOnBoot(t *testing.T) {
+	svc := service.New(service.Options{})
+	srv := newServer(svc)
+
+	var ready, health map[string]string
+	if code := doJSON(t, srv, "GET", "/readyz", nil, &ready); code != 503 {
+		t.Fatalf("readyz before boot: %d, want 503", code)
+	}
+	if ready["status"] != "recovering" {
+		t.Errorf("readyz body before boot = %v", ready)
+	}
+	if code := doJSON(t, srv, "GET", "/healthz", nil, &health); code != 200 {
+		t.Fatalf("healthz must stay live during boot, got %d", code)
+	}
+
+	srv.markReady()
+	if code := doJSON(t, srv, "GET", "/readyz", nil, &ready); code != 200 {
+		t.Fatalf("readyz after boot: %d, want 200", code)
+	}
+	if ready["status"] != "ready" {
+		t.Errorf("readyz body after boot = %v", ready)
+	}
+}
+
+// TestDurableRestartKeepsMutations drives mutations through the HTTP
+// handlers against a durable dataset, shuts the service down, boots a second
+// server over the same directory, and expects the same skyline — the
+// kill-9-and-restart story of the README quickstart, minus the process
+// boundary.
+func TestDurableRestartKeepsMutations(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := demoFlights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := service.EngineConfig{
+		Kind:    "sfsa",
+		Durable: &durable.Config{Dir: dir, Fsync: durable.FsyncOff},
+	}
+
+	svc := service.New(service.Options{})
+	if err := svc.AddDataset("flights", ds, cfg); err != nil {
+		t.Fatal(err)
+	}
+	h := newServer(svc)
+	h.markReady()
+
+	pt := pointInput{
+		Numeric: map[string]float64{"Fare": 1, "Hours": 1, "Stops": 0},
+		Nominal: map[string]string{"Airline": "Gonna", "Transit": "AMS"},
+	}
+	var ins insertResponse
+	if code := doJSON(t, h, "POST", "/v1/insert",
+		insertRequest{Dataset: "flights", Points: []pointInput{pt, pt}}, &ins); code != 200 {
+		t.Fatalf("insert: %d", code)
+	}
+	var del deleteResponse
+	if code := doJSON(t, h, "POST", "/v1/delete",
+		deleteRequest{Dataset: "flights", IDs: ins.IDs[:1]}, &del); code != 200 {
+		t.Fatalf("delete: %d", code)
+	}
+	const spec = "Airline: Gonna<*; Transit: AMS<*"
+	var before queryResponse
+	if code := doJSON(t, h, "POST", "/v1/query",
+		queryRequest{Dataset: "flights", Preference: spec}, &before); code != 200 {
+		t.Fatalf("query: %d", code)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The closed journal refuses further mutations instead of losing them.
+	rec := httptest.NewRecorder()
+	if code := doJSON(t, h, "POST", "/v1/insert",
+		insertRequest{Dataset: "flights", Points: []pointInput{pt}}, nil); code == 200 {
+		t.Fatalf("insert after shutdown succeeded (rec %v)", rec.Code)
+	}
+
+	svc2 := service.New(service.Options{})
+	defer svc2.Close()
+	if err := svc2.AddDataset("flights", ds, cfg); err != nil {
+		t.Fatal(err)
+	}
+	h2 := newServer(svc2)
+	h2.markReady()
+	var after queryResponse
+	if code := doJSON(t, h2, "POST", "/v1/query",
+		queryRequest{Dataset: "flights", Preference: spec}, &after); code != 200 {
+		t.Fatalf("query after restart: %d", code)
+	}
+	if !reflect.DeepEqual(after.IDs, before.IDs) {
+		t.Fatalf("skyline after restart %v, want %v", after.IDs, before.IDs)
+	}
+
+	// /v1/stats surfaces the recovery on the restarted node.
+	var st service.Stats
+	if code := doJSON(t, h2, "GET", "/v1/stats", nil, &st); code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	if len(st.Datasets) != 1 || st.Datasets[0].Durability == nil {
+		t.Fatalf("stats missing durability: %+v", st.Datasets)
+	}
+	d := st.Datasets[0].Durability
+	if !d.Recovery.FromDisk || d.Recovery.Version == 0 {
+		t.Fatalf("recovery stats %+v", d.Recovery)
+	}
+}
+
+// TestDurableConfigWiring: -data-dir gives every dataset its own state
+// subdirectory; without it datasets stay memory-only.
+func TestDurableConfigWiring(t *testing.T) {
+	if cfg := durableConfig("", "flights", durable.FsyncGroup, 0); cfg != nil {
+		t.Fatal("durability configured without -data-dir")
+	}
+	dir := t.TempDir()
+	cfg := durableConfig(dir, "flights", durable.FsyncAlways, 0)
+	if cfg == nil || cfg.Dir == dir || cfg.Fsync != durable.FsyncAlways {
+		t.Fatalf("durable config %+v: want per-dataset subdirectory and the requested policy", cfg)
+	}
+	other := durableConfig(dir, "hotels", durable.FsyncAlways, 0)
+	if other.Dir == cfg.Dir {
+		t.Fatal("datasets share a state directory")
+	}
+}

@@ -53,12 +53,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"prefsky"
 	"prefsky/internal/data"
+	"prefsky/internal/durable"
 	"prefsky/internal/flat"
 	"prefsky/internal/gen"
 	"prefsky/internal/service"
@@ -96,6 +98,9 @@ func run(args []string) error {
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty disables)")
 		compactAt  = fs.Int("compact-threshold", 0, "delta+tombstone rows that trigger background compaction (0 = default, negative disables)")
 		readOnly   = fs.Bool("readonly", false, "freeze all datasets: /v1/insert and /v1/delete answer 409")
+		dataDir    = fs.String("data-dir", "", "persist datasets under this directory (WAL + checkpoints, recovered on restart; empty = memory only)")
+		fsyncSpec  = fs.String("fsync", "interval", "WAL sync policy with -data-dir: always (sync per mutation), interval (group commit) or off")
+		fsyncEvery = fs.Duration("fsync-interval", 0, "group-commit sync period with -fsync interval (0 = 50ms default)")
 	)
 	fs.Var(&datasets, "dataset", "name=schema.json,data.csv (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -105,6 +110,10 @@ func run(args []string) error {
 		return fmt.Errorf("no datasets: pass -dataset name=schema.json,data.csv or -demo")
 	}
 	if _, err := flat.ParseKernel(*kernel); err != nil {
+		return err
+	}
+	fsyncPolicy, err := durable.ParsePolicy(*fsyncSpec)
+	if err != nil {
 		return err
 	}
 	if *pprofAddr != "" {
@@ -120,12 +129,12 @@ func run(args []string) error {
 		QueryTimeout:           *queryTO,
 		SemanticCandidateLimit: *semLimit,
 	})
-	cfgFor := func(schema *data.Schema) (service.EngineConfig, error) {
+	cfgFor := func(name string, schema *data.Schema) (service.EngineConfig, error) {
 		tmpl, err := data.ParsePreference(schema, *tmplSpec)
 		if err != nil {
 			return service.EngineConfig{}, fmt.Errorf("parsing template: %w", err)
 		}
-		return service.EngineConfig{
+		cfg := service.EngineConfig{
 			Kind:             *engine,
 			Template:         tmpl,
 			Tree:             prefsky.TreeOptions{TopK: *topK},
@@ -133,41 +142,69 @@ func run(args []string) error {
 			Kernel:           *kernel,
 			CompactThreshold: *compactAt,
 			ReadOnly:         *readOnly,
-		}, nil
+		}
+		cfg.Durable = durableConfig(*dataDir, name, fsyncPolicy, *fsyncEvery)
+		return cfg, nil
 	}
 
-	if *demo {
-		ds, err := demoFlights()
-		if err != nil {
-			return err
+	// Dataset registration — durable recovery and WAL replay included — runs
+	// as the boot step after the listener is already up: /healthz answers
+	// (liveness) while /readyz stays 503 until registration completes.
+	srv := newServer(svc)
+	boot := func() error {
+		if *demo {
+			ds, err := demoFlights()
+			if err != nil {
+				return err
+			}
+			cfg, err := cfgFor("flights", ds.Schema())
+			if err != nil {
+				return err
+			}
+			if err := svc.AddDataset("flights", ds, cfg); err != nil {
+				return err
+			}
 		}
-		cfg, err := cfgFor(ds.Schema())
-		if err != nil {
-			return err
+		for _, spec := range datasets {
+			name, ds, err := loadDataset(spec)
+			if err != nil {
+				return err
+			}
+			cfg, err := cfgFor(name, ds.Schema())
+			if err != nil {
+				return fmt.Errorf("dataset %s: %w", name, err)
+			}
+			if err := svc.AddDataset(name, ds, cfg); err != nil {
+				return err
+			}
 		}
-		if err := svc.AddDataset("flights", ds, cfg); err != nil {
-			return err
+		for _, info := range svc.Datasets() {
+			log.Printf("dataset %q: %d points, engine %s (%d bytes)",
+				info.Name, info.Points, info.Engine, info.EngineBytes)
+			if info.Durability != nil && info.Durability.Recovery.FromDisk {
+				rec := info.Durability.Recovery
+				log.Printf("dataset %q: recovered version %d (checkpoint %d + %d records, %d rows, %d torn bytes truncated) in %.1fms",
+					info.Name, rec.Version, rec.CheckpointVersion, rec.RecordsReplayed, rec.RowsReplayed, rec.TruncatedBytes, rec.DurationMS)
+			}
 		}
+		srv.markReady()
+		return nil
 	}
-	for _, spec := range datasets {
-		name, ds, err := loadDataset(spec)
-		if err != nil {
-			return err
-		}
-		cfg, err := cfgFor(ds.Schema())
-		if err != nil {
-			return fmt.Errorf("dataset %s: %w", name, err)
-		}
-		if err := svc.AddDataset(name, ds, cfg); err != nil {
-			return err
-		}
-	}
+	return serve(*addr, srv, boot, svc.Close)
+}
 
-	for _, info := range svc.Datasets() {
-		log.Printf("dataset %q: %d points, engine %s (%d bytes)",
-			info.Name, info.Points, info.Engine, info.EngineBytes)
+// durableConfig builds one dataset's durability configuration — its own
+// subdirectory under dataDir, so datasets never interleave WAL segments —
+// or nil when -data-dir is unset (memory only).
+func durableConfig(dataDir, name string, policy durable.Policy, interval time.Duration) *durable.Config {
+	if dataDir == "" {
+		return nil
 	}
-	return serve(*addr, newServer(svc))
+	return &durable.Config{
+		Dir:           filepath.Join(dataDir, name),
+		Fsync:         policy,
+		GroupInterval: interval,
+	}
 }
 
 // serve runs a hardened http.Server until the listener fails or the process
@@ -175,9 +212,14 @@ func run(args []string) error {
 // explicit read/write timeouts bound slow or stalled clients (slowloris)
 // that the bare http.ListenAndServe defaults would let hold connections
 // forever.
-func serve(addr string, handler http.Handler) error {
+//
+// boot runs concurrently with serving, after the listener is up: the boot
+// step (dataset registration, durable recovery) can take a while and the
+// health endpoints must answer during it. closeFn runs after requests have
+// drained AND boot has finished (never concurrently with it), flushing
+// durable state so a SIGTERM loses nothing acknowledged.
+func serve(addr string, handler http.Handler, boot func() error, closeFn func() error) error {
 	srv := &http.Server{
-		Addr:              addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
@@ -187,27 +229,57 @@ func serve(addr string, handler http.Handler) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errCh := make(chan error, 1)
-	go func() {
-		log.Printf("skylined listening on %s", addr)
-		errCh <- srv.ListenAndServe()
-	}()
-
-	select {
-	case err := <-errCh:
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
 		return err
-	case <-ctx.Done():
-		stop() // restore default signal behavior: a second signal kills hard
-		log.Printf("skylined shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
-			return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("skylined listening on %s", ln.Addr())
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	bootCh := make(chan error, 1)
+	go func() { bootCh <- boot() }()
+
+	// finish drains a still-running boot (so closeFn never races recovery)
+	// and flushes durable state.
+	finish := func() error {
+		if bootCh != nil {
+			<-bootCh
+			bootCh = nil
 		}
-		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return closeFn()
+	}
+
+	for {
+		select {
+		case err := <-errCh:
+			finish()
 			return err
+		case err := <-bootCh:
+			bootCh = nil // receiving from a nil channel blocks: case disabled
+			if err != nil {
+				srv.Close()
+				<-errCh
+				closeFn()
+				return err
+			}
+		case <-ctx.Done():
+			stop() // restore default signal behavior: a second signal kills hard
+			log.Printf("skylined shutting down")
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(shutdownCtx); err != nil {
+				finish()
+				return fmt.Errorf("shutdown: %w", err)
+			}
+			if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+				finish()
+				return err
+			}
+			if err := finish(); err != nil {
+				return fmt.Errorf("flushing durable state: %w", err)
+			}
+			return nil
 		}
-		return nil
 	}
 }
 

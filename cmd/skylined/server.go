@@ -8,6 +8,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"sync/atomic"
 
 	"prefsky/internal/data"
 	"prefsky/internal/order"
@@ -24,24 +25,38 @@ const (
 	maxBatchMutations   = 1024
 )
 
-// server is the HTTP front end over the service facade.
+// server is the HTTP front end over the service facade. ready distinguishes
+// liveness from readiness: the process serves /healthz from the moment the
+// listener is up, but /readyz answers 503 until boot-time dataset
+// registration — durable recovery and WAL replay included — has finished, so
+// a load balancer never routes traffic to a half-recovered node.
 type server struct {
-	svc *service.Service
+	svc   *service.Service
+	mux   *http.ServeMux
+	ready atomic.Bool
 }
 
 // newServer routes the v1 API.
-func newServer(svc *service.Service) http.Handler {
+func newServer(svc *service.Service) *server {
 	s := &server{svc: svc}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/insert", s.handleInsert)
 	mux.HandleFunc("POST /v1/delete", s.handleDelete)
-	return mux
+	s.mux = mux
+	return s
 }
+
+// ServeHTTP implements http.Handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// markReady flips /readyz to 200 once boot has finished.
+func (s *server) markReady() { s.ready.Store(true) }
 
 type errorResponse struct {
 	Error string `json:"error"`
@@ -113,6 +128,14 @@ func writeError(w http.ResponseWriter, err error) {
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {

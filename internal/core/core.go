@@ -551,6 +551,47 @@ func NewByName(kind string, ds *data.Dataset, template *order.Preference, opts O
 	}
 }
 
+// NewFromStore builds an engine of the given kind over an existing versioned
+// store — the durability path: a recovered store exists before any engine
+// does, so construction cannot route through NewByName's dataset wrapping.
+// Kind names and option handling match NewByName exactly, except that the
+// legacy pointer kernel is rejected: it copies points out of a dataset and
+// would silently detach from the journaled store that is the system of
+// record.
+func NewFromStore(kind string, store *flat.Store, template *order.Preference, opts Options) (Engine, error) {
+	if store == nil {
+		return nil, fmt.Errorf("core: nil store")
+	}
+	if opts.Kernel == KernelPointer {
+		return nil, fmt.Errorf("core: pointer kernel cannot serve an existing store")
+	}
+	switch strings.ToLower(strings.TrimSpace(kind)) {
+	case "ipo", "ipotree", "ipo tree", "ipo-tree":
+		return newIPOTree(store, template, opts.Tree)
+	case "sfsa", "sfs-a":
+		return newAdaptiveSFSStore(store, template)
+	case "sfsd", "sfs-d":
+		return NewSFSDStore(store)
+	case "hybrid":
+		return newHybridStore(store, template, opts.Tree)
+	case "parallel-sfs", "parallelsfs", "parallel sfs", "psfs":
+		e, err := parallel.NewFromStore(store, opts.Partitions)
+		if err != nil {
+			return nil, err
+		}
+		return &parallelEngine{e: e}, nil
+	case "parallel-hybrid", "parallelhybrid", "parallel hybrid", "phybrid":
+		e, err := parallel.NewHybridFromStore(store, template, opts.Tree, opts.Partitions)
+		if err != nil {
+			return nil, err
+		}
+		return &parallelHybridEngine{e: e}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown engine kind %q (want one of %s)",
+			kind, strings.Join(Kinds(), ", "))
+	}
+}
+
 // Interface conformance checks.
 var (
 	_ Engine          = (*ipoEngine)(nil)

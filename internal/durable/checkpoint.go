@@ -1,0 +1,257 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"prefsky/internal/data"
+	"prefsky/internal/flat"
+	"prefsky/internal/order"
+)
+
+// Checkpoint file layout (little-endian):
+//
+//	8-byte magic "PSKYCKP1"
+//	u32 payload length
+//	u32 CRC32C of the payload
+//	payload:
+//	  u64 version — the store version the rows reflect
+//	  u32 next id
+//	  u32 schema JSON length, schema JSON
+//	  u32 row count
+//	  count × { i32 id, m × f64 numeric, l × i32 nominal }
+//
+// The file is written to a temp name and renamed into place, and the
+// directory is synced after the rename: a crash mid-checkpoint leaves the
+// previous checkpoint untouched, and a torn rename can never be picked up
+// because the CRC covers the whole payload.
+
+var ckptMagic = [8]byte{'P', 'S', 'K', 'Y', 'C', 'K', 'P', '1'}
+
+// maxCheckpointBytes bounds a checkpoint payload before allocation; beyond
+// it the length field itself is treated as corruption.
+const maxCheckpointBytes = 1 << 32
+
+func checkpointPath(dir string, version uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("checkpoint-%020d.ckpt", version))
+}
+
+// parseCheckpointVersion extracts the version from a checkpoint-*.ckpt name.
+func parseCheckpointVersion(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "checkpoint-") || !strings.HasSuffix(name, ".ckpt") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "checkpoint-"), ".ckpt"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// listCheckpoints returns the directory's checkpoint versions, descending
+// (newest first).
+func listCheckpoints(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var versions []uint64
+	for _, e := range ents {
+		if v, ok := parseCheckpointVersion(e.Name()); ok && !e.IsDir() {
+			versions = append(versions, v)
+		}
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] > versions[j] })
+	return versions, nil
+}
+
+// schemaJSONBytes renders the schema in its canonical JSON form, used both
+// for embedding in checkpoints and for equality checks against a registered
+// dataset's schema.
+func schemaJSONBytes(s *data.Schema) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := data.WriteSchemaJSON(&buf, s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// writeCheckpoint serializes a snapshot to a new checkpoint file, atomically
+// renamed into place. nextID must be read after the snapshot was captured so
+// it covers every id the snapshot contains.
+func writeCheckpoint(dir string, snap *flat.Snapshot, nextID data.PointID) error {
+	schemaJSON, err := schemaJSONBytes(snap.Schema())
+	if err != nil {
+		return fmt.Errorf("durable: encoding checkpoint schema: %w", err)
+	}
+	m, l := snap.Schema().NumDims(), snap.Schema().NomDims()
+	pts := snap.Points()
+	payloadLen := 8 + 4 + 4 + len(schemaJSON) + 4 + len(pts)*(4+m*8+l*4)
+	buf := make([]byte, 16+payloadLen)
+	copy(buf, ckptMagic[:])
+	binary.LittleEndian.PutUint32(buf[8:], uint32(payloadLen))
+	p := buf[16:]
+	binary.LittleEndian.PutUint64(p, snap.Version())
+	binary.LittleEndian.PutUint32(p[8:], uint32(nextID))
+	binary.LittleEndian.PutUint32(p[12:], uint32(len(schemaJSON)))
+	off := 16 + copy(p[16:], schemaJSON)
+	binary.LittleEndian.PutUint32(p[off:], uint32(len(pts)))
+	off += 4
+	for i := range pts {
+		binary.LittleEndian.PutUint32(p[off:], uint32(pts[i].ID))
+		off += 4
+		for _, v := range pts[i].Num {
+			binary.LittleEndian.PutUint64(p[off:], math.Float64bits(v))
+			off += 8
+		}
+		for _, v := range pts[i].Nom {
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+			off += 4
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[12:], crc32.Checksum(p, crcTable))
+
+	tmp, err := os.CreateTemp(dir, "checkpoint-*.tmp")
+	if err != nil {
+		return fmt.Errorf("durable: creating checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: writing checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("durable: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), checkpointPath(dir, snap.Version())); err != nil {
+		return fmt.Errorf("durable: publishing checkpoint: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// checkpointState is a decoded checkpoint: the live rows at a version plus
+// the next id to assign.
+type checkpointState struct {
+	version uint64
+	nextID  data.PointID
+	points  []data.Point
+}
+
+// readCheckpoint decodes one checkpoint file, verifying the CRC and every
+// length, and checks its embedded schema against the expected one.
+func readCheckpoint(path string, wantSchema []byte, m, l int) (*checkpointState, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < 16 || !bytes.Equal(b[:8], ckptMagic[:]) {
+		return nil, fmt.Errorf("durable: %s: not a checkpoint file", filepath.Base(path))
+	}
+	n := int64(binary.LittleEndian.Uint32(b[8:]))
+	crc := binary.LittleEndian.Uint32(b[12:])
+	if n <= 0 || n > maxCheckpointBytes || 16+n != int64(len(b)) {
+		return nil, fmt.Errorf("durable: %s: payload length %d does not match %d-byte file",
+			filepath.Base(path), n, len(b))
+	}
+	p := b[16:]
+	if crc32.Checksum(p, crcTable) != crc {
+		return nil, fmt.Errorf("durable: %s: checksum mismatch", filepath.Base(path))
+	}
+	if len(p) < 16 {
+		return nil, fmt.Errorf("durable: %s: payload shorter than its header", filepath.Base(path))
+	}
+	st := &checkpointState{
+		version: binary.LittleEndian.Uint64(p),
+		nextID:  data.PointID(binary.LittleEndian.Uint32(p[8:])),
+	}
+	schemaLen := int(binary.LittleEndian.Uint32(p[12:]))
+	if schemaLen < 0 || 16+schemaLen+4 > len(p) {
+		return nil, fmt.Errorf("durable: %s: schema length %d overruns payload", filepath.Base(path), schemaLen)
+	}
+	if !bytes.Equal(p[16:16+schemaLen], wantSchema) {
+		return nil, fmt.Errorf("durable: %s: schema does not match the registered dataset", filepath.Base(path))
+	}
+	off := 16 + schemaLen
+	count := int(binary.LittleEndian.Uint32(p[off:]))
+	off += 4
+	rowBytes := 4 + m*8 + l*4
+	if count < 0 || count > (len(p)-off)/rowBytes || off+count*rowBytes != len(p) {
+		return nil, fmt.Errorf("durable: %s: %d rows do not fit the %d remaining bytes",
+			filepath.Base(path), count, len(p)-off)
+	}
+	st.points = make([]data.Point, count)
+	nums := make([]float64, count*m)
+	noms := make([]order.Value, count*l)
+	for i := 0; i < count; i++ {
+		pt := &st.points[i]
+		pt.ID = data.PointID(binary.LittleEndian.Uint32(p[off:]))
+		off += 4
+		pt.Num = nums[i*m : (i+1)*m : (i+1)*m]
+		for d := 0; d < m; d++ {
+			pt.Num[d] = math.Float64frombits(binary.LittleEndian.Uint64(p[off:]))
+			off += 8
+		}
+		pt.Nom = noms[i*l : (i+1)*l : (i+1)*l]
+		for d := 0; d < l; d++ {
+			pt.Nom[d] = order.Value(binary.LittleEndian.Uint32(p[off:]))
+			off += 4
+		}
+	}
+	return st, nil
+}
+
+// loadNewestCheckpoint tries the directory's checkpoints newest-first and
+// returns the first that decodes cleanly, or nil when the directory holds
+// none. A corrupt newer checkpoint falls back to an older one — the WAL
+// retains every record past the older checkpoint's version until a newer
+// checkpoint lands durably, so the fallback replays further but loses
+// nothing.
+func loadNewestCheckpoint(dir string, wantSchema []byte, m, l int) (*checkpointState, error) {
+	versions, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	var firstErr error
+	for _, v := range versions {
+		st, err := readCheckpoint(checkpointPath(dir, v), wantSchema, m, l)
+		if err == nil {
+			return st, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if len(versions) > 0 {
+		return nil, fmt.Errorf("durable: no usable checkpoint among %d: %w", len(versions), firstErr)
+	}
+	return nil, nil
+}
+
+// pruneCheckpoints removes all but the keep newest checkpoint files and
+// returns the oldest version still retained. WAL pruning is bounded by that
+// version, not the newest: recovery may fall back to any retained checkpoint
+// if the newest rots, so every retained checkpoint must still find the WAL
+// records past its own version.
+func pruneCheckpoints(dir string, keep int) uint64 {
+	versions, err := listCheckpoints(dir)
+	if err != nil || len(versions) == 0 {
+		return 0
+	}
+	kept := min(keep, len(versions))
+	for _, v := range versions[kept:] {
+		os.Remove(checkpointPath(dir, v))
+	}
+	return versions[kept-1]
+}

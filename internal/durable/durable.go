@@ -1,0 +1,160 @@
+// Package durable persists a dataset's versioned columnar store
+// (flat.Store) across process restarts: a per-dataset segmented write-ahead
+// log plus periodic full-state checkpoints, recovered on open.
+//
+// The design follows the classic log-before-publish discipline, specialized
+// to the store's MVCC shape:
+//
+//   - Every mutation batch is appended to the WAL inside the store's writer
+//     critical section, before the new snapshot is published
+//     (flat.Journal). Each record carries the store version the batch
+//     produces and a CRC32C over its payload, length-prefixed so the log is
+//     self-delimiting. A crash can therefore lose only a suffix of
+//     un-synced records — never reorder or tear a published mutation.
+//   - Checkpoints are full dumps of a snapshot (live rows + version +
+//     next-id), written off the store's compaction hook: compaction already
+//     rebuilds the base block from the live rows off the write path, so the
+//     checkpoint serializes an immutable snapshot the writers never touch.
+//     Checkpoint files are written to a temp name and renamed into place, so
+//     a crash mid-checkpoint leaves the previous one intact.
+//   - Recovery (Open) loads the newest valid checkpoint — falling back to
+//     older ones if the newest is corrupt — and replays the WAL records
+//     tagged with versions past the checkpoint's. A torn tail (partial
+//     record or CRC mismatch in the final segment) is truncated at the
+//     first bad byte; a bad record followed by valid data in an earlier
+//     segment is real corruption and fails the open. After replay the
+//     recovered version must equal the log head, and every restored row is
+//     re-validated against the schema.
+//
+// Fsync policy trades durability for write latency: FsyncAlways syncs every
+// record before the mutation publishes (a crash loses nothing
+// acknowledged), FsyncGroup syncs on a background interval (group commit —
+// a crash loses at most the last interval's acknowledged writes), FsyncOff
+// leaves syncing to the OS (a crash loses the page cache, but the log
+// still orders and checksums whatever reached disk).
+package durable
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Policy selects when WAL appends reach stable storage.
+type Policy int
+
+const (
+	// FsyncGroup syncs the log on a background interval (Config.GroupInterval):
+	// group commit. Mutations ack after the OS write; a crash loses at most
+	// the last interval of acknowledged writes. The default.
+	FsyncGroup Policy = iota
+	// FsyncAlways syncs every record before its mutation publishes.
+	FsyncAlways
+	// FsyncOff never syncs explicitly outside checkpoints and shutdown.
+	FsyncOff
+)
+
+// ParsePolicy resolves the -fsync flag spellings.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "interval", "group", "group-commit":
+		return FsyncGroup, nil
+	case "always":
+		return FsyncAlways, nil
+	case "off", "none":
+		return FsyncOff, nil
+	default:
+		return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, interval or off)", s)
+	}
+}
+
+// String renders the policy as the flag spelling.
+func (p Policy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncOff:
+		return "off"
+	default:
+		return "interval"
+	}
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultGroupInterval = 50 * time.Millisecond
+	DefaultSegmentBytes  = 8 << 20
+	DefaultKeepCkpts     = 2
+)
+
+// Config configures one dataset's durability directory.
+type Config struct {
+	// Dir is the dataset's state directory (schema.json, checkpoint-*.ckpt,
+	// wal-*.wal). Created if missing.
+	Dir string
+	// Fsync selects the WAL sync policy; the zero value is FsyncGroup.
+	Fsync Policy
+	// GroupInterval is the background sync period under FsyncGroup
+	// (0 = DefaultGroupInterval).
+	GroupInterval time.Duration
+	// SegmentBytes rotates the active WAL segment past this size
+	// (0 = DefaultSegmentBytes). Checkpoints also rotate, so sealed segments
+	// fully covered by a checkpoint can be pruned.
+	SegmentBytes int64
+	// KeepCheckpoints retains this many newest checkpoint files
+	// (0 = DefaultKeepCkpts); older ones are pruned after a new one lands.
+	KeepCheckpoints int
+	// CompactThreshold configures the recovered store exactly as
+	// flat.NewStore takes it: 0 = flat.DefaultCompactThreshold, negative
+	// disables automatic compaction.
+	CompactThreshold int
+}
+
+func (c Config) withDefaults() Config {
+	if c.GroupInterval <= 0 {
+		c.GroupInterval = DefaultGroupInterval
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = DefaultSegmentBytes
+	}
+	if c.KeepCheckpoints <= 0 {
+		c.KeepCheckpoints = DefaultKeepCkpts
+	}
+	return c
+}
+
+// RecoveryStats reports what Open reconstructed, surfaced via /v1/stats so a
+// replayed node's boot cost is observable.
+type RecoveryStats struct {
+	// FromDisk is true when the directory held prior durable state; false on
+	// a first open, which seeds the directory from the registered dataset.
+	FromDisk bool `json:"fromDisk"`
+	// CheckpointVersion is the store version of the checkpoint recovery
+	// started from.
+	CheckpointVersion uint64 `json:"checkpointVersion"`
+	// RecordsReplayed counts WAL records applied past the checkpoint.
+	RecordsReplayed int `json:"recordsReplayed"`
+	// RowsReplayed counts rows those records carried (insert rows plus
+	// delete ids).
+	RowsReplayed int `json:"rowsReplayed"`
+	// TruncatedBytes is the torn tail discarded from the final segment.
+	TruncatedBytes int64 `json:"truncatedBytes"`
+	// Version is the recovered store version (the log head).
+	Version uint64 `json:"version"`
+	// DurationMS is the wall time of checkpoint load plus replay.
+	DurationMS float64 `json:"durationMs"`
+}
+
+// Stats is a point-in-time view of one dataset's durability state, served
+// by /v1/stats.
+type Stats struct {
+	Fsync              string        `json:"fsync"`
+	WALRecords         uint64        `json:"walRecords"`
+	WALBytes           uint64        `json:"walBytes"`
+	WALSyncs           uint64        `json:"walSyncs"`
+	WALSegments        int           `json:"walSegments"`
+	Checkpoints        uint64        `json:"checkpoints"`
+	CheckpointFailures uint64        `json:"checkpointFailures"`
+	CheckpointVersion  uint64        `json:"checkpointVersion"`
+	Recovery           RecoveryStats `json:"recovery"`
+}

@@ -1,0 +1,6 @@
+package durable
+
+// WALPosition exposes the active segment and its byte size so the
+// crash-recovery property test can record, after every operation, exactly
+// where a truncation would have to land to lose it.
+func (db *DB) WALPosition() (seq uint64, size int64) { return db.wal.position() }

@@ -1,0 +1,341 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"prefsky/internal/data"
+	"prefsky/internal/flat"
+	"prefsky/internal/order"
+)
+
+// DB binds one dataset's flat.Store to its durability directory: it is the
+// store's flat.Journal (every mutation appends a WAL record before it
+// publishes) and its checkpoint writer (full dumps off the compaction hook
+// and at Close). Obtain one with Open; the wrapped store is at Store().
+type DB struct {
+	dir   string
+	cfg   Config
+	store *flat.Store
+	wal   *wal
+
+	checkpoints  atomic.Uint64
+	ckptFailures atomic.Uint64
+	ckptVersion  atomic.Uint64
+	closed       atomic.Bool
+	recovery     RecoveryStats
+}
+
+// schemaFileName pins the dataset's schema in its directory so a dataset
+// registered under a different schema fails loudly instead of misreading
+// rows.
+const schemaFileName = "schema.json"
+
+// Open recovers (or seeds) a dataset's durable state and returns its DB.
+//
+// When the directory holds prior state, the seed dataset contributes only
+// its schema — which must match the directory's — and the store is rebuilt
+// from the newest valid checkpoint plus the WAL records past its version,
+// truncating a torn tail in the final segment. On a first open the seed's
+// rows become checkpoint zero, so the directory is self-contained from the
+// start.
+func Open(seed *data.Dataset, cfg Config) (*DB, error) {
+	start := time.Now()
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("durable: empty state directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: creating state directory: %w", err)
+	}
+	schema := seed.Schema()
+	m, l := schema.NumDims(), schema.NomDims()
+	schemaJSON, err := schemaJSONBytes(schema)
+	if err != nil {
+		return nil, fmt.Errorf("durable: encoding schema: %w", err)
+	}
+	schemaPath := filepath.Join(cfg.Dir, schemaFileName)
+	if prev, err := os.ReadFile(schemaPath); err == nil {
+		if !bytes.Equal(prev, schemaJSON) {
+			return nil, fmt.Errorf("durable: %s does not match the dataset schema", schemaPath)
+		}
+	} else if os.IsNotExist(err) {
+		if err := os.WriteFile(schemaPath, schemaJSON, 0o644); err != nil {
+			return nil, fmt.Errorf("durable: writing %s: %w", schemaFileName, err)
+		}
+	} else {
+		return nil, fmt.Errorf("durable: reading %s: %w", schemaFileName, err)
+	}
+
+	ckpt, err := loadNewestCheckpoint(cfg.Dir, schemaJSON, m, l)
+	if err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: listing WAL segments: %w", err)
+	}
+
+	db := &DB{dir: cfg.Dir, cfg: cfg}
+	if ckpt == nil {
+		if len(segs) > 0 {
+			// Every directory starts with checkpoint zero, so a WAL without any
+			// checkpoint means the base state is gone — replaying the log alone
+			// would resurrect a prefix-less history.
+			return nil, fmt.Errorf("durable: %s has WAL segments but no checkpoint", cfg.Dir)
+		}
+		// First open: seed the store from the dataset and dump it as
+		// checkpoint zero so the directory no longer depends on the seed.
+		db.store = flat.NewStore(seed, cfg.CompactThreshold)
+		if err := writeCheckpoint(cfg.Dir, db.store.Snapshot(), db.store.NextID()); err != nil {
+			return nil, err
+		}
+		db.recovery = RecoveryStats{FromDisk: false}
+		db.wal, err = openWAL(cfg.Dir, m, l, cfg, 1, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rec, sealed, activeSeq, err := replayWAL(cfg.Dir, segs, ckpt, schema, m, l)
+		if err != nil {
+			return nil, err
+		}
+		db.store, err = flat.RestoreStore(schema, rec.points, rec.nextID, rec.version, cfg.CompactThreshold)
+		if err != nil {
+			return nil, err
+		}
+		db.recovery = RecoveryStats{
+			FromDisk:          true,
+			CheckpointVersion: ckpt.version,
+			RecordsReplayed:   rec.records,
+			RowsReplayed:      rec.rows,
+			TruncatedBytes:    rec.truncated,
+			Version:           rec.version,
+		}
+		db.wal, err = openWAL(cfg.Dir, m, l, cfg, activeSeq, sealed, rec.version)
+		if err != nil {
+			return nil, err
+		}
+	}
+	db.ckptVersion.Store(pinnedCheckpointVersion(cfg.Dir))
+	db.recovery.Version = db.store.Version()
+	db.recovery.DurationMS = float64(time.Since(start).Microseconds()) / 1e3
+	db.store.SetJournal(db)
+	db.store.OnCompact(func(snap *flat.Snapshot) {
+		// Compaction already rebuilt the base off the write path; persisting
+		// that same immutable snapshot here makes the checkpoint nearly free.
+		if err := db.checkpointSnapshot(snap); err != nil {
+			db.ckptFailures.Add(1)
+		}
+	})
+	return db, nil
+}
+
+// pinnedCheckpointVersion reports the newest checkpoint version on disk (for
+// the stats gauge; recovery already validated it).
+func pinnedCheckpointVersion(dir string) uint64 {
+	if versions, err := listCheckpoints(dir); err == nil && len(versions) > 0 {
+		return versions[0]
+	}
+	return 0
+}
+
+// replayResult is the state replayWAL reconstructed on top of a checkpoint.
+type replayResult struct {
+	points    []data.Point
+	nextID    data.PointID
+	version   uint64
+	records   int
+	rows      int
+	truncated int64
+}
+
+// replayWAL applies the WAL records past the checkpoint's version and
+// returns the recovered state plus the sealed-segment list and active
+// segment for the reopened log. A torn tail — truncated frame or CRC
+// mismatch — is legal only in the final segment, where the file is truncated
+// at the last valid frame boundary; anywhere else it is corruption, as is
+// any record that decodes but violates the log's invariants (non-increasing
+// versions, unknown delete id, reused insert id).
+func replayWAL(dir string, segs []uint64, ckpt *checkpointState, schema *data.Schema, m, l int) (*replayResult, []sealedSegment, uint64, error) {
+	res := &replayResult{nextID: ckpt.nextID, version: ckpt.version}
+	pts := ckpt.points
+	idx := make(map[data.PointID]int, len(pts))
+	maxID := data.PointID(-1)
+	for i := range pts {
+		idx[pts[i].ID] = i
+		maxID = pts[i].ID
+	}
+	removed := make(map[int]bool)
+	logVersion := uint64(0) // strict monotonicity across the whole log
+
+	apply := func(rec *record) error {
+		if rec.version <= logVersion {
+			return fmt.Errorf("durable: record version %d after %d — log not monotonic", rec.version, logVersion)
+		}
+		logVersion = rec.version
+		if rec.version <= ckpt.version {
+			return nil // covered by the checkpoint
+		}
+		res.records++
+		res.rows += rec.rows()
+		switch rec.kind {
+		case recordInsert:
+			for i, id := range rec.ids {
+				if id <= maxID {
+					return fmt.Errorf("durable: insert record reuses id %d", id)
+				}
+				maxID = id
+				idx[id] = len(pts)
+				pts = append(pts, data.Point{
+					ID:  id,
+					Num: append([]float64(nil), rec.nums[i*m:(i+1)*m]...),
+					Nom: append([]order.Value(nil), rec.noms[i*l:(i+1)*l]...),
+				})
+			}
+		case recordDelete:
+			for _, id := range rec.ids {
+				i, ok := idx[id]
+				if !ok {
+					return fmt.Errorf("durable: delete record names unknown id %d", id)
+				}
+				delete(idx, id)
+				removed[i] = true
+			}
+		}
+		if rec.version > res.version {
+			res.version = rec.version
+		}
+		return nil
+	}
+
+	var sealed []sealedSegment
+	activeSeq := uint64(1)
+	for si, seq := range segs {
+		path := segmentPath(dir, seq)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("durable: reading WAL segment: %w", err)
+		}
+		validEnd, torn, err := walkFrames(b, m, l, apply)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("durable: %s: %w", filepath.Base(path), err)
+		}
+		last := si == len(segs)-1
+		if torn {
+			if !last {
+				// Valid data follows in a later segment, so this is not a crash
+				// tail — the segment rotted after it was sealed and synced.
+				return nil, nil, 0, fmt.Errorf("durable: %s: corrupt record mid-log", filepath.Base(path))
+			}
+			if err := os.Truncate(path, validEnd); err != nil {
+				return nil, nil, 0, fmt.Errorf("durable: truncating torn tail: %w", err)
+			}
+			res.truncated = int64(len(b)) - validEnd
+		}
+		if last {
+			activeSeq = seq
+		} else {
+			sealed = append(sealed, sealedSegment{seq: seq, lastVersion: logVersion})
+		}
+	}
+
+	if maxID >= res.nextID {
+		res.nextID = maxID + 1
+	}
+	if len(removed) == 0 {
+		res.points = pts
+	} else {
+		res.points = make([]data.Point, 0, len(pts)-len(removed))
+		for i := range pts {
+			if !removed[i] {
+				res.points = append(res.points, pts[i])
+			}
+		}
+	}
+	return res, sealed, activeSeq, nil
+}
+
+// Store returns the journaled store. Mutations through it are logged before
+// they publish; readers are untouched (snapshot loads never see the WAL).
+func (db *DB) Store() *flat.Store { return db.store }
+
+// Recovery reports what Open reconstructed.
+func (db *DB) Recovery() RecoveryStats { return db.recovery }
+
+// JournalInsert implements flat.Journal: called inside the store's writer
+// critical section, before the mutation publishes.
+func (db *DB) JournalInsert(ids []data.PointID, nums []float64, noms []order.Value, version uint64) error {
+	return db.wal.append(recordInsert, version, ids, nums, noms)
+}
+
+// JournalDelete implements flat.Journal.
+func (db *DB) JournalDelete(ids []data.PointID, version uint64) error {
+	return db.wal.append(recordDelete, version, ids, nil, nil)
+}
+
+// checkpointSnapshot dumps one snapshot as a new checkpoint, then prunes the
+// checkpoints and WAL segments it supersedes. The WAL is rotated first so
+// the sealed segments' records are all coverable by the checkpoint's
+// version.
+func (db *DB) checkpointSnapshot(snap *flat.Snapshot) error {
+	if err := db.wal.rotate(); err != nil {
+		return err
+	}
+	if err := writeCheckpoint(db.dir, snap, db.store.NextID()); err != nil {
+		return err
+	}
+	db.checkpoints.Add(1)
+	db.ckptVersion.Store(snap.Version())
+	oldest := pruneCheckpoints(db.dir, db.cfg.KeepCheckpoints)
+	db.wal.pruneUpTo(oldest)
+	return nil
+}
+
+// Sync flushes the WAL to stable storage without checkpointing: every
+// acknowledged mutation becomes crash-durable, but a reopen still replays
+// the log (admin tooling, benchmarks).
+func (db *DB) Sync() error { return db.wal.sync() }
+
+// Checkpoint forces a checkpoint of the current snapshot (graceful shutdown,
+// admin tooling).
+func (db *DB) Checkpoint() error {
+	err := db.checkpointSnapshot(db.store.Snapshot())
+	if err != nil {
+		db.ckptFailures.Add(1)
+	}
+	return err
+}
+
+// Close checkpoints the current state and closes the WAL. After Close every
+// mutation on the store fails (the journal is closed), so callers must stop
+// traffic first; a reopened directory recovers with an empty replay.
+func (db *DB) Close() error {
+	if !db.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := db.Checkpoint()
+	// Close the log even when the checkpoint failed: its sync makes every
+	// acknowledged mutation durable regardless.
+	if werr := db.wal.close(); werr != nil && err == nil {
+		err = werr
+	}
+	return err
+}
+
+// Stats snapshots the durability counters for /v1/stats.
+func (db *DB) Stats() Stats {
+	s := Stats{
+		Fsync:              db.cfg.Fsync.String(),
+		Checkpoints:        db.checkpoints.Load(),
+		CheckpointFailures: db.ckptFailures.Load(),
+		CheckpointVersion:  db.ckptVersion.Load(),
+		Recovery:           db.recovery,
+	}
+	db.wal.statsInto(&s)
+	return s
+}

@@ -1,0 +1,431 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"prefsky/internal/data"
+	"prefsky/internal/order"
+)
+
+// openTable3 opens a fresh DB over data.Table3 in its own temp directory.
+func openTable3(t *testing.T, cfg Config) (*DB, string) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	db, err := Open(data.Table3(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, cfg.Dir
+}
+
+func livePoints(t *testing.T, db *DB) []data.Point {
+	t.Helper()
+	return db.Store().Snapshot().Points()
+}
+
+// TestOpenSeedsCheckpointZero: a first open must leave the directory
+// self-contained — schema file plus checkpoint zero — and report a non-disk
+// recovery.
+func TestOpenSeedsCheckpointZero(t *testing.T) {
+	db, dir := openTable3(t, Config{Fsync: FsyncOff})
+	defer db.Close()
+	if db.Recovery().FromDisk {
+		t.Fatal("first open reported FromDisk")
+	}
+	if _, err := os.Stat(filepath.Join(dir, schemaFileName)); err != nil {
+		t.Fatalf("schema file missing: %v", err)
+	}
+	versions, err := listCheckpoints(dir)
+	if err != nil || len(versions) != 1 || versions[0] != 0 {
+		t.Fatalf("checkpoints after first open = %v (err %v), want [0]", versions, err)
+	}
+}
+
+// TestReopenRoundTrip: mutations before a clean Close must all survive a
+// reopen, including ones sitting only in the WAL (no checkpoint between
+// them and the close... Close itself checkpoints, so also verify a
+// crash-style reopen below).
+func TestReopenRoundTrip(t *testing.T) {
+	db, dir := openTable3(t, Config{Fsync: FsyncOff})
+	st := db.Store()
+	if _, err := st.Insert([]float64{1000, -3}, []order.Value{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.InsertBatch(
+		[][]float64{{900, -2}, {800, -1}},
+		[][]order.Value{{0, 0}, {2, 1}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	want := livePoints(t, db)
+	wantVersion := st.Version()
+	wantNext := st.NextID()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(data.Table3(), Config{Dir: dir, Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if !db2.Recovery().FromDisk {
+		t.Fatal("reopen did not recover from disk")
+	}
+	if got := livePoints(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered points differ:\n got %v\nwant %v", got, want)
+	}
+	if v := db2.Store().Version(); v != wantVersion {
+		t.Fatalf("recovered version %d, want %d", v, wantVersion)
+	}
+	if n := db2.Store().NextID(); n != wantNext {
+		t.Fatalf("recovered nextID %d, want %d", n, wantNext)
+	}
+	// Ids must keep advancing, never reuse.
+	id, err := db2.Store().Insert([]float64{700, -1}, []order.Value{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != wantNext {
+		t.Fatalf("post-recovery insert got id %d, want %d", id, wantNext)
+	}
+}
+
+// TestCrashReopen abandons the DB without Close — the WAL alone (FsyncOff
+// still writes to the file, the data just may not be synced; in-process
+// "crashes" lose nothing from the page cache) must carry the mutations.
+func TestCrashReopen(t *testing.T) {
+	db, dir := openTable3(t, Config{Fsync: FsyncOff})
+	st := db.Store()
+	if _, err := st.Insert([]float64{1200, -4}, []order.Value{2, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	want := livePoints(t, db)
+	// No Close: simulate a crash by leaving everything as-is.
+
+	db2, err := Open(data.Table3(), Config{Dir: dir, Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rec := db2.Recovery()
+	if rec.RecordsReplayed != 2 {
+		t.Fatalf("replayed %d records, want 2", rec.RecordsReplayed)
+	}
+	if got := livePoints(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered points differ:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestTornTailTruncated cuts the active segment mid-record after a crash:
+// recovery must keep the intact prefix, truncate the tail on disk, and a
+// second open must replay cleanly with nothing left to truncate.
+func TestTornTailTruncated(t *testing.T) {
+	db, dir := openTable3(t, Config{Fsync: FsyncOff})
+	st := db.Store()
+	if _, err := st.Insert([]float64{1100, -2}, []order.Value{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := livePoints(t, db)
+	wantVersion := st.Version()
+	seq, size := db.WALPosition()
+	if _, err := st.Insert([]float64{1050, -3}, []order.Value{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash, then lose part of the second record's frame.
+	path := segmentPath(dir, seq)
+	if err := os.Truncate(path, size+3); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(data.Table3(), Config{Dir: dir, Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := db2.Recovery()
+	if rec.TruncatedBytes != 3 {
+		t.Fatalf("TruncatedBytes = %d, want 3", rec.TruncatedBytes)
+	}
+	if got := livePoints(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered points differ:\n got %v\nwant %v", got, want)
+	}
+	if v := db2.Store().Version(); v != wantVersion {
+		t.Fatalf("recovered version %d, want %d", v, wantVersion)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db3, err := Open(data.Table3(), Config{Dir: dir, Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if tb := db3.Recovery().TruncatedBytes; tb != 0 {
+		t.Fatalf("second recovery truncated %d bytes, want 0", tb)
+	}
+	if got := livePoints(t, db3); !reflect.DeepEqual(got, want) {
+		t.Fatal("state drifted across the second reopen")
+	}
+}
+
+// TestCheckpointPrunesWAL: a checkpoint must rotate the log, prune sealed
+// segments it covers, and retire old checkpoint files down to
+// KeepCheckpoints.
+func TestCheckpointPrunesWAL(t *testing.T) {
+	db, dir := openTable3(t, Config{
+		Fsync:            FsyncOff,
+		SegmentBytes:     128, // force rotations
+		KeepCheckpoints:  2,
+		CompactThreshold: -1,
+	})
+	st := db.Store()
+	for i := 0; i < 20; i++ {
+		if _, err := st.Insert([]float64{float64(2000 + i), -1}, []order.Value{0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotations before checkpoint, got %d segments", len(segs))
+	}
+
+	before := len(segs)
+
+	st.Compact() // fires the checkpoint hook synchronously
+	if got := db.Stats().Checkpoints; got != 1 {
+		t.Fatalf("Checkpoints = %d, want 1", got)
+	}
+	if cv := db.Stats().CheckpointVersion; cv != st.Version() {
+		t.Fatalf("CheckpointVersion = %d, want %d", cv, st.Version())
+	}
+
+	// Two more checkpoints: old checkpoint files are pruned to the keep
+	// count, and WAL segments covered by the *oldest retained* checkpoint —
+	// kept until then so a fallback recovery can still replay — go with them.
+	for i := 0; i < 2; i++ {
+		if _, err := st.Insert([]float64{float64(3000 + i), -1}, []order.Value{1, 1}); err != nil {
+			t.Fatal(err)
+		}
+		st.Compact()
+	}
+	versions, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 2 {
+		t.Fatalf("kept %d checkpoints, want 2 (versions %v)", len(versions), versions)
+	}
+	segs, err = listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) >= before {
+		t.Fatalf("WAL segments not pruned: %d before checkpoints, %d after", before, len(segs))
+	}
+	if len(segs) > 3 {
+		t.Fatalf("too many segments survive three checkpoints: %v", segs)
+	}
+	want := livePoints(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(data.Table3(), Config{Dir: dir, Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := livePoints(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatal("state differs after checkpoint-heavy history")
+	}
+}
+
+// TestSchemaMismatchRejected: a directory seeded under one schema must
+// refuse a dataset with another.
+func TestSchemaMismatchRejected(t *testing.T) {
+	db, dir := openTable3(t, Config{Fsync: FsyncOff})
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(data.Table1(), Config{Dir: dir, Fsync: FsyncOff}); err == nil {
+		t.Fatal("mismatched schema accepted")
+	}
+}
+
+// TestWALWithoutCheckpointRejected: a WAL segment with no checkpoint means
+// the base state is gone; the open must fail rather than replay a
+// prefix-less history.
+func TestWALWithoutCheckpointRejected(t *testing.T) {
+	db, dir := openTable3(t, Config{Fsync: FsyncOff})
+	if _, err := db.Store().Insert([]float64{1, -1}, []order.Value{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.wal.sync(); err != nil {
+		t.Fatal(err)
+	}
+	versions, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range versions {
+		if err := os.Remove(checkpointPath(dir, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Open(data.Table3(), Config{Dir: dir, Fsync: FsyncOff}); err == nil {
+		t.Fatal("WAL without checkpoint accepted")
+	}
+}
+
+// TestCorruptMidLogRejected: a bad CRC in a sealed (non-final) segment is
+// corruption, not a torn tail — valid data follows it.
+func TestCorruptMidLogRejected(t *testing.T) {
+	db, dir := openTable3(t, Config{Fsync: FsyncOff, SegmentBytes: 64, CompactThreshold: -1})
+	st := db.Store()
+	for i := 0; i < 6; i++ {
+		if _, err := st.Insert([]float64{float64(i), -1}, []order.Value{0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("need a sealed segment, got %d", len(segs))
+	}
+	// Crash-abandon the DB, then flip a byte in the first (sealed) segment.
+	path := segmentPath(dir, segs[0])
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[frameHeaderBytes+2] ^= 0x01
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(data.Table3(), Config{Dir: dir, Fsync: FsyncOff}); err == nil {
+		t.Fatal("mid-log corruption accepted")
+	}
+}
+
+// TestCorruptNewestCheckpointFallsBack: when the newest checkpoint rots, the
+// previous one plus the retained WAL must still recover the full state.
+func TestCorruptNewestCheckpointFallsBack(t *testing.T) {
+	db, dir := openTable3(t, Config{Fsync: FsyncOff, CompactThreshold: -1})
+	st := db.Store()
+	if _, err := st.Insert([]float64{500, -5}, []order.Value{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	want := livePoints(t, db)
+	if err := db.Close(); err != nil { // writes the newest checkpoint
+		t.Fatal(err)
+	}
+	versions, err := listCheckpoints(dir)
+	if err != nil || len(versions) < 2 {
+		t.Fatalf("want ≥2 checkpoints, got %v (err %v)", versions, err)
+	}
+	path := checkpointPath(dir, versions[0])
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(data.Table3(), Config{Dir: dir, Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := livePoints(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("fallback recovery differs:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestFsyncAlwaysSmoke: the synchronous policy must count one sync per
+// mutation and still recover.
+func TestFsyncAlwaysSmoke(t *testing.T) {
+	db, dir := openTable3(t, Config{Fsync: FsyncAlways})
+	st := db.Store()
+	for i := 0; i < 3; i++ {
+		if _, err := st.Insert([]float64{float64(i), -1}, []order.Value{0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := db.Stats()
+	if s.Fsync != "always" || s.WALSyncs < 3 {
+		t.Fatalf("stats = %+v, want fsync=always and ≥3 syncs", s)
+	}
+	want := livePoints(t, db)
+	// Crash-abandon: every acknowledged write is already on disk.
+	db2, err := Open(data.Table3(), Config{Dir: dir, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := livePoints(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatal("fsync=always state lost on crash reopen")
+	}
+}
+
+// TestClosedDBRejectsWrites: after Close the journal is poisoned, so the
+// store must refuse further mutations instead of acknowledging
+// never-durable writes.
+func TestClosedDBRejectsWrites(t *testing.T) {
+	db, _ := openTable3(t, Config{Fsync: FsyncOff})
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Store().Insert([]float64{1, -1}, []order.Value{0, 0}); err == nil {
+		t.Fatal("insert accepted after Close")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Policy
+		err  bool
+	}{
+		{"", FsyncGroup, false},
+		{"interval", FsyncGroup, false},
+		{"group", FsyncGroup, false},
+		{"group-commit", FsyncGroup, false},
+		{"ALWAYS", FsyncAlways, false},
+		{" off ", FsyncOff, false},
+		{"none", FsyncOff, false},
+		{"sometimes", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParsePolicy(c.in)
+		if (err != nil) != c.err || got != c.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v, err=%v", c.in, got, err, c.want, c.err)
+		}
+	}
+	for _, p := range []Policy{FsyncGroup, FsyncAlways, FsyncOff} {
+		back, err := ParsePolicy(p.String())
+		if err != nil || back != p {
+			t.Errorf("round trip %v -> %q -> %v, %v", p, p.String(), back, err)
+		}
+	}
+}

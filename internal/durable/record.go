@@ -1,0 +1,167 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"prefsky/internal/data"
+	"prefsky/internal/order"
+)
+
+// WAL record framing (little-endian):
+//
+//	u32 payload length
+//	u32 CRC32C of the payload
+//	payload:
+//	  u8  kind (1 = insert batch, 2 = delete batch)
+//	  u64 version — the store version the batch produced
+//	  u32 count
+//	  insert: count × { i32 id, m × f64 numeric, l × i32 nominal }
+//	  delete: count × i32 id
+//
+// The frame is self-delimiting and checksummed, so a reader can walk a
+// segment without any external index and detect a torn tail at the first
+// frame whose length runs past the file or whose CRC fails. The payload
+// shape depends only on the schema's dimension counts (m numeric,
+// l nominal), which recovery knows before reading a byte.
+
+type recordKind uint8
+
+const (
+	recordInsert recordKind = 1
+	recordDelete recordKind = 2
+)
+
+// frameHeaderBytes is the fixed length+CRC prefix of every frame.
+const frameHeaderBytes = 8
+
+// maxRecordBytes bounds a frame's payload: larger lengths are treated as
+// corruption rather than allocated. The largest legitimate record is a
+// service-capped mutation batch, orders of magnitude below this.
+const maxRecordBytes = 1 << 28
+
+// crcTable is the Castagnoli polynomial table (hardware-accelerated CRC32C).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// record is one decoded WAL record. Insert records carry flattened
+// row-major coordinates exactly as the store's delta segment lays them out.
+type record struct {
+	kind    recordKind
+	version uint64
+	ids     []data.PointID
+	nums    []float64     // len = count*m, insert only
+	noms    []order.Value // len = count*l, insert only
+}
+
+// rows counts the rows the record carries (insert rows or delete ids).
+func (r *record) rows() int { return len(r.ids) }
+
+// appendFrame encodes one record as a framed, checksummed WAL entry
+// appended to buf.
+func appendFrame(buf []byte, kind recordKind, version uint64, ids []data.PointID, nums []float64, noms []order.Value) []byte {
+	payloadLen := 1 + 8 + 4 + len(ids)*4 + len(nums)*8 + len(noms)*4
+	start := len(buf)
+	buf = append(buf, make([]byte, frameHeaderBytes+payloadLen)...)
+	p := buf[start+frameHeaderBytes:]
+	p[0] = byte(kind)
+	binary.LittleEndian.PutUint64(p[1:], version)
+	binary.LittleEndian.PutUint32(p[9:], uint32(len(ids)))
+	off := 13
+	for _, id := range ids {
+		binary.LittleEndian.PutUint32(p[off:], uint32(id))
+		off += 4
+	}
+	for _, v := range nums {
+		binary.LittleEndian.PutUint64(p[off:], math.Float64bits(v))
+		off += 8
+	}
+	for _, v := range noms {
+		binary.LittleEndian.PutUint32(p[off:], uint32(v))
+		off += 4
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(p, crcTable))
+	return buf
+}
+
+// decodePayload parses a CRC-verified payload under the schema's dimension
+// counts. Every length is bounds-checked: a malformed payload returns an
+// error, never panics.
+func decodePayload(p []byte, m, l int) (*record, error) {
+	if len(p) < 13 {
+		return nil, fmt.Errorf("durable: record payload of %d bytes is shorter than its header", len(p))
+	}
+	kind := recordKind(p[0])
+	version := binary.LittleEndian.Uint64(p[1:])
+	count := int(binary.LittleEndian.Uint32(p[9:]))
+	body := p[13:]
+	var rowBytes int
+	switch kind {
+	case recordInsert:
+		rowBytes = 4 + m*8 + l*4
+	case recordDelete:
+		rowBytes = 4
+	default:
+		return nil, fmt.Errorf("durable: unknown record kind %d", kind)
+	}
+	if count < 0 || count > len(body)/rowBytes || count*rowBytes != len(body) {
+		return nil, fmt.Errorf("durable: record claims %d rows in a %d-byte body (%d bytes per row)",
+			count, len(body), rowBytes)
+	}
+	rec := &record{kind: kind, version: version, ids: make([]data.PointID, count)}
+	off := 0
+	for i := 0; i < count; i++ {
+		rec.ids[i] = data.PointID(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+	}
+	if kind == recordInsert {
+		rec.nums = make([]float64, count*m)
+		for i := range rec.nums {
+			rec.nums[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+			off += 8
+		}
+		rec.noms = make([]order.Value, count*l)
+		for i := range rec.noms {
+			rec.noms[i] = order.Value(binary.LittleEndian.Uint32(body[off:]))
+			off += 4
+		}
+	}
+	return rec, nil
+}
+
+// walkFrames iterates the framed records in a segment's bytes, calling fn
+// for each valid record with the offset one past its frame. It stops at the
+// first torn frame — truncated header, length past the buffer, or CRC
+// mismatch — returning the offset where the valid prefix ends and
+// torn=true. A frame whose CRC verifies but whose payload is malformed is
+// not a tear (a torn write cannot forge a checksum): it reports a
+// corruption error.
+func walkFrames(b []byte, m, l int, fn func(rec *record) error) (validEnd int64, torn bool, err error) {
+	off := 0
+	for off < len(b) {
+		rest := b[off:]
+		if len(rest) < frameHeaderBytes {
+			return int64(off), true, nil
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if n <= 0 || n > maxRecordBytes || frameHeaderBytes+n > len(rest) {
+			return int64(off), true, nil
+		}
+		payload := rest[frameHeaderBytes : frameHeaderBytes+n]
+		if crc32.Checksum(payload, crcTable) != crc {
+			return int64(off), true, nil
+		}
+		rec, err := decodePayload(payload, m, l)
+		if err != nil {
+			return int64(off), false, err
+		}
+		if err := fn(rec); err != nil {
+			return int64(off), false, err
+		}
+		off += frameHeaderBytes + n
+	}
+	return int64(off), false, nil
+}

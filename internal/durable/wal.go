@@ -1,0 +1,308 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"prefsky/internal/data"
+	"prefsky/internal/order"
+)
+
+// sealedSegment is a rotated-out WAL segment kept until a checkpoint covers
+// it. lastVersion is the version of its final record (0 for an empty
+// segment), so pruning after a checkpoint at version V can delete exactly
+// the segments whose every record is ≤ V.
+type sealedSegment struct {
+	seq         uint64
+	lastVersion uint64
+}
+
+// wal is the segmented write-ahead log. Appends are already serialized by
+// the store's writer lock, but the group-commit flusher and stats readers
+// run concurrently, so the log carries its own mutex.
+type wal struct {
+	dir      string
+	m, l     int // schema dimension counts for record encoding
+	policy   Policy
+	interval time.Duration
+	segBytes int64
+
+	mu          sync.Mutex
+	f           *os.File
+	seq         uint64 // active segment sequence number
+	size        int64  // active segment size
+	dirty       bool   // bytes written since the last sync
+	lastVersion uint64 // version of the newest appended record
+	sealed      []sealedSegment
+	buf         []byte // frame-encoding scratch
+	err         error  // sticky: a failed write or sync poisons the log
+
+	records uint64
+	bytes   uint64
+	syncs   uint64
+
+	stopFlush chan struct{}
+	flushDone chan struct{}
+}
+
+func segmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.wal", seq))
+}
+
+// parseSegmentSeq extracts the sequence number from a wal-*.wal file name.
+func parseSegmentSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".wal") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".wal"), 10, 64)
+	if err != nil || seq == 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns the directory's WAL segment sequence numbers,
+// ascending.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		if seq, ok := parseSegmentSeq(e.Name()); ok && !e.IsDir() {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// openWAL opens the active segment (creating segment 1 when the log is
+// empty) positioned at end-of-file and starts the group-commit flusher if
+// the policy asks for one. sealed describes the older segments recovery
+// walked, lastVersion the log head it reconstructed.
+func openWAL(dir string, m, l int, cfg Config, activeSeq uint64, sealed []sealedSegment, lastVersion uint64) (*wal, error) {
+	if activeSeq == 0 {
+		activeSeq = 1
+	}
+	f, err := os.OpenFile(segmentPath(dir, activeSeq), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: opening WAL segment: %w", err)
+	}
+	size, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: seeking WAL segment: %w", err)
+	}
+	w := &wal{
+		dir: dir, m: m, l: l,
+		policy:   cfg.Fsync,
+		interval: cfg.GroupInterval,
+		segBytes: cfg.SegmentBytes,
+		f:        f, seq: activeSeq, size: size,
+		lastVersion: lastVersion,
+		sealed:      sealed,
+	}
+	if w.policy == FsyncGroup {
+		w.stopFlush = make(chan struct{})
+		w.flushDone = make(chan struct{})
+		go w.flushLoop()
+	}
+	return w, nil
+}
+
+// flushLoop is the group-commit ticker: every interval, sync whatever
+// records accumulated since the last tick.
+func (w *wal) flushLoop() {
+	defer close(w.flushDone)
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			w.mu.Lock()
+			w.syncLocked()
+			w.mu.Unlock()
+		case <-w.stopFlush:
+			return
+		}
+	}
+}
+
+// syncLocked flushes the active segment if it has unsynced bytes. Callers
+// hold w.mu. A sync failure is sticky: the durability contract is broken,
+// so every later append fails loudly instead of silently acking writes that
+// may never land.
+func (w *wal) syncLocked() {
+	if !w.dirty || w.err != nil || w.f == nil {
+		return
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("durable: syncing WAL: %w", err)
+		return
+	}
+	w.dirty = false
+	w.syncs++
+}
+
+// append encodes and writes one record. Under FsyncAlways the record is
+// durable when append returns; otherwise it is in the OS page cache awaiting
+// the flusher or the next checkpoint. Called from the store's writer
+// critical section (via DB's flat.Journal implementation).
+func (w *wal) append(kind recordKind, version uint64, ids []data.PointID, nums []float64, noms []order.Value) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.buf = appendFrame(w.buf[:0], kind, version, ids, nums, noms)
+	if w.size > 0 && w.size+int64(len(w.buf)) > w.segBytes {
+		if err := w.rotateLocked(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		// A partial write leaves a torn tail; recovery truncates it, and the
+		// sticky error keeps this process from appending after it.
+		w.err = fmt.Errorf("durable: appending WAL record: %w", err)
+		return w.err
+	}
+	w.size += int64(len(w.buf))
+	w.lastVersion = version
+	w.records++
+	w.bytes += uint64(len(w.buf))
+	if w.policy == FsyncAlways {
+		w.dirty = true
+		w.syncLocked()
+		if w.err != nil {
+			return w.err
+		}
+	} else {
+		w.dirty = true
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment (synced, so sealed segments are
+// always fully durable) and opens the next one. Callers hold w.mu.
+func (w *wal) rotateLocked() error {
+	if w.dirty {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("durable: syncing WAL before rotation: %w", err)
+		}
+		w.dirty = false
+		w.syncs++
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("durable: closing WAL segment: %w", err)
+	}
+	w.sealed = append(w.sealed, sealedSegment{seq: w.seq, lastVersion: w.lastVersion})
+	w.seq++
+	f, err := os.OpenFile(segmentPath(w.dir, w.seq), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: opening WAL segment: %w", err)
+	}
+	w.f = f
+	w.size = 0
+	return syncDir(w.dir)
+}
+
+// rotate seals the active segment from outside the append path (checkpoint
+// boundaries), so pruning after the checkpoint can consider it.
+func (w *wal) rotate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.size == 0 {
+		return nil // the active segment is empty; nothing to seal
+	}
+	if err := w.rotateLocked(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// pruneUpTo deletes sealed segments whose every record is covered by a
+// durable checkpoint at the given version.
+func (w *wal) pruneUpTo(version uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	kept := w.sealed[:0]
+	for _, s := range w.sealed {
+		if s.lastVersion <= version {
+			os.Remove(segmentPath(w.dir, s.seq))
+			continue
+		}
+		kept = append(kept, s)
+	}
+	w.sealed = kept
+}
+
+// sync forces the active segment to stable storage.
+func (w *wal) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.syncLocked()
+	return w.err
+}
+
+// close stops the flusher, syncs and closes the active segment.
+func (w *wal) close() error {
+	if w.stopFlush != nil {
+		close(w.stopFlush)
+		<-w.flushDone
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.syncLocked()
+	err := w.err
+	if w.f != nil {
+		if cerr := w.f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		w.f = nil
+	}
+	if w.err == nil {
+		w.err = fmt.Errorf("durable: log closed")
+	}
+	return err
+}
+
+// position reports the active segment and its size (tests truncate here to
+// simulate crashes).
+func (w *wal) position() (seq uint64, size int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq, w.size
+}
+
+// statsInto fills the WAL portion of Stats.
+func (w *wal) statsInto(s *Stats) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s.WALRecords = w.records
+	s.WALBytes = w.bytes
+	s.WALSyncs = w.syncs
+	s.WALSegments = len(w.sealed) + 1
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,180 @@
+package flat_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"prefsky/internal/bitset"
+	"prefsky/internal/data"
+	"prefsky/internal/flat"
+	"prefsky/internal/order"
+)
+
+// journalEntry captures one Journal callback, plus the store version that
+// was published at the moment the callback ran — the log-before-publish
+// invariant says it must still be the pre-mutation version.
+type journalEntry struct {
+	insert      bool
+	ids         []data.PointID
+	nums        []float64
+	noms        []order.Value
+	version     uint64
+	publishedAt uint64
+}
+
+type fakeJournal struct {
+	st      *flat.Store
+	entries []journalEntry
+	fail    error
+}
+
+func (j *fakeJournal) JournalInsert(ids []data.PointID, nums []float64, noms []order.Value, version uint64) error {
+	if j.fail != nil {
+		return j.fail
+	}
+	j.entries = append(j.entries, journalEntry{
+		insert:      true,
+		ids:         append([]data.PointID(nil), ids...),
+		nums:        append([]float64(nil), nums...),
+		noms:        append([]order.Value(nil), noms...),
+		version:     version,
+		publishedAt: j.st.Version(),
+	})
+	return nil
+}
+
+func (j *fakeJournal) JournalDelete(ids []data.PointID, version uint64) error {
+	if j.fail != nil {
+		return j.fail
+	}
+	j.entries = append(j.entries, journalEntry{
+		ids:         append([]data.PointID(nil), ids...),
+		version:     version,
+		publishedAt: j.st.Version(),
+	})
+	return nil
+}
+
+// TestJournalLogBeforePublish: every mutation must reach the journal with
+// its post-mutation version and payload while the published snapshot still
+// shows the pre-mutation version — the record is on the log's path to disk
+// before any reader can observe the change.
+func TestJournalLogBeforePublish(t *testing.T) {
+	st := flat.NewStore(data.Table1(), -1)
+	j := &fakeJournal{st: st}
+	st.SetJournal(j)
+	v0 := st.Version()
+
+	id, err := st.Insert([]float64{100, -1}, []order.Value{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := st.InsertBatch(
+		[][]float64{{200, -2}, {300, -3}},
+		[][]order.Value{{0}, {1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.DeleteBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []journalEntry{
+		{insert: true, ids: []data.PointID{id}, nums: []float64{100, -1}, noms: []order.Value{2},
+			version: v0 + 1, publishedAt: v0},
+		{insert: true, ids: ids, nums: []float64{200, -2, 300, -3}, noms: []order.Value{0, 1},
+			version: v0 + 3, publishedAt: v0 + 1},
+		{ids: []data.PointID{id}, version: v0 + 4, publishedAt: v0 + 3},
+		// Batch mutations bump the version by the batch size.
+		{ids: ids, version: v0 + 6, publishedAt: v0 + 4},
+	}
+	if !reflect.DeepEqual(j.entries, want) {
+		t.Fatalf("journal saw:\n %+v\nwant:\n %+v", j.entries, want)
+	}
+	if st.Version() != v0+6 {
+		t.Fatalf("final version %d, want %d", st.Version(), v0+6)
+	}
+}
+
+// TestJournalErrorAbortsMutation: when the journal refuses a record the
+// mutation must not happen — no snapshot publish, no version bump, and the
+// ids it would have assigned stay unassigned for the next attempt.
+func TestJournalErrorAbortsMutation(t *testing.T) {
+	st := flat.NewStore(data.Table1(), -1)
+	j := &fakeJournal{st: st, fail: errors.New("disk full")}
+	st.SetJournal(j)
+	v0 := st.Version()
+	next := st.NextID()
+	before := st.Snapshot().Points()
+
+	if _, err := st.Insert([]float64{100, -1}, []order.Value{0}); err == nil {
+		t.Fatal("insert succeeded despite journal error")
+	}
+	if _, err := st.InsertBatch([][]float64{{1, -1}, {2, -2}}, [][]order.Value{{0}, {1}}); err == nil {
+		t.Fatal("batch insert succeeded despite journal error")
+	}
+	if err := st.Delete(0); err == nil {
+		t.Fatal("delete succeeded despite journal error")
+	}
+	if _, err := st.DeleteBatch([]data.PointID{0, 1}); err == nil {
+		t.Fatal("batch delete succeeded despite journal error")
+	}
+	if st.Version() != v0 {
+		t.Fatalf("version moved to %d on failed mutations", st.Version())
+	}
+	if !reflect.DeepEqual(st.Snapshot().Points(), before) {
+		t.Fatal("failed mutation published rows")
+	}
+	if len(j.entries) != 0 {
+		t.Fatalf("failing journal recorded %d entries", len(j.entries))
+	}
+
+	// Recovered journal: the aborted ids are reused, so the id sequence has
+	// no holes the WAL never saw.
+	j.fail = nil
+	id, err := st.Insert([]float64{100, -1}, []order.Value{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != next {
+		t.Fatalf("insert after aborted attempts got id %d, want %d", id, next)
+	}
+	if st.Version() != v0+1 {
+		t.Fatalf("version %d after recovery, want %d", st.Version(), v0+1)
+	}
+}
+
+// TestSizeBytesCountsDeltaAndTombstones: StoreStats.SizeBytes must grow with
+// the delta segment (num + nom + id columns per row) and the tombstone
+// bitset, not just the base block.
+func TestSizeBytesCountsDeltaAndTombstones(t *testing.T) {
+	st := flat.NewStore(data.Table1(), -1)
+	m, l := st.Schema().NumDims(), st.Schema().NomDims()
+	base := st.Stats().SizeBytes
+
+	const k = 5
+	for i := 0; i < k; i++ {
+		if _, err := st.Insert([]float64{float64(i), -1}, []order.Value{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perRow := m*8 + l*4 + 4 // delta num + nom + id columns
+	withDelta := st.Stats().SizeBytes
+	if got, want := withDelta-base, k*perRow; got != want {
+		t.Fatalf("delta segment adds %d bytes, want %d", got, want)
+	}
+
+	if err := st.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	withDead := st.Stats().SizeBytes
+	deadBytes := bitset.New(st.Snapshot().Rows()).SizeBytes()
+	if got := withDead - withDelta; got != deadBytes {
+		t.Fatalf("tombstone set adds %d bytes, want %d", got, deadBytes)
+	}
+}

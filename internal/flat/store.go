@@ -16,6 +16,24 @@ import (
 // background compaction when a store is built with threshold 0.
 const DefaultCompactThreshold = 4096
 
+// Journal receives every mutation before it is published — the write-ahead
+// hook the durability subsystem attaches. The store calls it inside the
+// writer critical section, after the mutation is validated and its snapshot
+// built but before the snapshot is stored (log-before-publish): a journaled
+// mutation that was never published is recoverable and harmless to replay,
+// whereas a published mutation missing from the journal would be lost by a
+// crash. An error from the journal aborts the mutation — nothing is
+// published and the caller sees the error.
+//
+// Insert rows arrive flattened row-major (row i is nums[i*m:(i+1)*m] and
+// noms[i*l:(i+1)*l] under the store's schema); version is the store version
+// the mutation produces. The slices alias store memory and must not be
+// retained past the call.
+type Journal interface {
+	JournalInsert(ids []data.PointID, nums []float64, noms []order.Value, version uint64) error
+	JournalDelete(ids []data.PointID, version uint64) error
+}
+
 // StoreStats is a point-in-time view of a store's snapshot shape and
 // maintenance counters, served by /v1/stats.
 type StoreStats struct {
@@ -56,6 +74,7 @@ type Store struct {
 	compacting bool
 	deadSince  []data.PointID // ids deleted while a compaction is in flight
 	hooks      []func(*Snapshot)
+	journal    Journal // nil: no write-ahead logging
 
 	inserts     atomic.Uint64
 	deletes     atomic.Uint64
@@ -78,8 +97,62 @@ func NewStore(ds *data.Dataset, threshold int) *Store {
 	return st
 }
 
+// RestoreStore rebuilds a store from recovered durable state: the live
+// points in ascending id order, the next id to assign (ids are never reused,
+// so nextID must exceed every id ever assigned — including deleted ones) and
+// the mutation version the points reflect. Every point is re-validated
+// against the schema so a checkpoint or log corrupted in a way its checksums
+// missed cannot poison the packed presort with non-finite numerics or
+// out-of-domain nominal values.
+func RestoreStore(schema *data.Schema, points []data.Point, nextID data.PointID, version uint64, threshold int) (*Store, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("flat: nil schema")
+	}
+	if threshold == 0 {
+		threshold = DefaultCompactThreshold
+	}
+	blk, err := FromPoints(schema, points)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{schema: schema, threshold: threshold, nextID: nextID}
+	last := data.PointID(-1)
+	for i := range points {
+		p := &points[i]
+		if p.ID <= last {
+			return nil, fmt.Errorf("flat: restored ids not ascending: %d after %d", p.ID, last)
+		}
+		if err := st.validate(p.Num, p.Nom); err != nil {
+			return nil, fmt.Errorf("flat: restored point %d: %w", p.ID, err)
+		}
+		last = p.ID
+	}
+	if int(nextID) <= int(last) {
+		return nil, fmt.Errorf("flat: restored nextID %d not above max id %d", nextID, last)
+	}
+	snap := newSnapshot(blk)
+	snap.version = version
+	st.snap.Store(snap)
+	return st, nil
+}
+
 // Schema returns the store's schema.
 func (st *Store) Schema() *data.Schema { return st.schema }
+
+// NextID returns the next point id the store will assign. It may run ahead
+// of any particular snapshot's contents (ids are assigned by writers that may
+// not have published yet); it never runs behind, so persisting it with a
+// snapshot keeps the ids-are-never-reused guarantee across recovery.
+func (st *Store) NextID() data.PointID {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.nextID
+}
+
+// SetJournal attaches the store's write-ahead hook. It must be set before
+// the first mutation (at open time, before the store is shared); attaching a
+// journal to a store with concurrent writers is a race.
+func (st *Store) SetJournal(j Journal) { st.journal = j }
 
 // Snapshot returns the current version: one atomic load, safe to use for the
 // rest of the query regardless of concurrent writers.
@@ -161,6 +234,13 @@ func (st *Store) Insert(num []float64, nom []order.Value) (data.PointID, error) 
 		deadN:   cur.deadN,
 		version: cur.version + 1,
 	}
+	if st.journal != nil {
+		if err := st.journal.JournalInsert(ns.dids[len(cur.dids):], ns.dnum[len(cur.dnum):], ns.dnom[len(cur.dnom):], ns.version); err != nil {
+			st.nextID = id // nothing published; the id stays unassigned
+			st.mu.Unlock()
+			return 0, fmt.Errorf("flat: journaling insert: %w", err)
+		}
+	}
 	st.snap.Store(ns)
 	st.inserts.Add(1)
 	st.maybeCompactLocked(ns)
@@ -204,6 +284,13 @@ func (st *Store) InsertBatch(nums [][]float64, noms [][]order.Value) ([]data.Poi
 		dead:    cur.dead,
 		deadN:   cur.deadN,
 		version: cur.version + uint64(len(ids)),
+	}
+	if st.journal != nil {
+		if err := st.journal.JournalInsert(ns.dids[len(cur.dids):], ns.dnum[len(cur.dnum):], ns.dnom[len(cur.dnom):], ns.version); err != nil {
+			st.nextID = ids[0] // nothing published; the ids stay unassigned
+			st.mu.Unlock()
+			return nil, fmt.Errorf("flat: journaling insert batch: %w", err)
+		}
 	}
 	st.snap.Store(ns)
 	st.inserts.Add(uint64(len(ids)))
@@ -252,6 +339,12 @@ func (st *Store) DeleteBatch(ids []data.PointID) (int, error) {
 		deadN:   cur.deadN + applied,
 		version: cur.version + uint64(applied),
 	}
+	if st.journal != nil {
+		if err := st.journal.JournalDelete(ids[:applied], ns.version); err != nil {
+			st.mu.Unlock()
+			return 0, fmt.Errorf("flat: journaling delete batch: %w", err)
+		}
+	}
 	if st.compacting {
 		st.deadSince = append(st.deadSince, ids[:applied]...)
 	}
@@ -287,6 +380,12 @@ func (st *Store) Delete(id data.PointID) error {
 		dead:    dead,
 		deadN:   cur.deadN + 1,
 		version: cur.version + 1,
+	}
+	if st.journal != nil {
+		if err := st.journal.JournalDelete([]data.PointID{id}, ns.version); err != nil {
+			st.mu.Unlock()
+			return fmt.Errorf("flat: journaling delete: %w", err)
+		}
 	}
 	if st.compacting {
 		st.deadSince = append(st.deadSince, id)

@@ -1,0 +1,77 @@
+package ipotree
+
+import (
+	"bytes"
+	"testing"
+
+	"prefsky/internal/data"
+)
+
+// savedTree builds a representative tree (bitmap + top-K exercised by a
+// second blob) and returns its Save output.
+func savedTree(tb testing.TB, opts Options) []byte {
+	tb.Helper()
+	ds := data.Table3()
+	tree, err := Build(ds, ds.Schema().EmptyPreference(), opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadTruncated cuts the saved blob at every length: each prefix must
+// fail to load — never panic, never produce a tree.
+func TestLoadTruncated(t *testing.T) {
+	raw := savedTree(t, Options{})
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := Load(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("Load accepted a %d/%d-byte prefix", cut, len(raw))
+		}
+	}
+}
+
+// TestLoadBitFlips flips every bit of the saved blob one at a time: the CRC
+// frame must reject each damaged copy. Gob alone cannot catch these — a
+// flipped byte inside a position slice decodes into a silently-wrong tree.
+func TestLoadBitFlips(t *testing.T) {
+	raw := savedTree(t, Options{TopK: 2, UseBitmap: true})
+	mut := make([]byte, len(raw))
+	for i := range raw {
+		for bit := 0; bit < 8; bit++ {
+			copy(mut, raw)
+			mut[i] ^= 1 << bit
+			if _, err := Load(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("Load accepted blob with bit %d of byte %d flipped", bit, i)
+			}
+		}
+	}
+}
+
+// FuzzLoad feeds arbitrary bytes to Load: it must never panic, and any tree
+// it does accept must survive a query against its own template.
+func FuzzLoad(f *testing.F) {
+	raw := savedTree(f, Options{})
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+	f.Add(savedTree(f, Options{TopK: 2, UseBitmap: true}))
+	f.Add([]byte("IPOIDX02"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		tree, err := Load(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		if _, err := tree.Query(tree.Template()); err != nil {
+			// Rejecting the query is fine; crashing is not (the call itself
+			// would panic the fuzzer).
+			return
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"prefsky/internal/core"
 	"prefsky/internal/data"
 	"prefsky/internal/dominance"
+	"prefsky/internal/durable"
 	"prefsky/internal/flat"
 	"prefsky/internal/ipotree"
 	"prefsky/internal/order"
@@ -54,6 +55,12 @@ type EngineConfig struct {
 	// ReadOnly freezes the dataset: Insert/Delete return
 	// ErrNotMaintainable even on engines that support maintenance.
 	ReadOnly bool
+	// Durable, when non-nil, persists the dataset under Durable.Dir: the
+	// engine's store is recovered from the directory's checkpoint + WAL (the
+	// registered dataset seeds it only on first open) and every mutation is
+	// write-ahead logged. Requires the flat kernel. Durable.CompactThreshold
+	// left zero inherits CompactThreshold above.
+	Durable *durable.Config
 }
 
 // DatasetInfo is a read-only snapshot of one registered dataset.
@@ -67,6 +74,7 @@ type DatasetInfo struct {
 	Queries      uint64           `json:"queries"`
 	Version      uint64           `json:"version"`
 	Store        *flat.StoreStats `json:"store,omitempty"`
+	Durability   *durable.Stats   `json:"durability,omitempty"`
 }
 
 // dsEntry is one hosted dataset. There is no entry-level lock: queries read
@@ -83,6 +91,7 @@ type dsEntry struct {
 	ds        *data.Dataset // registration-time data (pointer-kernel reads)
 	store     *flat.Store   // nil for pointer-kernel engines
 	eng       core.Engine
+	dur       *durable.DB              // nil for memory-only datasets
 	maint     core.Maintainer          // nil when unsupported or read-only
 	validator core.PreferenceValidator // nil when the engine accepts everything
 	readOnly  bool
@@ -146,13 +155,34 @@ func (r *Registry) Add(name string, ds *data.Dataset, cfg EngineConfig) error {
 	if err != nil {
 		return fmt.Errorf("service: dataset %q: %w", name, err)
 	}
-	eng, err := core.NewByName(kind, ds, tmpl, core.Options{
+	opts := core.Options{
 		Tree:             cfg.Tree,
 		Partitions:       cfg.Partitions,
 		Kernel:           kernel,
 		CompactThreshold: cfg.CompactThreshold,
-	})
+	}
+	var eng core.Engine
+	var db *durable.DB
+	if cfg.Durable != nil {
+		if kernel == core.KernelPointer {
+			return fmt.Errorf("service: dataset %q: the pointer kernel cannot be durable", name)
+		}
+		dcfg := *cfg.Durable
+		if dcfg.CompactThreshold == 0 {
+			dcfg.CompactThreshold = cfg.CompactThreshold
+		}
+		db, err = durable.Open(ds, dcfg)
+		if err != nil {
+			return fmt.Errorf("service: opening durable state for %q: %w", name, err)
+		}
+		eng, err = core.NewFromStore(kind, db.Store(), tmpl, opts)
+	} else {
+		eng, err = core.NewByName(kind, ds, tmpl, opts)
+	}
 	if err != nil {
+		if db != nil {
+			db.Close()
+		}
 		return fmt.Errorf("service: building engine for %q: %w", name, err)
 	}
 	e := &dsEntry{
@@ -161,6 +191,7 @@ func (r *Registry) Add(name string, ds *data.Dataset, cfg EngineConfig) error {
 		ds:        ds,
 		store:     core.StoreOf(eng),
 		eng:       eng,
+		dur:       db,
 		validator: core.ValidatorOf(eng),
 		readOnly:  cfg.ReadOnly,
 	}
@@ -169,23 +200,54 @@ func (r *Registry) Add(name string, ds *data.Dataset, cfg EngineConfig) error {
 	}
 
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, dup := r.entries[name]; dup {
+		r.mu.Unlock()
+		if db != nil {
+			db.Close()
+		}
 		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
 	}
 	e.epoch = r.epochs.Add(1)
 	r.entries[name] = e
+	r.mu.Unlock()
 	return nil
 }
 
 // Remove unregisters the dataset, reporting whether it existed. In-flight
-// queries keep the snapshot they already loaded and complete normally.
+// queries keep the snapshot they already loaded and complete normally; a
+// durable dataset is checkpointed and its log closed, so mutations racing
+// the removal either land durably or fail cleanly.
 func (r *Registry) Remove(name string) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	_, ok := r.entries[name]
+	e, ok := r.entries[name]
 	delete(r.entries, name)
+	r.mu.Unlock()
+	if ok && e.dur != nil {
+		e.dur.Close()
+	}
 	return ok
+}
+
+// Close checkpoints and closes every durable dataset. The registry stays
+// usable for reads; mutations on closed durable datasets fail. Call it after
+// traffic has stopped (graceful shutdown).
+func (r *Registry) Close() error {
+	r.mu.RLock()
+	entries := make([]*dsEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	var first error
+	for _, e := range entries {
+		if e.dur == nil {
+			continue
+		}
+		if err := e.dur.Close(); err != nil && first == nil {
+			first = fmt.Errorf("service: closing durable state for %q: %w", e.name, err)
+		}
+	}
+	return first
 }
 
 func (r *Registry) entry(name string) (*dsEntry, error) {
@@ -233,6 +295,10 @@ func (r *Registry) Info() []DatasetInfo {
 		if e.store != nil {
 			st := e.store.Stats()
 			info.Store = &st
+		}
+		if e.dur != nil {
+			d := e.dur.Stats()
+			info.Durability = &d
 		}
 		out[i] = info
 	}

@@ -194,6 +194,11 @@ func (s *Service) DeleteBatch(dataset string, ids []data.PointID) (applied int, 
 	return applied, err
 }
 
+// Close flushes and closes every durable dataset: final checkpoint, WAL
+// sync, log closed. Call it after traffic has drained (cmd/skylined runs it
+// after the HTTP server's graceful shutdown completes).
+func (s *Service) Close() error { return s.reg.Close() }
+
 // Stats snapshots the whole service.
 func (s *Service) Stats() Stats {
 	queries, batches := s.exec.Counters()
