@@ -1,0 +1,240 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"slices"
+	"time"
+
+	"prefsky/internal/bench/export"
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/flat"
+	"prefsky/internal/order"
+)
+
+// The grid scenario measures what coarse-grid cell pruning buys a cold flat
+// SFS-D scan: both sides project and scan the same block under the same
+// preference, one with the grid forced off (the dense rank-column scan), one
+// with it forced on (per-iteration lazy grid build included, so the cost of
+// building the summaries counts against the win). The acceptance figure is
+// grid/speedup-dense-vs-grid-p50 (target >= 1.5x at N=100k).
+//
+// The batch scenario measures the shared-scan /v1/batch kernel: B
+// preferences sharing a top choice per dimension but refining differently
+// below it, answered once by a per-preference Project + SkylineRange loop
+// and once by Snapshot.SkylineBatch's single meet-ordered pass. The
+// acceptance figure is batch/speedup-loop-vs-vectorized (target >= 3x at
+// B=64, N=100k).
+
+// gridBatchReps is how many timed repetitions feed each percentile.
+const gridBatchReps = 15
+
+func percentileNs(lats []time.Duration, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := slices.Clone(lats)
+	slices.Sort(s)
+	return float64(s[int(q*float64(len(s)-1))])
+}
+
+func meanNs(lats []time.Duration) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, l := range lats {
+		sum += float64(l)
+	}
+	return sum / float64(len(lats))
+}
+
+// runGrid times the cold flat SFS-D scan dense vs grid-pruned, verifying the
+// two skylines are identical first.
+func runGrid(report *export.Report, ds *data.Dataset, cmp *dominance.Comparator, n int, kind fmt.Stringer) error {
+	blk := flat.NewBlock(ds)
+	check := func(mode flat.GridMode) ([]data.PointID, error) {
+		proj, err := blk.Project(cmp)
+		if err != nil {
+			return nil, err
+		}
+		proj.SetGridMode(mode)
+		return proj.Skyline(), nil
+	}
+	dense, err := check(flat.GridOff)
+	if err != nil {
+		return err
+	}
+	grid, err := check(flat.GridOn)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(dense, grid) {
+		return fmt.Errorf("grid scan disagrees with dense: %d vs %d ids", len(grid), len(dense))
+	}
+
+	measure := func(mode flat.GridMode) ([]time.Duration, error) {
+		lats := make([]time.Duration, 0, gridBatchReps)
+		for i := 0; i < gridBatchReps; i++ {
+			t0 := time.Now()
+			proj, err := blk.Project(cmp)
+			if err != nil {
+				return nil, err
+			}
+			proj.SetGridMode(mode)
+			proj.SkylineRange(0, proj.N())
+			lats = append(lats, time.Since(t0))
+		}
+		return lats, nil
+	}
+	denseLats, err := measure(flat.GridOff)
+	if err != nil {
+		return err
+	}
+	gridLats, err := measure(flat.GridOn)
+	if err != nil {
+		return err
+	}
+	for _, m := range []struct {
+		label string
+		lats  []time.Duration
+	}{{"dense", denseLats}, {"grid", gridLats}} {
+		report.Add(export.Result{
+			Name:       fmt.Sprintf("grid/SFS-D/N=%d/%s/%s", n, kind, m.label),
+			Kernel:     "flat",
+			N:          n,
+			Iterations: len(m.lats),
+			NsPerOp:    meanNs(m.lats),
+			P50NsPerOp: percentileNs(m.lats, 0.5),
+			P95NsPerOp: percentileNs(m.lats, 0.95),
+		})
+		fmt.Printf("grid %-6s p50 %12v  p95 %12v\n", m.label+":",
+			time.Duration(percentileNs(m.lats, 0.5)), time.Duration(percentileNs(m.lats, 0.95)))
+	}
+	speedup := percentileNs(denseLats, 0.5) / percentileNs(gridLats, 0.5)
+	report.Derive(fmt.Sprintf("grid/speedup-dense-vs-grid-p50/N=%d", n), speedup)
+	st := flat.ReadGridStats()
+	report.Derive(fmt.Sprintf("grid/rows-pruned/N=%d", n), float64(st.RowsPruned))
+	fmt.Printf("grid p50 speedup vs dense: %.2fx (acceptance: >= 1.5x; %d rows pruned, %d cells dominated)\n",
+		speedup, st.RowsPruned, st.CellsDominated)
+	return nil
+}
+
+// batchPrefs builds B preferences that agree on the most-preferred value of
+// every nominal dimension but refine differently below it — the shared-prefix
+// shape /v1/batch sees when user populations share a taste but diverge in the
+// details. All B are canonically distinct with overwhelming probability.
+func batchPrefs(schema *data.Schema, bsize int, rng *rand.Rand) ([]*order.Preference, error) {
+	cards := schema.Cardinalities()
+	perms := make([][]order.Value, len(cards))
+	for d, card := range cards {
+		perm := make([]order.Value, card)
+		for i, v := range rng.Perm(card) {
+			perm[i] = order.Value(v)
+		}
+		perms[d] = perm
+	}
+	prefs := make([]*order.Preference, bsize)
+	for k := range prefs {
+		dims := make([]*order.Implicit, len(cards))
+		for d, card := range cards {
+			tail := slices.Clone(perms[d][1:])
+			rng.Shuffle(len(tail), func(i, j int) { tail[i], tail[j] = tail[j], tail[i] })
+			depth := 1 + rng.Intn(min(3, card-1)+1)
+			vals := append([]order.Value{perms[d][0]}, tail[:depth-1]...)
+			ip, err := order.NewImplicit(card, vals...)
+			if err != nil {
+				return nil, err
+			}
+			dims[d] = ip
+		}
+		pref, err := order.NewPreference(dims...)
+		if err != nil {
+			return nil, err
+		}
+		prefs[k] = pref
+	}
+	return prefs, nil
+}
+
+// runBatch times B preferences answered by a per-preference loop vs one
+// SkylineBatch pass, verifying the answers agree first.
+func runBatch(report *export.Report, ds *data.Dataset, n, bsize int, seed int64) error {
+	store := flat.NewStore(ds, 0)
+	snap := store.Snapshot()
+	rng := rand.New(rand.NewSource(seed))
+	prefs, err := batchPrefs(ds.Schema(), bsize, rng)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	loop := func() ([][]data.PointID, error) {
+		out := make([][]data.PointID, len(prefs))
+		for k, p := range prefs {
+			cmp, err := dominance.NewComparator(ds.Schema(), p)
+			if err != nil {
+				return nil, err
+			}
+			proj, err := snap.Project(cmp)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = proj.IDs(proj.SkylineRange(0, proj.N()))
+		}
+		return out, nil
+	}
+	want, err := loop()
+	if err != nil {
+		return err
+	}
+	got, err := snap.SkylineBatch(ctx, prefs, flat.GridAuto)
+	if err != nil {
+		return err
+	}
+	for k := range want {
+		if !reflect.DeepEqual(want[k], got[k]) {
+			return fmt.Errorf("batch member %d disagrees with the loop: %d vs %d ids", k, len(got[k]), len(want[k]))
+		}
+	}
+
+	loopLats := make([]time.Duration, 0, gridBatchReps)
+	for i := 0; i < gridBatchReps; i++ {
+		t0 := time.Now()
+		if _, err := loop(); err != nil {
+			return err
+		}
+		loopLats = append(loopLats, time.Since(t0))
+	}
+	vecLats := make([]time.Duration, 0, gridBatchReps)
+	for i := 0; i < gridBatchReps; i++ {
+		t0 := time.Now()
+		if _, err := snap.SkylineBatch(ctx, prefs, flat.GridAuto); err != nil {
+			return err
+		}
+		vecLats = append(vecLats, time.Since(t0))
+	}
+	for _, m := range []struct {
+		label string
+		lats  []time.Duration
+	}{{"loop", loopLats}, {"vectorized", vecLats}} {
+		report.Add(export.Result{
+			Name:       fmt.Sprintf("batch/N=%d/B=%d/%s", n, bsize, m.label),
+			Kernel:     "flat",
+			N:          n,
+			Iterations: len(m.lats),
+			NsPerOp:    meanNs(m.lats),
+			P50NsPerOp: percentileNs(m.lats, 0.5),
+			P95NsPerOp: percentileNs(m.lats, 0.95),
+		})
+		fmt.Printf("batch %-11s p50 %12v  p95 %12v\n", m.label+":",
+			time.Duration(percentileNs(m.lats, 0.5)), time.Duration(percentileNs(m.lats, 0.95)))
+	}
+	speedup := percentileNs(loopLats, 0.5) / percentileNs(vecLats, 0.5)
+	report.Derive(fmt.Sprintf("batch/speedup-loop-vs-vectorized/B=%d/N=%d", bsize, n), speedup)
+	fmt.Printf("batch p50 speedup vs per-preference loop: %.2fx (acceptance: >= 3x at B=64)\n", speedup)
+	return nil
+}

@@ -76,6 +76,9 @@ func run(args []string) error {
 		semCh      = fs.Int("semantic-chains", 40, "distinct refinement chains in the semantic scenario")
 		semDepth   = fs.Int("semantic-depth", 3, "refinement levels per chain in the semantic scenario")
 		semQ       = fs.Int("semantic-queries", 2000, "queries issued in the semantic scenario")
+		grid       = fs.Bool("grid", false, "run the grid-pruning scenario (dense vs grid-pruned cold SFS-D) instead of the kernel comparison")
+		batch      = fs.Bool("batch", false, "run the batch-vectorization scenario (per-preference loop vs one shared scan) instead of the kernel comparison")
+		batchB     = fs.Int("batch-b", 64, "preferences per batch in the batch scenario")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,6 +110,27 @@ func run(args []string) error {
 	cmp, err := dominance.NewComparator(ds.Schema(), pref)
 	if err != nil {
 		return err
+	}
+
+	if *grid || *batch {
+		report := export.NewReport("grid pruning + batch vectorization over the rank-column layout")
+		if *grid {
+			if err := runGrid(report, ds, cmp, *n, kind); err != nil {
+				return err
+			}
+		}
+		if *batch {
+			if err := runBatch(report, ds, *n, *batchB, *seed+2); err != nil {
+				return err
+			}
+		}
+		if *out != "" {
+			if err := export.WriteFile(*out, report); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return nil
 	}
 
 	if *semantic {

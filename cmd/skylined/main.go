@@ -95,6 +95,8 @@ func run(args []string) error {
 		semLimit   = fs.Int("semantic-limit", 0, "max cached coarser-skyline size the semantic cache path will scan (0 = default 4096, negative disables)")
 		demo       = fs.Bool("demo", false, "host the built-in flights demo dataset")
 		kernel     = fs.String("kernel", "flat", "scan kernel for sfsd/parallel engines: flat (columnar) or pointer")
+		gridSpec   = fs.String("grid", "auto", "grid pruning for flat-kernel scans: auto (large scans only), on or off")
+		batchVec   = fs.Bool("batch-vectorized", true, "answer /v1/batch misses in one shared scan instead of per-preference queries")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty disables)")
 		compactAt  = fs.Int("compact-threshold", 0, "delta+tombstone rows that trigger background compaction (0 = default, negative disables)")
 		readOnly   = fs.Bool("readonly", false, "freeze all datasets: /v1/insert and /v1/delete answer 409")
@@ -110,6 +112,9 @@ func run(args []string) error {
 		return fmt.Errorf("no datasets: pass -dataset name=schema.json,data.csv or -demo")
 	}
 	if _, err := flat.ParseKernel(*kernel); err != nil {
+		return err
+	}
+	if _, err := flat.ParseGridMode(*gridSpec); err != nil {
 		return err
 	}
 	fsyncPolicy, err := durable.ParsePolicy(*fsyncSpec)
@@ -128,6 +133,7 @@ func run(args []string) error {
 		Workers:                *workers,
 		QueryTimeout:           *queryTO,
 		SemanticCandidateLimit: *semLimit,
+		DisableVectorizedBatch: !*batchVec,
 	})
 	cfgFor := func(name string, schema *data.Schema) (service.EngineConfig, error) {
 		tmpl, err := data.ParsePreference(schema, *tmplSpec)
@@ -140,6 +146,7 @@ func run(args []string) error {
 			Tree:             prefsky.TreeOptions{TopK: *topK},
 			Partitions:       *partitions,
 			Kernel:           *kernel,
+			Grid:             *gridSpec,
 			CompactThreshold: *compactAt,
 			ReadOnly:         *readOnly,
 		}

@@ -123,8 +123,11 @@ func NewFromStore(store *flat.Store, template *order.Preference) (*Engine, error
 			e.inv[d][v] = make(map[data.PointID]struct{})
 		}
 	}
-	for _, id := range proj.Skyline() {
-		e.addMember(id)
+	// Feed the presorted scan's rows straight into the member structures:
+	// the skiplist orders by score itself, so Skyline()'s ascending-id
+	// epilogue would only sort ids to immediately unsort them.
+	for _, r := range proj.SkylineRange(0, proj.N()) {
+		e.addMember(proj.ID(r))
 	}
 	e.stats.Preprocess = time.Since(start)
 	e.stats.SkylineSize = e.list.Len()
@@ -311,7 +314,8 @@ func (e *Engine) Query(pref *order.Preference) ([]data.PointID, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []data.PointID
+	// Non-nil even when empty, like every other kernel's result.
+	out := make([]data.PointID, 0, 16)
 	for {
 		p, ok := it.Next()
 		if !ok {

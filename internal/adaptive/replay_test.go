@@ -1,0 +1,51 @@
+package adaptive
+
+import (
+	"reflect"
+	"testing"
+
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/skyline"
+)
+
+// TestQueryEmptyLiveSet pins a counterexample quick.Check once found (seed
+// 5606817986023061046): with every point deleted, Query and QueryResort must
+// return a non-nil empty result like skyline.SFS does, so value comparisons
+// against the oracles hold on the empty engine too.
+func TestQueryEmptyLiveSet(t *testing.T) {
+	fx := randomFixture(7)
+	e, err := New(fx.ds, fx.tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, a := range e.alive {
+		if a {
+			if err := e.Delete(data.PointID(id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if live := e.livePoints(); len(live) != 0 {
+		t.Fatalf("%d points still live after deleting all", len(live))
+	}
+	pref := fx.randomRefinement()
+	want := skyline.SFS(e.livePoints(), dominance.MustComparator(fx.ds.Schema(), pref))
+	got, err := e.Query(pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Query = %#v, want %#v", got, want)
+	}
+	resort, err := e.QueryResort(pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resort, want) {
+		t.Errorf("QueryResort = %#v, want %#v", resort, want)
+	}
+	if sky := e.Skyline(); sky == nil || len(sky) != 0 {
+		t.Errorf("Skyline = %#v, want non-nil empty", sky)
+	}
+}

@@ -51,7 +51,7 @@ func (e *Engine) QueryResort(pref *order.Preference) ([]data.PointID, error) {
 		isAff[id] = struct{}{}
 	}
 	var acceptedAll, acceptedAff []*data.Point
-	var out []data.PointID
+	out := make([]data.PointID, 0, 16)
 	cur := e.list.Front()
 	for {
 		k, ok := cur.Next()

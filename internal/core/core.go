@@ -152,12 +152,17 @@ type Options struct {
 	// default (flat.DefaultCompactThreshold), negative disables automatic
 	// compaction. Ignored by pointer-kernel engines.
 	CompactThreshold int
+	// Grid selects cell-grid pruning for the flat scans (SFS-D, the
+	// parallel engines and the tree engines' stale fallback). The zero
+	// value is flat.GridAuto: build the grid only for scans large enough to
+	// amortize it. Ignored by pointer-kernel engines.
+	Grid flat.GridMode
 }
 
 // scanFallback computes the skyline of the store's current snapshot with the
 // flat SFS kernel — the path tree-backed engines take while their tree is
 // stale.
-func scanFallback(ctx context.Context, snap *flat.Snapshot, pref *order.Preference) ([]data.PointID, error) {
+func scanFallback(ctx context.Context, snap *flat.Snapshot, pref *order.Preference, grid flat.GridMode) ([]data.PointID, error) {
 	cmp, err := dominance.NewComparator(snap.Schema(), pref)
 	if err != nil {
 		return nil, err
@@ -166,6 +171,7 @@ func scanFallback(ctx context.Context, snap *flat.Snapshot, pref *order.Preferen
 	if err != nil {
 		return nil, err
 	}
+	proj.SetGridMode(grid)
 	rows, err := proj.SkylineRangeCtx(ctx, 0, proj.N())
 	if err != nil {
 		return nil, err
@@ -182,6 +188,7 @@ type ipoEngine struct {
 	store    *flat.Store
 	template *order.Preference
 	opts     ipotree.Options
+	grid     flat.GridMode
 	vt       atomic.Pointer[ipotree.Versioned]
 }
 
@@ -204,7 +211,7 @@ func (e *ipoEngine) Skyline(ctx context.Context, pref *order.Preference) ([]data
 	if _, err := vt.Query(pref); err != nil {
 		return nil, err
 	}
-	return scanFallback(ctx, snap, pref)
+	return scanFallback(ctx, snap, pref, e.grid)
 }
 
 func (e *ipoEngine) SizeBytes() int { return e.vt.Load().Tree().SizeBytes() }
@@ -241,10 +248,10 @@ func NewIPOTree(ds *data.Dataset, template *order.Preference, opts ipotree.Optio
 	if ds == nil {
 		return nil, fmt.Errorf("core: nil dataset")
 	}
-	return newIPOTree(flat.NewStore(ds, 0), template, opts)
+	return newIPOTree(flat.NewStore(ds, 0), template, opts, flat.GridAuto)
 }
 
-func newIPOTree(store *flat.Store, template *order.Preference, opts ipotree.Options) (Engine, error) {
+func newIPOTree(store *flat.Store, template *order.Preference, opts ipotree.Options, grid flat.GridMode) (Engine, error) {
 	name := "IPO Tree"
 	if opts.TopK > 0 {
 		name = fmt.Sprintf("IPO Tree-%d", opts.TopK)
@@ -254,7 +261,7 @@ func newIPOTree(store *flat.Store, template *order.Preference, opts ipotree.Opti
 	if err != nil {
 		return nil, err
 	}
-	e := &ipoEngine{name: name, store: store, template: tree.Template(), opts: opts}
+	e := &ipoEngine{name: name, store: store, template: tree.Template(), opts: opts, grid: grid}
 	e.vt.Store(ipotree.NewVersioned(tree, snap.Version(), ids))
 	store.OnCompact(e.rebuild)
 	return e, nil
@@ -307,7 +314,12 @@ func newAdaptiveSFSStore(store *flat.Store, template *order.Preference) (Engine,
 type SFSD struct {
 	ds    *data.Dataset // pointer-kernel data (nil on the flat kernel)
 	store *flat.Store   // nil on the pointer kernel
+	grid  flat.GridMode // grid pruning for the flat scans
 }
+
+// SetGridMode selects grid pruning for the engine's scans (flat.GridAuto is
+// the default). Call it at configuration time, before queries run.
+func (s *SFSD) SetGridMode(m flat.GridMode) { s.grid = m }
 
 // NewSFSD wraps a dataset as the SFS-D baseline on the default (flat) kernel.
 func NewSFSD(ds *data.Dataset) (*SFSD, error) {
@@ -345,7 +357,7 @@ func (s *SFSD) Skyline(ctx context.Context, pref *order.Preference) ([]data.Poin
 		// The flat scan is cancellable for free, so a disconnected client or
 		// expired deadline frees its worker slot mid-scan instead of burning
 		// it for the full O(N) pass.
-		return scanFallback(ctx, s.store.Snapshot(), pref)
+		return scanFallback(ctx, s.store.Snapshot(), pref, s.grid)
 	}
 	cmp, err := dominance.NewComparator(s.ds.Schema(), pref)
 	if err != nil {
@@ -517,14 +529,19 @@ func NewByName(kind string, ds *data.Dataset, template *order.Preference, opts O
 	newStore := func() *flat.Store { return flat.NewStore(ds, opts.CompactThreshold) }
 	switch strings.ToLower(strings.TrimSpace(kind)) {
 	case "ipo", "ipotree", "ipo tree", "ipo-tree":
-		return newIPOTree(newStore(), template, opts.Tree)
+		return newIPOTree(newStore(), template, opts.Tree, opts.Grid)
 	case "sfsa", "sfs-a":
 		return newAdaptiveSFSStore(newStore(), template)
 	case "sfsd", "sfs-d":
 		if opts.Kernel == KernelPointer {
 			return NewSFSDKernel(ds, KernelPointer)
 		}
-		return NewSFSDStore(newStore())
+		e, err := NewSFSDStore(newStore())
+		if err != nil {
+			return nil, err
+		}
+		e.SetGridMode(opts.Grid)
+		return e, nil
 	case "hybrid":
 		return newHybridStore(newStore(), template, opts.Tree)
 	case "parallel-sfs", "parallelsfs", "parallel sfs", "psfs":
@@ -535,6 +552,7 @@ func NewByName(kind string, ds *data.Dataset, template *order.Preference, opts O
 		if err != nil {
 			return nil, err
 		}
+		e.SetGridMode(opts.Grid)
 		return &parallelEngine{e: e}, nil
 	case "parallel-hybrid", "parallelhybrid", "parallel hybrid", "phybrid":
 		if opts.Kernel == KernelPointer {
@@ -544,6 +562,7 @@ func NewByName(kind string, ds *data.Dataset, template *order.Preference, opts O
 		if err != nil {
 			return nil, err
 		}
+		e.SetGridMode(opts.Grid)
 		return &parallelHybridEngine{e: e}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown engine kind %q (want one of %s)",
@@ -567,11 +586,16 @@ func NewFromStore(kind string, store *flat.Store, template *order.Preference, op
 	}
 	switch strings.ToLower(strings.TrimSpace(kind)) {
 	case "ipo", "ipotree", "ipo tree", "ipo-tree":
-		return newIPOTree(store, template, opts.Tree)
+		return newIPOTree(store, template, opts.Tree, opts.Grid)
 	case "sfsa", "sfs-a":
 		return newAdaptiveSFSStore(store, template)
 	case "sfsd", "sfs-d":
-		return NewSFSDStore(store)
+		e, err := NewSFSDStore(store)
+		if err != nil {
+			return nil, err
+		}
+		e.SetGridMode(opts.Grid)
+		return e, nil
 	case "hybrid":
 		return newHybridStore(store, template, opts.Tree)
 	case "parallel-sfs", "parallelsfs", "parallel sfs", "psfs":
@@ -579,12 +603,14 @@ func NewFromStore(kind string, store *flat.Store, template *order.Preference, op
 		if err != nil {
 			return nil, err
 		}
+		e.SetGridMode(opts.Grid)
 		return &parallelEngine{e: e}, nil
 	case "parallel-hybrid", "parallelhybrid", "parallel hybrid", "phybrid":
 		e, err := parallel.NewHybridFromStore(store, template, opts.Tree, opts.Partitions)
 		if err != nil {
 			return nil, err
 		}
+		e.SetGridMode(opts.Grid)
 		return &parallelHybridEngine{e: e}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown engine kind %q (want one of %s)",

@@ -2,13 +2,14 @@ package durable
 
 import (
 	"bytes"
+	"cmp"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"math"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -69,7 +70,7 @@ func listCheckpoints(dir string) ([]uint64, error) {
 			versions = append(versions, v)
 		}
 	}
-	sort.Slice(versions, func(i, j int) bool { return versions[i] > versions[j] })
+	slices.SortFunc(versions, func(a, b uint64) int { return cmp.Compare(b, a) })
 	return versions, nil
 }
 

@@ -1,12 +1,18 @@
 // Package flat is the columnar dominance kernel: the cache-friendly layout
 // every engine's inner loop runs on. A dataset is laid out once as a Block —
 // one contiguous row-major []float64 numeric matrix and one contiguous
-// []order.Value nominal matrix, stride-indexed — and each query projects the
-// nominal matrix through the comparator's rank table (§4.2) into a contiguous
-// []int32 rank matrix, computing every point's monotone score f(p) in the
-// same O(N·l) pass. After projection the dominance test touches only
-// sequential int32/float64 memory: no per-point slice headers, no rank-table
-// re-indexing, no pointer chasing.
+// []order.Value nominal matrix, stride-indexed, mirrored lazily into
+// per-dimension columns (columns.go) — and each query maps each nominal
+// column once through the comparator's rank table (§4.2) into its own
+// contiguous []int32 rank column. Scores, the dominance test and the SFS
+// presort all read column-wise, and preferences whose rank tables coincide on
+// a dimension share the mapped column through a per-block/per-snapshot cache.
+// After projection the dominance test touches only sequential int32/float64
+// memory: no per-point slice headers, no rank-table re-indexing, no pointer
+// chasing. A projection can additionally carry a coarse grid over the
+// projected space (grid.go) whose per-cell minima let scans skip whole
+// dominated cells, and a snapshot can answer a whole batch of preferences in
+// one shared pass (batch.go).
 //
 // The projection preserves the paper's incomparability rule for unlisted
 // values: two distinct unlisted values share rank k (the domain cardinality)
@@ -20,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"sync"
 
 	"prefsky/internal/data"
 	"prefsky/internal/dominance"
@@ -71,6 +78,9 @@ type Block struct {
 	nom     []order.Value  // n × nomDims, row-major
 	ids     []data.PointID // point id per row
 	schema  *data.Schema
+
+	colsOnce sync.Once
+	cols     *colSet // lazy column-major mirror + rank-column cache
 }
 
 // FromPoints lays the points out columnar under the schema. The points are
@@ -125,26 +135,82 @@ func (b *Block) SizeBytes() int {
 	return len(b.num)*8 + len(b.nom)*4 + len(b.ids)*4
 }
 
-// Projection is one query's view of a Block or Snapshot: the nominal matrix
-// mapped through the comparator's rank tables into a contiguous rank matrix,
-// plus the precomputed §4.2 score f(p) per row. Building it is a single
-// sequential O(N·(m+l)) pass; afterwards the dominance test and the SFS
-// presort never touch the rank tables or the point structs again.
+// Projection is one query's view of a Block or Snapshot: each nominal column
+// mapped through the comparator's rank table into its own contiguous []int32
+// rank column (served from the colSet cache when an equal table was projected
+// before), plus the precomputed §4.2 score f(p) per row. Numeric and stored
+// nominal columns are shared with the block/snapshot's column mirror, so a
+// projection owns only its rank-column headers and score array; the dominance
+// test and the SFS presort never touch the rank tables or the point structs.
 //
 // When built from a Snapshot the row space is the snapshot's global
 // coordinates — base rows first, then the delta segment — and every scan the
 // projection runs skips tombstoned rows.
 //
 // When built from an explicit candidate subset (Snapshot.ProjectRows) the row
-// space is local: position i stands for global row rows[i], the rank and
-// score arrays cover only the subset, and every row is live by construction.
+// space is local: position i stands for global row rows[i], every column
+// covers only the subset, and every row is live by construction.
 type Projection struct {
-	b      *Block
-	snap   *Snapshot // non-nil when spanning base+delta
-	rows   []int32   // non-nil for subset projections: local → global row
-	n      int       // total rows (== b.n for plain blocks)
-	ranks  []int32   // n × nomDims, row-major
-	scores []float64 // f(p) per row
+	b    *Block
+	snap *Snapshot // non-nil when spanning base+delta
+	rows []int32   // non-nil for subset projections: local → global row
+	n    int       // total rows (== b.n for plain blocks)
+
+	numCols  [][]float64     // shared numeric columns, one per numeric dim
+	nomCols  [][]order.Value // shared stored-value columns, one per nominal dim
+	rankCols [][]int32       // §4.2 rank columns, one per nominal dim
+	unlisted []int32         // per nominal dim: the shared unlisted rank (= cardinality)
+	scores   []float64       // f(p) per row
+
+	gridMode GridMode
+	gridOnce sync.Once
+	grid     *grid   // lazily built by the first qualifying scan; may stay nil
+	cs       *colSet // non-nil for dense projections: hosts the grid cache
+	gridKey  string  // all-dimension rank-table fingerprint, the grid cache key
+}
+
+// unlistedRanks returns each nominal dimension's unlisted rank — the domain
+// cardinality k: all values a preference leaves unlisted share it (§4.2) but
+// remain pairwise incomparable.
+func unlistedRanks(schema *data.Schema) []int32 {
+	cards := schema.Cardinalities()
+	out := make([]int32, len(cards))
+	for d, c := range cards {
+		out[d] = int32(c)
+	}
+	return out
+}
+
+// newProjection assembles a dense projection over a column set: rank columns
+// from the cache, scores as the shared numeric row sums plus each rank
+// column, accumulated in dimension order so results are bit-identical to the
+// row-major pass this replaced.
+func newProjection(b *Block, s *Snapshot, cs *colSet, tabs [][]int32) *Projection {
+	pr := &Projection{
+		b:        b,
+		snap:     s,
+		n:        cs.n,
+		numCols:  cs.num,
+		nomCols:  cs.nom,
+		rankCols: make([][]int32, len(tabs)),
+		unlisted: unlistedRanks(b.schema),
+		cs:       cs,
+	}
+	var key []byte
+	for d, tab := range tabs {
+		pr.rankCols[d] = cs.rankColumn(d, tab)
+		key = append(key, tableKey(d, tab)...)
+	}
+	pr.gridKey = string(key)
+	scores := make([]float64, cs.n)
+	copy(scores, cs.numScores())
+	for _, col := range pr.rankCols {
+		for i, r := range col {
+			scores[i] += float64(r)
+		}
+	}
+	pr.scores = scores
+	return pr
 }
 
 // Project maps the block through the comparator's rank tables. The
@@ -155,14 +221,7 @@ func (b *Block) Project(cmp *dominance.Comparator) (*Projection, error) {
 		return nil, fmt.Errorf("flat: comparator has %d nominal dimensions, block has %d",
 			len(tabs), b.nomDims)
 	}
-	pr := &Projection{
-		b:      b,
-		n:      b.n,
-		ranks:  make([]int32, len(b.nom)),
-		scores: make([]float64, b.n),
-	}
-	projectInto(tabs, b.num, b.nom, pr.ranks, pr.scores, b.numDims, b.nomDims, b.n, 0)
-	return pr, nil
+	return newProjection(b, nil, b.columns(), tabs), nil
 }
 
 // N returns the row count (including tombstoned rows for snapshot
@@ -171,38 +230,6 @@ func (pr *Projection) N() int { return pr.n }
 
 // Block returns the projected base block.
 func (pr *Projection) Block() *Block { return pr.b }
-
-// numRow returns the numeric coordinates of a row (local for subset
-// projections, global otherwise).
-func (pr *Projection) numRow(r int32) []float64 {
-	if pr.rows != nil {
-		r = pr.rows[r]
-	}
-	b := pr.b
-	m := b.numDims
-	if s := pr.snap; s != nil && int(r) >= b.n {
-		i := (int(r) - b.n) * m
-		return s.dnum[i : i+m]
-	}
-	i := int(r) * m
-	return b.num[i : i+m]
-}
-
-// nomRow returns the stored nominal values of a row (local for subset
-// projections, global otherwise).
-func (pr *Projection) nomRow(r int32) []order.Value {
-	if pr.rows != nil {
-		r = pr.rows[r]
-	}
-	b := pr.b
-	l := b.nomDims
-	if s := pr.snap; s != nil && int(r) >= b.n {
-		i := (int(r) - b.n) * l
-		return s.dnom[i : i+l]
-	}
-	i := int(r) * l
-	return b.nom[i : i+l]
-}
 
 // Score returns the precomputed monotone score f of the point at row.
 func (pr *Projection) Score(row int32) float64 { return pr.scores[row] }
@@ -226,37 +253,33 @@ func (pr *Projection) ID(row int32) data.PointID {
 // at least as good on every dimension, strictly better on one, with equal
 // ranks over distinct nominal values (two unlisted values) incomparable.
 func (pr *Projection) Dominates(i, j int32) bool {
-	b := pr.b
 	strict := false
-	if b.numDims > 0 {
-		pn := pr.numRow(i)
-		qn := pr.numRow(j)
-		for d, pv := range pn {
-			qv := qn[d]
-			if pv > qv {
-				return false
-			}
-			if pv < qv {
-				strict = true
-			}
+	for _, col := range pr.numCols {
+		pv, qv := col[i], col[j]
+		if pv > qv {
+			return false
+		}
+		if pv < qv {
+			strict = true
 		}
 	}
-	if l := b.nomDims; l > 0 {
-		pi, qi := int(i)*l, int(j)*l
-		prk := pr.ranks[pi : pi+l]
-		qrk := pr.ranks[qi : qi+l]
-		pnom := pr.nomRow(i)
-		qnom := pr.nomRow(j)
-		for d, pv := range prk {
-			qv := qrk[d]
-			if pv < qv {
-				strict = true
-				continue
-			}
-			// A larger rank means j is strictly better; equal ranks dominate
-			// only when the stored values coincide — distinct values sharing
-			// the unlisted rank are incomparable (§4.2).
-			if pv > qv || pnom[d] != qnom[d] {
+	for d, col := range pr.rankCols {
+		pv, qv := col[i], col[j]
+		if pv < qv {
+			strict = true
+			continue
+		}
+		// A larger rank means j is strictly better.
+		if pv > qv {
+			return false
+		}
+		// Equal ranks below the unlisted rank name the same listed value
+		// (rank r < k is the unique value at position r of the entry list);
+		// at the unlisted rank, distinct stored values are incomparable
+		// (§4.2), so only there the stored columns are consulted.
+		if pv == pr.unlisted[d] {
+			nc := pr.nomCols[d]
+			if nc[i] != nc[j] {
 				return false
 			}
 		}
@@ -337,8 +360,30 @@ func (pr *Projection) liveRows(lo, hi int) []int32 {
 
 // SortedRows returns the live rows of [lo, hi) ordered by (score, row) — the
 // SFS presort (§4.1) over the precomputed score array, with tombstoned rows
-// excluded.
+// excluded. Full-range presorts of dense projections are served from the
+// colSet's permutation cache (scores are a pure function of the rank tables),
+// so repeat preferences skip the sort; the returned slice may then be shared
+// and must not be mutated.
 func (pr *Projection) SortedRows(lo, hi int) []int32 {
+	if pr.cs != nil && lo == 0 && hi == pr.n && pr.n > 0 {
+		perm := pr.cs.cachedSort(pr.gridKey, func() []int32 {
+			rows := make([]int32, pr.n)
+			for i := range rows {
+				rows[i] = int32(i)
+			}
+			return pr.sortByScore(rows)
+		})
+		if s := pr.snap; s != nil && s.deadN > 0 {
+			live := make([]int32, 0, pr.n-s.deadN)
+			for _, r := range perm {
+				if !s.dead.Contains(int(r)) {
+					live = append(live, r)
+				}
+			}
+			return live
+		}
+		return perm
+	}
 	return pr.sortByScore(pr.liveRows(lo, hi))
 }
 
@@ -470,14 +515,22 @@ func (pr *Projection) SkylineRangeCtx(ctx context.Context, lo, hi int) ([]int32,
 }
 
 // scanRows runs the SFS filter over rows already presorted by (score, row):
-// the single scan loop behind SkylineRangeCtx and SkylineOf.
+// the single scan loop behind SkylineRangeCtx and SkylineOf. When the
+// projection carries a grid (built lazily by the first qualifying scan), a
+// candidate whose cell is already wholly dominated by the accepted window is
+// skipped without a single pairwise test.
 func (pr *Projection) scanRows(ctx context.Context, rows []int32) ([]int32, error) {
 	accepted := make([]int32, 0, 64)
+	st := newGridScan(pr, len(rows))
 	for c, r := range rows {
 		if c&63 == 0 {
 			if err := ctx.Err(); err != nil {
+				st.flush()
 				return nil, err
 			}
+		}
+		if st != nil && st.skip(pr, accepted, r) {
+			continue
 		}
 		dominated := false
 		for _, s := range accepted {
@@ -490,6 +543,7 @@ func (pr *Projection) scanRows(ctx context.Context, rows []int32) ([]int32, erro
 			accepted = append(accepted, r)
 		}
 	}
+	st.flush()
 	return accepted, nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"sync"
 
 	"prefsky/internal/bitset"
 	"prefsky/internal/data"
@@ -49,6 +50,9 @@ type Snapshot struct {
 	deadN int
 
 	version uint64
+
+	colsOnce sync.Once
+	cols     *colSet // lazy base+delta column mirror + rank-column cache
 }
 
 // newSnapshot wraps a block as the initial (delta-free) snapshot.
@@ -172,11 +176,36 @@ func (s *Snapshot) Points() []data.Point {
 	return out
 }
 
-// Project maps the snapshot through the comparator's rank tables: one
-// sequential O(N·(m+l)) pass over base and delta computing the rank matrix
-// and the §4.2 scores, exactly as Block.Project, with tombstoned rows
-// excluded from every scan the projection runs. The comparator must have
-// been built against the snapshot's schema.
+// rowNum returns the numeric coordinates stored at a global row.
+func (s *Snapshot) rowNum(row int32) []float64 {
+	b := s.base
+	m := b.numDims
+	if int(row) >= b.n {
+		i := (int(row) - b.n) * m
+		return s.dnum[i : i+m]
+	}
+	i := int(row) * m
+	return b.num[i : i+m]
+}
+
+// rowNom returns the nominal values stored at a global row.
+func (s *Snapshot) rowNom(row int32) []order.Value {
+	b := s.base
+	l := b.nomDims
+	if int(row) >= b.n {
+		i := (int(row) - b.n) * l
+		return s.dnom[i : i+l]
+	}
+	i := int(row) * l
+	return b.nom[i : i+l]
+}
+
+// Project maps the snapshot through the comparator's rank tables: each
+// nominal column of the lazily built base+delta mirror mapped once into a
+// rank column (shared across preferences whose tables coincide), scores
+// accumulated column-wise, with tombstoned rows excluded from every scan the
+// projection runs. The comparator must have been built against the
+// snapshot's schema.
 func (s *Snapshot) Project(cmp *dominance.Comparator) (*Projection, error) {
 	b := s.base
 	tabs := cmp.RankTables()
@@ -184,22 +213,13 @@ func (s *Snapshot) Project(cmp *dominance.Comparator) (*Projection, error) {
 		return nil, fmt.Errorf("flat: comparator has %d nominal dimensions, snapshot has %d",
 			len(tabs), b.nomDims)
 	}
-	total := s.Rows()
-	pr := &Projection{
-		b:      b,
-		snap:   s,
-		n:      total,
-		ranks:  make([]int32, total*b.nomDims),
-		scores: make([]float64, total),
-	}
-	projectInto(tabs, b.num, b.nom, pr.ranks, pr.scores, b.numDims, b.nomDims, b.n, 0)
-	projectInto(tabs, s.dnum, s.dnom, pr.ranks, pr.scores, b.numDims, b.nomDims, len(s.dids), b.n)
-	return pr, nil
+	return newProjection(b, s, s.columns(), tabs), nil
 }
 
 // ProjectRows ranks and scores only the given live global rows — the
 // candidate-restricted projection of the semantic result cache: O(C·(m+l))
-// for a candidate set of C rows instead of the full O(N·(m+l)) pass. Local
+// for a candidate set of C rows instead of the full O(N·(m+l)) pass,
+// gathered into local columns without touching the dense mirror. Local
 // position i of the returned projection stands for global row rows[i];
 // Dominates, Score, SortedRows and the skyline scans all operate in that
 // local space and map back to point ids through ID/IDs. Every row must be in
@@ -211,14 +231,28 @@ func (s *Snapshot) ProjectRows(cmp *dominance.Comparator, rows []int32) (*Projec
 		return nil, fmt.Errorf("flat: comparator has %d nominal dimensions, snapshot has %d",
 			len(tabs), b.nomDims)
 	}
-	l := b.nomDims
+	m, l := b.numDims, b.nomDims
+	n := len(rows)
 	pr := &Projection{
-		b:      b,
-		snap:   s,
-		rows:   slices.Clone(rows),
-		n:      len(rows),
-		ranks:  make([]int32, len(rows)*l),
-		scores: make([]float64, len(rows)),
+		b:        b,
+		snap:     s,
+		rows:     slices.Clone(rows),
+		n:        n,
+		numCols:  make([][]float64, m),
+		nomCols:  make([][]order.Value, l),
+		rankCols: make([][]int32, l),
+		unlisted: unlistedRanks(b.schema),
+		scores:   make([]float64, n),
+	}
+	numBack := make([]float64, n*m)
+	for d := 0; d < m; d++ {
+		pr.numCols[d] = numBack[d*n : (d+1)*n : (d+1)*n]
+	}
+	nomBack := make([]order.Value, n*l)
+	rankBack := make([]int32, n*l)
+	for d := 0; d < l; d++ {
+		pr.nomCols[d] = nomBack[d*n : (d+1)*n : (d+1)*n]
+		pr.rankCols[d] = rankBack[d*n : (d+1)*n : (d+1)*n]
 	}
 	for i, r := range pr.rows {
 		if int(r) < 0 || int(r) >= s.Rows() {
@@ -228,36 +262,17 @@ func (s *Snapshot) ProjectRows(cmp *dominance.Comparator, rows []int32) (*Projec
 			return nil, fmt.Errorf("flat: candidate row %d is tombstoned", r)
 		}
 		sum := 0.0
-		for _, v := range pr.numRow(int32(i)) {
+		for d, v := range s.rowNum(r) {
+			pr.numCols[d][i] = v
 			sum += v
 		}
-		nom := pr.nomRow(int32(i))
-		for d := 0; d < l; d++ {
-			rk := tabs[d][nom[d]]
-			pr.ranks[i*l+d] = rk
+		for d, v := range s.rowNom(r) {
+			rk := tabs[d][v]
+			pr.nomCols[d][i] = v
+			pr.rankCols[d][i] = rk
 			sum += float64(rk)
 		}
 		pr.scores[i] = sum
 	}
 	return pr, nil
-}
-
-// projectInto ranks and scores n rows of one segment, writing results at the
-// global row offset. Tombstoned rows are ranked too (branchless inner loop);
-// their entries are never read because every scan filters dead rows.
-func projectInto(tabs [][]int32, num []float64, nom []order.Value, ranks []int32, scores []float64, m, l, n, rowOff int) {
-	for i := 0; i < n; i++ {
-		s := 0.0
-		for _, v := range num[i*m : (i+1)*m] {
-			s += v
-		}
-		off := i * l
-		gOff := (rowOff + i) * l
-		for d := 0; d < l; d++ {
-			r := tabs[d][nom[off+d]]
-			ranks[gOff+d] = r
-			s += float64(r)
-		}
-		scores[rowOff+i] = s
-	}
 }

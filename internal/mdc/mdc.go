@@ -14,8 +14,9 @@
 package mdc
 
 import (
+	"cmp"
 	"encoding/binary"
-	"sort"
+	"slices"
 	"sync"
 
 	"prefsky/internal/data"
@@ -164,11 +165,11 @@ candidates:
 // minimalize removes conditions that are supersets of another condition.
 // Dropping them is safe: whenever a superset is satisfied, its subset is too.
 func minimalize(conds []Condition) []Condition {
-	sort.Slice(conds, func(i, j int) bool {
-		if len(conds[i].Pairs) != len(conds[j].Pairs) {
-			return len(conds[i].Pairs) < len(conds[j].Pairs)
+	slices.SortFunc(conds, func(a, b Condition) int {
+		if c := cmp.Compare(len(a.Pairs), len(b.Pairs)); c != 0 {
+			return c
 		}
-		return conds[i].key() < conds[j].key()
+		return cmp.Compare(a.key(), b.key())
 	})
 	var kept []Condition
 outer:

@@ -1,0 +1,96 @@
+package order
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestMeetLongestCommonPrefix(t *testing.T) {
+	a := MustPreference(MustImplicit(4, 0, 1, 2), MustImplicit(3, 2))
+	b := MustPreference(MustImplicit(4, 0, 1, 3), MustImplicit(3, 2, 0))
+	m, err := Meet([]*Preference{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Dim(0).Entries(); !reflect.DeepEqual(got, []Value{0, 1}) {
+		t.Errorf("dim 0 meet entries = %v, want [0 1]", got)
+	}
+	if got := m.Dim(1).Entries(); !reflect.DeepEqual(got, []Value{2}) {
+		t.Errorf("dim 1 meet entries = %v, want [2]", got)
+	}
+}
+
+func TestMeetDivergentFirstEntryIsEmpty(t *testing.T) {
+	a := MustPreference(MustImplicit(4, 0, 1))
+	b := MustPreference(MustImplicit(4, 1, 0))
+	m, err := Meet([]*Preference{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim(0).Order() != 0 {
+		t.Errorf("meet of divergent prefixes has order %d, want 0", m.Dim(0).Order())
+	}
+}
+
+func TestMeetSingleIsCanonical(t *testing.T) {
+	p := MustPreference(MustImplicit(3, 2, 0), MustImplicit(4, 1))
+	m, err := Meet([]*Preference{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheKey() != p.Canonical().CacheKey() {
+		t.Errorf("meet of one = %v, want canonical %v", m, p.Canonical())
+	}
+}
+
+// TestMeetMembersRefine is the soundness property the batch kernel rests on:
+// every input refines the meet, so meet-dominance implies member-dominance.
+func TestMeetMembersRefine(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		card := 2 + rng.Intn(4)
+		dims := 1 + rng.Intn(3)
+		prefs := make([]*Preference, 1+rng.Intn(5))
+		for i := range prefs {
+			ips := make([]*Implicit, dims)
+			for d := range ips {
+				perm := rng.Perm(card)
+				k := rng.Intn(card + 1)
+				entries := make([]Value, k)
+				for j := 0; j < k; j++ {
+					entries[j] = Value(perm[j])
+				}
+				ips[d] = MustImplicit(card, entries...)
+			}
+			prefs[i] = MustPreference(ips...)
+		}
+		m, err := Meet(prefs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range prefs {
+			if !p.Refines(m) {
+				t.Fatalf("trial %d: member %d %v does not refine meet %v", trial, i, p, m)
+			}
+		}
+	}
+}
+
+func TestMeetErrors(t *testing.T) {
+	if _, err := Meet(nil); err == nil {
+		t.Error("meet of zero preferences succeeded")
+	}
+	p3 := MustPreference(MustImplicit(3, 0))
+	if _, err := Meet([]*Preference{p3, nil}); err == nil {
+		t.Error("nil member accepted")
+	}
+	twoDims := MustPreference(MustImplicit(3, 0), MustImplicit(3, 1))
+	if _, err := Meet([]*Preference{p3, twoDims}); err == nil {
+		t.Error("mixed dimension counts accepted")
+	}
+	p4 := MustPreference(MustImplicit(4, 0))
+	if _, err := Meet([]*Preference{p3, p4}); err == nil {
+		t.Error("mixed cardinalities accepted")
+	}
+}

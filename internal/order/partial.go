@@ -1,8 +1,9 @@
 package order
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Pair is one binary order (U, V) meaning U ≺ V.
@@ -245,11 +246,11 @@ func FromPairs(cardinality int, pairs []Pair) (*PartialOrder, error) {
 
 func (po *PartialOrder) String() string {
 	pairs := po.Pairs()
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].U != pairs[j].U {
-			return pairs[i].U < pairs[j].U
+	slices.SortFunc(pairs, func(a, b Pair) int {
+		if c := cmp.Compare(a.U, b.U); c != 0 {
+			return c
 		}
-		return pairs[i].V < pairs[j].V
+		return cmp.Compare(a.V, b.V)
 	})
 	s := "{"
 	for i, p := range pairs {

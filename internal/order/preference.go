@@ -149,6 +149,54 @@ func (p *Preference) WithDim(i int, ip *Implicit) (*Preference, error) {
 	return out, nil
 }
 
+// Meet returns the coarsest preference that every input refines: on each
+// dimension, the longest common prefix of the inputs' canonical entry lists.
+// Every input satisfies Refines(meet), so dominance under the meet implies
+// dominance under each input — the soundness fact the batch-vectorized
+// kernel's shared scan rests on. All inputs must agree on dimension count
+// and per-dimension cardinality.
+func Meet(prefs []*Preference) (*Preference, error) {
+	if len(prefs) == 0 {
+		return nil, fmt.Errorf("order: meet of zero preferences")
+	}
+	canon := make([]*Preference, len(prefs))
+	for i, p := range prefs {
+		if p == nil {
+			return nil, fmt.Errorf("order: meet input %d is nil", i)
+		}
+		if p.NomDims() != prefs[0].NomDims() {
+			return nil, fmt.Errorf("order: meet over mixed dimension counts: %d vs %d",
+				p.NomDims(), prefs[0].NomDims())
+		}
+		canon[i] = p.Canonical()
+	}
+	base := canon[0]
+	dims := make([]*Implicit, base.NomDims())
+	for d := range dims {
+		entries := base.Dim(d).Entries()
+		n := len(entries)
+		for _, p := range canon[1:] {
+			ip := p.Dim(d)
+			if ip.Cardinality() != base.Dim(d).Cardinality() {
+				return nil, fmt.Errorf("order: meet dimension %d cardinality mismatch: %d vs %d",
+					d, ip.Cardinality(), base.Dim(d).Cardinality())
+			}
+			other := ip.Entries()
+			if len(other) < n {
+				n = len(other)
+			}
+			for j := 0; j < n; j++ {
+				if entries[j] != other[j] {
+					n = j
+					break
+				}
+			}
+		}
+		dims[d] = base.Dim(d).Prefix(n)
+	}
+	return NewPreference(dims...)
+}
+
 func (p *Preference) String() string {
 	parts := make([]string, len(p.dims))
 	for i, d := range p.dims {

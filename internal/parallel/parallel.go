@@ -341,6 +341,7 @@ type Engine struct {
 	ds    *data.Dataset // pointer-kernel data (nil on the flat kernel)
 	store *flat.Store   // nil on the pointer kernel
 	parts int
+	grid  flat.GridMode // grid pruning for the partition scans
 
 	queries atomic.Uint64
 }
@@ -376,6 +377,10 @@ func NewFromStore(store *flat.Store, partitions int) (*Engine, error) {
 // Partitions returns the configured partition count (0 = GOMAXPROCS).
 func (e *Engine) Partitions() int { return e.parts }
 
+// SetGridMode selects grid pruning for the engine's scans (flat.GridAuto is
+// the default). Call it at configuration time, before queries run.
+func (e *Engine) SetGridMode(m flat.GridMode) { e.grid = m }
+
 // Store returns the versioned store (nil on the pointer kernel).
 func (e *Engine) Store() *flat.Store { return e.store }
 
@@ -393,6 +398,8 @@ func (e *Engine) Skyline(ctx context.Context, pref *order.Preference) ([]data.Po
 		if err != nil {
 			return nil, err
 		}
+		// All partition scans share the projection — and, lazily, its grid.
+		proj.SetGridMode(e.grid)
 		return SkylineProjected(ctx, proj, e.parts)
 	}
 	cmp, err := dominance.NewComparator(e.ds.Schema(), pref)
@@ -533,6 +540,10 @@ func (h *Hybrid) Skyline(ctx context.Context, pref *order.Preference) ([]data.Po
 func (h *Hybrid) ValidatePreference(pref *order.Preference) error {
 	return h.vt.Load().Tree().Validate(pref)
 }
+
+// SetGridMode selects grid pruning for the fallback scans (flat.GridAuto is
+// the default). Call it at configuration time, before queries run.
+func (h *Hybrid) SetGridMode(m flat.GridMode) { h.par.SetGridMode(m) }
 
 // Store returns the versioned store both halves read (nil on the pointer
 // kernel).

@@ -70,11 +70,12 @@ type QueryResult struct {
 // partitioned scans abort between blocks. A non-zero timeout additionally
 // deadline-bounds each query from the moment it misses the cache.
 type Executor struct {
-	reg      *Registry
-	cache    *Cache
-	sem      chan struct{}
-	timeout  time.Duration
-	semLimit int // max candidate rows for the semantic path; < 0 disables
+	reg        *Registry
+	cache      *Cache
+	sem        chan struct{}
+	timeout    time.Duration
+	semLimit   int  // max candidate rows for the semantic path; < 0 disables
+	vectorized bool // batch misses share one flat.SkylineBatch pass
 
 	queries atomic.Uint64
 	batches atomic.Uint64
@@ -92,8 +93,12 @@ func NewExecutor(reg *Registry, cache *Cache, workers int, timeout time.Duration
 	if semanticLimit == 0 {
 		semanticLimit = DefaultSemanticCandidateLimit
 	}
-	return &Executor{reg: reg, cache: cache, sem: make(chan struct{}, workers), timeout: timeout, semLimit: semanticLimit}
+	return &Executor{reg: reg, cache: cache, sem: make(chan struct{}, workers), timeout: timeout, semLimit: semanticLimit, vectorized: true}
 }
+
+// SetVectorizedBatch toggles the shared-scan batch path (on by default).
+// Disabled, batch misses fan out across the pool as independent queries.
+func (x *Executor) SetVectorizedBatch(enabled bool) { x.vectorized = enabled }
 
 // Workers returns the pool bound.
 func (x *Executor) Workers() int { return cap(x.sem) }
@@ -130,8 +135,13 @@ func (x *Executor) Query(ctx context.Context, dataset string, pref *order.Prefer
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	pref = pref.Canonical()
 	x.queries.Add(1)
+	return x.queryCanonical(ctx, dataset, pref.Canonical())
+}
+
+// queryCanonical is Query after canonicalization and accounting: pref must
+// already be canonical and counted against the query counter.
+func (x *Executor) queryCanonical(ctx context.Context, dataset string, pref *order.Preference) (ids []data.PointID, outcome Outcome, err error) {
 	state, err := x.reg.State(dataset)
 	if err != nil {
 		return nil, OutcomeEngine, err
@@ -202,27 +212,149 @@ func (x *Executor) semanticHit(ctx context.Context, dataset, state, key string, 
 	return nil, false
 }
 
-// Batch answers many preferences over one dataset, fanning out across the
-// worker pool under one shared context. Results are positional; each carries
-// its own error so one bad preference does not fail the batch, but a
-// canceled context fails every member still queued.
+// batchGroup collects the batch indices that asked for one canonically
+// distinct preference: the preference is answered once and fanned back to
+// every member index.
+type batchGroup struct {
+	pref    *order.Preference // canonical
+	members []int
+}
+
+// Batch answers many preferences over one dataset. Members are first deduped
+// up to canonical equivalence — two spellings of the same preference must
+// return the same skyline, so each distinct preference is answered once and
+// the result fanned back to every index that asked for it. Distinct members
+// then probe the cache (exact key, then the refinement lattice), and the
+// remaining misses run as one shared-scan registry pass (flat.SkylineBatch)
+// under a single worker slot. When the vectorized path is disabled or the
+// registry declines it (pointer-kernel engine, members sharing too little
+// structure), misses fan out across the pool as independent queries.
+//
+// Results are positional; each carries its own error so one bad preference
+// does not fail the batch, but a canceled context fails every member still
+// queued.
 func (x *Executor) Batch(ctx context.Context, dataset string, prefs []*order.Preference) []QueryResult {
 	x.batches.Add(1)
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]QueryResult, len(prefs))
+	groups := make([]batchGroup, 0, len(prefs))
+	byKey := make(map[string]int, len(prefs))
+	for i, p := range prefs {
+		if p == nil {
+			out[i].Err = fmt.Errorf("service: nil preference")
+			continue
+		}
+		c := p.Canonical()
+		k := c.CacheKey()
+		gi, seen := byKey[k]
+		if !seen {
+			gi = len(groups)
+			byKey[k] = gi
+			groups = append(groups, batchGroup{pref: c})
+		}
+		groups[gi].members = append(groups[gi].members, i)
+	}
+	if len(groups) == 0 {
+		return out
+	}
+	x.queries.Add(uint64(len(groups)))
+
+	// Groups have disjoint member sets, so concurrent fans never share an
+	// out index.
+	fan := func(g batchGroup, ids []data.PointID, oc Outcome, err error) {
+		for _, i := range g.members {
+			out[i] = QueryResult{IDs: ids, Outcome: oc, Err: err}
+		}
+	}
+
+	misses := groups
+	if x.vectorized {
+		if state, err := x.reg.State(dataset); err == nil {
+			misses = make([]batchGroup, 0, len(groups))
+			for _, g := range groups {
+				key := cacheKey(dataset, state, g.pref.CacheKey())
+				if ids, ok := x.cache.Get(key); ok {
+					fan(g, ids, OutcomeExact, nil)
+					continue
+				}
+				if ids, ok := x.semanticHit(ctx, dataset, state, key, g.pref); ok {
+					fan(g, ids, OutcomeSemantic, nil)
+					continue
+				}
+				misses = append(misses, g)
+			}
+			if len(misses) == 0 {
+				return out
+			}
+			if len(misses) > 1 && x.batchEngine(ctx, dataset, misses, fan) {
+				return out
+			}
+		}
+	}
+
 	var wg sync.WaitGroup
-	for i, pref := range prefs {
+	for _, g := range misses {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			out[i].IDs, out[i].Outcome, out[i].Err = x.Query(ctx, dataset, pref)
+			ids, oc, err := x.queryCanonical(ctx, dataset, g.pref)
+			fan(g, ids, oc, err)
 		}()
 	}
 	wg.Wait()
 	return out
 }
 
-// Counters returns the executed single-query and batch counts. Batch
-// members count as queries too.
+// batchEngine answers the remaining miss groups in one vectorized registry
+// pass under a single worker slot and per-batch deadline, caching each
+// member's result exactly as the single-query path would. It reports false —
+// with nothing fanned — when the registry declines the shared scan or fails
+// outright, letting the caller fall back to independent queries.
+func (x *Executor) batchEngine(ctx context.Context, dataset string, groups []batchGroup, fan func(batchGroup, []data.PointID, Outcome, error)) bool {
+	if x.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, x.timeout)
+		defer cancel()
+	}
+	select {
+	case x.sem <- struct{}{}:
+	case <-ctx.Done():
+		// The caller gave up while queued; nothing will serve these members.
+		for _, g := range groups {
+			fan(g, nil, OutcomeEngine, ctx.Err())
+		}
+		return true
+	}
+	defer func() { <-x.sem }()
+	run := make([]*order.Preference, len(groups))
+	for i, g := range groups {
+		run[i] = g.pref
+	}
+	items, state, ok, err := x.reg.QueryBatch(ctx, dataset, run)
+	if err != nil || !ok {
+		return false
+	}
+	for i, it := range items {
+		g := groups[i]
+		if it.Err != nil {
+			fan(g, nil, OutcomeEngine, it.Err)
+			continue
+		}
+		// An empty state means a writer published while the scan ran: valid
+		// point-in-time answers, served without being cached.
+		if state != "" {
+			x.cache.Put(cacheKey(dataset, state, g.pref.CacheKey()), dataset, state, it.IDs)
+		}
+		fan(g, it.IDs, OutcomeEngine, nil)
+	}
+	return true
+}
+
+// Counters returns the executed single-query and batch counts. Batch members
+// count as queries after canonical dedup: B spellings of one preference in a
+// batch count once.
 func (x *Executor) Counters() (queries, batches uint64) {
 	return x.queries.Load(), x.batches.Load()
 }

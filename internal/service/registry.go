@@ -52,6 +52,10 @@ type EngineConfig struct {
 	// (flat.DefaultCompactThreshold), negative disables automatic
 	// compaction.
 	CompactThreshold int
+	// Grid selects cell-grid pruning for the flat scans: "" or "auto"
+	// (build the grid only for scans large enough to amortize it), "on", or
+	// "off".
+	Grid string
 	// ReadOnly freezes the dataset: Insert/Delete return
 	// ErrNotMaintainable even on engines that support maintenance.
 	ReadOnly bool
@@ -95,6 +99,7 @@ type dsEntry struct {
 	maint     core.Maintainer          // nil when unsupported or read-only
 	validator core.PreferenceValidator // nil when the engine accepts everything
 	readOnly  bool
+	grid      flat.GridMode // grid pruning for the batch-vectorized scans
 
 	queries atomic.Uint64
 }
@@ -155,11 +160,16 @@ func (r *Registry) Add(name string, ds *data.Dataset, cfg EngineConfig) error {
 	if err != nil {
 		return fmt.Errorf("service: dataset %q: %w", name, err)
 	}
+	grid, err := flat.ParseGridMode(cfg.Grid)
+	if err != nil {
+		return fmt.Errorf("service: dataset %q: %w", name, err)
+	}
 	opts := core.Options{
 		Tree:             cfg.Tree,
 		Partitions:       cfg.Partitions,
 		Kernel:           kernel,
 		CompactThreshold: cfg.CompactThreshold,
+		Grid:             grid,
 	}
 	var eng core.Engine
 	var db *durable.DB
@@ -194,6 +204,7 @@ func (r *Registry) Add(name string, ds *data.Dataset, cfg EngineConfig) error {
 		dur:       db,
 		validator: core.ValidatorOf(eng),
 		readOnly:  cfg.ReadOnly,
+		grid:      grid,
 	}
 	if !cfg.ReadOnly {
 		e.maint = core.Maintainable(eng)
@@ -429,6 +440,68 @@ func (r *Registry) QueryCandidates(ctx context.Context, name, state string, pref
 		return nil, false, err
 	}
 	return proj.IDs(out), true, nil
+}
+
+// BatchItem is one member's result of a vectorized batch execution.
+type BatchItem struct {
+	IDs []data.PointID
+	Err error
+}
+
+// QueryBatch answers every preference's skyline over the named dataset in
+// one shared pass (flat.SkylineBatch): the snapshot is pinned once, the scan
+// presorts once under the batch's meet preference, and each member pays only
+// a lightweight window over the meet skyline. Members the engine's query
+// path would reject carry their validation error individually; the rest
+// share one result set.
+//
+// ok is false — with nothing computed — when the dataset has no versioned
+// store (pointer kernel) or the members share too little structure for the
+// shared scan to pay (flat.ErrBatchWindow); the caller then falls back to
+// independent queries. The state token follows the same before/after version
+// protocol as Query: empty means a writer raced and the results must not be
+// cached.
+func (r *Registry) QueryBatch(ctx context.Context, name string, prefs []*order.Preference) (items []BatchItem, state string, ok bool, err error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return nil, "", false, err
+	}
+	if e.store == nil {
+		return nil, "", false, nil
+	}
+	items = make([]BatchItem, len(prefs))
+	run := make([]*order.Preference, 0, len(prefs))
+	runIdx := make([]int, 0, len(prefs))
+	for i, p := range prefs {
+		if e.validator != nil {
+			if verr := e.validator.ValidatePreference(p); verr != nil {
+				items[i].Err = verr
+				continue
+			}
+		}
+		run = append(run, p)
+		runIdx = append(runIdx, i)
+	}
+	if len(run) == 0 {
+		return items, e.state(e.version()), true, nil
+	}
+	snap := e.store.Snapshot()
+	before := snap.Version()
+	e.queries.Add(uint64(len(run)))
+	results, err := snap.SkylineBatch(ctx, run, e.grid)
+	if errors.Is(err, flat.ErrBatchWindow) {
+		return nil, "", false, nil
+	}
+	if err != nil {
+		return nil, "", false, err
+	}
+	for j, ids := range results {
+		items[runIdx[j]].IDs = ids
+	}
+	if e.version() != before {
+		return items, "", true, nil
+	}
+	return items, e.state(before), true, nil
 }
 
 // maintainer resolves the entry's maintenance interface, normalizing the

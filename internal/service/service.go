@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"prefsky/internal/data"
+	"prefsky/internal/flat"
 	"prefsky/internal/order"
 )
 
@@ -54,15 +55,23 @@ type Options struct {
 	// defaults to DefaultSemanticCandidateLimit (4096), negative disables
 	// the semantic path entirely.
 	SemanticCandidateLimit int
+	// DisableVectorizedBatch turns off the shared-scan batch path: batch
+	// misses fan out across the worker pool as independent queries instead
+	// of sharing one flat.SkylineBatch pass. Canonical dedup of batch
+	// members stays on either way.
+	DisableVectorizedBatch bool
 }
 
-// Stats is the service-wide snapshot served by GET /v1/stats.
+// Stats is the service-wide snapshot served by GET /v1/stats. Grid counts
+// are process-wide (the grid lives in the flat kernel under every engine),
+// not per-service.
 type Stats struct {
-	Cache    CacheStats    `json:"cache"`
-	Queries  uint64        `json:"queries"`
-	Batches  uint64        `json:"batches"`
-	Workers  int           `json:"workers"`
-	Datasets []DatasetInfo `json:"datasets"`
+	Cache    CacheStats     `json:"cache"`
+	Queries  uint64         `json:"queries"`
+	Batches  uint64         `json:"batches"`
+	Workers  int            `json:"workers"`
+	Grid     flat.GridStats `json:"grid"`
+	Datasets []DatasetInfo  `json:"datasets"`
 }
 
 // Service is the facade cmd/skylined serves: registry + cache + executor.
@@ -84,6 +93,7 @@ func New(opts Options) *Service {
 	reg := NewRegistry()
 	cache := NewCache(capacity, opts.CacheShards)
 	exec := NewExecutor(reg, cache, opts.Workers, opts.QueryTimeout, opts.SemanticCandidateLimit)
+	exec.SetVectorizedBatch(!opts.DisableVectorizedBatch)
 	return &Service{reg: reg, cache: cache, exec: exec}
 }
 
@@ -207,6 +217,7 @@ func (s *Service) Stats() Stats {
 		Queries:  queries,
 		Batches:  batches,
 		Workers:  s.exec.Workers(),
+		Grid:     flat.ReadGridStats(),
 		Datasets: s.reg.Info(),
 	}
 }

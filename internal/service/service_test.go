@@ -419,6 +419,87 @@ func TestBatch(t *testing.T) {
 	}
 }
 
+// TestBatchDedupsCanonicalDuplicates is the satellite regression for batch
+// dedup: members that are canonically equal — even under different spellings —
+// are answered once and fanned back by position, on both the vectorized path
+// and the per-preference fallback.
+func TestBatchDedupsCanonicalDuplicates(t *testing.T) {
+	for _, vectorized := range []bool{true, false} {
+		name := "vectorized"
+		if !vectorized {
+			name = "fallback"
+		}
+		t.Run(name, func(t *testing.T) {
+			s := table1Service(t, EngineConfig{Kind: "sfsd"}, Options{
+				Workers: 2, DisableVectorizedBatch: !vectorized,
+			})
+			schema, _ := s.Schema("hotels")
+			// Members 0, 2 and 4 are canonically equal: the full total order
+			// "T<M<H" reduces to the prefix "T<M<*". Member 1 is distinct.
+			prefs := []*order.Preference{
+				mustPref(t, schema, "Hotel-group: T<M<*"),
+				mustPref(t, schema, "Hotel-group: H<M<*"),
+				mustPref(t, schema, "Hotel-group: T<M<H"),
+				mustPref(t, schema, "Hotel-group: H<M<*"),
+				mustPref(t, schema, "Hotel-group: T<M<*"),
+			}
+			results := s.Batch(context.Background(), "hotels", prefs)
+			for i, r := range results {
+				if r.Err != nil {
+					t.Fatalf("batch[%d]: %v", i, r.Err)
+				}
+			}
+			for _, pair := range [][2]int{{0, 2}, {0, 4}, {1, 3}} {
+				a, b := results[pair[0]], results[pair[1]]
+				if !reflect.DeepEqual(a.IDs, b.IDs) || a.Outcome != b.Outcome {
+					t.Errorf("duplicate members %v diverged: %v/%v vs %v/%v",
+						pair, a.IDs, a.Outcome, b.IDs, b.Outcome)
+				}
+			}
+			baseline, err := core.NewSFSD(data.Table1())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range results {
+				want, _ := baseline.Skyline(context.Background(), prefs[i])
+				if !reflect.DeepEqual(r.IDs, want) {
+					t.Errorf("batch[%d] = %v, want %v", i, r.IDs, want)
+				}
+			}
+			st := s.Stats()
+			// Five members, two canonical groups: two queries, two misses.
+			if st.Queries != 2 {
+				t.Errorf("Queries = %d, want 2", st.Queries)
+			}
+			if st.Cache.Misses != 2 || st.Cache.Hits != 0 {
+				t.Errorf("cache stats = %+v, want 2 misses / 0 hits", st.Cache)
+			}
+			if len(st.Datasets) != 1 || st.Datasets[0].Queries != 2 {
+				t.Errorf("dataset stats = %+v, want 2 engine queries", st.Datasets)
+			}
+
+			// A second identical batch is answered wholly from cache: the
+			// engine-query count must not move.
+			results = s.Batch(context.Background(), "hotels", prefs)
+			for i, r := range results {
+				if r.Err != nil {
+					t.Fatalf("cached batch[%d]: %v", i, r.Err)
+				}
+				if !r.Outcome.CacheHit() {
+					t.Errorf("cached batch[%d] outcome = %v, want a cache hit", i, r.Outcome)
+				}
+			}
+			st = s.Stats()
+			if st.Queries != 4 {
+				t.Errorf("Queries after cached batch = %d, want 4", st.Queries)
+			}
+			if st.Datasets[0].Queries != 2 {
+				t.Errorf("engine queries after cached batch = %d, want 2 (unchanged)", st.Datasets[0].Queries)
+			}
+		})
+	}
+}
+
 func TestStatsCounters(t *testing.T) {
 	s := table1Service(t, EngineConfig{Kind: "sfsd"}, Options{})
 	schema, _ := s.Schema("hotels")
@@ -430,14 +511,16 @@ func TestStatsCounters(t *testing.T) {
 	}
 	s.Batch(context.Background(), "hotels", []*order.Preference{pref, pref})
 	st := s.Stats()
-	if st.Queries != 6 {
-		t.Errorf("Queries = %d, want 6", st.Queries)
+	// The two batch members are canonically equal, so they dedup to one
+	// query and one cache probe.
+	if st.Queries != 5 {
+		t.Errorf("Queries = %d, want 5", st.Queries)
 	}
 	if st.Batches != 1 {
 		t.Errorf("Batches = %d, want 1", st.Batches)
 	}
-	if st.Cache.Hits != 5 || st.Cache.Misses != 1 {
-		t.Errorf("cache stats = %+v, want 5 hits / 1 miss", st.Cache)
+	if st.Cache.Hits != 4 || st.Cache.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 4 hits / 1 miss", st.Cache)
 	}
 	if len(st.Datasets) != 1 || st.Datasets[0].Queries != 1 {
 		// Only the single miss reached the engine; the rest were cache hits.

@@ -1,6 +1,8 @@
 package skyline
 
 import (
+	"cmp"
+	"slices"
 	"sort"
 
 	"prefsky/internal/data"
@@ -40,7 +42,7 @@ func dcRec(points []data.Point, dom Dominator) []data.Point {
 	}
 	// Split at the median of dimension 0; low gets strictly smaller values so
 	// that no high point can dominate a low point.
-	sort.SliceStable(points, func(i, j int) bool { return points[i].Num[0] < points[j].Num[0] })
+	slices.SortStableFunc(points, func(a, b data.Point) int { return cmp.Compare(a.Num[0], b.Num[0]) })
 	mid := len(points) / 2
 	median := points[mid].Num[0]
 	lo := sort.Search(len(points), func(i int) bool { return points[i].Num[0] >= median })
