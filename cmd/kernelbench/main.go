@@ -10,6 +10,7 @@
 //	kernelbench -n 100000 -mixed -out BENCH_pr4.json
 //	kernelbench -n 100000 -semantic -out BENCH_pr5.json
 //	kernelbench -n 100000 -durability -out BENCH_pr6.json
+//	kernelbench -n 100000 -overload -out BENCH_pr8.json
 //
 // Both kernels answer the same preference over the same dataset; the tool
 // verifies the skylines are identical before trusting the timings. The flat
@@ -29,6 +30,11 @@
 // -durability reruns the mixed workload with the store journaled through
 // internal/durable under each fsync policy, and times cold WAL replay. See
 // cmd/kernelbench/durability.go.
+//
+// -overload swamps the service's worker pool with a cold-query burst and
+// measures what the bounded admission queue buys: shed latency (a 503 must
+// cost microseconds, not a parked goroutine) and cache-hit isolation (the
+// hot path's p50 under the burst vs idle). See cmd/kernelbench/overload.go.
 package main
 
 import (
@@ -76,6 +82,10 @@ func run(args []string) error {
 		semCh      = fs.Int("semantic-chains", 40, "distinct refinement chains in the semantic scenario")
 		semDepth   = fs.Int("semantic-depth", 3, "refinement levels per chain in the semantic scenario")
 		semQ       = fs.Int("semantic-queries", 2000, "queries issued in the semantic scenario")
+		overload   = fs.Bool("overload", false, "run the overload-shedding scenario (cache-hit latency under a shed burst vs idle) instead of the kernel comparison")
+		ovWorkers  = fs.Int("overload-workers", 4, "worker-pool size in the overload scenario")
+		ovBurst    = fs.Int("overload-burst", 10, "burst clients per worker in the overload scenario")
+		ovHits     = fs.Int("overload-hits", 1500, "cache-hit latency samples per phase in the overload scenario")
 		grid       = fs.Bool("grid", false, "run the grid-pruning scenario (dense vs grid-pruned cold SFS-D) instead of the kernel comparison")
 		batch      = fs.Bool("batch", false, "run the batch-vectorization scenario (per-preference loop vs one shared scan) instead of the kernel comparison")
 		batchB     = fs.Int("batch-b", 64, "preferences per batch in the batch scenario")
@@ -123,6 +133,20 @@ func run(args []string) error {
 			if err := runBatch(report, ds, *n, *batchB, *seed+2); err != nil {
 				return err
 			}
+		}
+		if *out != "" {
+			if err := export.WriteFile(*out, report); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return nil
+	}
+
+	if *overload {
+		report := export.NewReport("overload shedding: cache-hit latency under a shed burst vs idle")
+		if err := runOverload(report, ds, *n, *ovWorkers, *ovBurst, *ovHits, *seed+3); err != nil {
+			return err
 		}
 		if *out != "" {
 			if err := export.WriteFile(*out, report); err != nil {

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prefsky/internal/bench/export"
+	"prefsky/internal/data"
+	"prefsky/internal/gen"
+	"prefsky/internal/order"
+	"prefsky/internal/service"
+)
+
+// The overload scenario measures what the bounded admission queue buys when
+// the worker pool is swamped: a burst of burstFactor × workers concurrent
+// cold queries keeps every worker busy and the queue full, so the excess is
+// shed immediately with ErrOverloaded (503 + Retry-After at the HTTP layer)
+// instead of parking without limit. Two properties are measured:
+//
+//   - shed latency: a rejected query must cost near nothing (acceptance:
+//     p50 <= 5ms, in practice microseconds — the shed path never blocks);
+//   - isolation: cache hits are served without a worker slot, so the hot
+//     path's p50 under the burst must stay within 2x of its idle p50.
+
+// runOverload drives the burst and records idle-vs-overload percentiles.
+func runOverload(report *export.Report, ds *data.Dataset, n, workers, burstFactor, hitSamples int, seed int64) error {
+	svc := service.New(service.Options{
+		CacheCapacity: 1 << 16,
+		Workers:       workers,
+		// A one-worker's-worth queue: the burst saturates it instantly and
+		// everything beyond is shed.
+		MaxQueuedQueries: workers,
+		// Cold queries must reach the engine, not the lattice.
+		SemanticCandidateLimit: -1,
+	})
+	if err := svc.AddDataset("bench", ds, service.EngineConfig{Kind: "sfsd"}); err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	// A large universe of canonically distinct preferences: the burst's cold
+	// queries must keep missing the cache to keep the pool saturated.
+	raw, err := gen.Queries(ds.Schema().Cardinalities(), ds.Schema().EmptyPreference(),
+		gen.QueryConfig{Order: 2, Count: 8192, Mode: gen.Uniform, Seed: seed})
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool, len(raw))
+	var cold []*order.Preference
+	for _, q := range raw {
+		k := q.Canonical().CacheKey()
+		if !seen[k] {
+			seen[k] = true
+			cold = append(cold, q)
+		}
+	}
+	if len(cold) < 2 {
+		return fmt.Errorf("overload: only %d distinct preferences generated", len(cold))
+	}
+	warm, cold := cold[0], cold[1:]
+	if _, _, err := svc.Query(ctx, "bench", warm); err != nil {
+		return fmt.Errorf("overload warmup: %w", err)
+	}
+
+	// measureHits samples the warm preference's cache-hit latency, paced so
+	// the samples spread across a real time window instead of one tight loop.
+	measureHits := func(k int) ([]time.Duration, error) {
+		lats := make([]time.Duration, 0, k)
+		for i := 0; i < k; i++ {
+			t0 := time.Now()
+			_, outcome, err := svc.Query(ctx, "bench", warm)
+			if err != nil {
+				return nil, fmt.Errorf("cache-hit query: %w", err)
+			}
+			if !outcome.CacheHit() {
+				return nil, fmt.Errorf("warm query served by %v, want a cache hit", outcome)
+			}
+			lats = append(lats, time.Since(t0))
+			time.Sleep(250 * time.Microsecond)
+		}
+		return lats, nil
+	}
+
+	idle, err := measureHits(hitSamples)
+	if err != nil {
+		return err
+	}
+
+	// The burst: burstFactor × workers goroutines looping cold queries.
+	// Completed queries land in the cache, so every goroutine walks its own
+	// slice of the universe and never repeats a preference.
+	stop := make(chan struct{})
+	var (
+		wg        sync.WaitGroup
+		shedMu    sync.Mutex
+		shedLats  []time.Duration
+		engineOK  atomic.Uint64
+		exhausted atomic.Uint64
+	)
+	clients := burstFactor * workers
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; ; {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if i >= len(cold) {
+					exhausted.Add(1)
+					return
+				}
+				t0 := time.Now()
+				_, _, err := svc.Query(ctx, "bench", cold[i])
+				switch {
+				case errors.Is(err, service.ErrOverloaded):
+					d := time.Since(t0)
+					shedMu.Lock()
+					shedLats = append(shedLats, d)
+					shedMu.Unlock()
+					// A real client backs off on 503 and retries the same
+					// query, so the universe drains at engine throughput, not
+					// at shed rate.
+					time.Sleep(time.Millisecond)
+				case err != nil:
+					return
+				default:
+					engineOK.Add(1)
+					i += clients
+				}
+			}
+		}(c)
+	}
+	// Saturation gate: measure the hot path only once shedding has started.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if svc.Stats().Shed > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			close(stop)
+			wg.Wait()
+			return fmt.Errorf("overload: burst never saturated the pool (workers=%d clients=%d)", workers, clients)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	under, err := measureHits(hitSamples)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	if exhausted.Load() > 0 {
+		fmt.Printf("note: %d burst clients ran out of distinct preferences before the measurement window closed\n", exhausted.Load())
+	}
+
+	p := func(ls []time.Duration, q float64) time.Duration {
+		if len(ls) == 0 {
+			return 0
+		}
+		s := slices.Clone(ls)
+		slices.Sort(s)
+		return s[int(q*float64(len(s)-1))]
+	}
+	add := func(name string, ls []time.Duration) {
+		mean := 0.0
+		for _, l := range ls {
+			mean += float64(l)
+		}
+		if len(ls) > 0 {
+			mean /= float64(len(ls))
+		}
+		report.Add(export.Result{
+			Name:       fmt.Sprintf("overload/N=%d/%s", n, name),
+			Kernel:     "flat",
+			N:          n,
+			Iterations: len(ls),
+			NsPerOp:    mean,
+			P50NsPerOp: float64(p(ls, 0.5)),
+			P95NsPerOp: float64(p(ls, 0.95)),
+		})
+		fmt.Printf("%-22s %7d samples  p50 %12v  p95 %12v\n", name+":", len(ls), p(ls, 0.5), p(ls, 0.95))
+	}
+	add("cache-hit-idle", idle)
+	add("cache-hit-under-burst", under)
+	add("shed", shedLats)
+
+	st := svc.Stats()
+	report.Derive(fmt.Sprintf("overload/sheds/N=%d", n), float64(st.Shed))
+	report.Derive(fmt.Sprintf("overload/engine-queries/N=%d", n), float64(engineOK.Load()))
+	if idleP50 := p(idle, 0.5); idleP50 > 0 {
+		ratio := float64(p(under, 0.5)) / float64(idleP50)
+		report.Derive(fmt.Sprintf("overload/hit-p50-ratio-burst-vs-idle/N=%d", n), ratio)
+		fmt.Printf("cache-hit p50 under burst vs idle: %.2fx (acceptance: <= 2x)\n", ratio)
+	}
+	shedMS := float64(p(shedLats, 0.5)) / float64(time.Millisecond)
+	report.Derive(fmt.Sprintf("overload/shed-p50-ms/N=%d", n), shedMS)
+	fmt.Printf("shed p50: %.3fms over %d sheds (acceptance: <= 5ms)\n", shedMS, st.Shed)
+	return nil
+}

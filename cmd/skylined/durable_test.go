@@ -122,15 +122,15 @@ func TestDurableRestartKeepsMutations(t *testing.T) {
 // TestDurableConfigWiring: -data-dir gives every dataset its own state
 // subdirectory; without it datasets stay memory-only.
 func TestDurableConfigWiring(t *testing.T) {
-	if cfg := durableConfig("", "flights", durable.FsyncGroup, 0); cfg != nil {
+	if cfg := durableConfig("", "flights", durable.FsyncGroup, 0, 0); cfg != nil {
 		t.Fatal("durability configured without -data-dir")
 	}
 	dir := t.TempDir()
-	cfg := durableConfig(dir, "flights", durable.FsyncAlways, 0)
+	cfg := durableConfig(dir, "flights", durable.FsyncAlways, 0, 0)
 	if cfg == nil || cfg.Dir == dir || cfg.Fsync != durable.FsyncAlways {
 		t.Fatalf("durable config %+v: want per-dataset subdirectory and the requested policy", cfg)
 	}
-	other := durableConfig(dir, "hotels", durable.FsyncAlways, 0)
+	other := durableConfig(dir, "hotels", durable.FsyncAlways, 0, 0)
 	if other.Dir == cfg.Dir {
 		t.Fatal("datasets share a state directory")
 	}

@@ -103,6 +103,8 @@ func run(args []string) error {
 		dataDir    = fs.String("data-dir", "", "persist datasets under this directory (WAL + checkpoints, recovered on restart; empty = memory only)")
 		fsyncSpec  = fs.String("fsync", "interval", "WAL sync policy with -data-dir: always (sync per mutation), interval (group commit) or off")
 		fsyncEvery = fs.Duration("fsync-interval", 0, "group-commit sync period with -fsync interval (0 = 50ms default)")
+		maxQueued  = fs.Int("max-queued", 0, "max engine queries waiting for a worker before new ones are shed with 503 (0 = 8x workers, negative = unbounded)")
+		rearmWait  = fs.Duration("rearm-backoff", 0, "initial backoff between degraded-mode disk re-arm probes (0 = 250ms default, doubling to 30s)")
 	)
 	fs.Var(&datasets, "dataset", "name=schema.json,data.csv (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -134,6 +136,7 @@ func run(args []string) error {
 		QueryTimeout:           *queryTO,
 		SemanticCandidateLimit: *semLimit,
 		DisableVectorizedBatch: !*batchVec,
+		MaxQueuedQueries:       *maxQueued,
 	})
 	cfgFor := func(name string, schema *data.Schema) (service.EngineConfig, error) {
 		tmpl, err := data.ParsePreference(schema, *tmplSpec)
@@ -150,7 +153,7 @@ func run(args []string) error {
 			CompactThreshold: *compactAt,
 			ReadOnly:         *readOnly,
 		}
-		cfg.Durable = durableConfig(*dataDir, name, fsyncPolicy, *fsyncEvery)
+		cfg.Durable = durableConfig(*dataDir, name, fsyncPolicy, *fsyncEvery, *rearmWait)
 		return cfg, nil
 	}
 
@@ -203,7 +206,7 @@ func run(args []string) error {
 // durableConfig builds one dataset's durability configuration — its own
 // subdirectory under dataDir, so datasets never interleave WAL segments —
 // or nil when -data-dir is unset (memory only).
-func durableConfig(dataDir, name string, policy durable.Policy, interval time.Duration) *durable.Config {
+func durableConfig(dataDir, name string, policy durable.Policy, interval, rearmBackoff time.Duration) *durable.Config {
 	if dataDir == "" {
 		return nil
 	}
@@ -211,6 +214,7 @@ func durableConfig(dataDir, name string, policy durable.Policy, interval time.Du
 		Dir:           filepath.Join(dataDir, name),
 		Fsync:         policy,
 		GroupInterval: interval,
+		RearmBackoff:  rearmBackoff,
 	}
 }
 
@@ -226,6 +230,16 @@ func durableConfig(dataDir, name string, policy durable.Policy, interval time.Du
 // drained AND boot has finished (never concurrently with it), flushing
 // durable state so a SIGTERM loses nothing acknowledged.
 func serve(addr string, handler http.Handler, boot func() error, closeFn func() error) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serveWith(ln, handler, boot, closeFn)
+}
+
+// serveWith is serve over an already-bound listener, so tests can own the
+// port and drive the full SIGTERM graceful-shutdown path in-process.
+func serveWith(ln net.Listener, handler http.Handler, boot func() error, closeFn func() error) error {
 	srv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -236,10 +250,6 @@ func serve(addr string, handler http.Handler, boot func() error, closeFn func() 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
 	log.Printf("skylined listening on %s", ln.Addr())
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()

@@ -58,9 +58,26 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // markReady flips /readyz to 200 once boot has finished.
 func (s *server) markReady() { s.ready.Store(true) }
 
+// errorResponse is the JSON error body every handler returns: a
+// human-readable message plus a machine-readable code (see README for the
+// full status-code contract).
 type errorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
 }
+
+// Machine-readable error codes carried in errorResponse.Code.
+const (
+	codeBadRequest     = "bad-request"
+	codeUnknownDataset = "unknown-dataset"
+	codeUnknownPoint   = "unknown-point"
+	codeReadOnly       = "read-only"
+	codeTooLarge       = "too-large"
+	codeDegraded       = "degraded"
+	codeOverloaded     = "overloaded"
+	codeTimeout        = "timeout"
+	codeCanceled       = "canceled"
+)
 
 // writeJSON writes a compact JSON response — the hot query path skips
 // indentation. Encode errors after the header is written cannot reach the
@@ -97,33 +114,58 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+// classify maps an error to its HTTP status and machine-readable code — the
+// single source of truth for the status-code contract documented in README.
+func classify(err error) (status int, code string) {
 	var maxBytesErr *http.MaxBytesError
 	switch {
 	case errors.Is(err, service.ErrUnknownDataset):
-		status = http.StatusNotFound
+		return http.StatusNotFound, codeUnknownDataset
 	case errors.Is(err, service.ErrUnknownPoint):
 		// Deleting (or rendering) a point id that was never assigned or is
 		// already gone.
-		status = http.StatusNotFound
+		return http.StatusNotFound, codeUnknownPoint
 	case errors.Is(err, service.ErrNotMaintainable):
 		// The dataset is explicitly read-only or runs a legacy
 		// pointer-kernel engine.
-		status = http.StatusConflict
+		return http.StatusConflict, codeReadOnly
+	case errors.Is(err, service.ErrDegraded):
+		// A disk fault moved the dataset to degraded read-only; the re-arm
+		// loop is probing, so the write is retryable.
+		return http.StatusServiceUnavailable, codeDegraded
+	case errors.Is(err, service.ErrOverloaded):
+		// The admission queue is full; the query was shed without blocking.
+		return http.StatusServiceUnavailable, codeOverloaded
 	case errors.As(err, &maxBytesErr):
-		status = http.StatusRequestEntityTooLarge
+		return http.StatusRequestEntityTooLarge, codeTooLarge
 	case errors.Is(err, context.DeadlineExceeded):
 		// The -query-timeout deadline fired before the engine finished.
-		status = http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout, codeTimeout
 	case errors.Is(err, context.Canceled):
 		// The client disconnected; 499 (nginx convention) for the access log.
-		status = 499
+		return 499, codeCanceled
 	default:
 		// Preference parse/validation problems are client errors.
-		status = http.StatusBadRequest
+		return http.StatusBadRequest, codeBadRequest
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// retryAfter suggests the client backoff for retryable 503s: sheds clear as
+// soon as a worker frees (retry immediately-ish), degraded datasets wait on
+// the re-arm loop's backoff.
+func retryAfter(code string) string {
+	if code == codeDegraded {
+		return "5"
+	}
+	return "1"
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status, code := classify(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfter(code))
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error(), Code: code})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -135,7 +177,19 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	// Degraded datasets still serve reads, so the node stays ready; the list
+	// tells operators (and smarter balancers) which datasets refuse writes.
+	body := map[string]any{"status": "ready"}
+	var degraded []string
+	for _, info := range s.svc.Datasets() {
+		if info.Health != "" && info.Health != "ok" {
+			degraded = append(degraded, info.Name)
+		}
+	}
+	if len(degraded) > 0 {
+		body["degraded"] = degraded
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
@@ -261,6 +315,9 @@ type batchMember struct {
 	Cached     bool           `json:"cached"`
 	Semantic   bool           `json:"semantic,omitempty"`
 	Error      string         `json:"error,omitempty"`
+	// Code is the member error's machine-readable code (same vocabulary as
+	// top-level errorResponse.Code), empty on success.
+	Code string `json:"code,omitempty"`
 }
 
 type batchResponse struct {
@@ -278,6 +335,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{
 			Error: fmt.Sprintf("batch of %d preferences exceeds the limit of %d",
 				len(req.Preferences), maxBatchPreferences),
+			Code: codeTooLarge,
 		})
 		return
 	}
@@ -295,6 +353,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		p, err := data.ParsePreference(schema, spec)
 		if err != nil {
 			members[i].Error = err.Error()
+			members[i].Code = codeBadRequest
 			continue
 		}
 		prefs[i] = p
@@ -312,6 +371,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		m := &members[runIdx[j]]
 		if res.Err != nil {
 			m.Error = res.Err.Error()
+			_, m.Code = classify(res.Err)
 			continue
 		}
 		m.IDs = res.IDs
@@ -396,12 +456,13 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Points) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no points to insert"})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no points to insert", Code: codeBadRequest})
 		return
 	}
 	if len(req.Points) > maxBatchMutations {
 		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
 			Error: fmt.Sprintf("batch of %d points exceeds the limit of %d", len(req.Points), maxBatchMutations),
+			Code:  codeTooLarge,
 		})
 		return
 	}
@@ -415,7 +476,7 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	pts := make([]service.PointInput, len(req.Points))
 	for i, in := range req.Points {
 		if pts[i], err = parsePoint(schema, in); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("point %d: %v", i, err)})
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("point %d: %v", i, err), Code: codeBadRequest})
 			return
 		}
 	}
@@ -449,12 +510,13 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.IDs) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no ids to delete"})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no ids to delete", Code: codeBadRequest})
 		return
 	}
 	if len(req.IDs) > maxBatchMutations {
 		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
 			Error: fmt.Sprintf("batch of %d ids exceeds the limit of %d", len(req.IDs), maxBatchMutations),
+			Code:  codeTooLarge,
 		})
 		return
 	}

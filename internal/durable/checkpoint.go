@@ -7,13 +7,13 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
-	"os"
 	"path/filepath"
 	"slices"
 	"strconv"
 	"strings"
 
 	"prefsky/internal/data"
+	"prefsky/internal/faultfs"
 	"prefsky/internal/flat"
 	"prefsky/internal/order"
 )
@@ -59,8 +59,8 @@ func parseCheckpointVersion(name string) (uint64, bool) {
 
 // listCheckpoints returns the directory's checkpoint versions, descending
 // (newest first).
-func listCheckpoints(dir string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
+func listCheckpoints(fsys faultfs.FS, dir string) ([]uint64, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +88,7 @@ func schemaJSONBytes(s *data.Schema) ([]byte, error) {
 // writeCheckpoint serializes a snapshot to a new checkpoint file, atomically
 // renamed into place. nextID must be read after the snapshot was captured so
 // it covers every id the snapshot contains.
-func writeCheckpoint(dir string, snap *flat.Snapshot, nextID data.PointID) error {
+func writeCheckpoint(fsys faultfs.FS, dir string, snap *flat.Snapshot, nextID data.PointID) error {
 	schemaJSON, err := schemaJSONBytes(snap.Schema())
 	if err != nil {
 		return fmt.Errorf("durable: encoding checkpoint schema: %w", err)
@@ -120,11 +120,11 @@ func writeCheckpoint(dir string, snap *flat.Snapshot, nextID data.PointID) error
 	}
 	binary.LittleEndian.PutUint32(buf[12:], crc32.Checksum(p, crcTable))
 
-	tmp, err := os.CreateTemp(dir, "checkpoint-*.tmp")
+	tmp, err := fsys.CreateTemp(dir, "checkpoint-*.tmp")
 	if err != nil {
 		return fmt.Errorf("durable: creating checkpoint temp file: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer fsys.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(buf); err != nil {
 		tmp.Close()
 		return fmt.Errorf("durable: writing checkpoint: %w", err)
@@ -136,10 +136,10 @@ func writeCheckpoint(dir string, snap *flat.Snapshot, nextID data.PointID) error
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("durable: closing checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), checkpointPath(dir, snap.Version())); err != nil {
+	if err := fsys.Rename(tmp.Name(), checkpointPath(dir, snap.Version())); err != nil {
 		return fmt.Errorf("durable: publishing checkpoint: %w", err)
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
 // checkpointState is a decoded checkpoint: the live rows at a version plus
@@ -152,8 +152,8 @@ type checkpointState struct {
 
 // readCheckpoint decodes one checkpoint file, verifying the CRC and every
 // length, and checks its embedded schema against the expected one.
-func readCheckpoint(path string, wantSchema []byte, m, l int) (*checkpointState, error) {
-	b, err := os.ReadFile(path)
+func readCheckpoint(fsys faultfs.FS, path string, wantSchema []byte, m, l int) (*checkpointState, error) {
+	b, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -219,14 +219,14 @@ func readCheckpoint(path string, wantSchema []byte, m, l int) (*checkpointState,
 // retains every record past the older checkpoint's version until a newer
 // checkpoint lands durably, so the fallback replays further but loses
 // nothing.
-func loadNewestCheckpoint(dir string, wantSchema []byte, m, l int) (*checkpointState, error) {
-	versions, err := listCheckpoints(dir)
+func loadNewestCheckpoint(fsys faultfs.FS, dir string, wantSchema []byte, m, l int) (*checkpointState, error) {
+	versions, err := listCheckpoints(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
 	var firstErr error
 	for _, v := range versions {
-		st, err := readCheckpoint(checkpointPath(dir, v), wantSchema, m, l)
+		st, err := readCheckpoint(fsys, checkpointPath(dir, v), wantSchema, m, l)
 		if err == nil {
 			return st, nil
 		}
@@ -245,14 +245,14 @@ func loadNewestCheckpoint(dir string, wantSchema []byte, m, l int) (*checkpointS
 // version, not the newest: recovery may fall back to any retained checkpoint
 // if the newest rots, so every retained checkpoint must still find the WAL
 // records past its own version.
-func pruneCheckpoints(dir string, keep int) uint64 {
-	versions, err := listCheckpoints(dir)
+func pruneCheckpoints(fsys faultfs.FS, dir string, keep int) uint64 {
+	versions, err := listCheckpoints(fsys, dir)
 	if err != nil || len(versions) == 0 {
 		return 0
 	}
 	kept := min(keep, len(versions))
 	for _, v := range versions[kept:] {
-		os.Remove(checkpointPath(dir, v))
+		fsys.Remove(checkpointPath(dir, v))
 	}
 	return versions[kept-1]
 }

@@ -35,10 +35,45 @@
 package durable
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
+
+	"prefsky/internal/faultfs"
 )
+
+// ErrDegraded is returned by JournalInsert/JournalDelete (and therefore by
+// the store's mutation methods) while the dataset is in degraded read-only
+// mode: the disk failed underneath the WAL or checkpointer, reads keep
+// serving from the in-memory snapshot, and a background re-arm loop is
+// probing for recovery. Callers should retry after a backoff.
+var ErrDegraded = errors.New("durable: dataset is degraded read-only")
+
+// Health is a dataset's durability health state.
+type Health int32
+
+const (
+	// HealthOK: writes journal normally.
+	HealthOK Health = iota
+	// HealthDegraded: a disk fault moved the dataset to read-only; mutations
+	// fail with ErrDegraded until re-arm succeeds.
+	HealthDegraded
+	// HealthRecovering: a re-arm attempt is in flight.
+	HealthRecovering
+)
+
+// String renders the health state as served in /v1/stats.
+func (h Health) String() string {
+	switch h {
+	case HealthDegraded:
+		return "degraded"
+	case HealthRecovering:
+		return "recovering"
+	default:
+		return "ok"
+	}
+}
 
 // Policy selects when WAL appends reach stable storage.
 type Policy int
@@ -85,6 +120,8 @@ const (
 	DefaultGroupInterval = 50 * time.Millisecond
 	DefaultSegmentBytes  = 8 << 20
 	DefaultKeepCkpts     = 2
+	DefaultRearmBackoff  = 250 * time.Millisecond
+	DefaultRearmMaxBack  = 30 * time.Second
 )
 
 // Config configures one dataset's durability directory.
@@ -108,6 +145,15 @@ type Config struct {
 	// flat.NewStore takes it: 0 = flat.DefaultCompactThreshold, negative
 	// disables automatic compaction.
 	CompactThreshold int
+	// FS is the filesystem the directory lives on. Nil means the real OS;
+	// tests substitute a faultfs.Injector to exercise disk-failure paths.
+	FS faultfs.FS
+	// RearmBackoff is the initial delay between degraded-mode re-arm probes
+	// (0 = DefaultRearmBackoff); each failed attempt doubles it up to
+	// RearmMaxBackoff.
+	RearmBackoff time.Duration
+	// RearmMaxBackoff caps the re-arm probe delay (0 = DefaultRearmMaxBack).
+	RearmMaxBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +165,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.KeepCheckpoints <= 0 {
 		c.KeepCheckpoints = DefaultKeepCkpts
+	}
+	if c.FS == nil {
+		c.FS = faultfs.OS
+	}
+	if c.RearmBackoff <= 0 {
+		c.RearmBackoff = DefaultRearmBackoff
+	}
+	if c.RearmMaxBackoff <= 0 {
+		c.RearmMaxBackoff = DefaultRearmMaxBack
+	}
+	if c.RearmMaxBackoff < c.RearmBackoff {
+		c.RearmMaxBackoff = c.RearmBackoff
 	}
 	return c
 }
@@ -153,8 +211,14 @@ type Stats struct {
 	WALBytes           uint64        `json:"walBytes"`
 	WALSyncs           uint64        `json:"walSyncs"`
 	WALSegments        int           `json:"walSegments"`
+	WALRearms          uint64        `json:"walRearms"`
 	Checkpoints        uint64        `json:"checkpoints"`
 	CheckpointFailures uint64        `json:"checkpointFailures"`
 	CheckpointVersion  uint64        `json:"checkpointVersion"`
+	Health             string        `json:"health"`
+	Degradations       uint64        `json:"degradations"`
+	RearmAttempts      uint64        `json:"rearmAttempts"`
+	Rearms             uint64        `json:"rearms"`
+	DegradedCause      string        `json:"degradedCause,omitempty"`
 	Recovery           RecoveryStats `json:"recovery"`
 }

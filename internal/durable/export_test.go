@@ -4,3 +4,8 @@ package durable
 // crash-recovery property test can record, after every operation, exactly
 // where a truncation would have to land to lose it.
 func (db *DB) WALPosition() (seq uint64, size int64) { return db.wal.position() }
+
+// TryRearm runs one synchronous pass of the re-arm protocol, bypassing the
+// background loop's backoff, so fault-injection tests can heal a degraded
+// dataset deterministically.
+func (db *DB) TryRearm() bool { return db.tryRearm() }

@@ -1,0 +1,155 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"prefsky/internal/data"
+	"prefsky/internal/faultfs"
+	"prefsky/internal/order"
+)
+
+// dirNames lists the file names under dir containing substr, sorted.
+func dirNames(t *testing.T, dir, substr string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.Contains(e.Name(), substr) {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkpointFaultFixture opens a DB under an injector, lands a couple of
+// mutations and one clean checkpoint, and returns the baseline file listing
+// a failed checkpoint must not disturb.
+func checkpointFaultFixture(t *testing.T) (*DB, string, *faultfs.Injector, []string, []string) {
+	t.Helper()
+	inj := faultfs.NewInjector(nil)
+	db, dir := openTable3(t, Config{
+		Fsync: FsyncAlways, FS: inj,
+		RearmBackoff: time.Hour, RearmMaxBackoff: time.Hour, // test drives re-arm
+	})
+	st := db.Store()
+	if _, err := st.Insert([]float64{700, -4}, []order.Value{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Insert([]float64{650, -3}, []order.Value{2, 0}); err != nil {
+		t.Fatal(err)
+	}
+	return db, dir, inj, dirNames(t, dir, "checkpoint-"), dirNames(t, dir, "wal-")
+}
+
+// requireNoCheckpointDamage asserts the two retention invariants a failed
+// checkpoint must uphold: no partial or temporary checkpoint file appears,
+// and no WAL segment the retained checkpoints still need was pruned.
+func requireNoCheckpointDamage(t *testing.T, dir string, ckpts, segs []string) {
+	t.Helper()
+	if got := dirNames(t, dir, "checkpoint-"); !reflect.DeepEqual(got, ckpts) {
+		t.Fatalf("checkpoint files after failed checkpoint = %v, want %v", got, ckpts)
+	}
+	if tmp := dirNames(t, dir, ".tmp"); len(tmp) != 0 {
+		t.Fatalf("temp files left behind: %v", tmp)
+	}
+	got := dirNames(t, dir, "wal-")
+	have := make(map[string]bool, len(got))
+	for _, n := range got {
+		have[n] = true
+	}
+	for _, n := range segs {
+		if !have[n] {
+			t.Fatalf("WAL segment %s pruned by a failed checkpoint (have %v)", n, got)
+		}
+	}
+}
+
+// TestCheckpointTempWriteFailure: a checkpoint that cannot even create its
+// temp file leaves the directory exactly as it was — prior checkpoints
+// intact, no temp debris, WAL unpruned — and the un-checkpointed mutations
+// survive a degraded-close reopen because the log still covers them.
+func TestCheckpointTempWriteFailure(t *testing.T) {
+	db, dir, inj, ckpts, segs := checkpointFaultFixture(t)
+	defer db.Close()
+	want := sortedPoints(livePoints(t, db))
+	wantVersion := db.Store().Version()
+
+	inj.Add(faultfs.Fault{Op: faultfs.OpCreateTemp, Err: faultfs.ErrNoSpace})
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("checkpoint succeeded despite injected temp-create failure")
+	}
+	if db.Health() != HealthDegraded {
+		t.Fatalf("health after failed checkpoint = %v, want degraded", db.Health())
+	}
+	requireNoCheckpointDamage(t, dir, ckpts, segs)
+
+	// Close while still degraded (no final checkpoint) and reopen: the WAL
+	// retained past the oldest checkpoint must replay every acknowledged
+	// mutation.
+	inj.Clear()
+	if err := db.Close(); err != nil {
+		t.Fatalf("degraded close: %v", err)
+	}
+	db2, err := Open(data.Table3(), Config{Dir: dir, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatalf("reopen after failed checkpoint: %v", err)
+	}
+	defer db2.Close()
+	if got := sortedPoints(livePoints(t, db2)); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopen lost mutations:\n got %v\nwant %v", got, want)
+	}
+	if got := db2.Store().Version(); got != wantVersion {
+		t.Fatalf("reopened version = %d, want %d", got, wantVersion)
+	}
+}
+
+// TestCheckpointRenameFailure: a checkpoint that writes its temp file but
+// fails the publishing rename removes the temp, keeps every prior
+// checkpoint, prunes nothing, and the dataset re-arms (with a working
+// checkpoint) once the disk recovers.
+func TestCheckpointRenameFailure(t *testing.T) {
+	db, dir, inj, ckpts, segs := checkpointFaultFixture(t)
+	defer db.Close()
+
+	inj.Add(faultfs.Fault{Op: faultfs.OpRename, Path: "checkpoint-"})
+	err := db.Checkpoint()
+	if err == nil {
+		t.Fatal("checkpoint succeeded despite injected rename failure")
+	}
+	if !errors.Is(err, faultfs.ErrIO) {
+		t.Fatalf("checkpoint error = %v, want the injected EIO", err)
+	}
+	if db.Health() != HealthDegraded {
+		t.Fatalf("health after failed rename = %v, want degraded", db.Health())
+	}
+	requireNoCheckpointDamage(t, dir, ckpts, segs)
+	if got := db.Stats().CheckpointFailures; got == 0 {
+		t.Fatal("checkpoint failure not counted")
+	}
+
+	// Disk recovers: re-arm runs the full protocol, ending in a checkpoint
+	// that now lands, and writes resume.
+	inj.Clear()
+	if !db.TryRearm() {
+		t.Fatalf("TryRearm failed on a healthy disk (cause %q)", db.Stats().DegradedCause)
+	}
+	if got := dirNames(t, dir, "checkpoint-"); len(got) == 0 {
+		t.Fatal("re-arm left no checkpoint files")
+	}
+	if _, err := db.Store().Insert([]float64{600, -2}, []order.Value{0, 1}); err != nil {
+		t.Fatalf("insert after re-arm: %v", err)
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"prefsky/internal/data"
+	"prefsky/internal/faultfs"
 	"prefsky/internal/flat"
 	"prefsky/internal/order"
 )
@@ -17,9 +19,16 @@ import (
 // store's flat.Journal (every mutation appends a WAL record before it
 // publishes) and its checkpoint writer (full dumps off the compaction hook
 // and at Close). Obtain one with Open; the wrapped store is at Store().
+//
+// A disk failure under the WAL or checkpointer does not poison the dataset:
+// it transitions to degraded read-only (mutations fail with ErrDegraded,
+// reads keep serving the in-memory snapshot) and a background re-arm loop
+// probes the disk with exponential backoff, reopening the log on a fresh
+// segment once writes succeed again.
 type DB struct {
 	dir   string
 	cfg   Config
+	fs    faultfs.FS
 	store *flat.Store
 	wal   *wal
 
@@ -28,6 +37,17 @@ type DB struct {
 	ckptVersion  atomic.Uint64
 	closed       atomic.Bool
 	recovery     RecoveryStats
+
+	health        atomic.Int32 // Health
+	degradations  atomic.Uint64
+	rearmAttempts atomic.Uint64
+	rearmsOK      atomic.Uint64
+	causeMu       sync.Mutex
+	cause         string
+
+	rearmKick chan struct{}
+	stopRearm chan struct{}
+	rearmDone chan struct{}
 }
 
 // schemaFileName pins the dataset's schema in its directory so a dataset
@@ -46,10 +66,11 @@ const schemaFileName = "schema.json"
 func Open(seed *data.Dataset, cfg Config) (*DB, error) {
 	start := time.Now()
 	cfg = cfg.withDefaults()
+	fsys := cfg.FS
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("durable: empty state directory")
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("durable: creating state directory: %w", err)
 	}
 	schema := seed.Schema()
@@ -59,28 +80,33 @@ func Open(seed *data.Dataset, cfg Config) (*DB, error) {
 		return nil, fmt.Errorf("durable: encoding schema: %w", err)
 	}
 	schemaPath := filepath.Join(cfg.Dir, schemaFileName)
-	if prev, err := os.ReadFile(schemaPath); err == nil {
+	if prev, err := fsys.ReadFile(schemaPath); err == nil {
 		if !bytes.Equal(prev, schemaJSON) {
 			return nil, fmt.Errorf("durable: %s does not match the dataset schema", schemaPath)
 		}
 	} else if os.IsNotExist(err) {
-		if err := os.WriteFile(schemaPath, schemaJSON, 0o644); err != nil {
+		if err := fsys.WriteFile(schemaPath, schemaJSON, 0o644); err != nil {
 			return nil, fmt.Errorf("durable: writing %s: %w", schemaFileName, err)
 		}
 	} else {
 		return nil, fmt.Errorf("durable: reading %s: %w", schemaFileName, err)
 	}
 
-	ckpt, err := loadNewestCheckpoint(cfg.Dir, schemaJSON, m, l)
+	ckpt, err := loadNewestCheckpoint(fsys, cfg.Dir, schemaJSON, m, l)
 	if err != nil {
 		return nil, err
 	}
-	segs, err := listSegments(cfg.Dir)
+	segs, err := listSegments(fsys, cfg.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("durable: listing WAL segments: %w", err)
 	}
 
-	db := &DB{dir: cfg.Dir, cfg: cfg}
+	db := &DB{
+		dir: cfg.Dir, cfg: cfg, fs: fsys,
+		rearmKick: make(chan struct{}, 1),
+		stopRearm: make(chan struct{}),
+		rearmDone: make(chan struct{}),
+	}
 	if ckpt == nil {
 		if len(segs) > 0 {
 			// Every directory starts with checkpoint zero, so a WAL without any
@@ -91,16 +117,16 @@ func Open(seed *data.Dataset, cfg Config) (*DB, error) {
 		// First open: seed the store from the dataset and dump it as
 		// checkpoint zero so the directory no longer depends on the seed.
 		db.store = flat.NewStore(seed, cfg.CompactThreshold)
-		if err := writeCheckpoint(cfg.Dir, db.store.Snapshot(), db.store.NextID()); err != nil {
+		if err := writeCheckpoint(fsys, cfg.Dir, db.store.Snapshot(), db.store.NextID()); err != nil {
 			return nil, err
 		}
 		db.recovery = RecoveryStats{FromDisk: false}
-		db.wal, err = openWAL(cfg.Dir, m, l, cfg, 1, nil, 0)
+		db.wal, err = openWAL(fsys, cfg.Dir, m, l, cfg, 1, nil, 0)
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		rec, sealed, activeSeq, err := replayWAL(cfg.Dir, segs, ckpt, schema, m, l)
+		rec, sealed, activeSeq, err := replayWAL(fsys, cfg.Dir, segs, ckpt, schema, m, l)
 		if err != nil {
 			return nil, err
 		}
@@ -116,29 +142,34 @@ func Open(seed *data.Dataset, cfg Config) (*DB, error) {
 			TruncatedBytes:    rec.truncated,
 			Version:           rec.version,
 		}
-		db.wal, err = openWAL(cfg.Dir, m, l, cfg, activeSeq, sealed, rec.version)
+		db.wal, err = openWAL(fsys, cfg.Dir, m, l, cfg, activeSeq, sealed, rec.version)
 		if err != nil {
 			return nil, err
 		}
 	}
-	db.ckptVersion.Store(pinnedCheckpointVersion(cfg.Dir))
+	db.ckptVersion.Store(pinnedCheckpointVersion(fsys, cfg.Dir))
 	db.recovery.Version = db.store.Version()
 	db.recovery.DurationMS = float64(time.Since(start).Microseconds()) / 1e3
 	db.store.SetJournal(db)
 	db.store.OnCompact(func(snap *flat.Snapshot) {
+		if db.closed.Load() || db.Health() != HealthOK {
+			return
+		}
 		// Compaction already rebuilt the base off the write path; persisting
 		// that same immutable snapshot here makes the checkpoint nearly free.
 		if err := db.checkpointSnapshot(snap); err != nil {
 			db.ckptFailures.Add(1)
+			db.degrade(fmt.Errorf("checkpoint off compaction: %w", err))
 		}
 	})
+	go db.rearmLoop()
 	return db, nil
 }
 
 // pinnedCheckpointVersion reports the newest checkpoint version on disk (for
 // the stats gauge; recovery already validated it).
-func pinnedCheckpointVersion(dir string) uint64 {
-	if versions, err := listCheckpoints(dir); err == nil && len(versions) > 0 {
+func pinnedCheckpointVersion(fsys faultfs.FS, dir string) uint64 {
+	if versions, err := listCheckpoints(fsys, dir); err == nil && len(versions) > 0 {
 		return versions[0]
 	}
 	return 0
@@ -161,7 +192,7 @@ type replayResult struct {
 // at the last valid frame boundary; anywhere else it is corruption, as is
 // any record that decodes but violates the log's invariants (non-increasing
 // versions, unknown delete id, reused insert id).
-func replayWAL(dir string, segs []uint64, ckpt *checkpointState, schema *data.Schema, m, l int) (*replayResult, []sealedSegment, uint64, error) {
+func replayWAL(fsys faultfs.FS, dir string, segs []uint64, ckpt *checkpointState, schema *data.Schema, m, l int) (*replayResult, []sealedSegment, uint64, error) {
 	res := &replayResult{nextID: ckpt.nextID, version: ckpt.version}
 	pts := ckpt.points
 	idx := make(map[data.PointID]int, len(pts))
@@ -174,6 +205,19 @@ func replayWAL(dir string, segs []uint64, ckpt *checkpointState, schema *data.Sc
 	logVersion := uint64(0) // strict monotonicity across the whole log
 
 	apply := func(rec *record) error {
+		if rec.kind == recordRearm {
+			// A rearm marker repeats the store version at re-arm time, which
+			// equals the last acknowledged record's version: equality is legal
+			// here (and only here), regression is not.
+			if rec.version < logVersion {
+				return fmt.Errorf("durable: rearm marker version %d after %d — log not monotonic", rec.version, logVersion)
+			}
+			logVersion = rec.version
+			if rec.version > res.version {
+				res.version = rec.version
+			}
+			return nil
+		}
 		if rec.version <= logVersion {
 			return fmt.Errorf("durable: record version %d after %d — log not monotonic", rec.version, logVersion)
 		}
@@ -217,7 +261,7 @@ func replayWAL(dir string, segs []uint64, ckpt *checkpointState, schema *data.Sc
 	activeSeq := uint64(1)
 	for si, seq := range segs {
 		path := segmentPath(dir, seq)
-		b, err := os.ReadFile(path)
+		b, err := fsys.ReadFile(path)
 		if err != nil {
 			return nil, nil, 0, fmt.Errorf("durable: reading WAL segment: %w", err)
 		}
@@ -232,7 +276,7 @@ func replayWAL(dir string, segs []uint64, ckpt *checkpointState, schema *data.Sc
 				// tail — the segment rotted after it was sealed and synced.
 				return nil, nil, 0, fmt.Errorf("durable: %s: corrupt record mid-log", filepath.Base(path))
 			}
-			if err := os.Truncate(path, validEnd); err != nil {
+			if err := fsys.Truncate(path, validEnd); err != nil {
 				return nil, nil, 0, fmt.Errorf("durable: truncating torn tail: %w", err)
 			}
 			res.truncated = int64(len(b)) - validEnd
@@ -267,31 +311,81 @@ func (db *DB) Store() *flat.Store { return db.store }
 // Recovery reports what Open reconstructed.
 func (db *DB) Recovery() RecoveryStats { return db.recovery }
 
+// Health reports the dataset's durability health.
+func (db *DB) Health() Health { return Health(db.health.Load()) }
+
+// degrade moves the dataset to degraded read-only and kicks the re-arm loop.
+// Safe to call from any state; only the first call per degraded window
+// counts a degradation.
+func (db *DB) degrade(cause error) {
+	db.causeMu.Lock()
+	db.cause = cause.Error()
+	db.causeMu.Unlock()
+	if db.health.CompareAndSwap(int32(HealthOK), int32(HealthDegraded)) {
+		db.degradations.Add(1)
+	} else {
+		db.health.Store(int32(HealthDegraded))
+	}
+	select {
+	case db.rearmKick <- struct{}{}:
+	default:
+	}
+}
+
+// degradedErr wraps ErrDegraded with the recorded cause.
+func (db *DB) degradedErr() error {
+	db.causeMu.Lock()
+	cause := db.cause
+	db.causeMu.Unlock()
+	if cause == "" {
+		return ErrDegraded
+	}
+	return fmt.Errorf("%w (%s)", ErrDegraded, cause)
+}
+
 // JournalInsert implements flat.Journal: called inside the store's writer
-// critical section, before the mutation publishes.
+// critical section, before the mutation publishes. A journaling failure
+// degrades the dataset and surfaces as ErrDegraded, so the store aborts the
+// mutation (rolling back its ids) and later mutations fail fast.
 func (db *DB) JournalInsert(ids []data.PointID, nums []float64, noms []order.Value, version uint64) error {
-	return db.wal.append(recordInsert, version, ids, nums, noms)
+	if db.Health() != HealthOK {
+		return db.degradedErr()
+	}
+	if err := db.wal.append(recordInsert, version, ids, nums, noms); err != nil {
+		db.degrade(err)
+		return fmt.Errorf("%w: %v", ErrDegraded, err)
+	}
+	return nil
 }
 
 // JournalDelete implements flat.Journal.
 func (db *DB) JournalDelete(ids []data.PointID, version uint64) error {
-	return db.wal.append(recordDelete, version, ids, nil, nil)
+	if db.Health() != HealthOK {
+		return db.degradedErr()
+	}
+	if err := db.wal.append(recordDelete, version, ids, nil, nil); err != nil {
+		db.degrade(err)
+		return fmt.Errorf("%w: %v", ErrDegraded, err)
+	}
+	return nil
 }
 
 // checkpointSnapshot dumps one snapshot as a new checkpoint, then prunes the
 // checkpoints and WAL segments it supersedes. The WAL is rotated first so
 // the sealed segments' records are all coverable by the checkpoint's
-// version.
+// version. Pruning is bounded by the oldest retained checkpoint, so a
+// segment is never deleted while any checkpoint that might be fallen back to
+// still needs it.
 func (db *DB) checkpointSnapshot(snap *flat.Snapshot) error {
 	if err := db.wal.rotate(); err != nil {
 		return err
 	}
-	if err := writeCheckpoint(db.dir, snap, db.store.NextID()); err != nil {
+	if err := writeCheckpoint(db.fs, db.dir, snap, db.store.NextID()); err != nil {
 		return err
 	}
 	db.checkpoints.Add(1)
 	db.ckptVersion.Store(snap.Version())
-	oldest := pruneCheckpoints(db.dir, db.cfg.KeepCheckpoints)
+	oldest := pruneCheckpoints(db.fs, db.dir, db.cfg.KeepCheckpoints)
 	db.wal.pruneUpTo(oldest)
 	return nil
 }
@@ -302,26 +396,124 @@ func (db *DB) checkpointSnapshot(snap *flat.Snapshot) error {
 func (db *DB) Sync() error { return db.wal.sync() }
 
 // Checkpoint forces a checkpoint of the current snapshot (graceful shutdown,
-// admin tooling).
+// admin tooling). A failure degrades the dataset.
 func (db *DB) Checkpoint() error {
 	err := db.checkpointSnapshot(db.store.Snapshot())
 	if err != nil {
 		db.ckptFailures.Add(1)
+		if !db.closed.Load() {
+			db.degrade(fmt.Errorf("checkpoint: %w", err))
+		}
 	}
 	return err
 }
 
+// probeDisk verifies the state directory accepts a durable write again:
+// create, write, sync and remove a probe file through the same filesystem
+// the WAL uses.
+func (db *DB) probeDisk() error {
+	p := filepath.Join(db.dir, "health.probe")
+	f, err := db.fs.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("ok\n")); err != nil {
+		f.Close()
+		db.fs.Remove(p)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		db.fs.Remove(p)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		db.fs.Remove(p)
+		return err
+	}
+	return db.fs.Remove(p)
+}
+
+// tryRearm attempts one pass of the re-arm protocol: probe the disk, reopen
+// the WAL past its acknowledged prefix (journaling a rearm marker on a fresh
+// segment), then dump a full checkpoint so anything a group-commit window
+// could have lost is re-persisted from the in-memory snapshot. Only then do
+// writes resume. Exported to tests via export_test.go.
+func (db *DB) tryRearm() bool {
+	db.rearmAttempts.Add(1)
+	db.health.Store(int32(HealthRecovering))
+	fail := func(err error) bool {
+		db.causeMu.Lock()
+		db.cause = err.Error()
+		db.causeMu.Unlock()
+		db.health.Store(int32(HealthDegraded))
+		return false
+	}
+	if err := db.probeDisk(); err != nil {
+		return fail(fmt.Errorf("disk probe: %w", err))
+	}
+	if err := db.wal.rearm(db.store.Version()); err != nil {
+		return fail(fmt.Errorf("wal rearm: %w", err))
+	}
+	if err := db.checkpointSnapshot(db.store.Snapshot()); err != nil {
+		db.ckptFailures.Add(1)
+		return fail(fmt.Errorf("rearm checkpoint: %w", err))
+	}
+	db.causeMu.Lock()
+	db.cause = ""
+	db.causeMu.Unlock()
+	db.rearmsOK.Add(1)
+	db.health.Store(int32(HealthOK))
+	return true
+}
+
+// rearmLoop waits for a degradation kick, then retries the re-arm protocol
+// with exponential backoff until it succeeds or the DB closes.
+func (db *DB) rearmLoop() {
+	defer close(db.rearmDone)
+	for {
+		select {
+		case <-db.stopRearm:
+			return
+		case <-db.rearmKick:
+		}
+		backoff := db.cfg.RearmBackoff
+		for db.Health() != HealthOK {
+			select {
+			case <-db.stopRearm:
+				return
+			case <-time.After(backoff):
+			}
+			if db.tryRearm() {
+				break
+			}
+			backoff *= 2
+			if backoff > db.cfg.RearmMaxBackoff {
+				backoff = db.cfg.RearmMaxBackoff
+			}
+		}
+	}
+}
+
 // Close checkpoints the current state and closes the WAL. After Close every
 // mutation on the store fails (the journal is closed), so callers must stop
-// traffic first; a reopened directory recovers with an empty replay.
+// traffic first; a reopened directory recovers with an empty replay. A
+// degraded dataset skips the final checkpoint — its last durable state is
+// whatever the acknowledged WAL prefix holds, and reopening recovers exactly
+// that.
 func (db *DB) Close() error {
 	if !db.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	err := db.Checkpoint()
+	close(db.stopRearm)
+	<-db.rearmDone
+	var err error
+	if db.Health() == HealthOK {
+		err = db.Checkpoint()
+	}
 	// Close the log even when the checkpoint failed: its sync makes every
 	// acknowledged mutation durable regardless.
-	if werr := db.wal.close(); werr != nil && err == nil {
+	if werr := db.wal.close(); werr != nil && err == nil && db.Health() == HealthOK {
 		err = werr
 	}
 	return err
@@ -329,11 +521,19 @@ func (db *DB) Close() error {
 
 // Stats snapshots the durability counters for /v1/stats.
 func (db *DB) Stats() Stats {
+	db.causeMu.Lock()
+	cause := db.cause
+	db.causeMu.Unlock()
 	s := Stats{
 		Fsync:              db.cfg.Fsync.String(),
 		Checkpoints:        db.checkpoints.Load(),
 		CheckpointFailures: db.ckptFailures.Load(),
 		CheckpointVersion:  db.ckptVersion.Load(),
+		Health:             db.Health().String(),
+		Degradations:       db.degradations.Load(),
+		RearmAttempts:      db.rearmAttempts.Load(),
+		Rearms:             db.rearmsOK.Load(),
+		DegradedCause:      cause,
 		Recovery:           db.recovery,
 	}
 	db.wal.statsInto(&s)

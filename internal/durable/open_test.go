@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"prefsky/internal/data"
+	"prefsky/internal/faultfs"
 	"prefsky/internal/order"
 )
 
@@ -40,7 +41,7 @@ func TestOpenSeedsCheckpointZero(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(dir, schemaFileName)); err != nil {
 		t.Fatalf("schema file missing: %v", err)
 	}
-	versions, err := listCheckpoints(dir)
+	versions, err := listCheckpoints(faultfs.OS, dir)
 	if err != nil || len(versions) != 1 || versions[0] != 0 {
 		t.Fatalf("checkpoints after first open = %v (err %v), want [0]", versions, err)
 	}
@@ -196,7 +197,7 @@ func TestCheckpointPrunesWAL(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(faultfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,14 +224,14 @@ func TestCheckpointPrunesWAL(t *testing.T) {
 		}
 		st.Compact()
 	}
-	versions, err := listCheckpoints(dir)
+	versions, err := listCheckpoints(faultfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(versions) != 2 {
 		t.Fatalf("kept %d checkpoints, want 2 (versions %v)", len(versions), versions)
 	}
-	segs, err = listSegments(dir)
+	segs, err = listSegments(faultfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +278,7 @@ func TestWALWithoutCheckpointRejected(t *testing.T) {
 	if err := db.wal.sync(); err != nil {
 		t.Fatal(err)
 	}
-	versions, err := listCheckpoints(dir)
+	versions, err := listCheckpoints(faultfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +302,7 @@ func TestCorruptMidLogRejected(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(faultfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +336,7 @@ func TestCorruptNewestCheckpointFallsBack(t *testing.T) {
 	if err := db.Close(); err != nil { // writes the newest checkpoint
 		t.Fatal(err)
 	}
-	versions, err := listCheckpoints(dir)
+	versions, err := listCheckpoints(faultfs.OS, dir)
 	if err != nil || len(versions) < 2 {
 		t.Fatalf("want ≥2 checkpoints, got %v (err %v)", versions, err)
 	}

@@ -32,6 +32,10 @@ type recordKind uint8
 const (
 	recordInsert recordKind = 1
 	recordDelete recordKind = 2
+	// recordRearm marks the head of a fresh segment opened by the degraded-mode
+	// re-arm protocol. It carries the store version at re-arm time and no rows:
+	// replay treats it as a version watermark, not a mutation.
+	recordRearm recordKind = 3
 )
 
 // frameHeaderBytes is the fixed length+CRC prefix of every frame.
@@ -103,6 +107,12 @@ func decodePayload(p []byte, m, l int) (*record, error) {
 		rowBytes = 4 + m*8 + l*4
 	case recordDelete:
 		rowBytes = 4
+	case recordRearm:
+		if count != 0 || len(body) != 0 {
+			return nil, fmt.Errorf("durable: rearm record claims %d rows in a %d-byte body (must be empty)",
+				count, len(body))
+		}
+		return &record{kind: kind, version: version}, nil
 	default:
 		return nil, fmt.Errorf("durable: unknown record kind %d", kind)
 	}

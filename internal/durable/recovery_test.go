@@ -11,6 +11,7 @@ import (
 
 	"prefsky/internal/core"
 	"prefsky/internal/data"
+	"prefsky/internal/faultfs"
 	"prefsky/internal/flat"
 	"prefsky/internal/gen"
 	"prefsky/internal/order"
@@ -159,7 +160,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 
 		// The durable prefix: the newest surviving checkpoint, plus every op
 		// whose frame is fully inside the cut.
-		ckVersions, err := listCheckpoints(crash)
+		ckVersions, err := listCheckpoints(faultfs.OS, crash)
 		if err != nil || len(ckVersions) == 0 {
 			t.Fatalf("trial %d: checkpoints in crash copy: %v (err %v)", trial, ckVersions, err)
 		}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"prefsky/internal/data"
+	"prefsky/internal/faultfs"
 	"prefsky/internal/order"
 )
 
@@ -26,7 +27,16 @@ type sealedSegment struct {
 // wal is the segmented write-ahead log. Appends are already serialized by
 // the store's writer lock, but the group-commit flusher and stats readers
 // run concurrently, so the log carries its own mutex.
+//
+// The acked position (ackedSeq, ackedSize, ackedVersion) is the log's last
+// fully-acknowledged byte: it advances only when an append — including the
+// per-record sync under FsyncAlways — or a rotation completes end to end.
+// While the log is healthy it coincides with (seq, size, lastVersion); after
+// a failure it marks exactly where the valid, acknowledged prefix ends, so
+// rearm can truncate away torn frames and complete-but-unacknowledged frames
+// (whose mutations were aborted and whose ids were rolled back) alike.
 type wal struct {
+	fs       faultfs.FS
 	dir      string
 	m, l     int // schema dimension counts for record encoding
 	policy   Policy
@@ -34,18 +44,23 @@ type wal struct {
 	segBytes int64
 
 	mu          sync.Mutex
-	f           *os.File
+	f           faultfs.File
 	seq         uint64 // active segment sequence number
 	size        int64  // active segment size
 	dirty       bool   // bytes written since the last sync
 	lastVersion uint64 // version of the newest appended record
 	sealed      []sealedSegment
 	buf         []byte // frame-encoding scratch
-	err         error  // sticky: a failed write or sync poisons the log
+	err         error  // sticky: a failed write or sync poisons the log until rearm
+
+	ackedSeq     uint64
+	ackedSize    int64
+	ackedVersion uint64
 
 	records uint64
 	bytes   uint64
 	syncs   uint64
+	rearms  uint64
 
 	stopFlush chan struct{}
 	flushDone chan struct{}
@@ -69,8 +84,8 @@ func parseSegmentSeq(name string) (uint64, bool) {
 
 // listSegments returns the directory's WAL segment sequence numbers,
 // ascending.
-func listSegments(dir string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
+func listSegments(fsys faultfs.FS, dir string) ([]uint64, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -88,11 +103,11 @@ func listSegments(dir string) ([]uint64, error) {
 // empty) positioned at end-of-file and starts the group-commit flusher if
 // the policy asks for one. sealed describes the older segments recovery
 // walked, lastVersion the log head it reconstructed.
-func openWAL(dir string, m, l int, cfg Config, activeSeq uint64, sealed []sealedSegment, lastVersion uint64) (*wal, error) {
+func openWAL(fsys faultfs.FS, dir string, m, l int, cfg Config, activeSeq uint64, sealed []sealedSegment, lastVersion uint64) (*wal, error) {
 	if activeSeq == 0 {
 		activeSeq = 1
 	}
-	f, err := os.OpenFile(segmentPath(dir, activeSeq), os.O_CREATE|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(segmentPath(dir, activeSeq), os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("durable: opening WAL segment: %w", err)
 	}
@@ -102,13 +117,17 @@ func openWAL(dir string, m, l int, cfg Config, activeSeq uint64, sealed []sealed
 		return nil, fmt.Errorf("durable: seeking WAL segment: %w", err)
 	}
 	w := &wal{
+		fs:  fsys,
 		dir: dir, m: m, l: l,
 		policy:   cfg.Fsync,
 		interval: cfg.GroupInterval,
 		segBytes: cfg.SegmentBytes,
 		f:        f, seq: activeSeq, size: size,
-		lastVersion: lastVersion,
-		sealed:      sealed,
+		lastVersion:  lastVersion,
+		sealed:       sealed,
+		ackedSeq:     activeSeq,
+		ackedSize:    size,
+		ackedVersion: lastVersion,
 	}
 	if w.policy == FsyncGroup {
 		w.stopFlush = make(chan struct{})
@@ -138,8 +157,8 @@ func (w *wal) flushLoop() {
 
 // syncLocked flushes the active segment if it has unsynced bytes. Callers
 // hold w.mu. A sync failure is sticky: the durability contract is broken,
-// so every later append fails loudly instead of silently acking writes that
-// may never land.
+// so every later append fails loudly — until rearm proves the disk healthy
+// again and reopens the log past the acknowledged prefix.
 func (w *wal) syncLocked() {
 	if !w.dirty || w.err != nil || w.f == nil {
 		return
@@ -170,8 +189,9 @@ func (w *wal) append(kind recordKind, version uint64, ids []data.PointID, nums [
 		}
 	}
 	if _, err := w.f.Write(w.buf); err != nil {
-		// A partial write leaves a torn tail; recovery truncates it, and the
-		// sticky error keeps this process from appending after it.
+		// A partial write leaves a torn tail past the acked position; rearm
+		// (or recovery) truncates it, and the sticky error keeps this log
+		// from appending over it in the meantime.
 		w.err = fmt.Errorf("durable: appending WAL record: %w", err)
 		return w.err
 	}
@@ -183,11 +203,15 @@ func (w *wal) append(kind recordKind, version uint64, ids []data.PointID, nums [
 		w.dirty = true
 		w.syncLocked()
 		if w.err != nil {
+			// The frame may be complete on disk, but the mutation is about to
+			// abort: the acked position stays before it, so rearm cuts it off
+			// instead of letting its rolled-back id be reused after it.
 			return w.err
 		}
 	} else {
 		w.dirty = true
 	}
+	w.ackedSeq, w.ackedSize, w.ackedVersion = w.seq, w.size, version
 	return nil
 }
 
@@ -206,13 +230,14 @@ func (w *wal) rotateLocked() error {
 	}
 	w.sealed = append(w.sealed, sealedSegment{seq: w.seq, lastVersion: w.lastVersion})
 	w.seq++
-	f, err := os.OpenFile(segmentPath(w.dir, w.seq), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := w.fs.OpenFile(segmentPath(w.dir, w.seq), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("durable: opening WAL segment: %w", err)
 	}
 	w.f = f
 	w.size = 0
-	return syncDir(w.dir)
+	w.ackedSeq, w.ackedSize, w.ackedVersion = w.seq, 0, w.lastVersion
+	return syncDir(w.fs, w.dir)
 }
 
 // rotate seals the active segment from outside the append path (checkpoint
@@ -233,6 +258,124 @@ func (w *wal) rotate() error {
 	return nil
 }
 
+// rearm reopens a poisoned log after the disk has (presumably) recovered:
+//
+//  1. The acked segment is truncated to its acknowledged prefix, dropping
+//     torn frames and complete-but-unacknowledged frames alike — every
+//     mutation past the acked position was aborted before publish and its
+//     ids rolled back, so replaying such a frame would double-assign ids.
+//  2. Segments past the acked one (half-rotated leftovers, markers from
+//     previous failed rearm attempts) are removed; nothing acknowledged can
+//     live there, because the acked position only enters a new segment after
+//     the previous one was sealed.
+//  3. A fresh segment is opened with a single rearm marker record carrying
+//     the store version, synced along with the directory. The marker
+//     journals that a degraded window happened, and replay uses it to keep
+//     the version chain anchored even though the window's tail was cut.
+//
+// On success the sticky error clears and the log accepts appends again. The
+// caller (DB.tryRearm) follows up with a full checkpoint, so anything the
+// degraded window could have cost is re-dumped from memory before writes
+// resume. version is the store's current version; it can never be below the
+// acked version, because every published mutation was acknowledged here
+// first.
+func (w *wal) rearm(version uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f != nil {
+		w.f.Close() // poisoned handle; state unknown, error uninteresting
+		w.f = nil
+	}
+	// From here until the protocol completes the log is unusable even when
+	// the degrade originated outside the WAL (a checkpoint failure): a rearm
+	// attempt that dies partway must not leave an append path open over a
+	// half-rebuilt segment layout.
+	if w.err == nil {
+		w.err = fmt.Errorf("durable: log awaiting rearm")
+	}
+	ackedPath := segmentPath(w.dir, w.ackedSeq)
+	if w.ackedSize > 0 {
+		if err := w.fs.Truncate(ackedPath, w.ackedSize); err != nil {
+			return fmt.Errorf("durable: truncating to acked prefix: %w", err)
+		}
+		f, err := w.fs.OpenFile(ackedPath, os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("durable: reopening acked segment: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("durable: syncing acked segment: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("durable: closing acked segment: %w", err)
+		}
+	}
+	segs, err := listSegments(w.fs, w.dir)
+	if err != nil {
+		return fmt.Errorf("durable: listing segments for rearm: %w", err)
+	}
+	maxSeq := w.ackedSeq
+	for _, seq := range segs {
+		if seq <= w.ackedSeq {
+			continue
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if err := w.fs.Remove(segmentPath(w.dir, seq)); err != nil {
+			return fmt.Errorf("durable: removing unacknowledged segment: %w", err)
+		}
+	}
+	// Rebuild the sealed bookkeeping up to the acked segment: a failed
+	// rotation may have sealed it already, a previous rearm attempt may have
+	// left entries past it.
+	kept := w.sealed[:0]
+	for _, s := range w.sealed {
+		if s.seq < w.ackedSeq {
+			kept = append(kept, s)
+		}
+	}
+	w.sealed = kept
+	if w.ackedSize > 0 {
+		w.sealed = append(w.sealed, sealedSegment{seq: w.ackedSeq, lastVersion: w.ackedVersion})
+	} else {
+		// Nothing acknowledged in it: drop the empty file instead of sealing
+		// it (it may not exist at all after a failed first append).
+		w.fs.Remove(ackedPath)
+	}
+
+	w.seq = maxSeq + 1
+	f, err := w.fs.OpenFile(segmentPath(w.dir, w.seq), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: opening rearm segment: %w", err)
+	}
+	w.f = f
+	w.size = 0
+	if version < w.ackedVersion {
+		version = w.ackedVersion
+	}
+	w.buf = appendFrame(w.buf[:0], recordRearm, version, nil, nil, nil)
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("durable: writing rearm marker: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durable: syncing rearm marker: %w", err)
+	}
+	if err := syncDir(w.fs, w.dir); err != nil {
+		return fmt.Errorf("durable: syncing directory after rearm: %w", err)
+	}
+	w.size = int64(len(w.buf))
+	w.lastVersion = version
+	w.dirty = false
+	w.records++
+	w.bytes += uint64(len(w.buf))
+	w.syncs++
+	w.rearms++
+	w.ackedSeq, w.ackedSize, w.ackedVersion = w.seq, w.size, version
+	w.err = nil
+	return nil
+}
+
 // pruneUpTo deletes sealed segments whose every record is covered by a
 // durable checkpoint at the given version.
 func (w *wal) pruneUpTo(version uint64) {
@@ -241,7 +384,7 @@ func (w *wal) pruneUpTo(version uint64) {
 	kept := w.sealed[:0]
 	for _, s := range w.sealed {
 		if s.lastVersion <= version {
-			os.Remove(segmentPath(w.dir, s.seq))
+			w.fs.Remove(segmentPath(w.dir, s.seq))
 			continue
 		}
 		kept = append(kept, s)
@@ -295,14 +438,10 @@ func (w *wal) statsInto(s *Stats) {
 	s.WALBytes = w.bytes
 	s.WALSyncs = w.syncs
 	s.WALSegments = len(w.sealed) + 1
+	s.WALRearms = w.rearms
 }
 
 // syncDir fsyncs a directory so renames and creates within it are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+func syncDir(fsys faultfs.FS, dir string) error {
+	return fsys.SyncDir(dir)
 }

@@ -1,0 +1,105 @@
+// Package faultfs is the filesystem seam under the durability subsystem:
+// a small VFS interface covering every disk interaction internal/durable
+// performs, a pass-through OS implementation for production, and a
+// programmable fault injector (Injector) for chaos and regression tests —
+// fail the Nth matching operation with ENOSPC/EIO, tear a write short,
+// break fsync, inject latency, match by path substring.
+//
+// The interface is deliberately narrow: it names the operations the WAL and
+// checkpoint code actually issue, nothing more, so a test that enumerates
+// faults over Op values covers the durability layer's entire disk surface.
+package faultfs
+
+import (
+	"io/fs"
+	"os"
+)
+
+// File is an open file handle. It carries exactly the methods the
+// durability layer uses on *os.File.
+type File interface {
+	// Write appends len(b) bytes, returning how many landed. A short count
+	// with an error models a torn write.
+	Write(b []byte) (int, error)
+	// Seek repositions the handle (the WAL seeks to end-of-file on open).
+	Seek(offset int64, whence int) (int64, error)
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Close releases the handle.
+	Close() error
+	// Name returns the path the file was opened under.
+	Name() string
+}
+
+// FS is the filesystem the durability layer runs against. Production code
+// uses OS; tests wrap it (or any FS) in an Injector.
+type FS interface {
+	// OpenFile opens or creates a file with the given flags.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// CreateTemp creates a uniquely-named temp file in dir (checkpoint
+	// temp-write+rename).
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile reads a whole file (checkpoint and WAL-segment recovery reads).
+	ReadFile(name string) ([]byte, error)
+	// WriteFile writes a whole file (the pinned schema.json).
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	// Rename atomically replaces newpath with oldpath (checkpoint publish).
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file (pruning, temp cleanup).
+	Remove(name string) error
+	// ReadDir lists a directory (segment and checkpoint discovery).
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// MkdirAll creates the state directory.
+	MkdirAll(path string, perm fs.FileMode) error
+	// Truncate cuts a file to size (torn-tail truncation, re-arm).
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs a directory so renames and creates within it are
+	// durable.
+	SyncDir(dir string) error
+}
+
+// OS is the pass-through production filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

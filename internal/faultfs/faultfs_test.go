@@ -1,0 +1,178 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOSPassThrough: the production FS round-trips the basic operations the
+// durability layer issues.
+func TestOSPassThrough(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := OS.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(sub, "f.bin")
+	f, err := OS.OpenFile(name, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := OS.ReadFile(name)
+	if err != nil || string(b) != "hello world" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if err := OS.Truncate(name, 5); err != nil {
+		t.Fatal(err)
+	}
+	renamed := filepath.Join(sub, "g.bin")
+	if err := OS.Rename(name, renamed); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(sub); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := OS.ReadDir(sub)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "g.bin" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if b, err := OS.ReadFile(renamed); err != nil || string(b) != "hello" {
+		t.Fatalf("after truncate+rename: %q, %v", b, err)
+	}
+	if err := OS.Remove(renamed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectorCountdownAndPath: a fault fires on the Nth matching op only,
+// restricted by op class and path substring, and is disarmed after firing
+// unless sticky.
+func TestInjectorCountdownAndPath(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Add(Fault{Op: OpWrite, Path: "wal-", Countdown: 2, Err: ErrNoSpace})
+
+	wal := filepath.Join(dir, "wal-00000001.wal")
+	other := filepath.Join(dir, "checkpoint.tmp")
+	fw, err := in.OpenFile(wal, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, err := in.OpenFile(other, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-matching path: never decrements the countdown.
+	if _, err := fo.Write([]byte("x")); err != nil {
+		t.Fatalf("non-matching write failed: %v", err)
+	}
+	// First matching op passes, second fails with the programmed error.
+	if _, err := fw.Write([]byte("a")); err != nil {
+		t.Fatalf("countdown-2 fault fired on first op: %v", err)
+	}
+	if _, err := fw.Write([]byte("b")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("second write: %v, want ENOSPC", err)
+	}
+	// Fired once, disarmed.
+	if _, err := fw.Write([]byte("c")); err != nil {
+		t.Fatalf("fault not disarmed after firing: %v", err)
+	}
+	if got := in.Injected(); got != 1 {
+		t.Fatalf("Injected = %d, want 1", got)
+	}
+	if in.OpCount(OpWrite) != 4 || in.OpCount(OpOpen) != 2 {
+		t.Fatalf("op counts: write=%d open=%d", in.OpCount(OpWrite), in.OpCount(OpOpen))
+	}
+	fw.Close()
+	fo.Close()
+}
+
+// TestInjectorShortWrite: a Short fault lands a prefix of the buffer before
+// failing — the torn-write model.
+func TestInjectorShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	name := filepath.Join(dir, "torn.bin")
+	f, err := in.OpenFile(name, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Add(Fault{Op: OpWrite, Short: 3})
+	n, err := f.Write([]byte("abcdef"))
+	if err == nil || !errors.Is(err, ErrIO) {
+		t.Fatalf("short write err = %v, want EIO", err)
+	}
+	if n != 3 {
+		t.Fatalf("short write n = %d, want 3", n)
+	}
+	f.Close()
+	b, err := os.ReadFile(name)
+	if err != nil || string(b) != "abc" {
+		t.Fatalf("on-disk tail = %q, %v", b, err)
+	}
+}
+
+// TestInjectorStickyAndClear: a sticky fault fires on every matching op
+// until Clear disarms the schedule.
+func TestInjectorStickyAndClear(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Add(Fault{Op: OpSync, Sticky: true})
+	name := filepath.Join(dir, "s.bin")
+	f, err := in.OpenFile(name, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, ErrIO) {
+			t.Fatalf("sticky sync %d: %v, want EIO", i, err)
+		}
+	}
+	in.Clear()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after Clear: %v", err)
+	}
+	if got := in.Injected(); got != 3 {
+		t.Fatalf("Injected = %d, want 3", got)
+	}
+}
+
+// TestInjectorDirOps: directory-level operations consult the schedule too —
+// the checkpoint rename and dir-sync paths are injectable.
+func TestInjectorDirOps(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Add(Fault{Op: OpRename})
+	in.Add(Fault{Op: OpSyncDir})
+	in.Add(Fault{Op: OpCreateTemp, Err: ErrNoSpace})
+
+	if _, err := in.CreateTemp(dir, "t-*.tmp"); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("CreateTemp: %v, want ENOSPC", err)
+	}
+	src := filepath.Join(dir, "src")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Rename(src, filepath.Join(dir, "dst")); !errors.Is(err, ErrIO) {
+		t.Fatalf("Rename: %v, want EIO", err)
+	}
+	if err := in.SyncDir(dir); !errors.Is(err, ErrIO) {
+		t.Fatalf("SyncDir: %v, want EIO", err)
+	}
+	// All fired once; the schedule is empty again.
+	if err := in.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir after faults drained: %v", err)
+	}
+}

@@ -1,0 +1,308 @@
+package faultfs
+
+import (
+	"io/fs"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Op names one class of filesystem operation the injector can target.
+type Op string
+
+// The operation classes, one per FS/File method that can fail.
+const (
+	OpOpen       Op = "open"
+	OpCreateTemp Op = "create-temp"
+	OpWrite      Op = "write"
+	OpSeek       Op = "seek"
+	OpSync       Op = "sync"
+	OpClose      Op = "close"
+	OpReadFile   Op = "read-file"
+	OpWriteFile  Op = "write-file"
+	OpRename     Op = "rename"
+	OpRemove     Op = "remove"
+	OpReadDir    Op = "read-dir"
+	OpMkdirAll   Op = "mkdir-all"
+	OpTruncate   Op = "truncate"
+	OpSyncDir    Op = "sync-dir"
+	// OpAny matches every operation class.
+	OpAny Op = ""
+)
+
+// Common injected errors. ErrInjected wraps nothing OS-specific and exists
+// for tests that only care that the failure is theirs.
+var (
+	// ErrNoSpace models a full disk (ENOSPC).
+	ErrNoSpace error = syscall.ENOSPC
+	// ErrIO models a generic I/O failure (EIO) — the default when a Fault
+	// leaves Err nil.
+	ErrIO error = syscall.EIO
+)
+
+// Fault is one programmed failure. The zero value of every field widens the
+// match: zero Op matches every operation, empty Path matches every path,
+// Countdown 0 behaves as 1 (fire on the first matching op). Err nil injects
+// ErrIO.
+type Fault struct {
+	// Op restricts the fault to one operation class (OpAny = all).
+	Op Op
+	// Path restricts the fault to paths containing this substring.
+	Path string
+	// Countdown fires the fault on the Nth matching operation (1-based);
+	// earlier matches pass through and decrement it.
+	Countdown int
+	// Err is the injected error (nil = ErrIO).
+	Err error
+	// Short, for OpWrite faults, writes that many bytes of the buffer to the
+	// underlying file before failing — a torn write. Negative writes nothing.
+	Short int
+	// Latency delays every matching operation (firing or not) by this much.
+	Latency time.Duration
+	// Sticky keeps the fault armed after it fires; otherwise it fires once
+	// and is removed.
+	Sticky bool
+}
+
+func (f *Fault) matches(op Op, path string) bool {
+	if f.Op != OpAny && f.Op != op {
+		return false
+	}
+	return f.Path == "" || strings.Contains(path, f.Path)
+}
+
+func (f *Fault) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrIO
+}
+
+// Injector wraps an FS and fails programmed operations. All methods are safe
+// for concurrent use; faults added while operations are in flight apply to
+// the next operation that consults the schedule.
+type Injector struct {
+	inner FS
+
+	mu       sync.Mutex
+	faults   []*Fault
+	ops      uint64
+	injected uint64
+	perOp    map[Op]uint64
+}
+
+// NewInjector wraps inner (nil = OS) with an empty fault schedule: every
+// operation passes through until Add arms one.
+func NewInjector(inner FS) *Injector {
+	if inner == nil {
+		inner = OS
+	}
+	return &Injector{inner: inner, perOp: make(map[Op]uint64)}
+}
+
+// Add arms one fault.
+func (in *Injector) Add(f Fault) {
+	if f.Countdown <= 0 {
+		f.Countdown = 1
+	}
+	in.mu.Lock()
+	in.faults = append(in.faults, &f)
+	in.mu.Unlock()
+}
+
+// Clear disarms every fault — the disk "recovered". In-flight operations
+// that already drew a fault still fail.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	in.faults = nil
+	in.mu.Unlock()
+}
+
+// Ops returns how many operations the injector has seen.
+func (in *Injector) Ops() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// OpCount returns how many operations of one class the injector has seen.
+func (in *Injector) OpCount(op Op) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.perOp[op]
+}
+
+// Injected returns how many operations the injector has failed.
+func (in *Injector) Injected() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// check consults the schedule for one operation: the returned fault is
+// non-nil when the operation must fail, and sleep aggregates the latency of
+// every matching fault (applied outside the lock).
+func (in *Injector) check(op Op, path string) (fire *Fault, sleep time.Duration) {
+	in.mu.Lock()
+	in.ops++
+	in.perOp[op]++
+	kept := in.faults[:0]
+	for _, f := range in.faults {
+		keep := true
+		if f.matches(op, path) {
+			sleep += f.Latency
+			f.Countdown--
+			if f.Countdown <= 0 && fire == nil {
+				fire = f
+				keep = f.Sticky
+			} else if f.Countdown <= 0 {
+				// A second fault due on the same op stays armed for the next.
+				f.Countdown = 1
+			}
+		}
+		if keep {
+			kept = append(kept, f)
+		}
+	}
+	// Zero the tail so removed faults are not retained by the backing array.
+	for i := len(kept); i < len(in.faults); i++ {
+		in.faults[i] = nil
+	}
+	in.faults = kept
+	if fire != nil {
+		in.injected++
+	}
+	in.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	return fire, 0
+}
+
+// FS implementation.
+
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if f, _ := in.check(OpOpen, name); f != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: f.err()}
+	}
+	inner, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: inner, name: name}, nil
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if f, _ := in.check(OpCreateTemp, dir); f != nil {
+		return nil, &fs.PathError{Op: "createtemp", Path: dir, Err: f.err()}
+	}
+	inner, err := in.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: inner, name: inner.Name()}, nil
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if f, _ := in.check(OpReadFile, name); f != nil {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: f.err()}
+	}
+	return in.inner.ReadFile(name)
+}
+
+func (in *Injector) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	if f, _ := in.check(OpWriteFile, name); f != nil {
+		return &fs.PathError{Op: "write", Path: name, Err: f.err()}
+	}
+	return in.inner.WriteFile(name, data, perm)
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if f, _ := in.check(OpRename, newpath); f != nil {
+		return &fs.PathError{Op: "rename", Path: newpath, Err: f.err()}
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if f, _ := in.check(OpRemove, name); f != nil {
+		return &fs.PathError{Op: "remove", Path: name, Err: f.err()}
+	}
+	return in.inner.Remove(name)
+}
+
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	if f, _ := in.check(OpReadDir, name); f != nil {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: f.err()}
+	}
+	return in.inner.ReadDir(name)
+}
+
+func (in *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	if f, _ := in.check(OpMkdirAll, path); f != nil {
+		return &fs.PathError{Op: "mkdir", Path: path, Err: f.err()}
+	}
+	return in.inner.MkdirAll(path, perm)
+}
+
+func (in *Injector) Truncate(name string, size int64) error {
+	if f, _ := in.check(OpTruncate, name); f != nil {
+		return &fs.PathError{Op: "truncate", Path: name, Err: f.err()}
+	}
+	return in.inner.Truncate(name, size)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	if f, _ := in.check(OpSyncDir, dir); f != nil {
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: f.err()}
+	}
+	return in.inner.SyncDir(dir)
+}
+
+// injFile threads file-handle operations back through the injector's
+// schedule, keyed by the path the file was opened under.
+type injFile struct {
+	in   *Injector
+	f    File
+	name string
+}
+
+func (f *injFile) Name() string { return f.name }
+
+func (f *injFile) Write(b []byte) (int, error) {
+	if fault, _ := f.in.check(OpWrite, f.name); fault != nil {
+		n := 0
+		if fault.Short > 0 {
+			// A torn write: part of the buffer lands before the failure.
+			short := min(fault.Short, len(b))
+			n, _ = f.f.Write(b[:short])
+		}
+		return n, &fs.PathError{Op: "write", Path: f.name, Err: fault.err()}
+	}
+	return f.f.Write(b)
+}
+
+func (f *injFile) Seek(offset int64, whence int) (int64, error) {
+	if fault, _ := f.in.check(OpSeek, f.name); fault != nil {
+		return 0, &fs.PathError{Op: "seek", Path: f.name, Err: fault.err()}
+	}
+	return f.f.Seek(offset, whence)
+}
+
+func (f *injFile) Sync() error {
+	if fault, _ := f.in.check(OpSync, f.name); fault != nil {
+		return &fs.PathError{Op: "sync", Path: f.name, Err: fault.err()}
+	}
+	return f.f.Sync()
+}
+
+func (f *injFile) Close() error {
+	if fault, _ := f.in.check(OpClose, f.name); fault != nil {
+		// Close the underlying handle regardless: an injected close failure
+		// must not leak file descriptors across a long chaos run.
+		f.f.Close()
+		return &fs.PathError{Op: "close", Path: f.name, Err: fault.err()}
+	}
+	return f.f.Close()
+}

@@ -45,8 +45,12 @@ type StoreStats struct {
 	Inserts     uint64 `json:"inserts"`
 	Deletes     uint64 `json:"deletes"`
 	Compactions uint64 `json:"compactions"`
-	Threshold   int    `json:"compactThreshold"`
-	SizeBytes   int    `json:"sizeBytes"`
+	// JournalFailures counts mutations aborted because the write-ahead
+	// journal refused them (the durability layer degraded); nothing was
+	// published for these.
+	JournalFailures uint64 `json:"journalFailures"`
+	Threshold       int    `json:"compactThreshold"`
+	SizeBytes       int    `json:"sizeBytes"`
 }
 
 // Store is the versioned columnar point set every maintainable engine reads
@@ -76,9 +80,10 @@ type Store struct {
 	hooks      []func(*Snapshot)
 	journal    Journal // nil: no write-ahead logging
 
-	inserts     atomic.Uint64
-	deletes     atomic.Uint64
-	compactions atomic.Uint64
+	inserts      atomic.Uint64
+	deletes      atomic.Uint64
+	compactions  atomic.Uint64
+	journalFails atomic.Uint64
 }
 
 // NewStore wraps a validated dataset as a versioned store. threshold is the
@@ -165,16 +170,17 @@ func (st *Store) Version() uint64 { return st.snap.Load().version }
 func (st *Store) Stats() StoreStats {
 	s := st.snap.Load()
 	return StoreStats{
-		BaseRows:    s.BaseRows(),
-		DeltaRows:   s.DeltaRows(),
-		Tombstones:  s.Tombstones(),
-		LiveRows:    s.LiveN(),
-		Version:     s.version,
-		Inserts:     st.inserts.Load(),
-		Deletes:     st.deletes.Load(),
-		Compactions: st.compactions.Load(),
-		Threshold:   st.threshold,
-		SizeBytes:   s.SizeBytes(),
+		BaseRows:        s.BaseRows(),
+		DeltaRows:       s.DeltaRows(),
+		Tombstones:      s.Tombstones(),
+		LiveRows:        s.LiveN(),
+		Version:         s.version,
+		Inserts:         st.inserts.Load(),
+		Deletes:         st.deletes.Load(),
+		Compactions:     st.compactions.Load(),
+		JournalFailures: st.journalFails.Load(),
+		Threshold:       st.threshold,
+		SizeBytes:       s.SizeBytes(),
 	}
 }
 
@@ -237,6 +243,7 @@ func (st *Store) Insert(num []float64, nom []order.Value) (data.PointID, error) 
 	if st.journal != nil {
 		if err := st.journal.JournalInsert(ns.dids[len(cur.dids):], ns.dnum[len(cur.dnum):], ns.dnom[len(cur.dnom):], ns.version); err != nil {
 			st.nextID = id // nothing published; the id stays unassigned
+			st.journalFails.Add(1)
 			st.mu.Unlock()
 			return 0, fmt.Errorf("flat: journaling insert: %w", err)
 		}
@@ -288,6 +295,7 @@ func (st *Store) InsertBatch(nums [][]float64, noms [][]order.Value) ([]data.Poi
 	if st.journal != nil {
 		if err := st.journal.JournalInsert(ns.dids[len(cur.dids):], ns.dnum[len(cur.dnum):], ns.dnom[len(cur.dnom):], ns.version); err != nil {
 			st.nextID = ids[0] // nothing published; the ids stay unassigned
+			st.journalFails.Add(1)
 			st.mu.Unlock()
 			return nil, fmt.Errorf("flat: journaling insert batch: %w", err)
 		}
@@ -341,6 +349,7 @@ func (st *Store) DeleteBatch(ids []data.PointID) (int, error) {
 	}
 	if st.journal != nil {
 		if err := st.journal.JournalDelete(ids[:applied], ns.version); err != nil {
+			st.journalFails.Add(1)
 			st.mu.Unlock()
 			return 0, fmt.Errorf("flat: journaling delete batch: %w", err)
 		}
@@ -383,6 +392,7 @@ func (st *Store) Delete(id data.PointID) error {
 	}
 	if st.journal != nil {
 		if err := st.journal.JournalDelete([]data.PointID{id}, ns.version); err != nil {
+			st.journalFails.Add(1)
 			st.mu.Unlock()
 			return fmt.Errorf("flat: journaling delete: %w", err)
 		}

@@ -40,7 +40,7 @@ func cancelFixture(t *testing.T, kind string) (*Registry, *order.Preference) {
 // pool, so the slot stays available for live requests.
 func TestCancellationReleasesWorkerSlot(t *testing.T) {
 	reg, pref := cancelFixture(t, "parallel-sfs")
-	x := NewExecutor(reg, NewCache(0, 1), 1, 0, 0)
+	x := NewExecutor(reg, NewCache(0, 1), 1, 0, 0, -1)
 
 	// Occupy the executor's only worker slot, simulating a long in-flight
 	// engine query.
@@ -80,7 +80,7 @@ func TestCancellationReleasesWorkerSlot(t *testing.T) {
 // waiting forever.
 func TestQueryTimeoutWhileQueued(t *testing.T) {
 	reg, pref := cancelFixture(t, "sfsd")
-	x := NewExecutor(reg, NewCache(0, 1), 1, 10*time.Millisecond, 0)
+	x := NewExecutor(reg, NewCache(0, 1), 1, 10*time.Millisecond, 0, -1)
 	x.sem <- struct{}{} // saturate the pool
 	start := time.Now()
 	_, _, err := x.Query(context.Background(), "d", pref)
@@ -102,7 +102,7 @@ func TestQueryTimeoutWhileQueued(t *testing.T) {
 // expired budget elsewhere).
 func TestCacheHitsBypassCancellation(t *testing.T) {
 	reg, pref := cancelFixture(t, "sfsd")
-	x := NewExecutor(reg, NewCache(16, 1), 1, 0, 0)
+	x := NewExecutor(reg, NewCache(16, 1), 1, 0, 0, -1)
 	ids, outcome, err := x.Query(context.Background(), "d", pref)
 	if err != nil || outcome != OutcomeEngine {
 		t.Fatalf("warmup: outcome=%v err=%v", outcome, err)
@@ -122,7 +122,7 @@ func TestCacheHitsBypassCancellation(t *testing.T) {
 // batch, positionally.
 func TestBatchCancellation(t *testing.T) {
 	reg, pref := cancelFixture(t, "sfsd")
-	x := NewExecutor(reg, NewCache(0, 1), 1, 0, 0)
+	x := NewExecutor(reg, NewCache(0, 1), 1, 0, 0, -1)
 	x.sem <- struct{}{} // saturate the pool so every member queues
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,6 +12,12 @@ import (
 	"prefsky/internal/data"
 	"prefsky/internal/order"
 )
+
+// ErrOverloaded is returned when the executor sheds a query: every worker is
+// busy and the admission queue is at its cap, so parking another goroutine
+// would only grow an unbounded backlog. The caller should retry after a
+// backoff (skylined maps it to 503 + Retry-After).
+var ErrOverloaded = errors.New("service: overloaded, query shed")
 
 // Outcome classifies how a query was served.
 type Outcome int8
@@ -69,6 +76,11 @@ type QueryResult struct {
 // client stops occupying the pool), and the context reaches the engine so
 // partitioned scans abort between blocks. A non-zero timeout additionally
 // deadline-bounds each query from the moment it misses the cache.
+//
+// The queue in front of the pool is bounded: beyond maxQueued waiters, new
+// engine queries are shed immediately with ErrOverloaded instead of parking
+// goroutines without limit. Cache and semantic hits never take a slot, so
+// they stay unaffected by overload.
 type Executor struct {
 	reg        *Registry
 	cache      *Cache
@@ -76,24 +88,36 @@ type Executor struct {
 	timeout    time.Duration
 	semLimit   int  // max candidate rows for the semantic path; < 0 disables
 	vectorized bool // batch misses share one flat.SkylineBatch pass
+	maxQueued  int  // admission-queue cap; < 0 means unbounded
 
 	queries atomic.Uint64
 	batches atomic.Uint64
+	queued  atomic.Int64
+	shed    atomic.Uint64
 }
+
+// DefaultQueueFactor sizes the admission queue when the configuration leaves
+// it 0: maxQueued = DefaultQueueFactor × workers.
+const DefaultQueueFactor = 8
 
 // NewExecutor builds an executor over the registry and cache. workers <= 0
 // defaults to GOMAXPROCS; timeout <= 0 means no per-query deadline.
 // semanticLimit caps how large a cached coarser skyline the semantic path
 // will scan: 0 means DefaultSemanticCandidateLimit, negative disables the
-// semantic path entirely.
-func NewExecutor(reg *Registry, cache *Cache, workers int, timeout time.Duration, semanticLimit int) *Executor {
+// semantic path entirely. maxQueued bounds how many engine queries may wait
+// for a worker slot before new ones are shed with ErrOverloaded: 0 means
+// DefaultQueueFactor×workers, negative disables shedding (unbounded queue).
+func NewExecutor(reg *Registry, cache *Cache, workers int, timeout time.Duration, semanticLimit, maxQueued int) *Executor {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if semanticLimit == 0 {
 		semanticLimit = DefaultSemanticCandidateLimit
 	}
-	return &Executor{reg: reg, cache: cache, sem: make(chan struct{}, workers), timeout: timeout, semLimit: semanticLimit, vectorized: true}
+	if maxQueued == 0 {
+		maxQueued = DefaultQueueFactor * workers
+	}
+	return &Executor{reg: reg, cache: cache, sem: make(chan struct{}, workers), timeout: timeout, semLimit: semanticLimit, maxQueued: maxQueued, vectorized: true}
 }
 
 // SetVectorizedBatch toggles the shared-scan batch path (on by default).
@@ -105,6 +129,44 @@ func (x *Executor) Workers() int { return cap(x.sem) }
 
 // Timeout returns the per-query deadline (0 = none).
 func (x *Executor) Timeout() time.Duration { return x.timeout }
+
+// QueueCap returns the admission-queue bound (< 0 = unbounded).
+func (x *Executor) QueueCap() int { return x.maxQueued }
+
+// Queued returns how many engine queries are waiting for a worker slot now.
+func (x *Executor) Queued() int64 { return max(x.queued.Load(), 0) }
+
+// Shed returns how many queries were rejected with ErrOverloaded.
+func (x *Executor) Shed() uint64 { return x.shed.Load() }
+
+// acquireSlot admits one engine query to the worker pool: a free slot is
+// taken immediately; otherwise the query joins the bounded admission queue,
+// and if the queue is already at its cap it is shed right away with
+// ErrOverloaded — the shed path never blocks. A queued caller whose context
+// ends leaves with ctx.Err() and frees its queue seat.
+func (x *Executor) acquireSlot(ctx context.Context) (release func(), err error) {
+	select {
+	case x.sem <- struct{}{}:
+		return func() { <-x.sem }, nil
+	default:
+	}
+	if x.maxQueued >= 0 {
+		if x.queued.Add(1) > int64(x.maxQueued) {
+			x.queued.Add(-1)
+			x.shed.Add(1)
+			return nil, ErrOverloaded
+		}
+		defer x.queued.Add(-1)
+	}
+	select {
+	case x.sem <- struct{}{}:
+		return func() { <-x.sem }, nil
+	case <-ctx.Done():
+		// The caller gave up while queued; its slot was never taken, so the
+		// pool stays free for live requests.
+		return nil, ctx.Err()
+	}
+}
 
 // cacheKey names a result: dataset, its registration + maintenance state,
 // and the preference up to canonical equivalence (prefKey is
@@ -158,14 +220,11 @@ func (x *Executor) queryCanonical(ctx context.Context, dataset string, pref *ord
 	if ids, ok := x.semanticHit(ctx, dataset, state, key, pref); ok {
 		return ids, OutcomeSemantic, nil
 	}
-	select {
-	case x.sem <- struct{}{}:
-	case <-ctx.Done():
-		// The caller gave up while queued; its slot was never taken, so the
-		// pool stays free for live requests.
-		return nil, OutcomeEngine, ctx.Err()
+	release, err := x.acquireSlot(ctx)
+	if err != nil {
+		return nil, OutcomeEngine, err
 	}
-	defer func() { <-x.sem }()
+	defer release()
 	ids, state, err = x.reg.Query(ctx, dataset, pref)
 	if err != nil {
 		return nil, OutcomeEngine, err
@@ -318,16 +377,16 @@ func (x *Executor) batchEngine(ctx context.Context, dataset string, groups []bat
 		ctx, cancel = context.WithTimeout(ctx, x.timeout)
 		defer cancel()
 	}
-	select {
-	case x.sem <- struct{}{}:
-	case <-ctx.Done():
-		// The caller gave up while queued; nothing will serve these members.
+	release, err := x.acquireSlot(ctx)
+	if err != nil {
+		// Canceled while queued or shed at admission — nothing will serve
+		// these members.
 		for _, g := range groups {
-			fan(g, nil, OutcomeEngine, ctx.Err())
+			fan(g, nil, OutcomeEngine, err)
 		}
 		return true
 	}
-	defer func() { <-x.sem }()
+	defer release()
 	run := make([]*order.Preference, len(groups))
 	for i, g := range groups {
 		run[i] = g.pref

@@ -29,6 +29,10 @@ var (
 	// ErrUnknownPoint re-exports the store's sentinel for deletes naming an
 	// id that was never assigned or is already deleted.
 	ErrUnknownPoint = flat.ErrUnknownPoint
+	// ErrDegraded re-exports the durability layer's sentinel: a disk fault
+	// moved the dataset to degraded read-only, mutations fail until the
+	// background re-arm succeeds, reads keep serving.
+	ErrDegraded = durable.ErrDegraded
 )
 
 // EngineConfig selects and configures the engine built for a dataset.
@@ -69,16 +73,19 @@ type EngineConfig struct {
 
 // DatasetInfo is a read-only snapshot of one registered dataset.
 type DatasetInfo struct {
-	Name         string           `json:"name"`
-	Points       int              `json:"points"`
-	Engine       string           `json:"engine"`
-	Maintainable bool             `json:"maintainable"`
-	ReadOnly     bool             `json:"readOnly,omitempty"`
-	EngineBytes  int              `json:"engineBytes"`
-	Queries      uint64           `json:"queries"`
-	Version      uint64           `json:"version"`
-	Store        *flat.StoreStats `json:"store,omitempty"`
-	Durability   *durable.Stats   `json:"durability,omitempty"`
+	Name         string `json:"name"`
+	Points       int    `json:"points"`
+	Engine       string `json:"engine"`
+	Maintainable bool   `json:"maintainable"`
+	ReadOnly     bool   `json:"readOnly,omitempty"`
+	EngineBytes  int    `json:"engineBytes"`
+	Queries      uint64 `json:"queries"`
+	Version      uint64 `json:"version"`
+	// Health is the dataset's durability health ("ok", "recovering",
+	// "degraded"); memory-only datasets are always "ok".
+	Health     string           `json:"health"`
+	Store      *flat.StoreStats `json:"store,omitempty"`
+	Durability *durable.Stats   `json:"durability,omitempty"`
 }
 
 // dsEntry is one hosted dataset. There is no entry-level lock: queries read
@@ -302,6 +309,7 @@ func (r *Registry) Info() []DatasetInfo {
 			EngineBytes:  e.eng.SizeBytes(),
 			Queries:      e.queries.Load(),
 			Version:      e.version(),
+			Health:       durable.HealthOK.String(),
 		}
 		if e.store != nil {
 			st := e.store.Stats()
@@ -310,6 +318,7 @@ func (r *Registry) Info() []DatasetInfo {
 		if e.dur != nil {
 			d := e.dur.Stats()
 			info.Durability = &d
+			info.Health = d.Health
 		}
 		out[i] = info
 	}

@@ -60,6 +60,11 @@ type Options struct {
 	// of sharing one flat.SkylineBatch pass. Canonical dedup of batch
 	// members stays on either way.
 	DisableVectorizedBatch bool
+	// MaxQueuedQueries bounds how many engine queries may wait for a worker
+	// slot before new ones are shed with ErrOverloaded (503 + Retry-After at
+	// the HTTP layer). 0 defaults to DefaultQueueFactor×Workers, negative
+	// disables shedding (unbounded queue — the pre-shedding behavior).
+	MaxQueuedQueries int
 }
 
 // Stats is the service-wide snapshot served by GET /v1/stats. Grid counts
@@ -70,6 +75,9 @@ type Stats struct {
 	Queries  uint64         `json:"queries"`
 	Batches  uint64         `json:"batches"`
 	Workers  int            `json:"workers"`
+	QueueCap int            `json:"queueCap"`
+	Queued   int64          `json:"queued"`
+	Shed     uint64         `json:"shed"`
 	Grid     flat.GridStats `json:"grid"`
 	Datasets []DatasetInfo  `json:"datasets"`
 }
@@ -92,7 +100,7 @@ func New(opts Options) *Service {
 	}
 	reg := NewRegistry()
 	cache := NewCache(capacity, opts.CacheShards)
-	exec := NewExecutor(reg, cache, opts.Workers, opts.QueryTimeout, opts.SemanticCandidateLimit)
+	exec := NewExecutor(reg, cache, opts.Workers, opts.QueryTimeout, opts.SemanticCandidateLimit, opts.MaxQueuedQueries)
 	exec.SetVectorizedBatch(!opts.DisableVectorizedBatch)
 	return &Service{reg: reg, cache: cache, exec: exec}
 }
@@ -217,6 +225,9 @@ func (s *Service) Stats() Stats {
 		Queries:  queries,
 		Batches:  batches,
 		Workers:  s.exec.Workers(),
+		QueueCap: s.exec.QueueCap(),
+		Queued:   s.exec.Queued(),
+		Shed:     s.exec.Shed(),
 		Grid:     flat.ReadGridStats(),
 		Datasets: s.reg.Info(),
 	}
