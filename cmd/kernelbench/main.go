@@ -11,6 +11,7 @@
 //	kernelbench -n 100000 -semantic -out BENCH_pr5.json
 //	kernelbench -n 100000 -durability -out BENCH_pr6.json
 //	kernelbench -n 100000 -overload -out BENCH_pr8.json
+//	kernelbench -n 400000 -cluster -out BENCH_pr9.json
 //
 // Both kernels answer the same preference over the same dataset; the tool
 // verifies the skylines are identical before trusting the timings. The flat
@@ -86,12 +87,26 @@ func run(args []string) error {
 		ovWorkers  = fs.Int("overload-workers", 4, "worker-pool size in the overload scenario")
 		ovBurst    = fs.Int("overload-burst", 10, "burst clients per worker in the overload scenario")
 		ovHits     = fs.Int("overload-hits", 1500, "cache-hit latency samples per phase in the overload scenario")
+		clusterSc  = fs.Bool("cluster", false, "run the cluster scenario (scatter-gather over 1/2/4 in-process shards vs single node) instead of the kernel comparison")
 		grid       = fs.Bool("grid", false, "run the grid-pruning scenario (dense vs grid-pruned cold SFS-D) instead of the kernel comparison")
 		batch      = fs.Bool("batch", false, "run the batch-vectorization scenario (per-preference loop vs one shared scan) instead of the kernel comparison")
 		batchB     = fs.Int("batch-b", 64, "preferences per batch in the batch scenario")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *clusterSc {
+		report := export.NewReport("cluster: scatter-gather skyline over sharded skylined vs single node")
+		if err := runCluster(report, *n, *numDims, *nomDims, *card, *seed); err != nil {
+			return err
+		}
+		if *out != "" {
+			if err := export.WriteFile(*out, report); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return nil
 	}
 	kind, err := gen.ParseKind(*kindName)
 	if err != nil {

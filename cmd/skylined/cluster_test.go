@@ -1,0 +1,298 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prefsky/internal/cluster"
+	"prefsky/internal/data"
+	"prefsky/internal/dominance"
+	"prefsky/internal/gen"
+	"prefsky/internal/service"
+	"prefsky/internal/skyline"
+)
+
+// chaosShard is one in-process shard whose process lifecycle the test
+// controls: kill (refuse with 503), restart (fresh empty service — the
+// coordinator must re-push before it serves again).
+type chaosShard struct {
+	srv   *httptest.Server
+	mu    sync.Mutex
+	inner http.Handler
+	down  atomic.Bool
+}
+
+func (s *chaosShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.down.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"killed","code":"down"}`)
+		return
+	}
+	s.mu.Lock()
+	h := s.inner
+	s.mu.Unlock()
+	h.ServeHTTP(w, r)
+}
+
+func (s *chaosShard) restart() {
+	s.mu.Lock()
+	s.inner = cluster.NewShardHandler(service.New(service.Options{}), service.EngineConfig{Kind: "sfsd"})
+	s.mu.Unlock()
+	s.down.Store(false)
+}
+
+// startClusterServer boots n chaos shards, a coordinator over them (probe
+// loop off — tests drive repair with ProbeOnce) and the coordinator HTTP
+// front end.
+func startClusterServer(t *testing.T, n int, ds *data.Dataset) (*httptest.Server, *cluster.Coordinator, []*chaosShard) {
+	t.Helper()
+	shards := make([]*chaosShard, n)
+	specs := make([]cluster.ShardSpec, n)
+	for i := range shards {
+		shards[i] = &chaosShard{}
+		shards[i].restart()
+		shards[i].srv = httptest.NewServer(shards[i])
+		t.Cleanup(shards[i].srv.Close)
+		specs[i] = cluster.ShardSpec{URLs: []string{shards[i].srv.URL}}
+	}
+	co, err := cluster.New(specs, cluster.Options{ProbeInterval: -1, Client: cluster.ClientOptions{Timeout: 2 * time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	if err := co.AddDataset(context.Background(), "d", ds); err != nil {
+		t.Fatal(err)
+	}
+	cs := newCoordServer(co)
+	cs.markReady()
+	front := httptest.NewServer(cs)
+	t.Cleanup(front.Close)
+	return front, co, shards
+}
+
+func clusterOracle(t *testing.T, ds *data.Dataset, pts []data.Point, spec string) []data.PointID {
+	t.Helper()
+	pref, err := data.ParsePreference(ds.Schema(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := dominance.NewComparator(ds.Schema(), pref.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return skyline.SFS(pts, cmp)
+}
+
+func postQuery(t *testing.T, url, body string) (*http.Response, coordQueryResponse, errorResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ok coordQueryResponse
+	var bad errorResponse
+	var raw json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &ok); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := json.Unmarshal(raw, &bad); err != nil {
+		t.Fatal(err)
+	}
+	return resp, ok, bad
+}
+
+func clusterDataset(t *testing.T, n int) *data.Dataset {
+	t.Helper()
+	ds, err := gen.Dataset(gen.Config{
+		N: n, NumDims: 2, NomDims: 2, Cardinality: 6, Theta: 0.7,
+		Kind: gen.AntiCorrelated, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// The HTTP status-code contract for cluster failures: strict unavailability
+// is a retryable 503 with code "shard_unavailable"; version skew and
+// malformed shard answers are 502 with code "shard-protocol"; /readyz stays
+// 200 with the unreachable shard listed.
+func TestClusterErrorStatusCodes(t *testing.T) {
+	ds := clusterDataset(t, 1500)
+	front, co, shards := startClusterServer(t, 2, ds)
+
+	// Kill shard 1: strict → 503 shard_unavailable (+Retry-After), lenient →
+	// 200 flagged partial.
+	shards[1].down.Store(true)
+	resp, _, bad := postQuery(t, front.URL, `{"dataset":"d","preference":"nom0: v0<*"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || bad.Code != codeShardUnavailable {
+		t.Fatalf("strict with dead shard: status %d code %q, want 503 %q", resp.StatusCode, bad.Code, codeShardUnavailable)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	resp, okBody, _ := postQuery(t, front.URL, `{"dataset":"d","preference":"nom0: v0<*","on_unavailable":"superset"}`)
+	if resp.StatusCode != http.StatusOK || !okBody.Partial || len(okBody.Unavailable) != 1 {
+		t.Fatalf("lenient with dead shard: status %d partial %v unavailable %v", resp.StatusCode, okBody.Partial, okBody.Unavailable)
+	}
+
+	// /readyz stays ready, listing the unreachable shard after a probe.
+	co.ProbeOnce(context.Background())
+	rz, err := http.Get(front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready struct {
+		Status      string   `json:"status"`
+		Unreachable []string `json:"unreachable"`
+	}
+	json.NewDecoder(rz.Body).Decode(&ready)
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusOK || ready.Status != "ready" || len(ready.Unreachable) != 1 {
+		t.Errorf("/readyz = %d %+v, want 200 ready with 1 unreachable", rz.StatusCode, ready)
+	}
+
+	// /v1/stats carries per-shard health and counters.
+	st, err := http.Get(front.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats cluster.Stats
+	json.NewDecoder(st.Body).Decode(&stats)
+	st.Body.Close()
+	if len(stats.Shards) != 2 {
+		t.Fatalf("stats lists %d shards", len(stats.Shards))
+	}
+	states := map[string]string{}
+	for _, sh := range stats.Shards {
+		states[sh.Name] = sh.State
+	}
+	if states[shards[1].srv.URL] != "unreachable" || states[shards[0].srv.URL] != "ok" {
+		t.Errorf("shard states = %v", states)
+	}
+
+	// Rejoin, then force version skew on shard 1: a deterministic 502 under
+	// either policy.
+	shards[1].restart()
+	co.ProbeOnce(context.Background())
+	shards[1].mu.Lock()
+	shards[1].inner = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"proto": cluster.ProtoVersion + 1})
+	})
+	shards[1].mu.Unlock()
+	for _, policy := range []string{"fail", "superset"} {
+		resp, _, bad = postQuery(t, front.URL,
+			fmt.Sprintf(`{"dataset":"d","preference":"nom1: v0<*","on_unavailable":%q}`, policy))
+		if resp.StatusCode != http.StatusBadGateway || bad.Code != codeShardProtocol {
+			t.Errorf("version skew (%s): status %d code %q, want 502 %q", policy, resp.StatusCode, bad.Code, codeShardProtocol)
+		}
+	}
+}
+
+// The chaos satellite: shards die and rejoin mid-hammer while concurrent
+// strict and lenient queries verify the failure policy exactly — strict
+// queries either serve the full oracle or fail typed; lenient queries serve
+// either the full oracle or exactly SKY(live shards), flagged, and always a
+// superset of the live part of the true skyline. Run under -race in CI.
+func TestClusterChaosKillRejoin(t *testing.T) {
+	ds := clusterDataset(t, 2500)
+	front, co, shards := startClusterServer(t, 3, ds)
+	parts, err := cluster.Split(ds, 3, cluster.HashPartitioner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live01 := append(append([]data.Point{}, parts[0]...), parts[1]...)
+
+	specs := []string{"", "nom0: v1<v0<*", "nom1: v0<*"}
+	fullOracle := make(map[string][]data.PointID, len(specs))
+	liveOracle := make(map[string][]data.PointID, len(specs))
+	for _, spec := range specs {
+		fullOracle[spec] = clusterOracle(t, ds, ds.Points(), spec)
+		liveOracle[spec] = clusterOracle(t, ds, live01, spec)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	hammer := func(worker int) {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			spec := specs[(worker+i)%len(specs)]
+			lenient := (worker+i)%2 == 0
+			body := fmt.Sprintf(`{"dataset":"d","preference":%q}`, spec)
+			if lenient {
+				body = fmt.Sprintf(`{"dataset":"d","preference":%q,"on_unavailable":"superset"}`, spec)
+			}
+			resp, ok, bad := postQuery(t, front.URL, body)
+			switch {
+			case resp.StatusCode == http.StatusOK && !ok.Partial:
+				if !reflect.DeepEqual(ok.IDs, fullOracle[spec]) {
+					t.Errorf("full result for %q diverged from oracle (%d ids, want %d)", spec, len(ok.IDs), len(fullOracle[spec]))
+					return
+				}
+			case resp.StatusCode == http.StatusOK && ok.Partial:
+				if !lenient {
+					t.Errorf("strict query returned a partial result")
+					return
+				}
+				if len(ok.Unavailable) != 1 || ok.Unavailable[0] != shards[2].srv.URL {
+					t.Errorf("partial result blames %v, want [%s]", ok.Unavailable, shards[2].srv.URL)
+					return
+				}
+				if !reflect.DeepEqual(ok.IDs, liveOracle[spec]) {
+					t.Errorf("partial result for %q != SKY(live shards) (%d ids, want %d)", spec, len(ok.IDs), len(liveOracle[spec]))
+					return
+				}
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				if lenient {
+					// Only an all-shards-down scatter may 503 a lenient query,
+					// and this chaos schedule never kills shards 0 and 1.
+					t.Errorf("lenient query shed with 503: %s", bad.Error)
+					return
+				}
+				if bad.Code != codeShardUnavailable {
+					t.Errorf("strict 503 code = %q, want %q", bad.Code, codeShardUnavailable)
+					return
+				}
+			default:
+				t.Errorf("unexpected status %d (%s %s)", resp.StatusCode, bad.Code, bad.Error)
+				return
+			}
+		}
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go hammer(w)
+	}
+
+	// The chaos schedule: kill shard 2, let strict queries fail and lenient
+	// ones degrade, then restart it empty and repair via probe; repeat.
+	for cycle := 0; cycle < 5; cycle++ {
+		time.Sleep(60 * time.Millisecond)
+		shards[2].down.Store(true)
+		time.Sleep(60 * time.Millisecond)
+		shards[2].restart()
+		co.ProbeOnce(context.Background())
+	}
+	close(stop)
+	wg.Wait()
+}

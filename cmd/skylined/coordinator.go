@@ -1,0 +1,213 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"prefsky/internal/cluster"
+	"prefsky/internal/data"
+	"prefsky/internal/order"
+)
+
+// coordServer is the coordinator-mode HTTP front end: the same v1 read API
+// as a single skylined node, answered by scatter-gather over the shard
+// fleet. Mutations are not offered — cluster datasets change only through
+// coordinator re-pushes, which version every cached result.
+type coordServer struct {
+	co    *cluster.Coordinator
+	mux   *http.ServeMux
+	ready atomic.Bool
+}
+
+func newCoordServer(co *cluster.Coordinator) *coordServer {
+	s := &coordServer{co: co}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux = mux
+	return s
+}
+
+func (s *coordServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *coordServer) markReady() { s.ready.Store(true) }
+
+func (s *coordServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz mirrors the degraded-dataset convention: unreachable shards
+// are listed but keep the coordinator ready — lenient queries still answer,
+// and strict ones fail with a typed, retryable error.
+func (s *coordServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "loading"})
+		return
+	}
+	body := map[string]any{"status": "ready"}
+	if down := s.co.Unreachable(); len(down) > 0 {
+		body["unreachable"] = down
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *coordServer) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.co.Datasets()})
+}
+
+func (s *coordServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSONIndent(w, http.StatusOK, s.co.Stats())
+}
+
+// coordQueryRequest adds the per-request partial-failure policy to the
+// single-node query shape: "fail" (default) or "superset".
+type coordQueryRequest struct {
+	Dataset       string `json:"dataset"`
+	Preference    string `json:"preference"`
+	IncludePoints bool   `json:"includePoints,omitempty"`
+	OnUnavailable string `json:"on_unavailable,omitempty"`
+}
+
+// coordQueryResponse extends the single-node response with the
+// partial-result flag and the shards that did not contribute.
+type coordQueryResponse struct {
+	queryResponse
+	Partial     bool     `json:"partial,omitempty"`
+	Unavailable []string `json:"unavailable,omitempty"`
+}
+
+func (s *coordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req coordQueryRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	policy, err := cluster.ParseFailPolicy(req.OnUnavailable)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	schema, err := s.co.Schema(req.Dataset)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	pref, err := data.ParsePreference(schema, req.Preference)
+	if err != nil {
+		writeError(w, fmt.Errorf("parsing preference %q: %w", req.Preference, err))
+		return
+	}
+	res, err := s.co.Query(r.Context(), req.Dataset, pref, policy)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := coordQueryResponse{
+		queryResponse: queryResponse{
+			Dataset:    req.Dataset,
+			Preference: data.FormatPreference(schema, pref),
+			Canonical:  data.FormatPreference(schema, pref.Canonical()),
+			IDs:        res.IDs,
+			Count:      len(res.IDs),
+			Cached:     res.Outcome.CacheHit(),
+			Semantic:   res.Outcome.Semantic(),
+		},
+		Partial:     res.Partial,
+		Unavailable: res.Unavailable,
+	}
+	if req.IncludePoints {
+		resp.Points = make([]pointJSON, 0, len(res.IDs))
+		for _, id := range res.IDs {
+			p, err := s.co.Point(req.Dataset, id)
+			if err != nil {
+				continue
+			}
+			resp.Points = append(resp.Points, renderPoint(schema, id, p))
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type coordBatchRequest struct {
+	Dataset       string   `json:"dataset"`
+	Preferences   []string `json:"preferences"`
+	OnUnavailable string   `json:"on_unavailable,omitempty"`
+}
+
+type coordBatchMember struct {
+	batchMember
+	Partial     bool     `json:"partial,omitempty"`
+	Unavailable []string `json:"unavailable,omitempty"`
+}
+
+type coordBatchResponse struct {
+	Dataset string             `json:"dataset"`
+	Results []coordBatchMember `json:"results"`
+}
+
+func (s *coordServer) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req coordBatchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Preferences) > maxBatchPreferences {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("batch of %d preferences exceeds the limit of %d",
+				len(req.Preferences), maxBatchPreferences),
+			Code: codeTooLarge,
+		})
+		return
+	}
+	policy, err := cluster.ParseFailPolicy(req.OnUnavailable)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	schema, err := s.co.Schema(req.Dataset)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	prefs := make([]*order.Preference, len(req.Preferences))
+	members := make([]coordBatchMember, len(req.Preferences))
+	for i, spec := range req.Preferences {
+		members[i].Preference = spec
+		p, err := data.ParsePreference(schema, spec)
+		if err != nil {
+			members[i].Error = err.Error()
+			members[i].Code = codeBadRequest
+			continue
+		}
+		prefs[i] = p
+		members[i].Preference = data.FormatPreference(schema, p)
+	}
+	runnable := make([]*order.Preference, 0, len(prefs))
+	runIdx := make([]int, 0, len(prefs))
+	for i, p := range prefs {
+		if p != nil {
+			runnable = append(runnable, p)
+			runIdx = append(runIdx, i)
+		}
+	}
+	for j, res := range s.co.Batch(r.Context(), req.Dataset, runnable, policy) {
+		m := &members[runIdx[j]]
+		if res.Err != nil {
+			m.Error = res.Err.Error()
+			_, m.Code = classify(res.Err)
+			continue
+		}
+		m.IDs = res.IDs
+		m.Count = len(res.IDs)
+		m.Cached = res.Outcome.CacheHit()
+		m.Semantic = res.Outcome.Semantic()
+		m.Partial = res.Partial
+		m.Unavailable = res.Unavailable
+	}
+	writeJSON(w, http.StatusOK, coordBatchResponse{Dataset: req.Dataset, Results: members})
+}

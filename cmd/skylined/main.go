@@ -59,6 +59,7 @@ import (
 	"time"
 
 	"prefsky"
+	"prefsky/internal/cluster"
 	"prefsky/internal/data"
 	"prefsky/internal/durable"
 	"prefsky/internal/flat"
@@ -105,12 +106,42 @@ func run(args []string) error {
 		fsyncEvery = fs.Duration("fsync-interval", 0, "group-commit sync period with -fsync interval (0 = 50ms default)")
 		maxQueued  = fs.Int("max-queued", 0, "max engine queries waiting for a worker before new ones are shed with 503 (0 = 8x workers, negative = unbounded)")
 		rearmWait  = fs.Duration("rearm-backoff", 0, "initial backoff between degraded-mode disk re-arm probes (0 = 250ms default, doubling to 30s)")
+		shardMode  = fs.Bool("shard-mode", false, "serve as a cluster shard: mount /v1/shard/* for coordinator partition pushes (datasets optional at boot)")
+		coordMode  = fs.Bool("coordinator", false, "serve as a cluster coordinator scatter-gathering over the -shard fleet")
+		partSpec   = fs.String("partitioner", "hash", "coordinator dataset partitioner: hash or grid")
+		shardTO    = fs.Duration("shard-timeout", 0, "coordinator per-shard request timeout (0 = 5s default)")
+		hedgeWait  = fs.Duration("hedge", 0, "coordinator delay before hedging a slow shard request to its replica (0 disables hedging)")
+		shardInfl  = fs.Int("shard-inflight", 0, "coordinator max in-flight requests per shard (0 = 64 default)")
+		probeEvery = fs.Duration("probe-interval", 0, "coordinator shard health/re-push probe period (0 = 2s default, negative disables)")
 	)
+	var shardURLs datasetFlags
 	fs.Var(&datasets, "dataset", "name=schema.json,data.csv (repeatable)")
+	fs.Var(&shardURLs, "shard", "shard base URL as url or url|replica-url (repeatable, coordinator mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if len(datasets) == 0 && !*demo {
+	if *coordMode && *shardMode {
+		return fmt.Errorf("-coordinator and -shard-mode are mutually exclusive")
+	}
+	if !*coordMode && len(shardURLs) > 0 {
+		return fmt.Errorf("-shard requires -coordinator")
+	}
+	if *coordMode {
+		if len(shardURLs) == 0 {
+			return fmt.Errorf("-coordinator requires at least one -shard url")
+		}
+		if len(datasets) == 0 && !*demo {
+			return fmt.Errorf("no datasets: pass -dataset name=schema.json,data.csv or -demo")
+		}
+		return runCoordinator(coordinatorConfig{
+			addr: *addr, shards: shardURLs, partitioner: *partSpec,
+			datasets: datasets, demo: *demo,
+			cacheCap: *cacheCap, cacheShards: *shards, semLimit: *semLimit,
+			shardTimeout: *shardTO, hedge: *hedgeWait, inflight: *shardInfl,
+			probeInterval: *probeEvery, pprofAddr: *pprofAddr,
+		})
+	}
+	if len(datasets) == 0 && !*demo && !*shardMode {
 		return fmt.Errorf("no datasets: pass -dataset name=schema.json,data.csv or -demo")
 	}
 	if _, err := flat.ParseKernel(*kernel); err != nil {
@@ -161,6 +192,24 @@ func run(args []string) error {
 	// as the boot step after the listener is already up: /healthz answers
 	// (liveness) while /readyz stays 503 until registration completes.
 	srv := newServer(svc)
+	var handler http.Handler = srv
+	if *shardMode {
+		// Coordinator-pushed partitions run the same engine configuration as
+		// locally hosted datasets, minus durability and template preferences
+		// (partitions are read-only snapshots versioned by the coordinator).
+		shardCfg := service.EngineConfig{
+			Kind:             *engine,
+			Tree:             prefsky.TreeOptions{TopK: *topK},
+			Partitions:       *partitions,
+			Kernel:           *kernel,
+			Grid:             *gridSpec,
+			CompactThreshold: *compactAt,
+		}
+		outer := http.NewServeMux()
+		outer.Handle("/v1/shard/", cluster.NewShardHandler(svc, shardCfg))
+		outer.Handle("/", srv)
+		handler = outer
+	}
 	boot := func() error {
 		if *demo {
 			ds, err := demoFlights()
@@ -200,7 +249,94 @@ func run(args []string) error {
 		srv.markReady()
 		return nil
 	}
-	return serve(*addr, srv, boot, svc.Close)
+	return serve(*addr, handler, boot, svc.Close)
+}
+
+// coordinatorConfig gathers the -coordinator mode's flag values.
+type coordinatorConfig struct {
+	addr          string
+	shards        []string
+	partitioner   string
+	datasets      []string
+	demo          bool
+	cacheCap      int
+	cacheShards   int
+	semLimit      int
+	shardTimeout  time.Duration
+	hedge         time.Duration
+	inflight      int
+	probeInterval time.Duration
+	pprofAddr     string
+}
+
+// runCoordinator boots the scatter-gather tier: build the shard clients,
+// partition and push every dataset, start the health/re-push loop, serve.
+func runCoordinator(cfg coordinatorConfig) error {
+	part, err := cluster.ParsePartitioner(cfg.partitioner)
+	if err != nil {
+		return err
+	}
+	specs := make([]cluster.ShardSpec, len(cfg.shards))
+	for i, s := range cfg.shards {
+		urls := strings.Split(s, "|")
+		specs[i] = cluster.ShardSpec{URLs: urls}
+	}
+	co, err := cluster.New(specs, cluster.Options{
+		Partitioner: part,
+		Client: cluster.ClientOptions{
+			Timeout:     cfg.shardTimeout,
+			HedgeDelay:  cfg.hedge,
+			MaxInflight: cfg.inflight,
+		},
+		CacheCapacity:          cfg.cacheCap,
+		CacheShards:            cfg.cacheShards,
+		SemanticCandidateLimit: cfg.semLimit,
+		ProbeInterval:          cfg.probeInterval,
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.pprofAddr != "" {
+		if err := servePprof(cfg.pprofAddr); err != nil {
+			return err
+		}
+	}
+	srv := newCoordServer(co)
+	boot := func() error {
+		push := func(name string, ds *data.Dataset) error {
+			if err := co.AddDataset(context.Background(), name, ds); err != nil {
+				// Non-fatal: the dataset is registered and the probe loop
+				// re-pushes the failed shard as soon as it answers.
+				log.Printf("dataset %q: initial push incomplete: %v", name, err)
+			} else {
+				log.Printf("dataset %q: %d points across %d shards (%s partitioning)",
+					name, ds.N(), co.Shards(), part.Name())
+			}
+			return nil
+		}
+		if cfg.demo {
+			ds, err := demoFlights()
+			if err != nil {
+				return err
+			}
+			if err := push("flights", ds); err != nil {
+				return err
+			}
+		}
+		for _, spec := range cfg.datasets {
+			name, ds, err := loadDataset(spec)
+			if err != nil {
+				return err
+			}
+			if err := push(name, ds); err != nil {
+				return err
+			}
+		}
+		co.Start()
+		srv.markReady()
+		return nil
+	}
+	return serve(cfg.addr, srv, boot, func() error { co.Close(); return nil })
 }
 
 // durableConfig builds one dataset's durability configuration — its own

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"sync/atomic"
 
+	"prefsky/internal/cluster"
 	"prefsky/internal/data"
 	"prefsky/internal/order"
 	"prefsky/internal/service"
@@ -77,6 +78,11 @@ const (
 	codeOverloaded     = "overloaded"
 	codeTimeout        = "timeout"
 	codeCanceled       = "canceled"
+	// Coordinator-mode codes: a shard (or enough of its replicas) did not
+	// answer — retryable — vs. a shard answered wrongly (malformed partial,
+	// protocol version skew) — an operator problem surfaced as 502.
+	codeShardUnavailable = "shard_unavailable"
+	codeShardProtocol    = "shard-protocol"
 )
 
 // writeJSON writes a compact JSON response — the hot query path skips
@@ -136,6 +142,13 @@ func classify(err error) (status int, code string) {
 	case errors.Is(err, service.ErrOverloaded):
 		// The admission queue is full; the query was shed without blocking.
 		return http.StatusServiceUnavailable, codeOverloaded
+	case errors.Is(err, cluster.ErrShardUnavailable):
+		// Strict-policy query against a down shard; Retry-After rides along —
+		// the probe loop re-pushes as soon as the shard rejoins.
+		return http.StatusServiceUnavailable, codeShardUnavailable
+	case errors.Is(err, cluster.ErrShardProtocol):
+		// Malformed shard response or coordinator/shard version skew.
+		return http.StatusBadGateway, codeShardProtocol
 	case errors.As(err, &maxBytesErr):
 		return http.StatusRequestEntityTooLarge, codeTooLarge
 	case errors.Is(err, context.DeadlineExceeded):

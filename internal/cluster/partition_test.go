@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"prefsky/internal/data"
+	"prefsky/internal/gen"
+	"prefsky/internal/order"
+)
+
+func genDataset(t *testing.T, n int, kind gen.Kind, seed int64) *data.Dataset {
+	t.Helper()
+	ds, err := gen.Dataset(gen.Config{
+		N: n, NumDims: 2, NomDims: 2, Cardinality: 6, Theta: 0.7,
+		Kind: kind, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestParsePartitioner(t *testing.T) {
+	for spec, want := range map[string]string{"": "hash", "hash": "hash", "grid": "grid"} {
+		p, err := ParsePartitioner(spec)
+		if err != nil {
+			t.Fatalf("ParsePartitioner(%q): %v", spec, err)
+		}
+		if p.Name() != want {
+			t.Errorf("ParsePartitioner(%q).Name() = %q, want %q", spec, p.Name(), want)
+		}
+	}
+	if _, err := ParsePartitioner("zorp"); err == nil {
+		t.Error("ParsePartitioner(zorp) accepted")
+	}
+}
+
+func TestParseFailPolicy(t *testing.T) {
+	for spec, want := range map[string]FailPolicy{
+		"": FailStrict, "fail": FailStrict, "strict": FailStrict,
+		"superset": FailLenient, "lenient": FailLenient,
+	} {
+		got, err := ParseFailPolicy(spec)
+		if err != nil {
+			t.Fatalf("ParseFailPolicy(%q): %v", spec, err)
+		}
+		if got != want {
+			t.Errorf("ParseFailPolicy(%q) = %v, want %v", spec, got, want)
+		}
+	}
+	if _, err := ParseFailPolicy("explode"); err == nil {
+		t.Error("ParseFailPolicy(explode) accepted")
+	}
+}
+
+// Both partitioners must produce a deterministic assignment covering every
+// row with in-range shard indices, and hash must balance within a loose
+// statistical bound.
+func TestPartitionersCoverAndBalance(t *testing.T) {
+	ds := genDataset(t, 10000, gen.Independent, 7)
+	for _, p := range []Partitioner{HashPartitioner{}, GridPartitioner{}} {
+		for _, shards := range []int{1, 2, 4, 7} {
+			assign, err := p.Assign(ds, shards)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", p.Name(), shards, err)
+			}
+			if len(assign) != ds.N() {
+				t.Fatalf("%s/%d: %d assignments for %d rows", p.Name(), shards, len(assign), ds.N())
+			}
+			counts := make([]int, shards)
+			for i, s := range assign {
+				if s < 0 || s >= shards {
+					t.Fatalf("%s/%d: row %d assigned to shard %d", p.Name(), shards, i, s)
+				}
+				counts[s]++
+			}
+			again, err := p.Assign(ds, shards)
+			if err != nil || !reflect.DeepEqual(assign, again) {
+				t.Fatalf("%s/%d: assignment not deterministic (%v)", p.Name(), shards, err)
+			}
+			if p.Name() == "hash" {
+				want := ds.N() / shards
+				for s, c := range counts {
+					if c < want*7/10 || c > want*13/10 {
+						t.Errorf("hash/%d: shard %d holds %d rows, want ~%d", shards, s, c, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Grid partitioning with no numeric spread must still cover all shards (the
+// hash fallback), never funnel everything to shard 0.
+func TestGridPartitionerFallsBackWithoutSpread(t *testing.T) {
+	card := 4
+	dom0, _ := order.NewAnonymousDomain("nom0", card)
+	schema, err := data.NewSchema(nil, []*order.Domain{dom0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]data.Point, 100)
+	for i := range pts {
+		pts[i] = data.Point{Nom: []order.Value{order.Value(i % card)}}
+	}
+	ds, err := data.New(schema, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := (GridPartitioner{}).Assign(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, s := range assign {
+		seen[s] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("grid fallback used %d shards, want spread", len(seen))
+	}
+}
+
+// Split must keep dataset-global ids: the union of the partitions is exactly
+// the dataset, each row exactly once, ids untouched.
+func TestSplitPreservesGlobalIDs(t *testing.T) {
+	ds := genDataset(t, 5000, gen.AntiCorrelated, 11)
+	for _, p := range []Partitioner{HashPartitioner{}, GridPartitioner{}} {
+		parts, err := Split(ds, 4, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if len(parts) != 4 {
+			t.Fatalf("%s: %d partitions", p.Name(), len(parts))
+		}
+		seen := make(map[data.PointID]bool, ds.N())
+		for _, part := range parts {
+			for i := range part {
+				id := part[i].ID
+				if seen[id] {
+					t.Fatalf("%s: id %d in two partitions", p.Name(), id)
+				}
+				seen[id] = true
+				orig := ds.Points()[id]
+				if !reflect.DeepEqual(orig.Num, part[i].Num) || !reflect.DeepEqual(orig.Nom, part[i].Nom) {
+					t.Fatalf("%s: id %d's attributes changed across Split", p.Name(), id)
+				}
+			}
+		}
+		if len(seen) != ds.N() {
+			t.Fatalf("%s: %d rows covered of %d", p.Name(), len(seen), ds.N())
+		}
+	}
+}

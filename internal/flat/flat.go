@@ -164,9 +164,10 @@ type Projection struct {
 
 	gridMode GridMode
 	gridOnce sync.Once
-	grid     *grid   // lazily built by the first qualifying scan; may stay nil
-	cs       *colSet // non-nil for dense projections: hosts the grid cache
-	gridKey  string  // all-dimension rank-table fingerprint, the grid cache key
+	grid     *grid         // lazily built by the first qualifying scan; may stay nil
+	cs       *colSet       // non-nil for dense projections: hosts the grid cache
+	gridKey  string        // all-dimension rank-table fingerprint, the grid cache key
+	counters *GridCounters // grid-stat sink; nil means the process-wide default
 }
 
 // unlistedRanks returns each nominal dimension's unlisted rank — the domain
@@ -195,6 +196,9 @@ func newProjection(b *Block, s *Snapshot, cs *colSet, tabs [][]int32) *Projectio
 		rankCols: make([][]int32, len(tabs)),
 		unlisted: unlistedRanks(b.schema),
 		cs:       cs,
+	}
+	if s != nil {
+		pr.counters = s.gridc
 	}
 	var key []byte
 	for d, tab := range tabs {

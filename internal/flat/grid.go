@@ -72,8 +72,8 @@ const (
 	gridAutoMinScan = 4096
 )
 
-// GridStats is a process-wide counter snapshot of grid activity, surfaced
-// through /v1/stats and kernelbench.
+// GridStats is a counter snapshot of grid activity, surfaced through
+// /v1/stats and kernelbench.
 type GridStats struct {
 	// Scans counts SFS scans that ran with a grid.
 	Scans uint64 `json:"scans"`
@@ -83,19 +83,42 @@ type GridStats struct {
 	CellsDominated uint64 `json:"cells_dominated"`
 }
 
-var (
-	gridScansC      atomic.Uint64
-	gridRowsPrunedC atomic.Uint64
-	gridCellsDomC   atomic.Uint64
-)
+// Sum adds another snapshot's counts into this one.
+func (s *GridStats) Sum(o GridStats) {
+	s.Scans += o.Scans
+	s.RowsPruned += o.RowsPruned
+	s.CellsDominated += o.CellsDominated
+}
 
-// ReadGridStats returns the process-wide grid counters.
-func ReadGridStats() GridStats {
+// GridCounters accumulates grid activity for one owner. Each Store carries
+// its own set — scans over its snapshots land there, so /v1/stats can report
+// grid work per dataset and a coordinator can aggregate shard stats without
+// double counting — while projections built straight from a Block (no store)
+// fall back to the shared process-wide default.
+type GridCounters struct {
+	scans      atomic.Uint64
+	rowsPruned atomic.Uint64
+	cellsDom   atomic.Uint64
+}
+
+// Read returns a point-in-time snapshot of the counters.
+func (c *GridCounters) Read() GridStats {
 	return GridStats{
-		Scans:          gridScansC.Load(),
-		RowsPruned:     gridRowsPrunedC.Load(),
-		CellsDominated: gridCellsDomC.Load(),
+		Scans:          c.scans.Load(),
+		RowsPruned:     c.rowsPruned.Load(),
+		CellsDominated: c.cellsDom.Load(),
 	}
+}
+
+// defaultGridCounters receives grid activity from storeless projections
+// (blocks projected directly, e.g. by kernelbench).
+var defaultGridCounters GridCounters
+
+// ReadGridStats returns the process-wide default counters — the activity of
+// projections not owned by any Store. Store-owned activity is reported by
+// Store.GridStats.
+func ReadGridStats() GridStats {
+	return defaultGridCounters.Read()
 }
 
 // SetGridMode selects the projection's grid behavior. It must be called
@@ -322,6 +345,7 @@ func (pr *Projection) dominatesCell(g *grid, s int32, cell int) bool {
 // pair is examined at most once across the whole scan.
 type gridScan struct {
 	g         *grid
+	c         *GridCounters
 	dominated []bool
 	checked   []int32
 	pruned    uint64
@@ -335,9 +359,14 @@ func newGridScan(pr *Projection, scanLen int) *gridScan {
 	if g == nil {
 		return nil
 	}
-	gridScansC.Add(1)
+	c := pr.counters
+	if c == nil {
+		c = &defaultGridCounters
+	}
+	c.scans.Add(1)
 	return &gridScan{
 		g:         g,
+		c:         c,
 		dominated: make([]bool, g.cells),
 		checked:   make([]int32, g.cells),
 	}
@@ -372,9 +401,9 @@ func (st *gridScan) flush() {
 		return
 	}
 	if st.pruned > 0 {
-		gridRowsPrunedC.Add(st.pruned)
+		st.c.rowsPruned.Add(st.pruned)
 	}
 	if st.marked > 0 {
-		gridCellsDomC.Add(st.marked)
+		st.c.cellsDom.Add(st.marked)
 	}
 }

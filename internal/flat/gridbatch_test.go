@@ -218,6 +218,39 @@ func TestGridStatsAdvance(t *testing.T) {
 	}
 }
 
+// TestGridStatsPerStore: scans over a store's snapshots land in that store's
+// own counters, not the process-wide default — the attribution /v1/stats
+// reports per dataset and coordinators aggregate without double counting.
+func TestGridStatsPerStore(t *testing.T) {
+	ds, err := gen.Dataset(gen.Config{
+		N: 5000, NumDims: 2, NomDims: 1, Cardinality: 5, Theta: 1,
+		Kind: gen.Independent, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := dominance.NewComparator(ds.Schema(), ds.Schema().EmptyPreference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := flat.NewStore(ds, -1)
+	defaultBefore := flat.ReadGridStats()
+	storeBefore := store.GridStats()
+	proj, err := store.Snapshot().Project(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj.SetGridMode(flat.GridOn)
+	proj.SkylineRange(0, proj.N())
+	if got := store.GridStats(); got.Scans <= storeBefore.Scans {
+		t.Errorf("store Scans did not advance: %d -> %d", storeBefore.Scans, got.Scans)
+	}
+	if got := flat.ReadGridStats(); got.Scans != defaultBefore.Scans {
+		t.Errorf("store-backed scan leaked into default counters: %d -> %d",
+			defaultBefore.Scans, got.Scans)
+	}
+}
+
 // TestParseGridMode pins the grid-mode name table.
 func TestParseGridMode(t *testing.T) {
 	for s, want := range map[string]flat.GridMode{

@@ -81,7 +81,7 @@ func Skyline(ctx context.Context, points []data.Point, cmp *dominance.Comparator
 	// input; no points are copied. Each local skyline comes back in ascending
 	// f order with its scores, which the merge phase uses for pruning.
 	blocks := split(points, partitions)
-	locals := make([]localResult, len(blocks))
+	locals := make([]Local, len(blocks))
 	errs := make([]error, len(blocks))
 	var wg sync.WaitGroup
 	for i, blk := range blocks {
@@ -235,28 +235,78 @@ func split(points []data.Point, p int) [][]data.Point {
 	return blocks
 }
 
-// localResult is one block's skyline in ascending f order plus the matching
-// scores, the merge phase's pruning key.
-type localResult struct {
-	points []data.Point
-	scores []float64
+// Local is one block's local skyline in ascending f order plus the matching
+// §4.1 scores, the merge phase's pruning key. The coordinator of the
+// distributed serving tier decodes remote shard partials into this form and
+// merges them with MergeLocals — shard-local scores are globally comparable
+// because every shard scores under the same canonical preference.
+type Local struct {
+	Points []data.Point
+	Scores []float64
+}
+
+// MergeLocals merge-filters local skylines into the global skyline: a point
+// of locals[i] survives iff no local skyline point of another block dominates
+// it (see the package comment for why that check is complete). Each block's
+// filter runs concurrently and prunes on the shared score prefix. Inputs must
+// be local skylines sorted ascending by score with scores[k] = f(points[k]);
+// the result is ascending point ids. Point ids must be globally unique across
+// blocks.
+func MergeLocals(ctx context.Context, cmp *dominance.Comparator, locals []Local) ([]data.PointID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	live := 0
+	for i := range locals {
+		if len(locals[i].Points) > 0 {
+			live++
+		}
+	}
+	if live <= 1 {
+		for i := range locals {
+			if len(locals[i].Points) > 0 {
+				out := make([]data.PointID, len(locals[i].Points))
+				for k := range locals[i].Points {
+					out[k] = locals[i].Points[k].ID
+				}
+				slices.Sort(out)
+				return out, nil
+			}
+		}
+		return nil, nil
+	}
+	survivors := make([][]data.PointID, len(locals))
+	errs := make([]error, len(locals))
+	var wg sync.WaitGroup
+	for i := range locals {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			survivors[i], errs[i] = mergeFilter(ctx, cmp, i, locals)
+		}(i)
+	}
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return collectSurvivors(survivors), nil
 }
 
 // localSkyline runs SFS over one block, polling the context between yielded
 // skyline points.
-func localSkyline(ctx context.Context, block []data.Point, cmp *dominance.Comparator) (localResult, error) {
+func localSkyline(ctx context.Context, block []data.Point, cmp *dominance.Comparator) (Local, error) {
 	it := skyline.NewIterator(block, cmp)
-	var out localResult
+	var out Local
 	for {
 		if err := ctx.Err(); err != nil {
-			return localResult{}, err
+			return Local{}, err
 		}
 		p, ok := it.Next()
 		if !ok {
 			return out, nil
 		}
-		out.points = append(out.points, p)
-		out.scores = append(out.scores, cmp.Score(&p))
+		out.Points = append(out.Points, p)
+		out.Scores = append(out.Scores, cmp.Score(&p))
 	}
 }
 
@@ -275,27 +325,27 @@ func localScan(ctx context.Context, points []data.Point, cmp *dominance.Comparat
 // with a strictly smaller score can dominate a candidate, and each local
 // skyline is ascending in f — so the scan of every other block stops at the
 // candidate's own score.
-func mergeFilter(ctx context.Context, cmp *dominance.Comparator, i int, locals []localResult) ([]data.PointID, error) {
+func mergeFilter(ctx context.Context, cmp *dominance.Comparator, i int, locals []Local) ([]data.PointID, error) {
 	var out []data.PointID
-	for c := range locals[i].points {
+	for c := range locals[i].Points {
 		if c&63 == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		p := &locals[i].points[c]
-		score := locals[i].scores[c]
+		p := &locals[i].Points[c]
+		score := locals[i].Scores[c]
 		dominated := false
 		for j := range locals {
 			if j == i {
 				continue
 			}
 			other := &locals[j]
-			for q := range other.points {
-				if other.scores[q] >= score {
+			for q := range other.Points {
+				if other.Scores[q] >= score {
 					break
 				}
-				if cmp.Dominates(&other.points[q], p) {
+				if cmp.Dominates(&other.Points[q], p) {
 					dominated = true
 					break
 				}

@@ -65,6 +65,10 @@ type cacheEntry struct {
 	dataset string
 	state   string
 	ids     []data.PointID
+	// rows optionally materializes the skyline's points (same order as ids).
+	// The coordinator of the distributed tier stores them so a semantic hit
+	// can rescan cached candidates locally instead of fanning out to shards.
+	rows []data.Point
 }
 
 // NewCache builds a cache holding at most capacity entries spread over the
@@ -103,7 +107,7 @@ func (c *Cache) shard(key string) *cacheShard {
 }
 
 // lookup returns the entry for the key, marking it most recently used.
-func (c *Cache) lookup(key string) ([]data.PointID, bool) {
+func (c *Cache) lookup(key string) (*cacheEntry, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -112,7 +116,8 @@ func (c *Cache) lookup(key string) ([]data.PointID, bool) {
 		return nil, false
 	}
 	s.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).ids, true
+	e := el.Value.(*cacheEntry)
+	return e, true
 }
 
 // Get returns the cached skyline for the key, marking it most recently used
@@ -122,13 +127,13 @@ func (c *Cache) Get(key string) ([]data.PointID, bool) {
 		c.misses.Add(1)
 		return nil, false
 	}
-	ids, ok := c.lookup(key)
+	e, ok := c.lookup(key)
 	if !ok {
 		c.misses.Add(1)
 		return nil, false
 	}
 	c.hits.Add(1)
-	return ids, true
+	return e.ids, true
 }
 
 // Probe returns the cached skyline for the key without touching the hit/miss
@@ -140,7 +145,25 @@ func (c *Cache) Probe(key string) ([]data.PointID, bool) {
 	if c.disabled() {
 		return nil, false
 	}
-	return c.lookup(key)
+	e, ok := c.lookup(key)
+	if !ok {
+		return nil, false
+	}
+	return e.ids, true
+}
+
+// ProbeRows is Probe for entries stored with PutRows: it additionally
+// returns the materialized skyline points, or reports false when the entry
+// was stored without them.
+func (c *Cache) ProbeRows(key string) ([]data.PointID, []data.Point, bool) {
+	if c.disabled() {
+		return nil, nil, false
+	}
+	e, ok := c.lookup(key)
+	if !ok || e.rows == nil {
+		return nil, nil, false
+	}
+	return e.ids, e.rows, true
 }
 
 // MarkSemanticHit counts one exact-miss query answered from the refinement
@@ -153,6 +176,17 @@ func (c *Cache) MarkSemanticHit() { c.semanticHits.Add(1) }
 // recorded a different current state for the dataset) is dropped, so racing
 // writers cannot park unreachable results.
 func (c *Cache) Put(key, dataset, state string, ids []data.PointID) {
+	c.put(key, dataset, state, ids, nil)
+}
+
+// PutRows is Put with the skyline's materialized points attached (same order
+// as ids), retrievable through ProbeRows. The coordinator stores every result
+// this way so the semantic path never needs the network.
+func (c *Cache) PutRows(key, dataset, state string, ids []data.PointID, rows []data.Point) {
+	c.put(key, dataset, state, ids, rows)
+}
+
+func (c *Cache) put(key, dataset, state string, ids []data.PointID, rows []data.Point) {
 	if c.disabled() {
 		return
 	}
@@ -176,6 +210,7 @@ func (c *Cache) Put(key, dataset, state string, ids []data.PointID) {
 	if el, ok := s.byKey[key]; ok {
 		e := el.Value.(*cacheEntry)
 		e.ids = ids
+		e.rows = rows
 		e.state = state
 		s.ll.MoveToFront(el)
 		return
@@ -186,7 +221,7 @@ func (c *Cache) Put(key, dataset, state string, ids []data.PointID) {
 		delete(s.byKey, back.Value.(*cacheEntry).key)
 		c.evictions.Add(1)
 	}
-	s.byKey[key] = s.ll.PushFront(&cacheEntry{key: key, dataset: dataset, state: state, ids: ids})
+	s.byKey[key] = s.ll.PushFront(&cacheEntry{key: key, dataset: dataset, state: state, ids: ids, rows: rows})
 }
 
 // sweep removes every entry of the dataset for which drop returns true,

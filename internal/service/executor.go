@@ -181,6 +181,13 @@ func cacheKey(dataset, state, prefKey string) string {
 	return fmt.Sprintf("%d\x1f%s\x1f%s\x1f%s", len(dataset), dataset, state, prefKey)
 }
 
+// CacheKey exposes the executor's result-cache key derivation so other query
+// layers sharing a Cache (the cluster coordinator) key results identically:
+// dataset, state token, and order.Preference.CacheKey of the canonical form.
+func CacheKey(dataset, state, prefKey string) string {
+	return cacheKey(dataset, state, prefKey)
+}
+
 // Query answers SKY(pref) over the named dataset, consulting the cache
 // first — exact key, then the refinement lattice — before paying for a full
 // engine execution. The returned Outcome reports which path served the

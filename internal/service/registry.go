@@ -83,9 +83,13 @@ type DatasetInfo struct {
 	Version      uint64 `json:"version"`
 	// Health is the dataset's durability health ("ok", "recovering",
 	// "degraded"); memory-only datasets are always "ok".
-	Health     string           `json:"health"`
-	Store      *flat.StoreStats `json:"store,omitempty"`
-	Durability *durable.Stats   `json:"durability,omitempty"`
+	Health string           `json:"health"`
+	Store  *flat.StoreStats `json:"store,omitempty"`
+	// Grid is the dataset's own grid-pruning activity (scans over its
+	// store's snapshots), so aggregating stats across shards never double
+	// counts a process-wide total.
+	Grid       *flat.GridStats `json:"grid,omitempty"`
+	Durability *durable.Stats  `json:"durability,omitempty"`
 }
 
 // dsEntry is one hosted dataset. There is no entry-level lock: queries read
@@ -314,6 +318,8 @@ func (r *Registry) Info() []DatasetInfo {
 		if e.store != nil {
 			st := e.store.Stats()
 			info.Store = &st
+			gs := e.store.GridStats()
+			info.Grid = &gs
 		}
 		if e.dur != nil {
 			d := e.dur.Stats()

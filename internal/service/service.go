@@ -67,9 +67,10 @@ type Options struct {
 	MaxQueuedQueries int
 }
 
-// Stats is the service-wide snapshot served by GET /v1/stats. Grid counts
-// are process-wide (the grid lives in the flat kernel under every engine),
-// not per-service.
+// Stats is the service-wide snapshot served by GET /v1/stats. Grid is the
+// sum of every hosted dataset's own counters plus the storeless default —
+// each dataset's share appears under its DatasetInfo, so aggregating
+// per-dataset numbers across shards never double counts.
 type Stats struct {
 	Cache    CacheStats     `json:"cache"`
 	Queries  uint64         `json:"queries"`
@@ -220,6 +221,13 @@ func (s *Service) Close() error { return s.reg.Close() }
 // Stats snapshots the whole service.
 func (s *Service) Stats() Stats {
 	queries, batches := s.exec.Counters()
+	datasets := s.reg.Info()
+	grid := flat.ReadGridStats()
+	for i := range datasets {
+		if datasets[i].Grid != nil {
+			grid.Sum(*datasets[i].Grid)
+		}
+	}
 	return Stats{
 		Cache:    s.cache.Stats(),
 		Queries:  queries,
@@ -228,7 +236,7 @@ func (s *Service) Stats() Stats {
 		QueueCap: s.exec.QueueCap(),
 		Queued:   s.exec.Queued(),
 		Shed:     s.exec.Shed(),
-		Grid:     flat.ReadGridStats(),
-		Datasets: s.reg.Info(),
+		Grid:     grid,
+		Datasets: datasets,
 	}
 }
