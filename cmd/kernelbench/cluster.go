@@ -98,6 +98,7 @@ func bootBenchCluster(ds *data.Dataset, s int, coordCache int) (*cluster.Coordin
 		stop()
 		return nil, nil, err
 	}
+	//lint:background offline benchmark driver; the process is the cancellation scope
 	if err := co.AddDataset(context.Background(), "bench", ds); err != nil {
 		co.Close()
 		stop()
@@ -109,6 +110,7 @@ func bootBenchCluster(ds *data.Dataset, s int, coordCache int) (*cluster.Coordin
 // runCluster measures single-node vs 1/2/4-shard scatter-gather for both
 // numeric correlation shapes.
 func runCluster(report *export.Report, n, numDims, nomDims, card int, seed int64) error {
+	//lint:background offline benchmark driver; the process is the cancellation scope
 	ctx := context.Background()
 	for _, kind := range []gen.Kind{gen.Independent, gen.AntiCorrelated} {
 		ds, err := gen.Dataset(gen.Config{

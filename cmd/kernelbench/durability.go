@@ -28,6 +28,7 @@ import (
 // durableScenario runs the mixed workload against one store configuration.
 func durableScenario(ds *data.Dataset, pref *order.Preference, store *flat.Store, workers, ops int, mutFrac float64) mixedMeasure {
 	schema := ds.Schema()
+	//lint:background offline benchmark driver; the process is the cancellation scope
 	ctx := context.Background()
 	query := func(int) {
 		cmp, err := dominance.NewComparator(schema, pref)

@@ -170,6 +170,7 @@ func runBatch(report *export.Report, ds *data.Dataset, n, bsize int, seed int64)
 	if err != nil {
 		return err
 	}
+	//lint:background offline benchmark driver; the process is the cancellation scope
 	ctx := context.Background()
 
 	loop := func() ([][]data.PointID, error) {

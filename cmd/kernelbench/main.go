@@ -260,6 +260,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		//lint:background offline benchmark driver; the process is the cancellation scope
 		ctx := context.Background()
 		par := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()

@@ -136,6 +136,7 @@ func runMixed(report *export.Report, ds *data.Dataset, pref *order.Preference, n
 	schema := ds.Schema()
 	numDims, nomDims := schema.NumDims(), schema.NomDims()
 	card := schema.Cardinalities()[0]
+	//lint:background offline benchmark driver; the process is the cancellation scope
 	ctx := context.Background()
 
 	snapQuery := func(store *flat.Store) func(int) {

@@ -41,6 +41,7 @@ func runOverload(report *export.Report, ds *data.Dataset, n, workers, burstFacto
 	if err := svc.AddDataset("bench", ds, service.EngineConfig{Kind: "sfsd"}); err != nil {
 		return err
 	}
+	//lint:background offline benchmark driver; the process is the cancellation scope
 	ctx := context.Background()
 
 	// A large universe of canonically distinct preferences: the burst's cold

@@ -88,6 +88,7 @@ func runSemantic(report *export.Report, ds *data.Dataset, n, chains, depth, quer
 		return err
 	}
 
+	//lint:background offline benchmark driver; the process is the cancellation scope
 	ctx := context.Background()
 	lats := map[service.Outcome][]time.Duration{}
 	for q := 0; q < queries; q++ {

@@ -104,6 +104,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("building %s engine: %w", *algo, err)
 	}
 
+	//lint:background one-shot CLI query; the process lifetime is the cancellation scope
 	ids, err := engine.Skyline(context.Background(), pref)
 	if err != nil {
 		return fmt.Errorf("query: %w", err)

@@ -304,6 +304,7 @@ func runCoordinator(cfg coordinatorConfig) error {
 	srv := newCoordServer(co)
 	boot := func() error {
 		push := func(name string, ds *data.Dataset) error {
+			//lint:background listener-first boot: the initial push outlives no request and must not die with one
 			if err := co.AddDataset(context.Background(), name, ds); err != nil {
 				// Non-fatal: the dataset is registered and the probe loop
 				// re-pushes the failed shard as soon as it answers.
@@ -383,6 +384,7 @@ func serveWith(ln net.Listener, handler http.Handler, boot func() error, closeFn
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
+	//lint:background process lifecycle root: the serve loop's ctx is bound to SIGINT/SIGTERM, not to any caller
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -418,6 +420,7 @@ func serveWith(ln net.Listener, handler http.Handler, boot func() error, closeFn
 		case <-ctx.Done():
 			stop() // restore default signal behavior: a second signal kills hard
 			log.Printf("skylined shutting down")
+			//lint:background the drain deadline must outlive the just-canceled serve ctx
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			defer cancel()
 			if err := srv.Shutdown(shutdownCtx); err != nil {

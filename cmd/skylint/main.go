@@ -1,0 +1,100 @@
+// Command skylint runs the repo's invariant analyzers (internal/analysis)
+// over a set of packages, as a standalone multichecker:
+//
+//	go run ./cmd/skylint ./...
+//	go run ./cmd/skylint -run sortban,ctxflow ./internal/cluster
+//
+// or as a go vet tool via the unitchecker protocol:
+//
+//	go build -o skylint ./cmd/skylint
+//	go vet -vettool=$(pwd)/skylint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error. Directories
+// under testdata/ are invisible to ./... patterns but may be named
+// explicitly — CI's seeded-violation self-check depends on both halves of
+// that.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prefsky/internal/analysis/framework"
+	"prefsky/internal/analysis/skylint"
+)
+
+func main() {
+	// The go vet protocol probes the tool's flag set and version before
+	// handing it per-package .cfg files; these shapes bypass normal flag
+	// parsing. Skylint exposes no tool flags to vet, hence the empty list.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V=") {
+		printVersion(os.Args[1])
+		return
+	}
+
+	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: skylint [-run names] [-list] packages...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range skylint.Suite() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := skylint.Select(*runNames)
+	if err != nil {
+		fatal(err)
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetUnit(args[0], analyzers))
+	}
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pkgs, err := framework.Load(".", args...)
+	if err != nil {
+		fatal(err)
+	}
+	loadOK := true
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "skylint: %s: %v\n", pkg.ImportPath, terr)
+			loadOK = false
+		}
+	}
+	if !loadOK {
+		os.Exit(2)
+	}
+
+	diags, err := framework.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s [%s]\n", pkgs[0].Fset.Position(d.Pos), d.Message, d.Analyzer.Name)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "skylint: %v\n", err)
+	os.Exit(2)
+}

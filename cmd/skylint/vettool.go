@@ -1,0 +1,124 @@
+// go vet -vettool support: a minimal implementation of the unitchecker
+// protocol (golang.org/x/tools/go/analysis/unitchecker), which is how the
+// go command drives an external vet tool. go vet invokes the tool once
+// with -V=full to obtain a cache key, then once per package with a JSON
+// .cfg file describing the compiled unit: source files, the import map,
+// and the export-data file for every dependency. The tool type-checks the
+// unit from source against that export data, reports diagnostics on
+// stderr, and writes a facts file (empty here — the skylint analyzers are
+// facts-free) so the go command's vet cache stays coherent.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"prefsky/internal/analysis/framework"
+)
+
+// vetConfig mirrors the fields of unitchecker.Config that skylint needs.
+// The go command writes more; unknown fields are ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// printVersion answers the go command's -V=full probe. The executable's
+// own hash keys the vet result cache, so a rebuilt skylint invalidates
+// stale results.
+func printVersion(arg string) {
+	if arg != "-V=full" {
+		fmt.Fprintf(os.Stderr, "skylint: unsupported flag %s\n", arg)
+		os.Exit(2)
+	}
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("skylint version devel buildID=%x\n", h.Sum(nil)[:12])
+}
+
+// vetUnit analyzes one compilation unit described by a unitchecker cfg
+// file and returns the process exit code.
+func vetUnit(cfgPath string, analyzers []*framework.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skylint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "skylint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// The facts file must exist even when empty, or the go command treats
+	// the run as failed and dependent units refuse to start.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "skylint: writing facts: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := framework.NewExportImporter(fset, func(path string) (string, bool) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		return file, ok
+	})
+	pkg, err := vetCheck(fset, imp, &cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skylint: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	if len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "skylint: %s: %v\n", cfg.ImportPath, terr)
+		}
+		return 1
+	}
+
+	diags, err := framework.RunAnalyzers([]*framework.Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skylint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer.Name)
+	}
+	if len(diags) > 0 {
+		return 2 // unitchecker convention: 2 = diagnostics found
+	}
+	return 0
+}
+
+// vetCheck type-checks the unit's sources against the cfg's export data.
+func vetCheck(fset *token.FileSet, imp types.Importer, cfg *vetConfig) (*framework.Package, error) {
+	return framework.CheckFiles(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles, cfg.GoVersion)
+}

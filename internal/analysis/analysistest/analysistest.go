@@ -1,0 +1,191 @@
+// Package analysistest runs a framework.Analyzer over a GOPATH-style
+// testdata tree and checks its diagnostics against `// want "regexp"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Layout: testdata/src/<importpath>/*.go. Imports between testdata packages
+// resolve from source inside the tree (so an analyzer keyed on a type like
+// flat.Store can be exercised against a small stub package); all other
+// imports — stdlib or real module packages — resolve through compiler
+// export data via the framework loader.
+//
+// Want syntax: a diagnostic is expected on every line carrying a trailing
+// `// want "re"` comment; several expectations may share a line
+// (`// want "a" "b"`), and both interpreted and backquoted Go string
+// literals are accepted. The test fails on any unexpected diagnostic and on
+// any unmatched expectation.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"prefsky/internal/analysis/framework"
+)
+
+// Run applies a to each named testdata package and reports mismatches
+// through t.
+func Run(t *testing.T, testdataDir string, a *framework.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := newLoader(testdataDir)
+	for _, path := range pkgPaths {
+		pkg, err := ld.loadTarget(path)
+		if err != nil {
+			t.Fatalf("loading testdata package %s: %v", path, err)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("testdata package %s does not type-check: %v", path, pkg.TypeErrors)
+		}
+		diags, err := framework.RunAnalyzers([]*framework.Package{pkg}, []*framework.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		check(t, pkg, diags)
+	}
+}
+
+// want is one expectation parsed from a `// want` comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// check compares reported diagnostics against the package's expectations.
+func check(t *testing.T, pkg *framework.Package, diags []framework.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		consumed := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				consumed = true
+				break
+			}
+		}
+		if !consumed {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// wantRE extracts the quoted expectation patterns from a want comment.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// parseWants collects every `// want` expectation in the package's files.
+func parseWants(t *testing.T, pkg *framework.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range pkg.Syntax {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lits := wantRE.FindAllString(rest, -1)
+				if len(lits) == 0 {
+					t.Fatalf("%s: malformed want comment: %s", pos, c.Text)
+				}
+				for _, lit := range lits {
+					pattern, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, lit, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// loader resolves testdata-tree imports from source and everything else
+// through export data.
+type loader struct {
+	dir      string
+	fset     *token.FileSet
+	memo     map[string]*types.Package
+	fallback types.Importer
+}
+
+func newLoader(testdataDir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		dir:      testdataDir,
+		fset:     fset,
+		memo:     make(map[string]*types.Package),
+		fallback: framework.NewExportImporter(fset, func(string) (string, bool) { return "", false }),
+	}
+}
+
+// Import implements types.Importer over the testdata tree.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.memo[path]; ok {
+		return pkg, nil
+	}
+	if st, err := os.Stat(filepath.Join(l.dir, "src", path)); err == nil && st.IsDir() {
+		pkg, err := l.loadTarget(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("testdata package %s: %v", path, pkg.TypeErrors)
+		}
+		l.memo[path] = pkg.Types
+		return pkg.Types, nil
+	}
+	return l.fallback.Import(path)
+}
+
+// loadTarget parses and type-checks one testdata package from source.
+func (l *loader) loadTarget(path string) (*framework.Package, error) {
+	dir := filepath.Join(l.dir, "src", path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &framework.Package{ImportPath: path, Dir: dir, Fset: l.fset}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		full := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(l.fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.GoFiles = append(pkg.GoFiles, full)
+		pkg.Syntax = append(pkg.Syntax, f)
+	}
+	if len(pkg.Syntax) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	pkg.TypesInfo = framework.NewTypesInfo()
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(path, l.fset, pkg.Syntax, pkg.TypesInfo)
+	return pkg, nil
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"prefsky/internal/analysis/analysistest"
+	"prefsky/internal/analysis/atomicfield"
+)
+
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.Analyzer, "atomicfield")
+}

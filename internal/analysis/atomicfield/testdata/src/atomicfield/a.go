@@ -1,0 +1,34 @@
+// Cases for atomicfield: a field whose address feeds sync/atomic anywhere
+// in the package must never be read or written plainly; fields that are
+// consistently plain, or use the typed atomic wrappers, pass.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	plain int64
+}
+
+func (c *counters) Inc()        { atomic.AddInt64(&c.hits, 1) }
+func (c *counters) Read() int64 { return atomic.LoadInt64(&c.hits) }
+
+func (c *counters) TornRead() int64 { return c.hits } // want `plain access to field hits`
+
+func (c *counters) TornWrite() { c.hits = 0 } // want `plain access to field hits`
+
+func (c *counters) TornIncrement() { c.hits++ } // want `plain access to field hits`
+
+// plain is never touched atomically: ordinary access is fine.
+func (c *counters) Bump() int64 { c.plain++; return c.plain }
+
+// typed atomics are method-only, so mixed plain access is inexpressible;
+// the analyzer must not confuse the method receiver for a plain access.
+type typedCounters struct {
+	n atomic.Int64
+	p atomic.Pointer[counters]
+}
+
+func (t *typedCounters) Inc() { t.n.Add(1) }
+
+func (t *typedCounters) Swap(c *counters) *counters { return t.p.Swap(c) }

@@ -1,0 +1,140 @@
+// Package ctxflow enforces the PR 2 context-threading contract: cancellation
+// flows from the HTTP edge to every engine scan, so disconnected clients
+// free worker slots and shutdown drains promptly.
+//
+// Two rules:
+//
+//  1. context.Background() / context.TODO() may not be called outside
+//     `main`/`init` of a main package or a _test.go file. A detached
+//     context on a request path silently severs cancellation for
+//     everything below it. Deliberately detached background loops carry a
+//     `//lint:background <one-line justification>` annotation on (or
+//     directly above) the call; an annotation with no justification is
+//     still flagged — the why is the point.
+//
+//  2. An exported function or method outside main packages that declares a
+//     named context.Context parameter must actually use it. Accepting a
+//     ctx and dropping it is worse than not accepting one: callers assume
+//     cancellation propagates. Interface conformance that genuinely
+//     ignores cancellation declares so by naming the parameter `_`.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"prefsky/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid context.Background()/TODO() off the main/test paths without a " +
+		"//lint:background justification, and flag exported functions that drop a named ctx parameter",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	isMainPkg := pass.Pkg != nil && pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			exemptDetach := isMainPkg && fd.Recv == nil && (fd.Name.Name == "main" || fd.Name.Name == "init")
+			if !exemptDetach {
+				checkDetachedContexts(pass, fd.Body)
+			}
+			if !isMainPkg && fd.Name.IsExported() {
+				checkDroppedCtx(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkDetachedContexts flags unannotated context.Background/TODO calls.
+func checkDetachedContexts(pass *framework.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() != "Background" && fn.Name() != "TODO" {
+			return true
+		}
+		why, annotated := pass.Annotated(call.Pos(), "background")
+		if annotated && why != "" {
+			return true
+		}
+		if annotated {
+			pass.Reportf(call.Pos(), "//lint:background annotation needs a one-line justification")
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"context.%s() detaches this path from caller cancellation; propagate a real ctx, "+
+				"or annotate //lint:background with a justification if detachment is intentional", fn.Name())
+		return true
+	})
+}
+
+// checkDroppedCtx flags an exported function whose named context.Context
+// parameter is never referenced in its body.
+func checkDroppedCtx(pass *framework.Pass, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(pass.TypesInfo.Types[field.Type].Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			param, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok || usesObject(pass, fd.Body, param) {
+				continue
+			}
+			pass.Reportf(name.Pos(),
+				"exported %s accepts ctx but never uses it, severing cancellation for its callees; "+
+					"propagate it, or name the parameter _ to declare the drop", fd.Name.Name)
+		}
+	}
+}
+
+// usesObject reports whether any identifier in body resolves to obj.
+func usesObject(pass *framework.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,58 @@
+// Cases for ctxflow in a library package: detached contexts need a
+// justified annotation, and exported functions must use the ctx they take.
+package ctxflow
+
+import "context"
+
+func detached() {
+	ctx := context.Background() // want `context\.Background\(\) detaches this path from caller cancellation`
+	_ = ctx
+	todo := context.TODO() // want `context\.TODO\(\) detaches this path from caller cancellation`
+	_ = todo
+}
+
+func annotatedInline() {
+	ctx := context.Background() //lint:background maintenance loop detached from requests by design
+	_ = ctx
+}
+
+func annotatedAbove() {
+	//lint:background compaction runs off the write path and is stopped via its own channel
+	ctx := context.Background()
+	_ = ctx
+}
+
+func annotatedWithoutWhy() {
+	//lint:background
+	ctx := context.Background() // want `//lint:background annotation needs a one-line justification`
+	_ = ctx
+}
+
+// Drops takes ctx and never touches it: flagged on the parameter.
+func Drops(ctx context.Context, n int) int { // want `exported Drops accepts ctx but never uses it`
+	return n
+}
+
+// Uses propagates; no diagnostic.
+func Uses(ctx context.Context) error { return ctx.Err() }
+
+// UsesInClosure only references ctx from a nested literal; still a use.
+func UsesInClosure(ctx context.Context) func() error {
+	return func() error { return ctx.Err() }
+}
+
+// Blank declares the drop explicitly; no diagnostic.
+func Blank(_ context.Context) {}
+
+// unexportedDrop is not part of the package's contract; rule 2 is
+// exported-only (rule 1 still applies inside, as detached covers).
+func unexportedDrop(ctx context.Context) {}
+
+// Engine methods follow the same rule as functions.
+type Engine struct{}
+
+func (e *Engine) Query(ctx context.Context, q string) string { // want `exported Query accepts ctx but never uses it`
+	return q
+}
+
+func (e *Engine) Scan(ctx context.Context) error { return ctx.Err() }

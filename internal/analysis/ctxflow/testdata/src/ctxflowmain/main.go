@@ -1,0 +1,21 @@
+// Cases for ctxflow in a main package: main and init own the process
+// lifecycle and may mint root contexts; every other function still may not.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	run(ctx)
+}
+
+func init() {
+	_ = context.TODO()
+}
+
+func run(ctx context.Context) { _ = ctx }
+
+func helper() {
+	ctx := context.Background() // want `context\.Background\(\) detaches this path from caller cancellation`
+	_ = ctx
+}

@@ -1,0 +1,112 @@
+// Package errcode enforces the PR 8 typed-error contract on the HTTP
+// surfaces: in the skylined server and the cluster shard/coordinator
+// packages, every non-2xx response must flow through the typed helpers
+// (writeError / shardError) that emit the machine-readable `code` field
+// clients and the coordinator's failure policy dispatch on.
+//
+// Two raw-write patterns are flagged in scoped packages (import path
+// containing "skylined" or "cluster", test files exempt):
+//
+//   - http.Error(w, ...): plain-text body, no code field, ever a bug here.
+//   - w.WriteHeader(<constant >= 400>): a hand-rolled error response. The
+//     helpers themselves pass the status as a variable, so they do not
+//     trip this; a constant error status outside them is a handler
+//     bypassing the contract.
+//
+// Escape hatch: `//lint:rawhttp <why>` on (or directly above) the call.
+package errcode
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"prefsky/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "errcode",
+	Doc: "non-2xx responses in skylined/cluster must flow through the typed error " +
+		"helpers that emit the machine-readable code field (PR 8 contract)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if pass.Pkg == nil || !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			switch {
+			case fn.Pkg() != nil && fn.Pkg().Path() == "net/http" && fn.Name() == "Error":
+				if _, ok := pass.Annotated(call.Pos(), "rawhttp"); ok {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"http.Error bypasses the typed error contract (no machine-readable code field); "+
+						"use the writeError/shardError helper, or annotate //lint:rawhttp")
+			case fn.Name() == "WriteHeader" && isResponseWriterMethod(fn):
+				status, isConst := constStatus(pass, call)
+				if !isConst || status < 400 {
+					return true
+				}
+				if _, ok := pass.Annotated(call.Pos(), "rawhttp"); ok {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"raw WriteHeader(%d) on an error path bypasses the typed error contract; "+
+						"route through the writeError/shardError helper so the body carries a code field, "+
+						"or annotate //lint:rawhttp", status)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// inScope limits the contract to the packages that own the PR 8 surface.
+func inScope(path string) bool {
+	return strings.Contains(path, "skylined") || strings.Contains(path, "cluster")
+}
+
+// isResponseWriterMethod reports whether fn is a single-int-parameter
+// WriteHeader method — the http.ResponseWriter shape, whether called on the
+// interface or on a concrete writer wrapping it.
+func isResponseWriterMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 1 {
+		return false
+	}
+	basic, ok := sig.Params().At(0).Type().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Int
+}
+
+// constStatus extracts the call's status argument if it is an integer
+// constant (literal or named, e.g. http.StatusNotFound).
+func constStatus(pass *framework.Pass, call *ast.CallExpr) (int64, bool) {
+	if len(call.Args) != 1 {
+		return 0, false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return v, exact
+}

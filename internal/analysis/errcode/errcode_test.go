@@ -1,0 +1,12 @@
+package errcode_test
+
+import (
+	"testing"
+
+	"prefsky/internal/analysis/analysistest"
+	"prefsky/internal/analysis/errcode"
+)
+
+func TestErrcode(t *testing.T) {
+	analysistest.Run(t, "testdata", errcode.Analyzer, "skylined", "other")
+}

@@ -1,0 +1,12 @@
+// Negative suite: this package is outside the errcode scope (its import
+// path mentions neither skylined nor cluster), so the same raw writes that
+// fail in src/skylined draw no diagnostics here — the typed-code contract
+// belongs to the serving surfaces, not to every HTTP scrap in the repo.
+package other
+
+import "net/http"
+
+func rawButOutOfScope(w http.ResponseWriter) {
+	http.Error(w, "no", http.StatusBadRequest)
+	w.WriteHeader(http.StatusNotFound)
+}

@@ -1,0 +1,34 @@
+// Cases for errcode in a scoped package (import path contains "skylined"):
+// raw error writes are flagged; success statuses, variable statuses (the
+// helper pattern), and annotated writes pass.
+package skylined
+
+import "net/http"
+
+func rawWrites(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "no", http.StatusBadRequest) // want `http\.Error bypasses the typed error contract`
+	w.WriteHeader(http.StatusNotFound)         // want `raw WriteHeader\(404\) on an error path`
+	w.WriteHeader(500)                         // want `raw WriteHeader\(500\) on an error path`
+}
+
+func successWrites(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusNoContent)
+	w.WriteHeader(http.StatusTemporaryRedirect)
+}
+
+// writeError models the typed helper itself: the status arrives as a
+// variable, so the constant-status check never fires inside it.
+func writeError(w http.ResponseWriter, status int, code string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+}
+
+func viaHelper(w http.ResponseWriter) {
+	writeError(w, http.StatusConflict, "stale-gen")
+}
+
+func annotated(w http.ResponseWriter) {
+	//lint:rawhttp proxy passthrough must preserve the upstream body verbatim
+	w.WriteHeader(http.StatusBadGateway)
+}

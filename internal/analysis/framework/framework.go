@@ -1,0 +1,124 @@
+// Package framework is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API: an Analyzer owns a Run function that
+// inspects one type-checked package through a Pass and reports Diagnostics.
+//
+// The build environment for this repository is hermetic — no module proxy,
+// no vendored third-party code — so the real x/tools module is gated out
+// rather than required. The surface below is deliberately shaped like
+// analysis.Analyzer / analysis.Pass (same field names, same Run contract)
+// so the skylint analyzers can be lifted onto x/tools unchanged when the
+// dependency becomes available; only the loader (load.go) and the test
+// harness (../analysistest) would be deleted in that migration.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one named invariant check. Run is called once per
+// type-checked package and reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -run filters, and
+	// vettool output. By convention a single lowercase word.
+	Name string
+
+	// Doc is the analyzer's documentation: first line is a summary, the
+	// rest explains the invariant it enforces and the escape hatches.
+	Doc string
+
+	// Run applies the analyzer to one package. The returned value is
+	// reserved for x/tools compatibility (result plumbing between
+	// analyzers) and is ignored by this framework.
+	Run func(*Pass) (any, error)
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// A Pass presents one type-checked package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives each finding; the driver aggregates them.
+	Report func(Diagnostic)
+
+	// annotations maps filename -> line -> marker -> trailing text, built
+	// lazily from the files' comments. See Annotated.
+	annotations map[string]map[int]map[string]string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer})
+}
+
+// Annotated reports whether the source line holding pos — or the line
+// immediately above it — carries a `//lint:<marker> <text>` comment, and
+// returns the trailing text. Annotations are the analyzers' escape hatch:
+// the marker names the waived invariant and the text is the human
+// justification, so every waiver is greppable and self-documenting.
+func (p *Pass) Annotated(pos token.Pos, marker string) (string, bool) {
+	if p.annotations == nil {
+		p.annotations = buildAnnotations(p.Fset, p.Files)
+	}
+	position := p.Fset.Position(pos)
+	lines := p.annotations[position.Filename]
+	if lines == nil {
+		return "", false
+	}
+	for _, line := range []int{position.Line, position.Line - 1} {
+		if text, ok := lines[line][marker]; ok {
+			return text, true
+		}
+	}
+	return "", false
+}
+
+// buildAnnotations indexes every `//lint:<marker> <text>` comment by file,
+// line, and marker.
+func buildAnnotations(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]string {
+	out := make(map[string]map[int]map[string]string)
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				marker, text, _ := strings.Cut(rest, " ")
+				position := fset.Position(c.Pos())
+				lines := out[position.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]string)
+					out[position.Filename] = lines
+				}
+				markers := lines[position.Line]
+				if markers == nil {
+					markers = make(map[string]string)
+					lines[position.Line] = markers
+				}
+				markers[marker] = strings.TrimSpace(text)
+			}
+		}
+	}
+	return out
+}
+
+// InTestFile reports whether pos falls in a _test.go file. Test files
+// construct torn snapshots, detached contexts, and raw HTTP writes
+// deliberately, so several analyzers exempt them.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}

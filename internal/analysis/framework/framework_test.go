@@ -1,0 +1,141 @@
+package framework_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"prefsky/internal/analysis/framework"
+)
+
+// TestLoadTypechecksFromSource exercises the full loader path on a real
+// module package: go list -export for dependency export data, source
+// parsing with comments, and a clean go/types pass.
+func TestLoadTypechecksFromSource(t *testing.T) {
+	pkgs, err := framework.Load("../../..", "./internal/order")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.ImportPath != "prefsky/internal/order" {
+		t.Errorf("ImportPath = %q", pkg.ImportPath)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("type errors in a compiling package: %v", pkg.TypeErrors)
+	}
+	if pkg.Types == nil || len(pkg.Syntax) == 0 {
+		t.Fatalf("missing types or syntax: %+v", pkg)
+	}
+	// Comments must be attached — the annotation escape hatches depend on
+	// them.
+	comments := 0
+	for _, f := range pkg.Syntax {
+		comments += len(f.Comments)
+	}
+	if comments == 0 {
+		t.Error("no comments attached; parser must run with ParseComments")
+	}
+}
+
+// TestRunAnalyzersReportsSorted runs a trivial analyzer over two packages
+// and checks diagnostics come back position-sorted with the analyzer
+// attached.
+func TestRunAnalyzersReportsSorted(t *testing.T) {
+	pkgs, err := framework.Load("../../..", "./internal/bitset", "./internal/gen")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	funcFinder := &framework.Analyzer{
+		Name: "funcfinder",
+		Doc:  "reports every function declaration (test-only)",
+		Run: func(pass *framework.Pass) (any, error) {
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil, nil
+		},
+	}
+	diags, err := framework.RunAnalyzers(pkgs, []*framework.Analyzer{funcFinder})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected diagnostics from funcfinder")
+	}
+	fset := pkgs[0].Fset
+	for i := range diags {
+		if diags[i].Analyzer != funcFinder {
+			t.Fatalf("diagnostic %d missing analyzer", i)
+		}
+		if i == 0 {
+			continue
+		}
+		prev, cur := fset.Position(diags[i-1].Pos), fset.Position(diags[i].Pos)
+		if prev.Filename > cur.Filename || (prev.Filename == cur.Filename && prev.Line > cur.Line) {
+			t.Fatalf("diagnostics out of order: %s after %s", cur, prev)
+		}
+	}
+}
+
+// TestAnnotated covers the annotation index: same line, line above, marker
+// mismatch, and justification extraction.
+func TestAnnotated(t *testing.T) {
+	src := `package p
+
+func f() {
+	x := 1 //lint:background the loop outlives requests
+	_ = x
+	//lint:resnapshot retry validates the epoch
+	y := 2
+	z := 3 //lint:bare
+	_, _ = y, z
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &framework.Pass{Fset: fset, Files: []*ast.File{file}}
+
+	posAtLine := func(line int) token.Pos {
+		tf := fset.File(file.Pos())
+		return tf.LineStart(line)
+	}
+	if why, ok := pass.Annotated(posAtLine(4), "background"); !ok || why != "the loop outlives requests" {
+		t.Errorf("same-line annotation: got %q, %v", why, ok)
+	}
+	if why, ok := pass.Annotated(posAtLine(7), "resnapshot"); !ok || why != "retry validates the epoch" {
+		t.Errorf("line-above annotation: got %q, %v", why, ok)
+	}
+	if _, ok := pass.Annotated(posAtLine(4), "resnapshot"); ok {
+		t.Error("marker mismatch must not match")
+	}
+	if why, ok := pass.Annotated(posAtLine(8), "bare"); !ok || why != "" {
+		t.Errorf("bare annotation: got %q, %v", why, ok)
+	}
+	if _, ok := pass.Annotated(posAtLine(10), "background"); ok {
+		t.Error("unannotated line must not match")
+	}
+}
+
+// TestLoadRejectsBrokenPattern pins the loader's failure mode: a pattern
+// matching nothing must error, not silently analyze zero packages.
+func TestLoadRejectsBrokenPattern(t *testing.T) {
+	_, err := framework.Load("../../..", "./internal/does-not-exist")
+	if err == nil {
+		t.Fatal("expected error for nonexistent package")
+	}
+	if !strings.Contains(err.Error(), "does-not-exist") {
+		t.Errorf("error does not name the pattern: %v", err)
+	}
+}

@@ -1,0 +1,261 @@
+// Loader: a stdlib-only replacement for golang.org/x/tools/go/packages,
+// good for exactly what skylint needs — type-check the packages matching a
+// set of `go list` patterns from source, resolving their dependencies
+// through the compiler's export data.
+//
+// One `go list -deps -export -json` invocation yields, for every listed
+// package and every transitive dependency, the path of its compiled export
+// file in the build cache (building it on demand — an offline, stdlib-only
+// operation). The requested packages are then re-parsed from source with
+// comments and type-checked by go/types against a gc-export-data importer,
+// which is precisely the LoadSyntax mode of go/packages.
+
+package framework
+
+import (
+	"bytes"
+	"cmp"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"slices"
+	"strings"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	// TypeErrors holds any errors go/types reported. Analysis still runs —
+	// the syntax and partial type info are valid — but drivers should
+	// surface them: a finding in a package that does not compile is suspect.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Module     *struct{ GoVersion string }
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matching patterns (go list syntax, e.g.
+// "./..."; directories under testdata must be named explicitly) relative to
+// dir. Dependencies resolve through export data; only the matched packages
+// themselves are parsed from source.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string)
+	var targets []*listedPackage
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := NewExportImporter(fset, func(path string) (string, bool) {
+		file, ok := exports[path]
+		return file, ok
+	})
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		goVersion := ""
+		if lp.Module != nil && lp.Module.GoVersion != "" {
+			goVersion = "go" + lp.Module.GoVersion
+		}
+		pkg, err := CheckFiles(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles, goVersion)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	slices.SortFunc(pkgs, func(a, b *Package) int { return strings.Compare(a.ImportPath, b.ImportPath) })
+	return pkgs, nil
+}
+
+// goList runs `go list -e -deps -export -json` and decodes the package
+// stream. -export builds each dependency's export data into the build cache
+// if missing; -e defers per-package errors to the Error field so one broken
+// pattern does not hide the rest of the report.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var out []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// CheckFiles parses and type-checks one package from source against imp.
+// goVersion, when non-empty, is a types.Config.GoVersion string ("go1.24").
+// File names resolve relative to dir unless absolute.
+func CheckFiles(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string, goVersion string) (*Package, error) {
+	pkg := &Package{ImportPath: importPath, Dir: dir, Fset: fset}
+	for _, name := range goFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		pkg.GoFiles = append(pkg.GoFiles, path)
+		pkg.Syntax = append(pkg.Syntax, f)
+	}
+	if len(pkg.Syntax) == 0 {
+		return nil, fmt.Errorf("package %s has no Go files", importPath)
+	}
+
+	pkg.TypesInfo = NewTypesInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	if goVersion != "" {
+		conf.GoVersion = goVersion
+	}
+	// Check's returned error duplicates the first entry collected by
+	// conf.Error; TypeErrors is the complete record.
+	pkg.Types, _ = conf.Check(importPath, fset, pkg.Syntax, pkg.TypesInfo)
+	return pkg, nil
+}
+
+// NewTypesInfo allocates the types.Info maps every analyzer relies on.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// NewExportImporter returns a types.Importer that reads gc export data,
+// locating each package's export file through resolve. Packages resolve
+// misses fall through to an on-demand `go list -export` of that single
+// import path, so callers may seed only what they already know.
+func NewExportImporter(fset *token.FileSet, resolve func(path string) (string, bool)) types.Importer {
+	extra := make(map[string]string)
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := resolve(path)
+		if !ok {
+			file, ok = extra[path]
+		}
+		if !ok {
+			listed, err := goList(".", []string{path})
+			if err != nil {
+				return nil, fmt.Errorf("resolving import %q: %v", path, err)
+			}
+			for _, lp := range listed {
+				if lp.Export != "" {
+					extra[lp.ImportPath] = lp.Export
+				}
+			}
+			if file, ok = extra[path]; !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// RunAnalyzers applies each analyzer to each package and returns the
+// findings sorted by position. Analyzer errors abort the run: a broken
+// checker must fail loudly, not silently pass the gate.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				if d.Analyzer == nil {
+					d.Analyzer = a
+				}
+				diags = append(diags, d)
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzing %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	SortDiagnostics(pkgs, diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders findings by file, line, column, then analyzer
+// name, for deterministic output across runs.
+func SortDiagnostics(pkgs []*Package, diags []Diagnostic) {
+	if len(pkgs) == 0 {
+		return
+	}
+	fset := pkgs[0].Fset
+	slices.SortStableFunc(diags, func(a, b Diagnostic) int {
+		pa, pb := fset.Position(a.Pos), fset.Position(b.Pos)
+		if c := strings.Compare(pa.Filename, pb.Filename); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(pa.Line, pb.Line); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(pa.Column, pb.Column); c != 0 {
+			return c
+		}
+		return strings.Compare(a.Analyzer.Name, b.Analyzer.Name)
+	})
+}

@@ -1,0 +1,89 @@
+package skylint_test
+
+import (
+	"strings"
+	"testing"
+
+	"prefsky/internal/analysis/framework"
+	"prefsky/internal/analysis/skylint"
+)
+
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range skylint.Suite() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("suite has %d analyzers, want 5", len(seen))
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := skylint.Select("")
+	if err != nil || len(all) != len(skylint.Suite()) {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v", len(all), err)
+	}
+	two, err := skylint.Select("sortban, ctxflow")
+	if err != nil || len(two) != 2 || two[0].Name != "sortban" || two[1].Name != "ctxflow" {
+		t.Fatalf("Select(sortban, ctxflow) = %v, err %v", two, err)
+	}
+	if _, err := skylint.Select("nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("Select(nope) err = %v, want unknown-analyzer error", err)
+	}
+}
+
+// TestSeededViolationsFailEachAnalyzer is the in-repo half of the CI
+// self-check: every analyzer must produce at least one diagnostic on the
+// seed tree, and only there — the packages are crafted so each analyzer
+// has a violation to find. A silently green analyzer is a broken gate.
+func TestSeededViolationsFailEachAnalyzer(t *testing.T) {
+	pkgs, err := framework.Load(".", "./testdata/seed", "./testdata/seed/cluster")
+	if err != nil {
+		t.Fatalf("loading seed packages: %v", err)
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("seed package %s must compile: %v", pkg.ImportPath, pkg.TypeErrors)
+		}
+	}
+	for _, a := range skylint.Suite() {
+		diags, err := framework.RunAnalyzers(pkgs, []*framework.Analyzer{a})
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if len(diags) == 0 {
+			t.Errorf("%s: no diagnostics on the seeded violations — the CI gate would pass a known-bad tree", a.Name)
+		}
+	}
+}
+
+// TestRepoIsClean runs the full suite over the entire module — the same
+// invocation CI gates on — and demands zero findings, so a PR cannot land
+// a violation and a stale annotation cannot linger unnoticed.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := framework.Load("../../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("package %s: %v", pkg.ImportPath, pkg.TypeErrors)
+		}
+	}
+	diags, err := framework.RunAnalyzers(pkgs, skylint.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s [%s]", pkgs[0].Fset.Position(d.Pos), d.Message, d.Analyzer.Name)
+	}
+}

@@ -1,0 +1,11 @@
+// Package cluster seeds the errcode violation: its import path contains
+// "cluster", putting it in the analyzer's scope, and it writes a raw error
+// response without the machine-readable code field.
+package cluster
+
+import "net/http"
+
+func rawErrorResponse(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError)
+	w.WriteHeader(http.StatusBadRequest)
+}

@@ -1,0 +1,42 @@
+// Package seed deliberately violates four skylint invariants — torn
+// snapshot re-load, detached context, banned closure sort, mixed
+// atomic/plain field access. CI's self-check runs each analyzer over this
+// tree and asserts a nonzero exit: if skylint ever stops failing here, the
+// gate is broken, not the code. The sibling cluster/ package seeds the
+// fifth (errcode, which only fires in scoped packages).
+//
+// This directory lives under testdata/ so ./... patterns — and therefore
+// the real gate, go build, and go vet — never see it; the self-check names
+// it explicitly.
+package seed
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+
+	"prefsky/internal/flat"
+)
+
+// tornSnapshot re-loads the store snapshot in one body: snapshotpin.
+func tornSnapshot(st *flat.Store) int {
+	a := st.Snapshot()
+	b := st.Snapshot()
+	return a.LiveN() + b.LiveN()
+}
+
+// detached mints a root context off the main path: ctxflow.
+func detached() context.Context {
+	return context.Background()
+}
+
+// closureSorted uses the banned closure sort: sortban.
+func closureSorted(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// stats mixes atomic and plain access to one field: atomicfield.
+type stats struct{ n int64 }
+
+func (s *stats) inc()        { atomic.AddInt64(&s.n, 1) }
+func (s *stats) read() int64 { return s.n }

@@ -1,0 +1,12 @@
+package snapshotpin_test
+
+import (
+	"testing"
+
+	"prefsky/internal/analysis/analysistest"
+	"prefsky/internal/analysis/snapshotpin"
+)
+
+func TestSnapshotpin(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotpin.Analyzer, "snapshotpin")
+}

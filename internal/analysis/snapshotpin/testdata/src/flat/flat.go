@@ -1,0 +1,17 @@
+// Package flat is a minimal stub of prefsky/internal/flat for the
+// snapshotpin suite: the analyzer keys on the (package-suffix "flat", type
+// Store, method Snapshot) shape, so this stand-in exercises the same match
+// without importing the real engine.
+package flat
+
+// Snapshot stands in for the immutable MVCC snapshot.
+type Snapshot struct{ version uint64 }
+
+// Version mirrors the real accessor.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Store stands in for the versioned columnar store.
+type Store struct{ current Snapshot }
+
+// Snapshot returns the current published snapshot.
+func (s *Store) Snapshot() *Snapshot { return &s.current }

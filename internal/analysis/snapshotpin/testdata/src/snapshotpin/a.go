@@ -1,0 +1,58 @@
+// Cases for snapshotpin: one Snapshot() load per function body; function
+// literals are their own bodies; annotated re-loads pass.
+package snapshotpin
+
+import "flat"
+
+func torn(st *flat.Store) uint64 {
+	a := st.Snapshot()
+	b := st.Snapshot() // want `second Store\.Snapshot\(\) load in one function body`
+	return a.Version() + b.Version()
+}
+
+func tornThrice(st *flat.Store) uint64 {
+	a := st.Snapshot()
+	b := st.Snapshot() // want `second Store\.Snapshot\(\) load in one function body`
+	c := st.Snapshot() // want `second Store\.Snapshot\(\) load in one function body`
+	return a.Version() + b.Version() + c.Version()
+}
+
+func pinned(st *flat.Store) uint64 {
+	snap := st.Snapshot()
+	return use(snap) + use(snap)
+}
+
+func use(s *flat.Snapshot) uint64 { return s.Version() }
+
+// closures each pin their own snapshot: separate bodies, no diagnostic —
+// a per-iteration re-load in a background loop is sound.
+func closures(st *flat.Store) (func() uint64, func() uint64) {
+	f := func() uint64 { return st.Snapshot().Version() }
+	g := func() uint64 { return st.Snapshot().Version() }
+	return f, g
+}
+
+// enclosing body loads once and a literal loads again: still two distinct
+// bodies, each with a single pinned load.
+func mixed(st *flat.Store) func() uint64 {
+	snap := st.Snapshot()
+	_ = snap
+	return func() uint64 { return st.Snapshot().Version() }
+}
+
+func annotated(st *flat.Store) bool {
+	before := st.Snapshot()
+	//lint:resnapshot compare-and-retry: the second load detects a concurrent publish
+	after := st.Snapshot()
+	return before.Version() == after.Version()
+}
+
+// localStore proves the match is keyed on the flat package, not the names.
+type localStore struct{}
+
+func (localStore) Snapshot() int { return 0 }
+
+func notTheRealStore() int {
+	var s localStore
+	return s.Snapshot() + s.Snapshot()
+}

@@ -1,0 +1,58 @@
+// Package sortban forbids sort.Slice and sort.SliceStable in non-test
+// code, completing — and then freezing — the PR 7 migration to
+// slices.SortFunc.
+//
+// The migration was not cosmetic: the hot-path sorts (flat kernel presort,
+// parallel merge, adaptive resort) moved to packed-key slices.Sort /
+// slices.SortFunc forms precisely because closure-based sort.Slice was the
+// dominant allocation on profiles, and a straggler reintroduced in review
+// silently regresses that. Test files are exempt — a test's sort is never
+// on a measured path.
+package sortban
+
+import (
+	"go/ast"
+	"go/types"
+
+	"prefsky/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "sortban",
+	Doc: "forbid sort.Slice/sort.SliceStable outside tests; use slices.SortFunc " +
+		"(or a packed-key slices.Sort on hot paths) per the PR 7 migration",
+	Run: run,
+}
+
+// replacement names the slices-package equivalent for each banned function.
+var replacement = map[string]string{
+	"Slice":       "slices.SortFunc",
+	"SliceStable": "slices.SortStableFunc",
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sort" {
+				return true
+			}
+			if repl, banned := replacement[fn.Name()]; banned {
+				pass.Reportf(call.Pos(), "sort.%s is banned: use %s (PR 7 closure-free sort migration)", fn.Name(), repl)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package sortban_test
+
+import (
+	"testing"
+
+	"prefsky/internal/analysis/analysistest"
+	"prefsky/internal/analysis/sortban"
+)
+
+func TestSortban(t *testing.T) {
+	analysistest.Run(t, "testdata", sortban.Analyzer, "sortban")
+}

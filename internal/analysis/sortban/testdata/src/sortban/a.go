@@ -1,0 +1,33 @@
+// Positive and negative cases for sortban: the two closure-sort functions
+// are banned, everything else in package sort — and anything that merely
+// looks like sort.Slice — is fine.
+package sortban
+
+import (
+	"slices"
+	"sort"
+)
+
+func banned(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })       // want `sort\.Slice is banned: use slices\.SortFunc`
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort\.SliceStable is banned: use slices\.SortStableFunc`
+}
+
+func allowed(xs []int) {
+	sort.Ints(xs)
+	slices.Sort(xs)
+	slices.SortFunc(xs, func(a, b int) int { return a - b })
+	if sort.SliceIsSorted(xs, func(i, j int) bool { return xs[i] < xs[j] }) {
+		return
+	}
+}
+
+// fakeSort proves the check is type-resolved, not name-matched.
+type fakeSort struct{}
+
+func (fakeSort) Slice(any, func(int, int) bool) {}
+
+func notTheRealSort() {
+	var s fakeSort
+	s.Slice(nil, nil)
+}

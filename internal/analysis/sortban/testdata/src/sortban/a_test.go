@@ -1,0 +1,9 @@
+// Negative suite: test files are exempt — a test's sort is never on a
+// measured hot path, so sort.Slice draws no diagnostic here.
+package sortban
+
+import "sort"
+
+func inTestFile(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

@@ -234,6 +234,7 @@ func RunPoint(label string, cfg Config) (Cell, error) {
 	}
 	sfsdRes := AlgoResult{Name: "SFS-D"}
 	sfsdRes.QueryAvg, err = timeQueries(queries, func(q *order.Preference) error {
+		//lint:background offline §5 bench harness; measurements must not be cancellable mid-timing
 		_, err := sfsd.Skyline(context.Background(), q)
 		return err
 	})
@@ -251,6 +252,7 @@ func RunPoint(label string, cfg Config) (Cell, error) {
 		}
 		parRes := AlgoResult{Name: "Parallel-SFS"}
 		parRes.QueryAvg, err = timeQueries(queries, func(q *order.Preference) error {
+			//lint:background offline §5 bench harness; measurements must not be cancellable mid-timing
 			_, err := par.Skyline(context.Background(), q)
 			return err
 		})
@@ -272,6 +274,7 @@ func runEngine(name string, queries []*order.Preference, build func() (core.Engi
 	}
 	res := AlgoResult{Name: name, Preprocess: time.Since(start), Storage: e.SizeBytes()}
 	res.QueryAvg, err = timeQueries(queries, func(q *order.Preference) error {
+		//lint:background offline §5 bench harness; measurements must not be cancellable mid-timing
 		_, err := e.Skyline(context.Background(), q)
 		return err
 	})

@@ -6,7 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -161,6 +162,12 @@ type Coordinator struct {
 	stop       chan struct{}
 	stopped    sync.Once
 	loopDone   chan struct{}
+
+	// life is the coordinator's lifecycle context, canceled by Close: the
+	// probe loop's repair passes run under it, so an in-flight re-push
+	// aborts promptly at shutdown instead of detaching from cancellation.
+	life     context.Context
+	lifeStop context.CancelFunc
 }
 
 // New builds a coordinator over the given shard groups. It performs no I/O;
@@ -199,6 +206,8 @@ func New(specs []ShardSpec, opts Options) (*Coordinator, error) {
 		serialize:  opts.SerializeScatter,
 		stop:       make(chan struct{}),
 	}
+	//lint:background lifecycle root: the probe loop outlives every request and is canceled by Close
+	c.life, c.lifeStop = context.WithCancel(context.Background())
 	for _, spec := range specs {
 		sc, err := newShardClient(spec, hc, opts.Client)
 		if err != nil {
@@ -231,7 +240,10 @@ func (c *Coordinator) Start() {
 // Close stops the health loop and releases pooled connections. Safe to call
 // whether or not Start ran (boot failures close a never-started coordinator).
 func (c *Coordinator) Close() {
-	c.stopped.Do(func() { close(c.stop) })
+	c.stopped.Do(func() {
+		close(c.stop)
+		c.lifeStop()
+	})
 	if c.loopDone != nil {
 		<-c.loopDone
 	}
@@ -347,7 +359,7 @@ func (c *Coordinator) Datasets() []DatasetStat {
 			Partitioner: c.part.Name(), Shards: len(c.shards),
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	slices.SortFunc(out, func(a, b DatasetStat) int { return strings.Compare(a.Name, b.Name) })
 	return out
 }
 
@@ -536,7 +548,7 @@ func (c *Coordinator) finish(ctx context.Context, dataset string, cd *clusterDat
 	if len(g.unavailable) > 0 {
 		res.Partial = true
 		res.Unavailable = g.unavailable
-		sort.Strings(res.Unavailable)
+		slices.Sort(res.Unavailable)
 		return res, nil // a policy-dependent superset must never be cached
 	}
 	if cacheable {
@@ -733,7 +745,7 @@ func (c *Coordinator) probeLoop() {
 		case <-c.stop:
 			return
 		case <-t.C:
-			c.ProbeOnce(context.Background())
+			c.ProbeOnce(c.life)
 		}
 	}
 }

@@ -2,12 +2,15 @@ package cluster
 
 import (
 	"bytes"
+	stdcmp "cmp"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+
 	"net/http"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 
 	"prefsky/internal/data"
@@ -160,7 +163,7 @@ func (h *ShardHandler) handleInfo(w http.ResponseWriter, r *http.Request) {
 		out.Datasets = append(out.Datasets, d)
 	}
 	h.mu.RUnlock()
-	sort.Slice(out.Datasets, func(i, j int) bool { return out.Datasets[i].Name < out.Datasets[j].Name })
+	slices.SortFunc(out.Datasets, func(a, b InfoDataset) int { return strings.Compare(a.Name, b.Name) })
 	writeJSON(w, out)
 }
 
@@ -198,11 +201,11 @@ func (h *ShardHandler) renderPartial(dataset string, sd *shardDataset, cmp *domi
 	}
 	// Ascending f is the merge-filter's pruning contract; ties break on the
 	// (local) id for determinism.
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].score != rows[j].score {
-			return rows[i].score < rows[j].score
+	slices.SortFunc(rows, func(a, b row) int {
+		if c := stdcmp.Compare(a.score, b.score); c != 0 {
+			return c
 		}
-		return rows[i].p.ID < rows[j].p.ID
+		return stdcmp.Compare(a.p.ID, b.p.ID)
 	})
 	out := Partial{Scores: make([]float64, 0, len(rows))}
 	for i := range rows {

@@ -503,6 +503,7 @@ func radixSortKeys(keys []radixKey) {
 // kernel, returned in ascending (score, row) order — the local phase of the
 // partitioned engines, whose merge-filter prunes on the same score order.
 func (pr *Projection) SkylineRange(lo, hi int) []int32 {
+	//lint:background ctx-free convenience wrapper for engine construction and bench paths; the request path calls SkylineRangeCtx
 	rows, _ := pr.SkylineRangeCtx(context.Background(), lo, hi)
 	return rows
 }

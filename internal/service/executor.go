@@ -202,6 +202,7 @@ func (x *Executor) Query(ctx context.Context, dataset string, pref *order.Prefer
 		return nil, OutcomeEngine, fmt.Errorf("service: nil preference")
 	}
 	if ctx == nil {
+		//lint:background nil-ctx compatibility guard for direct library callers; HTTP callers always pass a request ctx
 		ctx = context.Background()
 	}
 	x.queries.Add(1)
@@ -302,6 +303,7 @@ type batchGroup struct {
 func (x *Executor) Batch(ctx context.Context, dataset string, prefs []*order.Preference) []QueryResult {
 	x.batches.Add(1)
 	if ctx == nil {
+		//lint:background nil-ctx compatibility guard for direct library callers; HTTP callers always pass a request ctx
 		ctx = context.Background()
 	}
 	out := make([]QueryResult, len(prefs))
